@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benchmark harness.
+ *
+ * Every figure/table binary honors SHREDDER_BENCH_FAST=1 (smaller
+ * sweeps for smoke-testing the harness) and prints paper-vs-measured
+ * rows so EXPERIMENTS.md can be filled mechanically.
+ */
+#ifndef SHREDDER_BENCH_BENCH_UTIL_H
+#define SHREDDER_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/shredder/shredder.h"
+
+namespace shredder {
+namespace bench {
+
+/** True when SHREDDER_BENCH_FAST=1 is set (reduced sweep sizes). */
+inline bool
+fast_mode()
+{
+    const char* env = std::getenv("SHREDDER_BENCH_FAST");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Workload-tuned noise-training config for the paper's default cut. */
+inline core::NoiseTrainConfig
+default_train_config(const std::string& network)
+{
+    core::NoiseTrainConfig cfg;
+    cfg.batch_size = 16;
+    cfg.learning_rate = 5e-2f;
+    // init.scale is relative to the activation RMS at the cut, so one
+    // recipe transfers across networks; the initial in-vivo privacy is
+    // roughly scale².
+    cfg.init_scale_relative = true;
+    cfg.init.scale = 3.5f;
+    cfg.lambda.initial_lambda = 1e-2f;
+    cfg.lambda.privacy_target = 12.0;
+    cfg.iterations = 400;
+    if (network == "cifar") {
+        cfg.iterations = 250;
+        cfg.init.scale = 2.0f;
+        cfg.lambda.initial_lambda = 1e-3f;  // paper: smaller λ, bigger nets
+        cfg.lambda.privacy_target = 4.0;
+    } else if (network == "svhn") {
+        cfg.iterations = 300;
+        cfg.init.scale = 2.8f;
+        cfg.lambda.initial_lambda = 1e-3f;
+        cfg.lambda.privacy_target = 8.0;
+    }
+    if (network == "cifar") {
+        cfg.init.scale = 2.8f;
+        cfg.lambda.privacy_target = 8.0;
+    } else if (network == "alexnet") {
+        cfg.iterations = 300;
+        cfg.batch_size = 12;
+        cfg.init.scale = 2.4f;
+        cfg.lambda.initial_lambda = 1e-4f;  // paper: −0.0001 for the biggest
+        cfg.lambda.privacy_target = 6.0;
+    }
+    if (fast_mode()) {
+        cfg.iterations = std::max(20, cfg.iterations / 10);
+    }
+    return cfg;
+}
+
+/** Workload-tuned measurement config. */
+inline core::MeterConfig
+default_meter_config(const std::string& network)
+{
+    core::MeterConfig cfg;
+    cfg.accuracy_samples = 512;
+    cfg.mi_samples = 384;
+    cfg.mi.max_dims = 192;
+    if (network == "alexnet") {
+        cfg.accuracy_samples = 256;
+        cfg.mi_samples = 256;
+        cfg.mi.max_dims = 256;
+    }
+    if (fast_mode()) {
+        cfg.accuracy_samples = 128;
+        cfg.mi_samples = 128;
+        cfg.mi.max_dims = 64;
+    }
+    return cfg;
+}
+
+/** Number of noise tensors per collection. */
+inline int
+default_noise_samples()
+{
+    return fast_mode() ? 2 : 4;
+}
+
+/** Per-network collection size (LeNet benefits from more diversity). */
+inline int
+default_noise_samples(const std::string& network)
+{
+    if (fast_mode()) {
+        return 2;
+    }
+    return network == "lenet" ? 6 : 4;
+}
+
+/** Print a section banner. */
+inline void
+banner(const char* title)
+{
+    std::printf("\n============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace shredder
+
+#endif  // SHREDDER_BENCH_BENCH_UTIL_H

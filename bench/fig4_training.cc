@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces **Figure 4** — in-vivo privacy (1/SNR) and accuracy per
+ * training iteration on the AlexNet workload, cut at the last
+ * convolution layer. Two runs:
+ *
+ *   "regular"   privacy-agnostic training (λ = 0, cross-entropy only),
+ *   "shredder"  Eq. 3 loss with λ decayed once the in-vivo target is
+ *               reached (§3.2).
+ *
+ * Expected shape (paper): the regular run's privacy *decays* while its
+ * accuracy climbs faster; Shredder's privacy rises then stabilizes
+ * (the λ-decay kink) while accuracy recovers more slowly to a similar
+ * level.
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace shredder;
+    using bench::banner;
+
+    banner("Figure 4: in-vivo privacy and accuracy vs training iteration"
+           " (AlexNet)");
+
+    models::BenchmarkOptions opt;
+    opt.verbose = false;
+    models::Benchmark b = models::make_benchmark("alexnet", opt);
+    split::SplitModel model(*b.net, b.last_conv_cut);
+
+    core::NoiseTrainConfig base = bench::default_train_config("alexnet");
+    base.iterations = bench::fast_mode() ? 40 : 300;
+    base.trace_every = bench::fast_mode() ? 4 : 10;
+    base.init.scale = 2.0f;
+    base.seed = 424242;
+
+    // Privacy-agnostic (regular) run: cross-entropy only.
+    core::NoiseTrainConfig regular = base;
+    regular.term = core::PrivacyTerm::kNone;
+    regular.lambda.initial_lambda = 0.0f;
+    core::NoiseTrainer regular_trainer(model, *b.train_set, regular);
+    const auto reg = regular_trainer.train();
+
+    // Shredder run: Eq. 3 with λ decay at the in-vivo target.
+    core::NoiseTrainConfig shredder = base;
+    shredder.term = core::PrivacyTerm::kL1Expansion;
+    shredder.lambda.initial_lambda = 1e-4f;
+    shredder.lambda.privacy_target = 0.65;  // paper's Fig. 4 plateau
+    shredder.lambda.decay = 0.1f;
+    core::NoiseTrainer shredder_trainer(model, *b.train_set, shredder);
+    const auto shr = shredder_trainer.train();
+
+    std::printf("\n(a) in-vivo privacy (1/SNR) per iteration\n");
+    std::printf("%10s %18s %18s\n", "iteration", "regular", "shredder");
+    for (std::size_t i = 0;
+         i < std::min(reg.trace.size(), shr.trace.size()); ++i) {
+        std::printf("%10d %18.4f %18.4f\n", reg.trace[i].iteration,
+                    reg.trace[i].in_vivo_privacy,
+                    shr.trace[i].in_vivo_privacy);
+    }
+
+    std::printf("\n(b) batch accuracy per iteration\n");
+    std::printf("%10s %18s %18s\n", "iteration", "regular", "shredder");
+    for (std::size_t i = 0;
+         i < std::min(reg.trace.size(), shr.trace.size()); ++i) {
+        std::printf("%10d %18.4f %18.4f\n", reg.trace[i].iteration,
+                    reg.trace[i].batch_accuracy,
+                    shr.trace[i].batch_accuracy);
+    }
+
+    std::printf("\n(lambda trace of the shredder run — the decay kink)\n");
+    std::printf("%10s %18s\n", "iteration", "lambda");
+    for (const auto& tp : shr.trace) {
+        std::printf("%10d %18.6f\n", tp.iteration, tp.lambda);
+    }
+
+    const double reg_delta = reg.trace.back().in_vivo_privacy -
+                             reg.trace.front().in_vivo_privacy;
+    const double shr_delta = shr.trace.back().in_vivo_privacy -
+                             shr.trace.front().in_vivo_privacy;
+    std::printf("\nin-vivo privacy drift: regular %+0.4f, shredder %+0.4f"
+                "\nExpected shape: regular drifts down, shredder holds or"
+                " rises then stabilizes.\n",
+                reg_delta, shr_delta);
+    return 0;
+}

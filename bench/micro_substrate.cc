@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: GEMM, conv
+ * forward/backward, im2col, MI estimators, noise-training step and
+ * channel serialization. These are the performance counters behind
+ * the table/figure harness — useful when tuning the kernels.
+ */
+#include <benchmark/benchmark.h>
+
+#include "src/shredder/shredder.h"
+
+namespace {
+
+using namespace shredder;
+
+void
+BM_Gemm(benchmark::State& state)
+{
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    Rng rng(1);
+    Tensor a = Tensor::normal(Shape({n, n}), rng);
+    Tensor b = Tensor::normal(Shape({n, n}), rng);
+    Tensor c(Shape({n, n}));
+    for (auto _ : state) {
+        gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+             c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_ConvForward(benchmark::State& state)
+{
+    Rng rng(2);
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = 16;
+    cfg.out_channels = 32;
+    cfg.kernel = 3;
+    cfg.padding = 1;
+    nn::Conv2d conv(cfg, rng);
+    Tensor x = Tensor::normal(Shape({8, 16, 16, 16}), rng);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x, nn::Mode::kEval);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_ConvForward);
+
+void
+BM_ConvBackward(benchmark::State& state)
+{
+    Rng rng(3);
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = 16;
+    cfg.out_channels = 32;
+    cfg.kernel = 3;
+    cfg.padding = 1;
+    nn::Conv2d conv(cfg, rng);
+    Tensor x = Tensor::normal(Shape({8, 16, 16, 16}), rng);
+    Tensor y = conv.forward(x, nn::Mode::kEval);
+    Tensor g = Tensor::normal(y.shape(), rng);
+    for (auto _ : state) {
+        conv.zero_grad();
+        Tensor dx = conv.backward(g);
+        benchmark::DoNotOptimize(dx.data());
+    }
+}
+BENCHMARK(BM_ConvBackward);
+
+void
+BM_Im2col(benchmark::State& state)
+{
+    Rng rng(4);
+    Tensor x = Tensor::normal(Shape({32, 32, 32}), rng);
+    std::vector<float> col(
+        static_cast<std::size_t>(32 * 9 * 32 * 32));
+    for (auto _ : state) {
+        im2col(x.data(), 32, 32, 32, 3, 3, 1, 1, 1, 1, col.data());
+        benchmark::DoNotOptimize(col.data());
+    }
+}
+BENCHMARK(BM_Im2col);
+
+void
+BM_LeNetInference(benchmark::State& state)
+{
+    Rng rng(5);
+    auto net = models::make_lenet(rng);
+    Tensor x = Tensor::normal(Shape({1, 1, 28, 28}), rng);
+    for (auto _ : state) {
+        Tensor y = net->forward(x, nn::Mode::kEval);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_LeNetInference);
+
+void
+BM_KsgEstimate(benchmark::State& state)
+{
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    Rng rng(6);
+    Tensor x = Tensor::normal(Shape({n, 2}), rng);
+    Tensor y = Tensor::normal(Shape({n, 2}), rng);
+    info::KsgMiEstimator ksg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ksg.estimate(x, y));
+    }
+}
+BENCHMARK(BM_KsgEstimate)->Arg(256)->Arg(512);
+
+void
+BM_HistogramMi(benchmark::State& state)
+{
+    Rng rng(7);
+    std::vector<float> x(4096), y(4096);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.normal();
+        y[i] = 0.5f * x[i] + rng.normal();
+    }
+    info::HistogramMiEstimator hist;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hist.estimate(x, y));
+    }
+}
+BENCHMARK(BM_HistogramMi);
+
+void
+BM_DimwiseMi(benchmark::State& state)
+{
+    Rng rng(8);
+    Tensor x = Tensor::normal(Shape({256, 64}), rng);
+    Tensor a = Tensor::normal(Shape({256, 128}), rng);
+    info::DimwiseMiEstimator est;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(est.estimate(x, a));
+    }
+}
+BENCHMARK(BM_DimwiseMi);
+
+void
+BM_NoiseApply(benchmark::State& state)
+{
+    Rng rng(9);
+    core::NoiseInit init;
+    core::NoiseTensor noise(Shape({120, 1, 1}), init);
+    Tensor act = Tensor::normal(Shape({32, 120, 1, 1}), rng);
+    for (auto _ : state) {
+        Tensor out = noise.apply(act);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_NoiseApply);
+
+void
+BM_ChannelRoundTrip(benchmark::State& state)
+{
+    Rng rng(10);
+    Tensor t = Tensor::normal(Shape({1, 64, 8, 8}), rng);
+    for (auto _ : state) {
+        split::QuantizingChannel ch;
+        ch.send(t);
+        Tensor u = ch.receive();
+        benchmark::DoNotOptimize(u.data());
+    }
+    state.SetBytesProcessed(state.iterations() * t.size() *
+                            static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_ChannelRoundTrip);
+
+void
+BM_LaplaceSampling(benchmark::State& state)
+{
+    Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.laplace(0.0f, 1.0f));
+    }
+}
+BENCHMARK(BM_LaplaceSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

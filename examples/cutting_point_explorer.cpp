@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cutting-point exploration CLI (the paper's §3.4 analysis as a tool).
+ *
+ * For every convolution cutting point of a chosen network, prints the
+ * edge computation, communication bytes, their product (the paper's
+ * cost figure of merit) and the ex-vivo privacy of the *clean*
+ * activation at that depth, then reports which cut the cost model
+ * would pick.
+ *
+ * Build & run:  ./build/examples/cutting_point_explorer [lenet|cifar|svhn|alexnet]
+ */
+#include <cstdio>
+#include <string>
+
+#include "src/shredder/shredder.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace shredder;
+    const std::string name = argc > 1 ? argv[1] : "lenet";
+
+    models::Benchmark bench = models::make_benchmark(name);
+    split::CostModel cost_model(*bench.net, bench.input_shape);
+
+    core::MeterConfig meter_cfg;
+    meter_cfg.mi.max_dims = 96;
+    meter_cfg.accuracy_samples = 128;
+    meter_cfg.mi_samples = 256;
+
+    std::printf("cutting points of '%s' (input %s)\n", name.c_str(),
+                bench.input_shape.to_string().c_str());
+    std::printf("%-8s %-6s %14s %12s %14s %10s %10s\n", "conv", "cut",
+                "edge KMAC", "comm KB", "KMAC*MB cost", "MI bits",
+                "1/MI");
+
+    int conv_index = 0;
+    for (std::int64_t cut : bench.conv_cuts) {
+        const split::CutCost cost = cost_model.evaluate(cut);
+
+        split::SplitModel model(*bench.net, cut);
+        core::PrivacyMeter meter(model, *bench.test_set, meter_cfg);
+        const core::PrivacyReport clean = meter.measure_clean();
+
+        std::printf("Conv%-4d %-6lld %14.1f %12.1f %14.4f %10.2f %10.4f\n",
+                    conv_index, static_cast<long long>(cut),
+                    cost.edge_macs / 1e3, cost.comm_bytes / 1e3,
+                    cost.kilomac_mb, clean.mi_bits, clean.ex_vivo);
+        ++conv_index;
+    }
+
+    const std::int64_t best =
+        cost_model.best_cut(bench.conv_cuts, /*margin=*/0.05);
+    std::printf("\ncost model picks cut %lld "
+                "(deepest within 5%% of the cheapest cost)\n",
+                static_cast<long long>(best));
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Noise-distribution demo (paper §2.5).
+ *
+ * Trains several noise tensors from independent Laplace
+ * initializations, persists the collection to disk, reloads it, fits
+ * the per-element noise distribution and contrasts the three
+ * deployment options:
+ *
+ *   fixed   — replay a single tensor on every query,
+ *   replay  — draw one of the stored tensors per query (the paper),
+ *   sampled — draw fresh noise from the fitted distribution per query.
+ *
+ * Build & run:  ./build/examples/noise_sampling_demo
+ */
+#include <cstdio>
+#include <filesystem>
+
+#include "src/shredder/shredder.h"
+
+int
+main()
+{
+    using namespace shredder;
+
+    models::Benchmark bench = models::make_benchmark("lenet");
+    split::SplitModel model(*bench.net, bench.last_conv_cut);
+
+    // Train the collection: each run is one sample of the noise
+    // distribution.
+    core::NoiseCollection collection;
+    for (int s = 0; s < 4; ++s) {
+        core::NoiseTrainConfig cfg;
+        cfg.iterations = 200;
+        cfg.batch_size = 16;
+        cfg.init.scale = 2.0f;
+        cfg.lambda.initial_lambda = 5e-3f;
+        cfg.lambda.privacy_target = 2.0;
+        cfg.seed = 900 + static_cast<std::uint64_t>(s) * 101;
+        core::NoiseTrainer trainer(model, *bench.train_set, cfg);
+        auto result = trainer.train();
+        std::printf("sample %d: 1/SNR=%.2f, last-batch accuracy=%.2f%%, "
+                    "%.2f epochs\n",
+                    s, result.final_in_vivo,
+                    100.0 * result.final_batch_accuracy, result.epochs);
+        core::NoiseSample sample;
+        sample.noise = std::move(result.noise);
+        sample.in_vivo_privacy = result.final_in_vivo;
+        sample.train_accuracy = result.final_batch_accuracy;
+        collection.add(std::move(sample));
+    }
+
+    // Persist and reload, as a deployment would.
+    const std::string path = ".cache/lenet_noise_collection.bin";
+    std::filesystem::create_directories(".cache");
+    collection.save(path);
+    const core::NoiseCollection loaded = core::NoiseCollection::load(path);
+    std::printf("\ncollection saved to %s and reloaded (%lld tensors)\n",
+                path.c_str(), static_cast<long long>(loaded.size()));
+
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(loaded);
+    std::printf("fitted Laplace distribution: mean|location|=%.3f, "
+                "mean scale=%.3f, implied noise variance=%.3f\n",
+                dist.location().abs_sum() / dist.location().size(),
+                dist.scale().mean(), dist.mean_variance());
+
+    // Contrast the deployment options.
+    core::MeterConfig mc;
+    mc.mi.max_dims = 128;
+    mc.accuracy_samples = 512;
+    mc.mi_samples = 384;
+    core::PrivacyMeter meter(model, *bench.test_set, mc);
+
+    const auto clean = meter.measure_clean();
+    const auto fixed = meter.measure_fixed(loaded.get(0).noise);
+    const auto replay = meter.measure_replay(loaded);
+    const auto sampled = meter.measure_distribution(dist);
+
+    std::printf("\n%-28s %10s %12s\n", "mode", "MI (bits)", "accuracy");
+    std::printf("%-28s %10.2f %11.2f%%\n", "clean (no noise)",
+                clean.mi_bits, 100.0 * clean.accuracy);
+    std::printf("%-28s %10.2f %11.2f%%\n", "fixed single tensor",
+                fixed.mi_bits, 100.0 * fixed.accuracy);
+    std::printf("%-28s %10.2f %11.2f%%\n", "replay from collection",
+                replay.mi_bits, 100.0 * replay.accuracy);
+    std::printf("%-28s %10.2f %11.2f%%\n", "sampled from distribution",
+                sampled.mi_bits, 100.0 * sampled.accuracy);
+
+    std::printf("\nreplay keeps accuracy because every stored tensor was "
+                "trained to convergence;\nsampling adds genuine per-query "
+                "randomness (stronger privacy, lower accuracy).\n");
+    return 0;
+}

@@ -1,0 +1,216 @@
+#include "src/attacks/reconstruction.h"
+
+#include <cmath>
+
+#include "src/core/noise_tensor.h"
+#include "src/data/dataloader.h"
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/extras.h"
+#include "src/nn/flatten.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/runtime/logging.h"
+#include "src/tensor/ops.h"
+
+namespace shredder {
+namespace attacks {
+
+namespace {
+
+using nn::Mode;
+
+/** Apply per-query noise from a collection to a batch activation. */
+Tensor
+apply_noise(const Tensor& activation, const core::NoiseCollection* col,
+            std::int64_t per_sample, Rng& rng)
+{
+    if (col == nullptr) {
+        return activation;
+    }
+    Tensor noisy = activation;
+    const std::int64_t batch = activation.size() / per_sample;
+    float* p = noisy.data();
+    for (std::int64_t i = 0; i < batch; ++i) {
+        const float* n = col->draw(rng).noise.data();
+        float* row = p + i * per_sample;
+        for (std::int64_t j = 0; j < per_sample; ++j) {
+            row[j] += n[j];
+        }
+    }
+    return noisy;
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential>
+make_decoder(const Shape& act_chw, const Shape& img_chw, Rng& rng)
+{
+    SHREDDER_REQUIRE(act_chw.rank() == 3 && img_chw.rank() == 3,
+                     "decoder wants CHW shapes");
+    auto dec = std::make_unique<nn::Sequential>();
+
+    // Stage 0: if the activation is spatially tiny (e.g. 120×1×1),
+    // expand it with a linear layer to an 8×h'×w' seed map whose size
+    // divides the image evenly after doublings.
+    std::int64_t c = act_chw[0], h = act_chw[1], w = act_chw[2];
+    const std::int64_t target_h = img_chw[1], target_w = img_chw[2];
+    if (h < 4 || w < 4) {
+        const std::int64_t seed_h = std::max<std::int64_t>(4, target_h / 8);
+        const std::int64_t seed_w = std::max<std::int64_t>(4, target_w / 8);
+        dec->emplace<nn::Flatten>();
+        dec->emplace<nn::Linear>(c * h * w, 16 * seed_h * seed_w, rng);
+        dec->emplace<nn::ReLU>();
+        // Reshape back to a map via a 1×1 "conv" trick: Flatten keeps
+        // batch rows, so we insert a reshape layer.
+        struct Reshape final : nn::Layer
+        {
+            Shape chw;
+            explicit Reshape(Shape s) : chw(std::move(s)) {}
+            Tensor
+            forward(const Tensor& x, Mode) override
+            {
+                in_shape = x.shape();
+                return x.reshaped(Shape(
+                    {x.shape()[0], chw[0], chw[1], chw[2]}));
+            }
+            Tensor
+            backward(const Tensor& g) override
+            {
+                return g.reshaped(in_shape);
+            }
+            std::string kind() const override { return "reshape"; }
+            Shape
+            output_shape(const Shape& in) const override
+            {
+                return Shape({in[0], chw[0], chw[1], chw[2]});
+            }
+            Shape in_shape;
+        };
+        dec->add(std::make_unique<Reshape>(Shape({16, seed_h, seed_w})));
+        c = 16;
+        h = seed_h;
+        w = seed_w;
+    }
+
+    // Upsample+conv stages until the spatial size reaches the image.
+    while (h < target_h || w < target_w) {
+        dec->emplace<nn::Upsample2x>();
+        h *= 2;
+        w *= 2;
+        nn::Conv2dConfig cfg;
+        cfg.in_channels = c;
+        cfg.out_channels = std::max<std::int64_t>(8, c / 2);
+        cfg.kernel = 3;
+        cfg.padding = 1;
+        dec->emplace<nn::Conv2d>(cfg, rng);
+        dec->emplace<nn::LeakyReLU>(0.1f);
+        c = cfg.out_channels;
+        SHREDDER_REQUIRE(h <= 4 * target_h, "decoder failed to converge "
+                         "on the image size");
+    }
+
+    // Doubling can overshoot non-power-of-two image extents: crop.
+    if (h > target_h || w > target_w) {
+        dec->emplace<nn::Crop2d>(target_h, target_w);
+        h = target_h;
+        w = target_w;
+    }
+
+    // Final projection to image channels, sigmoid into [0, 1].
+    nn::Conv2dConfig out_cfg;
+    out_cfg.in_channels = c;
+    out_cfg.out_channels = img_chw[0];
+    out_cfg.kernel = 3;
+    out_cfg.padding = 1;
+    dec->emplace<nn::Conv2d>(out_cfg, rng);
+    dec->emplace<nn::Sigmoid>();
+    return dec;
+}
+
+AttackReport
+run_reconstruction_attack(split::SplitModel& model,
+                          const data::Dataset& train_set,
+                          const data::Dataset& eval_set,
+                          const core::NoiseCollection* collection,
+                          const AttackConfig& config)
+{
+    Rng rng(config.seed);
+    const Shape img = train_set.image_shape();
+    const Shape act_batched = model.activation_shape(img);
+    Shape act_chw;
+    if (act_batched.rank() == 4) {
+        act_chw = Shape({act_batched[1], act_batched[2], act_batched[3]});
+    } else {
+        act_chw = Shape({act_batched[1], 1, 1});
+    }
+    const std::int64_t per_sample = act_chw.numel();
+
+    auto decoder = make_decoder(act_chw, img, rng);
+
+    // Crop/pad note: the decoder output may overshoot the image size
+    // when the image extent is not a power-of-two multiple of the
+    // seed; we require exact match (true for all zoo networks).
+    const Shape out = decoder->output_shape(
+        Shape({1, act_chw[0], act_chw[1], act_chw[2]}));
+    SHREDDER_REQUIRE(out[2] == img[1] && out[3] == img[2],
+                     "decoder output ", out.to_string(),
+                     " does not match image ", img.to_string());
+
+    nn::Adam optimizer(decoder->parameters(), config.learning_rate);
+    nn::MseLoss mse;
+    data::DataLoader loader(train_set, config.batch_size, true, rng);
+
+    double last_mse = 0.0;
+    for (int it = 0; it < config.iterations; ++it) {
+        auto batch = loader.next();
+        if (!batch) {
+            loader.reset();
+            batch = loader.next();
+        }
+        const Tensor activation =
+            model.edge_forward(batch->images, Mode::kEval);
+        Tensor observed =
+            apply_noise(activation, collection, per_sample, rng);
+        if (act_batched.rank() == 2) {
+            observed.reshape_inplace(Shape(
+                {observed.shape()[0], act_chw[0], 1, 1}));
+        }
+
+        optimizer.zero_grad();
+        const Tensor recon = decoder->forward(observed, Mode::kTrain);
+        const nn::LossResult loss = mse.compute(recon, batch->images);
+        decoder->backward(loss.grad);
+        optimizer.step();
+        last_mse = loss.value;
+        if (config.verbose && it % 50 == 0) {
+            inform("attack it ", it, ": mse=", loss.value);
+        }
+    }
+
+    // Held-out reconstruction quality.
+    const std::int64_t eval_count =
+        std::min(config.eval_samples, eval_set.size());
+    const data::Batch eval = data::materialize(eval_set, 0, eval_count);
+    const Tensor activation = model.edge_forward(eval.images, Mode::kEval);
+    Tensor observed = apply_noise(activation, collection, per_sample, rng);
+    if (act_batched.rank() == 2) {
+        observed.reshape_inplace(
+            Shape({observed.shape()[0], act_chw[0], 1, 1}));
+    }
+    const Tensor recon = decoder->forward(observed, Mode::kEval);
+
+    AttackReport report;
+    report.train_mse = last_mse;
+    report.eval_mse = ops::mse(recon, eval.images);
+    // Images live in [0, 1] so MAX = 1 and PSNR = −10·log10(MSE).
+    report.eval_psnr_db =
+        report.eval_mse > 0.0 ? -10.0 * std::log10(report.eval_mse)
+                              : 99.0;
+    report.decoder_params = decoder->num_parameters();
+    return report;
+}
+
+}  // namespace attacks
+}  // namespace shredder

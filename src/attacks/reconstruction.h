@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Input-reconstruction attack — an empirical adversary that validates
+ * the privacy claim from the attacker's side.
+ *
+ * Mutual information bounds what *any* adversary can learn; this
+ * module instantiates a concrete one: a decoder network trained to
+ * invert the transmitted activation back into the input image (the
+ * standard split-inference inversion attack, cf. the autoencoder
+ * obfuscation discussion in the paper's related work). Shredder is
+ * effective iff the decoder's reconstruction quality collapses when
+ * the noise is applied while staying high on clean activations.
+ *
+ * The attacker is given everything a curious cloud would have: the
+ * remote network, the activation stream, and (worst case) a training
+ * set of (activation, input) pairs to fit the decoder on.
+ */
+#ifndef SHREDDER_ATTACKS_RECONSTRUCTION_H
+#define SHREDDER_ATTACKS_RECONSTRUCTION_H
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/noise_collection.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/split/split_model.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace attacks {
+
+/** Attack-training knobs. */
+struct AttackConfig
+{
+    int iterations = 300;          ///< Decoder optimization steps.
+    std::int64_t batch_size = 16;
+    float learning_rate = 2e-3f;
+    std::int64_t eval_samples = 128;
+    std::uint64_t seed = 555;
+    bool verbose = false;
+};
+
+/** Outcome of one attack run. */
+struct AttackReport
+{
+    double train_mse = 0.0;      ///< Final decoder training MSE.
+    double eval_mse = 0.0;       ///< Reconstruction MSE on held-out data.
+    double eval_psnr_db = 0.0;   ///< PSNR (higher = better reconstruction).
+    std::int64_t decoder_params = 0;
+};
+
+/**
+ * Build a convolutional decoder that maps an activation of shape
+ * `act_chw` back to an image of shape `img_chw` (upsample + conv
+ * stages, Sigmoid output since images live in [0, 1]).
+ */
+std::unique_ptr<nn::Sequential> make_decoder(const Shape& act_chw,
+                                             const Shape& img_chw,
+                                             Rng& rng);
+
+/**
+ * Train the inversion decoder against the transmitted tensors and
+ * report reconstruction quality on held-out data.
+ *
+ * @param model       Split view of the frozen victim network.
+ * @param train_set   Attacker's (input, activation) corpus source.
+ * @param eval_set    Held-out inputs for the quality report.
+ * @param collection  Noise applied per query (nullptr = clean attack).
+ * @param config      Attack knobs.
+ */
+AttackReport run_reconstruction_attack(
+    split::SplitModel& model, const data::Dataset& train_set,
+    const data::Dataset& eval_set,
+    const core::NoiseCollection* collection, const AttackConfig& config);
+
+}  // namespace attacks
+}  // namespace shredder
+
+#endif  // SHREDDER_ATTACKS_RECONSTRUCTION_H

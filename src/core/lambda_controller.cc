@@ -1,0 +1,43 @@
+#include "src/core/lambda_controller.h"
+
+#include <algorithm>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace core {
+
+LambdaController::LambdaController(const LambdaSchedule& schedule)
+    : schedule_(schedule), lambda_(schedule.initial_lambda)
+{
+    SHREDDER_REQUIRE(schedule.initial_lambda >= 0.0f,
+                     "initial lambda must be >= 0");
+    SHREDDER_REQUIRE(schedule.decay > 0.0f && schedule.decay < 1.0f,
+                     "lambda decay must be in (0, 1)");
+    SHREDDER_REQUIRE(schedule.patience >= 1, "patience must be >= 1");
+}
+
+float
+LambdaController::observe(double in_vivo_privacy)
+{
+    if (schedule_.privacy_target <= 0.0) {
+        return lambda_;  // decay disabled
+    }
+    if (in_vivo_privacy >= schedule_.privacy_target) {
+        if (++above_streak_ >= schedule_.patience) {
+            const float next =
+                std::max(schedule_.min_lambda, lambda_ * schedule_.decay);
+            if (next < lambda_) {
+                lambda_ = next;
+                ++decays_;
+            }
+            above_streak_ = 0;
+        }
+    } else {
+        above_streak_ = 0;
+    }
+    return lambda_;
+}
+
+}  // namespace core
+}  // namespace shredder

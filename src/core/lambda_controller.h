@@ -1,0 +1,64 @@
+/**
+ * @file
+ * λ decay controller (paper §3.2).
+ *
+ * "When the in vivo notion of privacy reaches a certain desired level,
+ * λ is decayed to stabilize privacy and facilitate the learning
+ * process." This controller watches the in-vivo privacy (1/SNR)
+ * observed each iteration and multiplies λ by `decay` whenever the
+ * target is met, down to a floor.
+ */
+#ifndef SHREDDER_CORE_LAMBDA_CONTROLLER_H
+#define SHREDDER_CORE_LAMBDA_CONTROLLER_H
+
+#include <cstdint>
+
+namespace shredder {
+namespace core {
+
+/** Schedule parameters for λ. */
+struct LambdaSchedule
+{
+    float initial_lambda = 1e-3f;
+    /** In-vivo privacy (1/SNR) at which decay kicks in; 0 disables. */
+    double privacy_target = 0.0;
+    /** Multiplicative decay applied when the target is met. */
+    float decay = 0.1f;
+    /** λ never decays below this floor. */
+    float min_lambda = 1e-6f;
+    /** Consecutive above-target observations required per decay. */
+    int patience = 3;
+};
+
+/** See file comment. */
+class LambdaController
+{
+  public:
+    explicit LambdaController(const LambdaSchedule& schedule);
+
+    /** Current λ. */
+    float lambda() const { return lambda_; }
+
+    /** True once at least one decay has fired. */
+    bool stabilized() const { return decays_ > 0; }
+
+    /** Number of decays applied so far. */
+    int decays() const { return decays_; }
+
+    /**
+     * Feed one in-vivo privacy observation; returns the (possibly
+     * decayed) λ to use next.
+     */
+    float observe(double in_vivo_privacy);
+
+  private:
+    LambdaSchedule schedule_;
+    float lambda_;
+    int above_streak_ = 0;
+    int decays_ = 0;
+};
+
+}  // namespace core
+}  // namespace shredder
+
+#endif  // SHREDDER_CORE_LAMBDA_CONTROLLER_H

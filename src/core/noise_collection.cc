@@ -1,0 +1,109 @@
+#include "src/core/noise_collection.h"
+
+#include <fstream>
+
+#include "src/runtime/logging.h"
+#include "src/tensor/serialize.h"
+
+namespace shredder {
+namespace core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c4f4353;  // 'SCOL'
+
+}  // namespace
+
+void
+NoiseCollection::add(NoiseSample sample)
+{
+    if (!samples_.empty()) {
+        SHREDDER_REQUIRE(sample.noise.shape() ==
+                             samples_.front().noise.shape(),
+                         "noise sample shape mismatch: ",
+                         sample.noise.shape().to_string(), " vs ",
+                         samples_.front().noise.shape().to_string());
+    }
+    samples_.push_back(std::move(sample));
+}
+
+const NoiseSample&
+NoiseCollection::get(std::int64_t i) const
+{
+    SHREDDER_CHECK(i >= 0 && i < size(), "sample index ", i, " out of ",
+                   size());
+    return samples_[static_cast<std::size_t>(i)];
+}
+
+const Shape&
+NoiseCollection::noise_shape() const
+{
+    SHREDDER_CHECK(!samples_.empty(), "noise_shape of empty collection");
+    return samples_.front().noise.shape();
+}
+
+const NoiseSample&
+NoiseCollection::draw(Rng& rng) const
+{
+    SHREDDER_REQUIRE(!samples_.empty(), "draw from empty noise collection");
+    return samples_[static_cast<std::size_t>(rng.randint(0, size() - 1))];
+}
+
+double
+NoiseCollection::mean_in_vivo_privacy() const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (const auto& sample : samples_) {
+        s += sample.in_vivo_privacy;
+    }
+    return s / static_cast<double>(samples_.size());
+}
+
+void
+NoiseCollection::save(const std::string& path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    SHREDDER_REQUIRE(os.good(), "cannot open for write: ", path);
+    os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    const auto count = static_cast<std::uint32_t>(samples_.size());
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& s : samples_) {
+        write_tensor(os, s.noise);
+        os.write(reinterpret_cast<const char*>(&s.in_vivo_privacy),
+                 sizeof(s.in_vivo_privacy));
+        os.write(reinterpret_cast<const char*>(&s.train_accuracy),
+                 sizeof(s.train_accuracy));
+    }
+    SHREDDER_REQUIRE(os.good(), "write failed: ", path);
+}
+
+NoiseCollection
+NoiseCollection::load(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    SHREDDER_REQUIRE(is.good(), "cannot open: ", path);
+    std::uint32_t magic = 0;
+    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    SHREDDER_REQUIRE(magic == kMagic, "bad collection magic in ", path);
+    std::uint32_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    NoiseCollection out;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        NoiseSample s;
+        s.noise = read_tensor(is);
+        is.read(reinterpret_cast<char*>(&s.in_vivo_privacy),
+                sizeof(s.in_vivo_privacy));
+        is.read(reinterpret_cast<char*>(&s.train_accuracy),
+                sizeof(s.train_accuracy));
+        SHREDDER_REQUIRE(static_cast<bool>(is), "truncated collection: ",
+                         path);
+        out.add(std::move(s));
+    }
+    return out;
+}
+
+}  // namespace core
+}  // namespace shredder

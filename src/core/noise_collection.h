@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Noise-distribution sampling (paper §2.5).
+ *
+ * The noise training run is repeated from independent initializations;
+ * each converged tensor is a *sample from a distribution of noise
+ * tensors* with similar accuracy and noise levels. The collection
+ * stores those samples, and at inference time one is drawn per query —
+ * no training happens in the deployment path.
+ */
+#ifndef SHREDDER_CORE_NOISE_COLLECTION_H
+#define SHREDDER_CORE_NOISE_COLLECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace core {
+
+/** One converged noise tensor plus its training metadata. */
+struct NoiseSample
+{
+    Tensor noise;
+    double in_vivo_privacy = 0.0;  ///< 1/SNR when training finished.
+    double train_accuracy = 0.0;   ///< Batch accuracy when finished.
+};
+
+/** A set of interchangeable noise samples — the learned distribution. */
+class NoiseCollection
+{
+  public:
+    NoiseCollection() = default;
+
+    /** Add one converged sample. */
+    void add(NoiseSample sample);
+
+    /** Number of stored samples. */
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(samples_.size());
+    }
+
+    bool empty() const { return samples_.empty(); }
+
+    /** Borrow sample `i`. */
+    const NoiseSample& get(std::int64_t i) const;
+
+    /** Shape of the stored noise tensors. */
+    const Shape& noise_shape() const;
+
+    /** Draw one sample uniformly at random (the inference-time path). */
+    const NoiseSample& draw(Rng& rng) const;
+
+    /** Mean of stored in-vivo privacy values. */
+    double mean_in_vivo_privacy() const;
+
+    /** Persist to a binary file. */
+    void save(const std::string& path) const;
+
+    /** Load a collection persisted by `save`. */
+    static NoiseCollection load(const std::string& path);
+
+  private:
+    std::vector<NoiseSample> samples_;
+};
+
+}  // namespace core
+}  // namespace shredder
+
+#endif  // SHREDDER_CORE_NOISE_COLLECTION_H

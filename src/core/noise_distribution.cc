@@ -1,0 +1,94 @@
+#include "src/core/noise_distribution.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace core {
+
+NoiseDistribution::NoiseDistribution(NoiseFamily family, Tensor location,
+                                     Tensor scale)
+    : family_(family), location_(std::move(location)),
+      scale_(std::move(scale))
+{}
+
+NoiseDistribution
+NoiseDistribution::fit(const NoiseCollection& collection, NoiseFamily family,
+                       float scale_floor)
+{
+    SHREDDER_REQUIRE(!collection.empty(),
+                     "cannot fit a distribution to an empty collection");
+    const Shape shape = collection.noise_shape();
+    const std::int64_t numel = shape.numel();
+    const std::int64_t k = collection.size();
+
+    Tensor location(shape);
+    Tensor scale(shape);
+    float* ploc = location.data();
+    float* pscale = scale.data();
+
+    for (std::int64_t i = 0; i < numel; ++i) {
+        double mean = 0.0;
+        for (std::int64_t s = 0; s < k; ++s) {
+            mean += collection.get(s).noise[i];
+        }
+        mean /= static_cast<double>(k);
+        ploc[i] = static_cast<float>(mean);
+
+        double spread = 0.0;
+        for (std::int64_t s = 0; s < k; ++s) {
+            const double d = collection.get(s).noise[i] - mean;
+            spread += family == NoiseFamily::kLaplace ? std::abs(d) : d * d;
+        }
+        spread /= static_cast<double>(k);
+        pscale[i] = static_cast<float>(
+            family == NoiseFamily::kLaplace ? spread : std::sqrt(spread));
+    }
+
+    // Scale floor: a fraction of the mean |location| keeps degenerate
+    // fits (k == 1, or identical samples) stochastic.
+    const double mean_abs_loc = location.abs_sum() /
+                                static_cast<double>(std::max<std::int64_t>(
+                                    1, numel));
+    const float floor =
+        static_cast<float>(scale_floor * std::max(1e-3, mean_abs_loc));
+    for (std::int64_t i = 0; i < numel; ++i) {
+        pscale[i] = std::max(pscale[i], floor);
+    }
+    return NoiseDistribution(family, std::move(location), std::move(scale));
+}
+
+Tensor
+NoiseDistribution::sample(Rng& rng) const
+{
+    Tensor out(location_.shape());
+    float* po = out.data();
+    const float* ploc = location_.data();
+    const float* pscale = scale_.data();
+    for (std::int64_t i = 0; i < out.size(); ++i) {
+        if (family_ == NoiseFamily::kLaplace) {
+            po[i] = rng.laplace(ploc[i], std::max(1e-9f, pscale[i]));
+        } else {
+            po[i] = rng.normal(ploc[i], pscale[i]);
+        }
+    }
+    return out;
+}
+
+double
+NoiseDistribution::mean_variance() const
+{
+    // Mixture over elements: E[var] per family.
+    double acc = 0.0;
+    const float* pscale = scale_.data();
+    for (std::int64_t i = 0; i < scale_.size(); ++i) {
+        const double b = pscale[i];
+        acc += family_ == NoiseFamily::kLaplace ? 2.0 * b * b : b * b;
+    }
+    return scale_.size() > 0 ? acc / static_cast<double>(scale_.size())
+                             : 0.0;
+}
+
+}  // namespace core
+}  // namespace shredder

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The fitted noise distribution (paper §2.5).
+ *
+ * After enough converged noise tensors are collected, Shredder has
+ * "the distribution for the noise tensor" and each inference samples
+ * from it. This class fits an independent per-element distribution
+ * (Laplace by default, matching the initialization family) to a
+ * `NoiseCollection` and draws fresh tensors from it.
+ *
+ * The distinction matters for privacy: re-using one *fixed* converged
+ * tensor is a deterministic, invertible transform of the activation —
+ * it cannot reduce true mutual information. Only the per-query
+ * randomness of sampling destroys information, which is exactly why
+ * the paper's deployment phase samples rather than replays.
+ */
+#ifndef SHREDDER_CORE_NOISE_DISTRIBUTION_H
+#define SHREDDER_CORE_NOISE_DISTRIBUTION_H
+
+#include "src/core/noise_collection.h"
+#include "src/tensor/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace core {
+
+/** Parametric family of the fitted per-element distribution. */
+enum class NoiseFamily {
+    kLaplace,   ///< location = mean, scale = mean |n − µ| (MLE).
+    kGaussian,  ///< location = mean, scale = stddev.
+};
+
+/** See file comment. */
+class NoiseDistribution
+{
+  public:
+    /**
+     * Fit an independent per-element distribution to the collection.
+     *
+     * @param collection  ≥ 1 converged noise tensors (≥ 2 for a
+     *                    non-degenerate scale).
+     * @param family      Parametric family.
+     * @param scale_floor Minimum per-element scale, as a fraction of
+     *                    the mean |location| — keeps single-sample or
+     *                    degenerate fits from collapsing to a
+     *                    deterministic (privacy-free) transform.
+     */
+    static NoiseDistribution fit(const NoiseCollection& collection,
+                                 NoiseFamily family = NoiseFamily::kLaplace,
+                                 float scale_floor = 0.05f);
+
+    /** Draw one fresh noise tensor. */
+    Tensor sample(Rng& rng) const;
+
+    /** Per-element location parameters. */
+    const Tensor& location() const { return location_; }
+
+    /** Per-element scale parameters. */
+    const Tensor& scale() const { return scale_; }
+
+    NoiseFamily family() const { return family_; }
+
+    /** Mean noise variance implied by the fit (for SNR accounting). */
+    double mean_variance() const;
+
+  private:
+    NoiseDistribution(NoiseFamily family, Tensor location, Tensor scale);
+
+    NoiseFamily family_;
+    Tensor location_;
+    Tensor scale_;
+};
+
+}  // namespace core
+}  // namespace shredder
+
+#endif  // SHREDDER_CORE_NOISE_DISTRIBUTION_H

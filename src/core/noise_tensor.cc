@@ -1,0 +1,61 @@
+#include "src/core/noise_tensor.h"
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace core {
+
+NoiseTensor::NoiseTensor(const Shape& sample_shape, const NoiseInit& init)
+{
+    Rng rng(init.seed);
+    param_ = nn::Parameter(
+        "shredder.noise",
+        Tensor::laplace(sample_shape, rng, init.location, init.scale));
+}
+
+NoiseTensor::NoiseTensor(Tensor value)
+{
+    param_ = nn::Parameter("shredder.noise", std::move(value));
+}
+
+Tensor
+NoiseTensor::apply(const Tensor& batch_activation) const
+{
+    const std::int64_t per_sample = param_.value.size();
+    SHREDDER_REQUIRE(batch_activation.shape().rank() >= 1 &&
+                         batch_activation.size() % per_sample == 0,
+                     "activation ", batch_activation.shape().to_string(),
+                     " incompatible with noise of ", per_sample,
+                     " elements");
+    const std::int64_t batch = batch_activation.size() / per_sample;
+    Tensor out = batch_activation;
+    float* po = out.data();
+    const float* pn = param_.value.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+        float* row = po + n * per_sample;
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+            row[i] += pn[i];
+        }
+    }
+    return out;
+}
+
+void
+NoiseTensor::accumulate_grad(const Tensor& batch_grad)
+{
+    const std::int64_t per_sample = param_.value.size();
+    SHREDDER_REQUIRE(batch_grad.size() % per_sample == 0,
+                     "gradient incompatible with noise shape");
+    const std::int64_t batch = batch_grad.size() / per_sample;
+    float* pg = param_.grad.data();
+    const float* pb = batch_grad.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* row = pb + n * per_sample;
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+            pg[i] += row[i];
+        }
+    }
+}
+
+}  // namespace core
+}  // namespace shredder

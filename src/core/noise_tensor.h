@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The trainable additive noise tensor — Shredder's only learnable
+ * object (paper §2.1, §2.4).
+ *
+ * The noise has the shape of one activation sample at the cutting
+ * point and is initialized from a Laplace(µ, b) distribution. During
+ * training it is broadcast-added across the batch; its gradient is the
+ * batch-sum of the activation gradients (∂(a+n)/∂n = 1).
+ */
+#ifndef SHREDDER_CORE_NOISE_TENSOR_H
+#define SHREDDER_CORE_NOISE_TENSOR_H
+
+#include <cstdint>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace core {
+
+/** Laplace initialization hyper-parameters (paper §2.4). */
+struct NoiseInit
+{
+    float location = 0.0f;  ///< µ.
+    float scale = 1.0f;     ///< b (variance is 2b²).
+    std::uint64_t seed = 1234;
+};
+
+/** See file comment. */
+class NoiseTensor
+{
+  public:
+    /**
+     * @param sample_shape  Shape of one activation sample (no batch
+     *                      dimension).
+     * @param init          Laplace initialization parameters.
+     */
+    NoiseTensor(const Shape& sample_shape, const NoiseInit& init);
+
+    /** Construct from an existing noise value (e.g. a stored sample). */
+    explicit NoiseTensor(Tensor value);
+
+    /** The underlying trainable parameter (for the optimizer). */
+    nn::Parameter& param() { return param_; }
+    const nn::Parameter& param() const { return param_; }
+
+    /** Current noise value. */
+    const Tensor& value() const { return param_.value; }
+
+    /** Number of trainable scalars. */
+    std::int64_t size() const { return param_.value.size(); }
+
+    /** Shape of one activation sample. */
+    const Shape& sample_shape() const { return param_.value.shape(); }
+
+    /**
+     * a′ = a + n with n broadcast over the batch (dim 0 of
+     * `batch_activation`).
+     */
+    Tensor apply(const Tensor& batch_activation) const;
+
+    /**
+     * Accumulate ∂loss/∂n from the batch gradient at the cut:
+     * grad(n) += Σ_batch grad_a′.
+     */
+    void accumulate_grad(const Tensor& batch_grad);
+
+  private:
+    nn::Parameter param_;
+};
+
+}  // namespace core
+}  // namespace shredder
+
+#endif  // SHREDDER_CORE_NOISE_TENSOR_H

@@ -1,0 +1,80 @@
+#include "src/core/pipeline.h"
+
+#include "src/runtime/logging.h"
+#include "src/split/split_model.h"
+
+namespace shredder {
+namespace core {
+
+PipelineResult
+run_pipeline(const std::string& name, nn::Sequential& net,
+             const data::Dataset& train_set, const data::Dataset& test_set,
+             std::int64_t cut, const PipelineConfig& config)
+{
+    SHREDDER_REQUIRE(config.noise_samples >= 1,
+                     "pipeline needs >= 1 noise sample");
+    split::SplitModel model(net, cut);
+
+    PipelineResult result;
+    result.name = name;
+
+    // Baseline (original execution): accuracy and Î(x; a).
+    PrivacyMeter meter(model, test_set, config.meter);
+    const PrivacyReport clean = meter.measure_clean();
+    result.original_mi = clean.mi_bits;
+    result.baseline_accuracy = clean.accuracy;
+
+    // Learn the noise distribution: repeat training from independent
+    // initializations (paper §2.5) and collect the converged tensors.
+    double epochs_total = 0.0;
+    for (int s = 0; s < config.noise_samples; ++s) {
+        NoiseTrainConfig tc = config.train;
+        tc.seed = config.train.seed + static_cast<std::uint64_t>(s) * 101;
+        NoiseTrainer trainer(model, train_set, tc);
+        NoiseTrainResult tr = trainer.train();
+        epochs_total += tr.epochs;
+
+        NoiseSample sample;
+        sample.noise = std::move(tr.noise);
+        sample.in_vivo_privacy = tr.final_in_vivo;
+        sample.train_accuracy = tr.final_batch_accuracy;
+        result.collection.add(std::move(sample));
+        if (config.verbose) {
+            inform("pipeline '", name, "': noise sample ", s + 1, "/",
+                   config.noise_samples, " trained (1/SNR=",
+                   result.collection.get(s).in_vivo_privacy, ")");
+        }
+    }
+    result.epochs = epochs_total / config.noise_samples;
+
+    // Deployment measurement — the paper's §2.5 phase: each query
+    // draws one of the pre-trained noise tensors ("we just sample
+    // from pre-trained noises").
+    const PrivacyReport noisy = meter.measure_replay(result.collection);
+    result.shredded_mi = noisy.mi_bits;
+    result.noisy_accuracy = noisy.accuracy;
+    if (config.measure_distribution) {
+        const PrivacyReport dist =
+            meter.measure_sampling(result.collection);
+        result.distribution_mi = dist.mi_bits;
+        result.distribution_accuracy = dist.accuracy;
+    }
+    result.mi_loss_pct =
+        result.original_mi > 0.0
+            ? 100.0 * (1.0 - result.shredded_mi / result.original_mi)
+            : 0.0;
+    result.accuracy_loss_pct =
+        100.0 * (result.baseline_accuracy - result.noisy_accuracy);
+
+    const std::int64_t noise_params =
+        result.collection.noise_shape().numel();
+    const std::int64_t model_params = net.num_parameters();
+    result.params_ratio_pct =
+        model_params > 0 ? 100.0 * static_cast<double>(noise_params) /
+                               static_cast<double>(model_params)
+                         : 0.0;
+    return result;
+}
+
+}  // namespace core
+}  // namespace shredder

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * End-to-end Shredder pipeline: pre-trained model → cut → repeated
+ * noise training (collecting the noise distribution) → deployment-mode
+ * measurement. This is the orchestration the paper's Table 1 runs for
+ * each benchmark network.
+ */
+#ifndef SHREDDER_CORE_PIPELINE_H
+#define SHREDDER_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/noise_collection.h"
+#include "src/core/noise_trainer.h"
+#include "src/core/privacy_meter.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+
+namespace shredder {
+namespace core {
+
+/** Pipeline knobs. */
+struct PipelineConfig
+{
+    /** How many noise tensors to train (the distribution's samples). */
+    int noise_samples = 3;
+    NoiseTrainConfig train;
+    MeterConfig meter;
+    /**
+     * Also measure the distribution-sampling extension (fresh noise
+     * drawn from the fitted per-element distribution each query) in
+     * addition to the paper's replay deployment.
+     */
+    bool measure_distribution = true;
+    bool verbose = false;
+};
+
+/** Everything Table 1 reports for one network. */
+struct PipelineResult
+{
+    std::string name;
+    double original_mi = 0.0;       ///< Î(x; a), no noise.
+    double shredded_mi = 0.0;       ///< Î(x; a′), sampled noise.
+    double mi_loss_pct = 0.0;       ///< 100·(1 − shredded/original).
+    double baseline_accuracy = 0.0; ///< Clean accuracy.
+    double noisy_accuracy = 0.0;    ///< Accuracy through the noise.
+    double accuracy_loss_pct = 0.0; ///< Percentage-point drop.
+    double params_ratio_pct = 0.0;  ///< Noise params / model params.
+    double epochs = 0.0;            ///< Noise-training epochs (mean).
+    NoiseCollection collection;     ///< The learned distribution.
+    /**
+     * Extension metrics: fresh per-query sampling from the fitted
+     * distribution (true information destruction; see
+     * noise_distribution.h). Zero when measure_distribution is off.
+     */
+    double distribution_mi = 0.0;
+    double distribution_accuracy = 0.0;
+};
+
+/**
+ * Run the full pipeline on a pre-trained network.
+ *
+ * @param name       Label copied into the result.
+ * @param net        Pre-trained network (weights are frozen inside).
+ * @param train_set  Data for noise learning.
+ * @param test_set   Held-out data for measurement.
+ * @param cut        Cutting-point layer index.
+ * @param config     Pipeline knobs.
+ */
+PipelineResult run_pipeline(const std::string& name, nn::Sequential& net,
+                            const data::Dataset& train_set,
+                            const data::Dataset& test_set,
+                            std::int64_t cut,
+                            const PipelineConfig& config);
+
+}  // namespace core
+}  // namespace shredder
+
+#endif  // SHREDDER_CORE_PIPELINE_H

@@ -1,0 +1,161 @@
+#include "src/core/privacy_meter.h"
+
+#include <algorithm>
+
+#include "src/info/snr.h"
+#include "src/nn/loss.h"
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace core {
+
+PrivacyMeter::PrivacyMeter(split::SplitModel& model,
+                           const data::Dataset& test_set,
+                           const MeterConfig& config)
+    : model_(model), test_set_(test_set), config_(config)
+{
+    SHREDDER_REQUIRE(config.accuracy_samples > 0 && config.mi_samples > 0,
+                     "meter needs positive sample counts");
+}
+
+PrivacyReport
+PrivacyMeter::measure_clean()
+{
+    return measure_impl(nullptr);
+}
+
+PrivacyReport
+PrivacyMeter::measure_fixed(const Tensor& noise)
+{
+    std::function<const Tensor&(Rng&)> sampler =
+        [&noise](Rng&) -> const Tensor& { return noise; };
+    return measure_impl(&sampler);
+}
+
+PrivacyReport
+PrivacyMeter::measure_replay(const NoiseCollection& collection)
+{
+    SHREDDER_REQUIRE(!collection.empty(),
+                     "measure_replay with empty collection");
+    std::function<const Tensor&(Rng&)> sampler =
+        [&collection](Rng& rng) -> const Tensor& {
+        return collection.draw(rng).noise;
+    };
+    return measure_impl(&sampler);
+}
+
+PrivacyReport
+PrivacyMeter::measure_sampling(const NoiseCollection& collection)
+{
+    SHREDDER_REQUIRE(!collection.empty(),
+                     "measure_sampling with empty collection");
+    const NoiseDistribution dist =
+        NoiseDistribution::fit(collection, config_.family);
+    return measure_distribution(dist);
+}
+
+PrivacyReport
+PrivacyMeter::measure_distribution(const NoiseDistribution& dist)
+{
+    Tensor scratch;  // owns the last drawn tensor across calls
+    std::function<const Tensor&(Rng&)> sampler =
+        [&dist, &scratch](Rng& rng) -> const Tensor& {
+        scratch = dist.sample(rng);
+        return scratch;
+    };
+    return measure_impl(&sampler);
+}
+
+PrivacyReport
+PrivacyMeter::measure_impl(
+    const std::function<const Tensor&(Rng&)>* sampler)
+{
+    const std::int64_t total = std::min(
+        test_set_.size(),
+        std::max(config_.accuracy_samples, config_.mi_samples));
+    const std::int64_t mi_total = std::min(config_.mi_samples, total);
+    const std::int64_t acc_total =
+        std::min(config_.accuracy_samples, total);
+
+    const Shape img = test_set_.image_shape();
+    const std::int64_t dx = img.numel();
+    const Shape act_shape = model_.activation_shape(img);
+    const std::int64_t da = act_shape.numel();  // batch dim is 1 here
+
+    Tensor inputs(Shape({mi_total, dx}));
+    Tensor transmitted(Shape({mi_total, da}));
+
+    Rng rng(config_.seed);
+    double correct_weighted = 0.0;
+    std::int64_t acc_counted = 0;
+    double signal_acc = 0.0, noise_var_acc = 0.0;
+    std::int64_t snr_terms = 0;
+
+    std::int64_t done = 0;
+    while (done < total) {
+        const std::int64_t count =
+            std::min(config_.batch_size, total - done);
+        const data::Batch batch =
+            data::materialize(test_set_, done, count);
+
+        const Tensor activation =
+            model_.edge_forward(batch.images, nn::Mode::kEval);
+
+        Tensor noisy = activation;
+        if (sampler != nullptr) {
+            float* p = noisy.data();
+            for (std::int64_t i = 0; i < count; ++i) {
+                const Tensor& n = (*sampler)(rng);
+                SHREDDER_CHECK(n.size() == da,
+                               "noise size mismatch in meter");
+                const float* pn = n.data();
+                float* row = p + i * da;
+                for (std::int64_t j = 0; j < da; ++j) {
+                    row[j] += pn[j];
+                }
+                noise_var_acc += n.variance();
+                ++snr_terms;
+            }
+            signal_acc +=
+                activation.mean_square() * static_cast<double>(count);
+        }
+
+        for (std::int64_t i = 0; i < count && done + i < mi_total; ++i) {
+            const std::int64_t row = done + i;
+            std::copy(batch.images.data() + i * dx,
+                      batch.images.data() + (i + 1) * dx,
+                      inputs.data() + row * dx);
+            std::copy(noisy.data() + i * da, noisy.data() + (i + 1) * da,
+                      transmitted.data() + row * da);
+        }
+
+        if (done < acc_total) {
+            const Tensor logits =
+                model_.cloud_forward(noisy, nn::Mode::kEval);
+            correct_weighted += nn::accuracy(logits, batch.labels) *
+                                static_cast<double>(count);
+            acc_counted += count;
+        }
+        done += count;
+    }
+
+    PrivacyReport report;
+    const info::DimwiseMiEstimator estimator(config_.mi);
+    report.mi_bits = estimator.estimate(inputs, transmitted);
+    report.ex_vivo = info::ex_vivo_privacy(report.mi_bits);
+    report.accuracy =
+        acc_counted > 0
+            ? correct_weighted / static_cast<double>(acc_counted)
+            : 0.0;
+    if (snr_terms > 0 && noise_var_acc > 0.0) {
+        const double snr =
+            (signal_acc / static_cast<double>(snr_terms)) /
+            (noise_var_acc / static_cast<double>(snr_terms));
+        report.in_vivo = snr > 0.0 ? 1.0 / snr : 0.0;
+    }
+    report.samples = mi_total;
+    return report;
+}
+
+}  // namespace core
+}  // namespace shredder

@@ -1,0 +1,91 @@
+#include "src/core/shredder_loss.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace core {
+
+ShredderLoss::ShredderLoss(PrivacyTerm term, float lambda)
+    : term_(term), lambda_(lambda)
+{
+    SHREDDER_REQUIRE(lambda >= 0.0f, "lambda must be >= 0, got ", lambda);
+}
+
+void
+ShredderLoss::set_lambda(float lambda)
+{
+    SHREDDER_REQUIRE(lambda >= 0.0f, "lambda must be >= 0, got ", lambda);
+    lambda_ = lambda;
+}
+
+ShredderLossValue
+ShredderLoss::compute(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels,
+                      const Tensor& noise) const
+{
+    ShredderLossValue out;
+    nn::LossResult ce = ce_.compute(logits, labels);
+    out.cross_entropy = ce.value;
+    out.logits_grad = std::move(ce.grad);
+
+    switch (term_) {
+      case PrivacyTerm::kNone:
+        out.privacy = 0.0;
+        break;
+      case PrivacyTerm::kL1Expansion:
+        out.privacy = -static_cast<double>(lambda_) * noise.abs_sum();
+        break;
+      case PrivacyTerm::kInverseVariance: {
+        const double var = noise.variance();
+        out.privacy = var > 0.0
+                          ? static_cast<double>(lambda_) / var
+                          : 0.0;
+        break;
+      }
+    }
+    out.total = out.cross_entropy + out.privacy;
+    return out;
+}
+
+void
+ShredderLoss::add_privacy_grad(const Tensor& noise,
+                               Tensor& noise_grad) const
+{
+    SHREDDER_CHECK(noise.shape() == noise_grad.shape(),
+                   "noise/grad shape mismatch");
+    if (term_ == PrivacyTerm::kNone || lambda_ == 0.0f) {
+        return;
+    }
+    const std::int64_t n = noise.size();
+    const float* pn = noise.data();
+    float* pg = noise_grad.data();
+
+    if (term_ == PrivacyTerm::kL1Expansion) {
+        // d(−λΣ|nᵢ|)/dnᵢ = −λ·sign(nᵢ): pushes magnitudes up — the
+        // "opposite of weight decay" update of paper Eq. 3.
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float sign =
+                pn[i] > 0.0f ? 1.0f : (pn[i] < 0.0f ? -1.0f : 0.0f);
+            pg[i] -= lambda_ * sign;
+        }
+        return;
+    }
+
+    // kInverseVariance — Eq. 2:
+    // d(λ/σ²)/dnᵢ = −λ·σ⁻⁴·dσ²/dnᵢ,  dσ²/dnᵢ = 2(nᵢ−µ)/N.
+    const double var = noise.variance();
+    if (var <= 1e-12) {
+        return;
+    }
+    const double mean = noise.mean();
+    const double coeff = -2.0 * static_cast<double>(lambda_) /
+                         (var * var * static_cast<double>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        pg[i] += static_cast<float>(coeff * (pn[i] - mean));
+    }
+}
+
+}  // namespace core
+}  // namespace shredder

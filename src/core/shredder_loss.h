@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shredder's noise-training loss (paper §2.4).
+ *
+ * Two formulations are implemented:
+ *
+ *   Eq. 2:  L = CE(R(a+n), y) + λ · 1/σ²(n)     (inverse variance)
+ *   Eq. 3:  L = CE(R(a+n), y) − λ · Σᵢ|nᵢ|      (anti-decay, the one
+ *                                                the paper trains with)
+ *
+ * The cross-entropy part back-propagates through the remote network R;
+ * the privacy term contributes directly to ∂L/∂n.
+ */
+#ifndef SHREDDER_CORE_SHREDDER_LOSS_H
+#define SHREDDER_CORE_SHREDDER_LOSS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/loss.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace core {
+
+/** Which privacy regularizer the loss applies. */
+enum class PrivacyTerm {
+    kNone,             ///< Plain cross-entropy (the λ=0 / "regular" run).
+    kL1Expansion,      ///< Eq. 3: −λΣ|nᵢ| (default).
+    kInverseVariance,  ///< Eq. 2: +λ/σ²(n).
+};
+
+/** Decomposed loss value. */
+struct ShredderLossValue
+{
+    double total = 0.0;
+    double cross_entropy = 0.0;
+    double privacy = 0.0;  ///< The privacy term's contribution.
+    Tensor logits_grad;    ///< Seed for backward through R.
+};
+
+/** See file comment. */
+class ShredderLoss
+{
+  public:
+    /**
+     * @param term     Privacy regularizer variant.
+     * @param lambda   The privacy/accuracy knob λ (≥ 0).
+     */
+    ShredderLoss(PrivacyTerm term, float lambda);
+
+    /** Loss value and the cross-entropy gradient w.r.t. the logits. */
+    ShredderLossValue compute(const Tensor& logits,
+                              const std::vector<std::int64_t>& labels,
+                              const Tensor& noise) const;
+
+    /**
+     * Add the privacy term's gradient ∂(privacy)/∂n into `noise_grad`
+     * (same shape as the noise).
+     */
+    void add_privacy_grad(const Tensor& noise, Tensor& noise_grad) const;
+
+    PrivacyTerm term() const { return term_; }
+    float lambda() const { return lambda_; }
+
+    /** Update λ (used by the decay controller). */
+    void set_lambda(float lambda);
+
+  private:
+    PrivacyTerm term_;
+    float lambda_;
+    nn::CrossEntropyLoss ce_;
+};
+
+}  // namespace core
+}  // namespace shredder
+
+#endif  // SHREDDER_CORE_SHREDDER_LOSS_H

@@ -1,0 +1,298 @@
+#include "src/data/canvas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace data {
+
+namespace {
+
+float
+component(const Color& c, std::int64_t channel)
+{
+    switch (channel) {
+      case 0: return c.r;
+      case 1: return c.g;
+      default: return c.b;
+    }
+}
+
+}  // namespace
+
+Canvas::Canvas(std::int64_t channels, std::int64_t height,
+               std::int64_t width)
+    : channels_(channels), height_(height), width_(width),
+      image_(Shape({channels, height, width}))
+{
+    SHREDDER_REQUIRE(channels == 1 || channels == 3,
+                     "Canvas supports 1 or 3 channels, got ", channels);
+    SHREDDER_REQUIRE(height > 0 && width > 0, "bad canvas size");
+}
+
+void
+Canvas::set_pixel(std::int64_t y, std::int64_t x, const Color& c)
+{
+    if (y < 0 || y >= height_ || x < 0 || x >= width_) {
+        return;
+    }
+    for (std::int64_t ch = 0; ch < channels_; ++ch) {
+        channel(ch)[y * width_ + x] = component(c, ch);
+    }
+}
+
+void
+Canvas::blend_pixel(std::int64_t y, std::int64_t x, const Color& c,
+                    float alpha)
+{
+    if (y < 0 || y >= height_ || x < 0 || x >= width_ || alpha <= 0.0f) {
+        return;
+    }
+    alpha = std::min(1.0f, alpha);
+    for (std::int64_t ch = 0; ch < channels_; ++ch) {
+        float& px = channel(ch)[y * width_ + x];
+        px = px * (1.0f - alpha) + component(c, ch) * alpha;
+    }
+}
+
+void
+Canvas::fill(const Color& c)
+{
+    for (std::int64_t ch = 0; ch < channels_; ++ch) {
+        std::fill_n(channel(ch), height_ * width_, component(c, ch));
+    }
+}
+
+void
+Canvas::fill_rect(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                  std::int64_t x1, const Color& c)
+{
+    y0 = std::max<std::int64_t>(0, y0);
+    x0 = std::max<std::int64_t>(0, x0);
+    y1 = std::min(height_, y1);
+    x1 = std::min(width_, x1);
+    for (std::int64_t y = y0; y < y1; ++y) {
+        for (std::int64_t x = x0; x < x1; ++x) {
+            set_pixel(y, x, c);
+        }
+    }
+}
+
+void
+Canvas::fill_circle(float cy, float cx, float radius, const Color& c)
+{
+    const std::int64_t y0 = static_cast<std::int64_t>(cy - radius - 1);
+    const std::int64_t y1 = static_cast<std::int64_t>(cy + radius + 2);
+    const std::int64_t x0 = static_cast<std::int64_t>(cx - radius - 1);
+    const std::int64_t x1 = static_cast<std::int64_t>(cx + radius + 2);
+    for (std::int64_t y = y0; y < y1; ++y) {
+        for (std::int64_t x = x0; x < x1; ++x) {
+            const float dy = static_cast<float>(y) + 0.5f - cy;
+            const float dx = static_cast<float>(x) + 0.5f - cx;
+            const float d = std::sqrt(dy * dy + dx * dx);
+            // 1-pixel anti-aliased rim.
+            const float alpha = std::clamp(radius - d + 0.5f, 0.0f, 1.0f);
+            blend_pixel(y, x, c, alpha);
+        }
+    }
+}
+
+void
+Canvas::fill_ring(float cy, float cx, float r0, float r1, const Color& c)
+{
+    const std::int64_t y0 = static_cast<std::int64_t>(cy - r1 - 1);
+    const std::int64_t y1 = static_cast<std::int64_t>(cy + r1 + 2);
+    const std::int64_t x0 = static_cast<std::int64_t>(cx - r1 - 1);
+    const std::int64_t x1 = static_cast<std::int64_t>(cx + r1 + 2);
+    for (std::int64_t y = y0; y < y1; ++y) {
+        for (std::int64_t x = x0; x < x1; ++x) {
+            const float dy = static_cast<float>(y) + 0.5f - cy;
+            const float dx = static_cast<float>(x) + 0.5f - cx;
+            const float d = std::sqrt(dy * dy + dx * dx);
+            const float outer = std::clamp(r1 - d + 0.5f, 0.0f, 1.0f);
+            const float inner = std::clamp(d - r0 + 0.5f, 0.0f, 1.0f);
+            blend_pixel(y, x, c, outer * inner);
+        }
+    }
+}
+
+void
+Canvas::fill_triangle(float y0, float x0, float y1, float x1, float y2,
+                      float x2, const Color& c)
+{
+    const auto edge = [](float ay, float ax, float by, float bx, float py,
+                         float px) {
+        return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+    };
+    const float min_y = std::min({y0, y1, y2});
+    const float max_y = std::max({y0, y1, y2});
+    const float min_x = std::min({x0, x1, x2});
+    const float max_x = std::max({x0, x1, x2});
+    const float area = edge(y0, x0, y1, x1, y2, x2);
+    if (std::abs(area) < 1e-6f) {
+        return;
+    }
+    for (std::int64_t y = static_cast<std::int64_t>(min_y);
+         y <= static_cast<std::int64_t>(max_y) + 1; ++y) {
+        for (std::int64_t x = static_cast<std::int64_t>(min_x);
+             x <= static_cast<std::int64_t>(max_x) + 1; ++x) {
+            const float py = static_cast<float>(y) + 0.5f;
+            const float px = static_cast<float>(x) + 0.5f;
+            const float w0 = edge(y1, x1, y2, x2, py, px) / area;
+            const float w1 = edge(y2, x2, y0, x0, py, px) / area;
+            const float w2 = edge(y0, x0, y1, x1, py, px) / area;
+            if (w0 >= 0.0f && w1 >= 0.0f && w2 >= 0.0f) {
+                set_pixel(y, x, c);
+            }
+        }
+    }
+}
+
+void
+Canvas::draw_line(float y0, float x0, float y1, float x1, float thickness,
+                  const Color& c)
+{
+    const float dy = y1 - y0, dx = x1 - x0;
+    const float len = std::sqrt(dy * dy + dx * dx);
+    const float half = thickness * 0.5f;
+    const std::int64_t ry0 =
+        static_cast<std::int64_t>(std::min(y0, y1) - half - 1);
+    const std::int64_t ry1 =
+        static_cast<std::int64_t>(std::max(y0, y1) + half + 2);
+    const std::int64_t rx0 =
+        static_cast<std::int64_t>(std::min(x0, x1) - half - 1);
+    const std::int64_t rx1 =
+        static_cast<std::int64_t>(std::max(x0, x1) + half + 2);
+    for (std::int64_t y = ry0; y < ry1; ++y) {
+        for (std::int64_t x = rx0; x < rx1; ++x) {
+            const float py = static_cast<float>(y) + 0.5f;
+            const float px = static_cast<float>(x) + 0.5f;
+            float d;
+            if (len < 1e-6f) {
+                d = std::sqrt((py - y0) * (py - y0) +
+                              (px - x0) * (px - x0));
+            } else {
+                const float t = std::clamp(
+                    ((py - y0) * dy + (px - x0) * dx) / (len * len), 0.0f,
+                    1.0f);
+                const float cy = y0 + t * dy;
+                const float cx = x0 + t * dx;
+                d = std::sqrt((py - cy) * (py - cy) + (px - cx) * (px - cx));
+            }
+            const float alpha = std::clamp(half - d + 0.5f, 0.0f, 1.0f);
+            blend_pixel(y, x, c, alpha);
+        }
+    }
+}
+
+void
+Canvas::linear_gradient(const Color& top, const Color& bottom)
+{
+    for (std::int64_t y = 0; y < height_; ++y) {
+        const float t = height_ <= 1
+                            ? 0.0f
+                            : static_cast<float>(y) /
+                                  static_cast<float>(height_ - 1);
+        Color c{top.r + (bottom.r - top.r) * t,
+                top.g + (bottom.g - top.g) * t,
+                top.b + (bottom.b - top.b) * t};
+        for (std::int64_t x = 0; x < width_; ++x) {
+            set_pixel(y, x, c);
+        }
+    }
+}
+
+void
+Canvas::stripes(std::int64_t period, bool vertical, const Color& a,
+                const Color& b)
+{
+    SHREDDER_REQUIRE(period > 0, "stripe period must be positive");
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const std::int64_t k = vertical ? x : y;
+            set_pixel(y, x, ((k / period) % 2 == 0) ? a : b);
+        }
+    }
+}
+
+void
+Canvas::checker(std::int64_t cell, const Color& a, const Color& b)
+{
+    SHREDDER_REQUIRE(cell > 0, "checker cell must be positive");
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const bool on = ((y / cell) + (x / cell)) % 2 == 0;
+            set_pixel(y, x, on ? a : b);
+        }
+    }
+}
+
+void
+Canvas::grating(float frequency, float orientation_rad, float phase,
+                const Color& lo, const Color& hi)
+{
+    const float cy = std::cos(orientation_rad);
+    const float cx = std::sin(orientation_rad);
+    for (std::int64_t y = 0; y < height_; ++y) {
+        for (std::int64_t x = 0; x < width_; ++x) {
+            const float proj = cy * static_cast<float>(y) +
+                               cx * static_cast<float>(x);
+            const float t =
+                0.5f + 0.5f * std::sin(frequency * proj + phase);
+            Color c{lo.r + (hi.r - lo.r) * t, lo.g + (hi.g - lo.g) * t,
+                    lo.b + (hi.b - lo.b) * t};
+            set_pixel(y, x, c);
+        }
+    }
+}
+
+void
+Canvas::add_noise(Rng& rng, float stddev)
+{
+    float* p = image_.data();
+    for (std::int64_t i = 0; i < image_.size(); ++i) {
+        p[i] = std::clamp(p[i] + rng.normal(0.0f, stddev), 0.0f, 1.0f);
+    }
+}
+
+void
+Canvas::clamp()
+{
+    float* p = image_.data();
+    for (std::int64_t i = 0; i < image_.size(); ++i) {
+        p[i] = std::clamp(p[i], 0.0f, 1.0f);
+    }
+}
+
+void
+Canvas::paste_glyph(const std::uint8_t* rows, int gh, int gw, float y,
+                    float x, float h, float w, const Color& c, float alpha)
+{
+    SHREDDER_REQUIRE(gh > 0 && gw > 0 && gw <= 8, "bad glyph dims");
+    const std::int64_t py0 = static_cast<std::int64_t>(std::floor(y));
+    const std::int64_t px0 = static_cast<std::int64_t>(std::floor(x));
+    const std::int64_t py1 = static_cast<std::int64_t>(std::ceil(y + h));
+    const std::int64_t px1 = static_cast<std::int64_t>(std::ceil(x + w));
+    for (std::int64_t py = py0; py < py1; ++py) {
+        for (std::int64_t px = px0; px < px1; ++px) {
+            // Map the pixel center back into glyph-cell space.
+            const float gy =
+                (static_cast<float>(py) + 0.5f - y) / h * static_cast<float>(gh);
+            const float gx =
+                (static_cast<float>(px) + 0.5f - x) / w * static_cast<float>(gw);
+            const int iy = static_cast<int>(gy);
+            const int ix = static_cast<int>(gx);
+            if (iy < 0 || iy >= gh || ix < 0 || ix >= gw) {
+                continue;
+            }
+            if (rows[iy] & (1u << (gw - 1 - ix))) {
+                blend_pixel(py, px, c, alpha);
+            }
+        }
+    }
+}
+
+}  // namespace data
+}  // namespace shredder

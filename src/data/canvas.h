@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tiny software rasterizer the procedural datasets draw with.
+ *
+ * A canvas wraps a CHW float tensor (1 or 3 channels, values in
+ * [0, 1]) and offers the primitives the generators need: solid fills,
+ * gradients, shapes, pattern fills, glyph pasting and noise.
+ */
+#ifndef SHREDDER_DATA_CANVAS_H
+#define SHREDDER_DATA_CANVAS_H
+
+#include <array>
+#include <cstdint>
+
+#include "src/tensor/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace data {
+
+/** RGB (or grayscale via equal components) color. */
+struct Color
+{
+    float r = 0.0f, g = 0.0f, b = 0.0f;
+
+    static Color gray(float v) { return {v, v, v}; }
+};
+
+/** CHW float image with drawing primitives. */
+class Canvas
+{
+  public:
+    /**
+     * @param channels  1 (grayscale) or 3 (RGB).
+     * @param height    Pixel rows.
+     * @param width     Pixel columns.
+     */
+    Canvas(std::int64_t channels, std::int64_t height, std::int64_t width);
+
+    std::int64_t channels() const { return channels_; }
+    std::int64_t height() const { return height_; }
+    std::int64_t width() const { return width_; }
+
+    /** Move the image out of the canvas (canvas becomes invalid). */
+    Tensor take() { return std::move(image_); }
+
+    /** Borrow the image. */
+    const Tensor& image() const { return image_; }
+
+    /** Set one pixel (coordinates clipped). */
+    void set_pixel(std::int64_t y, std::int64_t x, const Color& c);
+
+    /** Alpha-blend one pixel (coordinates clipped). */
+    void blend_pixel(std::int64_t y, std::int64_t x, const Color& c,
+                     float alpha);
+
+    /** Fill the whole canvas with a solid color. */
+    void fill(const Color& c);
+
+    /** Axis-aligned filled rectangle [y0, y1) × [x0, x1). */
+    void fill_rect(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                   std::int64_t x1, const Color& c);
+
+    /** Filled circle (anti-aliased edge). */
+    void fill_circle(float cy, float cx, float radius, const Color& c);
+
+    /** Ring (annulus) between radii r0 < r1. */
+    void fill_ring(float cy, float cx, float r0, float r1, const Color& c);
+
+    /** Filled triangle by vertices. */
+    void fill_triangle(float y0, float x0, float y1, float x1, float y2,
+                       float x2, const Color& c);
+
+    /** Thick line segment. */
+    void draw_line(float y0, float x0, float y1, float x1, float thickness,
+                   const Color& c);
+
+    /** Linear gradient from `top` (row 0) to `bottom` (last row). */
+    void linear_gradient(const Color& top, const Color& bottom);
+
+    /** Alternating horizontal stripes of the two colors. */
+    void stripes(std::int64_t period, bool vertical, const Color& a,
+                 const Color& b);
+
+    /** Checkerboard pattern. */
+    void checker(std::int64_t cell, const Color& a, const Color& b);
+
+    /** Sinusoidal grating: intensity modulated along a direction. */
+    void grating(float frequency, float orientation_rad, float phase,
+                 const Color& lo, const Color& hi);
+
+    /** Add i.i.d. Gaussian pixel noise, clamped back into [0, 1]. */
+    void add_noise(Rng& rng, float stddev);
+
+    /** Clamp all pixels into [0, 1]. */
+    void clamp();
+
+    /**
+     * Paste a binary glyph bitmap scaled into the rectangle whose top
+     * left corner is (y, x) and size is (h, w); `on` pixels are blended
+     * with `alpha`.
+     *
+     * @param rows     Glyph rows (bitmask per row, MSB = leftmost).
+     * @param gh       Glyph height in cells.
+     * @param gw       Glyph width in cells.
+     */
+    void paste_glyph(const std::uint8_t* rows, int gh, int gw, float y,
+                     float x, float h, float w, const Color& c,
+                     float alpha = 1.0f);
+
+  private:
+    float* channel(std::int64_t c) { return image_.data() + c * height_ * width_; }
+
+    std::int64_t channels_, height_, width_;
+    Tensor image_;
+};
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_CANVAS_H

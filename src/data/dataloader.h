@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Mini-batch loader over a Dataset, with optional shuffling.
+ */
+#ifndef SHREDDER_DATA_DATALOADER_H
+#define SHREDDER_DATA_DATALOADER_H
+
+#include <optional>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace data {
+
+/**
+ * Iterates a dataset in mini-batches.
+ *
+ * One pass = one epoch; `reset()` starts the next epoch (reshuffling
+ * when enabled). The final partial batch is emitted.
+ */
+class DataLoader
+{
+  public:
+    /**
+     * @param dataset     Borrowed dataset (must outlive the loader).
+     * @param batch_size  Samples per batch (> 0).
+     * @param shuffle     Shuffle sample order every epoch.
+     * @param rng         Shuffle randomness (forked).
+     */
+    DataLoader(const Dataset& dataset, std::int64_t batch_size,
+               bool shuffle, Rng& rng);
+
+    /** Next batch, or nullopt at end of epoch. */
+    std::optional<Batch> next();
+
+    /** Start a new epoch (reshuffles when enabled). */
+    void reset();
+
+    /** Batches per epoch (including the final partial one). */
+    std::int64_t batches_per_epoch() const;
+
+    std::int64_t batch_size() const { return batch_size_; }
+
+  private:
+    const Dataset& dataset_;
+    std::int64_t batch_size_;
+    bool shuffle_;
+    Rng rng_;
+    std::vector<std::int64_t> order_;
+    std::int64_t cursor_ = 0;
+};
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_DATALOADER_H

@@ -1,0 +1,55 @@
+#include "src/data/digits.h"
+
+#include "src/data/canvas.h"
+#include "src/data/glyphs.h"
+#include "src/data/index_rng.h"
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace data {
+
+DigitsDataset::DigitsDataset(const DigitsConfig& config) : config_(config)
+{
+    SHREDDER_REQUIRE(config.count > 0, "digits dataset needs count > 0");
+}
+
+Sample
+DigitsDataset::get(std::int64_t idx) const
+{
+    SHREDDER_REQUIRE(idx >= 0 && idx < config_.count, "digits index ", idx,
+                     " out of ", config_.count);
+    Rng rng = rng_for_index(config_.seed, idx);
+    const int label = static_cast<int>(idx % 10);
+
+    Canvas canvas(1, 28, 28);
+    canvas.fill(Color::gray(0.0f));
+
+    const float cell =
+        rng.uniform(config_.min_scale, config_.max_scale);
+    const float gh = cell * static_cast<float>(kGlyphHeight);
+    const float gw = cell * static_cast<float>(kGlyphWidth);
+    const float y0 = (28.0f - gh) * 0.5f +
+                     rng.uniform(-config_.max_shift, config_.max_shift);
+    const float x0 = (28.0f - gw) * 0.5f +
+                     rng.uniform(-config_.max_shift, config_.max_shift);
+    const float intensity = rng.uniform(0.75f, 1.0f);
+
+    // Main stroke plus a slightly offset echo for stroke-weight
+    // variation (fake pen thickness).
+    canvas.paste_glyph(digit_glyph(label), kGlyphHeight, kGlyphWidth, y0,
+                       x0, gh, gw, Color::gray(intensity));
+    const float ey = y0 + rng.uniform(-0.7f, 0.7f);
+    const float ex = x0 + rng.uniform(-0.7f, 0.7f);
+    canvas.paste_glyph(digit_glyph(label), kGlyphHeight, kGlyphWidth, ey,
+                       ex, gh, gw, Color::gray(intensity * 0.85f), 0.8f);
+
+    canvas.add_noise(rng, config_.noise_stddev);
+
+    Sample s;
+    s.image = canvas.take();
+    s.label = label;
+    return s;
+}
+
+}  // namespace data
+}  // namespace shredder

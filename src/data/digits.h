@@ -1,0 +1,47 @@
+/**
+ * @file
+ * MNIST-like procedural dataset: grayscale 28×28 handwritten-style
+ * digits rendered from a bitmap font with random affine jitter,
+ * stroke-weight variation and pixel noise.
+ */
+#ifndef SHREDDER_DATA_DIGITS_H
+#define SHREDDER_DATA_DIGITS_H
+
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace shredder {
+namespace data {
+
+/** Configuration for the digits generator. */
+struct DigitsConfig
+{
+    std::int64_t count = 10000;   ///< Dataset size.
+    std::uint64_t seed = 1;       ///< Generator seed (split = new seed).
+    float noise_stddev = 0.08f;   ///< Additive pixel noise.
+    float max_shift = 3.0f;       ///< Max translation in pixels.
+    float min_scale = 2.6f;       ///< Min glyph-cell pixel size.
+    float max_scale = 3.4f;       ///< Max glyph-cell pixel size.
+};
+
+/** MNIST stand-in (1×28×28, 10 classes). See file comment. */
+class DigitsDataset final : public Dataset
+{
+  public:
+    explicit DigitsDataset(const DigitsConfig& config = {});
+
+    std::int64_t size() const override { return config_.count; }
+    Sample get(std::int64_t idx) const override;
+    Shape image_shape() const override { return Shape({1, 28, 28}); }
+    std::int64_t num_classes() const override { return 10; }
+    std::string name() const override { return "digits"; }
+
+  private:
+    DigitsConfig config_;
+};
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_DIGITS_H

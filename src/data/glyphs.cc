@@ -1,0 +1,45 @@
+#include "src/data/glyphs.h"
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace data {
+
+namespace {
+
+// clang-format off
+constexpr std::uint8_t kDigits[10][kGlyphHeight] = {
+    // 0
+    {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},
+    // 1
+    {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+    // 2
+    {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},
+    // 3
+    {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},
+    // 4
+    {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},
+    // 5
+    {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},
+    // 6
+    {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},
+    // 7
+    {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},
+    // 8
+    {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},
+    // 9
+    {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},
+};
+// clang-format on
+
+}  // namespace
+
+const std::uint8_t*
+digit_glyph(int d)
+{
+    SHREDDER_REQUIRE(d >= 0 && d <= 9, "digit glyph index ", d);
+    return kDigits[d];
+}
+
+}  // namespace data
+}  // namespace shredder

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * 5×7 bitmap font for the digit glyphs (0–9) used by the MNIST-like
+ * and SVHN-like generators.
+ */
+#ifndef SHREDDER_DATA_GLYPHS_H
+#define SHREDDER_DATA_GLYPHS_H
+
+#include <cstdint>
+
+namespace shredder {
+namespace data {
+
+/** Glyph cell height. */
+constexpr int kGlyphHeight = 7;
+/** Glyph cell width. */
+constexpr int kGlyphWidth = 5;
+
+/**
+ * Bitmap rows for digit `d` (0–9). Each row is a 5-bit mask, MSB is
+ * the leftmost cell.
+ */
+const std::uint8_t* digit_glyph(int d);
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_GLYPHS_H

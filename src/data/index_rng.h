@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Per-sample RNG derivation: hash (dataset seed, sample index) into an
+ * independent generator so `Dataset::get` is deterministic and
+ * thread-safe without shared state.
+ */
+#ifndef SHREDDER_DATA_INDEX_RNG_H
+#define SHREDDER_DATA_INDEX_RNG_H
+
+#include <cstdint>
+
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace data {
+
+/** splitmix64 finalizer — a good 64-bit mixing function. */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Independent generator for sample `idx` of a dataset seeded `seed`. */
+inline Rng
+rng_for_index(std::uint64_t seed, std::int64_t idx)
+{
+    return Rng(mix64(seed ^ mix64(static_cast<std::uint64_t>(idx))));
+}
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_INDEX_RNG_H

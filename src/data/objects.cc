@@ -1,0 +1,119 @@
+#include "src/data/objects.h"
+
+#include <cmath>
+
+#include "src/data/canvas.h"
+#include "src/data/index_rng.h"
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace data {
+
+namespace {
+
+Color
+random_saturated(Rng& rng)
+{
+    // One strong channel, the rest dimmer — keeps objects visually
+    // separable from the muted gradient backgrounds.
+    Color c{rng.uniform(0.0f, 0.35f), rng.uniform(0.0f, 0.35f),
+            rng.uniform(0.0f, 0.35f)};
+    switch (rng.randint(0, 2)) {
+      case 0: c.r = rng.uniform(0.7f, 1.0f); break;
+      case 1: c.g = rng.uniform(0.7f, 1.0f); break;
+      default: c.b = rng.uniform(0.7f, 1.0f); break;
+    }
+    return c;
+}
+
+}  // namespace
+
+ObjectsDataset::ObjectsDataset(const ObjectsConfig& config)
+    : config_(config)
+{
+    SHREDDER_REQUIRE(config.count > 0, "objects dataset needs count > 0");
+}
+
+Sample
+ObjectsDataset::get(std::int64_t idx) const
+{
+    SHREDDER_REQUIRE(idx >= 0 && idx < config_.count, "objects index ",
+                     idx, " out of ", config_.count);
+    Rng rng = rng_for_index(config_.seed, idx);
+    const int label = static_cast<int>(idx % 10);
+
+    Canvas canvas(3, 32, 32);
+    const Color bg_top{rng.uniform(0.1f, 0.5f), rng.uniform(0.1f, 0.5f),
+                       rng.uniform(0.1f, 0.5f)};
+    const Color bg_bot{rng.uniform(0.1f, 0.5f), rng.uniform(0.1f, 0.5f),
+                       rng.uniform(0.1f, 0.5f)};
+    canvas.linear_gradient(bg_top, bg_bot);
+
+    const Color fg = random_saturated(rng);
+    const float cy = rng.uniform(12.0f, 20.0f);
+    const float cx = rng.uniform(12.0f, 20.0f);
+    const float size = rng.uniform(7.0f, 11.0f);
+
+    switch (label) {
+      case 0:  // circle
+        canvas.fill_circle(cy, cx, size, fg);
+        break;
+      case 1: {  // square
+        const auto s = static_cast<std::int64_t>(size);
+        canvas.fill_rect(static_cast<std::int64_t>(cy) - s,
+                         static_cast<std::int64_t>(cx) - s,
+                         static_cast<std::int64_t>(cy) + s,
+                         static_cast<std::int64_t>(cx) + s, fg);
+        break;
+      }
+      case 2:  // triangle
+        canvas.fill_triangle(cy - size, cx, cy + size, cx - size, cy + size,
+                             cx + size, fg);
+        break;
+      case 3:  // cross
+        canvas.draw_line(cy - size, cx - size, cy + size, cx + size, 3.5f,
+                         fg);
+        canvas.draw_line(cy - size, cx + size, cy + size, cx - size, 3.5f,
+                         fg);
+        break;
+      case 4:  // ring
+        canvas.fill_ring(cy, cx, size * 0.55f, size, fg);
+        break;
+      case 5:  // horizontal stripes
+        canvas.stripes(static_cast<std::int64_t>(rng.randint(3, 5)), false,
+                       fg, bg_top);
+        break;
+      case 6:  // vertical stripes
+        canvas.stripes(static_cast<std::int64_t>(rng.randint(3, 5)), true,
+                       fg, bg_bot);
+        break;
+      case 7:  // checkerboard
+        canvas.checker(static_cast<std::int64_t>(rng.randint(4, 6)), fg,
+                       bg_top);
+        break;
+      case 8: {  // dot grid
+        const std::int64_t step = rng.randint(7, 9);
+        for (std::int64_t y = 4; y < 32; y += step) {
+            for (std::int64_t x = 4; x < 32; x += step) {
+                canvas.fill_circle(static_cast<float>(y),
+                                   static_cast<float>(x), 2.2f, fg);
+            }
+        }
+        break;
+      }
+      default:  // diagonal bar
+        canvas.draw_line(2.0f, 2.0f, 30.0f, 30.0f,
+                         rng.uniform(4.0f, 6.0f), fg);
+        break;
+    }
+
+    canvas.add_noise(rng, config_.noise_stddev);
+
+    Sample s;
+    s.image = canvas.take();
+    s.label = label;
+    return s;
+}
+
+}  // namespace data
+}  // namespace shredder

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CIFAR-10-like procedural dataset: 3×32×32 color scenes, each class a
+ * distinct shape/texture family on a varied background.
+ */
+#ifndef SHREDDER_DATA_OBJECTS_H
+#define SHREDDER_DATA_OBJECTS_H
+
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace shredder {
+namespace data {
+
+/** Configuration for the objects generator. */
+struct ObjectsConfig
+{
+    std::int64_t count = 10000;
+    std::uint64_t seed = 2;
+    float noise_stddev = 0.05f;
+};
+
+/**
+ * CIFAR stand-in (3×32×32, 10 classes): circle, square, triangle,
+ * cross, ring, horizontal stripes, vertical stripes, checkerboard,
+ * dot grid, diagonal bar — each with jittered geometry and colors on a
+ * random gradient background.
+ */
+class ObjectsDataset final : public Dataset
+{
+  public:
+    explicit ObjectsDataset(const ObjectsConfig& config = {});
+
+    std::int64_t size() const override { return config_.count; }
+    Sample get(std::int64_t idx) const override;
+    Shape image_shape() const override { return Shape({3, 32, 32}); }
+    std::int64_t num_classes() const override { return 10; }
+    std::string name() const override { return "objects"; }
+
+  private:
+    ObjectsConfig config_;
+};
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_OBJECTS_H

@@ -1,0 +1,90 @@
+#include "src/data/street_digits.h"
+
+#include "src/data/canvas.h"
+#include "src/data/glyphs.h"
+#include "src/data/index_rng.h"
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace data {
+
+StreetDigitsDataset::StreetDigitsDataset(const StreetDigitsConfig& config)
+    : config_(config)
+{
+    SHREDDER_REQUIRE(config.count > 0,
+                     "street digits dataset needs count > 0");
+}
+
+Sample
+StreetDigitsDataset::get(std::int64_t idx) const
+{
+    SHREDDER_REQUIRE(idx >= 0 && idx < config_.count,
+                     "street digits index ", idx, " out of ",
+                     config_.count);
+    Rng rng = rng_for_index(config_.seed, idx);
+    const int label = static_cast<int>(idx % 10);
+
+    Canvas canvas(3, 32, 32);
+    // Street background: muted gradient + a few architectural blocks.
+    const Color bg_top{rng.uniform(0.2f, 0.6f), rng.uniform(0.2f, 0.6f),
+                       rng.uniform(0.2f, 0.6f)};
+    const Color bg_bot{rng.uniform(0.2f, 0.6f), rng.uniform(0.2f, 0.6f),
+                       rng.uniform(0.2f, 0.6f)};
+    canvas.linear_gradient(bg_top, bg_bot);
+    const int blocks = static_cast<int>(rng.randint(1, 3));
+    for (int i = 0; i < blocks; ++i) {
+        const Color block{rng.uniform(0.15f, 0.7f),
+                          rng.uniform(0.15f, 0.7f),
+                          rng.uniform(0.15f, 0.7f)};
+        const std::int64_t y = rng.randint(0, 24);
+        const std::int64_t x = rng.randint(0, 24);
+        canvas.fill_rect(y, x, y + rng.randint(4, 10),
+                         x + rng.randint(4, 10), block);
+    }
+
+    // Digit color must contrast with background (house numbers do).
+    const bool bright = rng.bernoulli(0.5);
+    Color fg;
+    if (bright) {
+        fg = Color{rng.uniform(0.8f, 1.0f), rng.uniform(0.8f, 1.0f),
+                   rng.uniform(0.75f, 1.0f)};
+    } else {
+        fg = Color{rng.uniform(0.0f, 0.15f), rng.uniform(0.0f, 0.15f),
+                   rng.uniform(0.0f, 0.2f)};
+    }
+
+    const float cell = rng.uniform(2.6f, 3.4f);
+    const float gh = cell * static_cast<float>(kGlyphHeight);
+    const float gw = cell * static_cast<float>(kGlyphWidth);
+    const float y0 = (32.0f - gh) * 0.5f + rng.uniform(-2.5f, 2.5f);
+    const float x0 = (32.0f - gw) * 0.5f + rng.uniform(-2.5f, 2.5f);
+
+    if (config_.distractors) {
+        // Partial neighbor digits poking in from the left/right edge.
+        const int left = static_cast<int>(rng.randint(0, 9));
+        const int right = static_cast<int>(rng.randint(0, 9));
+        canvas.paste_glyph(digit_glyph(left), kGlyphHeight, kGlyphWidth,
+                           y0 + rng.uniform(-1.5f, 1.5f), x0 - gw - 2.0f,
+                           gh, gw, fg, 0.9f);
+        canvas.paste_glyph(digit_glyph(right), kGlyphHeight, kGlyphWidth,
+                           y0 + rng.uniform(-1.5f, 1.5f), x0 + gw + 2.0f,
+                           gh, gw, fg, 0.9f);
+    }
+
+    canvas.paste_glyph(digit_glyph(label), kGlyphHeight, kGlyphWidth, y0,
+                       x0, gh, gw, fg);
+    // Thin echo for stroke-weight variance.
+    canvas.paste_glyph(digit_glyph(label), kGlyphHeight, kGlyphWidth,
+                       y0 + rng.uniform(-0.6f, 0.6f),
+                       x0 + rng.uniform(-0.6f, 0.6f), gh, gw, fg, 0.7f);
+
+    canvas.add_noise(rng, config_.noise_stddev);
+
+    Sample s;
+    s.image = canvas.take();
+    s.label = label;
+    return s;
+}
+
+}  // namespace data
+}  // namespace shredder

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SVHN-like procedural dataset: 3×32×32 color digits on cluttered
+ * street-style backgrounds with distractor digits at the edges, the
+ * way real SVHN crops contain parts of neighboring house numbers.
+ */
+#ifndef SHREDDER_DATA_STREET_DIGITS_H
+#define SHREDDER_DATA_STREET_DIGITS_H
+
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace shredder {
+namespace data {
+
+/** Configuration for the street-digits generator. */
+struct StreetDigitsConfig
+{
+    std::int64_t count = 10000;
+    std::uint64_t seed = 3;
+    float noise_stddev = 0.06f;
+    bool distractors = true;  ///< Draw partial neighbor digits.
+};
+
+/** SVHN stand-in (3×32×32, 10 classes). See file comment. */
+class StreetDigitsDataset final : public Dataset
+{
+  public:
+    explicit StreetDigitsDataset(const StreetDigitsConfig& config = {});
+
+    std::int64_t size() const override { return config_.count; }
+    Sample get(std::int64_t idx) const override;
+    Shape image_shape() const override { return Shape({3, 32, 32}); }
+    std::int64_t num_classes() const override { return 10; }
+    std::string name() const override { return "street_digits"; }
+
+  private:
+    StreetDigitsConfig config_;
+};
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_STREET_DIGITS_H

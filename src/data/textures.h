@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ImageNet-like procedural dataset: 3×64×64 many-class images where
+ * each class is a distinct (texture, shape) combination — gratings,
+ * checkers, dots, stripes at class-specific frequencies/orientations
+ * carrying a class-specific foreground object.
+ */
+#ifndef SHREDDER_DATA_TEXTURES_H
+#define SHREDDER_DATA_TEXTURES_H
+
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace shredder {
+namespace data {
+
+/** Configuration for the textures generator. */
+struct TexturesConfig
+{
+    std::int64_t count = 8000;
+    std::int64_t classes = 16;    ///< Number of label classes (≤ 64).
+    std::int64_t image_size = 64; ///< Square image extent.
+    std::uint64_t seed = 4;
+    float noise_stddev = 0.04f;
+};
+
+/** ImageNet stand-in (3×S×S, N classes). See file comment. */
+class TexturesDataset final : public Dataset
+{
+  public:
+    explicit TexturesDataset(const TexturesConfig& config = {});
+
+    std::int64_t size() const override { return config_.count; }
+    Sample get(std::int64_t idx) const override;
+    Shape
+    image_shape() const override
+    {
+        return Shape({3, config_.image_size, config_.image_size});
+    }
+    std::int64_t num_classes() const override { return config_.classes; }
+    std::string name() const override { return "textures"; }
+
+  private:
+    TexturesConfig config_;
+};
+
+}  // namespace data
+}  // namespace shredder
+
+#endif  // SHREDDER_DATA_TEXTURES_H

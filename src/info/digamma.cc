@@ -1,0 +1,33 @@
+#include "src/info/digamma.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace info {
+
+double
+digamma(double x)
+{
+    SHREDDER_REQUIRE(x > 0.0, "digamma needs x > 0, got ", x);
+    double result = 0.0;
+    // Recurrence ψ(x) = ψ(x+1) − 1/x until x is in the asymptotic
+    // region.
+    while (x < 6.0) {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic expansion: ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n}/(2n·x^{2n}).
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    const double series =
+        inv2 * (1.0 / 12.0 -
+                inv2 * (1.0 / 120.0 -
+                        inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
+    result += std::log(x) - 0.5 * inv - series;
+    return result;
+}
+
+}  // namespace info
+}  // namespace shredder

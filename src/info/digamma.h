@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Digamma function ψ(x), needed by the Kraskov MI estimator.
+ */
+#ifndef SHREDDER_INFO_DIGAMMA_H
+#define SHREDDER_INFO_DIGAMMA_H
+
+namespace shredder {
+namespace info {
+
+/**
+ * Digamma ψ(x) for x > 0 via upward recurrence into the asymptotic
+ * region plus the standard Bernoulli series. Absolute error < 1e-10
+ * for x ≥ 1e-3.
+ */
+double digamma(double x);
+
+}  // namespace info
+}  // namespace shredder
+
+#endif  // SHREDDER_INFO_DIGAMMA_H

@@ -1,0 +1,144 @@
+#include "src/info/dimwise.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/runtime/logging.h"
+#include "src/runtime/thread_pool.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace info {
+
+DimwiseMiEstimator::DimwiseMiEstimator(const DimwiseConfig& config)
+    : config_(config)
+{
+    SHREDDER_REQUIRE(config.projections >= 1,
+                     "dimwise estimator needs >= 1 projection");
+}
+
+double
+DimwiseMiEstimator::estimate(const Tensor& inputs,
+                             const Tensor& activations) const
+{
+    SHREDDER_REQUIRE(inputs.shape().rank() == 2 &&
+                         activations.shape().rank() == 2,
+                     "dimwise estimator wants rank-2 sample matrices");
+    const std::int64_t n = inputs.shape()[0];
+    SHREDDER_REQUIRE(activations.shape()[0] == n,
+                     "sample count mismatch: ", n, " vs ",
+                     activations.shape()[0]);
+    const std::int64_t dx = inputs.shape()[1];
+    const std::int64_t da = activations.shape()[1];
+
+    // Fixed random projections of the input.
+    Rng rng(config_.seed);
+    const int P = config_.projections;
+    std::vector<std::vector<float>> z(
+        static_cast<std::size_t>(P),
+        std::vector<float>(static_cast<std::size_t>(n)));
+    for (int p = 0; p < P; ++p) {
+        std::vector<float> w(static_cast<std::size_t>(dx));
+        for (auto& v : w) {
+            v = rng.normal(0.0f, 1.0f);
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float* row = inputs.data() + i * dx;
+            double acc = 0.0;
+            for (std::int64_t t = 0; t < dx; ++t) {
+                acc += static_cast<double>(row[t]) *
+                       w[static_cast<std::size_t>(t)];
+            }
+            z[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)] =
+                static_cast<float>(acc);
+        }
+    }
+
+    // Deterministic stride subsampling of activation dims.
+    std::int64_t used = da;
+    std::int64_t stride = 1;
+    if (config_.max_dims > 0 && da > config_.max_dims) {
+        stride = (da + config_.max_dims - 1) / config_.max_dims;
+        used = (da + stride - 1) / stride;
+    }
+
+    // Adapt bin count to the sample budget (keeps ≥ ~6 samples per
+    // marginal bin) so the plug-in bias stays controllable.
+    HistogramConfig hcfg = config_.histogram;
+    const int adaptive = static_cast<int>(
+        std::sqrt(static_cast<double>(n) / 6.0));
+    hcfg.bins = std::max(4, std::min(hcfg.bins, adaptive));
+    const HistogramMiEstimator hist(hcfg);
+
+    // Fixed permutation for the shuffled baseline (same for all dims).
+    Rng perm_rng(config_.seed ^ 0xabcdef12ULL);
+    const std::vector<std::int64_t> perm = perm_rng.permutation(n);
+
+    std::vector<double> contributions(static_cast<std::size_t>(used), 0.0);
+    parallel_for(0, used, [&](std::int64_t u) {
+        const std::int64_t d = u * stride;
+        std::vector<float> a_col(static_cast<std::size_t>(n));
+        std::vector<float> a_shuf(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            a_col[static_cast<std::size_t>(i)] = activations[i * da + d];
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+            a_shuf[static_cast<std::size_t>(i)] =
+                a_col[static_cast<std::size_t>(
+                    perm[static_cast<std::size_t>(i)])];
+        }
+        double best = 0.0, baseline = 0.0;
+        for (int p = 0; p < P; ++p) {
+            const auto& zp = z[static_cast<std::size_t>(p)];
+            best = std::max(best, hist.estimate(zp, a_col));
+            baseline = std::max(baseline, hist.estimate(zp, a_shuf));
+        }
+        contributions[static_cast<std::size_t>(u)] =
+            std::max(0.0, best - baseline);
+    }, /*grain=*/16);
+
+    double total = 0.0;
+    for (double c : contributions) {
+        total += c;
+    }
+    // Extrapolate the subsample back to the full width.
+    return total * static_cast<double>(da) / static_cast<double>(used);
+}
+
+double
+DimwiseMiEstimator::dimension_entropy(const Tensor& activations) const
+{
+    SHREDDER_REQUIRE(activations.shape().rank() == 2,
+                     "dimension_entropy wants a rank-2 sample matrix");
+    const std::int64_t n = activations.shape()[0];
+    const std::int64_t da = activations.shape()[1];
+
+    std::int64_t used = da;
+    std::int64_t stride = 1;
+    if (config_.max_dims > 0 && da > config_.max_dims) {
+        stride = (da + config_.max_dims - 1) / config_.max_dims;
+        used = (da + stride - 1) / stride;
+    }
+
+    const HistogramMiEstimator hist(config_.histogram);
+    std::vector<double> hs(static_cast<std::size_t>(used), 0.0);
+    parallel_for(0, used, [&](std::int64_t u) {
+        const std::int64_t d = u * stride;
+        std::vector<float> a_col(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            a_col[static_cast<std::size_t>(i)] = activations[i * da + d];
+        }
+        hs[static_cast<std::size_t>(u)] = hist.entropy(a_col);
+    }, /*grain=*/16);
+
+    double total = 0.0;
+    for (double h : hs) {
+        total += h;
+    }
+    return total * static_cast<double>(da) / static_cast<double>(used);
+}
+
+}  // namespace info
+}  // namespace shredder

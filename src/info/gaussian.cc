@@ -1,0 +1,35 @@
+#include "src/info/gaussian.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace info {
+
+double
+gaussian_mi_bits(double rho)
+{
+    SHREDDER_REQUIRE(rho > -1.0 && rho < 1.0,
+                     "correlation must be in (-1, 1), got ", rho);
+    return -0.5 * std::log2(1.0 - rho * rho);
+}
+
+double
+awgn_mi_bits(double signal_var, double noise_var)
+{
+    SHREDDER_REQUIRE(signal_var >= 0.0 && noise_var > 0.0,
+                     "bad AWGN variances");
+    return 0.5 * std::log2(1.0 + signal_var / noise_var);
+}
+
+double
+gaussian_entropy_bits(double variance)
+{
+    SHREDDER_REQUIRE(variance > 0.0, "entropy needs positive variance");
+    constexpr double kTwoPiE = 2.0 * 3.14159265358979323846 * 2.718281828459045;
+    return 0.5 * std::log2(kTwoPiE * variance);
+}
+
+}  // namespace info
+}  // namespace shredder

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Closed-form Gaussian information quantities used to validate the
+ * estimators in tests.
+ */
+#ifndef SHREDDER_INFO_GAUSSIAN_H
+#define SHREDDER_INFO_GAUSSIAN_H
+
+namespace shredder {
+namespace info {
+
+/**
+ * MI in bits of a bivariate normal with correlation rho:
+ * I = −½·log₂(1 − ρ²).
+ */
+double gaussian_mi_bits(double rho);
+
+/**
+ * MI in bits across an additive white Gaussian noise channel
+ * Y = X + N with X ~ N(0, σx²), N ~ N(0, σn²):
+ * I = ½·log₂(1 + σx²/σn²).
+ */
+double awgn_mi_bits(double signal_var, double noise_var);
+
+/** Differential entropy in bits of N(µ, σ²): ½·log₂(2πeσ²). */
+double gaussian_entropy_bits(double variance);
+
+}  // namespace info
+}  // namespace shredder
+
+#endif  // SHREDDER_INFO_GAUSSIAN_H

@@ -1,0 +1,160 @@
+#include "src/info/histogram_mi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace info {
+
+HistogramMiEstimator::HistogramMiEstimator(const HistogramConfig& config)
+    : config_(config)
+{
+    SHREDDER_REQUIRE(config.bins >= 2, "histogram needs >= 2 bins");
+}
+
+std::vector<int>
+HistogramMiEstimator::assign_bins(const std::vector<float>& x) const
+{
+    return config_.mode == Binning::kQuantile ? quantile_bins(x)
+                                              : equal_width_bins(x);
+}
+
+std::vector<int>
+HistogramMiEstimator::equal_width_bins(const std::vector<float>& x) const
+{
+    const std::size_t n = x.size();
+    SHREDDER_REQUIRE(n > 0, "empty sample vector");
+    float lo = x[0], hi = x[0];
+    for (float v : x) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::vector<int> bin(n, 0);
+    if (hi <= lo) {
+        return bin;  // constant data → single bin
+    }
+    const float scale = static_cast<float>(config_.bins) / (hi - lo);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int b = static_cast<int>((x[i] - lo) * scale);
+        bin[i] = std::min(b, config_.bins - 1);
+    }
+    return bin;
+}
+
+std::vector<int>
+HistogramMiEstimator::quantile_bins(const std::vector<float>& x) const
+{
+    const std::size_t n = x.size();
+    SHREDDER_REQUIRE(n > 0, "empty sample vector");
+    const int bins = config_.bins;
+
+    // Rank-based assignment handles ties by argsort order, which keeps
+    // bins balanced even for spiky (ReLU-zero) marginals.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&x](std::size_t a, std::size_t b) {
+                         return x[a] < x[b];
+                     });
+    std::vector<int> bin(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        int b = static_cast<int>((r * static_cast<std::size_t>(bins)) / n);
+        bin[order[r]] = std::min(b, bins - 1);
+    }
+    // Exact ties must land in the same bin (otherwise constant data
+    // would fake entropy): collapse runs of equal values to the bin of
+    // the run's first element.
+    for (std::size_t r = 1; r < n; ++r) {
+        if (x[order[r]] == x[order[r - 1]]) {
+            bin[order[r]] = bin[order[r - 1]];
+        }
+    }
+    return bin;
+}
+
+double
+HistogramMiEstimator::entropy(const std::vector<float>& x) const
+{
+    const auto bx = assign_bins(x);
+    std::vector<double> counts(static_cast<std::size_t>(config_.bins), 0.0);
+    for (int b : bx) {
+        counts[static_cast<std::size_t>(b)] += 1.0;
+    }
+    const double n = static_cast<double>(x.size());
+    double h = 0.0;
+    int occupied = 0;
+    for (double c : counts) {
+        if (c > 0.0) {
+            const double p = c / n;
+            h -= p * std::log2(p);
+            ++occupied;
+        }
+    }
+    if (config_.miller_madow && occupied > 1) {
+        h += static_cast<double>(occupied - 1) / (2.0 * n * std::log(2.0));
+    }
+    return h;
+}
+
+double
+HistogramMiEstimator::estimate(const std::vector<float>& x,
+                               const std::vector<float>& y) const
+{
+    SHREDDER_REQUIRE(x.size() == y.size() && !x.empty(),
+                     "paired sample size mismatch");
+    const int bins = config_.bins;
+    const auto bx = assign_bins(x);
+    const auto by = assign_bins(y);
+
+    const std::size_t cells = static_cast<std::size_t>(bins) *
+                              static_cast<std::size_t>(bins);
+    std::vector<double> joint(cells, 0.0);
+    std::vector<double> mx(static_cast<std::size_t>(bins), 0.0);
+    std::vector<double> my(static_cast<std::size_t>(bins), 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        joint[static_cast<std::size_t>(bx[i]) *
+                  static_cast<std::size_t>(bins) +
+              static_cast<std::size_t>(by[i])] += 1.0;
+        mx[static_cast<std::size_t>(bx[i])] += 1.0;
+        my[static_cast<std::size_t>(by[i])] += 1.0;
+    }
+    const double n = static_cast<double>(x.size());
+    double mi = 0.0;
+    int occupied_joint = 0, occupied_x = 0, occupied_y = 0;
+    for (int a = 0; a < bins; ++a) {
+        for (int b = 0; b < bins; ++b) {
+            const double c =
+                joint[static_cast<std::size_t>(a) *
+                          static_cast<std::size_t>(bins) +
+                      static_cast<std::size_t>(b)];
+            if (c > 0.0) {
+                ++occupied_joint;
+                const double pxy = c / n;
+                const double px = mx[static_cast<std::size_t>(a)] / n;
+                const double py = my[static_cast<std::size_t>(b)] / n;
+                mi += pxy * std::log2(pxy / (px * py));
+            }
+        }
+    }
+    for (int a = 0; a < bins; ++a) {
+        occupied_x += mx[static_cast<std::size_t>(a)] > 0.0 ? 1 : 0;
+        occupied_y += my[static_cast<std::size_t>(a)] > 0.0 ? 1 : 0;
+    }
+    if (config_.miller_madow) {
+        // MM correction for I = Hx + Hy − Hxy.
+        const double corr =
+            (static_cast<double>(occupied_x - 1) +
+             static_cast<double>(occupied_y - 1) -
+             static_cast<double>(occupied_joint - 1)) /
+            (2.0 * n * std::log(2.0));
+        mi += corr;
+    }
+    return std::max(0.0, mi);
+}
+
+}  // namespace info
+}  // namespace shredder

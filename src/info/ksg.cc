@@ -1,0 +1,132 @@
+#include "src/info/ksg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/info/digamma.h"
+#include "src/runtime/logging.h"
+#include "src/runtime/thread_pool.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace info {
+
+namespace {
+
+/** Max-norm distance between rows i and j of a [N, d] matrix. */
+inline double
+chebyshev(const float* a, const float* b, std::int64_t d)
+{
+    double mx = 0.0;
+    for (std::int64_t t = 0; t < d; ++t) {
+        mx = std::max(mx, std::abs(static_cast<double>(a[t]) - b[t]));
+    }
+    return mx;
+}
+
+}  // namespace
+
+KsgMiEstimator::KsgMiEstimator(const KsgConfig& config) : config_(config)
+{
+    SHREDDER_REQUIRE(config.k >= 1, "KSG needs k >= 1");
+}
+
+double
+KsgMiEstimator::estimate_nats(const Tensor& x, const Tensor& y) const
+{
+    SHREDDER_REQUIRE(x.shape().rank() == 2 && y.shape().rank() == 2,
+                     "KSG wants rank-2 sample matrices");
+    const std::int64_t n = x.shape()[0];
+    SHREDDER_REQUIRE(y.shape()[0] == n, "KSG sample count mismatch: ", n,
+                     " vs ", y.shape()[0]);
+    SHREDDER_REQUIRE(n > config_.k + 1, "KSG needs N > k+1 samples (N=", n,
+                     ", k=", config_.k, ")");
+    const std::int64_t dx = x.shape()[1];
+    const std::int64_t dy = y.shape()[1];
+
+    // Optional tie-breaking jitter: KSG assumes continuous data; exact
+    // duplicates (common after ReLU) bias the neighbor counts.
+    Tensor xj = x, yj = y;
+    if (config_.add_jitter) {
+        Rng rng(config_.jitter_seed);
+        const double sx = 1e-9 * std::max(1.0, std::abs(x.mean()));
+        const double sy = 1e-9 * std::max(1.0, std::abs(y.mean()));
+        float* px = xj.data();
+        for (std::int64_t i = 0; i < xj.size(); ++i) {
+            px[i] += rng.normal(0.0f, static_cast<float>(sx));
+        }
+        float* py = yj.data();
+        for (std::int64_t i = 0; i < yj.size(); ++i) {
+            py[i] += rng.normal(0.0f, static_cast<float>(sy));
+        }
+    }
+
+    const int k = config_.k;
+    std::vector<double> psi_terms(static_cast<std::size_t>(n), 0.0);
+
+    parallel_for(0, n, [&](std::int64_t i) {
+        const float* xi = xj.data() + i * dx;
+        const float* yi = yj.data() + i * dy;
+
+        // k smallest joint distances to sample i (excluding i itself).
+        std::vector<double> best(static_cast<std::size_t>(k),
+                                 std::numeric_limits<double>::infinity());
+        for (std::int64_t j = 0; j < n; ++j) {
+            if (j == i) {
+                continue;
+            }
+            const double djoint =
+                std::max(chebyshev(xi, xj.data() + j * dx, dx),
+                         chebyshev(yi, yj.data() + j * dy, dy));
+            // Insertion into the small sorted top-k buffer.
+            if (djoint < best[static_cast<std::size_t>(k) - 1]) {
+                int pos = k - 1;
+                while (pos > 0 && best[static_cast<std::size_t>(pos - 1)] >
+                                      djoint) {
+                    best[static_cast<std::size_t>(pos)] =
+                        best[static_cast<std::size_t>(pos - 1)];
+                    --pos;
+                }
+                best[static_cast<std::size_t>(pos)] = djoint;
+            }
+        }
+        const double eps = best[static_cast<std::size_t>(k) - 1];
+
+        // Count strict marginal neighbors within eps.
+        std::int64_t n_x = 0, n_y = 0;
+        for (std::int64_t j = 0; j < n; ++j) {
+            if (j == i) {
+                continue;
+            }
+            if (chebyshev(xi, xj.data() + j * dx, dx) < eps) {
+                ++n_x;
+            }
+            if (chebyshev(yi, yj.data() + j * dy, dy) < eps) {
+                ++n_y;
+            }
+        }
+        psi_terms[static_cast<std::size_t>(i)] =
+            digamma(static_cast<double>(n_x) + 1.0) +
+            digamma(static_cast<double>(n_y) + 1.0);
+    }, /*grain=*/64);
+
+    double mean_psi = 0.0;
+    for (double t : psi_terms) {
+        mean_psi += t;
+    }
+    mean_psi /= static_cast<double>(n);
+
+    return digamma(static_cast<double>(k)) +
+           digamma(static_cast<double>(n)) - mean_psi;
+}
+
+double
+KsgMiEstimator::estimate(const Tensor& x, const Tensor& y) const
+{
+    const double nats = estimate_nats(x, y);
+    return std::max(0.0, nats / std::log(2.0));
+}
+
+}  // namespace info
+}  // namespace shredder

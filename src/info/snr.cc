@@ -1,0 +1,39 @@
+#include "src/info/snr.h"
+
+#include <limits>
+
+namespace shredder {
+namespace info {
+
+double
+snr(const Tensor& activation, const Tensor& noise)
+{
+    const double signal = activation.mean_square();
+    const double var = noise.variance();
+    if (var <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return signal / var;
+}
+
+double
+in_vivo_privacy(const Tensor& activation, const Tensor& noise)
+{
+    const double s = snr(activation, noise);
+    if (!std::isfinite(s) || s <= 0.0) {
+        return 0.0;
+    }
+    return 1.0 / s;
+}
+
+double
+ex_vivo_privacy(double mutual_information_bits)
+{
+    if (mutual_information_bits <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return 1.0 / mutual_information_bits;
+}
+
+}  // namespace info
+}  // namespace shredder

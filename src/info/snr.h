@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Signal-to-noise-ratio utilities — the paper's *in vivo* privacy.
+ *
+ * SNR = E[a²] / σ²(n)  (paper §2.4); in-vivo privacy is its inverse.
+ * These are the cheap per-batch quantities the noise trainer tracks in
+ * place of mutual information.
+ */
+#ifndef SHREDDER_INFO_SNR_H
+#define SHREDDER_INFO_SNR_H
+
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace info {
+
+/**
+ * Signal-to-noise ratio of a noisy activation.
+ *
+ * @param activation  Clean activation tensor a.
+ * @param noise       Additive noise tensor n.
+ * @returns E[a²] / σ²(n). Returns +inf when the noise has zero
+ *          variance.
+ */
+double snr(const Tensor& activation, const Tensor& noise);
+
+/** In-vivo privacy = 1 / SNR (0 when noise variance is 0). */
+double in_vivo_privacy(const Tensor& activation, const Tensor& noise);
+
+/** Ex-vivo privacy = 1 / MI given a mutual-information estimate. */
+double ex_vivo_privacy(double mutual_information_bits);
+
+}  // namespace info
+}  // namespace shredder
+
+#endif  // SHREDDER_INFO_SNR_H

@@ -1,0 +1,159 @@
+#include "src/models/benchmark.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/data/digits.h"
+#include "src/data/objects.h"
+#include "src/data/street_digits.h"
+#include "src/data/textures.h"
+#include "src/models/zoo.h"
+#include "src/runtime/logging.h"
+#include "src/split/split_model.h"
+
+namespace shredder {
+namespace models {
+
+namespace {
+
+/** Per-workload dataset construction and training defaults. */
+struct WorkloadSpec
+{
+    std::int64_t train_count;
+    std::int64_t test_count;
+    int max_epochs;
+    double target_accuracy;
+    float learning_rate;
+};
+
+WorkloadSpec
+spec_for(const std::string& name)
+{
+    if (name == "lenet") {
+        return {6000, 1500, 5, 0.97, 1e-3f};
+    }
+    if (name == "cifar") {
+        return {5000, 1200, 4, 0.95, 1e-3f};
+    }
+    if (name == "svhn") {
+        return {4000, 1200, 4, 0.93, 1e-3f};
+    }
+    if (name == "alexnet") {
+        return {2500, 800, 7, 0.90, 1e-3f};
+    }
+    SHREDDER_FATAL("unknown benchmark '", name, "'");
+}
+
+std::unique_ptr<data::Dataset>
+make_dataset(const std::string& name, std::int64_t count,
+             std::uint64_t seed)
+{
+    if (name == "lenet") {
+        data::DigitsConfig c;
+        c.count = count;
+        c.seed = seed;
+        return std::make_unique<data::DigitsDataset>(c);
+    }
+    if (name == "cifar") {
+        data::ObjectsConfig c;
+        c.count = count;
+        c.seed = seed;
+        return std::make_unique<data::ObjectsDataset>(c);
+    }
+    if (name == "svhn") {
+        data::StreetDigitsConfig c;
+        c.count = count;
+        c.seed = seed;
+        return std::make_unique<data::StreetDigitsDataset>(c);
+    }
+    if (name == "alexnet") {
+        data::TexturesConfig c;
+        c.count = count;
+        c.seed = seed;
+        return std::make_unique<data::TexturesDataset>(c);
+    }
+    SHREDDER_FATAL("unknown benchmark '", name, "'");
+}
+
+std::string
+resolve_cache_dir(const std::string& requested)
+{
+    if (!requested.empty()) {
+        return requested;
+    }
+    if (const char* env = std::getenv("SHREDDER_CACHE")) {
+        return env;
+    }
+    return ".cache";
+}
+
+}  // namespace
+
+const std::vector<std::string>&
+benchmark_names()
+{
+    static const std::vector<std::string> names{"lenet", "cifar", "svhn",
+                                                "alexnet"};
+    return names;
+}
+
+Benchmark
+make_benchmark(const std::string& name, const BenchmarkOptions& options)
+{
+    const WorkloadSpec spec = spec_for(name);
+    const std::int64_t train_count =
+        options.train_count > 0 ? options.train_count : spec.train_count;
+    const std::int64_t test_count =
+        options.test_count > 0 ? options.test_count : spec.test_count;
+
+    Benchmark b;
+    b.name = name;
+    Rng rng(options.seed);
+    b.net = make_network(name, rng);
+    b.input_shape = input_shape_for(name);
+    // Distinct seeds keep the train and test splits disjoint.
+    b.train_set = make_dataset(name, train_count, options.seed * 31 + 1);
+    b.test_set = make_dataset(name, test_count, options.seed * 31 + 2);
+    b.conv_cuts = split::conv_cut_points(*b.net);
+    SHREDDER_CHECK(!b.conv_cuts.empty(), "network has no conv cut points");
+    b.last_conv_cut = b.conv_cuts.back();
+
+    const std::string cache_dir = resolve_cache_dir(options.cache_dir);
+    std::filesystem::create_directories(cache_dir);
+    const std::string ckpt = cache_dir + "/" + name + ".ckpt";
+
+    bool loaded = false;
+    if (!options.force_retrain && std::filesystem::exists(ckpt)) {
+        b.net->load_checkpoint(ckpt);
+        loaded = true;
+        if (options.verbose) {
+            inform("benchmark '", name, "': loaded checkpoint ", ckpt);
+        }
+    }
+    if (!loaded) {
+        TrainConfig cfg;
+        cfg.max_epochs = spec.max_epochs;
+        cfg.target_accuracy = spec.target_accuracy;
+        cfg.learning_rate = spec.learning_rate;
+        cfg.verbose = options.verbose;
+        if (options.verbose) {
+            inform("benchmark '", name, "': pre-training on ", train_count,
+                   " samples…");
+        }
+        Rng train_rng = rng.fork();
+        const TrainReport report = train_model(
+            *b.net, *b.train_set, *b.test_set, cfg, train_rng);
+        if (options.verbose) {
+            inform("benchmark '", name, "': pre-trained to test_acc=",
+                   report.test_accuracy, " in ", report.seconds, "s");
+        }
+        b.net->save_checkpoint(ckpt);
+    }
+
+    b.baseline_accuracy =
+        evaluate_accuracy(*b.net, *b.test_set, /*max_samples=*/test_count);
+    return b;
+}
+
+}  // namespace models
+}  // namespace shredder

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Benchmark bundles: (pre-trained network, dataset pair, cut points)
+ * for each of the paper's four workloads, with checkpoint caching so
+ * the expensive pre-training happens once per machine.
+ */
+#ifndef SHREDDER_MODELS_BENCHMARK_H
+#define SHREDDER_MODELS_BENCHMARK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/trainer.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace models {
+
+/** Everything an experiment needs for one workload. */
+struct Benchmark
+{
+    std::string name;  ///< "lenet" | "cifar" | "svhn" | "alexnet".
+    std::unique_ptr<nn::Sequential> net;
+    std::unique_ptr<data::Dataset> train_set;
+    std::unique_ptr<data::Dataset> test_set;
+    Shape input_shape;                      ///< CHW.
+    std::vector<std::int64_t> conv_cuts;    ///< After Conv0, Conv1, ….
+    std::int64_t last_conv_cut = 0;         ///< The paper's default cut.
+    double baseline_accuracy = 0.0;         ///< Test accuracy of f.
+};
+
+/** Options controlling benchmark construction. */
+struct BenchmarkOptions
+{
+    std::int64_t train_count = 0;  ///< 0 = per-workload default.
+    std::int64_t test_count = 0;   ///< 0 = per-workload default.
+    /** Checkpoint cache directory ("" = SHREDDER_CACHE env or .cache). */
+    std::string cache_dir;
+    bool force_retrain = false;
+    bool verbose = true;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Build (and pre-train, or load from cache) one benchmark workload.
+ *
+ * @param name  "lenet", "cifar", "svhn" or "alexnet".
+ */
+Benchmark make_benchmark(const std::string& name,
+                         const BenchmarkOptions& options = {});
+
+/** The four paper workload names in Table 1 order. */
+const std::vector<std::string>& benchmark_names();
+
+}  // namespace models
+}  // namespace shredder
+
+#endif  // SHREDDER_MODELS_BENCHMARK_H

@@ -1,0 +1,91 @@
+#include "src/models/trainer.h"
+
+#include <algorithm>
+
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/runtime/logging.h"
+#include "src/runtime/stopwatch.h"
+
+namespace shredder {
+namespace models {
+
+double
+evaluate_accuracy(nn::Sequential& net, const data::Dataset& ds,
+                  std::int64_t max_samples, std::int64_t batch_size)
+{
+    const std::int64_t total =
+        max_samples > 0 ? std::min(max_samples, ds.size()) : ds.size();
+    std::int64_t done = 0;
+    double correct_weighted = 0.0;
+    while (done < total) {
+        const std::int64_t count = std::min(batch_size, total - done);
+        const data::Batch batch = data::materialize(ds, done, count);
+        const Tensor logits = net.forward(batch.images, nn::Mode::kEval);
+        correct_weighted +=
+            nn::accuracy(logits, batch.labels) * static_cast<double>(count);
+        done += count;
+    }
+    return total == 0 ? 0.0 : correct_weighted / static_cast<double>(total);
+}
+
+TrainReport
+train_model(nn::Sequential& net, const data::Dataset& train_set,
+            const data::Dataset& test_set, const TrainConfig& config,
+            Rng& rng)
+{
+    SHREDDER_REQUIRE(config.max_epochs > 0, "trainer needs epochs > 0");
+    Stopwatch clock;
+    nn::Adam optimizer(net.parameters(), config.learning_rate);
+    nn::CrossEntropyLoss loss_fn;
+    data::DataLoader loader(train_set, config.batch_size, /*shuffle=*/true,
+                            rng);
+
+    TrainReport report;
+    double running_acc = 0.0;
+    for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+        loader.reset();
+        std::int64_t batches = 0;
+        double epoch_acc = 0.0;
+        while (auto batch = loader.next()) {
+            optimizer.zero_grad();
+            const Tensor logits =
+                net.forward(batch->images, nn::Mode::kTrain);
+            const nn::LossResult loss =
+                loss_fn.compute(logits, batch->labels);
+            net.backward(loss.grad);
+            optimizer.step();
+            epoch_acc += nn::accuracy(logits, batch->labels);
+            ++batches;
+            if (config.max_batches_per_epoch > 0 &&
+                batches >= config.max_batches_per_epoch) {
+                break;
+            }
+        }
+        running_acc = batches > 0
+                          ? epoch_acc / static_cast<double>(batches)
+                          : 0.0;
+        report.epochs_run = static_cast<double>(epoch + 1);
+
+        const double test_acc =
+            evaluate_accuracy(net, test_set, config.eval_samples);
+        report.test_accuracy = test_acc;
+        if (config.verbose) {
+            inform("epoch ", epoch + 1, "/", config.max_epochs,
+                   ": train_acc=", running_acc, " test_acc=", test_acc,
+                   " lr=", optimizer.learning_rate());
+        }
+        if (config.target_accuracy > 0.0 &&
+            test_acc >= config.target_accuracy) {
+            break;
+        }
+        optimizer.set_learning_rate(optimizer.learning_rate() *
+                                    config.lr_decay_per_epoch);
+    }
+    report.final_train_accuracy = running_acc;
+    report.seconds = clock.seconds();
+    return report;
+}
+
+}  // namespace models
+}  // namespace shredder

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pre-training harness for the zoo networks.
+ *
+ * Shredder assumes a *pre-trained* f(x, θ); since no published weights
+ * can be shipped, this trainer produces them from the synthetic
+ * datasets, after which the weights are frozen for all noise-learning
+ * experiments.
+ */
+#ifndef SHREDDER_MODELS_TRAINER_H
+#define SHREDDER_MODELS_TRAINER_H
+
+#include <string>
+
+#include "src/data/dataloader.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace models {
+
+/** Knobs for the pre-training loop. */
+struct TrainConfig
+{
+    int max_epochs = 5;
+    std::int64_t batch_size = 32;
+    float learning_rate = 1e-3f;
+    float lr_decay_per_epoch = 0.7f;
+    /** Stop once test accuracy reaches this level (0 disables). */
+    double target_accuracy = 0.0;
+    /** Cap on batches per epoch (0 = full epoch). */
+    std::int64_t max_batches_per_epoch = 0;
+    /** Samples used for the per-epoch test evaluation. */
+    std::int64_t eval_samples = 512;
+    bool verbose = true;
+};
+
+/** What the training loop achieved. */
+struct TrainReport
+{
+    double epochs_run = 0.0;
+    double final_train_accuracy = 0.0;
+    double test_accuracy = 0.0;
+    double seconds = 0.0;
+};
+
+/**
+ * Train `net` on `train_set` with Adam + cross-entropy.
+ *
+ * @returns Achieved accuracies and wall-clock cost.
+ */
+TrainReport train_model(nn::Sequential& net, const data::Dataset& train_set,
+                        const data::Dataset& test_set,
+                        const TrainConfig& config, Rng& rng);
+
+/**
+ * Top-1 accuracy of `net` over the first `max_samples` of `ds`
+ * (kEval mode, batched).
+ */
+double evaluate_accuracy(nn::Sequential& net, const data::Dataset& ds,
+                         std::int64_t max_samples = 0,
+                         std::int64_t batch_size = 64);
+
+}  // namespace models
+}  // namespace shredder
+
+#endif  // SHREDDER_MODELS_TRAINER_H

@@ -1,0 +1,182 @@
+#include "src/models/zoo.h"
+
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dropout.h"
+#include "src/nn/flatten.h"
+#include "src/nn/linear.h"
+#include "src/nn/lrn.h"
+#include "src/nn/pool.h"
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace models {
+
+namespace {
+
+nn::Conv2dConfig
+conv(std::int64_t in, std::int64_t out, std::int64_t k, std::int64_t stride,
+     std::int64_t pad)
+{
+    nn::Conv2dConfig c;
+    c.in_channels = in;
+    c.out_channels = out;
+    c.kernel = k;
+    c.stride = stride;
+    c.padding = pad;
+    return c;
+}
+
+nn::PoolConfig
+pool(std::int64_t k, std::int64_t stride)
+{
+    nn::PoolConfig p;
+    p.kernel = k;
+    p.stride = stride;
+    return p;
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential>
+make_lenet(Rng& rng)
+{
+    auto net = std::make_unique<nn::Sequential>();
+    // C1 (Conv0): 1×28×28 → 6×28×28
+    net->emplace<nn::Conv2d>(conv(1, 6, 5, 1, 2), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 6×14×14
+    // C3 (Conv1): → 16×10×10
+    net->emplace<nn::Conv2d>(conv(6, 16, 5, 1, 0), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 16×5×5
+    // C5 (Conv2): → 120×1×1 — the paper's last-conv cutting point.
+    net->emplace<nn::Conv2d>(conv(16, 120, 5, 1, 0), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(120, 84, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Linear>(84, 10, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+make_cifar_net(Rng& rng)
+{
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Conv2d>(conv(3, 32, 3, 1, 1), rng);  // Conv0
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 32×16×16
+    net->emplace<nn::Conv2d>(conv(32, 48, 3, 1, 1), rng);  // Conv1
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 48×8×8
+    net->emplace<nn::Conv2d>(conv(48, 64, 3, 1, 1), rng);  // Conv2 (last)
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 64×4×4
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(64 * 4 * 4, 128, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Dropout>(0.25f, rng);
+    net->emplace<nn::Linear>(128, 10, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+make_svhn_net(Rng& rng)
+{
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Conv2d>(conv(3, 32, 3, 1, 1), rng);  // Conv0, 32×32
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Conv2d>(conv(32, 32, 3, 1, 1), rng);  // Conv1
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 16×16
+    net->emplace<nn::Conv2d>(conv(32, 48, 3, 1, 1), rng);  // Conv2
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Conv2d>(conv(48, 48, 3, 1, 1), rng);  // Conv3
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 8×8
+    net->emplace<nn::Conv2d>(conv(48, 64, 3, 1, 1), rng);  // Conv4
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Conv2d>(conv(64, 64, 3, 1, 1), rng);  // Conv5
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(2, 2));  // → 4×4
+    // Conv6: bottleneck with a far smaller output volume (16×4×4).
+    net->emplace<nn::Conv2d>(conv(64, 16, 3, 1, 1), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(16 * 4 * 4, 128, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Dropout>(0.25f, rng);
+    net->emplace<nn::Linear>(128, 10, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+make_alexnet(Rng& rng, std::int64_t num_classes)
+{
+    SHREDDER_REQUIRE(num_classes >= 2, "alexnet needs >= 2 classes");
+    auto net = std::make_unique<nn::Sequential>();
+    // Conv1 + LRN + overlapping pool: 3×64×64 → 32×32×32 → 32×15×15
+    net->emplace<nn::Conv2d>(conv(3, 32, 5, 2, 2), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::LocalResponseNorm>(nn::LrnConfig{});
+    net->emplace<nn::MaxPool2d>(pool(3, 2));
+    // Conv2 + LRN + pool: → 64×15×15 → 64×7×7
+    net->emplace<nn::Conv2d>(conv(32, 64, 5, 1, 2), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::LocalResponseNorm>(nn::LrnConfig{});
+    net->emplace<nn::MaxPool2d>(pool(3, 2));
+    // Conv3–Conv5: 7×7 feature maps
+    net->emplace<nn::Conv2d>(conv(64, 64, 3, 1, 1), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Conv2d>(conv(64, 48, 3, 1, 1), rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Conv2d>(conv(48, 48, 3, 1, 1), rng);  // last conv
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(pool(3, 2));  // → 48×3×3
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(48 * 3 * 3, 256, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Dropout>(0.5f, rng);
+    net->emplace<nn::Linear>(256, 128, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Dropout>(0.5f, rng);
+    net->emplace<nn::Linear>(128, num_classes, rng);
+    return net;
+}
+
+Shape
+input_shape_for(const std::string& name)
+{
+    if (name == "lenet") {
+        return Shape({1, 28, 28});
+    }
+    if (name == "cifar" || name == "svhn") {
+        return Shape({3, 32, 32});
+    }
+    if (name == "alexnet") {
+        return Shape({3, 64, 64});
+    }
+    SHREDDER_FATAL("unknown network name '", name, "'");
+}
+
+std::unique_ptr<nn::Sequential>
+make_network(const std::string& name, Rng& rng)
+{
+    if (name == "lenet") {
+        return make_lenet(rng);
+    }
+    if (name == "cifar") {
+        return make_cifar_net(rng);
+    }
+    if (name == "svhn") {
+        return make_svhn_net(rng);
+    }
+    if (name == "alexnet") {
+        return make_alexnet(rng);
+    }
+    SHREDDER_FATAL("unknown network name '", name, "'");
+}
+
+}  // namespace models
+}  // namespace shredder

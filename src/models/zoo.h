@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The benchmark networks of the paper (§3): LeNet, a CIFAR-10 CNN, an
+ * SVHN CNN with seven convolution layers (Conv0–Conv6, matching the
+ * cutting-point figures), and a dimension-scaled AlexNet.
+ *
+ * Topologies follow the paper's networks; AlexNet is width/input
+ * scaled for CPU-only experimentation (documented in DESIGN.md §2) —
+ * 5 convolutions, LRN after the first two, overlapping 3×3/s2 max
+ * pooling and a 3-layer classifier are preserved.
+ */
+#ifndef SHREDDER_MODELS_ZOO_H
+#define SHREDDER_MODELS_ZOO_H
+
+#include <memory>
+#include <string>
+
+#include "src/nn/sequential.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace models {
+
+/**
+ * LeNet-5 for 1×28×28 inputs: three convolutions (C1, C3, C5 — the
+ * paper's Conv0/1/2), two subsampling stages and a two-layer
+ * classifier.
+ */
+std::unique_ptr<nn::Sequential> make_lenet(Rng& rng);
+
+/** 3-conv CIFAR-10-style CNN for 3×32×32 inputs, 10 classes. */
+std::unique_ptr<nn::Sequential> make_cifar_net(Rng& rng);
+
+/**
+ * 7-conv SVHN CNN for 3×32×32 inputs. Conv6 deliberately has a much
+ * smaller output volume than its predecessors — the property §3.4
+ * exploits when it picks Conv6 as the cutting point.
+ */
+std::unique_ptr<nn::Sequential> make_svhn_net(Rng& rng);
+
+/**
+ * Dimension-scaled AlexNet for 3×64×64 inputs.
+ *
+ * @param num_classes  Classifier width (default 16 for the textures
+ *                     dataset).
+ */
+std::unique_ptr<nn::Sequential> make_alexnet(Rng& rng,
+                                             std::int64_t num_classes = 16);
+
+/** Input CHW shape each zoo network expects. */
+Shape input_shape_for(const std::string& name);
+
+/** Build a zoo network by name ("lenet", "cifar", "svhn", "alexnet"). */
+std::unique_ptr<nn::Sequential> make_network(const std::string& name,
+                                             Rng& rng);
+
+}  // namespace models
+}  // namespace shredder
+
+#endif  // SHREDDER_MODELS_ZOO_H

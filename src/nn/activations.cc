@@ -1,0 +1,74 @@
+#include "src/nn/activations.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace nn {
+
+Tensor
+ReLU::forward(const Tensor& x, Mode mode)
+{
+    Tensor y = x;
+    float* p = y.data();
+    const std::int64_t n = y.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        if (p[i] < 0.0f) {
+            p[i] = 0.0f;
+        }
+    }
+    cached_input_ = x;
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(!cached_input_.empty(), "ReLU::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached_input_.shape(),
+                   "ReLU grad shape mismatch");
+    Tensor grad_in = grad_out;
+    float* g = grad_in.data();
+    const float* x = cached_input_.data();
+    const std::int64_t n = grad_in.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        if (x[i] <= 0.0f) {
+            g[i] = 0.0f;
+        }
+    }
+    return grad_in;
+}
+
+Tensor
+Tanh::forward(const Tensor& x, Mode mode)
+{
+    Tensor y = x;
+    float* p = y.data();
+    const std::int64_t n = y.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        p[i] = std::tanh(p[i]);
+    }
+    cached_output_ = y;
+    return y;
+}
+
+Tensor
+Tanh::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(!cached_output_.empty(),
+                   "Tanh::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached_output_.shape(),
+                   "Tanh grad shape mismatch");
+    Tensor grad_in = grad_out;
+    float* g = grad_in.data();
+    const float* y = cached_output_.data();
+    const std::int64_t n = grad_in.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        g[i] *= 1.0f - y[i] * y[i];
+    }
+    return grad_in;
+}
+
+}  // namespace nn
+}  // namespace shredder

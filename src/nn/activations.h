@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Pointwise activation layers (ReLU, Tanh).
+ */
+#ifndef SHREDDER_NN_ACTIVATIONS_H
+#define SHREDDER_NN_ACTIVATIONS_H
+
+#include <string>
+
+#include "src/nn/layer.h"
+
+namespace shredder {
+namespace nn {
+
+/** Rectified linear unit: y = max(0, x). */
+class ReLU final : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "relu"; }
+    Shape output_shape(const Shape& in) const override { return in; }
+
+  private:
+    Tensor cached_input_;
+};
+
+/** Hyperbolic tangent activation (classic LeNet uses it). */
+class Tanh final : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "tanh"; }
+    Shape output_shape(const Shape& in) const override { return in; }
+
+  private:
+    Tensor cached_output_;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_ACTIVATIONS_H

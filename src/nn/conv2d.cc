@@ -1,0 +1,183 @@
+#include "src/nn/conv2d.h"
+
+#include <vector>
+
+#include "src/nn/init.h"
+#include "src/runtime/logging.h"
+#include "src/runtime/thread_pool.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/im2col.h"
+
+namespace shredder {
+namespace nn {
+
+Conv2d::Conv2d(const Conv2dConfig& config, Rng& rng) : config_(config)
+{
+    SHREDDER_REQUIRE(config.in_channels > 0 && config.out_channels > 0 &&
+                         config.kernel > 0 && config.stride > 0 &&
+                         config.padding >= 0,
+                     "bad Conv2d config");
+    const std::int64_t fan_in =
+        config.in_channels * config.kernel * config.kernel;
+    Tensor w(Shape({config.out_channels, fan_in}));
+    kaiming_normal(w, fan_in, rng);
+    weight_ = Parameter("conv2d.weight", std::move(w));
+    if (config.bias) {
+        bias_ = Parameter("conv2d.bias", Tensor(Shape({config.out_channels})));
+    }
+}
+
+Shape
+Conv2d::output_shape(const Shape& in) const
+{
+    SHREDDER_REQUIRE(in.rank() == 4, "Conv2d wants NCHW, got ",
+                     in.to_string());
+    SHREDDER_REQUIRE(in[1] == config_.in_channels, "Conv2d expects ",
+                     config_.in_channels, " channels, got ", in[1]);
+    const std::int64_t oh =
+        conv_out_extent(in[2], config_.kernel, config_.stride,
+                        config_.padding);
+    const std::int64_t ow =
+        conv_out_extent(in[3], config_.kernel, config_.stride,
+                        config_.padding);
+    SHREDDER_REQUIRE(oh > 0 && ow > 0, "Conv2d output collapses for input ",
+                     in.to_string());
+    return Shape({in[0], config_.out_channels, oh, ow});
+}
+
+std::vector<Parameter*>
+Conv2d::parameters()
+{
+    std::vector<Parameter*> out{&weight_};
+    if (config_.bias) {
+        out.push_back(&bias_);
+    }
+    return out;
+}
+
+std::int64_t
+Conv2d::macs(const Shape& in) const
+{
+    const Shape out = output_shape(in);
+    const std::int64_t fan_in =
+        config_.in_channels * config_.kernel * config_.kernel;
+    // Per sample: every output element is a fan_in-long dot product.
+    return config_.out_channels * out[2] * out[3] * fan_in;
+}
+
+Tensor
+Conv2d::forward(const Tensor& x, Mode mode)
+{
+    const Shape out_shape = output_shape(x.shape());
+    const std::int64_t batch = x.shape()[0];
+    const std::int64_t in_c = x.shape()[1];
+    const std::int64_t in_h = x.shape()[2];
+    const std::int64_t in_w = x.shape()[3];
+    const std::int64_t out_c = out_shape[1];
+    const std::int64_t out_h = out_shape[2];
+    const std::int64_t out_w = out_shape[3];
+    const std::int64_t col_rows = in_c * config_.kernel * config_.kernel;
+    const std::int64_t col_cols = out_h * out_w;
+
+    Tensor y(out_shape);
+    const float* xp = x.data();
+    float* yp = y.data();
+    const float* wp = weight_.value.data();
+
+    parallel_for(0, batch, [&](std::int64_t n) {
+        std::vector<float> col(
+            static_cast<std::size_t>(col_rows * col_cols));
+        im2col(xp + n * in_c * in_h * in_w, in_c, in_h, in_w,
+               config_.kernel, config_.kernel, config_.stride,
+               config_.stride, config_.padding, config_.padding,
+               col.data());
+        // out[Cout, OHOW] = W[Cout, col_rows] · col[col_rows, OHOW]
+        gemm(false, false, out_c, col_cols, col_rows, 1.0f, wp, col.data(),
+             0.0f, yp + n * out_c * col_cols);
+        if (config_.bias) {
+            const float* bp = bias_.value.data();
+            float* orow = yp + n * out_c * col_cols;
+            for (std::int64_t c = 0; c < out_c; ++c) {
+                const float b = bp[c];
+                for (std::int64_t i = 0; i < col_cols; ++i) {
+                    orow[c * col_cols + i] += b;
+                }
+            }
+        }
+    });
+
+    cached_input_ = x;
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(!cached_input_.empty(),
+                   "Conv2d::backward without forward");
+    const Tensor& x = cached_input_;
+    const Shape out_shape = output_shape(x.shape());
+    SHREDDER_CHECK(grad_out.shape() == out_shape,
+                   "Conv2d grad shape mismatch: ",
+                   grad_out.shape().to_string(), " vs ",
+                   out_shape.to_string());
+
+    const std::int64_t batch = x.shape()[0];
+    const std::int64_t in_c = x.shape()[1];
+    const std::int64_t in_h = x.shape()[2];
+    const std::int64_t in_w = x.shape()[3];
+    const std::int64_t out_c = out_shape[1];
+    const std::int64_t out_h = out_shape[2];
+    const std::int64_t out_w = out_shape[3];
+    const std::int64_t col_rows = in_c * config_.kernel * config_.kernel;
+    const std::int64_t col_cols = out_h * out_w;
+
+    Tensor grad_in(x.shape());
+    const float* gp = grad_out.data();
+    const float* wp = weight_.value.data();
+    const bool need_wgrad = !weight_.frozen;
+
+    std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+    std::vector<float> col_grad(
+        static_cast<std::size_t>(col_rows * col_cols));
+
+    // Serial over batch: weight gradients accumulate into shared
+    // storage and batches are small; correctness over parallelism here.
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* gn = gp + n * out_c * col_cols;
+        if (need_wgrad) {
+            im2col(x.data() + n * in_c * in_h * in_w, in_c, in_h, in_w,
+                   config_.kernel, config_.kernel, config_.stride,
+                   config_.stride, config_.padding, config_.padding,
+                   col.data());
+            // dW[Cout, col_rows] += g[Cout, OHOW] · colᵀ[OHOW, col_rows]
+            gemm(false, true, out_c, col_rows, col_cols, 1.0f, gn,
+                 col.data(), 1.0f, weight_.grad.data());
+        }
+        // col_grad[col_rows, OHOW] = Wᵀ[col_rows, Cout] · g[Cout, OHOW]
+        gemm(true, false, col_rows, col_cols, out_c, 1.0f, wp, gn, 0.0f,
+             col_grad.data());
+        col2im(col_grad.data(), in_c, in_h, in_w, config_.kernel,
+               config_.kernel, config_.stride, config_.stride,
+               config_.padding, config_.padding,
+               grad_in.data() + n * in_c * in_h * in_w);
+    }
+
+    if (config_.bias && !bias_.frozen) {
+        float* bg = bias_.grad.data();
+        for (std::int64_t n = 0; n < batch; ++n) {
+            for (std::int64_t c = 0; c < out_c; ++c) {
+                const float* row = gp + (n * out_c + c) * col_cols;
+                double s = 0.0;
+                for (std::int64_t i = 0; i < col_cols; ++i) {
+                    s += row[i];
+                }
+                bg[c] += static_cast<float>(s);
+            }
+        }
+    }
+    return grad_in;
+}
+
+}  // namespace nn
+}  // namespace shredder

@@ -1,0 +1,53 @@
+#include "src/nn/dropout.h"
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace nn {
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.fork())
+{
+    SHREDDER_REQUIRE(p >= 0.0f && p < 1.0f,
+                     "dropout probability must be in [0, 1), got ", p);
+}
+
+Tensor
+Dropout::forward(const Tensor& x, Mode mode)
+{
+    if (mode == Mode::kEval || p_ == 0.0f) {
+        last_was_train_ = false;
+        return x;
+    }
+    last_was_train_ = true;
+    const float keep_scale = 1.0f / (1.0f - p_);
+    mask_.resize(static_cast<std::size_t>(x.size()));
+    Tensor y = x;
+    float* yp = y.data();
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+        const float m =
+            rng_.bernoulli(static_cast<double>(p_)) ? 0.0f : keep_scale;
+        mask_[static_cast<std::size_t>(i)] = m;
+        yp[i] *= m;
+    }
+    return y;
+}
+
+Tensor
+Dropout::backward(const Tensor& grad_out)
+{
+    if (!last_was_train_) {
+        return grad_out;
+    }
+    SHREDDER_CHECK(static_cast<std::size_t>(grad_out.size()) ==
+                       mask_.size(),
+                   "Dropout grad size mismatch");
+    Tensor grad_in = grad_out;
+    float* g = grad_in.data();
+    for (std::int64_t i = 0; i < grad_in.size(); ++i) {
+        g[i] *= mask_[static_cast<std::size_t>(i)];
+    }
+    return grad_in;
+}
+
+}  // namespace nn
+}  // namespace shredder

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Inverted dropout layer.
+ */
+#ifndef SHREDDER_NN_DROPOUT_H
+#define SHREDDER_NN_DROPOUT_H
+
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace nn {
+
+/**
+ * Inverted dropout: in kTrain mode each element is zeroed with
+ * probability p and survivors are scaled by 1/(1−p), so kEval is a
+ * pure pass-through.
+ */
+class Dropout final : public Layer
+{
+  public:
+    /**
+     * @param p    Drop probability in [0, 1).
+     * @param rng  Source of the drop masks (forked for independence).
+     */
+    Dropout(float p, Rng& rng);
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "dropout"; }
+    Shape output_shape(const Shape& in) const override { return in; }
+
+    float drop_probability() const { return p_; }
+
+  private:
+    float p_;
+    Rng rng_;
+    std::vector<float> mask_;  ///< Scale applied per element (0 or 1/(1−p)).
+    bool last_was_train_ = false;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_DROPOUT_H

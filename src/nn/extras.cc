@@ -1,0 +1,245 @@
+#include "src/nn/extras.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+#include "src/tensor/ops.h"
+
+namespace shredder {
+namespace nn {
+
+Tensor
+Sigmoid::forward(const Tensor& x, Mode mode)
+{
+    Tensor y = x;
+    float* p = y.data();
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+        p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+    }
+    cached_output_ = y;
+    return y;
+}
+
+Tensor
+Sigmoid::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(!cached_output_.empty(),
+                   "Sigmoid::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached_output_.shape(),
+                   "Sigmoid grad shape mismatch");
+    Tensor grad_in = grad_out;
+    float* g = grad_in.data();
+    const float* y = cached_output_.data();
+    for (std::int64_t i = 0; i < grad_in.size(); ++i) {
+        g[i] *= y[i] * (1.0f - y[i]);
+    }
+    return grad_in;
+}
+
+LeakyReLU::LeakyReLU(float slope) : slope_(slope)
+{
+    SHREDDER_REQUIRE(slope >= 0.0f && slope < 1.0f,
+                     "leaky slope must be in [0, 1), got ", slope);
+}
+
+Tensor
+LeakyReLU::forward(const Tensor& x, Mode mode)
+{
+    Tensor y = x;
+    float* p = y.data();
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+        if (p[i] < 0.0f) {
+            p[i] *= slope_;
+        }
+    }
+    cached_input_ = x;
+    return y;
+}
+
+Tensor
+LeakyReLU::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(!cached_input_.empty(),
+                   "LeakyReLU::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached_input_.shape(),
+                   "LeakyReLU grad shape mismatch");
+    Tensor grad_in = grad_out;
+    float* g = grad_in.data();
+    const float* x = cached_input_.data();
+    for (std::int64_t i = 0; i < grad_in.size(); ++i) {
+        if (x[i] <= 0.0f) {
+            g[i] *= slope_;
+        }
+    }
+    return grad_in;
+}
+
+Shape
+Softmax::output_shape(const Shape& in) const
+{
+    SHREDDER_REQUIRE(in.rank() == 2, "Softmax wants rank-2, got ",
+                     in.to_string());
+    return in;
+}
+
+Tensor
+Softmax::forward(const Tensor& x, Mode mode)
+{
+    Tensor y = ops::softmax_rows(x);
+    cached_output_ = y;
+    return y;
+}
+
+Tensor
+Softmax::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(!cached_output_.empty(),
+                   "Softmax::backward without forward");
+    const Tensor& y = cached_output_;
+    SHREDDER_CHECK(grad_out.shape() == y.shape(),
+                   "Softmax grad shape mismatch");
+    // dL/dx_i = y_i (g_i − Σ_j g_j y_j) per row.
+    const std::int64_t rows = y.shape()[0];
+    const std::int64_t cols = y.shape()[1];
+    Tensor grad_in(y.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* yr = y.data() + r * cols;
+        const float* gr = grad_out.data() + r * cols;
+        float* o = grad_in.data() + r * cols;
+        double dot = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            dot += static_cast<double>(gr[c]) * yr[c];
+        }
+        for (std::int64_t c = 0; c < cols; ++c) {
+            o[c] = yr[c] * (gr[c] - static_cast<float>(dot));
+        }
+    }
+    return grad_in;
+}
+
+Crop2d::Crop2d(std::int64_t height, std::int64_t width)
+    : height_(height), width_(width)
+{
+    SHREDDER_REQUIRE(height > 0 && width > 0, "bad crop size");
+}
+
+Shape
+Crop2d::output_shape(const Shape& in) const
+{
+    SHREDDER_REQUIRE(in.rank() == 4, "Crop2d wants NCHW, got ",
+                     in.to_string());
+    SHREDDER_REQUIRE(in[2] >= height_ && in[3] >= width_, "crop ",
+                     height_, "x", width_, " larger than input ",
+                     in.to_string());
+    return Shape({in[0], in[1], height_, width_});
+}
+
+Tensor
+Crop2d::forward(const Tensor& x, Mode mode)
+{
+    const Shape out_shape = output_shape(x.shape());
+    cached_in_shape_ = x.shape();
+    const std::int64_t planes = x.shape()[0] * x.shape()[1];
+    const std::int64_t ih = x.shape()[2], iw = x.shape()[3];
+    Tensor y(out_shape);
+    const float* xp = x.data();
+    float* yp = y.data();
+    for (std::int64_t p = 0; p < planes; ++p) {
+        for (std::int64_t i = 0; i < height_; ++i) {
+            const float* src = xp + (p * ih + i) * iw;
+            float* dst = yp + (p * height_ + i) * width_;
+            std::copy(src, src + width_, dst);
+        }
+    }
+    return y;
+}
+
+Tensor
+Crop2d::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
+                   "Crop2d::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == output_shape(cached_in_shape_),
+                   "Crop2d grad shape mismatch");
+    const std::int64_t planes =
+        cached_in_shape_[0] * cached_in_shape_[1];
+    const std::int64_t ih = cached_in_shape_[2];
+    const std::int64_t iw = cached_in_shape_[3];
+    Tensor grad_in(cached_in_shape_);
+    const float* gp = grad_out.data();
+    float* op = grad_in.data();
+    for (std::int64_t p = 0; p < planes; ++p) {
+        for (std::int64_t i = 0; i < height_; ++i) {
+            const float* src = gp + (p * height_ + i) * width_;
+            float* dst = op + (p * ih + i) * iw;
+            std::copy(src, src + width_, dst);
+        }
+    }
+    return grad_in;
+}
+
+Shape
+Upsample2x::output_shape(const Shape& in) const
+{
+    SHREDDER_REQUIRE(in.rank() == 4, "Upsample2x wants NCHW, got ",
+                     in.to_string());
+    return Shape({in[0], in[1], in[2] * 2, in[3] * 2});
+}
+
+Tensor
+Upsample2x::forward(const Tensor& x, Mode mode)
+{
+    const Shape out_shape = output_shape(x.shape());
+    cached_in_shape_ = x.shape();
+    const std::int64_t planes = x.shape()[0] * x.shape()[1];
+    const std::int64_t ih = x.shape()[2], iw = x.shape()[3];
+    Tensor y(out_shape);
+    const float* xp = x.data();
+    float* yp = y.data();
+    for (std::int64_t p = 0; p < planes; ++p) {
+        const float* in = xp + p * ih * iw;
+        float* out = yp + p * ih * iw * 4;
+        for (std::int64_t i = 0; i < ih; ++i) {
+            for (std::int64_t j = 0; j < iw; ++j) {
+                const float v = in[i * iw + j];
+                const std::int64_t base = (2 * i) * (2 * iw) + 2 * j;
+                out[base] = v;
+                out[base + 1] = v;
+                out[base + 2 * iw] = v;
+                out[base + 2 * iw + 1] = v;
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+Upsample2x::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
+                   "Upsample2x::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == output_shape(cached_in_shape_),
+                   "Upsample2x grad shape mismatch");
+    const std::int64_t planes =
+        cached_in_shape_[0] * cached_in_shape_[1];
+    const std::int64_t ih = cached_in_shape_[2];
+    const std::int64_t iw = cached_in_shape_[3];
+    Tensor grad_in(cached_in_shape_);
+    const float* gp = grad_out.data();
+    float* op = grad_in.data();
+    for (std::int64_t p = 0; p < planes; ++p) {
+        const float* g = gp + p * ih * iw * 4;
+        float* out = op + p * ih * iw;
+        for (std::int64_t i = 0; i < ih; ++i) {
+            for (std::int64_t j = 0; j < iw; ++j) {
+                const std::int64_t base = (2 * i) * (2 * iw) + 2 * j;
+                out[i * iw + j] = g[base] + g[base + 1] +
+                                  g[base + 2 * iw] + g[base + 2 * iw + 1];
+            }
+        }
+    }
+    return grad_in;
+}
+
+}  // namespace nn
+}  // namespace shredder

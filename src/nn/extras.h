@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Additional layers: Sigmoid, LeakyReLU, Softmax and nearest-neighbor
+ * 2× upsampling. The upsampler is what the reconstruction-attack
+ * decoder (src/attacks) uses to invert pooled feature maps back to
+ * image resolution.
+ */
+#ifndef SHREDDER_NN_EXTRAS_H
+#define SHREDDER_NN_EXTRAS_H
+
+#include <string>
+
+#include "src/nn/layer.h"
+
+namespace shredder {
+namespace nn {
+
+/** Logistic sigmoid: y = 1 / (1 + e^{−x}). */
+class Sigmoid final : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "sigmoid"; }
+    Shape output_shape(const Shape& in) const override { return in; }
+
+  private:
+    Tensor cached_output_;
+};
+
+/** Leaky rectifier: y = x if x > 0 else slope·x. */
+class LeakyReLU final : public Layer
+{
+  public:
+    explicit LeakyReLU(float slope = 0.01f);
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "leaky_relu"; }
+    Shape output_shape(const Shape& in) const override { return in; }
+
+    float slope() const { return slope_; }
+
+  private:
+    float slope_;
+    Tensor cached_input_;
+};
+
+/**
+ * Row-wise softmax as a layer (rank-2 inputs). Usually the loss folds
+ * this in, but attack decoders and calibration tools want it exposed.
+ */
+class Softmax final : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "softmax"; }
+    Shape output_shape(const Shape& in) const override;
+
+  private:
+    Tensor cached_output_;
+};
+
+/**
+ * Crop an NCHW tensor to a target spatial size (top-left anchored).
+ * Backward zero-pads the gradient back to the input extent. Used by
+ * decoders whose doubling stages overshoot the image size.
+ */
+class Crop2d final : public Layer
+{
+  public:
+    /**
+     * @param height  Target H (must not exceed the input's).
+     * @param width   Target W.
+     */
+    Crop2d(std::int64_t height, std::int64_t width);
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "crop2d"; }
+    Shape output_shape(const Shape& in) const override;
+
+  private:
+    std::int64_t height_, width_;
+    Shape cached_in_shape_;
+};
+
+/**
+ * Nearest-neighbor 2× spatial upsampling of NCHW tensors. Backward
+ * sums each 2×2 output block's gradient into its source pixel.
+ */
+class Upsample2x final : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "upsample2x"; }
+    Shape output_shape(const Shape& in) const override;
+
+  private:
+    Shape cached_in_shape_;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_EXTRAS_H

@@ -1,0 +1,32 @@
+#include "src/nn/flatten.h"
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace nn {
+
+Shape
+Flatten::output_shape(const Shape& in) const
+{
+    SHREDDER_REQUIRE(in.rank() >= 2, "Flatten wants rank >= 2, got ",
+                     in.to_string());
+    return Shape({in[0], in.numel() / in[0]});
+}
+
+Tensor
+Flatten::forward(const Tensor& x, Mode mode)
+{
+    cached_in_shape_ = x.shape();
+    return x.reshaped(output_shape(x.shape()));
+}
+
+Tensor
+Flatten::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(cached_in_shape_.rank() >= 2,
+                   "Flatten::backward without forward");
+    return grad_out.reshaped(cached_in_shape_);
+}
+
+}  // namespace nn
+}  // namespace shredder

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Flatten layer: NCHW → N×(C·H·W).
+ */
+#ifndef SHREDDER_NN_FLATTEN_H
+#define SHREDDER_NN_FLATTEN_H
+
+#include <string>
+
+#include "src/nn/layer.h"
+
+namespace shredder {
+namespace nn {
+
+/** Reshape image activations to rows (batch dimension preserved). */
+class Flatten final : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "flatten"; }
+    Shape output_shape(const Shape& in) const override;
+
+  private:
+    Shape cached_in_shape_;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_FLATTEN_H

@@ -1,0 +1,36 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace nn {
+
+void
+kaiming_normal(Tensor& t, std::int64_t fan_in, Rng& rng)
+{
+    SHREDDER_REQUIRE(fan_in > 0, "kaiming init needs positive fan_in");
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    float* p = t.data();
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        p[i] = rng.normal(0.0f, stddev);
+    }
+}
+
+void
+xavier_uniform(Tensor& t, std::int64_t fan_in, std::int64_t fan_out,
+               Rng& rng)
+{
+    SHREDDER_REQUIRE(fan_in > 0 && fan_out > 0,
+                     "xavier init needs positive fans");
+    const float a =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    float* p = t.data();
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        p[i] = rng.uniform(-a, a);
+    }
+}
+
+}  // namespace nn
+}  // namespace shredder

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Weight initialization schemes for layer parameters.
+ */
+#ifndef SHREDDER_NN_INIT_H
+#define SHREDDER_NN_INIT_H
+
+#include "src/tensor/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace nn {
+
+/**
+ * Kaiming-He normal init for ReLU networks: N(0, √(2 / fan_in)).
+ *
+ * @param t       Weight tensor to fill.
+ * @param fan_in  Number of input connections per output unit.
+ */
+void kaiming_normal(Tensor& t, std::int64_t fan_in, Rng& rng);
+
+/**
+ * Xavier-Glorot uniform init: U(−a, a), a = √(6 / (fan_in + fan_out)).
+ */
+void xavier_uniform(Tensor& t, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng);
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_INIT_H

@@ -1,0 +1,53 @@
+#include "src/nn/layer.h"
+
+#include <istream>
+#include <ostream>
+
+#include "src/runtime/logging.h"
+#include "src/tensor/serialize.h"
+
+namespace shredder {
+namespace nn {
+
+void
+Layer::save_params(std::ostream& os) const
+{
+    // const_cast is safe: parameters() is logically const; the base
+    // interface keeps it non-const so optimizers can mutate in place.
+    auto params = const_cast<Layer*>(this)->parameters();
+    for (const Parameter* p : params) {
+        write_tensor(os, p->value);
+    }
+}
+
+void
+Layer::load_params(std::istream& is)
+{
+    for (Parameter* p : parameters()) {
+        Tensor loaded = read_tensor(is);
+        SHREDDER_REQUIRE(loaded.shape() == p->value.shape(),
+                         "checkpoint shape mismatch for ", p->name, ": ",
+                         loaded.shape().to_string(), " vs ",
+                         p->value.shape().to_string());
+        p->value = std::move(loaded);
+    }
+}
+
+void
+Layer::set_frozen(bool frozen)
+{
+    for (Parameter* p : parameters()) {
+        p->frozen = frozen;
+    }
+}
+
+void
+Layer::zero_grad()
+{
+    for (Parameter* p : parameters()) {
+        p->zero_grad();
+    }
+}
+
+}  // namespace nn
+}  // namespace shredder

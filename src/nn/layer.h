@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The layer abstraction every network component implements.
+ *
+ * A layer owns its parameters and the activations it must remember
+ * between `forward` and `backward`. The contract is strict
+ * forward-then-backward: `backward(grad)` may rely on caches written by
+ * the immediately preceding `forward` call.
+ */
+#ifndef SHREDDER_NN_LAYER_H
+#define SHREDDER_NN_LAYER_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace nn {
+
+/** Execution mode: training enables dropout and gradient caching. */
+enum class Mode {
+    kTrain,
+    kEval,
+};
+
+/** Abstract network layer. See file comment for the contract. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Compute the layer output.
+     *
+     * @param x     Input activation (batch-leading).
+     * @param mode  kTrain enables stochastic behaviour (dropout) and
+     *              guarantees caches needed by `backward`.
+     */
+    virtual Tensor forward(const Tensor& x, Mode mode) = 0;
+
+    /**
+     * Back-propagate. Accumulates parameter gradients (unless frozen)
+     * and returns the gradient with respect to the layer input.
+     */
+    virtual Tensor backward(const Tensor& grad_out) = 0;
+
+    /** Stable type tag used by the checkpoint format. */
+    virtual std::string kind() const = 0;
+
+    /** Output shape for a given input shape (no evaluation). */
+    virtual Shape output_shape(const Shape& in) const = 0;
+
+    /** Trainable parameters (empty for stateless layers). */
+    virtual std::vector<Parameter*> parameters() { return {}; }
+
+    /**
+     * Multiply-accumulate count for one *sample* (batch dim excluded)
+     * with the given input shape. Cost-model hook for the paper's
+     * Fig. 6 computation axis.
+     */
+    virtual std::int64_t macs(const Shape& in) const { return 0; }
+
+    /** Serialize parameters (not topology) to a stream. */
+    virtual void save_params(std::ostream& os) const;
+
+    /** Deserialize parameters written by `save_params`. */
+    virtual void load_params(std::istream& is);
+
+    /** Freeze / unfreeze all parameters of this layer. */
+    void set_frozen(bool frozen);
+
+    /** Zero all parameter gradients. */
+    void zero_grad();
+};
+
+/** Owning pointer alias used across the API. */
+using LayerPtr = std::unique_ptr<Layer>;
+
+/** Pass-through layer (useful as a placeholder in topologies). */
+class Identity final : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, Mode mode) override { return x; }
+    Tensor backward(const Tensor& grad_out) override { return grad_out; }
+    std::string kind() const override { return "identity"; }
+    Shape output_shape(const Shape& in) const override { return in; }
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_LAYER_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fully-connected (affine) layer.
+ */
+#ifndef SHREDDER_NN_LINEAR_H
+#define SHREDDER_NN_LINEAR_H
+
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace nn {
+
+/**
+ * y = x · Wᵀ + b with W stored [out_features, in_features].
+ *
+ * Inputs are rank-2 [N, in_features]; use Flatten before this layer
+ * for image activations.
+ */
+class Linear final : public Layer
+{
+  public:
+    /**
+     * Construct with Kaiming-He initialization.
+     *
+     * @param in_features   Input width.
+     * @param out_features  Output width.
+     * @param rng           Weight-init randomness.
+     * @param with_bias     Allocate a bias vector.
+     */
+    Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+           bool with_bias = true);
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+
+    std::string kind() const override { return "linear"; }
+    Shape output_shape(const Shape& in) const override;
+    std::vector<Parameter*> parameters() override;
+    std::int64_t macs(const Shape& in) const override;
+
+    std::int64_t in_features() const { return in_features_; }
+    std::int64_t out_features() const { return out_features_; }
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+
+  private:
+    std::int64_t in_features_;
+    std::int64_t out_features_;
+    bool with_bias_;
+    Parameter weight_;  ///< [out, in]
+    Parameter bias_;    ///< [out]
+    Tensor cached_input_;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_LINEAR_H

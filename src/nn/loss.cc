@@ -1,0 +1,81 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+#include "src/tensor/ops.h"
+
+namespace shredder {
+namespace nn {
+
+LossResult
+CrossEntropyLoss::compute(const Tensor& logits,
+                          const std::vector<std::int64_t>& labels) const
+{
+    SHREDDER_REQUIRE(logits.shape().rank() == 2,
+                     "CrossEntropyLoss wants rank-2 logits");
+    const std::int64_t batch = logits.shape()[0];
+    const std::int64_t classes = logits.shape()[1];
+    SHREDDER_REQUIRE(static_cast<std::int64_t>(labels.size()) == batch,
+                     "label count ", labels.size(), " != batch ", batch);
+
+    const Tensor log_probs = ops::log_softmax_rows(logits);
+    double loss = 0.0;
+    Tensor grad(logits.shape());
+    const float* lp = log_probs.data();
+    float* gp = grad.data();
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const std::int64_t y = labels[static_cast<std::size_t>(n)];
+        SHREDDER_REQUIRE(y >= 0 && y < classes, "label ", y,
+                         " out of range [0, ", classes, ")");
+        loss -= lp[n * classes + y];
+        for (std::int64_t c = 0; c < classes; ++c) {
+            const float p = std::exp(lp[n * classes + c]);
+            gp[n * classes + c] =
+                (p - (c == y ? 1.0f : 0.0f)) * inv_batch;
+        }
+    }
+    LossResult out;
+    out.value = loss / static_cast<double>(batch);
+    out.grad = std::move(grad);
+    return out;
+}
+
+LossResult
+MseLoss::compute(const Tensor& output, const Tensor& target) const
+{
+    SHREDDER_REQUIRE(output.shape() == target.shape(),
+                     "MseLoss shape mismatch");
+    const std::int64_t n = output.size();
+    LossResult out;
+    out.value = ops::mse(output, target);
+    out.grad = ops::sub(output, target);
+    ops::scale_inplace(out.grad, 2.0f / static_cast<float>(n));
+    return out;
+}
+
+double
+accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels)
+{
+    SHREDDER_REQUIRE(logits.shape().rank() == 2,
+                     "accuracy wants rank-2 logits");
+    const auto preds = ops::argmax_rows(logits);
+    SHREDDER_REQUIRE(preds.size() == labels.size(),
+                     "accuracy label count mismatch");
+    if (preds.empty()) {
+        return 0.0;
+    }
+    std::int64_t correct = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == labels[i]) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(preds.size());
+}
+
+}  // namespace nn
+}  // namespace shredder

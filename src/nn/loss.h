@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Loss functions. Each returns the scalar loss and the gradient with
+ * respect to the network output (logits), which seeds back-propagation.
+ */
+#ifndef SHREDDER_NN_LOSS_H
+#define SHREDDER_NN_LOSS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace nn {
+
+/** Value/gradient pair produced by a loss function. */
+struct LossResult
+{
+    double value = 0.0;  ///< Mean loss over the batch.
+    Tensor grad;         ///< dLoss/dLogits, same shape as the logits.
+};
+
+/**
+ * Softmax cross-entropy over logits.
+ *
+ * The paper's Eq. 3 first term: −Σ_c y_{o,c} log p_{o,c}, averaged over
+ * the batch. Gradient is (softmax(logits) − onehot) / N.
+ */
+class CrossEntropyLoss
+{
+  public:
+    /**
+     * @param logits  [N, M] raw scores.
+     * @param labels  N class indices in [0, M).
+     */
+    LossResult compute(const Tensor& logits,
+                       const std::vector<std::int64_t>& labels) const;
+};
+
+/** Mean squared error against a target tensor (diagnostics). */
+class MseLoss
+{
+  public:
+    LossResult compute(const Tensor& output, const Tensor& target) const;
+};
+
+/** Fraction of rows whose argmax equals the label. */
+double accuracy(const Tensor& logits,
+                const std::vector<std::int64_t>& labels);
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_LOSS_H

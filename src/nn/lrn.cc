@@ -1,0 +1,121 @@
+#include "src/nn/lrn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace nn {
+
+LocalResponseNorm::LocalResponseNorm(const LrnConfig& config)
+    : config_(config)
+{
+    SHREDDER_REQUIRE(config.size > 0 && config.beta > 0.0f,
+                     "bad LRN config");
+}
+
+Shape
+LocalResponseNorm::output_shape(const Shape& in) const
+{
+    SHREDDER_REQUIRE(in.rank() == 4, "LRN wants NCHW, got ", in.to_string());
+    return in;
+}
+
+Tensor
+LocalResponseNorm::forward(const Tensor& x, Mode mode)
+{
+    const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
+    const std::int64_t hw = x.shape()[2] * x.shape()[3];
+    const std::int64_t half = config_.size / 2;
+    const float alpha_over_n =
+        config_.alpha / static_cast<float>(config_.size);
+
+    Tensor scale(x.shape());
+    Tensor y(x.shape());
+    const float* xp = x.data();
+    float* sp = scale.data();
+    float* yp = y.data();
+
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* xn = xp + n * chans * hw;
+        float* sn = sp + n * chans * hw;
+        float* yn = yp + n * chans * hw;
+        for (std::int64_t c = 0; c < chans; ++c) {
+            const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+            const std::int64_t hi =
+                std::min<std::int64_t>(chans - 1, c + half);
+            for (std::int64_t i = 0; i < hw; ++i) {
+                double acc = 0.0;
+                for (std::int64_t cc = lo; cc <= hi; ++cc) {
+                    const float v = xn[cc * hw + i];
+                    acc += static_cast<double>(v) * v;
+                }
+                const float s =
+                    config_.k + alpha_over_n * static_cast<float>(acc);
+                sn[c * hw + i] = s;
+                yn[c * hw + i] =
+                    xn[c * hw + i] / std::pow(s, config_.beta);
+            }
+        }
+    }
+    cached_input_ = x;
+    cached_scale_ = std::move(scale);
+    return y;
+}
+
+Tensor
+LocalResponseNorm::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(!cached_input_.empty(), "LRN::backward without forward");
+    const Tensor& x = cached_input_;
+    SHREDDER_CHECK(grad_out.shape() == x.shape(), "LRN grad shape mismatch");
+
+    const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
+    const std::int64_t hw = x.shape()[2] * x.shape()[3];
+    const std::int64_t half = config_.size / 2;
+    const float alpha_over_n =
+        config_.alpha / static_cast<float>(config_.size);
+
+    // dL/dx_c = g_c·s_c^{−β}
+    //   − 2αβ/n · x_c · Σ_{c′: c∈window(c′)} g_{c′}·x_{c′}·s_{c′}^{−β−1}
+    Tensor grad_in(x.shape());
+    const float* xp = x.data();
+    const float* sp = cached_scale_.data();
+    const float* gp = grad_out.data();
+    float* op = grad_in.data();
+
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* xn = xp + n * chans * hw;
+        const float* sn = sp + n * chans * hw;
+        const float* gn = gp + n * chans * hw;
+        float* on = op + n * chans * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+            // Precompute t_{c′} = g·x·s^{−β−1} per channel at pixel i.
+            for (std::int64_t c = 0; c < chans; ++c) {
+                const float s = sn[c * hw + i];
+                const float s_pow = std::pow(s, -config_.beta);
+                on[c * hw + i] = gn[c * hw + i] * s_pow;
+            }
+            for (std::int64_t c = 0; c < chans; ++c) {
+                const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+                const std::int64_t hi =
+                    std::min<std::int64_t>(chans - 1, c + half);
+                double cross = 0.0;
+                for (std::int64_t cc = lo; cc <= hi; ++cc) {
+                    const float s = sn[cc * hw + i];
+                    cross += static_cast<double>(gn[cc * hw + i]) *
+                             xn[cc * hw + i] *
+                             std::pow(s, -config_.beta - 1.0f);
+                }
+                on[c * hw + i] -= 2.0f * alpha_over_n * config_.beta *
+                                  xn[c * hw + i] *
+                                  static_cast<float>(cross);
+            }
+        }
+    }
+    return grad_in;
+}
+
+}  // namespace nn
+}  // namespace shredder

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Local response normalization (across channels), as in AlexNet.
+ */
+#ifndef SHREDDER_NN_LRN_H
+#define SHREDDER_NN_LRN_H
+
+#include <string>
+
+#include "src/nn/layer.h"
+
+namespace shredder {
+namespace nn {
+
+/** Static configuration of an LRN layer (AlexNet defaults). */
+struct LrnConfig
+{
+    std::int64_t size = 5;     ///< Channel window width.
+    float alpha = 1e-4f;
+    float beta = 0.75f;
+    float k = 2.0f;
+};
+
+/**
+ * Across-channel LRN:
+ *   y[c] = x[c] / (k + α/size · Σ_{c′∈window(c)} x[c′]²)^β
+ *
+ * Backward implements the exact analytic gradient.
+ */
+class LocalResponseNorm final : public Layer
+{
+  public:
+    explicit LocalResponseNorm(const LrnConfig& config);
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "lrn"; }
+    Shape output_shape(const Shape& in) const override;
+
+    const LrnConfig& config() const { return config_; }
+
+  private:
+    LrnConfig config_;
+    Tensor cached_input_;
+    Tensor cached_scale_;  ///< (k + α/size·Σx²) per element.
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_LRN_H

@@ -1,0 +1,102 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params))
+{
+    for (const Parameter* p : params_) {
+        SHREDDER_REQUIRE(p != nullptr, "null parameter given to optimizer");
+    }
+}
+
+void
+Optimizer::zero_grad()
+{
+    for (Parameter* p : params_) {
+        p->zero_grad();
+    }
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)), momentum_(momentum),
+      weight_decay_(weight_decay)
+{
+    lr_ = lr;
+    velocity_.reserve(params_.size());
+    for (const Parameter* p : params_) {
+        velocity_.emplace_back(p->value.shape());
+    }
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter* p = params_[i];
+        if (p->frozen) {
+            continue;
+        }
+        float* w = p->value.data();
+        const float* g = p->grad.data();
+        float* v = velocity_[i].data();
+        const std::int64_t n = p->size();
+        for (std::int64_t j = 0; j < n; ++j) {
+            float grad = g[j] + weight_decay_ * w[j];
+            if (momentum_ != 0.0f) {
+                v[j] = momentum_ * v[j] + grad;
+                grad = v[j];
+            }
+            w[j] -= lr_ * grad;
+        }
+    }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+    lr_ = lr;
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Parameter* p : params_) {
+        m_.emplace_back(p->value.shape());
+        v_.emplace_back(p->value.shape());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter* p = params_[i];
+        if (p->frozen) {
+            continue;
+        }
+        float* w = p->value.data();
+        const float* g = p->grad.data();
+        float* m = m_[i].data();
+        float* v = v_[i].data();
+        const std::int64_t n = p->size();
+        for (std::int64_t j = 0; j < n; ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            const double m_hat = m[j] / bias1;
+            const double v_hat = v[j] / bias2;
+            w[j] -= static_cast<float>(lr_ * m_hat /
+                                       (std::sqrt(v_hat) + eps_));
+        }
+    }
+}
+
+}  // namespace nn
+}  // namespace shredder

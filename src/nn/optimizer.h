@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Gradient-descent optimizers (SGD with momentum, Adam).
+ *
+ * Optimizers hold *references* to the parameters they update and skip
+ * frozen ones — this is how Shredder trains the noise tensor while the
+ * network weights stay untouched (paper §2.1: only n is trainable).
+ */
+#ifndef SHREDDER_NN_OPTIMIZER_H
+#define SHREDDER_NN_OPTIMIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace nn {
+
+/** Abstract optimizer over a fixed parameter set. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Parameter*> params);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update using the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero all gradients (call between batches). */
+    void zero_grad();
+
+    /** Current learning rate. */
+    float learning_rate() const { return lr_; }
+
+    /** Adjust learning rate (schedules). */
+    void set_learning_rate(float lr) { lr_ = lr; }
+
+    /** The parameters under management. */
+    const std::vector<Parameter*>& params() const { return params_; }
+
+  protected:
+    std::vector<Parameter*> params_;
+    float lr_ = 1e-3f;
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd final : public Optimizer
+{
+  public:
+    /**
+     * @param params        Parameters to update (frozen ones skipped).
+     * @param lr            Learning rate.
+     * @param momentum      Momentum factor (0 disables).
+     * @param weight_decay  L2 penalty added to gradients.
+     */
+    Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f,
+        float weight_decay = 0.0f);
+
+    void step() override;
+
+  private:
+    float momentum_;
+    float weight_decay_;
+    std::vector<Tensor> velocity_;
+};
+
+/**
+ * Adam (Kingma & Ba, 2015) — the optimizer the paper uses for noise
+ * training (§3.2).
+ */
+class Adam final : public Optimizer
+{
+  public:
+    Adam(std::vector<Parameter*> params, float lr = 1e-3f,
+         float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+    void step() override;
+
+  private:
+    float beta1_, beta2_, eps_;
+    std::int64_t t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_OPTIMIZER_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trainable parameter: a value tensor paired with its gradient.
+ *
+ * The `frozen` flag is central to Shredder: the pre-trained model's
+ * weights are frozen during noise learning, so layers skip gradient
+ * accumulation for them and optimizers skip their update. The *noise
+ * tensor* is itself exposed to the optimizer as one `Parameter`.
+ */
+#ifndef SHREDDER_NN_PARAMETER_H
+#define SHREDDER_NN_PARAMETER_H
+
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace nn {
+
+/** A named, trainable tensor with gradient storage. */
+struct Parameter
+{
+    Parameter() = default;
+
+    /** Create with value tensor; gradient is allocated zero-filled. */
+    Parameter(std::string param_name, Tensor initial)
+        : name(std::move(param_name)), value(std::move(initial)),
+          grad(value.shape())
+    {}
+
+    /** Reset gradient to zero. */
+    void zero_grad() { grad.fill(0.0f); }
+
+    /** Number of scalar elements. */
+    std::int64_t size() const { return value.size(); }
+
+    std::string name;
+    Tensor value;
+    Tensor grad;
+    /** When true, layers skip grad accumulation and optimizers skip it. */
+    bool frozen = false;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_PARAMETER_H

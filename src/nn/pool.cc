@@ -1,0 +1,222 @@
+#include "src/nn/pool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/runtime/logging.h"
+#include "src/tensor/im2col.h"
+
+namespace shredder {
+namespace nn {
+
+namespace {
+
+Shape
+pool_output_shape(const Shape& in, const PoolConfig& cfg, const char* what)
+{
+    SHREDDER_REQUIRE(in.rank() == 4, what, " wants NCHW, got ",
+                     in.to_string());
+    const std::int64_t oh =
+        conv_out_extent(in[2], cfg.kernel, cfg.stride, cfg.padding);
+    const std::int64_t ow =
+        conv_out_extent(in[3], cfg.kernel, cfg.stride, cfg.padding);
+    SHREDDER_REQUIRE(oh > 0 && ow > 0, what, " output collapses for ",
+                     in.to_string());
+    return Shape({in[0], in[1], oh, ow});
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(const PoolConfig& config) : config_(config)
+{
+    SHREDDER_REQUIRE(config.kernel > 0 && config.stride > 0 &&
+                         config.padding >= 0,
+                     "bad MaxPool2d config");
+}
+
+Shape
+MaxPool2d::output_shape(const Shape& in) const
+{
+    return pool_output_shape(in, config_, "MaxPool2d");
+}
+
+Tensor
+MaxPool2d::forward(const Tensor& x, Mode mode)
+{
+    const Shape out_shape = output_shape(x.shape());
+    const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
+    const std::int64_t ih = x.shape()[2], iw = x.shape()[3];
+    const std::int64_t oh = out_shape[2], ow = out_shape[3];
+
+    Tensor y(out_shape);
+    argmax_.assign(static_cast<std::size_t>(y.size()), -1);
+    cached_in_shape_ = x.shape();
+
+    const float* xp = x.data();
+    float* yp = y.data();
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < chans; ++c) {
+            const float* plane = xp + (n * chans + c) * ih * iw;
+            const std::int64_t plane_base = (n * chans + c) * ih * iw;
+            for (std::int64_t i = 0; i < oh; ++i) {
+                for (std::int64_t j = 0; j < ow; ++j, ++out_idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t best_idx = -1;
+                    for (std::int64_t ki = 0; ki < config_.kernel; ++ki) {
+                        const std::int64_t r =
+                            i * config_.stride - config_.padding + ki;
+                        if (r < 0 || r >= ih) {
+                            continue;
+                        }
+                        for (std::int64_t kj = 0; kj < config_.kernel;
+                             ++kj) {
+                            const std::int64_t col =
+                                j * config_.stride - config_.padding + kj;
+                            if (col < 0 || col >= iw) {
+                                continue;
+                            }
+                            const float v = plane[r * iw + col];
+                            if (v > best) {
+                                best = v;
+                                best_idx = plane_base + r * iw + col;
+                            }
+                        }
+                    }
+                    SHREDDER_CHECK(best_idx >= 0,
+                                   "empty max-pool window");
+                    yp[out_idx] = best;
+                    argmax_[static_cast<std::size_t>(out_idx)] = best_idx;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
+                   "MaxPool2d::backward without forward");
+    SHREDDER_CHECK(static_cast<std::size_t>(grad_out.size()) ==
+                       argmax_.size(),
+                   "MaxPool2d grad size mismatch");
+    Tensor grad_in(cached_in_shape_);
+    float* gi = grad_in.data();
+    const float* go = grad_out.data();
+    for (std::size_t i = 0; i < argmax_.size(); ++i) {
+        gi[argmax_[i]] += go[static_cast<std::int64_t>(i)];
+    }
+    return grad_in;
+}
+
+AvgPool2d::AvgPool2d(const PoolConfig& config) : config_(config)
+{
+    SHREDDER_REQUIRE(config.kernel > 0 && config.stride > 0 &&
+                         config.padding >= 0,
+                     "bad AvgPool2d config");
+}
+
+Shape
+AvgPool2d::output_shape(const Shape& in) const
+{
+    return pool_output_shape(in, config_, "AvgPool2d");
+}
+
+Tensor
+AvgPool2d::forward(const Tensor& x, Mode mode)
+{
+    const Shape out_shape = output_shape(x.shape());
+    const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
+    const std::int64_t ih = x.shape()[2], iw = x.shape()[3];
+    const std::int64_t oh = out_shape[2], ow = out_shape[3];
+    const float inv_area =
+        1.0f / static_cast<float>(config_.kernel * config_.kernel);
+
+    Tensor y(out_shape);
+    cached_in_shape_ = x.shape();
+
+    const float* xp = x.data();
+    float* yp = y.data();
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < chans; ++c) {
+            const float* plane = xp + (n * chans + c) * ih * iw;
+            for (std::int64_t i = 0; i < oh; ++i) {
+                for (std::int64_t j = 0; j < ow; ++j, ++out_idx) {
+                    double s = 0.0;
+                    for (std::int64_t ki = 0; ki < config_.kernel; ++ki) {
+                        const std::int64_t r =
+                            i * config_.stride - config_.padding + ki;
+                        if (r < 0 || r >= ih) {
+                            continue;
+                        }
+                        for (std::int64_t kj = 0; kj < config_.kernel;
+                             ++kj) {
+                            const std::int64_t col =
+                                j * config_.stride - config_.padding + kj;
+                            if (col < 0 || col >= iw) {
+                                continue;
+                            }
+                            s += plane[r * iw + col];
+                        }
+                    }
+                    yp[out_idx] = static_cast<float>(s) * inv_area;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+AvgPool2d::backward(const Tensor& grad_out)
+{
+    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
+                   "AvgPool2d::backward without forward");
+    const Shape out_shape = output_shape(cached_in_shape_);
+    SHREDDER_CHECK(grad_out.shape() == out_shape,
+                   "AvgPool2d grad shape mismatch");
+    const std::int64_t batch = cached_in_shape_[0];
+    const std::int64_t chans = cached_in_shape_[1];
+    const std::int64_t ih = cached_in_shape_[2], iw = cached_in_shape_[3];
+    const std::int64_t oh = out_shape[2], ow = out_shape[3];
+    const float inv_area =
+        1.0f / static_cast<float>(config_.kernel * config_.kernel);
+
+    Tensor grad_in(cached_in_shape_);
+    float* gi = grad_in.data();
+    const float* go = grad_out.data();
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < chans; ++c) {
+            float* plane = gi + (n * chans + c) * ih * iw;
+            for (std::int64_t i = 0; i < oh; ++i) {
+                for (std::int64_t j = 0; j < ow; ++j, ++out_idx) {
+                    const float g = go[out_idx] * inv_area;
+                    for (std::int64_t ki = 0; ki < config_.kernel; ++ki) {
+                        const std::int64_t r =
+                            i * config_.stride - config_.padding + ki;
+                        if (r < 0 || r >= ih) {
+                            continue;
+                        }
+                        for (std::int64_t kj = 0; kj < config_.kernel;
+                             ++kj) {
+                            const std::int64_t col =
+                                j * config_.stride - config_.padding + kj;
+                            if (col < 0 || col >= iw) {
+                                continue;
+                            }
+                            plane[r * iw + col] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+}  // namespace nn
+}  // namespace shredder

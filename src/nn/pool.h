@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Spatial pooling layers (max and average) over NCHW batches.
+ */
+#ifndef SHREDDER_NN_POOL_H
+#define SHREDDER_NN_POOL_H
+
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace shredder {
+namespace nn {
+
+/** Static configuration shared by the pooling layers. */
+struct PoolConfig
+{
+    std::int64_t kernel = 2;
+    std::int64_t stride = 2;
+    std::int64_t padding = 0;
+};
+
+/** Max pooling; remembers argmax indices for routing gradients. */
+class MaxPool2d final : public Layer
+{
+  public:
+    explicit MaxPool2d(const PoolConfig& config);
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "maxpool2d"; }
+    Shape output_shape(const Shape& in) const override;
+
+    const PoolConfig& config() const { return config_; }
+
+  private:
+    PoolConfig config_;
+    Shape cached_in_shape_;
+    std::vector<std::int64_t> argmax_;  ///< Flat input index per output.
+};
+
+/** Average pooling; gradients spread uniformly over the window. */
+class AvgPool2d final : public Layer
+{
+  public:
+    explicit AvgPool2d(const PoolConfig& config);
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "avgpool2d"; }
+    Shape output_shape(const Shape& in) const override;
+
+    const PoolConfig& config() const { return config_; }
+
+  private:
+    PoolConfig config_;
+    Shape cached_in_shape_;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_POOL_H

@@ -1,0 +1,215 @@
+#include "src/nn/sequential.h"
+
+#include <fstream>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace nn {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x504b4853;  // 'SHKP'
+
+}  // namespace
+
+Sequential&
+Sequential::add(LayerPtr layer)
+{
+    SHREDDER_REQUIRE(layer != nullptr, "null layer added to Sequential");
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Layer&
+Sequential::layer(std::int64_t i)
+{
+    SHREDDER_CHECK(i >= 0 && i < size(), "layer index ", i, " out of ",
+                   size());
+    return *layers_[static_cast<std::size_t>(i)];
+}
+
+const Layer&
+Sequential::layer(std::int64_t i) const
+{
+    SHREDDER_CHECK(i >= 0 && i < size(), "layer index ", i, " out of ",
+                   size());
+    return *layers_[static_cast<std::size_t>(i)];
+}
+
+Tensor
+Sequential::forward(const Tensor& x, Mode mode)
+{
+    return forward_range(x, 0, size(), mode);
+}
+
+Tensor
+Sequential::backward(const Tensor& grad_out)
+{
+    return backward_range(grad_out, 0, size());
+}
+
+Shape
+Sequential::output_shape(const Shape& in) const
+{
+    return output_shape_range(in, 0, size());
+}
+
+std::vector<Parameter*>
+Sequential::parameters()
+{
+    std::vector<Parameter*> out;
+    for (auto& l : layers_) {
+        for (Parameter* p : l->parameters()) {
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+std::int64_t
+Sequential::macs(const Shape& in) const
+{
+    return macs_range(in, 0, size());
+}
+
+void
+Sequential::save_params(std::ostream& os) const
+{
+    for (const auto& l : layers_) {
+        l->save_params(os);
+    }
+}
+
+void
+Sequential::load_params(std::istream& is)
+{
+    for (auto& l : layers_) {
+        l->load_params(is);
+    }
+}
+
+Tensor
+Sequential::forward_range(const Tensor& x, std::int64_t begin,
+                          std::int64_t end, Mode mode)
+{
+    if (end < 0) {
+        end = size();
+    }
+    SHREDDER_REQUIRE(begin >= 0 && begin <= end && end <= size(),
+                     "bad forward range [", begin, ", ", end, ")");
+    Tensor cur = x;
+    for (std::int64_t i = begin; i < end; ++i) {
+        cur = layers_[static_cast<std::size_t>(i)]->forward(cur, mode);
+    }
+    return cur;
+}
+
+Tensor
+Sequential::backward_range(const Tensor& grad_out, std::int64_t begin,
+                           std::int64_t end)
+{
+    if (end < 0) {
+        end = size();
+    }
+    SHREDDER_REQUIRE(begin >= 0 && begin <= end && end <= size(),
+                     "bad backward range [", begin, ", ", end, ")");
+    Tensor grad = grad_out;
+    for (std::int64_t i = end - 1; i >= begin; --i) {
+        grad = layers_[static_cast<std::size_t>(i)]->backward(grad);
+    }
+    return grad;
+}
+
+Shape
+Sequential::output_shape_range(const Shape& in, std::int64_t begin,
+                               std::int64_t end) const
+{
+    if (end < 0) {
+        end = size();
+    }
+    SHREDDER_REQUIRE(begin >= 0 && begin <= end && end <= size(),
+                     "bad shape range [", begin, ", ", end, ")");
+    Shape cur = in;
+    for (std::int64_t i = begin; i < end; ++i) {
+        cur = layers_[static_cast<std::size_t>(i)]->output_shape(cur);
+    }
+    return cur;
+}
+
+std::int64_t
+Sequential::macs_range(const Shape& in, std::int64_t begin,
+                       std::int64_t end) const
+{
+    if (end < 0) {
+        end = size();
+    }
+    SHREDDER_REQUIRE(begin >= 0 && begin <= end && end <= size(),
+                     "bad macs range [", begin, ", ", end, ")");
+    std::int64_t total = 0;
+    Shape cur = in;
+    for (std::int64_t i = begin; i < end; ++i) {
+        total += layers_[static_cast<std::size_t>(i)]->macs(cur);
+        cur = layers_[static_cast<std::size_t>(i)]->output_shape(cur);
+    }
+    return total;
+}
+
+void
+Sequential::save_checkpoint(const std::string& path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    SHREDDER_REQUIRE(os.good(), "cannot open checkpoint for write: ", path);
+    os.write(reinterpret_cast<const char*>(&kCheckpointMagic),
+             sizeof(kCheckpointMagic));
+    const auto count = static_cast<std::uint32_t>(layers_.size());
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& l : layers_) {
+        const std::string tag = l->kind();
+        const auto len = static_cast<std::uint32_t>(tag.size());
+        os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+        os.write(tag.data(), static_cast<std::streamsize>(tag.size()));
+        l->save_params(os);
+    }
+    SHREDDER_REQUIRE(os.good(), "checkpoint write failed: ", path);
+}
+
+void
+Sequential::load_checkpoint(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    SHREDDER_REQUIRE(is.good(), "cannot open checkpoint: ", path);
+    std::uint32_t magic = 0;
+    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    SHREDDER_REQUIRE(magic == kCheckpointMagic, "bad checkpoint magic in ",
+                     path);
+    std::uint32_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    SHREDDER_REQUIRE(count == layers_.size(), "checkpoint has ", count,
+                     " layers; network has ", layers_.size());
+    for (auto& l : layers_) {
+        std::uint32_t len = 0;
+        is.read(reinterpret_cast<char*>(&len), sizeof(len));
+        SHREDDER_REQUIRE(is.good() && len < 256, "corrupt checkpoint tag");
+        std::string tag(len, '\0');
+        is.read(tag.data(), len);
+        SHREDDER_REQUIRE(tag == l->kind(), "checkpoint layer kind '", tag,
+                         "' does not match network layer '", l->kind(),
+                         "'");
+        l->load_params(is);
+    }
+}
+
+std::int64_t
+Sequential::num_parameters() const
+{
+    std::int64_t total = 0;
+    auto params = const_cast<Sequential*>(this)->parameters();
+    for (const Parameter* p : params) {
+        total += p->size();
+    }
+    return total;
+}
+
+}  // namespace nn
+}  // namespace shredder

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Sequential container — an ordered layer pipeline.
+ *
+ * Supports *range* execution (`forward_range` / `backward_range`),
+ * which is the mechanism the split-execution substrate uses to run the
+ * local network L = layers [0, cut) on the edge and the remote network
+ * R = layers [cut, size) on the cloud, and to back-propagate through R
+ * only (Shredder never needs gradients through L — the noise enters
+ * after the cut, see paper §2.1).
+ */
+#ifndef SHREDDER_NN_SEQUENTIAL_H
+#define SHREDDER_NN_SEQUENTIAL_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace shredder {
+namespace nn {
+
+/** Ordered pipeline of layers with checkpoint support. */
+class Sequential final : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer (takes ownership). Returns `*this` for chaining. */
+    Sequential& add(LayerPtr layer);
+
+    /** Convenience: construct the layer in place. */
+    template <typename L, typename... Args>
+    Sequential&
+    emplace(Args&&... args)
+    {
+        return add(std::make_unique<L>(std::forward<Args>(args)...));
+    }
+
+    /** Number of layers. */
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(layers_.size());
+    }
+
+    /** Borrow layer `i` (0-based). */
+    Layer& layer(std::int64_t i);
+    const Layer& layer(std::int64_t i) const;
+
+    // -- Layer interface --------------------------------------------------
+
+    Tensor forward(const Tensor& x, Mode mode) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string kind() const override { return "sequential"; }
+    Shape output_shape(const Shape& in) const override;
+    std::vector<Parameter*> parameters() override;
+    std::int64_t macs(const Shape& in) const override;
+    void save_params(std::ostream& os) const override;
+    void load_params(std::istream& is) override;
+
+    // -- Range execution (split inference) --------------------------------
+
+    /**
+     * Run layers [begin, end) only.
+     *
+     * @param x      Input to layer `begin`.
+     * @param begin  First layer index (inclusive).
+     * @param end    Last layer index (exclusive); −1 means size().
+     * @param mode   Execution mode.
+     */
+    Tensor forward_range(const Tensor& x, std::int64_t begin,
+                         std::int64_t end, Mode mode);
+
+    /**
+     * Back-propagate through layers [begin, end) in reverse. Must
+     * follow a matching `forward_range` (or full `forward`).
+     *
+     * @returns Gradient with respect to the input of layer `begin`.
+     */
+    Tensor backward_range(const Tensor& grad_out, std::int64_t begin,
+                          std::int64_t end);
+
+    /** Output shape after running layers [begin, end) on shape `in`. */
+    Shape output_shape_range(const Shape& in, std::int64_t begin,
+                             std::int64_t end) const;
+
+    /** Per-sample MACs of layers [begin, end) for input shape `in`. */
+    std::int64_t macs_range(const Shape& in, std::int64_t begin,
+                            std::int64_t end) const;
+
+    // -- Checkpoints -------------------------------------------------------
+
+    /**
+     * Save all parameters to a file. Format: magic, layer count, per
+     * layer its kind tag + parameters.
+     */
+    void save_checkpoint(const std::string& path) const;
+
+    /**
+     * Load a checkpoint produced by `save_checkpoint` into this
+     * (identically structured) network. Fatal on any mismatch.
+     */
+    void load_checkpoint(const std::string& path);
+
+    /** Total number of trainable scalars. */
+    std::int64_t num_parameters() const;
+
+  private:
+    std::vector<LayerPtr> layers_;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_SEQUENTIAL_H

@@ -1,0 +1,77 @@
+#include "src/runtime/logging.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+namespace shredder {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char*
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kSilent: return "SILENT";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+log_line(LogLevel level, const std::string& msg)
+{
+    if (level < log_level()) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << "[shredder:" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace detail
+
+void
+fatal_impl(const char* file, int line, const std::string& msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::cerr << "[shredder:FATAL] " << file << ":" << line << ": "
+                  << msg << std::endl;
+    }
+    std::exit(1);
+}
+
+void
+panic_impl(const char* file, int line, const std::string& msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::cerr << "[shredder:PANIC] " << file << ":" << line << ": "
+                  << msg << std::endl;
+    }
+    std::abort();
+}
+
+}  // namespace shredder

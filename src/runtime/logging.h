@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the Shredder runtime.
+ *
+ * Follows the gem5 convention: `fatal` is for user errors (bad
+ * configuration, impossible request) and exits cleanly; `panic` is for
+ * internal invariant violations (a Shredder bug) and aborts so a core
+ * dump / debugger can be attached.
+ */
+#ifndef SHREDDER_RUNTIME_LOGGING_H
+#define SHREDDER_RUNTIME_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace shredder {
+
+/** Severity levels for runtime log messages. */
+enum class LogLevel {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kSilent = 4,
+};
+
+/**
+ * Global log-level threshold. Messages below this level are dropped.
+ * Defaults to kInfo; tests may lower it to kDebug.
+ */
+LogLevel log_level();
+
+/** Set the global log-level threshold. */
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr if `level` passes the filter. */
+void log_line(LogLevel level, const std::string& msg);
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+format_parts(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+}  // namespace detail
+
+/** Log an informational message (normal operating status). */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::log_line(LogLevel::kInfo,
+                     detail::format_parts(std::forward<Args>(args)...));
+}
+
+/** Log a warning (suspicious but recoverable condition). */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::log_line(LogLevel::kWarn,
+                     detail::format_parts(std::forward<Args>(args)...));
+}
+
+/** Log a debug message (verbose diagnostics, off by default). */
+template <typename... Args>
+void
+debug(Args&&... args)
+{
+    detail::log_line(LogLevel::kDebug,
+                     detail::format_parts(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a *user* error (bad arguments, impossible
+ * configuration). Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal_impl(const char* file, int line,
+                             const std::string& msg);
+
+/**
+ * Terminate because of an *internal* error (broken invariant — a bug in
+ * Shredder itself). Prints the message and aborts.
+ */
+[[noreturn]] void panic_impl(const char* file, int line,
+                             const std::string& msg);
+
+}  // namespace shredder
+
+/** User-error termination with streamable message parts. */
+#define SHREDDER_FATAL(...)                                                  \
+    ::shredder::fatal_impl(__FILE__, __LINE__,                               \
+                           ::shredder::detail::format_parts(__VA_ARGS__))
+
+/** Internal-bug termination with streamable message parts. */
+#define SHREDDER_PANIC(...)                                                  \
+    ::shredder::panic_impl(__FILE__, __LINE__,                               \
+                           ::shredder::detail::format_parts(__VA_ARGS__))
+
+/** Invariant check: panics (internal bug) when `cond` is false. */
+#define SHREDDER_CHECK(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            SHREDDER_PANIC("check failed: " #cond " — ",                     \
+                           ::shredder::detail::format_parts(__VA_ARGS__));   \
+        }                                                                    \
+    } while (false)
+
+/** Argument check: fatal (user error) when `cond` is false. */
+#define SHREDDER_REQUIRE(cond, ...)                                          \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            SHREDDER_FATAL("requirement failed: " #cond " — ",               \
+                           ::shredder::detail::format_parts(__VA_ARGS__));   \
+        }                                                                    \
+    } while (false)
+
+#endif  // SHREDDER_RUNTIME_LOGGING_H

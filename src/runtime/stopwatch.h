@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by trainers and the benchmark harness.
+ */
+#ifndef SHREDDER_RUNTIME_STOPWATCH_H
+#define SHREDDER_RUNTIME_STOPWATCH_H
+
+#include <chrono>
+
+namespace shredder {
+
+/** Monotonic wall-clock stopwatch. Starts running on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch from zero. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace shredder
+
+#endif  // SHREDDER_RUNTIME_STOPWATCH_H

@@ -1,0 +1,131 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& w : workers_) {
+        if (w.joinable()) {
+            w.join();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        SHREDDER_CHECK(!stop_, "submit() on a stopping ThreadPool");
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) {
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) {
+                cv_idle_.notify_all();
+            }
+        }
+    }
+}
+
+void
+parallel_for(std::int64_t begin, std::int64_t end,
+             const std::function<void(std::int64_t)>& fn, std::int64_t grain)
+{
+    const std::int64_t n = end - begin;
+    if (n <= 0) {
+        return;
+    }
+    ThreadPool& pool = ThreadPool::global();
+    const std::int64_t workers = static_cast<std::int64_t>(pool.size());
+    if (n <= grain || workers <= 1) {
+        for (std::int64_t i = begin; i < end; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    const std::int64_t chunks = std::min<std::int64_t>(workers, n);
+    const std::int64_t chunk = (n + chunks - 1) / chunks;
+    std::atomic<int> remaining{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+        const std::int64_t lo = begin + c * chunk;
+        const std::int64_t hi = std::min(end, lo + chunk);
+        if (lo >= hi) {
+            break;
+        }
+        remaining.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([lo, hi, &fn, &remaining, &done_mutex, &done_cv] {
+            for (std::int64_t i = lo; i < hi; ++i) {
+                fn(i);
+            }
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_all();
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&remaining] {
+        return remaining.load(std::memory_order_acquire) == 0;
+    });
+}
+
+}  // namespace shredder

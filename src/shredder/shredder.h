@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Umbrella header: the whole public Shredder API in one include.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   auto bench = shredder::models::make_benchmark("lenet");
+ *   shredder::split::SplitModel split(*bench.net, bench.last_conv_cut);
+ *   shredder::core::NoiseTrainer trainer(split, *bench.train_set, cfg);
+ *   auto learned = trainer.train();
+ */
+#ifndef SHREDDER_SHREDDER_H
+#define SHREDDER_SHREDDER_H
+
+// Runtime
+#include "src/runtime/logging.h"
+#include "src/runtime/stopwatch.h"
+#include "src/runtime/thread_pool.h"
+
+// Tensor substrate
+#include "src/tensor/gemm.h"
+#include "src/tensor/im2col.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/rng.h"
+#include "src/tensor/serialize.h"
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+
+// Neural-network substrate
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dropout.h"
+#include "src/nn/extras.h"
+#include "src/nn/flatten.h"
+#include "src/nn/init.h"
+#include "src/nn/layer.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+#include "src/nn/lrn.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/parameter.h"
+#include "src/nn/pool.h"
+#include "src/nn/sequential.h"
+
+// Synthetic data substrate
+#include "src/data/dataloader.h"
+#include "src/data/dataset.h"
+#include "src/data/digits.h"
+#include "src/data/objects.h"
+#include "src/data/street_digits.h"
+#include "src/data/textures.h"
+
+// Information-theory substrate
+#include "src/info/dimwise.h"
+#include "src/info/gaussian.h"
+#include "src/info/histogram_mi.h"
+#include "src/info/ksg.h"
+#include "src/info/snr.h"
+
+// Split execution substrate
+#include "src/split/channel.h"
+#include "src/split/cost_model.h"
+#include "src/split/split_model.h"
+
+// Model zoo
+#include "src/models/benchmark.h"
+#include "src/models/trainer.h"
+#include "src/models/zoo.h"
+
+// Attack baselines (privacy validation)
+#include "src/attacks/reconstruction.h"
+
+// Shredder core (the paper's contribution)
+#include "src/core/lambda_controller.h"
+#include "src/core/noise_collection.h"
+#include "src/core/noise_distribution.h"
+#include "src/core/noise_tensor.h"
+#include "src/core/noise_trainer.h"
+#include "src/core/pipeline.h"
+#include "src/core/privacy_meter.h"
+#include "src/core/shredder_loss.h"
+
+#endif  // SHREDDER_SHREDDER_H

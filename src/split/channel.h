@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Communication channel between the edge and the cloud.
+ *
+ * A real Shredder deployment serializes the noisy activation and ships
+ * it over a network; these channels reproduce that data path
+ * faithfully (serialize → byte buffer → deserialize) while counting
+ * traffic, so examples and benches measure real wire sizes. The
+ * quantizing channel additionally models the 8-bit compression an
+ * edge deployment would use.
+ */
+#ifndef SHREDDER_SPLIT_CHANNEL_H
+#define SHREDDER_SPLIT_CHANNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace split {
+
+/** Abstract edge→cloud transport with traffic accounting. */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+
+    /** Transmit a tensor. Returns the bytes put on the wire. */
+    virtual std::int64_t send(const Tensor& t) = 0;
+
+    /** Receive the next transmitted tensor (FIFO). */
+    virtual Tensor receive() = 0;
+
+    /** True when a tensor is waiting. */
+    virtual bool pending() const = 0;
+
+    /** Total bytes transmitted so far. */
+    std::int64_t total_bytes() const { return total_bytes_; }
+
+    /** Number of messages transmitted so far. */
+    std::int64_t total_messages() const { return total_messages_; }
+
+  protected:
+    std::int64_t total_bytes_ = 0;
+    std::int64_t total_messages_ = 0;
+};
+
+/** In-memory lossless channel: serialize → buffer → deserialize. */
+class LoopbackChannel final : public Channel
+{
+  public:
+    std::int64_t send(const Tensor& t) override;
+    Tensor receive() override;
+    bool pending() const override { return !queue_.empty(); }
+
+  private:
+    std::deque<std::string> queue_;
+};
+
+/**
+ * Lossy 8-bit linear-quantization channel: each tensor is transmitted
+ * as min/max plus one byte per element — 4× smaller than float32 and
+ * a realistic edge uplink format. Dequantization error is bounded by
+ * (max−min)/255/2 per element.
+ */
+class QuantizingChannel final : public Channel
+{
+  public:
+    std::int64_t send(const Tensor& t) override;
+    Tensor receive() override;
+    bool pending() const override { return !queue_.empty(); }
+
+  private:
+    std::deque<std::string> queue_;
+};
+
+}  // namespace split
+}  // namespace shredder
+
+#endif  // SHREDDER_SPLIT_CHANNEL_H

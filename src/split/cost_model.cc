@@ -1,0 +1,80 @@
+#include "src/split/cost_model.h"
+
+#include <sstream>
+
+#include "src/runtime/logging.h"
+#include "src/split/split_model.h"
+#include "src/tensor/serialize.h"
+
+namespace shredder {
+namespace split {
+
+std::string
+CutCost::to_string() const
+{
+    std::ostringstream oss;
+    oss << "cut=" << cut << " edge_macs=" << edge_macs
+        << " cloud_macs=" << cloud_macs << " comm_bytes=" << comm_bytes
+        << " cost=" << kilomac_mb << " KMAC*MB";
+    return oss.str();
+}
+
+CostModel::CostModel(const nn::Sequential& network, const Shape& input_chw)
+    : network_(network), input_(input_chw)
+{
+    SHREDDER_REQUIRE(input_chw.rank() == 3,
+                     "CostModel wants a CHW input shape, got ",
+                     input_chw.to_string());
+}
+
+CutCost
+CostModel::evaluate(std::int64_t cut) const
+{
+    const Shape batched({1, input_[0], input_[1], input_[2]});
+    CutCost cost;
+    cost.cut = cut;
+    cost.edge_macs = network_.macs_range(batched, 0, cut);
+    const Shape act = network_.output_shape_range(batched, 0, cut);
+    cost.cloud_macs = network_.macs_range(act, cut, network_.size());
+    // Payload bytes: float32 activation + the small framing header.
+    Tensor probe(act);
+    cost.comm_bytes = serialized_size(probe);
+    cost.kilomac_mb = (static_cast<double>(cost.edge_macs) / 1e3) *
+                      (static_cast<double>(cost.comm_bytes) / 1e6);
+    return cost;
+}
+
+std::vector<CutCost>
+CostModel::evaluate_all(const std::vector<std::int64_t>& cuts) const
+{
+    std::vector<CutCost> out;
+    out.reserve(cuts.size());
+    for (std::int64_t c : cuts) {
+        out.push_back(evaluate(c));
+    }
+    return out;
+}
+
+std::int64_t
+CostModel::best_cut(const std::vector<std::int64_t>& cuts,
+                    double prefer_privacy_margin) const
+{
+    SHREDDER_REQUIRE(!cuts.empty(), "best_cut needs candidates");
+    const auto costs = evaluate_all(cuts);
+    double cheapest = costs.front().kilomac_mb;
+    for (const auto& c : costs) {
+        cheapest = std::min(cheapest, c.kilomac_mb);
+    }
+    // Deeper layers are later in `cuts`; privacy increases with depth
+    // (paper §3.3), so scan from the deepest and take the first whose
+    // cost is within the margin of the cheapest.
+    for (auto it = costs.rbegin(); it != costs.rend(); ++it) {
+        if (it->kilomac_mb <= cheapest * (1.0 + prefer_privacy_margin)) {
+            return it->cut;
+        }
+    }
+    return costs.back().cut;
+}
+
+}  // namespace split
+}  // namespace shredder

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Edge-device cost model for cutting-point selection (paper §3.4).
+ *
+ * Computation is the cumulative per-sample MAC count of the edge-side
+ * layers; communication is the serialized byte size of the activation
+ * tensor sent to the cloud. The paper's total cost figure of merit is
+ * their product, reported in KiloMAC × MB.
+ */
+#ifndef SHREDDER_SPLIT_COST_MODEL_H
+#define SHREDDER_SPLIT_COST_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nn/sequential.h"
+
+namespace shredder {
+namespace split {
+
+/** Cost breakdown for one cutting point. */
+struct CutCost
+{
+    std::int64_t cut = 0;           ///< Layer index of the cut.
+    std::int64_t edge_macs = 0;     ///< Per-sample MACs on the edge.
+    std::int64_t cloud_macs = 0;    ///< Per-sample MACs on the cloud.
+    std::int64_t comm_bytes = 0;    ///< Serialized activation bytes.
+    double kilomac_mb = 0.0;        ///< edge KMAC × comm MB (paper FoM).
+
+    std::string to_string() const;
+};
+
+/** Computation × communication cost model over a network. */
+class CostModel
+{
+  public:
+    /**
+     * @param network    Borrowed network (outlives the model).
+     * @param input_chw  CHW shape of one input sample.
+     */
+    CostModel(const nn::Sequential& network, const Shape& input_chw);
+
+    /** Cost report for one cutting point. */
+    CutCost evaluate(std::int64_t cut) const;
+
+    /** Cost reports for a set of cutting points. */
+    std::vector<CutCost> evaluate_all(
+        const std::vector<std::int64_t>& cuts) const;
+
+    /**
+     * The cut among `cuts` with the smallest kilomac_mb product — the
+     * rule the paper applies to SVHN (Conv6); `prefer_privacy_margin`
+     * replicates the LeNet judgment call (§3.4): if a deeper cut costs
+     * at most `margin` (relative) more than the cheapest, pick the
+     * deeper (more private) one.
+     */
+    std::int64_t best_cut(const std::vector<std::int64_t>& cuts,
+                          double prefer_privacy_margin = 0.0) const;
+
+  private:
+    const nn::Sequential& network_;
+    Shape input_;
+};
+
+}  // namespace split
+}  // namespace shredder
+
+#endif  // SHREDDER_SPLIT_COST_MODEL_H

@@ -1,0 +1,86 @@
+#include "src/split/split_model.h"
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace split {
+
+SplitModel::SplitModel(nn::Sequential& network, std::int64_t cut)
+    : network_(network), cut_(cut)
+{
+    SHREDDER_REQUIRE(cut >= 0 && cut <= network.size(), "cut ", cut,
+                     " out of range [0, ", network.size(), "]");
+}
+
+Tensor
+SplitModel::edge_forward(const Tensor& x, nn::Mode mode)
+{
+    return network_.forward_range(x, 0, cut_, mode);
+}
+
+Tensor
+SplitModel::cloud_forward(const Tensor& activation, nn::Mode mode)
+{
+    return network_.forward_range(activation, cut_, network_.size(), mode);
+}
+
+Tensor
+SplitModel::cloud_backward(const Tensor& grad_logits)
+{
+    return network_.backward_range(grad_logits, cut_, network_.size());
+}
+
+Shape
+SplitModel::batched(const Shape& input_chw)
+{
+    if (input_chw.rank() == 3) {
+        return Shape({1, input_chw[0], input_chw[1], input_chw[2]});
+    }
+    return input_chw;
+}
+
+Shape
+SplitModel::activation_shape(const Shape& input_chw) const
+{
+    return network_.output_shape_range(batched(input_chw), 0, cut_);
+}
+
+std::int64_t
+SplitModel::edge_macs(const Shape& input_chw) const
+{
+    return network_.macs_range(batched(input_chw), 0, cut_);
+}
+
+std::int64_t
+SplitModel::cloud_macs(const Shape& input_chw) const
+{
+    const Shape at_cut =
+        network_.output_shape_range(batched(input_chw), 0, cut_);
+    return network_.macs_range(at_cut, cut_, network_.size());
+}
+
+std::vector<std::int64_t>
+conv_cut_points(const nn::Sequential& network)
+{
+    std::vector<std::int64_t> cuts;
+    for (std::int64_t i = 0; i < network.size(); ++i) {
+        if (network.layer(i).kind() != "conv2d") {
+            continue;
+        }
+        // Include the activation function (and nothing else) that
+        // directly follows the convolution: the transmitted tensor is
+        // the post-activation feature map.
+        std::int64_t cut = i + 1;
+        if (cut < network.size()) {
+            const auto& next = network.layer(cut).kind();
+            if (next == "relu" || next == "tanh") {
+                ++cut;
+            }
+        }
+        cuts.push_back(cut);
+    }
+    return cuts;
+}
+
+}  // namespace split
+}  // namespace shredder

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Edge/cloud partition of a sequential network (paper §2.1).
+ *
+ * A `SplitModel` borrows a pre-trained `Sequential` and a cut index c:
+ * the *local* network L = layers [0, c) runs on the edge and produces
+ * the activation `a`; the *remote* network R = layers [c, K) runs on
+ * the cloud on the (noisy) activation. Backward through R only — L is
+ * never differentiated, exactly as in the paper's gradient derivation.
+ */
+#ifndef SHREDDER_SPLIT_SPLIT_MODEL_H
+#define SHREDDER_SPLIT_SPLIT_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/sequential.h"
+
+namespace shredder {
+namespace split {
+
+/** Edge/cloud view of a sequential network. */
+class SplitModel
+{
+  public:
+    /**
+     * @param network  Borrowed network (must outlive this object).
+     * @param cut      Layer index of the cut: edge = [0, cut),
+     *                 cloud = [cut, size).
+     */
+    SplitModel(nn::Sequential& network, std::int64_t cut);
+
+    /** The cut index. */
+    std::int64_t cut() const { return cut_; }
+
+    /** Number of layers in the underlying network. */
+    std::int64_t depth() const { return network_.size(); }
+
+    /** Borrow the underlying network. */
+    nn::Sequential& network() { return network_; }
+
+    /** Run the local network L(x): edge-side forward. */
+    Tensor edge_forward(const Tensor& x, nn::Mode mode = nn::Mode::kEval);
+
+    /** Run the remote network R(a′): cloud-side forward. */
+    Tensor cloud_forward(const Tensor& activation,
+                         nn::Mode mode = nn::Mode::kEval);
+
+    /**
+     * Back-propagate through the cloud part only. Returns
+     * ∂loss/∂activation — the gradient Shredder uses to train the
+     * noise tensor (∂(a+n)/∂n = 1).
+     */
+    Tensor cloud_backward(const Tensor& grad_logits);
+
+    /** Shape of the activation tensor at the cut for a CHW input. */
+    Shape activation_shape(const Shape& input_chw) const;
+
+    /** Per-sample MACs executed on the edge. */
+    std::int64_t edge_macs(const Shape& input_chw) const;
+
+    /** Per-sample MACs executed on the cloud. */
+    std::int64_t cloud_macs(const Shape& input_chw) const;
+
+  private:
+    /** Promote CHW to N=1 NCHW if needed. */
+    static Shape batched(const Shape& input_chw);
+
+    nn::Sequential& network_;
+    std::int64_t cut_;
+};
+
+/**
+ * Valid cutting points of a network, defined as "after each
+ * convolution layer" the way the paper enumerates them (Conv0, Conv1,
+ * …). Returned indices are layer indices suitable for `SplitModel`'s
+ * `cut` (i.e. one past the convolution's activation function when the
+ * conv is immediately followed by one, so the communicated tensor is
+ * the post-activation feature map).
+ */
+std::vector<std::int64_t> conv_cut_points(const nn::Sequential& network);
+
+}  // namespace split
+}  // namespace shredder
+
+#endif  // SHREDDER_SPLIT_SPLIT_MODEL_H

@@ -1,0 +1,87 @@
+#include "src/tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+
+namespace {
+
+/**
+ * Kernel for the non-transposed case: C[m×n] += alpha · A[m×k] · B[k×n].
+ * i-k-j loop order streams B rows and C rows sequentially, which GCC
+ * vectorizes well.
+ */
+void
+gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+        const float* a, const float* b, float* c)
+{
+    constexpr std::int64_t kBlockK = 256;
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t k1 = std::min(k, k0 + kBlockK);
+        for (std::int64_t i = 0; i < m; ++i) {
+            float* crow = c + i * n;
+            const float* arow = a + i * k;
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+                const float av = alpha * arow[kk];
+                const float* brow = b + kk * n;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void
+gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+     std::int64_t k, float alpha, const float* a, const float* b, float beta,
+     float* c)
+{
+    SHREDDER_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dims");
+    // Scale/zero C first so the kernel can be pure accumulation.
+    const std::int64_t cn = m * n;
+    if (beta == 0.0f) {
+        std::fill(c, c + cn, 0.0f);
+    } else if (beta != 1.0f) {
+        for (std::int64_t i = 0; i < cn; ++i) {
+            c[i] *= beta;
+        }
+    }
+    if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) {
+        return;
+    }
+
+    // Normalize to the NN case by materializing transposed inputs. The
+    // packs are small relative to the O(mnk) work and keep one fast
+    // kernel instead of four variants.
+    std::vector<float> a_pack;
+    const float* a_nn = a;
+    if (trans_a) {
+        a_pack.resize(static_cast<std::size_t>(m * k));
+        for (std::int64_t i = 0; i < k; ++i) {
+            for (std::int64_t j = 0; j < m; ++j) {
+                a_pack[static_cast<std::size_t>(j * k + i)] = a[i * m + j];
+            }
+        }
+        a_nn = a_pack.data();
+    }
+    std::vector<float> b_pack;
+    const float* b_nn = b;
+    if (trans_b) {
+        b_pack.resize(static_cast<std::size_t>(k * n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < k; ++j) {
+                b_pack[static_cast<std::size_t>(j * n + i)] = b[i * k + j];
+            }
+        }
+        b_nn = b_pack.data();
+    }
+    gemm_nn(m, n, k, alpha, a_nn, b_nn, c);
+}
+
+}  // namespace shredder

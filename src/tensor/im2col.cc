@@ -1,0 +1,78 @@
+#include "src/tensor/im2col.h"
+
+namespace shredder {
+
+void
+im2col(const float* data_im, std::int64_t channels, std::int64_t height,
+       std::int64_t width, std::int64_t kernel_h, std::int64_t kernel_w,
+       std::int64_t stride_h, std::int64_t stride_w, std::int64_t pad_h,
+       std::int64_t pad_w, float* data_col)
+{
+    const std::int64_t out_h =
+        conv_out_extent(height, kernel_h, stride_h, pad_h);
+    const std::int64_t out_w =
+        conv_out_extent(width, kernel_w, stride_w, pad_w);
+    const std::int64_t channel_size = height * width;
+
+    float* col = data_col;
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const float* im = data_im + c * channel_size;
+        for (std::int64_t kh = 0; kh < kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < kernel_w; ++kw) {
+                for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                    const std::int64_t ih = oh * stride_h - pad_h + kh;
+                    if (ih < 0 || ih >= height) {
+                        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                            *col++ = 0.0f;
+                        }
+                        continue;
+                    }
+                    const float* imrow = im + ih * width;
+                    for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                        const std::int64_t iw = ow * stride_w - pad_w + kw;
+                        *col++ = (iw >= 0 && iw < width) ? imrow[iw] : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const float* data_col, std::int64_t channels, std::int64_t height,
+       std::int64_t width, std::int64_t kernel_h, std::int64_t kernel_w,
+       std::int64_t stride_h, std::int64_t stride_w, std::int64_t pad_h,
+       std::int64_t pad_w, float* data_im)
+{
+    const std::int64_t out_h =
+        conv_out_extent(height, kernel_h, stride_h, pad_h);
+    const std::int64_t out_w =
+        conv_out_extent(width, kernel_w, stride_w, pad_w);
+    const std::int64_t channel_size = height * width;
+
+    const float* col = data_col;
+    for (std::int64_t c = 0; c < channels; ++c) {
+        float* im = data_im + c * channel_size;
+        for (std::int64_t kh = 0; kh < kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < kernel_w; ++kw) {
+                for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                    const std::int64_t ih = oh * stride_h - pad_h + kh;
+                    if (ih < 0 || ih >= height) {
+                        col += out_w;
+                        continue;
+                    }
+                    float* imrow = im + ih * width;
+                    for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                        const std::int64_t iw = ow * stride_w - pad_w + kw;
+                        if (iw >= 0 && iw < width) {
+                            imrow[iw] += *col;
+                        }
+                        ++col;
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace shredder

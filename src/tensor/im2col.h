@@ -1,0 +1,58 @@
+/**
+ * @file
+ * im2col / col2im transforms used by the convolution layers.
+ *
+ * `im2col` unfolds the receptive fields of a single image (CHW) into a
+ * matrix of shape [C·KH·KW, OH·OW] so convolution becomes one GEMM.
+ * `col2im` is its adjoint and scatters column gradients back to image
+ * gradients (accumulating where fields overlap).
+ */
+#ifndef SHREDDER_TENSOR_IM2COL_H
+#define SHREDDER_TENSOR_IM2COL_H
+
+#include <cstdint>
+
+namespace shredder {
+
+/** Output spatial extent for a conv/pool dimension. */
+inline std::int64_t
+conv_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                std::int64_t pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/**
+ * Unfold image patches into columns.
+ *
+ * @param data_im   Input image, C×H×W contiguous.
+ * @param channels  C.
+ * @param height    H.
+ * @param width     W.
+ * @param kernel_h  Kernel height KH.
+ * @param kernel_w  Kernel width KW.
+ * @param stride_h  Vertical stride.
+ * @param stride_w  Horizontal stride.
+ * @param pad_h     Vertical zero padding.
+ * @param pad_w     Horizontal zero padding.
+ * @param data_col  Output, (C·KH·KW)×(OH·OW) contiguous.
+ */
+void im2col(const float* data_im, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel_h, std::int64_t kernel_w,
+            std::int64_t stride_h, std::int64_t stride_w, std::int64_t pad_h,
+            std::int64_t pad_w, float* data_col);
+
+/**
+ * Adjoint of im2col: scatter-add columns back into an image buffer.
+ * `data_im` must be zeroed by the caller before the first call.
+ * Parameters mirror `im2col`.
+ */
+void col2im(const float* data_col, std::int64_t channels,
+            std::int64_t height, std::int64_t width, std::int64_t kernel_h,
+            std::int64_t kernel_w, std::int64_t stride_h,
+            std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w,
+            float* data_im);
+
+}  // namespace shredder
+
+#endif  // SHREDDER_TENSOR_IM2COL_H

@@ -1,0 +1,265 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace ops {
+
+namespace {
+
+void
+check_same_shape(const Tensor& a, const Tensor& b, const char* what)
+{
+    SHREDDER_CHECK(a.shape() == b.shape(), what, ": shape mismatch ",
+                   a.shape().to_string(), " vs ", b.shape().to_string());
+}
+
+}  // namespace
+
+Tensor
+add(const Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "add");
+    Tensor c = a;
+    add_inplace(c, b);
+    return c;
+}
+
+void
+add_inplace(Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "add_inplace");
+    float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pa[i] += pb[i];
+    }
+}
+
+void
+axpy_inplace(Tensor& a, float alpha, const Tensor& b)
+{
+    check_same_shape(a, b, "axpy_inplace");
+    float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pa[i] += alpha * pb[i];
+    }
+}
+
+Tensor
+sub(const Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "sub");
+    Tensor c = a;
+    float* pc = c.data();
+    const float* pb = b.data();
+    const std::int64_t n = c.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pc[i] -= pb[i];
+    }
+    return c;
+}
+
+Tensor
+mul(const Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "mul");
+    Tensor c = a;
+    mul_inplace(c, b);
+    return c;
+}
+
+void
+mul_inplace(Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "mul_inplace");
+    float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pa[i] *= pb[i];
+    }
+}
+
+Tensor
+scale(const Tensor& a, float s)
+{
+    Tensor c = a;
+    scale_inplace(c, s);
+    return c;
+}
+
+void
+scale_inplace(Tensor& a, float s)
+{
+    float* pa = a.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pa[i] *= s;
+    }
+}
+
+void
+add_scalar_inplace(Tensor& a, float s)
+{
+    float* pa = a.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pa[i] += s;
+    }
+}
+
+Tensor
+map(const Tensor& a, const std::function<float(float)>& fn)
+{
+    Tensor c = a;
+    map_inplace(c, fn);
+    return c;
+}
+
+void
+map_inplace(Tensor& a, const std::function<float(float)>& fn)
+{
+    float* pa = a.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pa[i] = fn(pa[i]);
+    }
+}
+
+void
+clamp_inplace(Tensor& a, float lo, float hi)
+{
+    SHREDDER_REQUIRE(lo <= hi, "clamp range inverted");
+    float* pa = a.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        pa[i] = std::min(hi, std::max(lo, pa[i]));
+    }
+}
+
+double
+dot(const Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "dot");
+    const float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.size();
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        s += static_cast<double>(pa[i]) * pb[i];
+    }
+    return s;
+}
+
+Tensor
+softmax_rows(const Tensor& logits)
+{
+    SHREDDER_CHECK(logits.shape().rank() == 2, "softmax_rows wants rank 2");
+    const std::int64_t rows = logits.shape()[0];
+    const std::int64_t cols = logits.shape()[1];
+    Tensor out(logits.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* in = logits.data() + r * cols;
+        float* o = out.data() + r * cols;
+        float mx = in[0];
+        for (std::int64_t c = 1; c < cols; ++c) {
+            mx = std::max(mx, in[c]);
+        }
+        double denom = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            o[c] = std::exp(in[c] - mx);
+            denom += o[c];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::int64_t c = 0; c < cols; ++c) {
+            o[c] *= inv;
+        }
+    }
+    return out;
+}
+
+Tensor
+log_softmax_rows(const Tensor& logits)
+{
+    SHREDDER_CHECK(logits.shape().rank() == 2,
+                   "log_softmax_rows wants rank 2");
+    const std::int64_t rows = logits.shape()[0];
+    const std::int64_t cols = logits.shape()[1];
+    Tensor out(logits.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* in = logits.data() + r * cols;
+        float* o = out.data() + r * cols;
+        float mx = in[0];
+        for (std::int64_t c = 1; c < cols; ++c) {
+            mx = std::max(mx, in[c]);
+        }
+        double denom = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            denom += std::exp(static_cast<double>(in[c]) - mx);
+        }
+        const float log_denom = static_cast<float>(std::log(denom)) + mx;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            o[c] = in[c] - log_denom;
+        }
+    }
+    return out;
+}
+
+std::vector<std::int64_t>
+argmax_rows(const Tensor& t)
+{
+    SHREDDER_CHECK(t.shape().rank() == 2, "argmax_rows wants rank 2");
+    const std::int64_t rows = t.shape()[0];
+    const std::int64_t cols = t.shape()[1];
+    std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* in = t.data() + r * cols;
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < cols; ++c) {
+            if (in[c] > in[best]) {
+                best = c;
+            }
+        }
+        out[static_cast<std::size_t>(r)] = best;
+    }
+    return out;
+}
+
+double
+mse(const Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "mse");
+    const float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.size();
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(pa[i]) - pb[i];
+        s += d * d;
+    }
+    return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+double
+max_abs_diff(const Tensor& a, const Tensor& b)
+{
+    check_same_shape(a, b, "max_abs_diff");
+    const float* pa = a.data();
+    const float* pb = b.data();
+    const std::int64_t n = a.size();
+    double mx = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        mx = std::max(mx, std::abs(static_cast<double>(pa[i]) - pb[i]));
+    }
+    return mx;
+}
+
+}  // namespace ops
+}  // namespace shredder

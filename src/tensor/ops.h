@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Elementwise and reduction operations on tensors.
+ *
+ * Free functions rather than members so that new ops never widen the
+ * `Tensor` interface. In-place variants (suffix `_inplace`) mutate the
+ * first argument and are used on training hot paths.
+ */
+#ifndef SHREDDER_TENSOR_OPS_H
+#define SHREDDER_TENSOR_OPS_H
+
+#include <functional>
+
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace ops {
+
+/** c = a + b (shapes must match). */
+Tensor add(const Tensor& a, const Tensor& b);
+
+/** a += b (shapes must match). */
+void add_inplace(Tensor& a, const Tensor& b);
+
+/** a += alpha * b (axpy; shapes must match). */
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b);
+
+/** c = a − b (shapes must match). */
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/** c = a ⊙ b, elementwise product (shapes must match). */
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/** a ⊙= b, elementwise (shapes must match). */
+void mul_inplace(Tensor& a, const Tensor& b);
+
+/** c = a * s, scalar product. */
+Tensor scale(const Tensor& a, float s);
+
+/** a *= s. */
+void scale_inplace(Tensor& a, float s);
+
+/** a[i] += s for all i. */
+void add_scalar_inplace(Tensor& a, float s);
+
+/** c[i] = fn(a[i]). */
+Tensor map(const Tensor& a, const std::function<float(float)>& fn);
+
+/** a[i] = fn(a[i]). */
+void map_inplace(Tensor& a, const std::function<float(float)>& fn);
+
+/** Clamp every element into [lo, hi]. */
+void clamp_inplace(Tensor& a, float lo, float hi);
+
+/** Dot product ⟨a, b⟩ over flattened elements (shapes must match). */
+double dot(const Tensor& a, const Tensor& b);
+
+/**
+ * Row-wise softmax of a rank-2 tensor (logits [N, M] → probs [N, M]).
+ * Numerically stabilized by max subtraction.
+ */
+Tensor softmax_rows(const Tensor& logits);
+
+/**
+ * Row-wise log-softmax of a rank-2 tensor. Stable for large logits.
+ */
+Tensor log_softmax_rows(const Tensor& logits);
+
+/** Per-row argmax of a rank-2 tensor ([N, M] → N indices). */
+std::vector<std::int64_t> argmax_rows(const Tensor& t);
+
+/** Mean of (a−b)² over all elements. */
+double mse(const Tensor& a, const Tensor& b);
+
+/** Max |a−b| over all elements. */
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace ops
+}  // namespace shredder
+
+#endif  // SHREDDER_TENSOR_OPS_H

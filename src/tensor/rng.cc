@@ -1,0 +1,69 @@
+#include "src/tensor/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+
+float
+Rng::uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+}
+
+float
+Rng::normal(float mean, float stddev)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+}
+
+float
+Rng::laplace(float location, float scale)
+{
+    SHREDDER_REQUIRE(scale > 0.0f, "Laplace scale must be positive, got ",
+                     scale);
+    std::uniform_real_distribution<double> dist(-0.5, 0.5);
+    double u = dist(engine_);
+    // Guard the log argument away from zero for u == ±0.5.
+    double mag = std::max(1e-300, 1.0 - 2.0 * std::abs(u));
+    double sign = (u >= 0.0) ? 1.0 : -1.0;
+    return static_cast<float>(location - scale * sign * std::log(mag));
+}
+
+std::int64_t
+Rng::randint(std::int64_t lo, std::int64_t hi)
+{
+    SHREDDER_REQUIRE(lo <= hi, "randint range inverted: [", lo, ", ", hi,
+                     "]");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+std::vector<std::int64_t>
+Rng::permutation(std::int64_t n)
+{
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::shuffle(idx.begin(), idx.end(), engine_);
+    return idx;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(engine_());
+}
+
+}  // namespace shredder

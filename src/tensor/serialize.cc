@@ -1,0 +1,106 @@
+#include "src/tensor/serialize.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54524853;  // 'SHRT'
+
+template <typename T>
+void
+write_pod(std::ostream& os, T value)
+{
+    os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+read_pod(std::istream& is)
+{
+    T value{};
+    is.read(reinterpret_cast<char*>(&value), sizeof(T));
+    SHREDDER_REQUIRE(static_cast<bool>(is), "truncated tensor stream");
+    return value;
+}
+
+}  // namespace
+
+void
+write_tensor(std::ostream& os, const Tensor& t)
+{
+    write_pod<std::uint32_t>(os, kMagic);
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.shape().rank()));
+    for (int i = 0; i < t.shape().rank(); ++i) {
+        write_pod<std::uint64_t>(os,
+                                 static_cast<std::uint64_t>(t.shape()[i]));
+    }
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.size() * sizeof(float)));
+    SHREDDER_CHECK(static_cast<bool>(os), "tensor write failed");
+}
+
+Tensor
+read_tensor(std::istream& is)
+{
+    const auto magic = read_pod<std::uint32_t>(is);
+    SHREDDER_REQUIRE(magic == kMagic, "bad tensor magic 0x", std::hex,
+                     magic);
+    const auto rank = read_pod<std::uint32_t>(is);
+    SHREDDER_REQUIRE(rank <= static_cast<std::uint32_t>(Shape::kMaxRank),
+                     "bad tensor rank ", rank);
+    std::int64_t dims[Shape::kMaxRank] = {0, 0, 0, 0};
+    std::int64_t numel = 1;
+    for (std::uint32_t i = 0; i < rank; ++i) {
+        dims[i] = static_cast<std::int64_t>(read_pod<std::uint64_t>(is));
+        SHREDDER_REQUIRE(dims[i] > 0 && dims[i] < (1LL << 32),
+                         "bad tensor dim ", dims[i]);
+        numel *= dims[i];
+    }
+    Shape shape;
+    switch (rank) {
+      case 0: shape = Shape(); break;
+      case 1: shape = Shape({dims[0]}); break;
+      case 2: shape = Shape({dims[0], dims[1]}); break;
+      case 3: shape = Shape({dims[0], dims[1], dims[2]}); break;
+      case 4: shape = Shape({dims[0], dims[1], dims[2], dims[3]}); break;
+      default: SHREDDER_PANIC("unreachable rank");
+    }
+    std::vector<float> data(static_cast<std::size_t>(numel));
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    SHREDDER_REQUIRE(static_cast<bool>(is), "truncated tensor payload");
+    return Tensor(shape, std::move(data));
+}
+
+std::int64_t
+serialized_size(const Tensor& t)
+{
+    return static_cast<std::int64_t>(sizeof(std::uint32_t) * 2 +
+                                     sizeof(std::uint64_t) *
+                                         t.shape().rank()) +
+           t.size() * static_cast<std::int64_t>(sizeof(float));
+}
+
+std::string
+tensor_to_bytes(const Tensor& t)
+{
+    std::ostringstream oss(std::ios::binary);
+    write_tensor(oss, t);
+    return oss.str();
+}
+
+Tensor
+tensor_from_bytes(const std::string& bytes)
+{
+    std::istringstream iss(bytes, std::ios::binary);
+    return read_tensor(iss);
+}
+
+}  // namespace shredder

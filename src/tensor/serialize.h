@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary tensor (de)serialization.
+ *
+ * Used by the model-checkpoint format and by the split-execution
+ * channel (the edge serializes the noisy activation exactly the way a
+ * real deployment would put it on the wire). The format is a small
+ * tagged header followed by raw little-endian float32 data:
+ *
+ *   magic  u32  'SHRT' (0x54524853)
+ *   rank   u32
+ *   dims   u64 × rank
+ *   data   f32 × numel
+ */
+#ifndef SHREDDER_TENSOR_SERIALIZE_H
+#define SHREDDER_TENSOR_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+
+/** Write a tensor to a binary stream. Panics on stream failure. */
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/** Read a tensor from a binary stream. Fatal on malformed input. */
+Tensor read_tensor(std::istream& is);
+
+/** Serialized byte size of a tensor (header + payload). */
+std::int64_t serialized_size(const Tensor& t);
+
+/** Convenience: serialize to an in-memory byte string. */
+std::string tensor_to_bytes(const Tensor& t);
+
+/** Convenience: deserialize from an in-memory byte string. */
+Tensor tensor_from_bytes(const std::string& bytes);
+
+}  // namespace shredder
+
+#endif  // SHREDDER_TENSOR_SERIALIZE_H

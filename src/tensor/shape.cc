@@ -1,0 +1,88 @@
+#include "src/tensor/shape.h"
+
+#include <sstream>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+{
+    SHREDDER_REQUIRE(static_cast<int>(dims.size()) <= kMaxRank,
+                     "shape rank ", dims.size(), " exceeds max ", kMaxRank);
+    rank_ = static_cast<int>(dims.size());
+    int i = 0;
+    for (std::int64_t d : dims) {
+        dims_[i++] = d;
+    }
+}
+
+std::int64_t
+Shape::operator[](int i) const
+{
+    SHREDDER_CHECK(i >= 0 && i < rank_, "shape index ", i, " out of rank ",
+                   rank_);
+    return dims_[i];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) {
+        n *= dims_[i];
+    }
+    return n;
+}
+
+bool
+Shape::valid() const
+{
+    for (int i = 0; i < rank_; ++i) {
+        if (dims_[i] <= 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Shape::operator==(const Shape& other) const
+{
+    if (rank_ != other.rank_) {
+        return false;
+    }
+    for (int i = 0; i < rank_; ++i) {
+        if (dims_[i] != other.dims_[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Shape::to_string() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (int i = 0; i < rank_; ++i) {
+        if (i > 0) {
+            oss << ", ";
+        }
+        oss << dims_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+Shape
+Shape::with_dim(int i, std::int64_t extent) const
+{
+    SHREDDER_CHECK(i >= 0 && i < rank_, "with_dim index ", i,
+                   " out of rank ", rank_);
+    Shape s = *this;
+    s.dims_[i] = extent;
+    return s;
+}
+
+}  // namespace shredder

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-capacity tensor shape (rank ≤ 4, NCHW convention).
+ */
+#ifndef SHREDDER_TENSOR_SHAPE_H
+#define SHREDDER_TENSOR_SHAPE_H
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace shredder {
+
+/**
+ * The extents of a tensor. Rank 0 (scalar) through 4 (NCHW image batch).
+ *
+ * Value type; cheap to copy. Dimensions are signed 64-bit so that size
+ * arithmetic never overflows for realistic tensors.
+ */
+class Shape
+{
+  public:
+    /** Maximum supported rank. */
+    static constexpr int kMaxRank = 4;
+
+    /** Scalar (rank-0) shape. */
+    Shape() = default;
+
+    /** Build from an explicit dimension list, e.g. `Shape({n, c, h, w})`. */
+    Shape(std::initializer_list<std::int64_t> dims);
+
+    /** Rank (number of dimensions). */
+    int rank() const { return rank_; }
+
+    /** Extent of dimension `i` (0-based; must be < rank()). */
+    std::int64_t operator[](int i) const;
+
+    /** Total number of elements (product of extents; 1 for scalars). */
+    std::int64_t numel() const;
+
+    /** True when every extent is strictly positive. */
+    bool valid() const;
+
+    bool operator==(const Shape& other) const;
+    bool operator!=(const Shape& other) const { return !(*this == other); }
+
+    /** Human-readable form, e.g. "[32, 3, 28, 28]". */
+    std::string to_string() const;
+
+    /**
+     * Shape with one dimension replaced.
+     *
+     * @param i        Dimension index to replace.
+     * @param extent   New extent.
+     */
+    Shape with_dim(int i, std::int64_t extent) const;
+
+  private:
+    std::array<std::int64_t, kMaxRank> dims_{{0, 0, 0, 0}};
+    int rank_ = 0;
+};
+
+}  // namespace shredder
+
+#endif  // SHREDDER_TENSOR_SHAPE_H

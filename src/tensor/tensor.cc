@@ -1,0 +1,273 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0f)
+{
+    SHREDDER_REQUIRE(shape.rank() == 0 || shape.valid(),
+                     "invalid tensor shape ", shape.to_string());
+}
+
+Tensor::Tensor(const Shape& shape, float value)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), value)
+{
+    SHREDDER_REQUIRE(shape.rank() == 0 || shape.valid(),
+                     "invalid tensor shape ", shape.to_string());
+}
+
+Tensor::Tensor(const Shape& shape, std::vector<float> data)
+    : shape_(shape), data_(std::move(data))
+{
+    SHREDDER_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape.numel(),
+                     "data size ", data_.size(), " != shape numel ",
+                     shape.numel());
+}
+
+Tensor
+Tensor::uniform(const Shape& shape, Rng& rng, float lo, float hi)
+{
+    Tensor t(shape);
+    for (auto& v : t.data_) {
+        v = rng.uniform(lo, hi);
+    }
+    return t;
+}
+
+Tensor
+Tensor::normal(const Shape& shape, Rng& rng, float mean, float stddev)
+{
+    Tensor t(shape);
+    for (auto& v : t.data_) {
+        v = rng.normal(mean, stddev);
+    }
+    return t;
+}
+
+Tensor
+Tensor::laplace(const Shape& shape, Rng& rng, float location, float scale)
+{
+    Tensor t(shape);
+    for (auto& v : t.data_) {
+        v = rng.laplace(location, scale);
+    }
+    return t;
+}
+
+Tensor
+Tensor::from_vector(std::vector<float> values)
+{
+    const auto n = static_cast<std::int64_t>(values.size());
+    return Tensor(Shape({n}), std::move(values));
+}
+
+float&
+Tensor::at(std::int64_t i)
+{
+    SHREDDER_CHECK(i >= 0 && i < size(), "flat index ", i, " out of ",
+                   size());
+    return data_[static_cast<std::size_t>(i)];
+}
+
+float
+Tensor::at(std::int64_t i) const
+{
+    SHREDDER_CHECK(i >= 0 && i < size(), "flat index ", i, " out of ",
+                   size());
+    return data_[static_cast<std::size_t>(i)];
+}
+
+float&
+Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+{
+    SHREDDER_CHECK(shape_.rank() == 4, "at4 on rank-", shape_.rank(),
+                   " tensor");
+    const std::int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    return at(((n * C + c) * H + h) * W + w);
+}
+
+float
+Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const
+{
+    SHREDDER_CHECK(shape_.rank() == 4, "at4 on rank-", shape_.rank(),
+                   " tensor");
+    const std::int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    return at(((n * C + c) * H + h) * W + w);
+}
+
+float&
+Tensor::at2(std::int64_t r, std::int64_t c)
+{
+    SHREDDER_CHECK(shape_.rank() == 2, "at2 on rank-", shape_.rank(),
+                   " tensor");
+    return at(r * shape_[1] + c);
+}
+
+float
+Tensor::at2(std::int64_t r, std::int64_t c) const
+{
+    SHREDDER_CHECK(shape_.rank() == 2, "at2 on rank-", shape_.rank(),
+                   " tensor");
+    return at(r * shape_[1] + c);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor
+Tensor::reshaped(const Shape& new_shape) const
+{
+    SHREDDER_REQUIRE(new_shape.numel() == size(), "reshape ",
+                     shape_.to_string(), " -> ", new_shape.to_string(),
+                     " changes element count");
+    Tensor t = *this;
+    t.shape_ = new_shape;
+    return t;
+}
+
+void
+Tensor::reshape_inplace(const Shape& new_shape)
+{
+    SHREDDER_REQUIRE(new_shape.numel() == size(), "reshape ",
+                     shape_.to_string(), " -> ", new_shape.to_string(),
+                     " changes element count");
+    shape_ = new_shape;
+}
+
+Tensor
+Tensor::slice0(std::int64_t n) const
+{
+    SHREDDER_CHECK(shape_.rank() >= 1, "slice0 on scalar");
+    SHREDDER_CHECK(n >= 0 && n < shape_[0], "slice ", n, " out of ",
+                   shape_[0]);
+    const std::int64_t stride = size() / shape_[0];
+    Shape sub_shape;
+    switch (shape_.rank()) {
+      case 1: sub_shape = Shape({1}); break;
+      case 2: sub_shape = Shape({shape_[1]}); break;
+      case 3: sub_shape = Shape({shape_[1], shape_[2]}); break;
+      case 4: sub_shape = Shape({shape_[1], shape_[2], shape_[3]}); break;
+      default: SHREDDER_PANIC("unsupported rank");
+    }
+    std::vector<float> out(data_.begin() + n * stride,
+                           data_.begin() + (n + 1) * stride);
+    return Tensor(sub_shape, std::move(out));
+}
+
+void
+Tensor::set_slice0(std::int64_t n, const Tensor& src)
+{
+    SHREDDER_CHECK(shape_.rank() >= 1, "set_slice0 on scalar");
+    SHREDDER_CHECK(n >= 0 && n < shape_[0], "slice ", n, " out of ",
+                   shape_[0]);
+    const std::int64_t stride = size() / shape_[0];
+    SHREDDER_CHECK(src.size() == stride, "slice size mismatch: ",
+                   src.size(), " vs ", stride);
+    std::copy(src.data_.begin(), src.data_.end(),
+              data_.begin() + n * stride);
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_) {
+        s += v;
+    }
+    return s;
+}
+
+double
+Tensor::mean() const
+{
+    return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+double
+Tensor::mean_square() const
+{
+    if (data_.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (float v : data_) {
+        s += static_cast<double>(v) * v;
+    }
+    return s / static_cast<double>(data_.size());
+}
+
+double
+Tensor::variance() const
+{
+    const double m = mean();
+    return mean_square() - m * m;
+}
+
+float
+Tensor::min() const
+{
+    SHREDDER_CHECK(!data_.empty(), "min of empty tensor");
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float
+Tensor::max() const
+{
+    SHREDDER_CHECK(!data_.empty(), "max of empty tensor");
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+std::int64_t
+Tensor::argmax() const
+{
+    SHREDDER_CHECK(!data_.empty(), "argmax of empty tensor");
+    return static_cast<std::int64_t>(
+        std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double
+Tensor::norm() const
+{
+    return std::sqrt(mean_square() * static_cast<double>(data_.size()));
+}
+
+double
+Tensor::abs_sum() const
+{
+    double s = 0.0;
+    for (float v : data_) {
+        s += std::abs(static_cast<double>(v));
+    }
+    return s;
+}
+
+bool
+Tensor::has_nonfinite() const
+{
+    for (float v : data_) {
+        if (!std::isfinite(v)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Tensor::to_string() const
+{
+    std::ostringstream oss;
+    oss << "Tensor" << shape_.to_string() << " (" << size() << " elems)";
+    return oss.str();
+}
+
+}  // namespace shredder

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Dense float32 tensor with value semantics.
+ *
+ * The storage is a flat, contiguous `std::vector<float>` in row-major
+ * (NCHW) order. Copies are real copies; moves are cheap. This keeps
+ * ownership trivially correct at the cost of occasional extra copies,
+ * which is the right trade-off at Shredder's model scale.
+ */
+#ifndef SHREDDER_TENSOR_TENSOR_H
+#define SHREDDER_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/rng.h"
+#include "src/tensor/shape.h"
+
+namespace shredder {
+
+/** Dense float32 tensor. See file comment for semantics. */
+class Tensor
+{
+  public:
+    /** Empty (rank-0, zero-size) tensor. */
+    Tensor() = default;
+
+    /** Zero-filled tensor of the given shape. */
+    explicit Tensor(const Shape& shape);
+
+    /** Tensor of the given shape, filled with `value`. */
+    Tensor(const Shape& shape, float value);
+
+    /** Adopt existing data (must match `shape.numel()`). */
+    Tensor(const Shape& shape, std::vector<float> data);
+
+    // -- Factories -------------------------------------------------------
+
+    /** All-zeros tensor. */
+    static Tensor zeros(const Shape& shape) { return Tensor(shape); }
+
+    /** All-ones tensor. */
+    static Tensor ones(const Shape& shape) { return Tensor(shape, 1.0f); }
+
+    /** Every element full of `value`. */
+    static Tensor
+    full(const Shape& shape, float value)
+    {
+        return Tensor(shape, value);
+    }
+
+    /** I.i.d. Uniform(lo, hi) entries. */
+    static Tensor uniform(const Shape& shape, Rng& rng, float lo = 0.0f,
+                          float hi = 1.0f);
+
+    /** I.i.d. N(mean, stddev²) entries. */
+    static Tensor normal(const Shape& shape, Rng& rng, float mean = 0.0f,
+                         float stddev = 1.0f);
+
+    /** I.i.d. Laplace(location, scale) entries (noise-tensor init). */
+    static Tensor laplace(const Shape& shape, Rng& rng, float location,
+                          float scale);
+
+    /** 1-D tensor wrapping a value list. */
+    static Tensor from_vector(std::vector<float> values);
+
+    // -- Introspection ---------------------------------------------------
+
+    const Shape& shape() const { return shape_; }
+    std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+    bool empty() const { return data_.empty(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+    float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+    /** Bounds-checked element access by flat index (panics on misuse). */
+    float& at(std::int64_t i);
+    float at(std::int64_t i) const;
+
+    /** Element access by (n, c, h, w) for rank-4 tensors. */
+    float& at4(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w);
+    float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+              std::int64_t w) const;
+
+    /** Element access by (r, c) for rank-2 tensors. */
+    float& at2(std::int64_t r, std::int64_t c);
+    float at2(std::int64_t r, std::int64_t c) const;
+
+    // -- Whole-tensor helpers --------------------------------------------
+
+    /** Set every element to `value`. */
+    void fill(float value);
+
+    /**
+     * Same data, different shape (element count must match). Returns a
+     * copy; the receiver's storage is untouched.
+     */
+    Tensor reshaped(const Shape& new_shape) const;
+
+    /** In-place reshape (element count must match). */
+    void reshape_inplace(const Shape& new_shape);
+
+    /**
+     * The `n`-th slice along dimension 0, as its own (rank-1-lower)
+     * tensor. Copies the data.
+     */
+    Tensor slice0(std::int64_t n) const;
+
+    /** Copy `src` into the `n`-th slice along dimension 0. */
+    void set_slice0(std::int64_t n, const Tensor& src);
+
+    /** Sum of all elements (double accumulation). */
+    double sum() const;
+
+    /** Mean of all elements. */
+    double mean() const;
+
+    /** Mean of squared elements, E[x²]. */
+    double mean_square() const;
+
+    /** Population variance. */
+    double variance() const;
+
+    /** Smallest element. */
+    float min() const;
+
+    /** Largest element. */
+    float max() const;
+
+    /** Flat index of the largest element. */
+    std::int64_t argmax() const;
+
+    /** L2 norm. */
+    double norm() const;
+
+    /** Sum of |xᵢ| (the paper's Σ|nᵢ| loss term). */
+    double abs_sum() const;
+
+    /** True when any element is NaN or ±inf. */
+    bool has_nonfinite() const;
+
+    /** Short description, e.g. "Tensor[32, 10] (320 elems)". */
+    std::string to_string() const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+}  // namespace shredder
+
+#endif  // SHREDDER_TENSOR_TENSOR_H

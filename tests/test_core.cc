@@ -1,0 +1,363 @@
+/** @file Tests for the Shredder core (the paper's contribution). */
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/lambda_controller.h"
+#include "src/core/noise_collection.h"
+#include "src/core/noise_distribution.h"
+#include "src/core/noise_tensor.h"
+#include "src/core/shredder_loss.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace shredder {
+namespace {
+
+using core::LambdaController;
+using core::LambdaSchedule;
+using core::NoiseCollection;
+using core::NoiseInit;
+using core::NoiseSample;
+using core::NoiseTensor;
+using core::PrivacyTerm;
+using core::ShredderLoss;
+
+// ---------------------------------------------------------------------
+// NoiseTensor
+// ---------------------------------------------------------------------
+
+TEST(NoiseTensor, LaplaceInitializationMoments)
+{
+    NoiseInit init;
+    init.location = 0.5f;
+    init.scale = 1.2f;
+    NoiseTensor noise(Shape({64, 16, 4}), init);  // 4096 elems
+    EXPECT_NEAR(noise.value().mean(), 0.5, 0.1);
+    EXPECT_NEAR(noise.value().variance(), 2 * 1.2 * 1.2, 0.4);
+}
+
+TEST(NoiseTensor, ApplyBroadcastsOverBatch)
+{
+    NoiseTensor noise(Tensor::from_vector({1.0f, -1.0f}));
+    Tensor act(Shape({3, 2}));
+    act.fill(10.0f);
+    Tensor out = noise.apply(act);
+    for (std::int64_t n = 0; n < 3; ++n) {
+        EXPECT_FLOAT_EQ(out.at2(n, 0), 11.0f);
+        EXPECT_FLOAT_EQ(out.at2(n, 1), 9.0f);
+    }
+}
+
+TEST(NoiseTensor, ApplyLeavesInputUntouched)
+{
+    NoiseTensor noise(Tensor::from_vector({5.0f}));
+    Tensor act = Tensor::zeros(Shape({2, 1}));
+    noise.apply(act);
+    EXPECT_DOUBLE_EQ(act.abs_sum(), 0.0);
+}
+
+TEST(NoiseTensor, GradAccumulatesBatchSum)
+{
+    NoiseTensor noise(Tensor::from_vector({0.0f, 0.0f}));
+    Tensor grad(Shape({3, 2}));
+    grad.fill(1.0f);
+    grad.at2(1, 1) = 4.0f;
+    noise.accumulate_grad(grad);
+    EXPECT_FLOAT_EQ(noise.param().grad[0], 3.0f);
+    EXPECT_FLOAT_EQ(noise.param().grad[1], 6.0f);
+}
+
+TEST(NoiseTensor, SameSeedSameNoise)
+{
+    NoiseInit init;
+    init.seed = 77;
+    NoiseTensor a(Shape({32}), init);
+    NoiseTensor b(Shape({32}), init);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(a.value(), b.value()), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// ShredderLoss
+// ---------------------------------------------------------------------
+
+TEST(ShredderLoss, L1TermMatchesEquation3)
+{
+    ShredderLoss loss(PrivacyTerm::kL1Expansion, 0.01f);
+    Tensor logits(Shape({1, 2}));
+    logits[0] = 5.0f;  // confident class 0
+    Tensor noise = Tensor::from_vector({1.0f, -2.0f, 3.0f});
+    const auto v = loss.compute(logits, {0}, noise);
+    EXPECT_NEAR(v.privacy, -0.01 * 6.0, 1e-6);
+    EXPECT_NEAR(v.total, v.cross_entropy + v.privacy, 1e-9);
+}
+
+TEST(ShredderLoss, L1GradPushesMagnitudesUp)
+{
+    // The Eq. 3 anti-decay: positive noise gets a negative gradient
+    // (grows under descent), negative noise a positive one.
+    ShredderLoss loss(PrivacyTerm::kL1Expansion, 0.5f);
+    Tensor noise = Tensor::from_vector({2.0f, -3.0f, 0.0f});
+    Tensor grad = Tensor::zeros(Shape({3}));
+    loss.add_privacy_grad(noise, grad);
+    EXPECT_FLOAT_EQ(grad[0], -0.5f);
+    EXPECT_FLOAT_EQ(grad[1], 0.5f);
+    EXPECT_FLOAT_EQ(grad[2], 0.0f);
+}
+
+TEST(ShredderLoss, InverseVarianceNumericGradient)
+{
+    ShredderLoss loss(PrivacyTerm::kInverseVariance, 0.3f);
+    Rng rng(1);
+    Tensor noise = Tensor::normal(Shape({16}), rng, 0.2f, 1.0f);
+    Tensor analytic = Tensor::zeros(noise.shape());
+    loss.add_privacy_grad(noise, analytic);
+
+    const auto term = [&](const Tensor& n) {
+        return 0.3 / n.variance();
+    };
+    const float eps = 1e-3f;
+    for (std::int64_t i = 0; i < noise.size(); ++i) {
+        Tensor np = noise;
+        np[i] += eps;
+        const double up = term(np);
+        np[i] -= 2 * eps;
+        const double dn = term(np);
+        EXPECT_NEAR(analytic[i], (up - dn) / (2 * eps), 2e-2);
+    }
+}
+
+TEST(ShredderLoss, NoneTermAddsNothing)
+{
+    ShredderLoss loss(PrivacyTerm::kNone, 0.5f);
+    Tensor noise = Tensor::from_vector({1.0f, 2.0f});
+    Tensor grad = Tensor::zeros(Shape({2}));
+    loss.add_privacy_grad(noise, grad);
+    EXPECT_DOUBLE_EQ(grad.abs_sum(), 0.0);
+    Tensor logits(Shape({1, 2}));
+    const auto v = loss.compute(logits, {0}, noise);
+    EXPECT_DOUBLE_EQ(v.privacy, 0.0);
+}
+
+TEST(ShredderLoss, LambdaZeroReducesToCrossEntropy)
+{
+    ShredderLoss loss(PrivacyTerm::kL1Expansion, 0.0f);
+    Tensor logits(Shape({1, 3}));
+    Tensor noise = Tensor::from_vector({100.0f});
+    const auto v = loss.compute(logits, {1}, noise);
+    EXPECT_DOUBLE_EQ(v.privacy, 0.0);
+    EXPECT_DOUBLE_EQ(v.total, v.cross_entropy);
+}
+
+// ---------------------------------------------------------------------
+// LambdaController
+// ---------------------------------------------------------------------
+
+TEST(LambdaController, NoTargetNoDecay)
+{
+    LambdaSchedule sched;
+    sched.initial_lambda = 0.01f;
+    sched.privacy_target = 0.0;  // disabled
+    LambdaController ctrl(sched);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FLOAT_EQ(ctrl.observe(100.0), 0.01f);
+    }
+    EXPECT_FALSE(ctrl.stabilized());
+}
+
+TEST(LambdaController, DecaysAfterPatienceAboveTarget)
+{
+    LambdaSchedule sched;
+    sched.initial_lambda = 0.01f;
+    sched.privacy_target = 0.5;
+    sched.decay = 0.1f;
+    sched.patience = 3;
+    LambdaController ctrl(sched);
+    ctrl.observe(0.6);
+    ctrl.observe(0.6);
+    EXPECT_FLOAT_EQ(ctrl.lambda(), 0.01f);  // not yet
+    ctrl.observe(0.6);
+    EXPECT_FLOAT_EQ(ctrl.lambda(), 0.001f);
+    EXPECT_TRUE(ctrl.stabilized());
+    EXPECT_EQ(ctrl.decays(), 1);
+}
+
+TEST(LambdaController, BelowTargetResetsStreak)
+{
+    LambdaSchedule sched;
+    sched.initial_lambda = 0.01f;
+    sched.privacy_target = 0.5;
+    sched.patience = 2;
+    LambdaController ctrl(sched);
+    ctrl.observe(0.6);
+    ctrl.observe(0.4);  // resets
+    ctrl.observe(0.6);
+    EXPECT_FLOAT_EQ(ctrl.lambda(), 0.01f);
+    ctrl.observe(0.6);
+    EXPECT_LT(ctrl.lambda(), 0.01f);
+}
+
+TEST(LambdaController, RespectsFloor)
+{
+    LambdaSchedule sched;
+    sched.initial_lambda = 1e-3f;
+    sched.privacy_target = 0.1;
+    sched.decay = 0.1f;
+    sched.min_lambda = 1e-4f;
+    sched.patience = 1;
+    LambdaController ctrl(sched);
+    for (int i = 0; i < 10; ++i) {
+        ctrl.observe(1.0);
+    }
+    EXPECT_FLOAT_EQ(ctrl.lambda(), 1e-4f);
+}
+
+// ---------------------------------------------------------------------
+// NoiseCollection
+// ---------------------------------------------------------------------
+
+NoiseSample
+make_sample(float fill, double privacy)
+{
+    NoiseSample s;
+    s.noise = Tensor::full(Shape({4}), fill);
+    s.in_vivo_privacy = privacy;
+    s.train_accuracy = 0.9;
+    return s;
+}
+
+TEST(NoiseCollection, AddGetDraw)
+{
+    NoiseCollection col;
+    EXPECT_TRUE(col.empty());
+    col.add(make_sample(1.0f, 0.5));
+    col.add(make_sample(2.0f, 0.7));
+    EXPECT_EQ(col.size(), 2);
+    EXPECT_FLOAT_EQ(col.get(1).noise[0], 2.0f);
+    EXPECT_NEAR(col.mean_in_vivo_privacy(), 0.6, 1e-9);
+
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i) {
+        const float v = col.draw(rng).noise[0];
+        EXPECT_TRUE(v == 1.0f || v == 2.0f);
+    }
+}
+
+TEST(NoiseCollection, DrawHitsAllSamples)
+{
+    NoiseCollection col;
+    for (int i = 0; i < 4; ++i) {
+        col.add(make_sample(static_cast<float>(i), 0.1));
+    }
+    Rng rng(2);
+    std::set<float> seen;
+    for (int i = 0; i < 200; ++i) {
+        seen.insert(col.draw(rng).noise[0]);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(NoiseCollection, SaveLoadRoundTrip)
+{
+    NoiseCollection col;
+    col.add(make_sample(3.5f, 0.42));
+    col.add(make_sample(-1.0f, 0.55));
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "shredder_col_test.bin")
+            .string();
+    col.save(path);
+    const NoiseCollection loaded = NoiseCollection::load(path);
+    ASSERT_EQ(loaded.size(), 2);
+    EXPECT_FLOAT_EQ(loaded.get(0).noise[0], 3.5f);
+    EXPECT_NEAR(loaded.get(1).in_vivo_privacy, 0.55, 1e-12);
+    EXPECT_NEAR(loaded.get(0).train_accuracy, 0.9, 1e-12);
+    std::remove(path.c_str());
+}
+
+TEST(NoiseCollection, RejectsShapeMismatch)
+{
+    NoiseCollection col;
+    col.add(make_sample(1.0f, 0.5));
+    NoiseSample bad;
+    bad.noise = Tensor::zeros(Shape({8}));
+    EXPECT_EXIT(col.add(std::move(bad)), ::testing::ExitedWithCode(1),
+                "mismatch");
+}
+
+// ---------------------------------------------------------------------
+// NoiseDistribution (paper §2.5)
+// ---------------------------------------------------------------------
+
+TEST(NoiseDistribution, FitRecoversLocationAndSpread)
+{
+    // Elements alternate between −3 and +3 across two samples:
+    // location 0, Laplace scale = mean|d| = 3.
+    NoiseCollection col;
+    col.add(make_sample(3.0f, 0.5));
+    col.add(make_sample(-3.0f, 0.5));
+    const auto dist =
+        core::NoiseDistribution::fit(col, core::NoiseFamily::kLaplace);
+    EXPECT_NEAR(dist.location()[0], 0.0f, 1e-6);
+    EXPECT_NEAR(dist.scale()[0], 3.0f, 1e-6);
+    EXPECT_NEAR(dist.mean_variance(), 2.0 * 9.0, 1e-6);
+}
+
+TEST(NoiseDistribution, GaussianFamilyUsesStddev)
+{
+    NoiseCollection col;
+    col.add(make_sample(2.0f, 0.5));
+    col.add(make_sample(-2.0f, 0.5));
+    const auto dist =
+        core::NoiseDistribution::fit(col, core::NoiseFamily::kGaussian);
+    EXPECT_NEAR(dist.scale()[0], 2.0f, 1e-6);
+    EXPECT_NEAR(dist.mean_variance(), 4.0, 1e-6);
+}
+
+TEST(NoiseDistribution, SamplesMatchFittedMoments)
+{
+    NoiseCollection col;
+    col.add(make_sample(4.0f, 0.5));
+    col.add(make_sample(-4.0f, 0.5));
+    const auto dist = core::NoiseDistribution::fit(col);
+    Rng rng(1);
+    double sum = 0.0, sq = 0.0;
+    const int draws = 4000;
+    for (int i = 0; i < draws; ++i) {
+        const Tensor s = dist.sample(rng);
+        for (std::int64_t j = 0; j < s.size(); ++j) {
+            sum += s[j];
+            sq += static_cast<double>(s[j]) * s[j];
+        }
+    }
+    const double n = static_cast<double>(draws) * 4.0;
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.3);
+    EXPECT_NEAR(var, 2.0 * 16.0, 2.0);  // Laplace var = 2b²
+}
+
+TEST(NoiseDistribution, SingleSampleFitStaysStochastic)
+{
+    // With one stored tensor the naive scale is 0; the floor must keep
+    // sampling non-degenerate (a deterministic transform gives no
+    // privacy at all).
+    NoiseCollection col;
+    col.add(make_sample(5.0f, 0.5));
+    const auto dist = core::NoiseDistribution::fit(col);
+    Rng rng(2);
+    const Tensor a = dist.sample(rng);
+    const Tensor b = dist.sample(rng);
+    EXPECT_GT(ops::max_abs_diff(a, b), 1e-4);
+}
+
+TEST(NoiseDistribution, FitOnEmptyCollectionIsFatal)
+{
+    NoiseCollection col;
+    EXPECT_EXIT(core::NoiseDistribution::fit(col),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+}  // namespace
+}  // namespace shredder

@@ -1,0 +1,137 @@
+/** @file Unit + property tests for the GEMM kernel. */
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/gemm.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace {
+
+/** Slow reference GEMM for validation. */
+void
+reference_gemm(bool ta, bool tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const std::vector<float>& a,
+               const std::vector<float>& b, float beta,
+               std::vector<float>& c)
+{
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t t = 0; t < k; ++t) {
+                const float av = ta ? a[static_cast<std::size_t>(t * m + i)]
+                                    : a[static_cast<std::size_t>(i * k + t)];
+                const float bv = tb ? b[static_cast<std::size_t>(j * k + t)]
+                                    : b[static_cast<std::size_t>(t * n + j)];
+                acc += static_cast<double>(av) * bv;
+            }
+            auto& cv = c[static_cast<std::size_t>(i * n + j)];
+            cv = alpha * static_cast<float>(acc) + beta * cv;
+        }
+    }
+}
+
+TEST(Gemm, Identity)
+{
+    // I * B = B
+    const std::int64_t n = 4;
+    std::vector<float> eye(n * n, 0.0f);
+    for (std::int64_t i = 0; i < n; ++i) {
+        eye[static_cast<std::size_t>(i * n + i)] = 1.0f;
+    }
+    Rng rng(1);
+    std::vector<float> b(n * n);
+    for (auto& v : b) {
+        v = rng.normal();
+    }
+    std::vector<float> c(n * n, -1.0f);
+    gemm(false, false, n, n, n, 1.0f, eye.data(), b.data(), 0.0f, c.data());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        EXPECT_FLOAT_EQ(c[i], b[i]);
+    }
+}
+
+TEST(Gemm, BetaAccumulates)
+{
+    std::vector<float> a{1.0f};
+    std::vector<float> b{2.0f};
+    std::vector<float> c{10.0f};
+    gemm(false, false, 1, 1, 1, 1.0f, a.data(), b.data(), 1.0f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 12.0f);
+    gemm(false, false, 1, 1, 1, 1.0f, a.data(), b.data(), 0.5f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 8.0f);
+}
+
+TEST(Gemm, AlphaZeroLeavesBetaTimesC)
+{
+    std::vector<float> a{3.0f}, b{4.0f}, c{5.0f};
+    gemm(false, false, 1, 1, 1, 0.0f, a.data(), b.data(), 2.0f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 10.0f);
+}
+
+using GemmParam = std::tuple<bool, bool, int, int, int>;
+
+class GemmMatchesReference
+    : public ::testing::TestWithParam<GemmParam>
+{};
+
+TEST_P(GemmMatchesReference, RandomMatrices)
+{
+    const auto [ta, tb, m, n, k] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + k) +
+            (ta ? 1000 : 0) + (tb ? 2000 : 0));
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) {
+        v = rng.normal();
+    }
+    for (auto& v : b) {
+        v = rng.normal();
+    }
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    std::vector<float> c_ref = c;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        c[i] = c_ref[i] = rng.normal();
+    }
+
+    gemm(ta, tb, m, n, k, 0.7f, a.data(), b.data(), 0.3f, c.data());
+    reference_gemm(ta, tb, m, n, k, 0.7f, a, b, 0.3f, c_ref);
+
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, GemmMatchesReference,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 3, 17, 64),
+                       ::testing::Values(1, 5, 33),
+                       ::testing::Values(1, 8, 129)));
+
+TEST(Gemm, LargeBlockedKPath)
+{
+    // Exercise the K-blocking boundary (block = 256).
+    const std::int64_t m = 3, n = 4, k = 600;
+    Rng rng(9);
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) {
+        v = rng.uniform(-1.0f, 1.0f);
+    }
+    for (auto& v : b) {
+        v = rng.uniform(-1.0f, 1.0f);
+    }
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    std::vector<float> c_ref = c;
+    gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    reference_gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, c_ref);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i], c_ref[i], 1e-3f);
+    }
+}
+
+}  // namespace
+}  // namespace shredder

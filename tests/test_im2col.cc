@@ -1,0 +1,101 @@
+/** @file Unit tests for im2col / col2im. */
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/im2col.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace {
+
+TEST(Im2col, OutExtent)
+{
+    EXPECT_EQ(conv_out_extent(28, 5, 1, 2), 28);
+    EXPECT_EQ(conv_out_extent(28, 5, 1, 0), 24);
+    EXPECT_EQ(conv_out_extent(32, 2, 2, 0), 16);
+    EXPECT_EQ(conv_out_extent(64, 5, 2, 2), 32);
+    EXPECT_EQ(conv_out_extent(15, 3, 2, 0), 7);
+}
+
+TEST(Im2col, TinyKnownCase)
+{
+    // 1×2×2 image, 2×2 kernel, stride 1, no pad → single column.
+    const std::vector<float> im{1, 2, 3, 4};
+    std::vector<float> col(4, -1.0f);
+    im2col(im.data(), 1, 2, 2, 2, 2, 1, 1, 0, 0, col.data());
+    EXPECT_EQ(col, (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(Im2col, PaddingProducesZeros)
+{
+    // 1×1×1 image, 3×3 kernel, pad 1 → 1 output; 8 of 9 entries zero.
+    const std::vector<float> im{5.0f};
+    std::vector<float> col(9, -1.0f);
+    im2col(im.data(), 1, 1, 1, 3, 3, 1, 1, 1, 1, col.data());
+    int nonzero = 0;
+    for (float v : col) {
+        if (v != 0.0f) {
+            ++nonzero;
+            EXPECT_EQ(v, 5.0f);
+        }
+    }
+    EXPECT_EQ(nonzero, 1);
+    EXPECT_EQ(col[4], 5.0f);  // kernel center hits the pixel
+}
+
+TEST(Im2col, ChannelsAreStackedInRowBlocks)
+{
+    // 2 channels of a 2×2 image, 1×1 kernel → col is 2×4.
+    const std::vector<float> im{1, 2, 3, 4, 10, 20, 30, 40};
+    std::vector<float> col(8, 0.0f);
+    im2col(im.data(), 2, 2, 2, 1, 1, 1, 1, 0, 0, col.data());
+    EXPECT_EQ(col, (std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40}));
+}
+
+TEST(Im2col, Col2imIsAdjoint)
+{
+    // Adjoint identity: ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ for random x, y.
+    const std::int64_t C = 3, H = 7, W = 6, K = 3, S = 2, P = 1;
+    const std::int64_t OH = conv_out_extent(H, K, S, P);
+    const std::int64_t OW = conv_out_extent(W, K, S, P);
+    const std::int64_t cols = C * K * K * OH * OW;
+
+    Rng rng(123);
+    std::vector<float> x(static_cast<std::size_t>(C * H * W));
+    for (auto& v : x) {
+        v = rng.normal();
+    }
+    std::vector<float> y(static_cast<std::size_t>(cols));
+    for (auto& v : y) {
+        v = rng.normal();
+    }
+
+    std::vector<float> fx(static_cast<std::size_t>(cols), 0.0f);
+    im2col(x.data(), C, H, W, K, K, S, S, P, P, fx.data());
+    std::vector<float> aty(static_cast<std::size_t>(C * H * W), 0.0f);
+    col2im(y.data(), C, H, W, K, K, S, S, P, P, aty.data());
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < fx.size(); ++i) {
+        lhs += static_cast<double>(fx[i]) * y[i];
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        rhs += static_cast<double>(x[i]) * aty[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-3);
+}
+
+TEST(Im2col, Col2imAccumulatesOverlaps)
+{
+    // 1×3 row, kernel 2, stride 1: middle pixel belongs to 2 windows.
+    const std::vector<float> col{1, 1, 1, 1};  // k=2 rows × 2 outputs
+    std::vector<float> im(3, 0.0f);
+    col2im(col.data(), 1, 1, 3, 1, 2, 1, 1, 0, 0, im.data());
+    EXPECT_EQ(im[0], 1.0f);
+    EXPECT_EQ(im[1], 2.0f);
+    EXPECT_EQ(im[2], 1.0f);
+}
+
+}  // namespace
+}  // namespace shredder

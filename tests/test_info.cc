@@ -1,0 +1,411 @@
+/** @file Tests for the information-theory substrate. */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/info/digamma.h"
+#include "src/info/dimwise.h"
+#include "src/info/gaussian.h"
+#include "src/info/histogram_mi.h"
+#include "src/info/ksg.h"
+#include "src/info/snr.h"
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace {
+
+using info::awgn_mi_bits;
+using info::digamma;
+using info::gaussian_mi_bits;
+
+// ---------------------------------------------------------------------
+// digamma
+// ---------------------------------------------------------------------
+
+TEST(Digamma, KnownValues)
+{
+    // ψ(1) = −γ (Euler–Mascheroni).
+    EXPECT_NEAR(digamma(1.0), -0.57721566490153286, 1e-9);
+    // ψ(2) = 1 − γ.
+    EXPECT_NEAR(digamma(2.0), 1.0 - 0.57721566490153286, 1e-9);
+    // ψ(0.5) = −γ − 2 ln 2.
+    EXPECT_NEAR(digamma(0.5),
+                -0.57721566490153286 - 2.0 * std::log(2.0), 1e-9);
+    // Large-x asymptote: ψ(x) ≈ ln x.
+    EXPECT_NEAR(digamma(1000.0), std::log(1000.0) - 0.0005, 1e-4);
+}
+
+TEST(Digamma, RecurrenceHolds)
+{
+    // ψ(x+1) = ψ(x) + 1/x.
+    for (double x : {0.3, 1.7, 4.2}) {
+        EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Closed-form helpers
+// ---------------------------------------------------------------------
+
+TEST(Gaussian, MiBitsFacts)
+{
+    EXPECT_DOUBLE_EQ(gaussian_mi_bits(0.0), 0.0);
+    EXPECT_GT(gaussian_mi_bits(0.9), gaussian_mi_bits(0.5));
+    // ρ = √0.75 → I = −½ log2(0.25) = 1 bit.
+    EXPECT_NEAR(gaussian_mi_bits(std::sqrt(0.75)), 1.0, 1e-9);
+}
+
+TEST(Gaussian, AwgnChannelCapacityShape)
+{
+    EXPECT_NEAR(awgn_mi_bits(1.0, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(awgn_mi_bits(3.0, 1.0), 1.0, 1e-12);
+    // More noise, less information.
+    EXPECT_LT(awgn_mi_bits(1.0, 10.0), awgn_mi_bits(1.0, 0.1));
+}
+
+// ---------------------------------------------------------------------
+// KSG estimator
+// ---------------------------------------------------------------------
+
+Tensor
+column(const std::vector<float>& v)
+{
+    Tensor t(Shape({static_cast<std::int64_t>(v.size()), 1}));
+    std::copy(v.begin(), v.end(), t.data());
+    return t;
+}
+
+TEST(Ksg, IndependentVariablesNearZero)
+{
+    Rng rng(1);
+    const int n = 600;
+    std::vector<float> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+        x[static_cast<std::size_t>(i)] = rng.normal();
+        y[static_cast<std::size_t>(i)] = rng.normal();
+    }
+    info::KsgMiEstimator ksg;
+    EXPECT_LT(ksg.estimate(column(x), column(y)), 0.12);
+}
+
+class KsgGaussian : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(KsgGaussian, MatchesClosedForm)
+{
+    const double rho = GetParam();
+    Rng rng(static_cast<std::uint64_t>(rho * 1000) + 3);
+    const int n = 900;
+    std::vector<float> x(n), y(n);
+    const double c = std::sqrt(1.0 - rho * rho);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.normal();
+        const double b = rng.normal();
+        x[static_cast<std::size_t>(i)] = static_cast<float>(a);
+        y[static_cast<std::size_t>(i)] = static_cast<float>(rho * a + c * b);
+    }
+    info::KsgMiEstimator ksg;
+    const double est = ksg.estimate(column(x), column(y));
+    const double truth = gaussian_mi_bits(rho);
+    EXPECT_NEAR(est, truth, 0.15 + 0.15 * truth) << "rho = " << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Correlations, KsgGaussian,
+                         ::testing::Values(0.3, 0.6, 0.8, 0.95));
+
+TEST(Ksg, SymmetricInArguments)
+{
+    Rng rng(5);
+    const int n = 400;
+    std::vector<float> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+        const float a = rng.normal();
+        x[static_cast<std::size_t>(i)] = a;
+        y[static_cast<std::size_t>(i)] = 0.7f * a + 0.5f * rng.normal();
+    }
+    info::KsgMiEstimator ksg;
+    const double ixy = ksg.estimate(column(x), column(y));
+    const double iyx = ksg.estimate(column(y), column(x));
+    EXPECT_NEAR(ixy, iyx, 0.05);
+}
+
+TEST(Ksg, MoreNoiseLessInformation)
+{
+    Rng rng(6);
+    const int n = 500;
+    std::vector<float> x(n), y_low(n), y_high(n);
+    for (int i = 0; i < n; ++i) {
+        const float a = rng.normal();
+        x[static_cast<std::size_t>(i)] = a;
+        y_low[static_cast<std::size_t>(i)] = a + 0.2f * rng.normal();
+        y_high[static_cast<std::size_t>(i)] = a + 3.0f * rng.normal();
+    }
+    info::KsgMiEstimator ksg;
+    EXPECT_GT(ksg.estimate(column(x), column(y_low)),
+              ksg.estimate(column(x), column(y_high)) + 0.3);
+}
+
+TEST(Ksg, HandlesMultivariateMarginals)
+{
+    Rng rng(7);
+    const int n = 400;
+    Tensor x(Shape({n, 2})), y(Shape({n, 2}));
+    for (int i = 0; i < n; ++i) {
+        const float a = rng.normal(), b = rng.normal();
+        x.at2(i, 0) = a;
+        x.at2(i, 1) = b;
+        y.at2(i, 0) = a + 0.3f * rng.normal();
+        y.at2(i, 1) = rng.normal();  // pure noise dim
+    }
+    info::KsgMiEstimator ksg;
+    const double mi = ksg.estimate(x, y);
+    EXPECT_GT(mi, 0.5);
+}
+
+// ---------------------------------------------------------------------
+// Histogram estimator
+// ---------------------------------------------------------------------
+
+TEST(HistogramMi, IdenticalVariablesSaturateAtLogBins)
+{
+    Rng rng(8);
+    std::vector<float> x(4000);
+    for (auto& v : x) {
+        v = rng.normal();
+    }
+    info::HistogramConfig cfg;
+    cfg.bins = 16;
+    info::HistogramMiEstimator hist(cfg);
+    const double mi = hist.estimate(x, x);
+    EXPECT_NEAR(mi, 4.0, 0.15);  // log2(16)
+}
+
+TEST(HistogramMi, IndependentNearZero)
+{
+    Rng rng(9);
+    std::vector<float> x(5000), y(5000);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.normal();
+        y[i] = rng.normal();
+    }
+    info::HistogramMiEstimator hist;
+    EXPECT_LT(hist.estimate(x, y), 0.08);
+}
+
+TEST(HistogramMi, MonotoneInCorrelation)
+{
+    Rng rng(10);
+    const std::size_t n = 4000;
+    std::vector<float> x(n), y3(n), y7(n), y95(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float a = rng.normal();
+        x[i] = a;
+        y3[i] = 0.3f * a + std::sqrt(1 - 0.09f) * rng.normal();
+        y7[i] = 0.7f * a + std::sqrt(1 - 0.49f) * rng.normal();
+        y95[i] = 0.95f * a + std::sqrt(1 - 0.9025f) * rng.normal();
+    }
+    info::HistogramMiEstimator hist;
+    const double m3 = hist.estimate(x, y3);
+    const double m7 = hist.estimate(x, y7);
+    const double m95 = hist.estimate(x, y95);
+    EXPECT_LT(m3, m7);
+    EXPECT_LT(m7, m95);
+}
+
+TEST(HistogramMi, ConstantVariableHasZeroEntropyAndMi)
+{
+    std::vector<float> x(1000, 3.14f);
+    Rng rng(11);
+    std::vector<float> y(1000);
+    for (auto& v : y) {
+        v = rng.normal();
+    }
+    info::HistogramMiEstimator hist;
+    EXPECT_NEAR(hist.entropy(x), 0.0, 1e-9);
+    EXPECT_NEAR(hist.estimate(x, y), 0.0, 0.02);
+}
+
+TEST(HistogramMi, EntropyOfUniformIsLogBins)
+{
+    Rng rng(12);
+    std::vector<float> x(8000);
+    for (auto& v : x) {
+        v = rng.uniform();
+    }
+    info::HistogramConfig cfg;
+    cfg.bins = 8;
+    info::HistogramMiEstimator hist(cfg);
+    EXPECT_NEAR(hist.entropy(x), 3.0, 0.05);
+}
+
+TEST(HistogramMi, SpikyReluLikeMarginalHandled)
+{
+    // 70% exact zeros (post-ReLU shape): estimator must not crash and
+    // must still see the dependence carried by the positive part.
+    Rng rng(13);
+    const std::size_t n = 4000;
+    std::vector<float> x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = rng.normal();
+        const float pre = x[i] - 0.5f;
+        y[i] = pre > 0.0f ? pre : 0.0f;
+    }
+    info::HistogramMiEstimator hist;
+    EXPECT_GT(hist.estimate(x, y), 0.3);
+}
+
+// ---------------------------------------------------------------------
+// Dimension-wise aggregate estimator
+// ---------------------------------------------------------------------
+
+TEST(DimwiseMi, ScalesWithActivationWidth)
+{
+    // Activation = replicated noisy copies of a projection of x: the
+    // aggregate should grow roughly linearly with the width.
+    Rng rng(14);
+    const int n = 400;
+    Tensor x(Shape({n, 8}));
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.normal();
+    }
+    const auto make_act = [&](std::int64_t width) {
+        Tensor a(Shape({n, width}));
+        Rng local(99);
+        for (int i = 0; i < n; ++i) {
+            float s = 0.0f;
+            for (int d = 0; d < 8; ++d) {
+                s += x.at2(i, d);
+            }
+            for (std::int64_t w = 0; w < width; ++w) {
+                a.at2(i, w) = s + 0.3f * local.normal();
+            }
+        }
+        return a;
+    };
+    info::DimwiseMiEstimator est;
+    const double mi8 = est.estimate(x, make_act(8));
+    const double mi32 = est.estimate(x, make_act(32));
+    EXPECT_GT(mi32, 2.5 * mi8);
+}
+
+TEST(DimwiseMi, NoiseDrivesEstimateDown)
+{
+    Rng rng(15);
+    const int n = 400;
+    const std::int64_t width = 24;
+    Tensor x(Shape({n, 10}));
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.normal();
+    }
+    Tensor clean(Shape({n, width}));
+    for (int i = 0; i < n; ++i) {
+        for (std::int64_t w = 0; w < width; ++w) {
+            clean.at2(i, w) =
+                x.at2(i, static_cast<std::int64_t>(w) % 10);
+        }
+    }
+    Tensor noisy = clean;
+    for (std::int64_t i = 0; i < noisy.size(); ++i) {
+        noisy[i] += 4.0f * rng.normal();
+    }
+    info::DimwiseMiEstimator est;
+    const double mi_clean = est.estimate(x, clean);
+    const double mi_noisy = est.estimate(x, noisy);
+    EXPECT_LT(mi_noisy, 0.5 * mi_clean);
+}
+
+TEST(DimwiseMi, IndependentActivationNearZero)
+{
+    Rng rng(16);
+    const int n = 500;
+    Tensor x(Shape({n, 6})), a(Shape({n, 20}));
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.normal();
+    }
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.normal();
+    }
+    info::DimwiseMiEstimator est;
+    // Per-dim bias is small; the aggregate stays well below 0.1·width.
+    EXPECT_LT(est.estimate(x, a), 2.0);
+}
+
+TEST(DimwiseMi, SubsamplingExtrapolates)
+{
+    Rng rng(17);
+    const int n = 300;
+    Tensor x(Shape({n, 4})), a(Shape({n, 64}));
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.normal();
+    }
+    // Period 3 is coprime with the subsampling stride (4), so the
+    // stride-sampled dims still cover all source dimensions.
+    for (int i = 0; i < n; ++i) {
+        for (std::int64_t w = 0; w < 64; ++w) {
+            a.at2(i, w) = x.at2(i, w % 3) + 0.2f * rng.normal();
+        }
+    }
+    info::DimwiseConfig full_cfg;
+    info::DimwiseConfig sub_cfg;
+    sub_cfg.max_dims = 16;
+    const double full = info::DimwiseMiEstimator(full_cfg).estimate(x, a);
+    const double sub = info::DimwiseMiEstimator(sub_cfg).estimate(x, a);
+    EXPECT_NEAR(sub, full, 0.25 * full);
+}
+
+TEST(DimwiseMi, DimensionEntropyUpperBoundsEstimate)
+{
+    Rng rng(18);
+    const int n = 300;
+    Tensor x(Shape({n, 4})), a(Shape({n, 10}));
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.normal();
+    }
+    for (int i = 0; i < n; ++i) {
+        for (std::int64_t w = 0; w < 10; ++w) {
+            a.at2(i, w) = x.at2(i, w % 4) + 0.1f * rng.normal();
+        }
+    }
+    info::DimwiseMiEstimator est;
+    EXPECT_LE(est.estimate(x, a), est.dimension_entropy(a) + 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// SNR / privacy notions
+// ---------------------------------------------------------------------
+
+TEST(Snr, MatchesDefinition)
+{
+    Tensor a = Tensor::from_vector({2.0f, -2.0f, 2.0f, -2.0f});  // E=4
+    Rng rng(19);
+    Tensor n = Tensor::normal(Shape({4000}), rng, 0.0f, 2.0f);  // var≈4
+    EXPECT_NEAR(info::snr(a, n), 1.0, 0.1);
+    EXPECT_NEAR(info::in_vivo_privacy(a, n), 1.0, 0.1);
+}
+
+TEST(Snr, ZeroNoiseGivesInfiniteSnrZeroPrivacy)
+{
+    Tensor a = Tensor::from_vector({1.0f, 2.0f});
+    Tensor n = Tensor::zeros(Shape({8}));
+    EXPECT_TRUE(std::isinf(info::snr(a, n)));
+    EXPECT_DOUBLE_EQ(info::in_vivo_privacy(a, n), 0.0);
+}
+
+TEST(Snr, ExVivoIsReciprocal)
+{
+    EXPECT_DOUBLE_EQ(info::ex_vivo_privacy(4.0), 0.25);
+    EXPECT_TRUE(std::isinf(info::ex_vivo_privacy(0.0)));
+}
+
+TEST(Snr, BiggerNoiseMorePrivacy)
+{
+    Tensor a = Tensor::from_vector({3.0f, 3.0f, 3.0f, 3.0f});
+    Rng rng(20);
+    Tensor small = Tensor::normal(Shape({2000}), rng, 0.0f, 0.5f);
+    Tensor big = Tensor::normal(Shape({2000}), rng, 0.0f, 5.0f);
+    EXPECT_GT(info::in_vivo_privacy(a, big),
+              info::in_vivo_privacy(a, small));
+}
+
+}  // namespace
+}  // namespace shredder

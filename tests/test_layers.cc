@@ -1,0 +1,428 @@
+/** @file Gradient and behavior tests for every layer type. */
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dropout.h"
+#include "src/nn/flatten.h"
+#include "src/nn/linear.h"
+#include "src/nn/lrn.h"
+#include "src/nn/pool.h"
+#include "tests/test_util.h"
+
+namespace shredder {
+namespace {
+
+using nn::Mode;
+
+// ---------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------
+
+TEST(ReLU, ForwardClampsNegatives)
+{
+    nn::ReLU relu;
+    Tensor x = Tensor::from_vector({-1.0f, 0.0f, 2.0f});
+    Tensor y = relu.forward(x, Mode::kEval);
+    EXPECT_EQ(y[0], 0.0f);
+    EXPECT_EQ(y[1], 0.0f);
+    EXPECT_EQ(y[2], 2.0f);
+}
+
+TEST(ReLU, GradientMasksNegatives)
+{
+    nn::ReLU relu;
+    Tensor x = Tensor::from_vector({-1.0f, 3.0f});
+    relu.forward(x, Mode::kEval);
+    Tensor g = relu.backward(Tensor::from_vector({5.0f, 7.0f}));
+    EXPECT_EQ(g[0], 0.0f);
+    EXPECT_EQ(g[1], 7.0f);
+}
+
+TEST(ReLU, NumericGradient)
+{
+    nn::ReLU relu;
+    Rng rng(1);
+    // Keep values away from the kink for a clean finite difference.
+    Tensor x = Tensor::normal(Shape({2, 5}), rng, 0.0f, 2.0f);
+    ops::map_inplace(x, [](float v) {
+        return std::abs(v) < 0.1f ? v + 0.2f : v;
+    });
+    testing::check_layer_gradients(relu, x, rng);
+}
+
+// ---------------------------------------------------------------------
+// Tanh
+// ---------------------------------------------------------------------
+
+TEST(Tanh, ForwardRange)
+{
+    nn::Tanh tanh_layer;
+    Rng rng(2);
+    Tensor x = Tensor::normal(Shape({10}), rng, 0.0f, 3.0f);
+    Tensor y = tanh_layer.forward(x, Mode::kEval);
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+        EXPECT_GT(y[i], -1.0f);
+        EXPECT_LT(y[i], 1.0f);
+    }
+}
+
+TEST(Tanh, NumericGradient)
+{
+    nn::Tanh tanh_layer;
+    Rng rng(3);
+    Tensor x = Tensor::normal(Shape({3, 4}), rng);
+    testing::check_layer_gradients(tanh_layer, x, rng, 1e-2f, 2e-2);
+}
+
+// ---------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------
+
+TEST(Linear, KnownForward)
+{
+    Rng rng(4);
+    nn::Linear fc(2, 1, rng);
+    fc.weight().value[0] = 2.0f;
+    fc.weight().value[1] = -1.0f;
+    fc.bias().value[0] = 0.5f;
+    Tensor x(Shape({1, 2}));
+    x[0] = 3.0f;
+    x[1] = 4.0f;
+    Tensor y = fc.forward(x, Mode::kEval);
+    EXPECT_FLOAT_EQ(y[0], 2.0f * 3.0f - 4.0f + 0.5f);
+}
+
+TEST(Linear, OutputShapeAndMacs)
+{
+    Rng rng(5);
+    nn::Linear fc(10, 4, rng);
+    EXPECT_EQ(fc.output_shape(Shape({8, 10})), Shape({8, 4}));
+    EXPECT_EQ(fc.macs(Shape({8, 10})), 40);
+}
+
+TEST(Linear, NumericGradient)
+{
+    Rng rng(6);
+    nn::Linear fc(6, 4, rng);
+    Tensor x = Tensor::normal(Shape({3, 6}), rng);
+    testing::check_layer_gradients(fc, x, rng);
+}
+
+TEST(Linear, FrozenWeightSkipsGradAccumulation)
+{
+    Rng rng(7);
+    nn::Linear fc(3, 2, rng);
+    fc.set_frozen(true);
+    Tensor x = Tensor::normal(Shape({2, 3}), rng);
+    fc.zero_grad();
+    Tensor y = fc.forward(x, Mode::kTrain);
+    fc.backward(Tensor::ones(y.shape()));
+    EXPECT_DOUBLE_EQ(fc.weight().grad.abs_sum(), 0.0);
+    EXPECT_DOUBLE_EQ(fc.bias().grad.abs_sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------
+
+TEST(Conv2d, KnownForwardSumKernel)
+{
+    // All-ones 2×2 kernel on a 2×2 image of ones, no pad → sums to 4.
+    Rng rng(8);
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = 1;
+    cfg.out_channels = 1;
+    cfg.kernel = 2;
+    nn::Conv2d conv(cfg, rng);
+    conv.weight().value.fill(1.0f);
+    conv.bias().value.fill(0.0f);
+    Tensor x = Tensor::ones(Shape({1, 1, 2, 2}));
+    Tensor y = conv.forward(x, Mode::kEval);
+    EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(y[0], 4.0f);
+}
+
+TEST(Conv2d, BiasIsAdded)
+{
+    Rng rng(9);
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = 1;
+    cfg.out_channels = 2;
+    cfg.kernel = 1;
+    nn::Conv2d conv(cfg, rng);
+    conv.weight().value.fill(0.0f);
+    conv.bias().value[0] = 1.5f;
+    conv.bias().value[1] = -2.0f;
+    Tensor x = Tensor::ones(Shape({1, 1, 3, 3}));
+    Tensor y = conv.forward(x, Mode::kEval);
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 1.5f);
+    EXPECT_FLOAT_EQ(y.at4(0, 1, 2, 2), -2.0f);
+}
+
+TEST(Conv2d, OutputShapeStridePad)
+{
+    Rng rng(10);
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = 3;
+    cfg.out_channels = 8;
+    cfg.kernel = 5;
+    cfg.stride = 2;
+    cfg.padding = 2;
+    nn::Conv2d conv(cfg, rng);
+    EXPECT_EQ(conv.output_shape(Shape({2, 3, 64, 64})),
+              Shape({2, 8, 32, 32}));
+}
+
+TEST(Conv2d, MacsFormula)
+{
+    Rng rng(11);
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = 3;
+    cfg.out_channels = 4;
+    cfg.kernel = 3;
+    cfg.padding = 1;
+    nn::Conv2d conv(cfg, rng);
+    // 4 out-ch × 8×8 positions × (3·3·3) fan-in = 6912.
+    EXPECT_EQ(conv.macs(Shape({1, 3, 8, 8})), 4 * 8 * 8 * 27);
+}
+
+struct ConvGradCase
+{
+    std::int64_t in_c, out_c, k, stride, pad, h, w;
+};
+
+class Conv2dGradient : public ::testing::TestWithParam<ConvGradCase>
+{};
+
+TEST_P(Conv2dGradient, MatchesNumeric)
+{
+    const auto p = GetParam();
+    Rng rng(static_cast<std::uint64_t>(p.in_c * 100 + p.k * 10 + p.stride));
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = p.in_c;
+    cfg.out_channels = p.out_c;
+    cfg.kernel = p.k;
+    cfg.stride = p.stride;
+    cfg.padding = p.pad;
+    nn::Conv2d conv(cfg, rng);
+    Tensor x = Tensor::normal(Shape({2, p.in_c, p.h, p.w}), rng);
+    testing::check_layer_gradients(conv, x, rng, 1e-2f, 4e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Conv2dGradient,
+    ::testing::Values(ConvGradCase{1, 2, 3, 1, 1, 5, 5},
+                      ConvGradCase{2, 3, 3, 2, 1, 7, 6},
+                      ConvGradCase{3, 2, 5, 1, 2, 6, 6},
+                      ConvGradCase{2, 2, 1, 1, 0, 4, 4},
+                      ConvGradCase{1, 4, 2, 2, 0, 6, 6}));
+
+// ---------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------
+
+TEST(MaxPool2d, SelectsWindowMaximum)
+{
+    nn::MaxPool2d pool(nn::PoolConfig{2, 2, 0});
+    Tensor x(Shape({1, 1, 2, 2}));
+    x[0] = 1.0f;
+    x[1] = 9.0f;
+    x[2] = 3.0f;
+    x[3] = 4.0f;
+    Tensor y = pool.forward(x, Mode::kEval);
+    EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(y[0], 9.0f);
+}
+
+TEST(MaxPool2d, GradientRoutesToArgmax)
+{
+    nn::MaxPool2d pool(nn::PoolConfig{2, 2, 0});
+    Tensor x(Shape({1, 1, 2, 2}));
+    x[0] = 1.0f;
+    x[1] = 9.0f;
+    x[2] = 3.0f;
+    x[3] = 4.0f;
+    pool.forward(x, Mode::kEval);
+    Tensor g = pool.backward(Tensor::full(Shape({1, 1, 1, 1}), 2.0f));
+    EXPECT_FLOAT_EQ(g[1], 2.0f);
+    EXPECT_FLOAT_EQ(g[0], 0.0f);
+    EXPECT_FLOAT_EQ(g[2], 0.0f);
+}
+
+TEST(MaxPool2d, OverlappingWindowsAlexNetStyle)
+{
+    nn::MaxPool2d pool(nn::PoolConfig{3, 2, 0});
+    Rng rng(12);
+    Tensor x = Tensor::normal(Shape({1, 2, 7, 7}), rng);
+    Tensor y = pool.forward(x, Mode::kEval);
+    EXPECT_EQ(y.shape(), Shape({1, 2, 3, 3}));
+}
+
+TEST(MaxPool2d, NumericGradient)
+{
+    nn::MaxPool2d pool(nn::PoolConfig{2, 2, 0});
+    Rng rng(13);
+    // Spread values so argmax is stable under the FD perturbation.
+    Tensor x = Tensor::normal(Shape({1, 2, 4, 4}), rng, 0.0f, 5.0f);
+    testing::check_layer_gradients(pool, x, rng, 1e-3f, 2e-2);
+}
+
+TEST(AvgPool2d, AveragesWindow)
+{
+    nn::AvgPool2d pool(nn::PoolConfig{2, 2, 0});
+    Tensor x(Shape({1, 1, 2, 2}));
+    x[0] = 1.0f;
+    x[1] = 2.0f;
+    x[2] = 3.0f;
+    x[3] = 4.0f;
+    Tensor y = pool.forward(x, Mode::kEval);
+    EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPool2d, NumericGradient)
+{
+    nn::AvgPool2d pool(nn::PoolConfig{2, 2, 0});
+    Rng rng(14);
+    Tensor x = Tensor::normal(Shape({2, 2, 4, 4}), rng);
+    testing::check_layer_gradients(pool, x, rng);
+}
+
+// ---------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------
+
+TEST(Flatten, ForwardShape)
+{
+    nn::Flatten flat;
+    Rng rng(15);
+    Tensor x = Tensor::normal(Shape({4, 3, 2, 2}), rng);
+    Tensor y = flat.forward(x, Mode::kEval);
+    EXPECT_EQ(y.shape(), Shape({4, 12}));
+    EXPECT_EQ(y[5], x[5]);  // data order preserved
+}
+
+TEST(Flatten, BackwardRestoresShape)
+{
+    nn::Flatten flat;
+    Rng rng(16);
+    Tensor x = Tensor::normal(Shape({2, 3, 2, 2}), rng);
+    Tensor y = flat.forward(x, Mode::kEval);
+    Tensor g = flat.backward(Tensor::ones(y.shape()));
+    EXPECT_EQ(g.shape(), x.shape());
+}
+
+// ---------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------
+
+TEST(Dropout, EvalIsIdentity)
+{
+    Rng rng(17);
+    nn::Dropout drop(0.5f, rng);
+    Tensor x = Tensor::normal(Shape({100}), rng);
+    Tensor y = drop.forward(x, Mode::kEval);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(x, y), 0.0);
+}
+
+TEST(Dropout, TrainZeroesRoughlyP)
+{
+    Rng rng(18);
+    nn::Dropout drop(0.4f, rng);
+    Tensor x = Tensor::ones(Shape({20000}));
+    Tensor y = drop.forward(x, Mode::kTrain);
+    std::int64_t zeros = 0;
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+        if (y[i] == 0.0f) {
+            ++zeros;
+        } else {
+            EXPECT_NEAR(y[i], 1.0f / 0.6f, 1e-5);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.4, 0.02);
+}
+
+TEST(Dropout, TrainPreservesExpectation)
+{
+    Rng rng(19);
+    nn::Dropout drop(0.3f, rng);
+    Tensor x = Tensor::ones(Shape({50000}));
+    Tensor y = drop.forward(x, Mode::kTrain);
+    EXPECT_NEAR(y.mean(), 1.0, 0.02);
+}
+
+TEST(Dropout, BackwardUsesSameMask)
+{
+    Rng rng(20);
+    nn::Dropout drop(0.5f, rng);
+    Tensor x = Tensor::ones(Shape({1000}));
+    Tensor y = drop.forward(x, Mode::kTrain);
+    Tensor g = drop.backward(Tensor::ones(x.shape()));
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(g[i], y[i]);  // identical mask & scale
+    }
+}
+
+// ---------------------------------------------------------------------
+// LocalResponseNorm
+// ---------------------------------------------------------------------
+
+TEST(Lrn, NormalizesAcrossChannels)
+{
+    nn::LrnConfig cfg;
+    cfg.size = 3;
+    cfg.alpha = 1.0f;
+    cfg.beta = 1.0f;
+    cfg.k = 1.0f;
+    nn::LocalResponseNorm lrn(cfg);
+    Tensor x = Tensor::ones(Shape({1, 3, 1, 1}));
+    Tensor y = lrn.forward(x, Mode::kEval);
+    // Middle channel window covers all 3 ones: scale = 1 + (1/3)*3 = 2.
+    EXPECT_NEAR(y.at4(0, 1, 0, 0), 0.5f, 1e-5);
+    // Edge channels see a 2-wide window: scale = 1 + (1/3)*2.
+    EXPECT_NEAR(y.at4(0, 0, 0, 0), 1.0f / (1.0f + 2.0f / 3.0f), 1e-5);
+}
+
+TEST(Lrn, IdentityWhenAlphaZero)
+{
+    nn::LrnConfig cfg;
+    cfg.alpha = 0.0f;
+    cfg.k = 1.0f;
+    nn::LocalResponseNorm lrn(cfg);
+    Rng rng(21);
+    Tensor x = Tensor::normal(Shape({2, 4, 3, 3}), rng);
+    Tensor y = lrn.forward(x, Mode::kEval);
+    EXPECT_NEAR(ops::max_abs_diff(x, y), 0.0, 1e-6);
+}
+
+TEST(Lrn, NumericGradient)
+{
+    nn::LrnConfig cfg;
+    cfg.size = 3;
+    cfg.alpha = 0.5f;
+    cfg.beta = 0.75f;
+    cfg.k = 2.0f;
+    nn::LocalResponseNorm lrn(cfg);
+    Rng rng(22);
+    Tensor x = Tensor::normal(Shape({1, 4, 3, 3}), rng);
+    testing::check_layer_gradients(lrn, x, rng, 1e-2f, 3e-2);
+}
+
+// ---------------------------------------------------------------------
+// Identity
+// ---------------------------------------------------------------------
+
+TEST(Identity, PassThrough)
+{
+    nn::Identity id;
+    Rng rng(23);
+    Tensor x = Tensor::normal(Shape({5}), rng);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(id.forward(x, Mode::kEval), x), 0.0);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(id.backward(x), x), 0.0);
+    EXPECT_EQ(id.kind(), "identity");
+}
+
+}  // namespace
+}  // namespace shredder

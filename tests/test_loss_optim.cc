@@ -1,0 +1,167 @@
+/** @file Tests for losses and optimizers. */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace shredder {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogM)
+{
+    nn::CrossEntropyLoss ce;
+    Tensor logits(Shape({2, 4}));  // all zeros → uniform
+    const auto r = ce.compute(logits, {0, 3});
+    EXPECT_NEAR(r.value, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectIsNearZero)
+{
+    nn::CrossEntropyLoss ce;
+    Tensor logits(Shape({1, 3}));
+    logits[1] = 20.0f;
+    const auto r = ce.compute(logits, {1});
+    EXPECT_LT(r.value, 1e-6);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehotOverN)
+{
+    nn::CrossEntropyLoss ce;
+    Rng rng(1);
+    Tensor logits = Tensor::normal(Shape({2, 3}), rng);
+    const auto r = ce.compute(logits, {2, 0});
+    const Tensor p = ops::softmax_rows(logits);
+    for (std::int64_t n = 0; n < 2; ++n) {
+        for (std::int64_t c = 0; c < 3; ++c) {
+            const float expected =
+                (p.at2(n, c) -
+                 ((n == 0 && c == 2) || (n == 1 && c == 0) ? 1.0f : 0.0f)) /
+                2.0f;
+            EXPECT_NEAR(r.grad.at2(n, c), expected, 1e-5);
+        }
+    }
+}
+
+TEST(CrossEntropy, NumericGradient)
+{
+    nn::CrossEntropyLoss ce;
+    Rng rng(2);
+    Tensor logits = Tensor::normal(Shape({3, 5}), rng);
+    const std::vector<std::int64_t> labels{1, 4, 0};
+    const auto r = ce.compute(logits, labels);
+    const float eps = 1e-2f;
+    for (std::int64_t i = 0; i < logits.size(); ++i) {
+        Tensor lp = logits;
+        lp[i] += eps;
+        const double up = ce.compute(lp, labels).value;
+        lp[i] -= 2 * eps;
+        const double dn = ce.compute(lp, labels).value;
+        EXPECT_NEAR(r.grad[i], (up - dn) / (2 * eps), 1e-3);
+    }
+}
+
+TEST(Accuracy, CountsCorrectRows)
+{
+    Tensor logits(Shape({3, 2}));
+    logits.at2(0, 1) = 1.0f;  // pred 1
+    logits.at2(1, 0) = 1.0f;  // pred 0
+    logits.at2(2, 1) = 1.0f;  // pred 1
+    EXPECT_DOUBLE_EQ(nn::accuracy(logits, {1, 0, 0}), 2.0 / 3.0);
+}
+
+TEST(MseLoss, ValueAndGradient)
+{
+    nn::MseLoss mse;
+    Tensor a = Tensor::from_vector({1.0f, 2.0f});
+    Tensor b = Tensor::from_vector({0.0f, 0.0f});
+    const auto r = mse.compute(a, b);
+    EXPECT_DOUBLE_EQ(r.value, 2.5);
+    EXPECT_FLOAT_EQ(r.grad[0], 1.0f);  // 2(a-b)/n = 2*1/2
+    EXPECT_FLOAT_EQ(r.grad[1], 2.0f);
+}
+
+// ---------------------------------------------------------------------
+// Optimizers on the convex bowl f(w) = ‖w − w*‖².
+// ---------------------------------------------------------------------
+
+class OptimizerConvergence : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(OptimizerConvergence, ReachesMinimum)
+{
+    const int which = GetParam();
+    Rng rng(42);
+    nn::Parameter w("w", Tensor::normal(Shape({8}), rng, 0.0f, 2.0f));
+    Tensor target = Tensor::normal(Shape({8}), rng, 1.0f, 1.0f);
+
+    std::unique_ptr<nn::Optimizer> opt;
+    if (which == 0) {
+        opt = std::make_unique<nn::Sgd>(std::vector<nn::Parameter*>{&w},
+                                        0.05f);
+    } else if (which == 1) {
+        opt = std::make_unique<nn::Sgd>(std::vector<nn::Parameter*>{&w},
+                                        0.02f, 0.9f);
+    } else {
+        opt = std::make_unique<nn::Adam>(std::vector<nn::Parameter*>{&w},
+                                         0.1f);
+    }
+    for (int it = 0; it < 300; ++it) {
+        opt->zero_grad();
+        for (std::int64_t i = 0; i < 8; ++i) {
+            w.grad[i] = 2.0f * (w.value[i] - target[i]);
+        }
+        opt->step();
+    }
+    EXPECT_LT(ops::max_abs_diff(w.value, target), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(SgdMomentumAdam, OptimizerConvergence,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Optimizer, FrozenParamsAreNotUpdated)
+{
+    Rng rng(3);
+    nn::Parameter w("w", Tensor::normal(Shape({4}), rng));
+    const Tensor before = w.value;
+    w.frozen = true;
+    nn::Adam adam({&w}, 0.5f);
+    w.grad.fill(1.0f);
+    adam.step();
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(w.value, before), 0.0);
+}
+
+TEST(Optimizer, ZeroGradClears)
+{
+    Rng rng(4);
+    nn::Parameter w("w", Tensor::normal(Shape({4}), rng));
+    w.grad.fill(3.0f);
+    nn::Sgd sgd({&w}, 0.1f);
+    sgd.zero_grad();
+    EXPECT_DOUBLE_EQ(w.grad.abs_sum(), 0.0);
+}
+
+TEST(Optimizer, SgdWeightDecayShrinksWeights)
+{
+    nn::Parameter w("w", Tensor::full(Shape({1}), 1.0f));
+    nn::Sgd sgd({&w}, 0.1f, 0.0f, 0.5f);
+    w.grad.fill(0.0f);
+    sgd.step();
+    // w ← w − lr·(0 + wd·w) = 1 − 0.05.
+    EXPECT_NEAR(w.value[0], 0.95f, 1e-6);
+}
+
+TEST(Optimizer, AdamStepSizeBounded)
+{
+    // First Adam step magnitude ≈ lr regardless of gradient scale.
+    nn::Parameter w("w", Tensor::full(Shape({1}), 0.0f));
+    nn::Adam adam({&w}, 0.1f);
+    w.grad.fill(1e6f);
+    adam.step();
+    EXPECT_NEAR(std::abs(w.value[0]), 0.1f, 0.01f);
+}
+
+}  // namespace
+}  // namespace shredder

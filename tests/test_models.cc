@@ -1,0 +1,130 @@
+/** @file Tests for the model zoo and pre-training harness. */
+#include <gtest/gtest.h>
+
+#include "src/data/digits.h"
+#include "src/models/trainer.h"
+#include "src/models/zoo.h"
+#include "src/split/split_model.h"
+
+namespace shredder {
+namespace {
+
+using nn::Mode;
+
+TEST(Zoo, LeNetShapes)
+{
+    Rng rng(1);
+    auto net = models::make_lenet(rng);
+    EXPECT_EQ(net->output_shape(Shape({4, 1, 28, 28})), Shape({4, 10}));
+    // Last-conv activation is 120×1×1.
+    const auto cuts = split::conv_cut_points(*net);
+    split::SplitModel sm(*net, cuts.back());
+    EXPECT_EQ(sm.activation_shape(Shape({1, 28, 28})),
+              Shape({1, 120, 1, 1}));
+}
+
+TEST(Zoo, CifarShapes)
+{
+    Rng rng(2);
+    auto net = models::make_cifar_net(rng);
+    EXPECT_EQ(net->output_shape(Shape({2, 3, 32, 32})), Shape({2, 10}));
+}
+
+TEST(Zoo, SvhnShapesAndBottleneck)
+{
+    Rng rng(3);
+    auto net = models::make_svhn_net(rng);
+    EXPECT_EQ(net->output_shape(Shape({2, 3, 32, 32})), Shape({2, 10}));
+    const auto cuts = split::conv_cut_points(*net);
+    ASSERT_EQ(cuts.size(), 7u);
+    split::SplitModel conv0(*net, cuts[0]);
+    split::SplitModel conv6(*net, cuts[6]);
+    const auto a0 = conv0.activation_shape(Shape({3, 32, 32}));
+    const auto a6 = conv6.activation_shape(Shape({3, 32, 32}));
+    EXPECT_GT(a0.numel(), 10 * a6.numel());  // §3.4 bottleneck property
+}
+
+TEST(Zoo, AlexnetShapes)
+{
+    Rng rng(4);
+    auto net = models::make_alexnet(rng, 16);
+    EXPECT_EQ(net->output_shape(Shape({1, 3, 64, 64})), Shape({1, 16}));
+    // Has LRN layers like the original.
+    int lrn_count = 0;
+    for (std::int64_t i = 0; i < net->size(); ++i) {
+        if (net->layer(i).kind() == "lrn") {
+            ++lrn_count;
+        }
+    }
+    EXPECT_EQ(lrn_count, 2);
+}
+
+TEST(Zoo, MakeNetworkByName)
+{
+    Rng rng(5);
+    for (const char* name : {"lenet", "cifar", "svhn", "alexnet"}) {
+        auto net = models::make_network(name, rng);
+        EXPECT_GT(net->size(), 5) << name;
+        const Shape in = models::input_shape_for(name);
+        EXPECT_EQ(in.rank(), 3) << name;
+    }
+}
+
+TEST(Zoo, UnknownNameIsFatal)
+{
+    Rng rng(6);
+    EXPECT_EXIT(models::make_network("resnet", rng),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Zoo, NoiseParamsAreTinyFractionOfModel)
+{
+    // Table 1 row "Shredder's Learnable Params over Model Size" < 1%.
+    Rng rng(7);
+    auto net = models::make_alexnet(rng);
+    const auto cuts = split::conv_cut_points(*net);
+    split::SplitModel sm(*net, cuts.back());
+    const auto act = sm.activation_shape(Shape({3, 64, 64}));
+    const double ratio = static_cast<double>(act.numel()) /
+                         static_cast<double>(net->num_parameters());
+    EXPECT_LT(ratio, 0.02);
+}
+
+TEST(Trainer, LearnsDigitsAboveChance)
+{
+    // Tiny training budget: just verify learning happens end to end.
+    Rng rng(8);
+    auto net = models::make_lenet(rng);
+    data::DigitsConfig train_cfg;
+    train_cfg.count = 512;
+    train_cfg.seed = 100;
+    data::DigitsDataset train(train_cfg);
+    data::DigitsConfig test_cfg;
+    test_cfg.count = 128;
+    test_cfg.seed = 200;
+    data::DigitsDataset test(test_cfg);
+
+    models::TrainConfig cfg;
+    cfg.max_epochs = 2;
+    cfg.verbose = false;
+    Rng train_rng(9);
+    const auto report =
+        models::train_model(*net, train, test, cfg, train_rng);
+    EXPECT_GT(report.test_accuracy, 0.5);  // chance is 0.1
+    EXPECT_GT(report.epochs_run, 0.0);
+}
+
+TEST(Trainer, EvaluateAccuracyBounds)
+{
+    Rng rng(10);
+    auto net = models::make_lenet(rng);
+    data::DigitsConfig cfg;
+    cfg.count = 64;
+    data::DigitsDataset ds(cfg);
+    const double acc = models::evaluate_accuracy(*net, ds, 64);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace shredder

@@ -1,0 +1,122 @@
+/** @file Unit tests for elementwise/reduction ops. */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+
+namespace shredder {
+namespace {
+
+TEST(Ops, AddSubMul)
+{
+    Tensor a = Tensor::from_vector({1, 2, 3});
+    Tensor b = Tensor::from_vector({4, 5, 6});
+    Tensor c = ops::add(a, b);
+    EXPECT_EQ(c[0], 5.0f);
+    EXPECT_EQ(c[2], 9.0f);
+    Tensor d = ops::sub(b, a);
+    EXPECT_EQ(d[1], 3.0f);
+    Tensor e = ops::mul(a, b);
+    EXPECT_EQ(e[2], 18.0f);
+}
+
+TEST(Ops, InplaceVariants)
+{
+    Tensor a = Tensor::from_vector({1, 2, 3});
+    Tensor b = Tensor::from_vector({1, 1, 1});
+    ops::add_inplace(a, b);
+    EXPECT_EQ(a[0], 2.0f);
+    ops::mul_inplace(a, b);
+    EXPECT_EQ(a[0], 2.0f);
+    ops::scale_inplace(a, 0.5f);
+    EXPECT_EQ(a[2], 2.0f);
+    ops::add_scalar_inplace(a, 1.0f);
+    EXPECT_EQ(a[0], 2.0f);
+}
+
+TEST(Ops, Axpy)
+{
+    Tensor a = Tensor::from_vector({1, 2});
+    Tensor b = Tensor::from_vector({10, 20});
+    ops::axpy_inplace(a, 0.1f, b);
+    EXPECT_FLOAT_EQ(a[0], 2.0f);
+    EXPECT_FLOAT_EQ(a[1], 4.0f);
+}
+
+TEST(Ops, MapAndClamp)
+{
+    Tensor a = Tensor::from_vector({-1, 0, 1});
+    Tensor sq = ops::map(a, [](float v) { return v * v; });
+    EXPECT_EQ(sq[0], 1.0f);
+    ops::clamp_inplace(a, -0.5f, 0.5f);
+    EXPECT_EQ(a[0], -0.5f);
+    EXPECT_EQ(a[2], 0.5f);
+}
+
+TEST(Ops, Dot)
+{
+    Tensor a = Tensor::from_vector({1, 2, 3});
+    Tensor b = Tensor::from_vector({4, 5, 6});
+    EXPECT_DOUBLE_EQ(ops::dot(a, b), 32.0);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(3);
+    Tensor logits = Tensor::normal(Shape({5, 7}), rng, 0.0f, 3.0f);
+    Tensor p = ops::softmax_rows(logits);
+    for (std::int64_t r = 0; r < 5; ++r) {
+        double s = 0.0;
+        for (std::int64_t c = 0; c < 7; ++c) {
+            const float v = p.at2(r, c);
+            EXPECT_GT(v, 0.0f);
+            s += v;
+        }
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(Ops, SoftmaxIsStableForHugeLogits)
+{
+    Tensor logits(Shape({1, 3}));
+    logits[0] = 1000.0f;
+    logits[1] = 999.0f;
+    logits[2] = -1000.0f;
+    Tensor p = ops::softmax_rows(logits);
+    EXPECT_FALSE(p.has_nonfinite());
+    EXPECT_GT(p[0], p[1]);
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-5);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax)
+{
+    Rng rng(5);
+    Tensor logits = Tensor::normal(Shape({4, 6}), rng);
+    Tensor p = ops::softmax_rows(logits);
+    Tensor lp = ops::log_softmax_rows(logits);
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+        EXPECT_NEAR(lp[i], std::log(p[i]), 1e-4);
+    }
+}
+
+TEST(Ops, ArgmaxRows)
+{
+    Tensor t(Shape({2, 3}));
+    t.at2(0, 1) = 5.0f;
+    t.at2(1, 2) = 7.0f;
+    const auto am = ops::argmax_rows(t);
+    EXPECT_EQ(am[0], 1);
+    EXPECT_EQ(am[1], 2);
+}
+
+TEST(Ops, MseAndMaxAbsDiff)
+{
+    Tensor a = Tensor::from_vector({0, 0});
+    Tensor b = Tensor::from_vector({3, 4});
+    EXPECT_DOUBLE_EQ(ops::mse(a, b), 12.5);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(a, b), 4.0);
+}
+
+}  // namespace
+}  // namespace shredder

@@ -1,0 +1,158 @@
+/** @file Unit tests for the random number generator. */
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/rng.h"
+
+namespace shredder {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform(), b.uniform());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    const int n = 20000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(1.5f, 2.0f);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.5, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, LaplaceMoments)
+{
+    // Laplace(µ, b): mean µ, variance 2b².
+    Rng rng(13);
+    const int n = 40000;
+    const float mu = 0.7f, b = 1.3f;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.laplace(mu, b);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.7, 0.05);
+    EXPECT_NEAR(var, 2.0 * 1.3 * 1.3, 0.2);
+}
+
+TEST(Rng, LaplaceIsSymmetricAroundLocation)
+{
+    Rng rng(17);
+    int above = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.laplace(5.0f, 2.0f) > 5.0f) {
+            ++above;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.02);
+}
+
+TEST(Rng, LaplaceHeavierTailsThanNormal)
+{
+    // Matched variance: Laplace should produce more |x| > 3σ events.
+    Rng rng(19);
+    const int n = 50000;
+    const float sigma = 1.0f;
+    const float b = sigma / std::sqrt(2.0f);
+    int lap_tail = 0, norm_tail = 0;
+    for (int i = 0; i < n; ++i) {
+        if (std::abs(rng.laplace(0.0f, b)) > 3.0f * sigma) {
+            ++lap_tail;
+        }
+        if (std::abs(rng.normal(0.0f, sigma)) > 3.0f * sigma) {
+            ++norm_tail;
+        }
+    }
+    EXPECT_GT(lap_tail, norm_tail);
+}
+
+TEST(Rng, RandintBounds)
+{
+    Rng rng(23);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.randint(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(29);
+    auto p = rng.permutation(100);
+    std::sort(p.begin(), p.end());
+    for (std::int64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // Child stream differs from the parent's continued stream.
+    int equal = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (parent.uniform() == child.uniform()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(37);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace shredder

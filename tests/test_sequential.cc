@@ -1,0 +1,158 @@
+/** @file Tests for the Sequential container and checkpoints. */
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/flatten.h"
+#include "src/nn/linear.h"
+#include "src/nn/pool.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace shredder {
+namespace {
+
+using nn::Mode;
+
+std::unique_ptr<nn::Sequential>
+small_cnn(Rng& rng)
+{
+    auto net = std::make_unique<nn::Sequential>();
+    nn::Conv2dConfig c;
+    c.in_channels = 1;
+    c.out_channels = 4;
+    c.kernel = 3;
+    c.padding = 1;
+    net->emplace<nn::Conv2d>(c, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(nn::PoolConfig{2, 2, 0});
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(4 * 4 * 4, 3, rng);
+    return net;
+}
+
+TEST(Sequential, ForwardShape)
+{
+    Rng rng(1);
+    auto net = small_cnn(rng);
+    Tensor x = Tensor::normal(Shape({2, 1, 8, 8}), rng);
+    Tensor y = net->forward(x, Mode::kEval);
+    EXPECT_EQ(y.shape(), Shape({2, 3}));
+    EXPECT_EQ(net->output_shape(x.shape()), y.shape());
+}
+
+TEST(Sequential, RangeComposesToFullForward)
+{
+    Rng rng(2);
+    auto net = small_cnn(rng);
+    Tensor x = Tensor::normal(Shape({2, 1, 8, 8}), rng);
+    const Tensor full = net->forward(x, Mode::kEval);
+    for (std::int64_t cut = 0; cut <= net->size(); ++cut) {
+        Tensor a = net->forward_range(x, 0, cut, Mode::kEval);
+        Tensor y = net->forward_range(a, cut, net->size(), Mode::kEval);
+        testing::expect_tensors_near(full, y, 0.0, "cut equivalence");
+    }
+}
+
+TEST(Sequential, OutputShapeRangeMatchesExecution)
+{
+    Rng rng(3);
+    auto net = small_cnn(rng);
+    const Shape in({2, 1, 8, 8});
+    for (std::int64_t cut = 0; cut <= net->size(); ++cut) {
+        Tensor x = Tensor::normal(in, rng);
+        Tensor a = net->forward_range(x, 0, cut, Mode::kEval);
+        EXPECT_EQ(net->output_shape_range(in, 0, cut), a.shape());
+    }
+}
+
+TEST(Sequential, NumParametersCounts)
+{
+    Rng rng(4);
+    auto net = small_cnn(rng);
+    // conv: 4×(1·3·3) + 4 bias = 40; linear: 3×64 + 3 = 195.
+    EXPECT_EQ(net->num_parameters(), 40 + 195);
+}
+
+TEST(Sequential, MacsRangeIsAdditive)
+{
+    Rng rng(5);
+    auto net = small_cnn(rng);
+    const Shape in({1, 1, 8, 8});
+    const std::int64_t total = net->macs(in);
+    for (std::int64_t cut = 0; cut <= net->size(); ++cut) {
+        const Shape at_cut = net->output_shape_range(in, 0, cut);
+        EXPECT_EQ(net->macs_range(in, 0, cut) +
+                      net->macs_range(at_cut, cut, net->size()),
+                  total);
+    }
+}
+
+TEST(Sequential, NumericGradientThroughStack)
+{
+    Rng rng(6);
+    auto net = small_cnn(rng);
+    Tensor x = Tensor::normal(Shape({2, 1, 8, 8}), rng);
+    testing::check_layer_gradients(*net, x, rng, 1e-2f, 4e-2,
+                                   /*check_params=*/false);
+}
+
+TEST(Sequential, CheckpointRoundTrip)
+{
+    Rng rng(7);
+    auto net = small_cnn(rng);
+    Tensor x = Tensor::normal(Shape({1, 1, 8, 8}), rng);
+    const Tensor y_before = net->forward(x, Mode::kEval);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "shredder_ckpt_test.bin")
+            .string();
+    net->save_checkpoint(path);
+
+    Rng rng2(999);  // different init
+    auto net2 = small_cnn(rng2);
+    const Tensor y_fresh = net2->forward(x, Mode::kEval);
+    EXPECT_GT(ops::max_abs_diff(y_before, y_fresh), 1e-3);
+
+    net2->load_checkpoint(path);
+    const Tensor y_loaded = net2->forward(x, Mode::kEval);
+    testing::expect_tensors_near(y_before, y_loaded, 0.0, "checkpoint");
+    std::remove(path.c_str());
+}
+
+TEST(Sequential, CheckpointRejectsWrongTopology)
+{
+    Rng rng(8);
+    auto net = small_cnn(rng);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "shredder_ckpt_bad.bin")
+            .string();
+    net->save_checkpoint(path);
+
+    nn::Sequential other;
+    other.emplace<nn::Linear>(4, 4, rng);
+    EXPECT_EXIT(other.load_checkpoint(path),
+                ::testing::ExitedWithCode(1), "layers");
+    std::remove(path.c_str());
+}
+
+TEST(Sequential, SetFrozenPropagates)
+{
+    Rng rng(9);
+    auto net = small_cnn(rng);
+    net->set_frozen(true);
+    for (nn::Parameter* p : net->parameters()) {
+        EXPECT_TRUE(p->frozen);
+    }
+    net->set_frozen(false);
+    for (nn::Parameter* p : net->parameters()) {
+        EXPECT_FALSE(p->frozen);
+    }
+}
+
+}  // namespace
+}  // namespace shredder

@@ -1,0 +1,71 @@
+/** @file Unit tests for tensor serialization. */
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/serialize.h"
+
+namespace shredder {
+namespace {
+
+TEST(Serialize, RoundTripRank1)
+{
+    Tensor t = Tensor::from_vector({1.5f, -2.5f, 3.25f});
+    Tensor u = tensor_from_bytes(tensor_to_bytes(t));
+    EXPECT_EQ(u.shape(), t.shape());
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(t, u), 0.0);
+}
+
+TEST(Serialize, RoundTripRank4)
+{
+    Rng rng(4);
+    Tensor t = Tensor::normal(Shape({2, 3, 4, 5}), rng);
+    Tensor u = tensor_from_bytes(tensor_to_bytes(t));
+    EXPECT_EQ(u.shape(), t.shape());
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(t, u), 0.0);
+}
+
+TEST(Serialize, SizeMatchesPrediction)
+{
+    Rng rng(5);
+    Tensor t = Tensor::normal(Shape({7, 9}), rng);
+    const std::string bytes = tensor_to_bytes(t);
+    EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), serialized_size(t));
+    // 8-byte header + 2 dims × 8 + 63 floats × 4.
+    EXPECT_EQ(serialized_size(t), 8 + 16 + 63 * 4);
+}
+
+TEST(Serialize, StreamCarriesMultipleTensors)
+{
+    Rng rng(6);
+    Tensor a = Tensor::normal(Shape({3}), rng);
+    Tensor b = Tensor::normal(Shape({2, 2}), rng);
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    write_tensor(ss, a);
+    write_tensor(ss, b);
+    Tensor a2 = read_tensor(ss);
+    Tensor b2 = read_tensor(ss);
+    EXPECT_EQ(a2.shape(), a.shape());
+    EXPECT_EQ(b2.shape(), b.shape());
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(b, b2), 0.0);
+}
+
+TEST(SerializeDeath, BadMagicIsFatal)
+{
+    std::string junk = "XXXXYYYYZZZZ";
+    EXPECT_EXIT(tensor_from_bytes(junk), ::testing::ExitedWithCode(1),
+                "magic");
+}
+
+TEST(SerializeDeath, TruncatedPayloadIsFatal)
+{
+    Tensor t = Tensor::from_vector({1, 2, 3, 4});
+    std::string bytes = tensor_to_bytes(t);
+    bytes.resize(bytes.size() - 5);
+    EXPECT_EXIT(tensor_from_bytes(bytes), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+}  // namespace
+}  // namespace shredder

@@ -1,0 +1,64 @@
+/** @file Unit tests for Shape. */
+#include <gtest/gtest.h>
+
+#include "src/tensor/shape.h"
+
+namespace shredder {
+namespace {
+
+TEST(Shape, DefaultIsScalar)
+{
+    Shape s;
+    EXPECT_EQ(s.rank(), 0);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, RankAndDims)
+{
+    Shape s({2, 3, 4, 5});
+    EXPECT_EQ(s.rank(), 4);
+    EXPECT_EQ(s[0], 2);
+    EXPECT_EQ(s[1], 3);
+    EXPECT_EQ(s[2], 4);
+    EXPECT_EQ(s[3], 5);
+}
+
+TEST(Shape, Numel)
+{
+    EXPECT_EQ(Shape({7}).numel(), 7);
+    EXPECT_EQ(Shape({2, 3}).numel(), 6);
+    EXPECT_EQ(Shape({2, 3, 4}).numel(), 24);
+    EXPECT_EQ(Shape({32, 3, 28, 28}).numel(), 32 * 3 * 28 * 28);
+}
+
+TEST(Shape, Validity)
+{
+    EXPECT_TRUE(Shape({1, 2}).valid());
+    EXPECT_FALSE(Shape({0, 2}).valid());
+    EXPECT_FALSE(Shape({2, -1}).valid());
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+    EXPECT_EQ(Shape(), Shape());
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+    EXPECT_EQ(Shape().to_string(), "[]");
+}
+
+TEST(Shape, WithDim)
+{
+    Shape s({2, 3, 4});
+    Shape t = s.with_dim(1, 9);
+    EXPECT_EQ(t, Shape({2, 9, 4}));
+    EXPECT_EQ(s, Shape({2, 3, 4}));  // original untouched
+}
+
+}  // namespace
+}  // namespace shredder

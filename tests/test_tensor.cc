@@ -1,0 +1,153 @@
+/** @file Unit tests for the Tensor class. */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0);
+}
+
+TEST(Tensor, ZeroConstruction)
+{
+    Tensor t(Shape({2, 3}));
+    EXPECT_EQ(t.size(), 6);
+    for (std::int64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(t[i], 0.0f);
+    }
+}
+
+TEST(Tensor, FillValueConstruction)
+{
+    Tensor t(Shape({4}), 2.5f);
+    for (std::int64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(t[i], 2.5f);
+    }
+}
+
+TEST(Tensor, FromVector)
+{
+    Tensor t = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(t.shape(), Shape({3}));
+    EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, FactoryOnesAndFull)
+{
+    EXPECT_EQ(Tensor::ones(Shape({3}))[2], 1.0f);
+    EXPECT_EQ(Tensor::full(Shape({3}), -4.0f)[0], -4.0f);
+}
+
+TEST(Tensor, At4Indexing)
+{
+    Tensor t(Shape({2, 3, 4, 5}));
+    t.at4(1, 2, 3, 4) = 9.0f;
+    // flat = ((1*3+2)*4+3)*5+4 = (5*4+3)*5+4 = 23*5+4 = 119
+    EXPECT_EQ(t[119], 9.0f);
+    EXPECT_EQ(t.at4(1, 2, 3, 4), 9.0f);
+}
+
+TEST(Tensor, At2Indexing)
+{
+    Tensor t(Shape({3, 4}));
+    t.at2(2, 1) = 5.0f;
+    EXPECT_EQ(t[9], 5.0f);
+}
+
+TEST(Tensor, Reshape)
+{
+    Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped(Shape({2, 3}));
+    EXPECT_EQ(r.shape(), Shape({2, 3}));
+    EXPECT_EQ(r.at2(1, 0), 4.0f);
+    t.reshape_inplace(Shape({3, 2}));
+    EXPECT_EQ(t.shape(), Shape({3, 2}));
+}
+
+TEST(Tensor, Slice0RoundTrip)
+{
+    Rng rng(5);
+    Tensor t = Tensor::normal(Shape({4, 3, 2, 2}), rng);
+    Tensor s = t.slice0(2);
+    EXPECT_EQ(s.shape(), Shape({3, 2, 2}));
+    EXPECT_EQ(s[0], t[2 * 12]);
+
+    Tensor u(Shape({4, 3, 2, 2}));
+    u.set_slice0(2, s);
+    EXPECT_EQ(u[2 * 12 + 5], t[2 * 12 + 5]);
+    EXPECT_EQ(u[0], 0.0f);  // other slices untouched
+}
+
+TEST(Tensor, Reductions)
+{
+    Tensor t = Tensor::from_vector({1.0f, -2.0f, 3.0f, -4.0f});
+    EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+    EXPECT_DOUBLE_EQ(t.mean(), -0.5);
+    EXPECT_DOUBLE_EQ(t.mean_square(), (1 + 4 + 9 + 16) / 4.0);
+    EXPECT_NEAR(t.variance(), t.mean_square() - 0.25, 1e-9);
+    EXPECT_EQ(t.min(), -4.0f);
+    EXPECT_EQ(t.max(), 3.0f);
+    EXPECT_EQ(t.argmax(), 2);
+    EXPECT_DOUBLE_EQ(t.abs_sum(), 10.0);
+    EXPECT_NEAR(t.norm(), std::sqrt(30.0), 1e-6);
+}
+
+TEST(Tensor, VarianceOfConstantIsZero)
+{
+    Tensor t = Tensor::full(Shape({100}), 3.14f);
+    EXPECT_NEAR(t.variance(), 0.0, 1e-6);
+}
+
+TEST(Tensor, LaplaceFactoryMoments)
+{
+    Rng rng(123);
+    Tensor t = Tensor::laplace(Shape({20000}), rng, 0.0f, 0.8f);
+    EXPECT_NEAR(t.mean(), 0.0, 0.05);
+    EXPECT_NEAR(t.variance(), 2.0 * 0.8 * 0.8, 0.1);
+}
+
+TEST(Tensor, NormalFactoryMoments)
+{
+    Rng rng(77);
+    Tensor t = Tensor::normal(Shape({20000}), rng, 2.0f, 0.5f);
+    EXPECT_NEAR(t.mean(), 2.0, 0.02);
+    EXPECT_NEAR(t.variance(), 0.25, 0.02);
+}
+
+TEST(Tensor, HasNonfinite)
+{
+    Tensor t(Shape({3}));
+    EXPECT_FALSE(t.has_nonfinite());
+    t[1] = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(t.has_nonfinite());
+    t[1] = std::nanf("");
+    EXPECT_TRUE(t.has_nonfinite());
+}
+
+TEST(Tensor, FillOverwrites)
+{
+    Rng rng(9);
+    Tensor t = Tensor::normal(Shape({10}), rng);
+    t.fill(7.0f);
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(t[i], 7.0f);
+    }
+}
+
+TEST(Tensor, CopyIsDeep)
+{
+    Tensor a = Tensor::from_vector({1, 2, 3});
+    Tensor b = a;
+    b[0] = 99.0f;
+    EXPECT_EQ(a[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace shredder

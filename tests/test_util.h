@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared test utilities: numeric gradient checking and tensor
+ * comparison helpers.
+ */
+#ifndef SHREDDER_TESTS_TEST_UTIL_H
+#define SHREDDER_TESTS_TEST_UTIL_H
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/layer.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace testing {
+
+/** EXPECT that two tensors match elementwise within `tol`. */
+inline void
+expect_tensors_near(const Tensor& a, const Tensor& b, double tol,
+                    const char* what = "")
+{
+    ASSERT_EQ(a.shape().to_string(), b.shape().to_string()) << what;
+    const double diff = ops::max_abs_diff(a, b);
+    EXPECT_LE(diff, tol) << what << ": max |a-b| = " << diff;
+}
+
+/**
+ * Numeric-vs-analytic gradient check for a layer.
+ *
+ * Builds the scalar loss L = Σ w ⊙ layer(x) with fixed random weights
+ * w, computes dL/dx analytically via `backward`, then compares against
+ * central differences. Also checks every parameter gradient.
+ *
+ * @param layer    Layer under test (stateful caches are exercised).
+ * @param x        Input point of the check.
+ * @param rng      Randomness for the projection weights.
+ * @param eps      Finite-difference step.
+ * @param tol      Max allowed |analytic − numeric| per element.
+ * @param check_params  Also verify parameter gradients.
+ */
+inline void
+check_layer_gradients(nn::Layer& layer, const Tensor& x, Rng& rng,
+                      float eps = 1e-2f, double tol = 2e-2,
+                      bool check_params = true)
+{
+    const Tensor y0 = layer.forward(x, nn::Mode::kEval);
+    const Tensor w = Tensor::normal(y0.shape(), rng);
+
+    // Analytic gradients.
+    layer.zero_grad();
+    layer.forward(x, nn::Mode::kEval);
+    const Tensor analytic_dx = layer.backward(w);
+
+    const auto loss_at = [&](const Tensor& input) {
+        const Tensor y = layer.forward(input, nn::Mode::kEval);
+        return ops::dot(w, y);
+    };
+
+    // Input gradient by central differences (sampled for big tensors).
+    Tensor xp = x;
+    const std::int64_t stride = std::max<std::int64_t>(1, x.size() / 64);
+    for (std::int64_t i = 0; i < x.size(); i += stride) {
+        const float orig = xp[i];
+        xp[i] = orig + eps;
+        const double lp = loss_at(xp);
+        xp[i] = orig - eps;
+        const double lm = loss_at(xp);
+        xp[i] = orig;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(analytic_dx[i], numeric, tol)
+            << "input grad mismatch at flat index " << i;
+    }
+
+    if (!check_params) {
+        return;
+    }
+    // Re-establish caches and analytic parameter gradients at x.
+    layer.zero_grad();
+    layer.forward(x, nn::Mode::kEval);
+    layer.backward(w);
+    for (nn::Parameter* p : layer.parameters()) {
+        Tensor analytic = p->grad;
+        const std::int64_t pstride =
+            std::max<std::int64_t>(1, p->size() / 48);
+        for (std::int64_t i = 0; i < p->size(); i += pstride) {
+            const float orig = p->value[i];
+            p->value[i] = orig + eps;
+            const double lp = loss_at(x);
+            p->value[i] = orig - eps;
+            const double lm = loss_at(x);
+            p->value[i] = orig;
+            const double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR(analytic[i], numeric, tol)
+                << "param '" << p->name << "' grad mismatch at " << i;
+        }
+    }
+}
+
+}  // namespace testing
+}  // namespace shredder
+
+#endif  // SHREDDER_TESTS_TEST_UTIL_H
