@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Serving-path benchmark: requests/sec of the batched `InferenceServer`
+ * as the batch ceiling grows, through the noised split pipeline
+ * (per-request noise draw + cloud-side forward of the fused batch).
+ *
+ * This is the knob behind the ROADMAP's production-serving goal:
+ * batching amortizes the GEMM setup across requests, so throughput
+ * should rise with max_batch until the kernels saturate. Reported per
+ * configuration: completed requests/sec, mean fused batch size, mean
+ * per-batch execution latency and mean per-request queue wait.
+ *
+ * Honors SHREDDER_BENCH_FAST=1 (fewer requests per sweep point).
+ */
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace shredder;
+
+/**
+ * Push `total` pre-generated activations through a fresh server and
+ * return its final counters.
+ */
+runtime::ServerStats
+run_point(split::SplitModel& model, const core::NoiseCollection& coll,
+          const std::vector<Tensor>& activations, std::int64_t max_batch)
+{
+    runtime::InferenceServerConfig cfg;
+    cfg.max_batch = max_batch;
+    // Generous straggler window: the submitter floods the queue, so
+    // batches fill to the ceiling rather than waiting it out.
+    cfg.batch_timeout_ms = 2.0;
+    runtime::InferenceServer server(model, &coll, cfg);
+
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(activations.size());
+    for (const Tensor& a : activations) {
+        futures.push_back(server.submit(a));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    const runtime::ServerStats stats = server.stats();
+    server.shutdown();
+    return stats;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Serving: batched inference throughput at the cut");
+
+    // Untrained LeNet: the serving data path (noise add + cloud
+    // forward) is identical regardless of weight values, and skipping
+    // pre-training keeps this benchmark self-contained and fast.
+    Rng rng(4242);
+    auto net = models::make_lenet(rng);
+    const std::int64_t cut = split::conv_cut_points(*net).back();
+    split::SplitModel model(*net, cut);
+    const Shape act = model.activation_shape(Shape({1, 28, 28}));
+    const Shape per_sample({act[1], act[2], act[3]});
+
+    // A stored noise collection shaped like the cut's activation.
+    core::NoiseCollection coll;
+    for (int i = 0; i < 4; ++i) {
+        core::NoiseSample sample;
+        sample.noise = Tensor::laplace(per_sample, rng, 0.0f, 0.5f);
+        coll.add(std::move(sample));
+    }
+
+    const std::int64_t total = bench::fast_mode() ? 64 : 512;
+    std::vector<Tensor> activations;
+    activations.reserve(static_cast<std::size_t>(total));
+    for (std::int64_t i = 0; i < total; ++i) {
+        activations.push_back(Tensor::normal(per_sample, rng));
+    }
+
+    std::printf("network lenet, cut %lld, activation %s, %lld requests"
+                " per point\n",
+                static_cast<long long>(cut),
+                per_sample.to_string().c_str(),
+                static_cast<long long>(total));
+    std::printf("%10s %14s %16s %18s %18s\n", "max_batch", "req/sec",
+                "mean batch", "batch exec ms", "queue wait ms");
+
+    double first_rps = 0.0, last_rps = 0.0;
+    for (const std::int64_t max_batch : {1, 8, 32}) {
+        const runtime::ServerStats stats =
+            run_point(model, coll, activations, max_batch);
+        std::printf("%10lld %14.1f %16.2f %18.3f %18.3f\n",
+                    static_cast<long long>(max_batch),
+                    stats.requests_per_sec(), stats.mean_batch_size(),
+                    stats.mean_batch_latency_ms(),
+                    stats.mean_queue_wait_ms());
+        std::fflush(stdout);
+        if (first_rps == 0.0) {
+            first_rps = stats.requests_per_sec();
+        }
+        last_rps = stats.requests_per_sec();
+    }
+
+    const double speedup = last_rps / first_rps;
+    std::printf("\nbatch-32 vs batch-1 throughput: %.2fx\n", speedup);
+    std::printf("Expected shape: requests/sec rises with max_batch as"
+                " per-request\noverhead amortizes; under this flooded"
+                " queue, per-request wait FALLS with\nmax_batch because"
+                " each forward drains more of the backlog.\n");
+    return 0;
+}

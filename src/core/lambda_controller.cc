@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the λ schedule (decay past the in-vivo target).
+ */
 #include "src/core/lambda_controller.h"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the stored noise-sample collection (§2.5).
+ */
 #include "src/core/noise_collection.h"
 
 #include <fstream>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the fitted per-element noise distribution (§2.5).
+ */
 #include "src/core/noise_distribution.h"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the trainable additive noise tensor (§2.4).
+ */
 #include "src/core/noise_tensor.h"
 
 #include "src/runtime/logging.h"

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the noise-learning loop (§2.1–2.4, §3.2).
+ */
 #include "src/core/noise_trainer.h"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the end-to-end Table 1 pipeline.
+ */
 #include "src/core/pipeline.h"
 
 #include "src/runtime/logging.h"

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the ex-vivo privacy measurement harness (§2.2, §3).
+ */
 #include "src/core/privacy_meter.h"
 
 #include <algorithm>

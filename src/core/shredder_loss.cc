@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the Shredder loss and its privacy terms (Eq. 2–3).
+ */
 #include "src/core/shredder_loss.h"
 
 #include <cmath>

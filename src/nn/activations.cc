@@ -8,7 +8,7 @@ namespace shredder {
 namespace nn {
 
 Tensor
-ReLU::forward(const Tensor& x, Mode mode)
+ReLU::forward(const Tensor& x, Mode /*mode*/)
 {
     Tensor y = x;
     float* p = y.data();
@@ -41,7 +41,7 @@ ReLU::backward(const Tensor& grad_out)
 }
 
 Tensor
-Tanh::forward(const Tensor& x, Mode mode)
+Tanh::forward(const Tensor& x, Mode /*mode*/)
 {
     Tensor y = x;
     float* p = y.data();

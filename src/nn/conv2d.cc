@@ -66,7 +66,7 @@ Conv2d::macs(const Shape& in) const
 }
 
 Tensor
-Conv2d::forward(const Tensor& x, Mode mode)
+Conv2d::forward(const Tensor& x, Mode /*mode*/)
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0];

@@ -9,7 +9,7 @@ namespace shredder {
 namespace nn {
 
 Tensor
-Sigmoid::forward(const Tensor& x, Mode mode)
+Sigmoid::forward(const Tensor& x, Mode /*mode*/)
 {
     Tensor y = x;
     float* p = y.data();
@@ -43,7 +43,7 @@ LeakyReLU::LeakyReLU(float slope) : slope_(slope)
 }
 
 Tensor
-LeakyReLU::forward(const Tensor& x, Mode mode)
+LeakyReLU::forward(const Tensor& x, Mode /*mode*/)
 {
     Tensor y = x;
     float* p = y.data();
@@ -83,7 +83,7 @@ Softmax::output_shape(const Shape& in) const
 }
 
 Tensor
-Softmax::forward(const Tensor& x, Mode mode)
+Softmax::forward(const Tensor& x, Mode /*mode*/)
 {
     Tensor y = ops::softmax_rows(x);
     cached_output_ = y;
@@ -135,7 +135,7 @@ Crop2d::output_shape(const Shape& in) const
 }
 
 Tensor
-Crop2d::forward(const Tensor& x, Mode mode)
+Crop2d::forward(const Tensor& x, Mode /*mode*/)
 {
     const Shape out_shape = output_shape(x.shape());
     cached_in_shape_ = x.shape();
@@ -187,7 +187,7 @@ Upsample2x::output_shape(const Shape& in) const
 }
 
 Tensor
-Upsample2x::forward(const Tensor& x, Mode mode)
+Upsample2x::forward(const Tensor& x, Mode /*mode*/)
 {
     const Shape out_shape = output_shape(x.shape());
     cached_in_shape_ = x.shape();

@@ -14,7 +14,7 @@ Flatten::output_shape(const Shape& in) const
 }
 
 Tensor
-Flatten::forward(const Tensor& x, Mode mode)
+Flatten::forward(const Tensor& x, Mode /*mode*/)
 {
     cached_in_shape_ = x.shape();
     return x.reshaped(output_shape(x.shape()));

@@ -63,7 +63,7 @@ class Layer
      * with the given input shape. Cost-model hook for the paper's
      * Fig. 6 computation axis.
      */
-    virtual std::int64_t macs(const Shape& in) const { return 0; }
+    virtual std::int64_t macs(const Shape& /*in*/) const { return 0; }
 
     /** Serialize parameters (not topology) to a stream. */
     virtual void save_params(std::ostream& os) const;
@@ -85,7 +85,7 @@ using LayerPtr = std::unique_ptr<Layer>;
 class Identity final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode mode) override { return x; }
+    Tensor forward(const Tensor& x, Mode /*mode*/) override { return x; }
     Tensor backward(const Tensor& grad_out) override { return grad_out; }
     std::string kind() const override { return "identity"; }
     Shape output_shape(const Shape& in) const override { return in; }

@@ -43,13 +43,13 @@ Linear::parameters()
 }
 
 std::int64_t
-Linear::macs(const Shape& in) const
+Linear::macs(const Shape& /*in*/) const
 {
     return in_features_ * out_features_;
 }
 
 Tensor
-Linear::forward(const Tensor& x, Mode mode)
+Linear::forward(const Tensor& x, Mode /*mode*/)
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0];

@@ -23,7 +23,7 @@ LocalResponseNorm::output_shape(const Shape& in) const
 }
 
 Tensor
-LocalResponseNorm::forward(const Tensor& x, Mode mode)
+LocalResponseNorm::forward(const Tensor& x, Mode /*mode*/)
 {
     const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
     const std::int64_t hw = x.shape()[2] * x.shape()[3];

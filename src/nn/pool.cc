@@ -41,7 +41,7 @@ MaxPool2d::output_shape(const Shape& in) const
 }
 
 Tensor
-MaxPool2d::forward(const Tensor& x, Mode mode)
+MaxPool2d::forward(const Tensor& x, Mode /*mode*/)
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
@@ -125,7 +125,7 @@ AvgPool2d::output_shape(const Shape& in) const
 }
 
 Tensor
-AvgPool2d::forward(const Tensor& x, Mode mode)
+AvgPool2d::forward(const Tensor& x, Mode /*mode*/)
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0], chans = x.shape()[1];

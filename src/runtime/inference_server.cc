@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Implementation of the batched inference server (see header).
+ */
+#include "src/runtime/inference_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace runtime {
+
+namespace {
+
+/** Prepend a batch dimension to a per-sample shape. */
+Shape
+batched_shape(const Shape& sample, std::int64_t n)
+{
+    switch (sample.rank()) {
+      case 1: return Shape({n, sample[0]});
+      case 2: return Shape({n, sample[0], sample[1]});
+      case 3: return Shape({n, sample[0], sample[1], sample[2]});
+      default:
+        SHREDDER_PANIC("cannot batch per-sample activation of rank ",
+                       sample.rank());
+    }
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(split::SplitModel& model,
+                                 const core::NoiseCollection* collection,
+                                 const InferenceServerConfig& config)
+    : model_(model),
+      collection_(collection),
+      config_(config),
+      sample_size_(0),
+      pool_(config.num_workers),
+      rng_(config.seed)
+{
+    SHREDDER_REQUIRE(config_.max_batch >= 1,
+                     "max_batch must be positive, got ",
+                     config_.max_batch);
+    if (config_.apply_noise) {
+        SHREDDER_REQUIRE(collection_ != nullptr && !collection_->empty(),
+                         "apply_noise requires a non-empty noise "
+                         "collection");
+    }
+    if (config_.sample_shape.rank() > 0) {
+        sample_shape_ = config_.sample_shape;
+    } else if (collection_ != nullptr && !collection_->empty()) {
+        sample_shape_ = collection_->noise_shape();
+    }
+    if (sample_shape_.rank() > 0) {
+        // Setup-time user error: a contract that cannot grow a batch
+        // dimension would otherwise abort on a pool worker later.
+        SHREDDER_REQUIRE(sample_shape_.rank() <= 3,
+                         "per-sample activation shape must have rank "
+                         "1-3, got ", sample_shape_.to_string());
+        sample_size_ = sample_shape_.numel();
+        if (collection_ != nullptr && !collection_->empty()) {
+            SHREDDER_REQUIRE(
+                collection_->noise_shape().numel() == sample_size_,
+                "noise samples (", collection_->noise_shape().to_string(),
+                ") do not match the configured per-sample shape ",
+                sample_shape_.to_string());
+        }
+    }
+    dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Tensor>
+InferenceServer::submit(Tensor activation)
+{
+    std::promise<Tensor> promise;
+    std::future<Tensor> future = promise.get_future();
+
+    // A bad request must fail its own future, never the server: other
+    // clients' in-flight work stays alive.
+    const auto reject = [&promise](const std::string& why) {
+        promise.set_exception(
+            std::make_exception_ptr(std::runtime_error(
+                "InferenceServer: " + why)));
+    };
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!accepting_) {
+        lock.unlock();
+        reject("submit after shutdown");
+        return future;
+    }
+    if (sample_size_ == 0) {
+        // No noise collection to dictate the shape: adopt the first
+        // request's shape as the server's contract. Only rank 1–3 can
+        // grow a batch dimension (Shape::kMaxRank is 4).
+        if (activation.shape().rank() < 1 || activation.shape().rank() > 3) {
+            lock.unlock();
+            reject("per-sample activation must have rank 1-3, got " +
+                   activation.shape().to_string());
+            return future;
+        }
+        sample_shape_ = activation.shape();
+        sample_size_ = activation.size();
+    }
+    if (activation.size() != sample_size_) {
+        const std::int64_t expected = sample_size_;
+        lock.unlock();
+        reject("activation size " + std::to_string(activation.size()) +
+               " does not match the cut's per-sample size " +
+               std::to_string(expected));
+        return future;
+    }
+
+    Request request;
+    request.activation = std::move(activation);
+    request.promise = std::move(promise);
+    queue_.push_back(std::move(request));
+    lock.unlock();
+    cv_.notify_one();
+    return future;
+}
+
+Tensor
+InferenceServer::infer(const Tensor& activation)
+{
+    return submit(activation).get();
+}
+
+bool
+InferenceServer::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accepting_;
+}
+
+void
+InferenceServer::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        accepting_ = false;
+        stop_dispatcher_ = true;
+    }
+    cv_.notify_all();
+    {
+        // Serialize concurrent shutdown callers (e.g. an explicit
+        // shutdown racing the destructor): join() may run only once.
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        if (dispatcher_.joinable()) {
+            dispatcher_.join();
+        }
+    }
+    pool_.wait_idle();
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ServerStats snapshot = stats_;
+    snapshot.wall_seconds = lifetime_.seconds();
+    return snapshot;
+}
+
+void
+InferenceServer::dispatch_loop()
+{
+    const auto timeout = std::chrono::duration<double, std::milli>(
+        config_.batch_timeout_ms);
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] {
+            return !queue_.empty() || stop_dispatcher_;
+        });
+        if (queue_.empty()) {
+            // stop_dispatcher_ is set and everything is drained.
+            return;
+        }
+        // Hold the door briefly for stragglers so batches fill up —
+        // unless we are draining for shutdown, where latency wins.
+        if (static_cast<std::int64_t>(queue_.size()) < config_.max_batch &&
+            config_.batch_timeout_ms > 0.0 && !stop_dispatcher_) {
+            const auto deadline = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::
+                                               duration>(timeout);
+            cv_.wait_until(lock, deadline, [this] {
+                return static_cast<std::int64_t>(queue_.size()) >=
+                           config_.max_batch ||
+                       stop_dispatcher_;
+            });
+        }
+        const std::int64_t n = std::min<std::int64_t>(
+            static_cast<std::int64_t>(queue_.size()), config_.max_batch);
+        std::vector<Request> batch;
+        batch.reserve(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        lock.unlock();
+
+        // shared_ptr because std::function requires copyable closures.
+        auto shared =
+            std::make_shared<std::vector<Request>>(std::move(batch));
+        pool_.submit([this, shared]() mutable {
+            execute_batch(std::move(*shared));
+        });
+    }
+}
+
+void
+InferenceServer::execute_batch(std::vector<Request> batch)
+{
+    const auto n = static_cast<std::int64_t>(batch.size());
+    if (n == 0) {
+        return;
+    }
+    double queue_wait_ms = 0.0;
+    for (const Request& request : batch) {
+        queue_wait_ms += request.queued.milliseconds();
+    }
+
+    Stopwatch execution;
+    Tensor fused(batched_shape(sample_shape_, n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        float* row = fused.data() + i * sample_size_;
+        const float* src = batch[static_cast<std::size_t>(i)]
+                               .activation.data();
+        std::copy(src, src + sample_size_, row);
+        if (config_.apply_noise) {
+            // Fresh draw per request — the paper's §2.5 deployment.
+            // Only the draw mutates shared state (rng_); the stored
+            // tensor itself is immutable, so the elementwise add runs
+            // outside the lock and overlaps across pool workers.
+            const Tensor* noise = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(rng_mutex_);
+                noise = &collection_->draw(rng_).noise;
+            }
+            const float* pn = noise->data();
+            for (std::int64_t j = 0; j < sample_size_; ++j) {
+                row[j] += pn[j];
+            }
+        }
+    }
+
+    Tensor logits;
+    {
+        std::lock_guard<std::mutex> lock(model_mutex_);
+        logits = model_.cloud_forward(fused, nn::Mode::kEval);
+    }
+    SHREDDER_CHECK(logits.shape().rank() == 2 && logits.shape()[0] == n,
+                   "cloud forward returned ", logits.shape().to_string(),
+                   " for a batch of ", n);
+
+    // Account the batch BEFORE fulfilling the promises: a caller that
+    // observes future.get() must see its own request in stats().
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.requests += n;
+        stats_.batches += 1;
+        stats_.busy_ms += execution.milliseconds();
+        stats_.queue_ms += queue_wait_ms;
+        stats_.max_batch_seen = std::max(stats_.max_batch_seen, n);
+    }
+
+    const std::int64_t classes = logits.shape()[1];
+    for (std::int64_t i = 0; i < n; ++i) {
+        Tensor row(Shape({classes}));
+        std::copy(logits.data() + i * classes,
+                  logits.data() + (i + 1) * classes, row.data());
+        batch[static_cast<std::size_t>(i)].promise.set_value(
+            std::move(row));
+    }
+}
+
+}  // namespace runtime
+}  // namespace shredder

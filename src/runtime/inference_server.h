@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Batched cloud-side inference front end (the serving path).
+ *
+ * A deployed Shredder service receives a stream of independent
+ * requests, each carrying one noisy — or, here, to-be-noised —
+ * intermediate activation captured at the cutting point on an edge
+ * device. Running the cloud half R once per request wastes the batch
+ * efficiency of the GEMM kernels, so the server fuses concurrent
+ * requests into batches:
+ *
+ *   submit(a) ──► request queue ──► dispatcher (forms batches of up
+ *   to `max_batch`, waiting at most `batch_timeout_ms` for stragglers)
+ *   ──► thread pool (adds per-request noise drawn from the learned
+ *   `NoiseCollection`, runs `SplitModel::cloud_forward` on the fused
+ *   batch, scatters the logits back) ──► per-request future.
+ *
+ * Per-request noise sampling preserves the paper's §2.5 deployment
+ * semantics: every query gets an independent draw from the noise
+ * distribution, exactly as `PrivacyMeter::measure_replay` measures.
+ * The model forward itself is serialized by a per-server mutex (layer
+ * caches are not reentrant); batch assembly, noise addition and
+ * result scatter run on the pool and overlap with it. The server
+ * therefore assumes *exclusive* use of the model's cloud half: two
+ * servers sharing one `SplitModel` would race on the layer caches —
+ * give each server its own model (or its own `Sequential` replica).
+ *
+ * Latency/throughput accounting uses `Stopwatch`: per-batch queue and
+ * execution latency plus aggregate requests/sec are available from
+ * `stats()` at any time.
+ */
+#ifndef SHREDDER_RUNTIME_INFERENCE_SERVER_H
+#define SHREDDER_RUNTIME_INFERENCE_SERVER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/noise_collection.h"
+#include "src/runtime/stopwatch.h"
+#include "src/runtime/thread_pool.h"
+#include "src/split/split_model.h"
+#include "src/tensor/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace runtime {
+
+/** Serving knobs. */
+struct InferenceServerConfig
+{
+    /** Max requests fused into one cloud forward. */
+    std::int64_t max_batch = 8;
+    /**
+     * How long the dispatcher waits for stragglers once it holds at
+     * least one request and fewer than `max_batch`. 0 = ship
+     * immediately (latency-optimal, throughput-pessimal).
+     */
+    double batch_timeout_ms = 1.0;
+    /** Worker threads executing batches; 0 = hardware concurrency. */
+    unsigned num_workers = 1;
+    /**
+     * Add a per-request noise draw from the collection before the
+     * cloud forward. Off = serve the raw activation (the paper's
+     * "original execution" baseline).
+     */
+    bool apply_noise = true;
+    /** Seed of the server's private noise-sampling RNG. */
+    std::uint64_t seed = 0xC0FFEE;
+    /**
+     * Per-sample activation shape at the cut (rank 1–3). When set
+     * (rank > 0) it fixes the server's shape contract at
+     * construction. When unset, the contract comes from the noise
+     * collection, or — with neither — is adopted from the first
+     * submitted request, which the server cannot validate against
+     * the model: production deployments should pin it here or serve
+     * with a collection.
+     */
+    Shape sample_shape{};
+};
+
+/** Aggregate serving statistics (see `InferenceServer::stats`). */
+struct ServerStats
+{
+    std::int64_t requests = 0;       ///< Requests completed.
+    std::int64_t batches = 0;        ///< Batches executed.
+    double busy_ms = 0.0;            ///< Σ per-batch execution time.
+    double queue_ms = 0.0;           ///< Σ per-request queue wait.
+    double wall_seconds = 0.0;       ///< Server lifetime so far.
+    std::int64_t max_batch_seen = 0; ///< Largest batch executed.
+
+    /** Mean requests fused per batch. */
+    double mean_batch_size() const
+    {
+        return batches > 0
+                   ? static_cast<double>(requests) /
+                         static_cast<double>(batches)
+                   : 0.0;
+    }
+
+    /** Mean execution latency of one batch, ms. */
+    double mean_batch_latency_ms() const
+    {
+        return batches > 0 ? busy_ms / static_cast<double>(batches) : 0.0;
+    }
+
+    /** Mean queue wait of one request, ms. */
+    double mean_queue_wait_ms() const
+    {
+        return requests > 0 ? queue_ms / static_cast<double>(requests)
+                            : 0.0;
+    }
+
+    /** Completed requests per wall-clock second. */
+    double requests_per_sec() const
+    {
+        return wall_seconds > 0.0
+                   ? static_cast<double>(requests) / wall_seconds
+                   : 0.0;
+    }
+};
+
+/** See file comment. */
+class InferenceServer
+{
+  public:
+    /**
+     * @param model       Split view of the frozen network; the server
+     *                    runs its cloud half. Must outlive the server.
+     * @param collection  Learned noise distribution sampled once per
+     *                    request; may be null only when
+     *                    `config.apply_noise` is false. Must outlive
+     *                    the server.
+     * @param config      Serving knobs.
+     */
+    InferenceServer(split::SplitModel& model,
+                    const core::NoiseCollection* collection,
+                    const InferenceServerConfig& config = {});
+
+    /** Drains outstanding requests, then stops the workers. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer&) = delete;
+    InferenceServer& operator=(const InferenceServer&) = delete;
+
+    /**
+     * Enqueue one request.
+     *
+     * @param activation One sample's activation at the cutting point —
+     *                   any shape whose element count matches the
+     *                   cut's per-sample activation size.
+     * @return Future resolving to that sample's logits (rank-1).
+     *         Resolves to `std::runtime_error` for a malformed
+     *         request or a submit after `shutdown` began. Requests
+     *         accepted before shutdown are always served: `shutdown`
+     *         drains the queue.
+     */
+    std::future<Tensor> submit(Tensor activation);
+
+    /** Blocking convenience wrapper around `submit`. */
+    Tensor infer(const Tensor& activation);
+
+    /**
+     * Stop accepting new requests, serve everything already queued,
+     * and join the workers. Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+    /** True until `shutdown` begins. */
+    bool running() const;
+
+    /** Snapshot of the aggregate counters. */
+    ServerStats stats() const;
+
+    /**
+     * Per-sample activation shape the server expects (no batch dim).
+     * Rank 0 until fixed — by the noise collection at construction,
+     * or by the first submitted request otherwise.
+     */
+    Shape sample_shape() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return sample_shape_;
+    }
+
+  private:
+    struct Request
+    {
+        Tensor activation;
+        std::promise<Tensor> promise;
+        Stopwatch queued;  ///< Started at submit time.
+    };
+
+    /** Dispatcher loop: form batches, hand them to the pool. */
+    void dispatch_loop();
+
+    /** Execute one formed batch on a pool worker. */
+    void execute_batch(std::vector<Request> batch);
+
+    split::SplitModel& model_;
+    const core::NoiseCollection* collection_;
+    InferenceServerConfig config_;
+    Shape sample_shape_;        ///< Per-sample activation shape.
+    std::int64_t sample_size_;  ///< Elements per activation.
+
+    ThreadPool pool_;
+    std::thread dispatcher_;
+    std::mutex shutdown_mutex_;  ///< join() must run exactly once.
+
+    /** Guards queue_, accepting_ and the lazily-fixed sample shape. */
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool accepting_ = true;
+    bool stop_dispatcher_ = false;
+
+    std::mutex model_mutex_;  ///< Layer caches are not reentrant.
+    std::mutex rng_mutex_;    ///< Noise draws from pool workers.
+    Rng rng_;
+
+    mutable std::mutex stats_mutex_;
+    ServerStats stats_;
+    Stopwatch lifetime_;
+};
+
+}  // namespace runtime
+}  // namespace shredder
+
+#endif  // SHREDDER_RUNTIME_INFERENCE_SERVER_H

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the logging and error-reporting primitives.
+ */
 #include "src/runtime/logging.h"
 
 #include <atomic>

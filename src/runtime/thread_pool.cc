@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the thread pool and parallel_for.
+ */
 #include "src/runtime/thread_pool.h"
 
 #include <algorithm>

@@ -13,6 +13,7 @@
 #define SHREDDER_SHREDDER_H
 
 // Runtime
+#include "src/runtime/inference_server.h"
 #include "src/runtime/logging.h"
 #include "src/runtime/stopwatch.h"
 #include "src/runtime/thread_pool.h"

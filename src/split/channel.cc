@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the edge→cloud channels (wire format + accounting).
+ */
 #include "src/split/channel.h"
 
 #include <algorithm>

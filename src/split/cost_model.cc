@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the cutting-point cost model (§3.4).
+ */
 #include "src/split/cost_model.h"
 
 #include <sstream>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the edge/cloud network partition (§2.1).
+ */
 #include "src/split/split_model.h"
 
 #include "src/runtime/logging.h"

@@ -97,6 +97,11 @@ TEST(Stopwatch, MeasuresElapsedTime)
 
 TEST(LoggingDeath, RequireFailureExitsWithOne)
 {
+    // The global ThreadPool's workers are alive by the time the death
+    // tests run; the default "fast" style forks with those threads'
+    // locks potentially held and deadlocks the child. "threadsafe"
+    // re-executes the binary instead.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
     EXPECT_EXIT(
         [] {
             SHREDDER_REQUIRE(false, "user error path");
@@ -106,6 +111,7 @@ TEST(LoggingDeath, RequireFailureExitsWithOne)
 
 TEST(LoggingDeath, CheckFailureAborts)
 {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
     EXPECT_DEATH(
         [] {
             SHREDDER_CHECK(1 == 2, "internal bug path");

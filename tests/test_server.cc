@@ -1,0 +1,324 @@
+/** @file Tests for the batched inference server. */
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/noise_collection.h"
+#include "src/models/zoo.h"
+#include "src/runtime/inference_server.h"
+#include "src/split/split_model.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace shredder {
+namespace {
+
+using runtime::InferenceServer;
+using runtime::InferenceServerConfig;
+
+/** LeNet cut at its last conv point, plus matching activations. */
+struct Fixture
+{
+    explicit Fixture(std::uint64_t seed = 17)
+        : rng(seed), net(models::make_lenet(rng)),
+          cut(split::conv_cut_points(*net).back()), model(*net, cut),
+          act_shape(model.activation_shape(Shape({1, 28, 28})))
+    {
+    }
+
+    /** One random per-sample activation (batch dim stripped). */
+    Tensor
+    sample_activation()
+    {
+        Shape per_sample({act_shape[1], act_shape[2], act_shape[3]});
+        return Tensor::normal(per_sample, rng);
+    }
+
+    /** A collection of `n` stored noise tensors at the cut's shape. */
+    core::NoiseCollection
+    collection(int n)
+    {
+        core::NoiseCollection c;
+        Shape per_sample({act_shape[1], act_shape[2], act_shape[3]});
+        for (int i = 0; i < n; ++i) {
+            core::NoiseSample s;
+            s.noise = Tensor::normal(per_sample, rng);
+            c.add(std::move(s));
+        }
+        return c;
+    }
+
+    Rng rng;
+    std::unique_ptr<nn::Sequential> net;
+    std::int64_t cut;
+    split::SplitModel model;
+    Shape act_shape;  ///< Batched ([1, C, H, W]).
+};
+
+TEST(InferenceServer, MatchesDirectCloudForward)
+{
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    cfg.max_batch = 4;
+    InferenceServer server(fx.model, nullptr, cfg);
+
+    for (int i = 0; i < 5; ++i) {
+        const Tensor a = fx.sample_activation();
+        const Tensor served = server.infer(a);
+        const Tensor direct = fx.model.cloud_forward(
+            a.reshaped(fx.act_shape), nn::Mode::kEval);
+        ASSERT_EQ(served.shape().rank(), 1);
+        ASSERT_EQ(served.size(), direct.size());
+        testing::expect_tensors_near(
+            served, direct.reshaped(served.shape()), 1e-6,
+            "served vs direct");
+    }
+}
+
+TEST(InferenceServer, BatchedEqualsSequential)
+{
+    Fixture fx;
+    // A single stored noise tensor makes per-request draws
+    // deterministic, so batched and sequential runs see identical
+    // noise regardless of batch composition.
+    core::NoiseCollection coll = fx.collection(1);
+
+    std::vector<Tensor> activations;
+    for (int i = 0; i < 12; ++i) {
+        activations.push_back(fx.sample_activation());
+    }
+
+    // Sequential reference: batch size 1.
+    std::vector<Tensor> sequential;
+    {
+        InferenceServerConfig cfg;
+        cfg.max_batch = 1;
+        cfg.batch_timeout_ms = 0.0;
+        InferenceServer server(fx.model, &coll, cfg);
+        for (const Tensor& a : activations) {
+            sequential.push_back(server.infer(a));
+        }
+    }
+
+    // Batched run: everything submitted up front, fused into batches.
+    InferenceServerConfig cfg;
+    cfg.max_batch = 5;
+    cfg.batch_timeout_ms = 20.0;
+    InferenceServer server(fx.model, &coll, cfg);
+    std::vector<std::future<Tensor>> futures;
+    for (const Tensor& a : activations) {
+        futures.push_back(server.submit(a));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const Tensor batched = futures[i].get();
+        testing::expect_tensors_near(batched, sequential[i], 1e-5,
+                                     "batched vs sequential");
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests, 12);
+    EXPECT_LT(stats.batches, 12);  // fusion actually happened
+    EXPECT_LE(stats.max_batch_seen, 5);
+}
+
+TEST(InferenceServer, PerRequestNoiseIsApplied)
+{
+    Fixture fx;
+    core::NoiseCollection coll = fx.collection(1);
+    const Tensor a = fx.sample_activation();
+
+    InferenceServerConfig noisy_cfg;
+    noisy_cfg.max_batch = 1;
+    InferenceServer noisy(fx.model, &coll, noisy_cfg);
+    InferenceServerConfig clean_cfg;
+    clean_cfg.apply_noise = false;
+    InferenceServer clean(fx.model, nullptr, clean_cfg);
+
+    const Tensor with_noise = noisy.infer(a);
+    const Tensor without = clean.infer(a);
+    // The noise tensor is non-trivial, so logits must differ.
+    EXPECT_GT(ops::max_abs_diff(with_noise, without), 1e-4);
+
+    // And it must equal the hand-noised forward.
+    const Tensor direct = fx.model.cloud_forward(
+        ops::add(a, coll.get(0).noise).reshaped(fx.act_shape),
+        nn::Mode::kEval);
+    testing::expect_tensors_near(
+        with_noise, direct.reshaped(with_noise.shape()), 1e-6,
+        "noised served vs hand-noised direct");
+}
+
+TEST(InferenceServer, ConcurrentSubmitIsSafe)
+{
+    Fixture fx;
+    core::NoiseCollection coll = fx.collection(3);
+    InferenceServerConfig cfg;
+    cfg.max_batch = 8;
+    cfg.batch_timeout_ms = 1.0;
+    InferenceServer server(fx.model, &coll, cfg);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 6;
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<Tensor>>> futures(kThreads);
+    std::vector<Tensor> inputs;
+    for (int t = 0; t < kThreads; ++t) {
+        inputs.push_back(fx.sample_activation());
+    }
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                futures[static_cast<std::size_t>(t)].push_back(
+                    server.submit(inputs[static_cast<std::size_t>(t)]));
+            }
+        });
+    }
+    for (auto& thread : submitters) {
+        thread.join();
+    }
+    for (auto& per_thread : futures) {
+        for (auto& f : per_thread) {
+            const Tensor logits = f.get();
+            EXPECT_EQ(logits.shape().rank(), 1);
+            EXPECT_FALSE(logits.has_nonfinite());
+        }
+    }
+    EXPECT_EQ(server.stats().requests, kThreads * kPerThread);
+}
+
+TEST(InferenceServer, ShutdownWithEmptyQueueIsClean)
+{
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    InferenceServer server(fx.model, nullptr, cfg);
+    EXPECT_TRUE(server.running());
+    server.shutdown();
+    EXPECT_FALSE(server.running());
+    server.shutdown();  // idempotent
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests, 0);
+    EXPECT_EQ(stats.batches, 0);
+}
+
+TEST(InferenceServer, ShutdownDrainsQueuedRequests)
+{
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    cfg.max_batch = 4;
+    cfg.batch_timeout_ms = 50.0;  // requests are queued at shutdown
+    InferenceServer server(fx.model, nullptr, cfg);
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < 6; ++i) {
+        futures.push_back(server.submit(fx.sample_activation()));
+    }
+    server.shutdown();
+    for (auto& f : futures) {
+        EXPECT_NO_THROW({
+            const Tensor logits = f.get();
+            EXPECT_EQ(logits.size(), 10);
+        });
+    }
+}
+
+TEST(InferenceServer, WrongSizeSubmitFailsOnlyThatFuture)
+{
+    Fixture fx;
+    core::NoiseCollection coll = fx.collection(1);
+    InferenceServerConfig cfg;
+    cfg.max_batch = 1;
+    InferenceServer server(fx.model, &coll, cfg);
+
+    auto bad = server.submit(Tensor::zeros(Shape({3})));
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The server survives and keeps serving well-formed requests.
+    const Tensor logits = server.infer(fx.sample_activation());
+    EXPECT_EQ(logits.size(), 10);
+}
+
+TEST(InferenceServer, Rank4FirstSubmitIsRejectedCleanly)
+{
+    // Without a collection the first request fixes the shape; a
+    // rank-4 (already batched) tensor cannot grow a batch dim.
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    InferenceServer server(fx.model, nullptr, cfg);
+    auto bad = server.submit(
+        Tensor::zeros(Shape({1, fx.act_shape[1], fx.act_shape[2],
+                             fx.act_shape[3]})));
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A rank-3 per-sample activation then works.
+    const Tensor logits = server.infer(fx.sample_activation());
+    EXPECT_EQ(logits.size(), 10);
+}
+
+TEST(InferenceServer, ConfiguredShapePinsTheContract)
+{
+    // With the contract pinned at construction, even the FIRST
+    // request cannot smuggle in a bogus size (the lazy-adoption
+    // footgun the config field exists to close).
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    cfg.sample_shape =
+        Shape({fx.act_shape[1], fx.act_shape[2], fx.act_shape[3]});
+    InferenceServer server(fx.model, nullptr, cfg);
+    auto bad = server.submit(Tensor::zeros(Shape({7})));
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    const Tensor logits = server.infer(fx.sample_activation());
+    EXPECT_EQ(logits.size(), 10);
+}
+
+TEST(InferenceServerDeath, Rank4CollectionRejectedAtConstruction)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    Fixture fx;
+    core::NoiseCollection coll;
+    core::NoiseSample sample;
+    sample.noise = Tensor::zeros(Shape(
+        {1, fx.act_shape[1], fx.act_shape[2], fx.act_shape[3]}));
+    coll.add(std::move(sample));
+    EXPECT_EXIT(
+        {
+            InferenceServer server(fx.model, &coll, {});
+        },
+        ::testing::ExitedWithCode(1), "rank 1-3");
+}
+
+TEST(InferenceServer, SubmitAfterShutdownFailsTheFuture)
+{
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    InferenceServer server(fx.model, nullptr, cfg);
+    server.shutdown();
+    auto future = server.submit(fx.sample_activation());
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(InferenceServer, StatsTrackLatencyAndThroughput)
+{
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    cfg.max_batch = 2;
+    InferenceServer server(fx.model, nullptr, cfg);
+    for (int i = 0; i < 4; ++i) {
+        server.infer(fx.sample_activation());
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests, 4);
+    EXPECT_GE(stats.batches, 2);
+    EXPECT_GT(stats.busy_ms, 0.0);
+    EXPECT_GT(stats.wall_seconds, 0.0);
+    EXPECT_GT(stats.requests_per_sec(), 0.0);
+    EXPECT_GE(stats.mean_batch_size(), 1.0);
+}
+
+}  // namespace
+}  // namespace shredder
