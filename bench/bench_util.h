@@ -4,13 +4,20 @@
  *
  * Every figure/table binary honors SHREDDER_BENCH_FAST=1 (smaller
  * sweeps for smoke-testing the harness) and prints paper-vs-measured
- * rows so EXPERIMENTS.md can be filled mechanically.
+ * rows so EXPERIMENTS.md can be filled mechanically. Binaries that
+ * track the repo's perf trajectory additionally emit machine-readable
+ * `BENCH_*.json` files through `JsonWriter` (see bench/micro_substrate
+ * and docs/PERFORMANCE.md).
  */
 #ifndef SHREDDER_BENCH_BENCH_UTIL_H
 #define SHREDDER_BENCH_BENCH_UTIL_H
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <string>
 
 #include "src/shredder/shredder.h"
@@ -114,6 +121,162 @@ banner(const char* title)
     std::printf("%s\n", title);
     std::printf("============================================================\n");
 }
+
+/**
+ * Time `fn` and return mean seconds per call: one untimed warmup, then
+ * repeated batches until `min_seconds` of measured work accumulates.
+ * Deterministic sweep sizes + wall-clock stop keeps runs reproducible
+ * in shape while adapting iteration counts to the host's speed.
+ */
+template <typename F>
+double
+time_loop(F&& fn, double min_seconds)
+{
+    using clock = std::chrono::steady_clock;
+    fn();  // warmup: faults pages, warms caches and scratch arenas
+    std::int64_t iters = 0;
+    double elapsed = 0.0;
+    std::int64_t batch = 1;
+    while (elapsed < min_seconds) {
+        const auto t0 = clock::now();
+        for (std::int64_t i = 0; i < batch; ++i) {
+            fn();
+        }
+        const auto t1 = clock::now();
+        elapsed += std::chrono::duration<double>(t1 - t0).count();
+        iters += batch;
+        batch *= 2;  // grow so clock overhead stays negligible
+    }
+    return elapsed / static_cast<double>(iters);
+}
+
+/** Default per-measurement budget, honoring fast mode. */
+inline double
+measure_seconds()
+{
+    return fast_mode() ? 0.05 : 0.25;
+}
+
+/** Current wall time as ISO-8601 UTC (for JSON provenance fields). */
+inline std::string
+now_iso8601()
+{
+    const std::time_t t = std::time(nullptr);
+    char buf[32];
+    std::tm tm_utc;
+    gmtime_r(&t, &tm_utc);
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+/**
+ * Minimal streaming JSON writer for `BENCH_*.json` perf-trajectory
+ * files. Caller drives the structure (begin/end object/array, key,
+ * value); the writer handles commas and string escaping for the
+ * restricted key/value set the benches emit.
+ */
+class JsonWriter
+{
+  public:
+    void begin_object() { open('{'); }
+    void end_object() { close('}'); }
+    void begin_array() { open('['); }
+    void end_array() { close(']'); }
+
+    void key(const std::string& k)
+    {
+        comma();
+        out_ += '"';
+        out_ += k;
+        out_ += "\": ";
+        pending_key_ = true;
+    }
+
+    void value(double v)
+    {
+        comma();
+        char buf[32];
+        if (std::isfinite(v)) {
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+        } else {
+            std::snprintf(buf, sizeof(buf), "null");
+        }
+        out_ += buf;
+    }
+
+    void value(std::int64_t v)
+    {
+        comma();
+        out_ += std::to_string(v);
+    }
+
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+    void value(bool v)
+    {
+        comma();
+        out_ += v ? "true" : "false";
+    }
+
+    void value(const std::string& v)
+    {
+        comma();
+        out_ += '"';
+        for (const char ch : v) {
+            if (ch == '"' || ch == '\\') {
+                out_ += '\\';
+            }
+            out_ += ch;
+        }
+        out_ += '"';
+    }
+
+    void value(const char* v) { value(std::string(v)); }
+
+    const std::string& str() const { return out_; }
+
+    /** Write the document (plus trailing newline) to `path`. */
+    bool write_file(const std::string& path) const
+    {
+        std::ofstream f(path);
+        if (!f) {
+            return false;
+        }
+        f << out_ << '\n';
+        return static_cast<bool>(f);
+    }
+
+  private:
+    void open(char ch)
+    {
+        comma();
+        out_ += ch;
+        need_comma_ = false;
+    }
+
+    void close(char ch)
+    {
+        out_ += ch;
+        need_comma_ = true;
+    }
+
+    void comma()
+    {
+        if (pending_key_) {
+            // A key was just emitted; this token is its value.
+            pending_key_ = false;
+            return;
+        }
+        if (need_comma_) {
+            out_ += ", ";
+        }
+        need_comma_ = true;
+    }
+
+    std::string out_;
+    bool need_comma_ = false;
+    bool pending_key_ = false;
+};
 
 }  // namespace bench
 }  // namespace shredder

@@ -1,37 +1,137 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the substrates: GEMM, conv
- * forward/backward, im2col, MI estimators, noise-training step and
- * channel serialization. These are the performance counters behind
- * the table/figure harness — useful when tuning the kernels.
+ * Substrate benchmark: the repo's performance counters, machine-readable.
+ *
+ * Measures the compute substrate every other binary bottlenecks on —
+ * GEMM across sizes that cross the cache hierarchy, all four transpose
+ * combinations, conv forward/backward, end-to-end LeNet inference and
+ * the batched `InferenceServer` — and writes `BENCH_substrate.json`
+ * (path = argv[1], default `BENCH_substrate.json`) so the perf
+ * trajectory accumulates across PRs. A frozen copy of the seed's
+ * k-blocked kernel runs alongside the packed kernel, so every report
+ * carries its own baseline: `speedup` is measured, not remembered.
+ *
+ * Honors SHREDDER_BENCH_FAST=1 (smaller sweep, shorter timing windows)
+ * for CI smoke runs. See docs/PERFORMANCE.md for how to read the JSON.
  */
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "src/shredder/shredder.h"
+#include "bench/bench_util.h"
 
 namespace {
 
 using namespace shredder;
 
-void
-BM_Gemm(benchmark::State& state)
-{
-    const auto n = static_cast<std::int64_t>(state.range(0));
-    Rng rng(1);
-    Tensor a = Tensor::normal(Shape({n, n}), rng);
-    Tensor b = Tensor::normal(Shape({n, n}), rng);
-    Tensor c(Shape({n, n}));
-    for (auto _ : state) {
-        gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
-             c.data());
-        benchmark::DoNotOptimize(c.data());
-    }
-    state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+// ---------------------------------------------------------------------------
+// Frozen seed kernel (PR 1's gemm): k-blocked i-k-j loop, transposes
+// materialized. Kept verbatim as the speedup baseline; do not "fix".
+// ---------------------------------------------------------------------------
 
 void
-BM_ConvForward(benchmark::State& state)
+seed_gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float* c)
+{
+    constexpr std::int64_t kBlockK = 256;
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t k1 = std::min(k, k0 + kBlockK);
+        for (std::int64_t i = 0; i < m; ++i) {
+            float* crow = c + i * n;
+            const float* arow = a + i * k;
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+                const float av = alpha * arow[kk];
+                const float* brow = b + kk * n;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+seed_gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c)
+{
+    const std::int64_t cn = m * n;
+    if (beta == 0.0f) {
+        std::fill(c, c + cn, 0.0f);
+    } else if (beta != 1.0f) {
+        for (std::int64_t i = 0; i < cn; ++i) {
+            c[i] *= beta;
+        }
+    }
+    if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) {
+        return;
+    }
+    std::vector<float> a_pack;
+    const float* a_nn = a;
+    if (trans_a) {
+        a_pack.resize(static_cast<std::size_t>(m * k));
+        for (std::int64_t i = 0; i < k; ++i) {
+            for (std::int64_t j = 0; j < m; ++j) {
+                a_pack[static_cast<std::size_t>(j * k + i)] = a[i * m + j];
+            }
+        }
+        a_nn = a_pack.data();
+    }
+    std::vector<float> b_pack;
+    const float* b_nn = b;
+    if (trans_b) {
+        b_pack.resize(static_cast<std::size_t>(k * n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < k; ++j) {
+                b_pack[static_cast<std::size_t>(j * n + i)] = b[i * k + j];
+            }
+        }
+        b_nn = b_pack.data();
+    }
+    seed_gemm_nn(m, n, k, alpha, a_nn, b_nn, c);
+}
+
+// ---------------------------------------------------------------------------
+// Measurements
+// ---------------------------------------------------------------------------
+
+double
+gflops(double flops, double seconds)
+{
+    return flops / seconds * 1e-9;
+}
+
+/** GFLOP/s of one kernel at m=n=k=size for one transpose combo. */
+template <typename Gemm>
+double
+measure_gemm(Gemm&& kernel, bool ta, bool tb, std::int64_t size)
+{
+    Rng rng(17 + size);
+    Tensor a = Tensor::normal(Shape({size, size}), rng);
+    Tensor b = Tensor::normal(Shape({size, size}), rng);
+    Tensor c(Shape({size, size}));
+    const double sec = bench::time_loop(
+        [&] {
+            kernel(ta, tb, size, size, size, 1.0f, a.data(), b.data(), 0.0f,
+                   c.data());
+        },
+        bench::measure_seconds());
+    return gflops(2.0 * static_cast<double>(size) * size * size, sec);
+}
+
+struct ConvTimes
+{
+    double fwd_ms = 0.0;
+    double bwd_ms = 0.0;
+    double fwd_gflops = 0.0;
+};
+
+/** Conv2d 16→32, 3×3, pad 1 on an 8×16×16×16 batch (PR-1 shape). */
+ConvTimes
+measure_conv()
 {
     Rng rng(2);
     nn::Conv2dConfig cfg;
@@ -41,144 +141,235 @@ BM_ConvForward(benchmark::State& state)
     cfg.padding = 1;
     nn::Conv2d conv(cfg, rng);
     Tensor x = Tensor::normal(Shape({8, 16, 16, 16}), rng);
-    for (auto _ : state) {
-        Tensor y = conv.forward(x, nn::Mode::kEval);
-        benchmark::DoNotOptimize(y.data());
-    }
-}
-BENCHMARK(BM_ConvForward);
-
-void
-BM_ConvBackward(benchmark::State& state)
-{
-    Rng rng(3);
-    nn::Conv2dConfig cfg;
-    cfg.in_channels = 16;
-    cfg.out_channels = 32;
-    cfg.kernel = 3;
-    cfg.padding = 1;
-    nn::Conv2d conv(cfg, rng);
-    Tensor x = Tensor::normal(Shape({8, 16, 16, 16}), rng);
-    Tensor y = conv.forward(x, nn::Mode::kEval);
+    ConvTimes out;
+    out.fwd_ms = bench::time_loop(
+                     [&] {
+                         Tensor y = conv.forward(x, nn::Mode::kEval);
+                     },
+                     bench::measure_seconds()) *
+                 1e3;
+    Tensor y = conv.forward(x, nn::Mode::kTrain);
     Tensor g = Tensor::normal(y.shape(), rng);
-    for (auto _ : state) {
-        conv.zero_grad();
-        Tensor dx = conv.backward(g);
-        benchmark::DoNotOptimize(dx.data());
-    }
+    out.bwd_ms = bench::time_loop(
+                     [&] {
+                         conv.zero_grad();
+                         Tensor dx = conv.backward(g);
+                     },
+                     bench::measure_seconds()) *
+                 1e3;
+    const double fwd_flops =
+        2.0 * static_cast<double>(x.shape()[0]) * conv.macs(x.shape());
+    out.fwd_gflops = gflops(fwd_flops, out.fwd_ms * 1e-3);
+    return out;
 }
-BENCHMARK(BM_ConvBackward);
 
-void
-BM_Im2col(benchmark::State& state)
-{
-    Rng rng(4);
-    Tensor x = Tensor::normal(Shape({32, 32, 32}), rng);
-    std::vector<float> col(
-        static_cast<std::size_t>(32 * 9 * 32 * 32));
-    for (auto _ : state) {
-        im2col(x.data(), 32, 32, 32, 3, 3, 1, 1, 1, 1, col.data());
-        benchmark::DoNotOptimize(col.data());
-    }
-}
-BENCHMARK(BM_Im2col);
-
-void
-BM_LeNetInference(benchmark::State& state)
+/** Single-image LeNet forward latency in milliseconds. */
+double
+measure_lenet_ms()
 {
     Rng rng(5);
     auto net = models::make_lenet(rng);
     Tensor x = Tensor::normal(Shape({1, 1, 28, 28}), rng);
-    for (auto _ : state) {
-        Tensor y = net->forward(x, nn::Mode::kEval);
-        benchmark::DoNotOptimize(y.data());
-    }
+    return bench::time_loop(
+               [&] {
+                   Tensor y = net->forward(x, nn::Mode::kEval);
+               },
+               bench::measure_seconds()) *
+           1e3;
 }
-BENCHMARK(BM_LeNetInference);
 
-void
-BM_KsgEstimate(benchmark::State& state)
+struct ServerPoint
 {
-    const auto n = static_cast<std::int64_t>(state.range(0));
-    Rng rng(6);
-    Tensor x = Tensor::normal(Shape({n, 2}), rng);
-    Tensor y = Tensor::normal(Shape({n, 2}), rng);
-    info::KsgMiEstimator ksg;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(ksg.estimate(x, y));
-    }
-}
-BENCHMARK(BM_KsgEstimate)->Arg(256)->Arg(512);
+    std::int64_t max_batch = 0;
+    double req_per_sec = 0.0;
+    double mean_batch = 0.0;
+};
 
-void
-BM_HistogramMi(benchmark::State& state)
+/** InferenceServer req/sec at the LeNet last-conv cut (flooded queue). */
+std::vector<ServerPoint>
+measure_server()
 {
-    Rng rng(7);
-    std::vector<float> x(4096), y(4096);
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        x[i] = rng.normal();
-        y[i] = 0.5f * x[i] + rng.normal();
-    }
-    info::HistogramMiEstimator hist;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(hist.estimate(x, y));
-    }
-}
-BENCHMARK(BM_HistogramMi);
+    Rng rng(4242);
+    auto net = models::make_lenet(rng);
+    const std::int64_t cut = split::conv_cut_points(*net).back();
+    split::SplitModel model(*net, cut);
+    const Shape act = model.activation_shape(Shape({1, 28, 28}));
+    const Shape per_sample({act[1], act[2], act[3]});
 
-void
-BM_DimwiseMi(benchmark::State& state)
-{
-    Rng rng(8);
-    Tensor x = Tensor::normal(Shape({256, 64}), rng);
-    Tensor a = Tensor::normal(Shape({256, 128}), rng);
-    info::DimwiseMiEstimator est;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(est.estimate(x, a));
+    core::NoiseCollection coll;
+    for (int i = 0; i < 4; ++i) {
+        core::NoiseSample sample;
+        sample.noise = Tensor::laplace(per_sample, rng, 0.0f, 0.5f);
+        coll.add(std::move(sample));
     }
-}
-BENCHMARK(BM_DimwiseMi);
 
-void
-BM_NoiseApply(benchmark::State& state)
-{
-    Rng rng(9);
-    core::NoiseInit init;
-    core::NoiseTensor noise(Shape({120, 1, 1}), init);
-    Tensor act = Tensor::normal(Shape({32, 120, 1, 1}), rng);
-    for (auto _ : state) {
-        Tensor out = noise.apply(act);
-        benchmark::DoNotOptimize(out.data());
+    const std::int64_t total = bench::fast_mode() ? 64 : 256;
+    std::vector<Tensor> activations;
+    activations.reserve(static_cast<std::size_t>(total));
+    for (std::int64_t i = 0; i < total; ++i) {
+        activations.push_back(Tensor::normal(per_sample, rng));
     }
-}
-BENCHMARK(BM_NoiseApply);
 
-void
-BM_ChannelRoundTrip(benchmark::State& state)
-{
-    Rng rng(10);
-    Tensor t = Tensor::normal(Shape({1, 64, 8, 8}), rng);
-    for (auto _ : state) {
-        split::QuantizingChannel ch;
-        ch.send(t);
-        Tensor u = ch.receive();
-        benchmark::DoNotOptimize(u.data());
+    std::vector<ServerPoint> points;
+    for (const std::int64_t max_batch : {1, 8, 32}) {
+        runtime::InferenceServerConfig cfg;
+        cfg.max_batch = max_batch;
+        cfg.batch_timeout_ms = 2.0;
+        runtime::InferenceServer server(model, &coll, cfg);
+        std::vector<std::future<Tensor>> futures;
+        futures.reserve(activations.size());
+        for (const Tensor& a : activations) {
+            futures.push_back(server.submit(a));
+        }
+        for (auto& f : futures) {
+            f.get();
+        }
+        const runtime::ServerStats stats = server.stats();
+        server.shutdown();
+        points.push_back(
+            {max_batch, stats.requests_per_sec(), stats.mean_batch_size()});
     }
-    state.SetBytesProcessed(state.iterations() * t.size() *
-                            static_cast<std::int64_t>(sizeof(float)));
+    return points;
 }
-BENCHMARK(BM_ChannelRoundTrip);
 
-void
-BM_LaplaceSampling(benchmark::State& state)
-{
-    Rng rng(11);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(rng.laplace(0.0f, 1.0f));
-    }
-}
-BENCHMARK(BM_LaplaceSampling);
+constexpr const char* kComboNames[4] = {"nn", "nt", "tn", "tt"};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_substrate.json";
+
+    bench::banner("Substrate: packed GEMM / conv / serving counters");
+    std::printf("fast_mode=%d  hw_threads=%u  output=%s\n",
+                bench::fast_mode() ? 1 : 0,
+                std::max(1u, std::thread::hardware_concurrency()),
+                json_path.c_str());
+
+    bench::JsonWriter json;
+    json.begin_object();
+    json.key("schema");
+    json.value("shredder-substrate-v1");
+    json.key("generated");
+    json.value(bench::now_iso8601());
+    json.key("fast_mode");
+    json.value(bench::fast_mode());
+    json.key("compiler");
+    json.value(__VERSION__);
+    json.key("hw_threads");
+    json.value(static_cast<std::int64_t>(
+        std::max(1u, std::thread::hardware_concurrency())));
+
+    // --- GEMM size sweep (NN), packed kernel vs frozen seed kernel ---
+    std::vector<std::int64_t> sizes = bench::fast_mode()
+                                          ? std::vector<std::int64_t>{64, 256}
+                                          : std::vector<std::int64_t>{
+                                                48, 64, 128, 192, 256, 384,
+                                                512};
+    std::printf("\nGEMM m=n=k sweep (not transposed):\n");
+    std::printf("%8s %14s %14s %10s\n", "size", "packed GF/s", "seed GF/s",
+                "speedup");
+    json.key("gemm_nn");
+    json.begin_array();
+    for (const std::int64_t size : sizes) {
+        const double packed = measure_gemm(gemm, false, false, size);
+        const double seed = measure_gemm(seed_gemm, false, false, size);
+        std::printf("%8lld %14.2f %14.2f %9.2fx\n",
+                    static_cast<long long>(size), packed, seed,
+                    packed / seed);
+        json.begin_object();
+        json.key("size");
+        json.value(size);
+        json.key("gflops");
+        json.value(packed);
+        json.key("seed_gflops");
+        json.value(seed);
+        json.key("speedup");
+        json.value(packed / seed);
+        json.end_object();
+        std::fflush(stdout);
+    }
+    json.end_array();
+
+    // --- Transpose combos at a fixed size ---
+    const std::int64_t tsize = bench::fast_mode() ? 128 : 256;
+    std::printf("\nGEMM transpose combos at m=n=k=%lld:\n",
+                static_cast<long long>(tsize));
+    std::printf("%8s %14s %14s %10s\n", "combo", "packed GF/s", "seed GF/s",
+                "speedup");
+    json.key("gemm_trans");
+    json.begin_array();
+    for (int combo = 0; combo < 4; ++combo) {
+        const bool ta = (combo & 2) != 0;
+        const bool tb = (combo & 1) != 0;
+        const double packed = measure_gemm(gemm, ta, tb, tsize);
+        const double seed = measure_gemm(seed_gemm, ta, tb, tsize);
+        std::printf("%8s %14.2f %14.2f %9.2fx\n", kComboNames[combo], packed,
+                    seed, packed / seed);
+        json.begin_object();
+        json.key("combo");
+        json.value(kComboNames[combo]);
+        json.key("size");
+        json.value(tsize);
+        json.key("gflops");
+        json.value(packed);
+        json.key("seed_gflops");
+        json.value(seed);
+        json.key("speedup");
+        json.value(packed / seed);
+        json.end_object();
+        std::fflush(stdout);
+    }
+    json.end_array();
+
+    // --- Conv2d forward/backward ---
+    const ConvTimes conv = measure_conv();
+    std::printf("\nConv2d 16→32 3×3 pad1, batch 8×16×16: fwd %.3f ms"
+                " (%.2f GF/s), bwd %.3f ms\n",
+                conv.fwd_ms, conv.fwd_gflops, conv.bwd_ms);
+    json.key("conv");
+    json.begin_object();
+    json.key("fwd_ms");
+    json.value(conv.fwd_ms);
+    json.key("fwd_gflops");
+    json.value(conv.fwd_gflops);
+    json.key("bwd_ms");
+    json.value(conv.bwd_ms);
+    json.end_object();
+
+    // --- End-to-end model latency ---
+    const double lenet_ms = measure_lenet_ms();
+    std::printf("LeNet batch-1 inference: %.3f ms\n", lenet_ms);
+    json.key("lenet_infer_ms");
+    json.value(lenet_ms);
+
+    // --- Serving throughput ---
+    std::printf("\nInferenceServer at the LeNet last-conv cut:\n");
+    std::printf("%10s %14s %12s\n", "max_batch", "req/sec", "mean batch");
+    json.key("server");
+    json.begin_array();
+    for (const ServerPoint& p : measure_server()) {
+        std::printf("%10lld %14.1f %12.2f\n",
+                    static_cast<long long>(p.max_batch), p.req_per_sec,
+                    p.mean_batch);
+        json.begin_object();
+        json.key("max_batch");
+        json.value(p.max_batch);
+        json.key("req_per_sec");
+        json.value(p.req_per_sec);
+        json.key("mean_batch");
+        json.value(p.mean_batch);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    if (!json.write_file(json_path)) {
+        std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of the procedural drawing canvas behind the synthetic
+ * datasets.
+ */
 #include "src/data/canvas.h"
 
 #include <algorithm>

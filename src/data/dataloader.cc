@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the batching `DataLoader`.
+ */
 #include "src/data/dataloader.h"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the `Dataset` interface helpers.
+ */
 #include "src/data/dataset.h"
 
 #include "src/runtime/logging.h"

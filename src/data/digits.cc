@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the synthetic MNIST-like digits dataset.
+ */
 #include "src/data/digits.h"
 
 #include "src/data/canvas.h"

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the shared glyph rasterization for digit datasets.
+ */
 #include "src/data/glyphs.h"
 
 #include "src/runtime/logging.h"

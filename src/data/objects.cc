@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the synthetic CIFAR-like objects dataset.
+ */
 #include "src/data/objects.h"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the synthetic SVHN-like street-digits dataset.
+ */
 #include "src/data/street_digits.h"
 
 #include "src/data/canvas.h"

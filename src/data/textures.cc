@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the synthetic ImageNet-like textures dataset.
+ */
 #include "src/data/textures.h"
 
 #include <cmath>

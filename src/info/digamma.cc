@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the digamma function used by the KSG estimator.
+ */
 #include "src/info/digamma.h"
 
 #include <cmath>

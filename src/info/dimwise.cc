@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the dimension-wise aggregate MI estimator.
+ */
 #include "src/info/dimwise.h"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the Gaussian closed-form MI references.
+ */
 #include "src/info/gaussian.h"
 
 #include <cmath>

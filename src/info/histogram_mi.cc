@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the histogram mutual-information estimator.
+ */
 #include "src/info/histogram_mi.h"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the KSG k-NN mutual-information estimator.
+ */
 #include "src/info/ksg.h"
 
 #include <algorithm>

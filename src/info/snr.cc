@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the SNR-based in-vivo privacy metric.
+ */
 #include "src/info/snr.h"
 
 #include <limits>

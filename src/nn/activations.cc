@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the activation layers (ReLU, Tanh, Sigmoid).
+ */
 #include "src/nn/activations.h"
 
 #include <cmath>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of `Conv2d`: im2col lowering into the packed GEMM, with
+ * per-thread scratch buffers.
+ */
 #include "src/nn/conv2d.h"
 
 #include <vector>
@@ -7,6 +12,7 @@
 #include "src/runtime/thread_pool.h"
 #include "src/tensor/gemm.h"
 #include "src/tensor/im2col.h"
+#include "src/tensor/scratch.h"
 
 namespace shredder {
 namespace nn {
@@ -85,7 +91,9 @@ Conv2d::forward(const Tensor& x, Mode /*mode*/)
     const float* wp = weight_.value.data();
 
     parallel_for(0, batch, [&](std::int64_t n) {
-        std::vector<float> col(
+        // Per-thread scratch: the first batch item on a thread sizes
+        // the buffer, every later one reuses it.
+        ScratchLease col = ScratchArena::for_this_thread().acquire(
             static_cast<std::size_t>(col_rows * col_cols));
         im2col(xp + n * in_c * in_h * in_w, in_c, in_h, in_w,
                config_.kernel, config_.kernel, config_.stride,
@@ -137,9 +145,11 @@ Conv2d::backward(const Tensor& grad_out)
     const float* wp = weight_.value.data();
     const bool need_wgrad = !weight_.frozen;
 
-    std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
-    std::vector<float> col_grad(
-        static_cast<std::size_t>(col_rows * col_cols));
+    ScratchArena& arena = ScratchArena::for_this_thread();
+    ScratchLease col =
+        arena.acquire(static_cast<std::size_t>(col_rows * col_cols));
+    ScratchLease col_grad =
+        arena.acquire(static_cast<std::size_t>(col_rows * col_cols));
 
     // Serial over batch: weight gradients accumulate into shared
     // storage and batches are small; correctness over parallelism here.

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the `Dropout` layer.
+ */
 #include "src/nn/dropout.h"
 
 #include "src/runtime/logging.h"

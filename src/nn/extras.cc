@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the auxiliary layers beyond the paper's core set.
+ */
 #include "src/nn/extras.h"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the `Flatten` layer.
+ */
 #include "src/nn/flatten.h"
 
 #include "src/runtime/logging.h"

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the weight initializers.
+ */
 #include "src/nn/init.h"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the `Layer` interface plumbing.
+ */
 #include "src/nn/layer.h"
 
 #include <istream>

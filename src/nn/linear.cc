@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the fully connected `Linear` layer.
+ */
 #include "src/nn/linear.h"
 
 #include "src/nn/init.h"

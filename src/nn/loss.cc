@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the softmax cross-entropy loss.
+ */
 #include "src/nn/loss.h"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of local response normalization (AlexNet-era LRN).
+ */
 #include "src/nn/lrn.h"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the SGD and Adam optimizers.
+ */
 #include "src/nn/optimizer.h"
 
 #include <cmath>

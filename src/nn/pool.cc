@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the max/average pooling layers.
+ */
 #include "src/nn/pool.h"
 
 #include <algorithm>

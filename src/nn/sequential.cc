@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the `Sequential` layer container.
+ */
 #include "src/nn/sequential.h"
 
 #include <fstream>

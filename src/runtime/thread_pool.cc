@@ -12,6 +12,12 @@
 
 namespace shredder {
 
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads)
 {
     if (num_threads == 0) {
@@ -63,9 +69,16 @@ ThreadPool::global()
     return pool;
 }
 
+bool
+ThreadPool::in_worker()
+{
+    return t_in_pool_worker;
+}
+
 void
 ThreadPool::worker_loop()
 {
+    t_in_pool_worker = true;
     for (;;) {
         std::function<void()> task;
         {

@@ -56,6 +56,14 @@ class ThreadPool
      */
     static ThreadPool& global();
 
+    /**
+     * True when the calling thread is a pool worker (of any pool).
+     * Substrate code uses this to stay serial instead of nesting a
+     * second `parallel_for` inside a worker, which would leave the
+     * submitting worker idle while its chunks queue behind it.
+     */
+    static bool in_worker();
+
   private:
     void worker_loop();
 

@@ -1,34 +1,336 @@
+/**
+ * @file
+ * Packed, register-tiled GEMM (GotoBLAS/BLIS-style loop nest).
+ *
+ * Layout of the computation, outermost to innermost:
+ *
+ *   jc over n in NC   — B block sized for the last-level cache
+ *   pc over k in KC   — pack op(B) block into NR-wide micro-panels
+ *   ic over m in MC   — pack op(A) block into MR-wide micro-panels (L2)
+ *   jr over nc in NR  — one B micro-panel (kc×NR, lives in L1)
+ *   ir over mc in MR  — micro-kernel: MR×NR register accumulators
+ *
+ * The packing step reads op(A)/op(B) through explicit row/column
+ * strides, so all four transpose combinations share one kernel and
+ * none materializes a full transposed copy: scratch is bounded by
+ * O(MC·KC + NC·KC) floats per thread and reused across calls via
+ * `ScratchArena`. Large-m problems split their MC row blocks across
+ * `ThreadPool::global()` (each worker packs A into its own arena; the
+ * shared packed B is read-only).
+ *
+ * Two micro-kernels are compiled and picked once at runtime: a 6×8
+ * tile for the portable SSE2 baseline (12 XMM accumulators) and a
+ * 6×16 tile compiled with `target("avx2,fma")` (12 YMM accumulators,
+ * FMA) chosen when the CPU supports it — so the default build, with
+ * no -march flags, still runs wide on modern x86. See
+ * docs/PERFORMANCE.md for the derivation and measured numbers.
+ */
 #include "src/tensor/gemm.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "src/runtime/logging.h"
+#include "src/runtime/thread_pool.h"
+#include "src/tensor/scratch.h"
 
 namespace shredder {
 
 namespace {
 
+constexpr std::int64_t kMr = 6;     ///< micro-tile rows
+constexpr std::int64_t kNrSse = 8;  ///< micro-tile columns, SSE baseline
+constexpr std::int64_t kNrAvx = 16; ///< micro-tile columns, AVX2+FMA path
+constexpr std::int64_t kKc = 256;   ///< k block: micro-panels stay in L1
+constexpr std::int64_t kMc = 96;    ///< m block: packed A block stays in L2
+constexpr std::int64_t kNc = 2048;  ///< n block: packed B block stays in LLC
+
+/** Problems below this flop-ish count skip packing entirely. */
+constexpr std::int64_t kSmallWork = 16 * 1024;
+
+/** Minimum m·n·k before row-panel threading pays for itself. */
+constexpr std::int64_t kParallelMinWork = 1 << 20;
+
+std::int64_t
+round_up(std::int64_t v, std::int64_t to)
+{
+    return (v + to - 1) / to * to;
+}
+
 /**
- * Kernel for the non-transposed case: C[m×n] += alpha · A[m×k] · B[k×n].
- * i-k-j loop order streams B rows and C rows sequentially, which GCC
- * vectorizes well.
+ * Pack a kc×nc block of op(B) into micro-panels of `nr` columns
+ * (`nr` is the active micro-kernel's width). Element (p, j) of the
+ * block lives at `b[p*rs + j*cs]`. Panel j0/nr holds kc rows of nr
+ * consecutive columns, contiguous in p; tail columns are zero-filled
+ * so the micro-kernel never branches on the column count.
  */
 void
-gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-        const float* a, const float* b, float* c)
+pack_b(std::int64_t kc, std::int64_t nc, std::int64_t nr, const float* b,
+       std::int64_t rs, std::int64_t cs, float* out)
 {
-    constexpr std::int64_t kBlockK = 256;
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-        const std::int64_t k1 = std::min(k, k0 + kBlockK);
+    for (std::int64_t j0 = 0; j0 < nc; j0 += nr) {
+        const std::int64_t w = std::min(nr, nc - j0);
+        float* panel = out + j0 * kc;
+        if (cs == 1 && w == nr) {
+            // op(B) rows contiguous (plain B): copy nr-wide strips.
+            const float* src = b + j0;
+            for (std::int64_t p = 0; p < kc; ++p) {
+                for (std::int64_t j = 0; j < nr; ++j) {
+                    panel[p * nr + j] = src[p * rs + j];
+                }
+            }
+        } else if (rs == 1) {
+            // op(B) columns contiguous (transposed B): copy columns.
+            for (std::int64_t j = 0; j < w; ++j) {
+                const float* src = b + (j0 + j) * cs;
+                for (std::int64_t p = 0; p < kc; ++p) {
+                    panel[p * nr + j] = src[p];
+                }
+            }
+            for (std::int64_t j = w; j < nr; ++j) {
+                for (std::int64_t p = 0; p < kc; ++p) {
+                    panel[p * nr + j] = 0.0f;
+                }
+            }
+        } else {
+            for (std::int64_t p = 0; p < kc; ++p) {
+                for (std::int64_t j = 0; j < w; ++j) {
+                    panel[p * nr + j] = b[p * rs + (j0 + j) * cs];
+                }
+                for (std::int64_t j = w; j < nr; ++j) {
+                    panel[p * nr + j] = 0.0f;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Pack an mc×kc block of op(A) into micro-panels of kMr rows.
+ * Element (i, p) of the block lives at `a[i*rs + p*cs]`; panels are
+ * contiguous in p with zero-filled tail rows.
+ */
+void
+pack_a(std::int64_t mc, std::int64_t kc, const float* a, std::int64_t rs,
+       std::int64_t cs, float* out)
+{
+    for (std::int64_t i0 = 0; i0 < mc; i0 += kMr) {
+        const std::int64_t h = std::min(kMr, mc - i0);
+        float* panel = out + i0 * kc;
+        if (rs == 1 && h == kMr) {
+            // op(A) columns contiguous in i (transposed A).
+            const float* src = a + i0;
+            for (std::int64_t p = 0; p < kc; ++p) {
+                for (std::int64_t i = 0; i < kMr; ++i) {
+                    panel[p * kMr + i] = src[p * cs + i];
+                }
+            }
+        } else {
+            // Plain A: kMr sequential row streams advance together.
+            for (std::int64_t p = 0; p < kc; ++p) {
+                for (std::int64_t i = 0; i < h; ++i) {
+                    panel[p * kMr + i] = a[(i0 + i) * rs + p * cs];
+                }
+                for (std::int64_t i = h; i < kMr; ++i) {
+                    panel[p * kMr + i] = 0.0f;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * The register tile: C[0..mr)×[0..nr) += alpha · Σ_p ap[p]·bp[p].
+ * `ap`/`bp` are zero-padded micro-panels, so the accumulation always
+ * runs the full kMr×NR shape and only the write-back honors mr/nr.
+ *
+ * The unroll pragmas matter: full unrolling of the i/j loops lets
+ * GCC's scalar-replacement pass promote `acc` to vector registers —
+ * without it the tile round-trips through the stack every iteration
+ * and the kernel runs ~3× slower than the seed loop.
+ */
+template <int NR>
+__attribute__((always_inline)) inline void
+micro_tile(std::int64_t kc, const float* __restrict__ ap,
+           const float* __restrict__ bp, float alpha, float* __restrict__ c,
+           std::int64_t ldc, std::int64_t mr, std::int64_t nr)
+{
+    float acc[kMr][NR] = {};
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* __restrict__ av = ap + p * kMr;
+        const float* __restrict__ bv = bp + p * NR;
+#pragma GCC unroll 8
+        for (int i = 0; i < kMr; ++i) {
+            const float a = av[i];
+#pragma GCC unroll 16
+            for (int j = 0; j < NR; ++j) {
+                acc[i][j] += a * bv[j];
+            }
+        }
+    }
+    if (mr == kMr && nr == NR) {
+#pragma GCC unroll 8
+        for (int i = 0; i < kMr; ++i) {
+#pragma GCC unroll 16
+            for (int j = 0; j < NR; ++j) {
+                c[i * ldc + j] += alpha * acc[i][j];
+            }
+        }
+    } else {
+        for (std::int64_t i = 0; i < mr; ++i) {
+            for (std::int64_t j = 0; j < nr; ++j) {
+                c[i * ldc + j] += alpha * acc[i][j];
+            }
+        }
+    }
+}
+
+using MicroKernelFn = void (*)(std::int64_t kc, const float* ap,
+                               const float* bp, float alpha, float* c,
+                               std::int64_t ldc, std::int64_t mr,
+                               std::int64_t nr);
+
+/** Portable baseline: 6×8 tile, 12 XMM accumulators under plain -O3. */
+void
+micro_kernel_sse(std::int64_t kc, const float* ap, const float* bp,
+                 float alpha, float* c, std::int64_t ldc, std::int64_t mr,
+                 std::int64_t nr)
+{
+    micro_tile<kNrSse>(kc, ap, bp, alpha, c, ldc, mr, nr);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+/**
+ * 6×16 tile compiled for AVX2+FMA (12 YMM accumulators, fused
+ * multiply-add). Selected at runtime so the default portable build
+ * still exploits modern x86 without -march flags.
+ */
+__attribute__((target("avx2,fma"))) void
+micro_kernel_avx2(std::int64_t kc, const float* ap, const float* bp,
+                  float alpha, float* c, std::int64_t ldc, std::int64_t mr,
+                  std::int64_t nr)
+{
+    micro_tile<kNrAvx>(kc, ap, bp, alpha, c, ldc, mr, nr);
+}
+#endif
+
+/** Runtime-selected micro-kernel and its panel width. */
+struct KernelChoice
+{
+    MicroKernelFn fn;
+    std::int64_t nr;
+};
+
+KernelChoice
+select_kernel()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+        return {micro_kernel_avx2, kNrAvx};
+    }
+#endif
+    return {micro_kernel_sse, kNrSse};
+}
+
+const KernelChoice&
+kernel_choice()
+{
+    static const KernelChoice choice = select_kernel();
+    return choice;
+}
+
+/**
+ * Strided fallback for problems too small to amortize packing, and
+ * for skinny shapes (m < kMr or n < kNr) where the zero-padded tile
+ * would waste most of its flops. Picks saxpy (i-p-j) or dot (i-j-p)
+ * order so the innermost loop is contiguous either way.
+ */
+void
+gemm_small(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, std::int64_t a_rs, std::int64_t a_cs,
+           const float* b, std::int64_t b_rs, std::int64_t b_cs, float* c)
+{
+    if (b_cs == 1) {
         for (std::int64_t i = 0; i < m; ++i) {
             float* crow = c + i * n;
-            const float* arow = a + i * k;
-            for (std::int64_t kk = k0; kk < k1; ++kk) {
-                const float av = alpha * arow[kk];
-                const float* brow = b + kk * n;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = alpha * a[i * a_rs + p * a_cs];
+                const float* brow = b + p * b_rs;
                 for (std::int64_t j = 0; j < n; ++j) {
                     crow[j] += av * brow[j];
+                }
+            }
+        }
+        return;
+    }
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float* bcol = b + j * b_cs;
+            double acc = 0.0;
+            if (a_cs == 1 && b_rs == 1) {
+                const float* arow = a + i * a_rs;
+                for (std::int64_t p = 0; p < k; ++p) {
+                    acc += static_cast<double>(arow[p]) * bcol[p];
+                }
+            } else {
+                for (std::int64_t p = 0; p < k; ++p) {
+                    acc += static_cast<double>(a[i * a_rs + p * a_cs]) *
+                           bcol[p * b_rs];
+                }
+            }
+            c[i * n + j] += alpha * static_cast<float>(acc);
+        }
+    }
+}
+
+/** The blocked path; see the file comment for the loop nest. */
+void
+gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t a_rs, std::int64_t a_cs,
+             const float* b, std::int64_t b_rs, std::int64_t b_cs, float* c)
+{
+    const KernelChoice& kern = kernel_choice();
+    const std::int64_t knr = kern.nr;
+    ScratchArena& arena = ScratchArena::for_this_thread();
+    for (std::int64_t jc = 0; jc < n; jc += kNc) {
+        const std::int64_t nc = std::min(kNc, n - jc);
+        for (std::int64_t pc = 0; pc < k; pc += kKc) {
+            const std::int64_t kc = std::min(kKc, k - pc);
+            ScratchLease bpack = arena.acquire(
+                static_cast<std::size_t>(round_up(nc, knr) * kc));
+            pack_b(kc, nc, knr, b + pc * b_rs + jc * b_cs, b_rs, b_cs,
+                   bpack.data());
+
+            const float* bpack_data = bpack.data();
+            const std::int64_t num_blocks = (m + kMc - 1) / kMc;
+            auto row_block = [&](std::int64_t blk) {
+                const std::int64_t ic = blk * kMc;
+                const std::int64_t mc = std::min(kMc, m - ic);
+                // Workers pack A into their own thread's arena.
+                ScratchLease apack =
+                    ScratchArena::for_this_thread().acquire(
+                        static_cast<std::size_t>(round_up(mc, kMr) * kc));
+                pack_a(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs,
+                       apack.data());
+                for (std::int64_t jr = 0; jr < nc; jr += knr) {
+                    const std::int64_t nr = std::min(knr, nc - jr);
+                    const float* bpanel = bpack_data + jr * kc;
+                    for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+                        kern.fn(kc, apack.data() + ir * kc, bpanel, alpha,
+                                c + (ic + ir) * n + jc + jr, n,
+                                std::min(kMr, mc - ir), nr);
+                    }
+                }
+            };
+
+            const bool threaded = num_blocks > 1 &&
+                                  m * n * k >= kParallelMinWork &&
+                                  !ThreadPool::in_worker() &&
+                                  ThreadPool::global().size() > 1;
+            if (threaded) {
+                parallel_for(0, num_blocks, row_block);
+            } else {
+                for (std::int64_t blk = 0; blk < num_blocks; ++blk) {
+                    row_block(blk);
                 }
             }
         }
@@ -43,7 +345,7 @@ gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
      float* c)
 {
     SHREDDER_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dims");
-    // Scale/zero C first so the kernel can be pure accumulation.
+    // Scale/zero C first so the kernels can be pure accumulation.
     const std::int64_t cn = m * n;
     if (beta == 0.0f) {
         std::fill(c, c + cn, 0.0f);
@@ -56,32 +358,17 @@ gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
         return;
     }
 
-    // Normalize to the NN case by materializing transposed inputs. The
-    // packs are small relative to the O(mnk) work and keep one fast
-    // kernel instead of four variants.
-    std::vector<float> a_pack;
-    const float* a_nn = a;
-    if (trans_a) {
-        a_pack.resize(static_cast<std::size_t>(m * k));
-        for (std::int64_t i = 0; i < k; ++i) {
-            for (std::int64_t j = 0; j < m; ++j) {
-                a_pack[static_cast<std::size_t>(j * k + i)] = a[i * m + j];
-            }
-        }
-        a_nn = a_pack.data();
+    // op(A)(i,p) = a[i*a_rs + p*a_cs], op(B)(p,j) = b[p*b_rs + j*b_cs].
+    const std::int64_t a_rs = trans_a ? 1 : k;
+    const std::int64_t a_cs = trans_a ? m : 1;
+    const std::int64_t b_rs = trans_b ? 1 : n;
+    const std::int64_t b_cs = trans_b ? k : 1;
+
+    if (m < kMr || n < kNrSse || m * n * k <= kSmallWork) {
+        gemm_small(m, n, k, alpha, a, a_rs, a_cs, b, b_rs, b_cs, c);
+        return;
     }
-    std::vector<float> b_pack;
-    const float* b_nn = b;
-    if (trans_b) {
-        b_pack.resize(static_cast<std::size_t>(k * n));
-        for (std::int64_t i = 0; i < n; ++i) {
-            for (std::int64_t j = 0; j < k; ++j) {
-                b_pack[static_cast<std::size_t>(j * n + i)] = b[i * k + j];
-            }
-        }
-        b_nn = b_pack.data();
-    }
-    gemm_nn(m, n, k, alpha, a_nn, b_nn, c);
+    gemm_blocked(m, n, k, alpha, a, a_rs, a_cs, b, b_rs, b_cs, c);
 }
 
 }  // namespace shredder

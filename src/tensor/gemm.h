@@ -2,11 +2,14 @@
  * @file
  * Single-precision general matrix multiply.
  *
- * One routine, BLAS-style but with explicit transpose flags folded into
- * the loop structure. The kernel is a cache-blocked triple loop that
- * GCC auto-vectorizes with -O3 -march=native; at Shredder's model sizes
- * (K ≤ a few thousand) this is within a small factor of OpenBLAS and
- * keeps the repo dependency-free.
+ * One routine, BLAS-style. The implementation is a packed,
+ * register-tiled kernel (GotoBLAS/BLIS loop nest): operands are packed
+ * into cache-resident micro-panels through explicit strides — so the
+ * four transpose combinations share one kernel without materializing
+ * transposed copies — and an MR×NR micro-kernel accumulates in
+ * registers. Large-m calls split row panels across the global
+ * `ThreadPool`; skinny/small problems take a strided fallback. See
+ * docs/PERFORMANCE.md for blocking parameters and measured throughput.
  */
 #ifndef SHREDDER_TENSOR_GEMM_H
 #define SHREDDER_TENSOR_GEMM_H

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of im2col/col2im convolution lowering.
+ */
 #include "src/tensor/im2col.h"
 
 namespace shredder {

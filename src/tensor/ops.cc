@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the elementwise/reduction tensor ops.
+ */
 #include "src/tensor/ops.h"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the deterministic PRNG and its distributions.
+ */
 #include "src/tensor/rng.h"
 
 #include <algorithm>

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the thread-local scratch arena.
+ */
+#include "src/tensor/scratch.h"
+
+#include <new>
+
+namespace shredder {
+
+namespace {
+
+constexpr std::size_t kAlignment = 64;  // one cache line
+
+}  // namespace
+
+ScratchLease::ScratchLease(ScratchLease&& other) noexcept
+    : arena_(other.arena_), data_(other.data_), count_(other.count_)
+{
+    other.arena_ = nullptr;
+    other.data_ = nullptr;
+    other.count_ = 0;
+}
+
+ScratchLease::~ScratchLease()
+{
+    if (arena_ != nullptr) {
+        arena_->release();
+    }
+}
+
+void
+ScratchArena::AlignedDelete::operator()(float* p) const
+{
+    ::operator delete[](p, std::align_val_t{kAlignment});
+}
+
+ScratchLease
+ScratchArena::acquire(std::size_t count)
+{
+    if (depth_ == slots_.size()) {
+        slots_.emplace_back();
+    }
+    Slot& slot = slots_[depth_];
+    if (slot.capacity < count) {
+        // Geometric growth so alternating sizes don't reallocate.
+        std::size_t cap = slot.capacity == 0 ? 1024 : slot.capacity;
+        while (cap < count) {
+            cap *= 2;
+        }
+        slot.data.reset(static_cast<float*>(::operator new[](
+            cap * sizeof(float), std::align_val_t{kAlignment})));
+        slot.capacity = cap;
+    }
+    ++depth_;
+    return ScratchLease(this, slot.data.get(), count);
+}
+
+std::size_t
+ScratchArena::capacity_bytes() const
+{
+    std::size_t total = 0;
+    for (const Slot& s : slots_) {
+        total += s.capacity * sizeof(float);
+    }
+    return total;
+}
+
+ScratchArena&
+ScratchArena::for_this_thread()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+}  // namespace shredder

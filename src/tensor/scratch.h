@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reusable, thread-local scratch buffers for the compute substrate.
+ *
+ * The GEMM packing routines, `Conv2d`'s im2col lowering and similar hot
+ * paths need short-lived float workspaces on every call. Allocating
+ * them with `std::vector` per call costs a page-touching `memset` plus
+ * allocator traffic right in the inner serving loop. A `ScratchArena`
+ * instead hands out leases on per-thread buffers that persist across
+ * calls: the first call on a thread allocates, every later call of the
+ * same or smaller size is pointer arithmetic.
+ *
+ * Usage:
+ * @code
+ *   ScratchArena& arena = ScratchArena::for_this_thread();
+ *   ScratchLease col = arena.acquire(rows * cols);
+ *   im2col(..., col.data());
+ * @endcode
+ *
+ * Leases nest (a holder may call code that acquires its own lease) but
+ * must be released in LIFO order, which scoped lifetimes give for free.
+ * Buffers are 64-byte aligned so packed GEMM panels sit on cache-line
+ * boundaries.
+ */
+#ifndef SHREDDER_TENSOR_SCRATCH_H
+#define SHREDDER_TENSOR_SCRATCH_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace shredder {
+
+class ScratchArena;
+
+/**
+ * RAII lease on one arena slot. Move-only; releases its slot back to
+ * the arena on destruction. The pointer is valid for the lease's
+ * lifetime and uninitialized (callers overwrite before reading).
+ */
+class ScratchLease
+{
+  public:
+    ScratchLease(ScratchLease&& other) noexcept;
+    ScratchLease& operator=(ScratchLease&&) = delete;
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    ~ScratchLease();
+
+    /** 64-byte-aligned buffer of at least `size()` floats. */
+    float* data() const { return data_; }
+
+    /** Number of floats requested at acquire time. */
+    std::size_t size() const { return count_; }
+
+  private:
+    friend class ScratchArena;
+    ScratchLease(ScratchArena* arena, float* data, std::size_t count)
+        : arena_(arena), data_(data), count_(count)
+    {
+    }
+
+    ScratchArena* arena_;
+    float* data_;
+    std::size_t count_;
+};
+
+/**
+ * A stack of growable, cache-line-aligned float buffers.
+ *
+ * Each nesting depth owns a distinct buffer (a "slot"), so an inner
+ * acquisition growing its slot never invalidates an outer lease's
+ * pointer. Slots keep their high-water-mark capacity for the arena's
+ * lifetime. Not thread-safe — use `for_this_thread()` to get a
+ * per-thread instance.
+ */
+class ScratchArena
+{
+  public:
+    ScratchArena() = default;
+
+    ScratchArena(const ScratchArena&) = delete;
+    ScratchArena& operator=(const ScratchArena&) = delete;
+
+    /**
+     * Lease a buffer of `count` floats (zero is allowed). Grows the
+     * slot at the current nesting depth if needed; contents are
+     * unspecified.
+     */
+    ScratchLease acquire(std::size_t count);
+
+    /** Number of leases currently outstanding. */
+    std::size_t depth() const { return depth_; }
+
+    /** Total bytes held across all slots (observability/tests). */
+    std::size_t capacity_bytes() const;
+
+    /**
+     * The calling thread's arena. Thread pool workers each get their
+     * own, so parallel conv/GEMM packing never contends.
+     */
+    static ScratchArena& for_this_thread();
+
+  private:
+    friend class ScratchLease;
+
+    struct AlignedDelete
+    {
+        void operator()(float* p) const;
+    };
+    struct Slot
+    {
+        std::unique_ptr<float[], AlignedDelete> data;
+        std::size_t capacity = 0;  // floats
+    };
+
+    void release() { --depth_; }
+
+    std::vector<Slot> slots_;
+    std::size_t depth_ = 0;
+};
+
+}  // namespace shredder
+
+#endif  // SHREDDER_TENSOR_SCRATCH_H

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the binary tensor serialization format.
+ */
 #include "src/tensor/serialize.h"
 
 #include <cstring>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the NCHW `Shape` value type.
+ */
 #include "src/tensor/shape.h"
 
 #include <sstream>

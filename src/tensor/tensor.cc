@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Implementation of the dense float32 `Tensor`.
+ */
 #include "src/tensor/tensor.h"
 
 #include <algorithm>

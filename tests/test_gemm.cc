@@ -104,12 +104,137 @@ TEST_P(GemmMatchesReference, RandomMatrices)
     }
 }
 
+// Sizes chosen to straddle the packed kernel's tile boundaries: the
+// MR=6 row tile (5..7), the NR=8/16 column tiles (15..17), the small-
+// problem fallback threshold, and odd primes that never divide evenly.
 INSTANTIATE_TEST_SUITE_P(
     AllVariants, GemmMatchesReference,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
                        ::testing::Values(1, 3, 17, 64),
                        ::testing::Values(1, 5, 33),
                        ::testing::Values(1, 8, 129)));
+
+INSTANTIATE_TEST_SUITE_P(
+    TileBoundaries, GemmMatchesReference,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(5, 6, 7, 97),
+                       ::testing::Values(15, 16, 17, 61),
+                       ::testing::Values(31, 43)));
+
+/**
+ * Property check across alpha/beta edge cases (0, 1, negative,
+ * fractional) for all transpose combos at a size that takes the
+ * packed path.
+ */
+class GemmAlphaBeta
+    : public ::testing::TestWithParam<std::tuple<bool, bool, float, float>>
+{};
+
+TEST_P(GemmAlphaBeta, MatchesReference)
+{
+    const auto [ta, tb, alpha, beta] = GetParam();
+    const std::int64_t m = 23, n = 19, k = 37;
+    Rng rng(77);
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) {
+        v = rng.normal();
+    }
+    for (auto& v : b) {
+        v = rng.normal();
+    }
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    for (auto& v : c) {
+        v = rng.normal();
+    }
+    std::vector<float> c_ref = c;
+
+    gemm(ta, tb, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+    reference_gemm(ta, tb, m, n, k, alpha, a, b, beta, c_ref);
+
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeScales, GemmAlphaBeta,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(0.0f, 1.0f, -1.0f, 0.7f),
+                       ::testing::Values(0.0f, 1.0f, -2.0f, 0.3f)));
+
+TEST(Gemm, ZeroDimensionsAreNoOps)
+{
+    // m, n or k of zero must not touch memory it doesn't own; k == 0
+    // (and alpha == 0) must still apply beta to C.
+    std::vector<float> a(8, 1.0f), b(8, 1.0f);
+    std::vector<float> c{1.0f, 2.0f, 3.0f, 4.0f};
+    gemm(false, false, 0, 0, 0, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 1.0f);  // m=n=0: C untouched
+
+    gemm(false, false, 2, 2, 0, 1.0f, a.data(), b.data(), 0.5f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 0.5f);
+    EXPECT_FLOAT_EQ(c[3], 2.0f);
+
+    for (const bool ta : {false, true}) {
+        for (const bool tb : {false, true}) {
+            std::vector<float> c2{7.0f};
+            gemm(ta, tb, 1, 1, 0, 2.0f, a.data(), b.data(), 0.0f,
+                 c2.data());
+            EXPECT_FLOAT_EQ(c2[0], 0.0f) << "ta=" << ta << " tb=" << tb;
+        }
+    }
+}
+
+TEST(Gemm, KcBlockBoundary)
+{
+    // k crossing the KC=256 k-block: accumulation across packed
+    // k-blocks must agree with a single-pass reference.
+    for (const std::int64_t k : {255, 256, 257, 300}) {
+        const std::int64_t m = 13, n = 21;
+        Rng rng(static_cast<std::uint64_t>(k));
+        std::vector<float> a(static_cast<std::size_t>(m * k));
+        std::vector<float> b(static_cast<std::size_t>(k * n));
+        for (auto& v : a) {
+            v = rng.uniform(-1.0f, 1.0f);
+        }
+        for (auto& v : b) {
+            v = rng.uniform(-1.0f, 1.0f);
+        }
+        std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+        std::vector<float> c_ref = c;
+        gemm(false, true, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+             c.data());
+        reference_gemm(false, true, m, n, k, 1.0f, a, b, 0.0f, c_ref);
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << "k=" << k << " at " << i;
+        }
+    }
+}
+
+TEST(Gemm, LargeRowCountTakesRowPanelPath)
+{
+    // m > MC=96 with m·n·k above the kParallelMinWork=2^20 threshold:
+    // exercises the row-panel split, threaded wherever the global pool
+    // has more than one worker.
+    const std::int64_t m = 201, n = 128, k = 128;
+    Rng rng(5);
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) {
+        v = rng.normal();
+    }
+    for (auto& v : b) {
+        v = rng.normal();
+    }
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    std::vector<float> c_ref = c;
+    gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    reference_gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, c_ref);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+    }
+}
 
 TEST(Gemm, LargeBlockedKPath)
 {

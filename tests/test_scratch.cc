@@ -1,0 +1,101 @@
+/** @file Tests for the thread-local scratch arena. */
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/scratch.h"
+
+namespace shredder {
+namespace {
+
+TEST(ScratchArena, ReusesCapacityAcrossLeases)
+{
+    ScratchArena arena;
+    float* first = nullptr;
+    {
+        ScratchLease lease = arena.acquire(1000);
+        first = lease.data();
+        ASSERT_NE(first, nullptr);
+        EXPECT_EQ(lease.size(), 1000u);
+        EXPECT_EQ(arena.depth(), 1u);
+    }
+    EXPECT_EQ(arena.depth(), 0u);
+    const std::size_t cap = arena.capacity_bytes();
+    {
+        // Same or smaller request: same slot, same pointer, no growth.
+        ScratchLease lease = arena.acquire(500);
+        EXPECT_EQ(lease.data(), first);
+    }
+    EXPECT_EQ(arena.capacity_bytes(), cap);
+}
+
+TEST(ScratchArena, GrowsWhenRequestExceedsCapacity)
+{
+    ScratchArena arena;
+    { ScratchLease small = arena.acquire(10); }
+    const std::size_t cap = arena.capacity_bytes();
+    { ScratchLease big = arena.acquire(1 << 20); }
+    EXPECT_GT(arena.capacity_bytes(), cap);
+    // Growth persists: the next large request must not reallocate.
+    const std::size_t grown = arena.capacity_bytes();
+    { ScratchLease big = arena.acquire(1 << 20); }
+    EXPECT_EQ(arena.capacity_bytes(), grown);
+}
+
+TEST(ScratchArena, NestedLeasesUseDistinctSlots)
+{
+    ScratchArena arena;
+    ScratchLease outer = arena.acquire(64);
+    outer.data()[0] = 42.0f;
+    {
+        ScratchLease inner = arena.acquire(1 << 16);
+        EXPECT_NE(inner.data(), outer.data());
+        EXPECT_EQ(arena.depth(), 2u);
+        inner.data()[0] = 7.0f;
+    }
+    // Inner growth must not have invalidated or clobbered the outer
+    // lease.
+    EXPECT_FLOAT_EQ(outer.data()[0], 42.0f);
+    EXPECT_EQ(arena.depth(), 1u);
+}
+
+TEST(ScratchArena, BuffersAreCacheLineAligned)
+{
+    ScratchArena arena;
+    ScratchLease a = arena.acquire(3);
+    ScratchLease b = arena.acquire(7);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+}
+
+TEST(ScratchArena, ZeroSizeAcquireIsValid)
+{
+    ScratchArena arena;
+    ScratchLease lease = arena.acquire(0);
+    EXPECT_EQ(lease.size(), 0u);
+    EXPECT_EQ(arena.depth(), 1u);
+}
+
+TEST(ScratchArena, MoveTransfersOwnership)
+{
+    ScratchArena arena;
+    ScratchLease a = arena.acquire(16);
+    ScratchLease b = std::move(a);
+    EXPECT_EQ(a.data(), nullptr);
+    EXPECT_NE(b.data(), nullptr);
+    EXPECT_EQ(arena.depth(), 1u);
+}
+
+TEST(ScratchArena, PerThreadInstancesAreIndependent)
+{
+    ScratchArena& mine = ScratchArena::for_this_thread();
+    ScratchArena* theirs = nullptr;
+    std::thread t([&] { theirs = &ScratchArena::for_this_thread(); });
+    t.join();
+    EXPECT_NE(&mine, theirs);
+}
+
+}  // namespace
+}  // namespace shredder
