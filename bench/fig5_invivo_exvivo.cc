@@ -52,7 +52,8 @@ sweep_network(const std::string& name,
 
         // Activation RMS at this depth calibrates the noise scale.
         const data::Batch probe = data::materialize(*b.test_set, 0, 32);
-        const Tensor act = model.edge_forward(probe.images);
+        nn::ExecutionContext probe_ctx;
+        const Tensor act = model.edge_forward(probe.images, probe_ctx);
         const double rms = std::sqrt(act.mean_square());
         const Shape act_shape = model.activation_shape(b.input_shape);
         Shape sample_shape;

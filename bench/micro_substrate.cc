@@ -141,19 +141,20 @@ measure_conv()
     cfg.padding = 1;
     nn::Conv2d conv(cfg, rng);
     Tensor x = Tensor::normal(Shape({8, 16, 16, 16}), rng);
+    nn::ExecutionContext ctx;
     ConvTimes out;
     out.fwd_ms = bench::time_loop(
                      [&] {
-                         Tensor y = conv.forward(x, nn::Mode::kEval);
+                         Tensor y = conv.forward(x, ctx, nn::Mode::kEval);
                      },
                      bench::measure_seconds()) *
                  1e3;
-    Tensor y = conv.forward(x, nn::Mode::kTrain);
+    Tensor y = conv.forward(x, ctx, nn::Mode::kTrain);
     Tensor g = Tensor::normal(y.shape(), rng);
     out.bwd_ms = bench::time_loop(
                      [&] {
                          conv.zero_grad();
-                         Tensor dx = conv.backward(g);
+                         Tensor dx = conv.backward(g, ctx);
                      },
                      bench::measure_seconds()) *
                  1e3;
@@ -170,9 +171,10 @@ measure_lenet_ms()
     Rng rng(5);
     auto net = models::make_lenet(rng);
     Tensor x = Tensor::normal(Shape({1, 1, 28, 28}), rng);
+    nn::ExecutionContext ctx;
     return bench::time_loop(
                [&] {
-                   Tensor y = net->forward(x, nn::Mode::kEval);
+                   Tensor y = net->forward(x, ctx, nn::Mode::kEval);
                },
                bench::measure_seconds()) *
            1e3;

@@ -66,6 +66,10 @@ main(int argc, char** argv)
     split::QuantizingChannel uplink;       // edge → cloud, 8-bit
     split::LoopbackChannel raw_uplink;     // baseline: raw image bytes
     Rng rng(2029);
+    // Distinct execution contexts for the two machines the demo
+    // simulates: the device and the cloud never share forward state.
+    nn::ExecutionContext edge_ctx(11);
+    nn::ExecutionContext cloud_ctx(22);
     Stopwatch clock;
     std::int64_t correct = 0;
 
@@ -76,7 +80,7 @@ main(int argc, char** argv)
         Tensor x = s.image.reshaped(Shape(
             {1, s.image.shape()[0], s.image.shape()[1],
              s.image.shape()[2]}));
-        Tensor activation = model.edge_forward(x);
+        Tensor activation = model.edge_forward(x, edge_ctx);
         const core::NoiseSample& noise = collection.draw(rng);
         core::NoiseTensor injector(noise.noise);
         Tensor noisy = injector.apply(activation);
@@ -85,7 +89,7 @@ main(int argc, char** argv)
 
         // --- cloud side ------------------------------------------------
         Tensor received = uplink.receive();
-        Tensor logits = model.cloud_forward(received);
+        Tensor logits = model.cloud_forward(received, cloud_ctx);
         const std::int64_t pred = logits.argmax();
         correct += pred == s.label ? 1 : 0;
     }

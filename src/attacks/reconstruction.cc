@@ -69,16 +69,17 @@ make_decoder(const Shape& act_chw, const Shape& img_chw, Rng& rng)
             Shape chw;
             explicit Reshape(Shape s) : chw(std::move(s)) {}
             Tensor
-            forward(const Tensor& x, Mode) override
+            forward(const Tensor& x, nn::ExecutionContext& ctx,
+                    Mode) const override
             {
-                in_shape = x.shape();
+                ctx.state(this).in_shape = x.shape();
                 return x.reshaped(Shape(
                     {x.shape()[0], chw[0], chw[1], chw[2]}));
             }
             Tensor
-            backward(const Tensor& g) override
+            backward(const Tensor& g, nn::ExecutionContext& ctx) override
             {
-                return g.reshaped(in_shape);
+                return g.reshaped(ctx.state(this).in_shape);
             }
             std::string kind() const override { return "reshape"; }
             Shape
@@ -86,7 +87,6 @@ make_decoder(const Shape& act_chw, const Shape& img_chw, Rng& rng)
             {
                 return Shape({in[0], chw[0], chw[1], chw[2]});
             }
-            Shape in_shape;
         };
         dec->add(std::make_unique<Reshape>(Shape({16, seed_h, seed_w})));
         c = 16;
@@ -161,6 +161,10 @@ run_reconstruction_attack(split::SplitModel& model,
     nn::Adam optimizer(decoder->parameters(), config.learning_rate);
     nn::MseLoss mse;
     data::DataLoader loader(train_set, config.batch_size, true, rng);
+    // One context for the frozen split model, one for the decoder's
+    // training stream (they are independent execution streams).
+    nn::ExecutionContext model_ctx(config.seed ^ 0x5157A77ACCULL);
+    nn::ExecutionContext decoder_ctx(config.seed * 31 + 7);
 
     double last_mse = 0.0;
     for (int it = 0; it < config.iterations; ++it) {
@@ -170,7 +174,7 @@ run_reconstruction_attack(split::SplitModel& model,
             batch = loader.next();
         }
         const Tensor activation =
-            model.edge_forward(batch->images, Mode::kEval);
+            model.edge_forward(batch->images, model_ctx, Mode::kEval);
         Tensor observed =
             apply_noise(activation, collection, per_sample, rng);
         if (act_batched.rank() == 2) {
@@ -179,9 +183,10 @@ run_reconstruction_attack(split::SplitModel& model,
         }
 
         optimizer.zero_grad();
-        const Tensor recon = decoder->forward(observed, Mode::kTrain);
+        const Tensor recon =
+            decoder->forward(observed, decoder_ctx, Mode::kTrain);
         const nn::LossResult loss = mse.compute(recon, batch->images);
-        decoder->backward(loss.grad);
+        decoder->backward(loss.grad, decoder_ctx);
         optimizer.step();
         last_mse = loss.value;
         if (config.verbose && it % 50 == 0) {
@@ -193,13 +198,15 @@ run_reconstruction_attack(split::SplitModel& model,
     const std::int64_t eval_count =
         std::min(config.eval_samples, eval_set.size());
     const data::Batch eval = data::materialize(eval_set, 0, eval_count);
-    const Tensor activation = model.edge_forward(eval.images, Mode::kEval);
+    const Tensor activation =
+        model.edge_forward(eval.images, model_ctx, Mode::kEval);
     Tensor observed = apply_noise(activation, collection, per_sample, rng);
     if (act_batched.rank() == 2) {
         observed.reshape_inplace(
             Shape({observed.shape()[0], act_chw[0], 1, 1}));
     }
-    const Tensor recon = decoder->forward(observed, Mode::kEval);
+    const Tensor recon =
+        decoder->forward(observed, decoder_ctx, Mode::kEval);
 
     AttackReport report;
     report.train_mse = last_mse;

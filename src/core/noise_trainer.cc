@@ -32,6 +32,11 @@ NoiseTrainer::train()
         p->frozen = true;
     }
 
+    // The run's private execution context: every edge/cloud pass of
+    // this loop caches activations here, so concurrent trainers (or a
+    // live server) can share the frozen network untouched.
+    nn::ExecutionContext ctx(config_.seed * 0x9E3779B97F4A7C15ULL + 1);
+
     // Noise tensor shaped like one activation sample at the cut.
     Shape act_shape =
         model_.activation_shape(train_set_.image_shape());
@@ -53,7 +58,7 @@ NoiseTrainer::train()
         const data::Batch probe =
             data::materialize(train_set_, 0, probe_count);
         const Tensor act =
-            model_.edge_forward(probe.images, nn::Mode::kEval);
+            model_.edge_forward(probe.images, ctx, nn::Mode::kEval);
         const double rms = std::sqrt(act.mean_square());
         init.scale = static_cast<float>(init.scale * rms /
                                         std::sqrt(2.0));
@@ -83,18 +88,19 @@ NoiseTrainer::train()
 
         // Edge forward (no gradients needed through L).
         const Tensor activation =
-            model_.edge_forward(batch->images, nn::Mode::kEval);
+            model_.edge_forward(batch->images, ctx, nn::Mode::kEval);
         const Tensor noisy = noise.apply(activation);
 
         // Cloud forward + loss.
         const Tensor logits =
-            model_.cloud_forward(noisy, nn::Mode::kEval);
+            model_.cloud_forward(noisy, ctx, nn::Mode::kEval);
         const ShredderLossValue lv =
             loss.compute(logits, batch->labels, noise.value());
 
         // Backward through R only; then the privacy term.
         optimizer.zero_grad();
-        const Tensor grad_at_cut = model_.cloud_backward(lv.logits_grad);
+        const Tensor grad_at_cut =
+            model_.cloud_backward(lv.logits_grad, ctx);
         noise.accumulate_grad(grad_at_cut);
         loss.add_privacy_grad(noise.value(), noise.param().grad);
         optimizer.step();

@@ -90,6 +90,8 @@ PrivacyMeter::measure_impl(
     Tensor transmitted(Shape({mi_total, da}));
 
     Rng rng(config_.seed);
+    // Per-measurement context: the meter never touches model state.
+    nn::ExecutionContext ctx(config_.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
     double correct_weighted = 0.0;
     std::int64_t acc_counted = 0;
     double signal_acc = 0.0, noise_var_acc = 0.0;
@@ -103,7 +105,7 @@ PrivacyMeter::measure_impl(
             data::materialize(test_set_, done, count);
 
         const Tensor activation =
-            model_.edge_forward(batch.images, nn::Mode::kEval);
+            model_.edge_forward(batch.images, ctx, nn::Mode::kEval);
 
         Tensor noisy = activation;
         if (sampler != nullptr) {
@@ -135,7 +137,7 @@ PrivacyMeter::measure_impl(
 
         if (done < acc_total) {
             const Tensor logits =
-                model_.cloud_forward(noisy, nn::Mode::kEval);
+                model_.cloud_forward(noisy, ctx, nn::Mode::kEval);
             correct_weighted += nn::accuracy(logits, batch.labels) *
                                 static_cast<double>(count);
             acc_counted += count;

@@ -18,10 +18,12 @@ evaluate_accuracy(nn::Sequential& net, const data::Dataset& ds,
         max_samples > 0 ? std::min(max_samples, ds.size()) : ds.size();
     std::int64_t done = 0;
     double correct_weighted = 0.0;
+    nn::ExecutionContext ctx;
     while (done < total) {
         const std::int64_t count = std::min(batch_size, total - done);
         const data::Batch batch = data::materialize(ds, done, count);
-        const Tensor logits = net.forward(batch.images, nn::Mode::kEval);
+        const Tensor logits =
+            net.forward(batch.images, ctx, nn::Mode::kEval);
         correct_weighted +=
             nn::accuracy(logits, batch.labels) * static_cast<double>(count);
         done += count;
@@ -40,6 +42,9 @@ train_model(nn::Sequential& net, const data::Dataset& train_set,
     nn::CrossEntropyLoss loss_fn;
     data::DataLoader loader(train_set, config.batch_size, /*shuffle=*/true,
                             rng);
+    // The training stream's context; seeded from the caller's RNG so
+    // dropout masks are reproducible end-to-end from one seed.
+    nn::ExecutionContext ctx(rng.engine()());
 
     TrainReport report;
     double running_acc = 0.0;
@@ -50,10 +55,10 @@ train_model(nn::Sequential& net, const data::Dataset& train_set,
         while (auto batch = loader.next()) {
             optimizer.zero_grad();
             const Tensor logits =
-                net.forward(batch->images, nn::Mode::kTrain);
+                net.forward(batch->images, ctx, nn::Mode::kTrain);
             const nn::LossResult loss =
                 loss_fn.compute(logits, batch->labels);
-            net.backward(loss.grad);
+            net.backward(loss.grad, ctx);
             optimizer.step();
             epoch_acc += nn::accuracy(logits, batch->labels);
             ++batches;

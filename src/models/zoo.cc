@@ -76,7 +76,7 @@ make_cifar_net(Rng& rng)
     net->emplace<nn::Flatten>();
     net->emplace<nn::Linear>(64 * 4 * 4, 128, rng);
     net->emplace<nn::ReLU>();
-    net->emplace<nn::Dropout>(0.25f, rng);
+    net->emplace<nn::Dropout>(0.25f);
     net->emplace<nn::Linear>(128, 10, rng);
     return net;
 }
@@ -106,7 +106,7 @@ make_svhn_net(Rng& rng)
     net->emplace<nn::Flatten>();
     net->emplace<nn::Linear>(16 * 4 * 4, 128, rng);
     net->emplace<nn::ReLU>();
-    net->emplace<nn::Dropout>(0.25f, rng);
+    net->emplace<nn::Dropout>(0.25f);
     net->emplace<nn::Linear>(128, 10, rng);
     return net;
 }
@@ -137,10 +137,10 @@ make_alexnet(Rng& rng, std::int64_t num_classes)
     net->emplace<nn::Flatten>();
     net->emplace<nn::Linear>(48 * 3 * 3, 256, rng);
     net->emplace<nn::ReLU>();
-    net->emplace<nn::Dropout>(0.5f, rng);
+    net->emplace<nn::Dropout>(0.5f);
     net->emplace<nn::Linear>(256, 128, rng);
     net->emplace<nn::ReLU>();
-    net->emplace<nn::Dropout>(0.5f, rng);
+    net->emplace<nn::Dropout>(0.5f);
     net->emplace<nn::Linear>(128, num_classes, rng);
     return net;
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Implementation of the activation layers (ReLU, Tanh, Sigmoid).
+ * Implementation of the activation layers (ReLU, Tanh).
  */
 #include "src/nn/activations.h"
 
@@ -12,7 +12,7 @@ namespace shredder {
 namespace nn {
 
 Tensor
-ReLU::forward(const Tensor& x, Mode /*mode*/)
+ReLU::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
     Tensor y = x;
     float* p = y.data();
@@ -22,19 +22,22 @@ ReLU::forward(const Tensor& x, Mode /*mode*/)
             p[i] = 0.0f;
         }
     }
-    cached_input_ = x;
+    if (ctx.retain_activations()) {
+        ctx.state(this).cached = x;
+    }
     return y;
 }
 
 Tensor
-ReLU::backward(const Tensor& grad_out)
+ReLU::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_input_.empty(), "ReLU::backward without forward");
-    SHREDDER_CHECK(grad_out.shape() == cached_input_.shape(),
+    const Tensor& cached = ctx.state(this).cached;
+    SHREDDER_CHECK(!cached.empty(), "ReLU::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached.shape(),
                    "ReLU grad shape mismatch");
     Tensor grad_in = grad_out;
     float* g = grad_in.data();
-    const float* x = cached_input_.data();
+    const float* x = cached.data();
     const std::int64_t n = grad_in.size();
     for (std::int64_t i = 0; i < n; ++i) {
         if (x[i] <= 0.0f) {
@@ -45,7 +48,7 @@ ReLU::backward(const Tensor& grad_out)
 }
 
 Tensor
-Tanh::forward(const Tensor& x, Mode /*mode*/)
+Tanh::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
     Tensor y = x;
     float* p = y.data();
@@ -53,20 +56,22 @@ Tanh::forward(const Tensor& x, Mode /*mode*/)
     for (std::int64_t i = 0; i < n; ++i) {
         p[i] = std::tanh(p[i]);
     }
-    cached_output_ = y;
+    if (ctx.retain_activations()) {
+        ctx.state(this).cached = y;
+    }
     return y;
 }
 
 Tensor
-Tanh::backward(const Tensor& grad_out)
+Tanh::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_output_.empty(),
-                   "Tanh::backward without forward");
-    SHREDDER_CHECK(grad_out.shape() == cached_output_.shape(),
+    const Tensor& cached = ctx.state(this).cached;
+    SHREDDER_CHECK(!cached.empty(), "Tanh::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached.shape(),
                    "Tanh grad shape mismatch");
     Tensor grad_in = grad_out;
     float* g = grad_in.data();
-    const float* y = cached_output_.data();
+    const float* y = cached.data();
     const std::int64_t n = grad_in.size();
     for (std::int64_t i = 0; i < n; ++i) {
         g[i] *= 1.0f - y[i] * y[i];

@@ -1,6 +1,7 @@
 /**
  * @file
- * Pointwise activation layers (ReLU, Tanh).
+ * Pointwise activation layers (ReLU, Tanh). Stateless: activation
+ * caches live in the caller's `ExecutionContext`.
  */
 #ifndef SHREDDER_NN_ACTIVATIONS_H
 #define SHREDDER_NN_ACTIVATIONS_H
@@ -16,26 +17,22 @@ namespace nn {
 class ReLU final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "relu"; }
     Shape output_shape(const Shape& in) const override { return in; }
-
-  private:
-    Tensor cached_input_;
 };
 
 /** Hyperbolic tangent activation (classic LeNet uses it). */
 class Tanh final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "tanh"; }
     Shape output_shape(const Shape& in) const override { return in; }
-
-  private:
-    Tensor cached_output_;
 };
 
 }  // namespace nn

@@ -72,7 +72,7 @@ Conv2d::macs(const Shape& in) const
 }
 
 Tensor
-Conv2d::forward(const Tensor& x, Mode /*mode*/)
+Conv2d::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0];
@@ -91,8 +91,8 @@ Conv2d::forward(const Tensor& x, Mode /*mode*/)
     const float* wp = weight_.value.data();
 
     parallel_for(0, batch, [&](std::int64_t n) {
-        // Per-thread scratch: the first batch item on a thread sizes
-        // the buffer, every later one reuses it.
+        // Per-thread scratch (not the context's arena): these chunks
+        // run on pool workers, each of which owns a private arena.
         ScratchLease col = ScratchArena::for_this_thread().acquire(
             static_cast<std::size_t>(col_rows * col_cols));
         im2col(xp + n * in_c * in_h * in_w, in_c, in_h, in_w,
@@ -114,16 +114,17 @@ Conv2d::forward(const Tensor& x, Mode /*mode*/)
         }
     });
 
-    cached_input_ = x;
+    if (ctx.retain_activations()) {
+        ctx.state(this).cached = x;
+    }
     return y;
 }
 
 Tensor
-Conv2d::backward(const Tensor& grad_out)
+Conv2d::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_input_.empty(),
-                   "Conv2d::backward without forward");
-    const Tensor& x = cached_input_;
+    const Tensor& x = ctx.state(this).cached;
+    SHREDDER_CHECK(!x.empty(), "Conv2d::backward without forward");
     const Shape out_shape = output_shape(x.shape());
     SHREDDER_CHECK(grad_out.shape() == out_shape,
                    "Conv2d grad shape mismatch: ",
@@ -145,7 +146,10 @@ Conv2d::backward(const Tensor& grad_out)
     const float* wp = weight_.value.data();
     const bool need_wgrad = !weight_.frozen;
 
-    ScratchArena& arena = ScratchArena::for_this_thread();
+    // The context's arena: backward is serial over the batch, so the
+    // scratch stays private to this call even with other contexts
+    // forwarding concurrently on other threads.
+    ScratchArena& arena = ctx.scratch();
     ScratchLease col =
         arena.acquire(static_cast<std::size_t>(col_rows * col_cols));
     ScratchLease col_grad =

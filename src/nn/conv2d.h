@@ -45,8 +45,9 @@ class Conv2d final : public Layer
      */
     Conv2d(const Conv2dConfig& config, Rng& rng);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
 
     std::string kind() const override { return "conv2d"; }
     Shape output_shape(const Shape& in) const override;
@@ -61,7 +62,6 @@ class Conv2d final : public Layer
     Conv2dConfig config_;
     Parameter weight_;  ///< [Cout, Cin·K·K] (flattened filter bank).
     Parameter bias_;    ///< [Cout] (empty when config.bias == false).
-    Tensor cached_input_;
 };
 
 }  // namespace nn

@@ -9,46 +9,58 @@
 namespace shredder {
 namespace nn {
 
-Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.fork())
+Dropout::Dropout(float p) : p_(p)
 {
     SHREDDER_REQUIRE(p >= 0.0f && p < 1.0f,
                      "dropout probability must be in [0, 1), got ", p);
 }
 
 Tensor
-Dropout::forward(const Tensor& x, Mode mode)
+Dropout::forward(const Tensor& x, ExecutionContext& ctx, Mode mode) const
 {
+    LayerState& state = ctx.state(this);
     if (mode == Mode::kEval || p_ == 0.0f) {
-        last_was_train_ = false;
+        state.stochastic = false;
         return x;
     }
-    last_was_train_ = true;
+    state.stochastic = true;
     const float keep_scale = 1.0f / (1.0f - p_);
-    mask_.resize(static_cast<std::size_t>(x.size()));
+    // Forward-only contexts still drop, but skip storing the mask
+    // (backward on such a context fails its size check, correctly).
+    const bool retain = ctx.retain_activations();
+    if (retain) {
+        state.mask.resize(static_cast<std::size_t>(x.size()));
+    } else {
+        state.mask.clear();
+    }
+    Rng& rng = ctx.rng();
     Tensor y = x;
     float* yp = y.data();
     for (std::int64_t i = 0; i < y.size(); ++i) {
         const float m =
-            rng_.bernoulli(static_cast<double>(p_)) ? 0.0f : keep_scale;
-        mask_[static_cast<std::size_t>(i)] = m;
+            rng.bernoulli(static_cast<double>(p_)) ? 0.0f : keep_scale;
+        if (retain) {
+            state.mask[static_cast<std::size_t>(i)] = m;
+        }
         yp[i] *= m;
     }
     return y;
 }
 
 Tensor
-Dropout::backward(const Tensor& grad_out)
+Dropout::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    if (!last_was_train_) {
+    const LayerState& state = ctx.state(this);
+    if (!state.stochastic) {
         return grad_out;
     }
     SHREDDER_CHECK(static_cast<std::size_t>(grad_out.size()) ==
-                       mask_.size(),
+                       state.mask.size(),
                    "Dropout grad size mismatch");
     Tensor grad_in = grad_out;
     float* g = grad_in.data();
     for (std::int64_t i = 0; i < grad_in.size(); ++i) {
-        g[i] *= mask_[static_cast<std::size_t>(i)];
+        g[i] *= state.mask[static_cast<std::size_t>(i)];
     }
     return grad_in;
 }

@@ -1,15 +1,21 @@
 /**
  * @file
  * Inverted dropout layer.
+ *
+ * Fully stateless: the drop mask *and* the RNG that generates it live
+ * in the caller's `ExecutionContext`. The seed-era implementation kept
+ * both in layer members, which made eval-after-train behaviour
+ * order-dependent (an eval forward cleared the train flag another
+ * stream's backward still needed) and raced under concurrent
+ * execution; per-context state removes both hazards — see the
+ * regression tests in tests/test_layers.cc.
  */
 #ifndef SHREDDER_NN_DROPOUT_H
 #define SHREDDER_NN_DROPOUT_H
 
 #include <string>
-#include <vector>
 
 #include "src/nn/layer.h"
-#include "src/tensor/rng.h"
 
 namespace shredder {
 namespace nn {
@@ -17,19 +23,18 @@ namespace nn {
 /**
  * Inverted dropout: in kTrain mode each element is zeroed with
  * probability p and survivors are scaled by 1/(1−p), so kEval is a
- * pure pass-through.
+ * pure pass-through. Masks are drawn from the context's RNG
+ * (`ExecutionContext::rng`); seed the context for reproducible masks.
  */
 class Dropout final : public Layer
 {
   public:
-    /**
-     * @param p    Drop probability in [0, 1).
-     * @param rng  Source of the drop masks (forked for independence).
-     */
-    Dropout(float p, Rng& rng);
+    /** @param p  Drop probability in [0, 1). */
+    explicit Dropout(float p);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "dropout"; }
     Shape output_shape(const Shape& in) const override { return in; }
 
@@ -37,9 +42,6 @@ class Dropout final : public Layer
 
   private:
     float p_;
-    Rng rng_;
-    std::vector<float> mask_;  ///< Scale applied per element (0 or 1/(1−p)).
-    bool last_was_train_ = false;
 };
 
 }  // namespace nn

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Implementation of the per-call execution context.
+ */
+#include "src/nn/execution_context.h"
+
+namespace shredder {
+namespace nn {
+
+void
+LayerState::clear()
+{
+    cached = Tensor();
+    aux = Tensor();
+    in_shape = Shape();
+    argmax.clear();
+    mask.clear();
+    stochastic = false;
+}
+
+}  // namespace nn
+}  // namespace shredder

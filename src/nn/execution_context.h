@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Per-call activation state for stateless layer execution.
+ *
+ * Layers are *immutable* during the forward/backward pass: weights are
+ * shared read-only and everything a layer must remember between
+ * `forward` and `backward` (cached inputs, pooling argmax indices,
+ * dropout masks, …) lives in an `ExecutionContext` owned by the
+ * caller. One context = one logical inference/training stream, so any
+ * number of contexts can run the *same* network concurrently without
+ * replicating parameters — the property the `InferenceServer` uses to
+ * keep several cloud forwards in flight at once on one set of weights.
+ *
+ * A context is keyed by layer identity: each layer reads and writes
+ * its own `LayerState` slot via `state(this)`. The context also owns
+ *
+ *  - a `ScratchArena` for short-lived float workspaces (im2col
+ *    buffers, GEMM packing) so serial per-call scratch never contends
+ *    across contexts, and
+ *  - an optional `Rng` for stochastic layers (dropout): seed it per
+ *    stream for independent masks; unseeded contexts fall back to ONE
+ *    fixed default seed, so two default-constructed training streams
+ *    draw identical mask sequences (reproducible, but correlated).
+ *
+ * Thread contract: a context may only be used by one thread at a
+ * time. Different contexts are fully independent — using two contexts
+ * from two threads on the same layers is safe and is the intended
+ * concurrency model.
+ *
+ * Lifetime contract: state is keyed by layer address, so a context
+ * must not outlive the layers it has executed — a freshly allocated
+ * layer landing on a recycled address would read a dead layer's
+ * stale slot. Call `clear()` (or use a fresh context) when reusing a
+ * context across model rebuilds.
+ *
+ * Forward-only streams (serving) can call
+ * `set_retain_activations(false)`: layers then skip writing the
+ * caches only `backward` reads, saving one full activation copy per
+ * layer per call. A later `backward` on such a context panics with
+ * "without forward", which is the correct diagnosis.
+ */
+#ifndef SHREDDER_NN_EXECUTION_CONTEXT_H
+#define SHREDDER_NN_EXECUTION_CONTEXT_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tensor/rng.h"
+#include "src/tensor/scratch.h"
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace nn {
+
+/**
+ * Activation caches one layer keeps between `forward` and `backward`.
+ *
+ * A plain union-of-needs struct instead of per-layer subclasses: the
+ * layer set is closed and small, and a concrete struct keeps the hot
+ * path free of type erasure. Each layer uses the fields its backward
+ * needs and ignores the rest (see the field comments for who uses
+ * what).
+ */
+struct LayerState
+{
+    /**
+     * Primary tensor cache: the input (`Linear`, `Conv2d`, `ReLU`,
+     * `LeakyReLU`, `LocalResponseNorm`) or the output (`Tanh`,
+     * `Sigmoid`, `Softmax`) of the last forward.
+     */
+    Tensor cached;
+    /** Secondary tensor cache (`LocalResponseNorm`'s scale map). */
+    Tensor aux;
+    /** Input shape for reshape/spatial layers (`Flatten`, pools, …). */
+    Shape in_shape;
+    /** Flat argmax index per output element (`MaxPool2d`). */
+    std::vector<std::int64_t> argmax;
+    /** Per-element survivor scale, 0 or 1/(1−p) (`Dropout`). */
+    std::vector<float> mask;
+    /** True when the last forward was stochastic (`Dropout` kTrain). */
+    bool stochastic = false;
+
+    /** Drop all cached data (keeps capacity where cheap). */
+    void clear();
+};
+
+/** See file comment. */
+class ExecutionContext
+{
+  public:
+    /** Context whose RNG falls back to the fixed default seed. */
+    ExecutionContext() = default;
+
+    /** Context whose RNG is seeded for reproducible stochastic layers. */
+    explicit ExecutionContext(std::uint64_t rng_seed) { seed_rng(rng_seed); }
+
+    ExecutionContext(const ExecutionContext&) = delete;
+    ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+    /**
+     * The state slot of `layer` (created empty on first access).
+     * Layers call this as `ctx.state(this)`.
+     */
+    LayerState& state(const void* layer) { return states_[layer]; }
+
+    /** Number of layers that have state in this context. */
+    std::size_t num_states() const { return states_.size(); }
+
+    /** Drop every layer's cached state (capacity is released). */
+    void clear() { states_.clear(); }
+
+    /**
+     * Whether layers should store the activation caches `backward`
+     * needs (default true). Forward-only streams turn this off to
+     * skip one activation copy per layer per call.
+     */
+    bool retain_activations() const { return retain_activations_; }
+
+    /** See `retain_activations`. */
+    void set_retain_activations(bool retain)
+    {
+        retain_activations_ = retain;
+    }
+
+    /** (Re)seed the context RNG. */
+    void seed_rng(std::uint64_t seed)
+    {
+        rng_ = std::make_unique<Rng>(seed);
+    }
+
+    /**
+     * The context's RNG for stochastic layers. Lazily constructed with
+     * a fixed default seed when `seed_rng` was never called, so
+     * dropout is reproducible per context by default.
+     */
+    Rng& rng()
+    {
+        if (!rng_) {
+            rng_ = std::make_unique<Rng>(kDefaultRngSeed);
+        }
+        return *rng_;
+    }
+
+    /**
+     * Scratch workspace private to this context. Serial layer code
+     * (e.g. `Conv2d::backward`) leases im2col buffers here so
+     * concurrent contexts never share scratch; code already running on
+     * pool workers keeps using `ScratchArena::for_this_thread()`.
+     */
+    ScratchArena& scratch() { return arena_; }
+
+  private:
+    static constexpr std::uint64_t kDefaultRngSeed = 0xD80D0D80ULL;
+
+    std::unordered_map<const void*, LayerState> states_;
+    std::unique_ptr<Rng> rng_;
+    ScratchArena arena_;
+    bool retain_activations_ = true;
+};
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_EXECUTION_CONTEXT_H

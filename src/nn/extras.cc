@@ -13,27 +13,29 @@ namespace shredder {
 namespace nn {
 
 Tensor
-Sigmoid::forward(const Tensor& x, Mode /*mode*/)
+Sigmoid::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
     Tensor y = x;
     float* p = y.data();
     for (std::int64_t i = 0; i < y.size(); ++i) {
         p[i] = 1.0f / (1.0f + std::exp(-p[i]));
     }
-    cached_output_ = y;
+    if (ctx.retain_activations()) {
+        ctx.state(this).cached = y;
+    }
     return y;
 }
 
 Tensor
-Sigmoid::backward(const Tensor& grad_out)
+Sigmoid::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_output_.empty(),
-                   "Sigmoid::backward without forward");
-    SHREDDER_CHECK(grad_out.shape() == cached_output_.shape(),
+    const Tensor& cached = ctx.state(this).cached;
+    SHREDDER_CHECK(!cached.empty(), "Sigmoid::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached.shape(),
                    "Sigmoid grad shape mismatch");
     Tensor grad_in = grad_out;
     float* g = grad_in.data();
-    const float* y = cached_output_.data();
+    const float* y = cached.data();
     for (std::int64_t i = 0; i < grad_in.size(); ++i) {
         g[i] *= y[i] * (1.0f - y[i]);
     }
@@ -47,7 +49,8 @@ LeakyReLU::LeakyReLU(float slope) : slope_(slope)
 }
 
 Tensor
-LeakyReLU::forward(const Tensor& x, Mode /*mode*/)
+LeakyReLU::forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode /*mode*/) const
 {
     Tensor y = x;
     float* p = y.data();
@@ -56,20 +59,22 @@ LeakyReLU::forward(const Tensor& x, Mode /*mode*/)
             p[i] *= slope_;
         }
     }
-    cached_input_ = x;
+    if (ctx.retain_activations()) {
+        ctx.state(this).cached = x;
+    }
     return y;
 }
 
 Tensor
-LeakyReLU::backward(const Tensor& grad_out)
+LeakyReLU::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_input_.empty(),
-                   "LeakyReLU::backward without forward");
-    SHREDDER_CHECK(grad_out.shape() == cached_input_.shape(),
+    const Tensor& cached = ctx.state(this).cached;
+    SHREDDER_CHECK(!cached.empty(), "LeakyReLU::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == cached.shape(),
                    "LeakyReLU grad shape mismatch");
     Tensor grad_in = grad_out;
     float* g = grad_in.data();
-    const float* x = cached_input_.data();
+    const float* x = cached.data();
     for (std::int64_t i = 0; i < grad_in.size(); ++i) {
         if (x[i] <= 0.0f) {
             g[i] *= slope_;
@@ -87,19 +92,20 @@ Softmax::output_shape(const Shape& in) const
 }
 
 Tensor
-Softmax::forward(const Tensor& x, Mode /*mode*/)
+Softmax::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
     Tensor y = ops::softmax_rows(x);
-    cached_output_ = y;
+    if (ctx.retain_activations()) {
+        ctx.state(this).cached = y;
+    }
     return y;
 }
 
 Tensor
-Softmax::backward(const Tensor& grad_out)
+Softmax::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_output_.empty(),
-                   "Softmax::backward without forward");
-    const Tensor& y = cached_output_;
+    const Tensor& y = ctx.state(this).cached;
+    SHREDDER_CHECK(!y.empty(), "Softmax::backward without forward");
     SHREDDER_CHECK(grad_out.shape() == y.shape(),
                    "Softmax grad shape mismatch");
     // dL/dx_i = y_i (g_i − Σ_j g_j y_j) per row.
@@ -139,10 +145,10 @@ Crop2d::output_shape(const Shape& in) const
 }
 
 Tensor
-Crop2d::forward(const Tensor& x, Mode /*mode*/)
+Crop2d::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
     const Shape out_shape = output_shape(x.shape());
-    cached_in_shape_ = x.shape();
+    ctx.state(this).in_shape = x.shape();
     const std::int64_t planes = x.shape()[0] * x.shape()[1];
     const std::int64_t ih = x.shape()[2], iw = x.shape()[3];
     Tensor y(out_shape);
@@ -159,17 +165,16 @@ Crop2d::forward(const Tensor& x, Mode /*mode*/)
 }
 
 Tensor
-Crop2d::backward(const Tensor& grad_out)
+Crop2d::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
-                   "Crop2d::backward without forward");
-    SHREDDER_CHECK(grad_out.shape() == output_shape(cached_in_shape_),
+    const Shape in_shape = ctx.state(this).in_shape;
+    SHREDDER_CHECK(in_shape.rank() == 4, "Crop2d::backward without forward");
+    SHREDDER_CHECK(grad_out.shape() == output_shape(in_shape),
                    "Crop2d grad shape mismatch");
-    const std::int64_t planes =
-        cached_in_shape_[0] * cached_in_shape_[1];
-    const std::int64_t ih = cached_in_shape_[2];
-    const std::int64_t iw = cached_in_shape_[3];
-    Tensor grad_in(cached_in_shape_);
+    const std::int64_t planes = in_shape[0] * in_shape[1];
+    const std::int64_t ih = in_shape[2];
+    const std::int64_t iw = in_shape[3];
+    Tensor grad_in(in_shape);
     const float* gp = grad_out.data();
     float* op = grad_in.data();
     for (std::int64_t p = 0; p < planes; ++p) {
@@ -191,10 +196,11 @@ Upsample2x::output_shape(const Shape& in) const
 }
 
 Tensor
-Upsample2x::forward(const Tensor& x, Mode /*mode*/)
+Upsample2x::forward(const Tensor& x, ExecutionContext& ctx,
+                    Mode /*mode*/) const
 {
     const Shape out_shape = output_shape(x.shape());
-    cached_in_shape_ = x.shape();
+    ctx.state(this).in_shape = x.shape();
     const std::int64_t planes = x.shape()[0] * x.shape()[1];
     const std::int64_t ih = x.shape()[2], iw = x.shape()[3];
     Tensor y(out_shape);
@@ -218,17 +224,17 @@ Upsample2x::forward(const Tensor& x, Mode /*mode*/)
 }
 
 Tensor
-Upsample2x::backward(const Tensor& grad_out)
+Upsample2x::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
+    const Shape in_shape = ctx.state(this).in_shape;
+    SHREDDER_CHECK(in_shape.rank() == 4,
                    "Upsample2x::backward without forward");
-    SHREDDER_CHECK(grad_out.shape() == output_shape(cached_in_shape_),
+    SHREDDER_CHECK(grad_out.shape() == output_shape(in_shape),
                    "Upsample2x grad shape mismatch");
-    const std::int64_t planes =
-        cached_in_shape_[0] * cached_in_shape_[1];
-    const std::int64_t ih = cached_in_shape_[2];
-    const std::int64_t iw = cached_in_shape_[3];
-    Tensor grad_in(cached_in_shape_);
+    const std::int64_t planes = in_shape[0] * in_shape[1];
+    const std::int64_t ih = in_shape[2];
+    const std::int64_t iw = in_shape[3];
+    Tensor grad_in(in_shape);
     const float* gp = grad_out.data();
     float* op = grad_in.data();
     for (std::int64_t p = 0; p < planes; ++p) {

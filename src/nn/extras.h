@@ -19,13 +19,11 @@ namespace nn {
 class Sigmoid final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "sigmoid"; }
     Shape output_shape(const Shape& in) const override { return in; }
-
-  private:
-    Tensor cached_output_;
 };
 
 /** Leaky rectifier: y = x if x > 0 else slope·x. */
@@ -34,8 +32,9 @@ class LeakyReLU final : public Layer
   public:
     explicit LeakyReLU(float slope = 0.01f);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "leaky_relu"; }
     Shape output_shape(const Shape& in) const override { return in; }
 
@@ -43,7 +42,6 @@ class LeakyReLU final : public Layer
 
   private:
     float slope_;
-    Tensor cached_input_;
 };
 
 /**
@@ -53,13 +51,11 @@ class LeakyReLU final : public Layer
 class Softmax final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "softmax"; }
     Shape output_shape(const Shape& in) const override;
-
-  private:
-    Tensor cached_output_;
 };
 
 /**
@@ -76,14 +72,14 @@ class Crop2d final : public Layer
      */
     Crop2d(std::int64_t height, std::int64_t width);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "crop2d"; }
     Shape output_shape(const Shape& in) const override;
 
   private:
     std::int64_t height_, width_;
-    Shape cached_in_shape_;
 };
 
 /**
@@ -93,13 +89,11 @@ class Crop2d final : public Layer
 class Upsample2x final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "upsample2x"; }
     Shape output_shape(const Shape& in) const override;
-
-  private:
-    Shape cached_in_shape_;
 };
 
 }  // namespace nn

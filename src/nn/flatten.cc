@@ -18,18 +18,19 @@ Flatten::output_shape(const Shape& in) const
 }
 
 Tensor
-Flatten::forward(const Tensor& x, Mode /*mode*/)
+Flatten::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
-    cached_in_shape_ = x.shape();
+    ctx.state(this).in_shape = x.shape();
     return x.reshaped(output_shape(x.shape()));
 }
 
 Tensor
-Flatten::backward(const Tensor& grad_out)
+Flatten::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(cached_in_shape_.rank() >= 2,
+    const Shape& in_shape = ctx.state(this).in_shape;
+    SHREDDER_CHECK(in_shape.rank() >= 2,
                    "Flatten::backward without forward");
-    return grad_out.reshaped(cached_in_shape_);
+    return grad_out.reshaped(in_shape);
 }
 
 }  // namespace nn

@@ -16,13 +16,11 @@ namespace nn {
 class Flatten final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "flatten"; }
     Shape output_shape(const Shape& in) const override;
-
-  private:
-    Shape cached_in_shape_;
 };
 
 }  // namespace nn

@@ -2,10 +2,14 @@
  * @file
  * The layer abstraction every network component implements.
  *
- * A layer owns its parameters and the activations it must remember
- * between `forward` and `backward`. The contract is strict
- * forward-then-backward: `backward(grad)` may rely on caches written by
- * the immediately preceding `forward` call.
+ * A layer owns its parameters only; the activations it must remember
+ * between `forward` and `backward` live in the caller-supplied
+ * `ExecutionContext` (see execution_context.h). `forward` is `const`:
+ * it never mutates the layer, so one layer (one set of weights) can
+ * serve any number of concurrent contexts. The per-context contract is
+ * strict forward-then-backward: `backward(grad, ctx)` may rely on
+ * caches written into `ctx` by the immediately preceding `forward`
+ * call *with that same context*.
  */
 #ifndef SHREDDER_NN_LAYER_H
 #define SHREDDER_NN_LAYER_H
@@ -15,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/nn/execution_context.h"
 #include "src/nn/parameter.h"
 #include "src/tensor/shape.h"
 #include "src/tensor/tensor.h"
@@ -35,19 +40,26 @@ class Layer
     virtual ~Layer() = default;
 
     /**
-     * Compute the layer output.
+     * Compute the layer output. Must not mutate the layer: all
+     * per-call state goes through `ctx`.
      *
      * @param x     Input activation (batch-leading).
+     * @param ctx   Per-call activation state (written for `backward`).
      * @param mode  kTrain enables stochastic behaviour (dropout) and
      *              guarantees caches needed by `backward`.
      */
-    virtual Tensor forward(const Tensor& x, Mode mode) = 0;
+    virtual Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                           Mode mode) const = 0;
 
     /**
-     * Back-propagate. Accumulates parameter gradients (unless frozen)
-     * and returns the gradient with respect to the layer input.
+     * Back-propagate using the caches `forward` left in `ctx`.
+     * Accumulates parameter gradients (unless frozen) and returns the
+     * gradient with respect to the layer input. Parameter-gradient
+     * accumulation is the one shared mutation: run at most one
+     * backward stream per layer at a time.
      */
-    virtual Tensor backward(const Tensor& grad_out) = 0;
+    virtual Tensor backward(const Tensor& grad_out,
+                            ExecutionContext& ctx) = 0;
 
     /** Stable type tag used by the checkpoint format. */
     virtual std::string kind() const = 0;
@@ -85,8 +97,16 @@ using LayerPtr = std::unique_ptr<Layer>;
 class Identity final : public Layer
 {
   public:
-    Tensor forward(const Tensor& x, Mode /*mode*/) override { return x; }
-    Tensor backward(const Tensor& grad_out) override { return grad_out; }
+    Tensor forward(const Tensor& x, ExecutionContext& /*ctx*/,
+                   Mode /*mode*/) const override
+    {
+        return x;
+    }
+    Tensor backward(const Tensor& grad_out,
+                    ExecutionContext& /*ctx*/) override
+    {
+        return grad_out;
+    }
     std::string kind() const override { return "identity"; }
     Shape output_shape(const Shape& in) const override { return in; }
 };

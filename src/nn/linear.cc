@@ -53,7 +53,7 @@ Linear::macs(const Shape& /*in*/) const
 }
 
 Tensor
-Linear::forward(const Tensor& x, Mode /*mode*/)
+Linear::forward(const Tensor& x, ExecutionContext& ctx, Mode /*mode*/) const
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0];
@@ -70,16 +70,17 @@ Linear::forward(const Tensor& x, Mode /*mode*/)
             }
         }
     }
-    cached_input_ = x;
+    if (ctx.retain_activations()) {
+        ctx.state(this).cached = x;
+    }
     return y;
 }
 
 Tensor
-Linear::backward(const Tensor& grad_out)
+Linear::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_input_.empty(),
-                   "Linear::backward without forward");
-    const Tensor& x = cached_input_;
+    const Tensor& x = ctx.state(this).cached;
+    SHREDDER_CHECK(!x.empty(), "Linear::backward without forward");
     const std::int64_t batch = x.shape()[0];
     SHREDDER_CHECK(grad_out.shape() == Shape({batch, out_features_}),
                    "Linear grad shape mismatch");

@@ -34,8 +34,9 @@ class Linear final : public Layer
     Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
            bool with_bias = true);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
 
     std::string kind() const override { return "linear"; }
     Shape output_shape(const Shape& in) const override;
@@ -53,7 +54,6 @@ class Linear final : public Layer
     bool with_bias_;
     Parameter weight_;  ///< [out, in]
     Parameter bias_;    ///< [out]
-    Tensor cached_input_;
 };
 
 }  // namespace nn

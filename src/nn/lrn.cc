@@ -27,7 +27,8 @@ LocalResponseNorm::output_shape(const Shape& in) const
 }
 
 Tensor
-LocalResponseNorm::forward(const Tensor& x, Mode /*mode*/)
+LocalResponseNorm::forward(const Tensor& x, ExecutionContext& ctx,
+                           Mode /*mode*/) const
 {
     const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
     const std::int64_t hw = x.shape()[2] * x.shape()[3];
@@ -63,16 +64,20 @@ LocalResponseNorm::forward(const Tensor& x, Mode /*mode*/)
             }
         }
     }
-    cached_input_ = x;
-    cached_scale_ = std::move(scale);
+    if (ctx.retain_activations()) {
+        LayerState& state = ctx.state(this);
+        state.cached = x;
+        state.aux = std::move(scale);
+    }
     return y;
 }
 
 Tensor
-LocalResponseNorm::backward(const Tensor& grad_out)
+LocalResponseNorm::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(!cached_input_.empty(), "LRN::backward without forward");
-    const Tensor& x = cached_input_;
+    const LayerState& state = ctx.state(this);
+    const Tensor& x = state.cached;
+    SHREDDER_CHECK(!x.empty(), "LRN::backward without forward");
     SHREDDER_CHECK(grad_out.shape() == x.shape(), "LRN grad shape mismatch");
 
     const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
@@ -85,7 +90,7 @@ LocalResponseNorm::backward(const Tensor& grad_out)
     //   − 2αβ/n · x_c · Σ_{c′: c∈window(c′)} g_{c′}·x_{c′}·s_{c′}^{−β−1}
     Tensor grad_in(x.shape());
     const float* xp = x.data();
-    const float* sp = cached_scale_.data();
+    const float* sp = state.aux.data();
     const float* gp = grad_out.data();
     float* op = grad_in.data();
 

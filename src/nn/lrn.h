@@ -32,8 +32,9 @@ class LocalResponseNorm final : public Layer
   public:
     explicit LocalResponseNorm(const LrnConfig& config);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "lrn"; }
     Shape output_shape(const Shape& in) const override;
 
@@ -41,8 +42,6 @@ class LocalResponseNorm final : public Layer
 
   private:
     LrnConfig config_;
-    Tensor cached_input_;
-    Tensor cached_scale_;  ///< (k + α/size·Σx²) per element.
 };
 
 }  // namespace nn

@@ -45,7 +45,8 @@ MaxPool2d::output_shape(const Shape& in) const
 }
 
 Tensor
-MaxPool2d::forward(const Tensor& x, Mode /*mode*/)
+MaxPool2d::forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode /*mode*/) const
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
@@ -53,8 +54,15 @@ MaxPool2d::forward(const Tensor& x, Mode /*mode*/)
     const std::int64_t oh = out_shape[2], ow = out_shape[3];
 
     Tensor y(out_shape);
-    argmax_.assign(static_cast<std::size_t>(y.size()), -1);
-    cached_in_shape_ = x.shape();
+    // The argmax table is one int64 per output element — as big as the
+    // output itself — so forward-only contexts skip recording it.
+    const bool retain = ctx.retain_activations();
+    LayerState& state = ctx.state(this);
+    std::vector<std::int64_t>& argmax = state.argmax;
+    if (retain) {
+        argmax.assign(static_cast<std::size_t>(y.size()), -1);
+        state.in_shape = x.shape();
+    }
 
     const float* xp = x.data();
     float* yp = y.data();
@@ -90,7 +98,10 @@ MaxPool2d::forward(const Tensor& x, Mode /*mode*/)
                     SHREDDER_CHECK(best_idx >= 0,
                                    "empty max-pool window");
                     yp[out_idx] = best;
-                    argmax_[static_cast<std::size_t>(out_idx)] = best_idx;
+                    if (retain) {
+                        argmax[static_cast<std::size_t>(out_idx)] =
+                            best_idx;
+                    }
                 }
             }
         }
@@ -99,18 +110,19 @@ MaxPool2d::forward(const Tensor& x, Mode /*mode*/)
 }
 
 Tensor
-MaxPool2d::backward(const Tensor& grad_out)
+MaxPool2d::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
+    const LayerState& state = ctx.state(this);
+    SHREDDER_CHECK(state.in_shape.rank() == 4,
                    "MaxPool2d::backward without forward");
     SHREDDER_CHECK(static_cast<std::size_t>(grad_out.size()) ==
-                       argmax_.size(),
+                       state.argmax.size(),
                    "MaxPool2d grad size mismatch");
-    Tensor grad_in(cached_in_shape_);
+    Tensor grad_in(state.in_shape);
     float* gi = grad_in.data();
     const float* go = grad_out.data();
-    for (std::size_t i = 0; i < argmax_.size(); ++i) {
-        gi[argmax_[i]] += go[static_cast<std::int64_t>(i)];
+    for (std::size_t i = 0; i < state.argmax.size(); ++i) {
+        gi[state.argmax[i]] += go[static_cast<std::int64_t>(i)];
     }
     return grad_in;
 }
@@ -129,7 +141,8 @@ AvgPool2d::output_shape(const Shape& in) const
 }
 
 Tensor
-AvgPool2d::forward(const Tensor& x, Mode /*mode*/)
+AvgPool2d::forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode /*mode*/) const
 {
     const Shape out_shape = output_shape(x.shape());
     const std::int64_t batch = x.shape()[0], chans = x.shape()[1];
@@ -139,7 +152,7 @@ AvgPool2d::forward(const Tensor& x, Mode /*mode*/)
         1.0f / static_cast<float>(config_.kernel * config_.kernel);
 
     Tensor y(out_shape);
-    cached_in_shape_ = x.shape();
+    ctx.state(this).in_shape = x.shape();
 
     const float* xp = x.data();
     float* yp = y.data();
@@ -175,21 +188,22 @@ AvgPool2d::forward(const Tensor& x, Mode /*mode*/)
 }
 
 Tensor
-AvgPool2d::backward(const Tensor& grad_out)
+AvgPool2d::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    SHREDDER_CHECK(cached_in_shape_.rank() == 4,
+    const Shape in_shape = ctx.state(this).in_shape;
+    SHREDDER_CHECK(in_shape.rank() == 4,
                    "AvgPool2d::backward without forward");
-    const Shape out_shape = output_shape(cached_in_shape_);
+    const Shape out_shape = output_shape(in_shape);
     SHREDDER_CHECK(grad_out.shape() == out_shape,
                    "AvgPool2d grad shape mismatch");
-    const std::int64_t batch = cached_in_shape_[0];
-    const std::int64_t chans = cached_in_shape_[1];
-    const std::int64_t ih = cached_in_shape_[2], iw = cached_in_shape_[3];
+    const std::int64_t batch = in_shape[0];
+    const std::int64_t chans = in_shape[1];
+    const std::int64_t ih = in_shape[2], iw = in_shape[3];
     const std::int64_t oh = out_shape[2], ow = out_shape[3];
     const float inv_area =
         1.0f / static_cast<float>(config_.kernel * config_.kernel);
 
-    Tensor grad_in(cached_in_shape_);
+    Tensor grad_in(in_shape);
     float* gi = grad_in.data();
     const float* go = grad_out.data();
     std::int64_t out_idx = 0;

@@ -21,14 +21,15 @@ struct PoolConfig
     std::int64_t padding = 0;
 };
 
-/** Max pooling; remembers argmax indices for routing gradients. */
+/** Max pooling; argmax indices routed through the context. */
 class MaxPool2d final : public Layer
 {
   public:
     explicit MaxPool2d(const PoolConfig& config);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "maxpool2d"; }
     Shape output_shape(const Shape& in) const override;
 
@@ -36,8 +37,6 @@ class MaxPool2d final : public Layer
 
   private:
     PoolConfig config_;
-    Shape cached_in_shape_;
-    std::vector<std::int64_t> argmax_;  ///< Flat input index per output.
 };
 
 /** Average pooling; gradients spread uniformly over the window. */
@@ -46,8 +45,9 @@ class AvgPool2d final : public Layer
   public:
     explicit AvgPool2d(const PoolConfig& config);
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "avgpool2d"; }
     Shape output_shape(const Shape& in) const override;
 
@@ -55,7 +55,6 @@ class AvgPool2d final : public Layer
 
   private:
     PoolConfig config_;
-    Shape cached_in_shape_;
 };
 
 }  // namespace nn

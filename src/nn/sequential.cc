@@ -42,15 +42,15 @@ Sequential::layer(std::int64_t i) const
 }
 
 Tensor
-Sequential::forward(const Tensor& x, Mode mode)
+Sequential::forward(const Tensor& x, ExecutionContext& ctx, Mode mode) const
 {
-    return forward_range(x, 0, size(), mode);
+    return forward_range(x, 0, size(), ctx, mode);
 }
 
 Tensor
-Sequential::backward(const Tensor& grad_out)
+Sequential::backward(const Tensor& grad_out, ExecutionContext& ctx)
 {
-    return backward_range(grad_out, 0, size());
+    return backward_range(grad_out, 0, size(), ctx);
 }
 
 Shape
@@ -95,7 +95,8 @@ Sequential::load_params(std::istream& is)
 
 Tensor
 Sequential::forward_range(const Tensor& x, std::int64_t begin,
-                          std::int64_t end, Mode mode)
+                          std::int64_t end, ExecutionContext& ctx,
+                          Mode mode) const
 {
     if (end < 0) {
         end = size();
@@ -104,14 +105,14 @@ Sequential::forward_range(const Tensor& x, std::int64_t begin,
                      "bad forward range [", begin, ", ", end, ")");
     Tensor cur = x;
     for (std::int64_t i = begin; i < end; ++i) {
-        cur = layers_[static_cast<std::size_t>(i)]->forward(cur, mode);
+        cur = layers_[static_cast<std::size_t>(i)]->forward(cur, ctx, mode);
     }
     return cur;
 }
 
 Tensor
 Sequential::backward_range(const Tensor& grad_out, std::int64_t begin,
-                           std::int64_t end)
+                           std::int64_t end, ExecutionContext& ctx)
 {
     if (end < 0) {
         end = size();
@@ -120,7 +121,7 @@ Sequential::backward_range(const Tensor& grad_out, std::int64_t begin,
                      "bad backward range [", begin, ", ", end, ")");
     Tensor grad = grad_out;
     for (std::int64_t i = end - 1; i >= begin; --i) {
-        grad = layers_[static_cast<std::size_t>(i)]->backward(grad);
+        grad = layers_[static_cast<std::size_t>(i)]->backward(grad, ctx);
     }
     return grad;
 }

@@ -51,8 +51,9 @@ class Sequential final : public Layer
 
     // -- Layer interface --------------------------------------------------
 
-    Tensor forward(const Tensor& x, Mode mode) override;
-    Tensor backward(const Tensor& grad_out) override;
+    Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                   Mode mode) const override;
+    Tensor backward(const Tensor& grad_out, ExecutionContext& ctx) override;
     std::string kind() const override { return "sequential"; }
     Shape output_shape(const Shape& in) const override;
     std::vector<Parameter*> parameters() override;
@@ -63,24 +64,29 @@ class Sequential final : public Layer
     // -- Range execution (split inference) --------------------------------
 
     /**
-     * Run layers [begin, end) only.
+     * Run layers [begin, end) only. `const`: per-call state goes into
+     * `ctx`, so concurrent range forwards with distinct contexts are
+     * safe on one network.
      *
      * @param x      Input to layer `begin`.
      * @param begin  First layer index (inclusive).
      * @param end    Last layer index (exclusive); −1 means size().
+     * @param ctx    Per-call activation state.
      * @param mode   Execution mode.
      */
     Tensor forward_range(const Tensor& x, std::int64_t begin,
-                         std::int64_t end, Mode mode);
+                         std::int64_t end, ExecutionContext& ctx,
+                         Mode mode) const;
 
     /**
      * Back-propagate through layers [begin, end) in reverse. Must
-     * follow a matching `forward_range` (or full `forward`).
+     * follow a matching `forward_range` (or full `forward`) *with the
+     * same context*.
      *
      * @returns Gradient with respect to the input of layer `begin`.
      */
     Tensor backward_range(const Tensor& grad_out, std::int64_t begin,
-                          std::int64_t end);
+                          std::int64_t end, ExecutionContext& ctx);
 
     /** Output shape after running layers [begin, end) on shape `in`. */
     Shape output_shape_range(const Shape& in, std::int64_t begin,

@@ -30,7 +30,26 @@ batched_shape(const Shape& sample, std::int64_t n)
     }
 }
 
+/** SplitMix64 finalizer (Steele et al.) — a strong 64-bit mix. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
 }  // namespace
+
+std::uint64_t
+InferenceServer::noise_seed(std::uint64_t root_seed,
+                            std::uint64_t request_id)
+{
+    // Two mixing rounds keep (seed, id) pairs far apart even for
+    // consecutive ids under the same root seed.
+    return splitmix64(splitmix64(root_seed) ^ request_id);
+}
 
 InferenceServer::InferenceServer(split::SplitModel& model,
                                  const core::NoiseCollection* collection,
@@ -39,12 +58,14 @@ InferenceServer::InferenceServer(split::SplitModel& model,
       collection_(collection),
       config_(config),
       sample_size_(0),
-      pool_(config.num_workers),
-      rng_(config.seed)
+      pool_(config.num_workers)
 {
     SHREDDER_REQUIRE(config_.max_batch >= 1,
                      "max_batch must be positive, got ",
                      config_.max_batch);
+    SHREDDER_REQUIRE(config_.max_concurrent_batches >= 0,
+                     "max_concurrent_batches must be >= 0, got ",
+                     config_.max_concurrent_batches);
     if (config_.apply_noise) {
         SHREDDER_REQUIRE(collection_ != nullptr && !collection_->empty(),
                          "apply_noise requires a non-empty noise "
@@ -70,6 +91,25 @@ InferenceServer::InferenceServer(split::SplitModel& model,
                 sample_shape_.to_string());
         }
     }
+
+    // One execution context per concurrent batch: the contexts, not
+    // the model, carry all per-forward state.
+    const std::int64_t n_ctx =
+        config_.max_concurrent_batches > 0
+            ? config_.max_concurrent_batches
+            : static_cast<std::int64_t>(pool_.size());
+    contexts_.reserve(static_cast<std::size_t>(n_ctx));
+    free_contexts_.reserve(static_cast<std::size_t>(n_ctx));
+    for (std::int64_t i = 0; i < n_ctx; ++i) {
+        const auto ctx_tag = 0xC7C7C7C7ULL + static_cast<std::uint64_t>(i);
+        contexts_.push_back(std::make_unique<nn::ExecutionContext>(
+            noise_seed(config_.seed, ctx_tag)));
+        // Serving never back-propagates: skip the per-layer activation
+        // caches (one full tensor copy per layer per batch otherwise).
+        contexts_.back()->set_retain_activations(false);
+        free_contexts_.push_back(contexts_.back().get());
+    }
+
     dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -77,6 +117,19 @@ InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<Tensor>
 InferenceServer::submit(Tensor activation)
+{
+    return submit_impl(std::move(activation), /*has_id=*/false, 0);
+}
+
+std::future<Tensor>
+InferenceServer::submit(Tensor activation, std::uint64_t request_id)
+{
+    return submit_impl(std::move(activation), /*has_id=*/true, request_id);
+}
+
+std::future<Tensor>
+InferenceServer::submit_impl(Tensor activation, bool has_id,
+                             std::uint64_t request_id)
 {
     std::promise<Tensor> promise;
     std::future<Tensor> future = promise.get_future();
@@ -120,6 +173,7 @@ InferenceServer::submit(Tensor activation)
     Request request;
     request.activation = std::move(activation);
     request.promise = std::move(promise);
+    request.id = has_id ? request_id : kAutoIdBase + next_request_id_++;
     queue_.push_back(std::move(request));
     lock.unlock();
     cv_.notify_one();
@@ -214,6 +268,26 @@ InferenceServer::dispatch_loop()
     }
 }
 
+nn::ExecutionContext*
+InferenceServer::acquire_context()
+{
+    std::unique_lock<std::mutex> lock(ctx_mutex_);
+    ctx_cv_.wait(lock, [this] { return !free_contexts_.empty(); });
+    nn::ExecutionContext* ctx = free_contexts_.back();
+    free_contexts_.pop_back();
+    return ctx;
+}
+
+void
+InferenceServer::release_context(nn::ExecutionContext* ctx)
+{
+    {
+        std::lock_guard<std::mutex> lock(ctx_mutex_);
+        free_contexts_.push_back(ctx);
+    }
+    ctx_cv_.notify_one();
+}
+
 void
 InferenceServer::execute_batch(std::vector<Request> batch)
 {
@@ -230,31 +304,28 @@ InferenceServer::execute_batch(std::vector<Request> batch)
     Tensor fused(batched_shape(sample_shape_, n));
     for (std::int64_t i = 0; i < n; ++i) {
         float* row = fused.data() + i * sample_size_;
-        const float* src = batch[static_cast<std::size_t>(i)]
-                               .activation.data();
+        const Request& request = batch[static_cast<std::size_t>(i)];
+        const float* src = request.activation.data();
         std::copy(src, src + sample_size_, row);
         if (config_.apply_noise) {
             // Fresh draw per request — the paper's §2.5 deployment.
-            // Only the draw mutates shared state (rng_); the stored
-            // tensor itself is immutable, so the elementwise add runs
-            // outside the lock and overlaps across pool workers.
-            const Tensor* noise = nullptr;
-            {
-                std::lock_guard<std::mutex> lock(rng_mutex_);
-                noise = &collection_->draw(rng_).noise;
-            }
-            const float* pn = noise->data();
+            // The RNG is derived from (root seed, request id), so the
+            // draw touches no shared state: concurrent batches sample
+            // lock-free and a replay reproduces the assignment.
+            Rng draw_rng(noise_seed(config_.seed, request.id));
+            const Tensor& noise = collection_->draw(draw_rng).noise;
+            const float* pn = noise.data();
             for (std::int64_t j = 0; j < sample_size_; ++j) {
                 row[j] += pn[j];
             }
         }
     }
 
-    Tensor logits;
-    {
-        std::lock_guard<std::mutex> lock(model_mutex_);
-        logits = model_.cloud_forward(fused, nn::Mode::kEval);
-    }
+    // The forward runs against a pooled per-batch context: weights are
+    // read-only, so batches on other workers proceed concurrently.
+    nn::ExecutionContext* ctx = acquire_context();
+    Tensor logits = model_.cloud_forward(fused, *ctx, nn::Mode::kEval);
+    release_context(ctx);
     SHREDDER_CHECK(logits.shape().rank() == 2 && logits.shape()[0] == n,
                    "cloud forward returned ", logits.shape().to_string(),
                    " for a batch of ", n);

@@ -18,12 +18,19 @@
  * Per-request noise sampling preserves the paper's §2.5 deployment
  * semantics: every query gets an independent draw from the noise
  * distribution, exactly as `PrivacyMeter::measure_replay` measures.
- * The model forward itself is serialized by a per-server mutex (layer
- * caches are not reentrant); batch assembly, noise addition and
- * result scatter run on the pool and overlap with it. The server
- * therefore assumes *exclusive* use of the model's cloud half: two
- * servers sharing one `SplitModel` would race on the layer caches —
- * give each server its own model (or its own `Sequential` replica).
+ * The draw is *derived*, not shared: each request's noise RNG is
+ * seeded from (server seed, request id) via a SplitMix64 hash
+ * (`noise_seed`), so concurrent draws touch no shared RNG state and a
+ * replay with the same seed and ids reproduces the exact per-request
+ * noise assignment regardless of batch composition or thread timing.
+ *
+ * Layer execution is stateless (`nn::ExecutionContext`): weights are
+ * shared read-only and every in-flight batch runs `cloud_forward`
+ * against its own pooled context, so up to `max_concurrent_batches`
+ * cloud forwards proceed *simultaneously* on one set of parameters —
+ * no per-forward model mutex, no model replication. Several servers
+ * (or a live noise trainer) may even share one `SplitModel`, each
+ * bringing their own contexts.
  *
  * Latency/throughput accounting uses `Stopwatch`: per-batch queue and
  * execution latency plus aggregate requests/sec are available from
@@ -36,11 +43,13 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/core/noise_collection.h"
+#include "src/nn/execution_context.h"
 #include "src/runtime/stopwatch.h"
 #include "src/runtime/thread_pool.h"
 #include "src/split/split_model.h"
@@ -64,12 +73,23 @@ struct InferenceServerConfig
     /** Worker threads executing batches; 0 = hardware concurrency. */
     unsigned num_workers = 1;
     /**
+     * Cloud forwards allowed in flight at once — the size of the
+     * server's `ExecutionContext` pool. 0 = one per worker thread.
+     * Values above the worker count buy nothing (a context without a
+     * thread is idle); values below it throttle the pool.
+     */
+    std::int64_t max_concurrent_batches = 0;
+    /**
      * Add a per-request noise draw from the collection before the
      * cloud forward. Off = serve the raw activation (the paper's
      * "original execution" baseline).
      */
     bool apply_noise = true;
-    /** Seed of the server's private noise-sampling RNG. */
+    /**
+     * Root seed of the per-request noise draws. Request `id` draws
+     * with `Rng(noise_seed(seed, id))`, so one root seed fixes the
+     * whole noise assignment (see `noise_seed`).
+     */
     std::uint64_t seed = 0xC0FFEE;
     /**
      * Per-sample activation shape at the cut (rank 1–3). When set
@@ -130,7 +150,9 @@ class InferenceServer
   public:
     /**
      * @param model       Split view of the frozen network; the server
-     *                    runs its cloud half. Must outlive the server.
+     *                    runs its cloud half (read-only — the model
+     *                    may be shared with other servers or
+     *                    measurement code). Must outlive the server.
      * @param collection  Learned noise distribution sampled once per
      *                    request; may be null only when
      *                    `config.apply_noise` is false. Must outlive
@@ -148,7 +170,10 @@ class InferenceServer
     InferenceServer& operator=(const InferenceServer&) = delete;
 
     /**
-     * Enqueue one request.
+     * Enqueue one request with an auto-assigned id
+     * (`kAutoIdBase + n` for the n-th auto submit, so
+     * single-threaded submission is replayable and never collides
+     * with explicit ids).
      *
      * @param activation One sample's activation at the cutting point —
      *                   any shape whose element count matches the
@@ -160,6 +185,17 @@ class InferenceServer
      *         drains the queue.
      */
     std::future<Tensor> submit(Tensor activation);
+
+    /**
+     * Enqueue one request under a caller-chosen id. The id only
+     * selects the request's noise draw (`noise_seed(seed, id)`),
+     * making the assignment independent of submission interleaving —
+     * multi-threaded clients that pass stable ids get bit-identical
+     * noise on every replay. Reusing an id reuses its draw, so keep
+     * ids unique and below `kAutoIdBase` (auto-assigned ids live in
+     * the upper half-space, so the two schemes never share a draw).
+     */
+    std::future<Tensor> submit(Tensor activation, std::uint64_t request_id);
 
     /** Blocking convenience wrapper around `submit`. */
     Tensor infer(const Tensor& activation);
@@ -187,19 +223,54 @@ class InferenceServer
         return sample_shape_;
     }
 
+    /** Contexts available for concurrent cloud forwards. */
+    std::int64_t max_concurrent_batches() const
+    {
+        return static_cast<std::int64_t>(contexts_.size());
+    }
+
+    /**
+     * Auto-assigned request ids are `kAutoIdBase + n` for the n-th
+     * auto submit, keeping them disjoint from well-behaved explicit
+     * ids (callers should stay below this base): two distinct
+     * requests must never silently share a noise draw.
+     */
+    static constexpr std::uint64_t kAutoIdBase = 1ULL << 63;
+
+    /**
+     * Seed of request `request_id`'s private noise RNG under root
+     * seed `root_seed` (SplitMix64 of the pair). Pure function —
+     * exposed so tests and offline replay can reproduce the server's
+     * exact per-request draws:
+     * `collection.draw(Rng(noise_seed(seed, id)))`.
+     */
+    static std::uint64_t noise_seed(std::uint64_t root_seed,
+                                    std::uint64_t request_id);
+
   private:
     struct Request
     {
         Tensor activation;
         std::promise<Tensor> promise;
-        Stopwatch queued;  ///< Started at submit time.
+        std::uint64_t id = 0;  ///< Selects the noise draw.
+        Stopwatch queued;      ///< Started at submit time.
     };
+
+    /** Shared submit path; has_id=false auto-assigns from the counter. */
+    std::future<Tensor> submit_impl(Tensor activation, bool has_id,
+                                    std::uint64_t request_id);
 
     /** Dispatcher loop: form batches, hand them to the pool. */
     void dispatch_loop();
 
     /** Execute one formed batch on a pool worker. */
     void execute_batch(std::vector<Request> batch);
+
+    /** Block until a pooled context is free, then take it. */
+    nn::ExecutionContext* acquire_context();
+
+    /** Return a context taken with `acquire_context`. */
+    void release_context(nn::ExecutionContext* ctx);
 
     split::SplitModel& model_;
     const core::NoiseCollection* collection_;
@@ -211,16 +282,23 @@ class InferenceServer
     std::thread dispatcher_;
     std::mutex shutdown_mutex_;  ///< join() must run exactly once.
 
-    /** Guards queue_, accepting_ and the lazily-fixed sample shape. */
+    /** Guards queue_, accepting_, ids and the lazily-fixed shape. */
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<Request> queue_;
     bool accepting_ = true;
     bool stop_dispatcher_ = false;
+    std::uint64_t next_request_id_ = 0;
 
-    std::mutex model_mutex_;  ///< Layer caches are not reentrant.
-    std::mutex rng_mutex_;    ///< Noise draws from pool workers.
-    Rng rng_;
+    /**
+     * Pool of per-batch execution contexts — the whole concurrency
+     * story: each in-flight batch owns one while it runs, weights are
+     * never written, so no model mutex exists anywhere.
+     */
+    std::vector<std::unique_ptr<nn::ExecutionContext>> contexts_;
+    std::vector<nn::ExecutionContext*> free_contexts_;
+    std::mutex ctx_mutex_;
+    std::condition_variable ctx_cv_;
 
     mutable std::mutex stats_mutex_;
     ServerStats stats_;

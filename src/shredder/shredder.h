@@ -31,6 +31,7 @@
 #include "src/nn/activations.h"
 #include "src/nn/conv2d.h"
 #include "src/nn/dropout.h"
+#include "src/nn/execution_context.h"
 #include "src/nn/extras.h"
 #include "src/nn/flatten.h"
 #include "src/nn/init.h"

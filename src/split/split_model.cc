@@ -17,21 +17,25 @@ SplitModel::SplitModel(nn::Sequential& network, std::int64_t cut)
 }
 
 Tensor
-SplitModel::edge_forward(const Tensor& x, nn::Mode mode)
+SplitModel::edge_forward(const Tensor& x, nn::ExecutionContext& ctx,
+                         nn::Mode mode) const
 {
-    return network_.forward_range(x, 0, cut_, mode);
+    return network_.forward_range(x, 0, cut_, ctx, mode);
 }
 
 Tensor
-SplitModel::cloud_forward(const Tensor& activation, nn::Mode mode)
+SplitModel::cloud_forward(const Tensor& activation,
+                          nn::ExecutionContext& ctx, nn::Mode mode) const
 {
-    return network_.forward_range(activation, cut_, network_.size(), mode);
+    return network_.forward_range(activation, cut_, network_.size(), ctx,
+                                  mode);
 }
 
 Tensor
-SplitModel::cloud_backward(const Tensor& grad_logits)
+SplitModel::cloud_backward(const Tensor& grad_logits,
+                           nn::ExecutionContext& ctx)
 {
-    return network_.backward_range(grad_logits, cut_, network_.size());
+    return network_.backward_range(grad_logits, cut_, network_.size(), ctx);
 }
 
 Shape

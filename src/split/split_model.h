@@ -7,6 +7,12 @@
  * the activation `a`; the *remote* network R = layers [c, K) runs on
  * the cloud on the (noisy) activation. Backward through R only — L is
  * never differentiated, exactly as in the paper's gradient derivation.
+ *
+ * Forwards are `const` and thread per-call activation state through an
+ * `nn::ExecutionContext`, so one `SplitModel` (one set of weights)
+ * serves any number of concurrent callers — each caller brings its own
+ * context. This is what lets `runtime::InferenceServer` keep several
+ * cloud forwards in flight without replicating the model.
  */
 #ifndef SHREDDER_SPLIT_SPLIT_MODEL_H
 #define SHREDDER_SPLIT_SPLIT_MODEL_H
@@ -40,18 +46,21 @@ class SplitModel
     nn::Sequential& network() { return network_; }
 
     /** Run the local network L(x): edge-side forward. */
-    Tensor edge_forward(const Tensor& x, nn::Mode mode = nn::Mode::kEval);
+    Tensor edge_forward(const Tensor& x, nn::ExecutionContext& ctx,
+                        nn::Mode mode = nn::Mode::kEval) const;
 
     /** Run the remote network R(a′): cloud-side forward. */
-    Tensor cloud_forward(const Tensor& activation,
-                         nn::Mode mode = nn::Mode::kEval);
+    Tensor cloud_forward(const Tensor& activation, nn::ExecutionContext& ctx,
+                         nn::Mode mode = nn::Mode::kEval) const;
 
     /**
-     * Back-propagate through the cloud part only. Returns
+     * Back-propagate through the cloud part only, using the caches a
+     * preceding `cloud_forward` left in `ctx`. Returns
      * ∂loss/∂activation — the gradient Shredder uses to train the
      * noise tensor (∂(a+n)/∂n = 1).
      */
-    Tensor cloud_backward(const Tensor& grad_logits);
+    Tensor cloud_backward(const Tensor& grad_logits,
+                          nn::ExecutionContext& ctx);
 
     /** Shape of the activation tensor at the cut for a CHW input. */
     Shape activation_shape(const Shape& input_chw) const;

@@ -22,8 +22,9 @@ using nn::Mode;
 TEST(Sigmoid, RangeAndMidpoint)
 {
     nn::Sigmoid sig;
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::from_vector({-100.0f, 0.0f, 100.0f});
-    Tensor y = sig.forward(x, Mode::kEval);
+    Tensor y = sig.forward(x, ctx, Mode::kEval);
     EXPECT_NEAR(y[0], 0.0f, 1e-6);
     EXPECT_NEAR(y[1], 0.5f, 1e-6);
     EXPECT_NEAR(y[2], 1.0f, 1e-6);
@@ -40,8 +41,9 @@ TEST(Sigmoid, NumericGradient)
 TEST(LeakyReLU, SlopeAppliedBelowZero)
 {
     nn::LeakyReLU leaky(0.1f);
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::from_vector({-2.0f, 3.0f});
-    Tensor y = leaky.forward(x, Mode::kEval);
+    Tensor y = leaky.forward(x, ctx, Mode::kEval);
     EXPECT_FLOAT_EQ(y[0], -0.2f);
     EXPECT_FLOAT_EQ(y[1], 3.0f);
 }
@@ -61,8 +63,9 @@ TEST(SoftmaxLayer, RowsSumToOne)
 {
     nn::Softmax sm;
     Rng rng(3);
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({4, 6}), rng, 0.0f, 2.0f);
-    Tensor y = sm.forward(x, Mode::kEval);
+    Tensor y = sm.forward(x, ctx, Mode::kEval);
     for (std::int64_t r = 0; r < 4; ++r) {
         double s = 0.0;
         for (std::int64_t c = 0; c < 6; ++c) {
@@ -88,7 +91,8 @@ TEST(Upsample2x, NearestNeighborValues)
     x[1] = 2.0f;
     x[2] = 3.0f;
     x[3] = 4.0f;
-    Tensor y = up.forward(x, Mode::kEval);
+    nn::ExecutionContext ctx;
+    Tensor y = up.forward(x, ctx, Mode::kEval);
     EXPECT_EQ(y.shape(), Shape({1, 1, 4, 4}));
     EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.0f);
     EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 1.0f);
@@ -100,9 +104,10 @@ TEST(Upsample2x, NearestNeighborValues)
 TEST(Upsample2x, BackwardSumsBlocks)
 {
     nn::Upsample2x up;
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::ones(Shape({1, 1, 2, 2}));
-    Tensor y = up.forward(x, Mode::kEval);
-    Tensor g = up.backward(Tensor::ones(y.shape()));
+    Tensor y = up.forward(x, ctx, Mode::kEval);
+    Tensor g = up.backward(Tensor::ones(y.shape()), ctx);
     for (std::int64_t i = 0; i < 4; ++i) {
         EXPECT_FLOAT_EQ(g[i], 4.0f);
     }
@@ -128,8 +133,9 @@ TEST(Decoder, BuildsForConvActivation)
     const Shape out = dec->output_shape(Shape({2, 16, 7, 7}));
     EXPECT_EQ(out, Shape({2, 1, 28, 28}));
     // Output through sigmoid stays in [0, 1].
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({2, 16, 7, 7}), rng);
-    Tensor y = dec->forward(x, Mode::kEval);
+    Tensor y = dec->forward(x, ctx, Mode::kEval);
     EXPECT_GE(y.min(), 0.0f);
     EXPECT_LE(y.max(), 1.0f);
 }

@@ -15,6 +15,7 @@
 namespace shredder {
 namespace {
 
+using nn::ExecutionContext;
 using nn::Mode;
 
 // ---------------------------------------------------------------------
@@ -24,8 +25,9 @@ using nn::Mode;
 TEST(ReLU, ForwardClampsNegatives)
 {
     nn::ReLU relu;
+    ExecutionContext ctx;
     Tensor x = Tensor::from_vector({-1.0f, 0.0f, 2.0f});
-    Tensor y = relu.forward(x, Mode::kEval);
+    Tensor y = relu.forward(x, ctx, Mode::kEval);
     EXPECT_EQ(y[0], 0.0f);
     EXPECT_EQ(y[1], 0.0f);
     EXPECT_EQ(y[2], 2.0f);
@@ -34,9 +36,10 @@ TEST(ReLU, ForwardClampsNegatives)
 TEST(ReLU, GradientMasksNegatives)
 {
     nn::ReLU relu;
+    ExecutionContext ctx;
     Tensor x = Tensor::from_vector({-1.0f, 3.0f});
-    relu.forward(x, Mode::kEval);
-    Tensor g = relu.backward(Tensor::from_vector({5.0f, 7.0f}));
+    relu.forward(x, ctx, Mode::kEval);
+    Tensor g = relu.backward(Tensor::from_vector({5.0f, 7.0f}), ctx);
     EXPECT_EQ(g[0], 0.0f);
     EXPECT_EQ(g[1], 7.0f);
 }
@@ -53,6 +56,25 @@ TEST(ReLU, NumericGradient)
     testing::check_layer_gradients(relu, x, rng);
 }
 
+TEST(ReLU, IndependentContextsDoNotInterfere)
+{
+    // The statelessness contract: two execution streams may interleave
+    // forwards on ONE layer object and still back-propagate correctly,
+    // because caches live in the contexts.
+    nn::ReLU relu;
+    ExecutionContext ctx_a, ctx_b;
+    Tensor xa = Tensor::from_vector({-1.0f, 3.0f});
+    Tensor xb = Tensor::from_vector({2.0f, -4.0f});
+    relu.forward(xa, ctx_a, Mode::kEval);
+    relu.forward(xb, ctx_b, Mode::kEval);  // would clobber member caches
+    Tensor ga = relu.backward(Tensor::from_vector({5.0f, 7.0f}), ctx_a);
+    Tensor gb = relu.backward(Tensor::from_vector({11.0f, 13.0f}), ctx_b);
+    EXPECT_EQ(ga[0], 0.0f);  // xa[0] < 0
+    EXPECT_EQ(ga[1], 7.0f);
+    EXPECT_EQ(gb[0], 11.0f);
+    EXPECT_EQ(gb[1], 0.0f);  // xb[1] < 0
+}
+
 // ---------------------------------------------------------------------
 // Tanh
 // ---------------------------------------------------------------------
@@ -60,9 +82,10 @@ TEST(ReLU, NumericGradient)
 TEST(Tanh, ForwardRange)
 {
     nn::Tanh tanh_layer;
+    ExecutionContext ctx;
     Rng rng(2);
     Tensor x = Tensor::normal(Shape({10}), rng, 0.0f, 3.0f);
-    Tensor y = tanh_layer.forward(x, Mode::kEval);
+    Tensor y = tanh_layer.forward(x, ctx, Mode::kEval);
     for (std::int64_t i = 0; i < y.size(); ++i) {
         EXPECT_GT(y[i], -1.0f);
         EXPECT_LT(y[i], 1.0f);
@@ -88,10 +111,11 @@ TEST(Linear, KnownForward)
     fc.weight().value[0] = 2.0f;
     fc.weight().value[1] = -1.0f;
     fc.bias().value[0] = 0.5f;
+    ExecutionContext ctx;
     Tensor x(Shape({1, 2}));
     x[0] = 3.0f;
     x[1] = 4.0f;
-    Tensor y = fc.forward(x, Mode::kEval);
+    Tensor y = fc.forward(x, ctx, Mode::kEval);
     EXPECT_FLOAT_EQ(y[0], 2.0f * 3.0f - 4.0f + 0.5f);
 }
 
@@ -116,10 +140,11 @@ TEST(Linear, FrozenWeightSkipsGradAccumulation)
     Rng rng(7);
     nn::Linear fc(3, 2, rng);
     fc.set_frozen(true);
+    ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({2, 3}), rng);
     fc.zero_grad();
-    Tensor y = fc.forward(x, Mode::kTrain);
-    fc.backward(Tensor::ones(y.shape()));
+    Tensor y = fc.forward(x, ctx, Mode::kTrain);
+    fc.backward(Tensor::ones(y.shape()), ctx);
     EXPECT_DOUBLE_EQ(fc.weight().grad.abs_sum(), 0.0);
     EXPECT_DOUBLE_EQ(fc.bias().grad.abs_sum(), 0.0);
 }
@@ -139,8 +164,9 @@ TEST(Conv2d, KnownForwardSumKernel)
     nn::Conv2d conv(cfg, rng);
     conv.weight().value.fill(1.0f);
     conv.bias().value.fill(0.0f);
+    ExecutionContext ctx;
     Tensor x = Tensor::ones(Shape({1, 1, 2, 2}));
-    Tensor y = conv.forward(x, Mode::kEval);
+    Tensor y = conv.forward(x, ctx, Mode::kEval);
     EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
     EXPECT_FLOAT_EQ(y[0], 4.0f);
 }
@@ -156,8 +182,9 @@ TEST(Conv2d, BiasIsAdded)
     conv.weight().value.fill(0.0f);
     conv.bias().value[0] = 1.5f;
     conv.bias().value[1] = -2.0f;
+    ExecutionContext ctx;
     Tensor x = Tensor::ones(Shape({1, 1, 3, 3}));
-    Tensor y = conv.forward(x, Mode::kEval);
+    Tensor y = conv.forward(x, ctx, Mode::kEval);
     EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 1.5f);
     EXPECT_FLOAT_EQ(y.at4(0, 1, 2, 2), -2.0f);
 }
@@ -227,12 +254,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(MaxPool2d, SelectsWindowMaximum)
 {
     nn::MaxPool2d pool(nn::PoolConfig{2, 2, 0});
+    ExecutionContext ctx;
     Tensor x(Shape({1, 1, 2, 2}));
     x[0] = 1.0f;
     x[1] = 9.0f;
     x[2] = 3.0f;
     x[3] = 4.0f;
-    Tensor y = pool.forward(x, Mode::kEval);
+    Tensor y = pool.forward(x, ctx, Mode::kEval);
     EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
     EXPECT_FLOAT_EQ(y[0], 9.0f);
 }
@@ -240,13 +268,15 @@ TEST(MaxPool2d, SelectsWindowMaximum)
 TEST(MaxPool2d, GradientRoutesToArgmax)
 {
     nn::MaxPool2d pool(nn::PoolConfig{2, 2, 0});
+    ExecutionContext ctx;
     Tensor x(Shape({1, 1, 2, 2}));
     x[0] = 1.0f;
     x[1] = 9.0f;
     x[2] = 3.0f;
     x[3] = 4.0f;
-    pool.forward(x, Mode::kEval);
-    Tensor g = pool.backward(Tensor::full(Shape({1, 1, 1, 1}), 2.0f));
+    pool.forward(x, ctx, Mode::kEval);
+    Tensor g =
+        pool.backward(Tensor::full(Shape({1, 1, 1, 1}), 2.0f), ctx);
     EXPECT_FLOAT_EQ(g[1], 2.0f);
     EXPECT_FLOAT_EQ(g[0], 0.0f);
     EXPECT_FLOAT_EQ(g[2], 0.0f);
@@ -255,9 +285,10 @@ TEST(MaxPool2d, GradientRoutesToArgmax)
 TEST(MaxPool2d, OverlappingWindowsAlexNetStyle)
 {
     nn::MaxPool2d pool(nn::PoolConfig{3, 2, 0});
+    ExecutionContext ctx;
     Rng rng(12);
     Tensor x = Tensor::normal(Shape({1, 2, 7, 7}), rng);
-    Tensor y = pool.forward(x, Mode::kEval);
+    Tensor y = pool.forward(x, ctx, Mode::kEval);
     EXPECT_EQ(y.shape(), Shape({1, 2, 3, 3}));
 }
 
@@ -273,12 +304,13 @@ TEST(MaxPool2d, NumericGradient)
 TEST(AvgPool2d, AveragesWindow)
 {
     nn::AvgPool2d pool(nn::PoolConfig{2, 2, 0});
+    ExecutionContext ctx;
     Tensor x(Shape({1, 1, 2, 2}));
     x[0] = 1.0f;
     x[1] = 2.0f;
     x[2] = 3.0f;
     x[3] = 4.0f;
-    Tensor y = pool.forward(x, Mode::kEval);
+    Tensor y = pool.forward(x, ctx, Mode::kEval);
     EXPECT_FLOAT_EQ(y[0], 2.5f);
 }
 
@@ -297,9 +329,10 @@ TEST(AvgPool2d, NumericGradient)
 TEST(Flatten, ForwardShape)
 {
     nn::Flatten flat;
+    ExecutionContext ctx;
     Rng rng(15);
     Tensor x = Tensor::normal(Shape({4, 3, 2, 2}), rng);
-    Tensor y = flat.forward(x, Mode::kEval);
+    Tensor y = flat.forward(x, ctx, Mode::kEval);
     EXPECT_EQ(y.shape(), Shape({4, 12}));
     EXPECT_EQ(y[5], x[5]);  // data order preserved
 }
@@ -307,10 +340,11 @@ TEST(Flatten, ForwardShape)
 TEST(Flatten, BackwardRestoresShape)
 {
     nn::Flatten flat;
+    ExecutionContext ctx;
     Rng rng(16);
     Tensor x = Tensor::normal(Shape({2, 3, 2, 2}), rng);
-    Tensor y = flat.forward(x, Mode::kEval);
-    Tensor g = flat.backward(Tensor::ones(y.shape()));
+    Tensor y = flat.forward(x, ctx, Mode::kEval);
+    Tensor g = flat.backward(Tensor::ones(y.shape()), ctx);
     EXPECT_EQ(g.shape(), x.shape());
 }
 
@@ -320,19 +354,20 @@ TEST(Flatten, BackwardRestoresShape)
 
 TEST(Dropout, EvalIsIdentity)
 {
+    nn::Dropout drop(0.5f);
+    ExecutionContext ctx(17);
     Rng rng(17);
-    nn::Dropout drop(0.5f, rng);
     Tensor x = Tensor::normal(Shape({100}), rng);
-    Tensor y = drop.forward(x, Mode::kEval);
+    Tensor y = drop.forward(x, ctx, Mode::kEval);
     EXPECT_DOUBLE_EQ(ops::max_abs_diff(x, y), 0.0);
 }
 
 TEST(Dropout, TrainZeroesRoughlyP)
 {
-    Rng rng(18);
-    nn::Dropout drop(0.4f, rng);
+    nn::Dropout drop(0.4f);
+    ExecutionContext ctx(18);
     Tensor x = Tensor::ones(Shape({20000}));
-    Tensor y = drop.forward(x, Mode::kTrain);
+    Tensor y = drop.forward(x, ctx, Mode::kTrain);
     std::int64_t zeros = 0;
     for (std::int64_t i = 0; i < y.size(); ++i) {
         if (y[i] == 0.0f) {
@@ -346,23 +381,75 @@ TEST(Dropout, TrainZeroesRoughlyP)
 
 TEST(Dropout, TrainPreservesExpectation)
 {
-    Rng rng(19);
-    nn::Dropout drop(0.3f, rng);
+    nn::Dropout drop(0.3f);
+    ExecutionContext ctx(19);
     Tensor x = Tensor::ones(Shape({50000}));
-    Tensor y = drop.forward(x, Mode::kTrain);
+    Tensor y = drop.forward(x, ctx, Mode::kTrain);
     EXPECT_NEAR(y.mean(), 1.0, 0.02);
 }
 
 TEST(Dropout, BackwardUsesSameMask)
 {
-    Rng rng(20);
-    nn::Dropout drop(0.5f, rng);
+    nn::Dropout drop(0.5f);
+    ExecutionContext ctx(20);
     Tensor x = Tensor::ones(Shape({1000}));
-    Tensor y = drop.forward(x, Mode::kTrain);
-    Tensor g = drop.backward(Tensor::ones(x.shape()));
+    Tensor y = drop.forward(x, ctx, Mode::kTrain);
+    Tensor g = drop.backward(Tensor::ones(x.shape()), ctx);
     for (std::int64_t i = 0; i < x.size(); ++i) {
         EXPECT_EQ(g[i], y[i]);  // identical mask & scale
     }
+}
+
+TEST(Dropout, SeededContextIsReproducible)
+{
+    nn::Dropout drop(0.5f);
+    Tensor x = Tensor::ones(Shape({512}));
+    ExecutionContext ctx_a(99), ctx_b(99);
+    Tensor ya = drop.forward(x, ctx_a, Mode::kTrain);
+    Tensor yb = drop.forward(x, ctx_b, Mode::kTrain);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(ya, yb), 0.0);
+}
+
+TEST(Dropout, EvalInAnotherContextDoesNotPoisonTraining)
+{
+    // Regression for the seed-era hazard: `last_was_train_` was a
+    // layer member, so an eval forward (any other stream!) between a
+    // train forward and its backward made backward skip the mask —
+    // silently wrong gradients. With per-context state the training
+    // stream is immune to interleaved eval traffic.
+    nn::Dropout drop(0.5f);
+    Tensor x = Tensor::ones(Shape({1000}));
+
+    ExecutionContext train_ctx(21);
+    Tensor y = drop.forward(x, train_ctx, Mode::kTrain);
+
+    ExecutionContext serve_ctx;  // e.g. a concurrent inference stream
+    drop.forward(x, serve_ctx, Mode::kEval);
+
+    Tensor g = drop.backward(Tensor::ones(x.shape()), train_ctx);
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(g[i], y[i]) << "mask lost at " << i;
+    }
+    // And the eval stream's backward is a pass-through, as its own
+    // forward was.
+    Tensor ge = drop.backward(Tensor::ones(x.shape()), serve_ctx);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(ge, Tensor::ones(x.shape())), 0.0);
+}
+
+TEST(Dropout, TwoTrainingStreamsKeepDistinctMasks)
+{
+    nn::Dropout drop(0.5f);
+    Tensor x = Tensor::ones(Shape({2000}));
+    ExecutionContext ctx_a(1), ctx_b(2);
+    Tensor ya = drop.forward(x, ctx_a, Mode::kTrain);
+    Tensor yb = drop.forward(x, ctx_b, Mode::kTrain);
+    // Backward through each context applies that context's own mask.
+    Tensor ga = drop.backward(Tensor::ones(x.shape()), ctx_a);
+    Tensor gb = drop.backward(Tensor::ones(x.shape()), ctx_b);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(ga, ya), 0.0);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(gb, yb), 0.0);
+    // Different seeds ⇒ different masks (overwhelmingly likely).
+    EXPECT_GT(ops::max_abs_diff(ya, yb), 0.0);
 }
 
 // ---------------------------------------------------------------------
@@ -377,8 +464,9 @@ TEST(Lrn, NormalizesAcrossChannels)
     cfg.beta = 1.0f;
     cfg.k = 1.0f;
     nn::LocalResponseNorm lrn(cfg);
+    ExecutionContext ctx;
     Tensor x = Tensor::ones(Shape({1, 3, 1, 1}));
-    Tensor y = lrn.forward(x, Mode::kEval);
+    Tensor y = lrn.forward(x, ctx, Mode::kEval);
     // Middle channel window covers all 3 ones: scale = 1 + (1/3)*3 = 2.
     EXPECT_NEAR(y.at4(0, 1, 0, 0), 0.5f, 1e-5);
     // Edge channels see a 2-wide window: scale = 1 + (1/3)*2.
@@ -391,9 +479,10 @@ TEST(Lrn, IdentityWhenAlphaZero)
     cfg.alpha = 0.0f;
     cfg.k = 1.0f;
     nn::LocalResponseNorm lrn(cfg);
+    ExecutionContext ctx;
     Rng rng(21);
     Tensor x = Tensor::normal(Shape({2, 4, 3, 3}), rng);
-    Tensor y = lrn.forward(x, Mode::kEval);
+    Tensor y = lrn.forward(x, ctx, Mode::kEval);
     EXPECT_NEAR(ops::max_abs_diff(x, y), 0.0, 1e-6);
 }
 
@@ -411,16 +500,77 @@ TEST(Lrn, NumericGradient)
 }
 
 // ---------------------------------------------------------------------
+// ExecutionContext plumbing
+// ---------------------------------------------------------------------
+
+TEST(ExecutionContext, StateSlotsAreKeyedByLayerIdentity)
+{
+    nn::ReLU a, b;
+    ExecutionContext ctx;
+    EXPECT_EQ(ctx.num_states(), 0u);
+    ctx.state(&a).in_shape = Shape({1, 2});
+    ctx.state(&b).in_shape = Shape({3, 4});
+    EXPECT_EQ(ctx.num_states(), 2u);
+    EXPECT_EQ(ctx.state(&a).in_shape, Shape({1, 2}));
+    EXPECT_EQ(ctx.state(&b).in_shape, Shape({3, 4}));
+    ctx.clear();
+    EXPECT_EQ(ctx.num_states(), 0u);
+    EXPECT_EQ(ctx.state(&a).in_shape.rank(), 0);
+}
+
+TEST(ExecutionContext, ForwardOnlyContextSkipsActivationCaches)
+{
+    // Serving contexts disable retention: outputs are identical, but
+    // no per-layer activation copy is stored.
+    Rng rng(30);
+    nn::Linear fc(4, 3, rng);
+    Tensor x = Tensor::normal(Shape({2, 4}), rng);
+
+    ExecutionContext train_ctx;
+    ExecutionContext serve_ctx;
+    serve_ctx.set_retain_activations(false);
+    Tensor y_train = fc.forward(x, train_ctx, Mode::kEval);
+    Tensor y_serve = fc.forward(x, serve_ctx, Mode::kEval);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(y_train, y_serve), 0.0);
+    EXPECT_FALSE(train_ctx.state(&fc).cached.empty());
+    EXPECT_TRUE(serve_ctx.state(&fc).cached.empty());
+
+    nn::MaxPool2d pool(nn::PoolConfig{2, 2, 0});
+    Tensor img = Tensor::normal(Shape({1, 1, 4, 4}), rng);
+    Tensor p_train = pool.forward(img, train_ctx, Mode::kEval);
+    Tensor p_serve = pool.forward(img, serve_ctx, Mode::kEval);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(p_train, p_serve), 0.0);
+    EXPECT_FALSE(train_ctx.state(&pool).argmax.empty());
+    EXPECT_TRUE(serve_ctx.state(&pool).argmax.empty());
+}
+
+TEST(ExecutionContext, ClearResetsLayerState)
+{
+    nn::LayerState state;
+    state.cached = Tensor::ones(Shape({4}));
+    state.argmax = {1, 2};
+    state.mask = {0.5f};
+    state.stochastic = true;
+    state.clear();
+    EXPECT_TRUE(state.cached.empty());
+    EXPECT_TRUE(state.argmax.empty());
+    EXPECT_TRUE(state.mask.empty());
+    EXPECT_FALSE(state.stochastic);
+}
+
+// ---------------------------------------------------------------------
 // Identity
 // ---------------------------------------------------------------------
 
 TEST(Identity, PassThrough)
 {
     nn::Identity id;
+    ExecutionContext ctx;
     Rng rng(23);
     Tensor x = Tensor::normal(Shape({5}), rng);
-    EXPECT_DOUBLE_EQ(ops::max_abs_diff(id.forward(x, Mode::kEval), x), 0.0);
-    EXPECT_DOUBLE_EQ(ops::max_abs_diff(id.backward(x), x), 0.0);
+    EXPECT_DOUBLE_EQ(
+        ops::max_abs_diff(id.forward(x, ctx, Mode::kEval), x), 0.0);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(id.backward(x, ctx), x), 0.0);
     EXPECT_EQ(id.kind(), "identity");
 }
 

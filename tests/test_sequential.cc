@@ -39,8 +39,9 @@ TEST(Sequential, ForwardShape)
 {
     Rng rng(1);
     auto net = small_cnn(rng);
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({2, 1, 8, 8}), rng);
-    Tensor y = net->forward(x, Mode::kEval);
+    Tensor y = net->forward(x, ctx, Mode::kEval);
     EXPECT_EQ(y.shape(), Shape({2, 3}));
     EXPECT_EQ(net->output_shape(x.shape()), y.shape());
 }
@@ -49,11 +50,12 @@ TEST(Sequential, RangeComposesToFullForward)
 {
     Rng rng(2);
     auto net = small_cnn(rng);
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({2, 1, 8, 8}), rng);
-    const Tensor full = net->forward(x, Mode::kEval);
+    const Tensor full = net->forward(x, ctx, Mode::kEval);
     for (std::int64_t cut = 0; cut <= net->size(); ++cut) {
-        Tensor a = net->forward_range(x, 0, cut, Mode::kEval);
-        Tensor y = net->forward_range(a, cut, net->size(), Mode::kEval);
+        Tensor a = net->forward_range(x, 0, cut, ctx, Mode::kEval);
+        Tensor y = net->forward_range(a, cut, net->size(), ctx, Mode::kEval);
         testing::expect_tensors_near(full, y, 0.0, "cut equivalence");
     }
 }
@@ -62,10 +64,11 @@ TEST(Sequential, OutputShapeRangeMatchesExecution)
 {
     Rng rng(3);
     auto net = small_cnn(rng);
+    nn::ExecutionContext ctx;
     const Shape in({2, 1, 8, 8});
     for (std::int64_t cut = 0; cut <= net->size(); ++cut) {
         Tensor x = Tensor::normal(in, rng);
-        Tensor a = net->forward_range(x, 0, cut, Mode::kEval);
+        Tensor a = net->forward_range(x, 0, cut, ctx, Mode::kEval);
         EXPECT_EQ(net->output_shape_range(in, 0, cut), a.shape());
     }
 }
@@ -105,8 +108,9 @@ TEST(Sequential, CheckpointRoundTrip)
 {
     Rng rng(7);
     auto net = small_cnn(rng);
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({1, 1, 8, 8}), rng);
-    const Tensor y_before = net->forward(x, Mode::kEval);
+    const Tensor y_before = net->forward(x, ctx, Mode::kEval);
 
     const std::string path =
         (std::filesystem::temp_directory_path() / "shredder_ckpt_test.bin")
@@ -115,11 +119,11 @@ TEST(Sequential, CheckpointRoundTrip)
 
     Rng rng2(999);  // different init
     auto net2 = small_cnn(rng2);
-    const Tensor y_fresh = net2->forward(x, Mode::kEval);
+    const Tensor y_fresh = net2->forward(x, ctx, Mode::kEval);
     EXPECT_GT(ops::max_abs_diff(y_before, y_fresh), 1e-3);
 
     net2->load_checkpoint(path);
-    const Tensor y_loaded = net2->forward(x, Mode::kEval);
+    const Tensor y_loaded = net2->forward(x, ctx, Mode::kEval);
     testing::expect_tensors_near(y_before, y_loaded, 0.0, "checkpoint");
     std::remove(path.c_str());
 }

@@ -1,4 +1,4 @@
-/** @file Tests for the batched inference server. */
+/** @file Tests for the batched, concurrent inference server. */
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -51,6 +51,14 @@ struct Fixture
         return c;
     }
 
+    /** Serial reference forward of one per-sample activation. */
+    Tensor
+    direct_forward(const Tensor& a, nn::ExecutionContext& ctx)
+    {
+        return model.cloud_forward(a.reshaped(act_shape), ctx,
+                                   nn::Mode::kEval);
+    }
+
     Rng rng;
     std::unique_ptr<nn::Sequential> net;
     std::int64_t cut;
@@ -66,11 +74,11 @@ TEST(InferenceServer, MatchesDirectCloudForward)
     cfg.max_batch = 4;
     InferenceServer server(fx.model, nullptr, cfg);
 
+    nn::ExecutionContext ctx;
     for (int i = 0; i < 5; ++i) {
         const Tensor a = fx.sample_activation();
         const Tensor served = server.infer(a);
-        const Tensor direct = fx.model.cloud_forward(
-            a.reshaped(fx.act_shape), nn::Mode::kEval);
+        const Tensor direct = fx.direct_forward(a, ctx);
         ASSERT_EQ(served.shape().rank(), 1);
         ASSERT_EQ(served.size(), direct.size());
         testing::expect_tensors_near(
@@ -143,9 +151,9 @@ TEST(InferenceServer, PerRequestNoiseIsApplied)
     EXPECT_GT(ops::max_abs_diff(with_noise, without), 1e-4);
 
     // And it must equal the hand-noised forward.
-    const Tensor direct = fx.model.cloud_forward(
-        ops::add(a, coll.get(0).noise).reshaped(fx.act_shape),
-        nn::Mode::kEval);
+    nn::ExecutionContext ctx;
+    const Tensor direct =
+        fx.direct_forward(ops::add(a, coll.get(0).noise), ctx);
     testing::expect_tensors_near(
         with_noise, direct.reshaped(with_noise.shape()), 1e-6,
         "noised served vs hand-noised direct");
@@ -188,6 +196,240 @@ TEST(InferenceServer, ConcurrentSubmitIsSafe)
     }
     EXPECT_EQ(server.stats().requests, kThreads * kPerThread);
 }
+
+// ---------------------------------------------------------------------
+// Concurrent execution on shared weights (the stateless-layer story)
+// ---------------------------------------------------------------------
+
+TEST(InferenceServer, ConcurrentStressBitExactVsSerial)
+{
+    // A few hundred requests from several client threads, executed by
+    // several workers with several in-flight forwards on ONE model —
+    // every result must be BIT-EXACT against a serial
+    // `SplitModel::cloud_forward` with the same noise draw.
+    // max_batch = 1 keeps the served and serial code paths identical
+    // (same GEMM shapes), so any deviation at all means the concurrent
+    // forwards corrupted each other's state.
+    Fixture fx;
+    core::NoiseCollection coll = fx.collection(3);
+    InferenceServerConfig cfg;
+    cfg.max_batch = 1;
+    cfg.batch_timeout_ms = 0.0;
+    cfg.num_workers = 4;
+    cfg.max_concurrent_batches = 4;
+    cfg.seed = 0xFEEDFACEULL;
+    InferenceServer server(fx.model, &coll, cfg);
+    EXPECT_EQ(server.max_concurrent_batches(), 4);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 75;  // 300 requests total
+    std::vector<std::vector<Tensor>> acts(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+            acts[static_cast<std::size_t>(t)].push_back(
+                fx.sample_activation());
+        }
+    }
+
+    std::vector<std::vector<std::future<Tensor>>> futures(kThreads);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Stable per-request ids pin the noise assignment no
+                // matter how the client threads interleave.
+                const auto id = static_cast<std::uint64_t>(
+                    t * kPerThread + i);
+                futures[static_cast<std::size_t>(t)].push_back(
+                    server.submit(
+                        acts[static_cast<std::size_t>(t)]
+                            [static_cast<std::size_t>(i)],
+                        id));
+            }
+        });
+    }
+    for (auto& c : clients) {
+        c.join();
+    }
+
+    nn::ExecutionContext serial_ctx;
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+            const Tensor got =
+                futures[static_cast<std::size_t>(t)]
+                       [static_cast<std::size_t>(i)].get();
+            const auto id =
+                static_cast<std::uint64_t>(t * kPerThread + i);
+            // Reproduce the server's draw offline via the pure seed
+            // function, then the serial forward.
+            Rng draw_rng(InferenceServer::noise_seed(cfg.seed, id));
+            const Tensor& noise = coll.draw(draw_rng).noise;
+            const Tensor expected = fx.direct_forward(
+                ops::add(acts[static_cast<std::size_t>(t)]
+                             [static_cast<std::size_t>(i)],
+                         noise),
+                serial_ctx);
+            testing::expect_tensors_near(
+                got, expected.reshaped(got.shape()), 0.0,
+                "concurrent vs serial bit-exactness");
+        }
+    }
+    EXPECT_EQ(server.stats().requests, kThreads * kPerThread);
+}
+
+TEST(InferenceServer, ConcurrentBatchedAgreesWithSerial)
+{
+    // Same concurrency, but with real batch fusion (max_batch 8).
+    // Fused GEMMs take different (batch-size dependent) kernel paths
+    // than batch-1 forwards, so the comparison uses a numeric
+    // tolerance; state corruption would blow far past it.
+    Fixture fx;
+    core::NoiseCollection coll = fx.collection(2);
+    InferenceServerConfig cfg;
+    cfg.max_batch = 8;
+    cfg.batch_timeout_ms = 1.0;
+    cfg.num_workers = 2;
+    cfg.max_concurrent_batches = 2;
+    cfg.seed = 0xABCDEFULL;
+    InferenceServer server(fx.model, &coll, cfg);
+
+    constexpr int kRequests = 200;
+    std::vector<Tensor> acts;
+    for (int i = 0; i < kRequests; ++i) {
+        acts.push_back(fx.sample_activation());
+    }
+    std::vector<std::thread> clients;
+    std::vector<std::vector<std::future<Tensor>>> per_client(2);
+    for (int t = 0; t < 2; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = t; i < kRequests; i += 2) {
+                per_client[static_cast<std::size_t>(t)].push_back(
+                    server.submit(acts[static_cast<std::size_t>(i)],
+                                  static_cast<std::uint64_t>(i)));
+            }
+        });
+    }
+    for (auto& c : clients) {
+        c.join();
+    }
+
+    nn::ExecutionContext serial_ctx;
+    for (int t = 0; t < 2; ++t) {
+        int i = t;
+        for (auto& f : per_client[static_cast<std::size_t>(t)]) {
+            const Tensor got = f.get();
+            Rng draw_rng(InferenceServer::noise_seed(
+                cfg.seed, static_cast<std::uint64_t>(i)));
+            const Tensor& noise = coll.draw(draw_rng).noise;
+            const Tensor expected = fx.direct_forward(
+                ops::add(acts[static_cast<std::size_t>(i)], noise),
+                serial_ctx);
+            testing::expect_tensors_near(
+                got, expected.reshaped(got.shape()), 1e-5,
+                "concurrent batched vs serial");
+            i += 2;
+        }
+    }
+}
+
+TEST(InferenceServer, ReplaySeedReproducesNoiseAssignment)
+{
+    // §2.5 deployment replay: the same root seed and request ids must
+    // reproduce the exact per-request noise assignment — and thus
+    // bit-identical logits — across server instances.
+    Fixture fx;
+    core::NoiseCollection coll = fx.collection(4);
+    std::vector<Tensor> acts;
+    for (int i = 0; i < 40; ++i) {
+        acts.push_back(fx.sample_activation());
+    }
+
+    const auto run = [&](std::uint64_t seed) {
+        InferenceServerConfig cfg;
+        cfg.max_batch = 1;  // identical kernel paths across runs
+        cfg.batch_timeout_ms = 0.0;
+        cfg.num_workers = 2;
+        cfg.seed = seed;
+        InferenceServer server(fx.model, &coll, cfg);
+        std::vector<std::future<Tensor>> futures;
+        for (const Tensor& a : acts) {
+            futures.push_back(server.submit(a));  // auto ids 0, 1, 2, …
+        }
+        std::vector<Tensor> out;
+        for (auto& f : futures) {
+            out.push_back(f.get());
+        }
+        return out;
+    };
+
+    const std::vector<Tensor> first = run(0xD06F00DULL);
+    const std::vector<Tensor> replay = run(0xD06F00DULL);
+    const std::vector<Tensor> other = run(0x0DDBA11ULL);
+
+    bool any_differs_across_seeds = false;
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+        testing::expect_tensors_near(first[i], replay[i], 0.0,
+                                     "same-seed replay");
+        if (ops::max_abs_diff(first[i], other[i]) > 0.0) {
+            any_differs_across_seeds = true;
+        }
+    }
+    // A different root seed permutes the assignment (4 stored tensors
+    // over 40 requests: some request must land on a different draw).
+    EXPECT_TRUE(any_differs_across_seeds);
+
+    // The assignment is also predictable offline, request by request:
+    // the n-th auto-submitted request draws under kAutoIdBase + n.
+    nn::ExecutionContext ctx;
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+        Rng draw_rng(InferenceServer::noise_seed(
+            0xD06F00DULL,
+            InferenceServer::kAutoIdBase + static_cast<std::uint64_t>(i)));
+        const Tensor expected = fx.direct_forward(
+            ops::add(acts[i], coll.draw(draw_rng).noise), ctx);
+        testing::expect_tensors_near(
+            first[i], expected.reshaped(first[i].shape()), 0.0,
+            "offline replay of the draw");
+    }
+}
+
+TEST(InferenceServer, SharedModelAcrossServersIsSafe)
+{
+    // Two servers on ONE SplitModel — the exact pattern the old
+    // per-server model mutex could not protect (its scope was one
+    // server). Stateless layers make it safe by construction.
+    Fixture fx;
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    cfg.max_batch = 2;
+    cfg.num_workers = 2;
+    InferenceServer server_a(fx.model, nullptr, cfg);
+    InferenceServer server_b(fx.model, nullptr, cfg);
+
+    std::vector<Tensor> acts;
+    for (int i = 0; i < 32; ++i) {
+        acts.push_back(fx.sample_activation());
+    }
+    std::vector<std::future<Tensor>> fa, fb;
+    for (const Tensor& a : acts) {
+        fa.push_back(server_a.submit(a));
+        fb.push_back(server_b.submit(a));
+    }
+    nn::ExecutionContext ctx;
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+        const Tensor direct = fx.direct_forward(acts[i], ctx);
+        const Tensor ya = fa[i].get();
+        const Tensor yb = fb[i].get();
+        testing::expect_tensors_near(ya, direct.reshaped(ya.shape()),
+                                     1e-5, "server A vs direct");
+        testing::expect_tensors_near(yb, direct.reshaped(yb.shape()),
+                                     1e-5, "server B vs direct");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle and contract checks
+// ---------------------------------------------------------------------
 
 TEST(InferenceServer, ShutdownWithEmptyQueueIsClean)
 {

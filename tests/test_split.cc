@@ -18,13 +18,14 @@ TEST(SplitModel, EdgePlusCloudEqualsFullForward)
 {
     Rng rng(1);
     auto net = models::make_lenet(rng);
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({2, 1, 28, 28}), rng);
-    const Tensor full = net->forward(x, Mode::kEval);
+    const Tensor full = net->forward(x, ctx, Mode::kEval);
 
     for (std::int64_t cut = 0; cut <= net->size(); ++cut) {
         split::SplitModel sm(*net, cut);
-        const Tensor a = sm.edge_forward(x);
-        const Tensor y = sm.cloud_forward(a);
+        const Tensor a = sm.edge_forward(x, ctx);
+        const Tensor y = sm.cloud_forward(a, ctx);
         testing::expect_tensors_near(full, y, 0.0, "split equivalence");
     }
 }
@@ -34,9 +35,10 @@ TEST(SplitModel, ActivationShapeMatchesExecution)
     Rng rng(2);
     auto net = models::make_svhn_net(rng);
     Tensor x = Tensor::normal(Shape({1, 3, 32, 32}), rng);
+    nn::ExecutionContext ctx;
     for (std::int64_t cut : split::conv_cut_points(*net)) {
         split::SplitModel sm(*net, cut);
-        const Tensor a = sm.edge_forward(x);
+        const Tensor a = sm.edge_forward(x, ctx);
         EXPECT_EQ(sm.activation_shape(Shape({3, 32, 32})), a.shape());
     }
 }
@@ -49,13 +51,14 @@ TEST(SplitModel, CloudBackwardReachesCutGradient)
     const std::int64_t cut = split::conv_cut_points(*net).back();
     split::SplitModel sm(*net, cut);
 
+    nn::ExecutionContext ctx;
     Tensor x = Tensor::normal(Shape({1, 1, 28, 28}), rng);
-    const Tensor a = sm.edge_forward(x);
-    const Tensor y0 = sm.cloud_forward(a);
+    const Tensor a = sm.edge_forward(x, ctx);
+    const Tensor y0 = sm.cloud_forward(a, ctx);
     const Tensor w = Tensor::normal(y0.shape(), rng);
 
-    sm.cloud_forward(a);
-    const Tensor analytic = sm.cloud_backward(w);
+    sm.cloud_forward(a, ctx);
+    const Tensor analytic = sm.cloud_backward(w, ctx);
 
     Tensor ap = a;
     const float eps = 1e-2f;
@@ -63,9 +66,9 @@ TEST(SplitModel, CloudBackwardReachesCutGradient)
     for (std::int64_t i = 0; i < a.size(); i += stride) {
         const float orig = ap[i];
         ap[i] = orig + eps;
-        const double lp = ops::dot(w, sm.cloud_forward(ap));
+        const double lp = ops::dot(w, sm.cloud_forward(ap, ctx));
         ap[i] = orig - eps;
-        const double lm = ops::dot(w, sm.cloud_forward(ap));
+        const double lm = ops::dot(w, sm.cloud_forward(ap, ctx));
         ap[i] = orig;
         EXPECT_NEAR(analytic[i], (lp - lm) / (2 * eps), 4e-2);
     }

@@ -33,9 +33,11 @@ expect_tensors_near(const Tensor& a, const Tensor& b, double tol,
  *
  * Builds the scalar loss L = Σ w ⊙ layer(x) with fixed random weights
  * w, computes dL/dx analytically via `backward`, then compares against
- * central differences. Also checks every parameter gradient.
+ * central differences. Also checks every parameter gradient. All
+ * passes share one `ExecutionContext`, exercising the per-context
+ * forward-then-backward cache contract.
  *
- * @param layer    Layer under test (stateful caches are exercised).
+ * @param layer    Layer under test.
  * @param x        Input point of the check.
  * @param rng      Randomness for the projection weights.
  * @param eps      Finite-difference step.
@@ -47,16 +49,17 @@ check_layer_gradients(nn::Layer& layer, const Tensor& x, Rng& rng,
                       float eps = 1e-2f, double tol = 2e-2,
                       bool check_params = true)
 {
-    const Tensor y0 = layer.forward(x, nn::Mode::kEval);
+    nn::ExecutionContext ctx;
+    const Tensor y0 = layer.forward(x, ctx, nn::Mode::kEval);
     const Tensor w = Tensor::normal(y0.shape(), rng);
 
     // Analytic gradients.
     layer.zero_grad();
-    layer.forward(x, nn::Mode::kEval);
-    const Tensor analytic_dx = layer.backward(w);
+    layer.forward(x, ctx, nn::Mode::kEval);
+    const Tensor analytic_dx = layer.backward(w, ctx);
 
     const auto loss_at = [&](const Tensor& input) {
-        const Tensor y = layer.forward(input, nn::Mode::kEval);
+        const Tensor y = layer.forward(input, ctx, nn::Mode::kEval);
         return ops::dot(w, y);
     };
 
@@ -80,8 +83,8 @@ check_layer_gradients(nn::Layer& layer, const Tensor& x, Rng& rng,
     }
     // Re-establish caches and analytic parameter gradients at x.
     layer.zero_grad();
-    layer.forward(x, nn::Mode::kEval);
-    layer.backward(w);
+    layer.forward(x, ctx, nn::Mode::kEval);
+    layer.backward(w, ctx);
     for (nn::Parameter* p : layer.parameters()) {
         Tensor analytic = p->grad;
         const std::int64_t pstride =
