@@ -1,33 +1,40 @@
 /**
  * @file
- * Serving-path benchmark: requests/sec of the batched `InferenceServer`
- * across a (in-flight batches × batch ceiling) grid, through the
- * noised split pipeline (per-request noise draw + cloud-side forward
- * of the fused batch).
+ * Serving-path benchmark: requests/sec of the `ServingEngine` across a
+ * (noise policy × batch ceiling) grid — the cost of each §2.5
+ * deployment mode through the batched split pipeline.
  *
- * Two independent scaling axes drive the ROADMAP's production-serving
- * goal:
+ * Two axes:
  *
  *  - `max_batch` — batching amortizes the GEMM setup across requests,
  *    so throughput rises with the ceiling until the kernels saturate.
  *    This axis pays off even on a single core.
- *  - `in_flight` (= worker threads = pooled `ExecutionContext`s) —
- *    since the stateless-layer refactor, several cloud forwards run
- *    *concurrently on one set of weights*; this axis pays off with
- *    physical cores to spend. On a 1-core host the grid is expected to
- *    be flat along it (the core is already saturated) — the sweep
- *    records that honestly rather than simulating cores.
+ *  - `policy` ∈ {none, replay, sample} — what each mechanism costs on
+ *    the serving hot path. `none` serves raw activations (upper
+ *    bound), `replay` adds one stored-tensor add per request (the
+ *    historical deployment), `sample` draws a fresh per-element tensor
+ *    from the fitted distribution per request (the paper's true
+ *    information-destruction mode — O(activation) RNG work per query,
+ *    the most expensive policy by construction).
+ *
+ * Every point runs `in_flight` (= shared workers = per-endpoint
+ * contexts) concurrent batches; since the stateless-layer refactor
+ * those forwards share one set of weights lock-free. On a 1-core host
+ * in-flight > 1 only hides handoff bubbles; multi-core hosts gain real
+ * parallel forwards (see docs/PERFORMANCE.md).
  *
  * Reported per grid point: completed requests/sec, mean fused batch
  * size, mean per-batch execution latency and mean per-request queue
  * wait. Results land in `BENCH_server.json` (or argv[1]) via the
- * shared `bench::JsonWriter`, alongside `BENCH_substrate.json` in the
- * repo's perf-trajectory record.
+ * shared `bench::JsonWriter` (schema `shredder-server-v2`: each point
+ * carries its `policy` tag).
  *
  * Honors SHREDDER_BENCH_FAST=1 (fewer requests per sweep point).
  */
 #include <cstdio>
 #include <future>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -37,34 +44,41 @@ namespace {
 
 using namespace shredder;
 
+constexpr std::int64_t kInFlight = 2;
+constexpr std::uint64_t kPolicySeed = 0x5EED;
+
 /**
- * Push `total` pre-generated activations through a fresh server and
- * return its final counters.
+ * Push `total` pre-generated activations through a fresh single-
+ * endpoint engine under `policy` and return the endpoint's counters.
  */
 runtime::ServerStats
-run_point(split::SplitModel& model, const core::NoiseCollection& coll,
-          const std::vector<Tensor>& activations, std::int64_t max_batch,
-          std::int64_t in_flight)
+run_point(split::SplitModel& model,
+          const std::shared_ptr<const runtime::NoisePolicy>& policy,
+          const std::vector<Tensor>& activations, std::int64_t max_batch)
 {
-    runtime::InferenceServerConfig cfg;
-    cfg.max_batch = max_batch;
-    cfg.num_workers = static_cast<unsigned>(in_flight);
-    cfg.max_concurrent_batches = in_flight;
+    runtime::ServingEngineConfig ec;
+    ec.num_workers = static_cast<unsigned>(kInFlight);
+    runtime::ServingEngine engine(ec);
+
+    runtime::EndpointConfig ep;
+    ep.max_batch = max_batch;
+    ep.max_concurrent_batches = kInFlight;
     // Generous straggler window: the submitter floods the queue, so
     // batches fill to the ceiling rather than waiting it out.
-    cfg.batch_timeout_ms = 2.0;
-    runtime::InferenceServer server(model, &coll, cfg);
+    ep.batch_timeout_ms = 2.0;
+    engine.register_endpoint("bench", model, policy, ep);
 
     std::vector<std::future<Tensor>> futures;
     futures.reserve(activations.size());
-    for (const Tensor& a : activations) {
-        futures.push_back(server.submit(a));
+    for (std::size_t i = 0; i < activations.size(); ++i) {
+        futures.push_back(engine.submit(
+            "bench", activations[i], static_cast<std::uint64_t>(i)));
     }
     for (auto& f : futures) {
         f.get();
     }
-    const runtime::ServerStats stats = server.stats();
-    server.shutdown();
+    const runtime::ServerStats stats = engine.stats("bench");
+    engine.shutdown();
     return stats;
 }
 
@@ -75,9 +89,9 @@ main(int argc, char** argv)
 {
     const std::string json_path = argc > 1 ? argv[1] : "BENCH_server.json";
 
-    bench::banner("Serving: concurrent batched inference at the cut");
+    bench::banner("Serving: noise policies through the batched engine");
 
-    // Untrained LeNet: the serving data path (noise add + cloud
+    // Untrained LeNet: the serving data path (policy apply + cloud
     // forward) is identical regardless of weight values, and skipping
     // pre-training keeps this benchmark self-contained and fast.
     Rng rng(4242);
@@ -87,13 +101,30 @@ main(int argc, char** argv)
     const Shape act = model.activation_shape(Shape({1, 28, 28}));
     const Shape per_sample({act[1], act[2], act[3]});
 
-    // A stored noise collection shaped like the cut's activation.
+    // A stored noise collection shaped like the cut's activation, and
+    // the distribution fitted to it — the two learned mechanisms.
     core::NoiseCollection coll;
     for (int i = 0; i < 4; ++i) {
         core::NoiseSample sample;
         sample.noise = Tensor::laplace(per_sample, rng, 0.0f, 0.5f);
         coll.add(std::move(sample));
     }
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(coll);
+
+    struct PolicyPoint
+    {
+        const char* tag;
+        std::shared_ptr<const runtime::NoisePolicy> policy;
+    };
+    const std::vector<PolicyPoint> policies = {
+        {"none", std::make_shared<runtime::NoNoisePolicy>()},
+        {"replay",
+         std::make_shared<runtime::ReplayPolicy>(coll, kPolicySeed)},
+        {"sample",
+         std::make_shared<runtime::SamplePolicy>(dist, kPolicySeed)},
+    };
+    const std::vector<std::int64_t> batches = {1, 8, 32};
 
     // Enough requests per point that each measurement spans tens of
     // milliseconds — at ~100k req/sec, 512 requests finish in ~5 ms,
@@ -108,17 +139,18 @@ main(int argc, char** argv)
     const unsigned hw_threads =
         std::max(1u, std::thread::hardware_concurrency());
     std::printf("network lenet, cut %lld, activation %s, %lld requests"
-                " per point, hw_threads=%u\n",
+                " per point, in_flight=%lld, hw_threads=%u\n",
                 static_cast<long long>(cut),
                 per_sample.to_string().c_str(),
-                static_cast<long long>(total), hw_threads);
-    std::printf("%9s %10s %14s %12s %16s %16s\n", "in_flight", "max_batch",
+                static_cast<long long>(total),
+                static_cast<long long>(kInFlight), hw_threads);
+    std::printf("%8s %10s %14s %12s %16s %16s\n", "policy", "max_batch",
                 "req/sec", "mean batch", "batch exec ms", "queue wait ms");
 
     bench::JsonWriter json;
     json.begin_object();
     json.key("schema");
-    json.value("shredder-server-v1");
+    json.value("shredder-server-v2");
     json.key("generated");
     json.value(bench::now_iso8601());
     json.key("fast_mode");
@@ -129,33 +161,34 @@ main(int argc, char** argv)
     json.value(static_cast<std::int64_t>(hw_threads));
     json.key("requests_per_point");
     json.value(total);
+    json.key("in_flight");
+    json.value(kInFlight);
     json.key("points");
     json.begin_array();
 
-    // rps[in-flight index][max-batch index] for the scaling summary.
-    const std::vector<std::int64_t> flights = {1, 2, 4};
-    const std::vector<std::int64_t> batches = {1, 8, 32};
+    // rps[policy index][max-batch index] for the scaling summaries.
     std::vector<std::vector<double>> rps(
-        flights.size(), std::vector<double>(batches.size(), 0.0));
+        policies.size(), std::vector<double>(batches.size(), 0.0));
 
-    for (std::size_t fi = 0; fi < flights.size(); ++fi) {
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
         for (std::size_t bi = 0; bi < batches.size(); ++bi) {
-            const runtime::ServerStats stats =
-                run_point(model, coll, activations, batches[bi],
-                          flights[fi]);
-            rps[fi][bi] = stats.requests_per_sec();
-            std::printf("%9lld %10lld %14.1f %12.2f %16.3f %16.3f\n",
-                        static_cast<long long>(flights[fi]),
+            const runtime::ServerStats stats = run_point(
+                model, policies[pi].policy, activations, batches[bi]);
+            rps[pi][bi] = stats.requests_per_sec();
+            std::printf("%8s %10lld %14.1f %12.2f %16.3f %16.3f\n",
+                        policies[pi].tag,
                         static_cast<long long>(batches[bi]),
                         stats.requests_per_sec(), stats.mean_batch_size(),
                         stats.mean_batch_latency_ms(),
                         stats.mean_queue_wait_ms());
             std::fflush(stdout);
             json.begin_object();
-            json.key("in_flight");
-            json.value(flights[fi]);
+            json.key("policy");
+            json.value(policies[pi].tag);
             json.key("max_batch");
             json.value(batches[bi]);
+            json.key("in_flight");
+            json.value(kInFlight);
             json.key("req_per_sec");
             json.value(stats.requests_per_sec());
             json.key("mean_batch");
@@ -169,18 +202,17 @@ main(int argc, char** argv)
     }
     json.end_array();
 
-    // Scaling summaries: batching at fixed concurrency, concurrency at
-    // fixed batching (the best observed in-flight point vs 1).
-    const double batch_scaling = rps[0][2] / rps[0][0];
-    double best_concurrent = rps[0][1];
-    for (std::size_t fi = 1; fi < flights.size(); ++fi) {
-        best_concurrent = std::max(best_concurrent, rps[fi][1]);
-    }
-    const double concurrency_scaling = best_concurrent / rps[0][1];
-    json.key("batch32_vs_batch1");
+    // Scaling summaries: batching at fixed policy (replay), and the
+    // per-policy overhead vs the clean upper bound at max_batch 8.
+    const double batch_scaling = rps[1][2] / rps[1][0];
+    const double replay_overhead = rps[0][1] / rps[1][1];
+    const double sample_overhead = rps[0][1] / rps[2][1];
+    json.key("batch32_vs_batch1_replay");
     json.value(batch_scaling);
-    json.key("concurrency_best_vs_serial_at_batch8");
-    json.value(concurrency_scaling);
+    json.key("none_vs_replay_at_batch8");
+    json.value(replay_overhead);
+    json.key("none_vs_sample_at_batch8");
+    json.value(sample_overhead);
     json.end_object();
 
     if (!json.write_file(json_path)) {
@@ -188,15 +220,18 @@ main(int argc, char** argv)
         return 1;
     }
 
-    std::printf("\nbatch-32 vs batch-1 (1 in flight)  : %.2fx\n",
+    std::printf("\nbatch-32 vs batch-1 (replay)       : %.2fx\n",
                 batch_scaling);
-    std::printf("best in-flight vs 1 (max_batch 8)   : %.2fx\n",
-                concurrency_scaling);
+    std::printf("clean vs replay (max_batch 8)      : %.2fx\n",
+                replay_overhead);
+    std::printf("clean vs sample (max_batch 8)      : %.2fx\n",
+                sample_overhead);
     std::printf("wrote %s\n", json_path.c_str());
     std::printf("Expected shape: req/sec rises with max_batch as"
-                " per-request overhead\namortizes; it rises with"
-                " in_flight on multi-core hosts (concurrent\nforwards"
-                " on shared weights) and stays ~flat on a single core,"
-                "\nwhere any schedule saturates the one core.\n");
+                " per-request overhead\namortizes. 'replay' costs one"
+                " tensor add per request over 'none';\n'sample' pays"
+                " O(activation) per-element RNG draws per request —"
+                " the\nprice of true per-query information destruction"
+                " (see\ndocs/PERFORMANCE.md).\n");
     return 0;
 }

@@ -4,16 +4,22 @@
  *
  * Plays both sides of a real Shredder deployment for a stream of
  * queries: the *edge* renders an input, runs the local network L,
- * injects a noise tensor drawn from the pre-trained collection and
- * serializes the noisy activation onto a (quantizing) channel; the
- * *cloud* deserializes and finishes the inference with R. The demo
- * accounts for wire traffic, per-query latency and accuracy, and
- * contrasts raw-image offloading with Shredder's split execution.
+ * applies the deployment's `NoisePolicy` (replay from the pre-trained
+ * collection, keyed by the query id) and serializes the noisy
+ * activation onto a (quantizing) channel; the *cloud* deserializes
+ * and finishes the inference through a `ServingEngine` endpoint. The
+ * cloud endpoint runs `NoNoisePolicy` — the noise was already added
+ * on the device, which is the paper's trust model: the raw activation
+ * never leaves the edge.
+ *
+ * The demo accounts for wire traffic, per-query latency and accuracy,
+ * and contrasts raw-image offloading with Shredder's split execution.
  *
  * Build & run:  ./build/examples/edge_cloud_demo [num_queries]
  */
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "src/shredder/shredder.h"
 
@@ -63,13 +69,28 @@ main(int argc, char** argv)
                 static_cast<long long>(collection.size()),
                 collection.mean_in_vivo_privacy());
 
+    // The edge's noise mechanism: replay from the collection, keyed by
+    // the query id so a trace replay reproduces every draw.
+    const runtime::ReplayPolicy edge_policy(collection, /*seed=*/2029);
+
+    // The cloud: a ServingEngine endpoint finishing inference on
+    // already-noised activations (latency-optimal dispatch — this
+    // demo streams one query at a time).
+    runtime::ServingEngine cloud;
+    runtime::EndpointConfig ep;
+    ep.max_batch = 1;
+    ep.batch_timeout_ms = 0.0;
+    cloud.register_endpoint("lenet", model,
+                            std::make_shared<runtime::NoNoisePolicy>(),
+                            ep);
+
     split::QuantizingChannel uplink;       // edge → cloud, 8-bit
     split::LoopbackChannel raw_uplink;     // baseline: raw image bytes
-    Rng rng(2029);
-    // Distinct execution contexts for the two machines the demo
-    // simulates: the device and the cloud never share forward state.
+    // The edge device's own execution context — the cloud endpoint
+    // brings its own pooled contexts; they never share forward state.
     nn::ExecutionContext edge_ctx(11);
-    nn::ExecutionContext cloud_ctx(22);
+    const Shape act = model.activation_shape(bench.input_shape);
+    const Shape per_sample({act[1], act[2], act[3]});
     Stopwatch clock;
     std::int64_t correct = 0;
 
@@ -81,20 +102,21 @@ main(int argc, char** argv)
             {1, s.image.shape()[0], s.image.shape()[1],
              s.image.shape()[2]}));
         Tensor activation = model.edge_forward(x, edge_ctx);
-        const core::NoiseSample& noise = collection.draw(rng);
-        core::NoiseTensor injector(noise.noise);
-        Tensor noisy = injector.apply(activation);
+        Tensor noisy = edge_policy.apply(
+            activation, static_cast<std::uint64_t>(q));
         uplink.send(noisy);
         raw_uplink.send(x);  // what a cloud-only deployment would ship
 
         // --- cloud side ------------------------------------------------
         Tensor received = uplink.receive();
-        Tensor logits = model.cloud_forward(received, cloud_ctx);
+        Tensor logits = cloud.infer(
+            "lenet", received.reshaped(per_sample));
         const std::int64_t pred = logits.argmax();
         correct += pred == s.label ? 1 : 0;
     }
 
     const double secs = clock.seconds();
+    const runtime::ServerStats stats = cloud.stats("lenet");
     std::printf("\n=== %lld queries ===\n", static_cast<long long>(queries));
     std::printf("accuracy through noisy split : %6.2f %%\n",
                 100.0 * static_cast<double>(correct) /
@@ -109,6 +131,10 @@ main(int argc, char** argv)
                     static_cast<double>(queries));
     std::printf("end-to-end latency           : %8.2f ms/query\n",
                 1e3 * secs / static_cast<double>(queries));
+    std::printf("cloud endpoint               : %lld requests, "
+                "%.3f ms mean batch exec\n",
+                static_cast<long long>(stats.requests),
+                stats.mean_batch_latency_ms());
 
     const Shape in = bench.input_shape;
     std::printf("edge compute                 : %8.1f KMAC/query\n",

@@ -1,22 +1,45 @@
 /**
  * @file
- * Quickstart: the whole Shredder flow in ~40 lines of API use.
+ * Quickstart: the whole Shredder flow in ~60 lines of API use.
  *
  *   1. get a pre-trained network + dataset pair (LeNet / digits),
  *   2. cut it at its last convolution layer,
  *   3. learn a small collection of noise tensors (weights frozen),
- *   4. measure accuracy and mutual information with and without noise.
+ *   4. measure accuracy and mutual information with and without noise,
+ *   5. serve the learned mechanism: one `ServingEngine`, three
+ *      endpoints (clean baseline / replay / distribution sampling) —
+ *      each executing a `NoisePolicy`, the same objects the privacy
+ *      meter measured.
  *
  * Build & run:  ./build/examples/quickstart
+ *
+ * SHREDDER_SMOKE=1 shrinks the sweep (fewer iterations/samples) so the
+ * ctest entry `example_quickstart_smoke` keeps this umbrella-header
+ * path compiling AND running on every test sweep.
  */
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "src/shredder/shredder.h"
+
+namespace {
+
+/** True when SHREDDER_SMOKE=1 (the ctest smoke entry sets it). */
+bool
+smoke_mode()
+{
+    const char* env = std::getenv("SHREDDER_SMOKE");
+    return env != nullptr && env[0] == '1';
+}
+
+}  // namespace
 
 int
 main()
 {
     using namespace shredder;
+    const bool smoke = smoke_mode();
 
     // 1. Pre-trained model + data (trains once, then cached on disk).
     models::Benchmark bench = models::make_benchmark("lenet");
@@ -36,13 +59,17 @@ main()
     // 3. + 4. The pipeline trains the noise collection and measures
     // everything Table 1 reports.
     core::PipelineConfig config;
-    config.noise_samples = 3;
-    config.train.iterations = 250;
+    config.noise_samples = smoke ? 2 : 3;
+    config.train.iterations = smoke ? 40 : 250;
     config.train.batch_size = 16;
     config.train.init.scale = 2.0f;             // Laplace(0, 2) init
     config.train.lambda.initial_lambda = 5e-3f; // the privacy knob λ
     config.train.lambda.privacy_target = 2.0;   // decay λ at 1/SNR = 2
-    config.meter.mi.max_dims = 128;
+    config.meter.mi.max_dims = smoke ? 32 : 128;
+    if (smoke) {
+        config.meter.accuracy_samples = 128;
+        config.meter.mi_samples = 96;
+    }
 
     const core::PipelineResult result = core::run_pipeline(
         bench.name, *bench.net, *bench.train_set, *bench.test_set, cut,
@@ -64,5 +91,54 @@ main()
     std::printf("noise params / model params : %8.2f %%\n",
                 result.params_ratio_pct);
     std::printf("noise training epochs       : %8.2f\n", result.epochs);
+
+    // 5. Deployment: one engine, one model, three noise mechanisms.
+    // The policies are the same abstraction the pipeline's meter just
+    // measured — what was reported above is what gets served here.
+    runtime::ServingEngine engine;
+    const std::uint64_t seed = config.meter.seed;
+    engine.register_endpoint("clean", model,
+                             std::make_shared<runtime::NoNoisePolicy>());
+    engine.register_endpoint(
+        "replay", model,
+        std::make_shared<runtime::ReplayPolicy>(result.collection, seed));
+    engine.register_endpoint(
+        "sample", model,
+        std::make_shared<runtime::SamplePolicy>(
+            result.collection, config.meter.family, seed));
+
+    const std::int64_t queries = smoke ? 32 : 128;
+    const Shape act = model.activation_shape(bench.input_shape);
+    const Shape per_sample({act[1], act[2], act[3]});
+    nn::ExecutionContext edge_ctx;
+    std::printf("\n=== served through ServingEngine (%lld queries) ===\n",
+                static_cast<long long>(queries));
+    for (const std::string& endpoint : engine.endpoint_names()) {
+        std::int64_t correct = 0;
+        for (std::int64_t q = 0; q < queries; ++q) {
+            const data::Sample s = bench.test_set->get(q);
+            const Tensor x = s.image.reshaped(
+                Shape({1, s.image.shape()[0], s.image.shape()[1],
+                       s.image.shape()[2]}));
+            // The edge half runs locally; the engine serves the cloud
+            // half under the endpoint's policy, keyed by request id.
+            const Tensor activation =
+                model.edge_forward(x, edge_ctx, nn::Mode::kEval);
+            const Tensor logits =
+                engine.submit(endpoint, activation.reshaped(per_sample),
+                              static_cast<std::uint64_t>(q))
+                    .get();
+            correct += logits.argmax() == s.label ? 1 : 0;
+        }
+        const runtime::ServerStats stats = engine.stats(endpoint);
+        std::printf("endpoint %-7s (%-6s): accuracy %6.2f%%, "
+                    "%lld requests in %lld batches\n",
+                    endpoint.c_str(),
+                    engine.policy(endpoint).name().c_str(),
+                    100.0 * static_cast<double>(correct) /
+                        static_cast<double>(queries),
+                    static_cast<long long>(stats.requests),
+                    static_cast<long long>(stats.batches));
+    }
     return 0;
 }

@@ -5,6 +5,7 @@
 #include "src/core/pipeline.h"
 
 #include "src/runtime/logging.h"
+#include "src/runtime/noise_policy.h"
 #include "src/split/split_model.h"
 
 namespace shredder {
@@ -53,13 +54,19 @@ run_pipeline(const std::string& name, nn::Sequential& net,
 
     // Deployment measurement — the paper's §2.5 phase: each query
     // draws one of the pre-trained noise tensors ("we just sample
-    // from pre-trained noises").
-    const PrivacyReport noisy = meter.measure_replay(result.collection);
+    // from pre-trained noises"). Measured through the very policy
+    // objects a `ServingEngine` endpoint would execute, so what Table
+    // 1 reports is bit-for-bit what a server with this collection and
+    // seed serves.
+    const runtime::ReplayPolicy replay_policy(result.collection,
+                                              config.meter.seed);
+    const PrivacyReport noisy = meter.measure_policy(replay_policy);
     result.shredded_mi = noisy.mi_bits;
     result.noisy_accuracy = noisy.accuracy;
     if (config.measure_distribution) {
-        const PrivacyReport dist =
-            meter.measure_sampling(result.collection);
+        const runtime::SamplePolicy sample_policy(
+            result.collection, config.meter.family, config.meter.seed);
+        const PrivacyReport dist = meter.measure_policy(sample_policy);
         result.distribution_mi = dist.mi_bits;
         result.distribution_accuracy = dist.accuracy;
     }

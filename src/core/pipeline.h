@@ -4,6 +4,12 @@
  * noise training (collecting the noise distribution) → deployment-mode
  * measurement. This is the orchestration the paper's Table 1 runs for
  * each benchmark network.
+ *
+ * Deployment modes are measured through `runtime::NoisePolicy` objects
+ * (`ReplayPolicy`, `SamplePolicy`) — the same abstraction the serving
+ * path (`runtime::ServingEngine`) executes — so the reported privacy
+ * describes exactly the mechanism a server built from the resulting
+ * collection would apply.
  */
 #ifndef SHREDDER_CORE_PIPELINE_H
 #define SHREDDER_CORE_PIPELINE_H

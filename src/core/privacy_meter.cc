@@ -25,15 +25,13 @@ PrivacyMeter::PrivacyMeter(split::SplitModel& model,
 PrivacyReport
 PrivacyMeter::measure_clean()
 {
-    return measure_impl(nullptr);
+    return measure_impl(runtime::NoNoisePolicy());
 }
 
 PrivacyReport
 PrivacyMeter::measure_fixed(const Tensor& noise)
 {
-    std::function<const Tensor&(Rng&)> sampler =
-        [&noise](Rng&) -> const Tensor& { return noise; };
-    return measure_impl(&sampler);
+    return measure_impl(runtime::FixedNoisePolicy(noise));
 }
 
 PrivacyReport
@@ -41,11 +39,7 @@ PrivacyMeter::measure_replay(const NoiseCollection& collection)
 {
     SHREDDER_REQUIRE(!collection.empty(),
                      "measure_replay with empty collection");
-    std::function<const Tensor&(Rng&)> sampler =
-        [&collection](Rng& rng) -> const Tensor& {
-        return collection.draw(rng).noise;
-    };
-    return measure_impl(&sampler);
+    return measure_impl(runtime::ReplayPolicy(collection, config_.seed));
 }
 
 PrivacyReport
@@ -61,18 +55,17 @@ PrivacyMeter::measure_sampling(const NoiseCollection& collection)
 PrivacyReport
 PrivacyMeter::measure_distribution(const NoiseDistribution& dist)
 {
-    Tensor scratch;  // owns the last drawn tensor across calls
-    std::function<const Tensor&(Rng&)> sampler =
-        [&dist, &scratch](Rng& rng) -> const Tensor& {
-        scratch = dist.sample(rng);
-        return scratch;
-    };
-    return measure_impl(&sampler);
+    return measure_impl(runtime::SamplePolicy(dist, config_.seed));
 }
 
 PrivacyReport
-PrivacyMeter::measure_impl(
-    const std::function<const Tensor&(Rng&)>* sampler)
+PrivacyMeter::measure_policy(const runtime::NoisePolicy& policy)
+{
+    return measure_impl(policy);
+}
+
+PrivacyReport
+PrivacyMeter::measure_impl(const runtime::NoisePolicy& policy)
 {
     const std::int64_t total = std::min(
         test_set_.size(),
@@ -89,13 +82,15 @@ PrivacyMeter::measure_impl(
     Tensor inputs(Shape({mi_total, dx}));
     Tensor transmitted(Shape({mi_total, da}));
 
-    Rng rng(config_.seed);
     // Per-measurement context: the meter never touches model state.
     nn::ExecutionContext ctx(config_.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
     double correct_weighted = 0.0;
     std::int64_t acc_counted = 0;
     double signal_acc = 0.0, noise_var_acc = 0.0;
     std::int64_t snr_terms = 0;
+
+    Tensor act_row(Shape({da}));    // one query's activation
+    Tensor noise_row(Shape({da}));  // its applied noise (noisy − clean)
 
     std::int64_t done = 0;
     while (done < total) {
@@ -107,24 +102,25 @@ PrivacyMeter::measure_impl(
         const Tensor activation =
             model_.edge_forward(batch.images, ctx, nn::Mode::kEval);
 
+        // Apply the policy row by row, exactly as a server applies it
+        // per request: query `done + i` uses request id `done + i`,
+        // through the same `apply_into` hot path `execute_batch` uses
+        // (the row already holds the activation copy).
         Tensor noisy = activation;
-        if (sampler != nullptr) {
-            float* p = noisy.data();
-            for (std::int64_t i = 0; i < count; ++i) {
-                const Tensor& n = (*sampler)(rng);
-                SHREDDER_CHECK(n.size() == da,
-                               "noise size mismatch in meter");
-                const float* pn = n.data();
-                float* row = p + i * da;
-                for (std::int64_t j = 0; j < da; ++j) {
-                    row[j] += pn[j];
-                }
-                noise_var_acc += n.variance();
-                ++snr_terms;
+        float* p = noisy.data();
+        const float* pa = activation.data();
+        for (std::int64_t i = 0; i < count; ++i) {
+            const auto id = static_cast<std::uint64_t>(done + i);
+            std::copy(pa + i * da, pa + (i + 1) * da, act_row.data());
+            policy.apply_into(act_row, id, p + i * da);
+            for (std::int64_t j = 0; j < da; ++j) {
+                noise_row.data()[j] = p[i * da + j] - act_row[j];
             }
-            signal_acc +=
-                activation.mean_square() * static_cast<double>(count);
+            noise_var_acc += noise_row.variance();
+            ++snr_terms;
         }
+        signal_acc +=
+            activation.mean_square() * static_cast<double>(count);
 
         for (std::int64_t i = 0; i < count && done + i < mi_total; ++i) {
             const std::int64_t row = done + i;

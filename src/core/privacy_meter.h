@@ -15,17 +15,26 @@
  *                collection (ablation D3);
  *  - sampling  : per-query draw from the *fitted* noise distribution —
  *                the paper's deployment path.
+ *
+ * Every mode is measured THROUGH a `runtime::NoisePolicy` — the same
+ * objects the serving path executes (`InferenceServer`,
+ * `ServingEngine`). Query `q` of a pass applies the policy under
+ * request id `q`, so a server configured with the same policy (same
+ * seed) and request ids `0..N−1` adds bit-identical noise to identical
+ * activations: the mechanism whose privacy this meter reports is
+ * bit-for-bit the mechanism that is deployed. `measure_policy`
+ * measures any caller-supplied policy directly.
  */
 #ifndef SHREDDER_CORE_PRIVACY_METER_H
 #define SHREDDER_CORE_PRIVACY_METER_H
 
 #include <cstdint>
-#include <functional>
 
 #include "src/core/noise_collection.h"
 #include "src/core/noise_distribution.h"
 #include "src/data/dataset.h"
 #include "src/info/dimwise.h"
+#include "src/runtime/noise_policy.h"
 #include "src/split/split_model.h"
 #include "src/tensor/rng.h"
 
@@ -44,6 +53,10 @@ struct MeterConfig
     info::DimwiseConfig mi;
     /** Family fitted by measure_sampling. */
     NoiseFamily family = NoiseFamily::kLaplace;
+    /**
+     * Root seed of the meter-built policies' id-keyed noise draws
+     * (query `q` draws with `Rng(noise_seed(seed, q))`).
+     */
     std::uint64_t seed = 2024;
 };
 
@@ -84,10 +97,16 @@ class PrivacyMeter
     /** As `measure_sampling`, with an already-fitted distribution. */
     PrivacyReport measure_distribution(const NoiseDistribution& dist);
 
+    /**
+     * Measure an arbitrary noise mechanism — e.g. the very policy
+     * object a `ServingEngine` endpoint executes. Query `q` applies
+     * `policy.apply(activation, q)`.
+     */
+    PrivacyReport measure_policy(const runtime::NoisePolicy& policy);
+
   private:
-    /** `sampler(rng)` returns the per-query noise; null = clean. */
-    PrivacyReport measure_impl(
-        const std::function<const Tensor&(Rng&)>* sampler);
+    /** One pass: every mode funnels into this policy-driven loop. */
+    PrivacyReport measure_impl(const runtime::NoisePolicy& policy);
 
     split::SplitModel& model_;
     const data::Dataset& test_set_;

@@ -6,7 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "src/runtime/logging.h"
@@ -30,14 +30,38 @@ batched_shape(const Shape& sample, std::int64_t n)
     }
 }
 
-/** SplitMix64 finalizer (Steele et al.) — a strong 64-bit mix. */
-std::uint64_t
-splitmix64(std::uint64_t x)
+/** Build the shim's policy from the legacy (collection, flag) pair. */
+std::unique_ptr<const NoisePolicy>
+shim_policy(const core::NoiseCollection* collection,
+            const InferenceServerConfig& config)
 {
-    x += 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
+    if (!config.apply_noise) {
+        return std::make_unique<NoNoisePolicy>();
+    }
+    SHREDDER_REQUIRE(collection != nullptr && !collection->empty(),
+                     "apply_noise requires a non-empty noise "
+                     "collection");
+    // Same seed derivation as the historical in-server draw
+    // (`Rng(noise_seed(config.seed, id))`), so the shim is bit-exact
+    // with the pre-policy server.
+    return std::make_unique<ReplayPolicy>(*collection, config.seed);
+}
+
+/**
+ * The legacy constructor derived the server's shape contract from the
+ * collection even with `apply_noise` off (a no-noise server could
+ * still validate request shapes against it). `NoNoisePolicy` carries
+ * no shape, so preserve that behavior through the config pin.
+ */
+InferenceServerConfig
+shim_config(const core::NoiseCollection* collection,
+            InferenceServerConfig config)
+{
+    if (!config.apply_noise && config.sample_shape.rank() == 0 &&
+        collection != nullptr && !collection->empty()) {
+        config.sample_shape = collection->noise_shape();
+    }
+    return config;
 }
 
 }  // namespace
@@ -46,35 +70,53 @@ std::uint64_t
 InferenceServer::noise_seed(std::uint64_t root_seed,
                             std::uint64_t request_id)
 {
-    // Two mixing rounds keep (seed, id) pairs far apart even for
-    // consecutive ids under the same root seed.
-    return splitmix64(splitmix64(root_seed) ^ request_id);
+    return runtime::noise_seed(root_seed, request_id);
+}
+
+InferenceServer::InferenceServer(split::SplitModel& model,
+                                 const NoisePolicy& policy,
+                                 const InferenceServerConfig& config)
+    : InferenceServer(model, &policy, nullptr, config)
+{
 }
 
 InferenceServer::InferenceServer(split::SplitModel& model,
                                  const core::NoiseCollection* collection,
                                  const InferenceServerConfig& config)
-    : model_(model),
-      collection_(collection),
-      config_(config),
-      sample_size_(0),
-      pool_(config.num_workers)
+    : InferenceServer(model, nullptr, shim_policy(collection, config),
+                      shim_config(collection, config))
 {
+}
+
+InferenceServer::InferenceServer(
+    split::SplitModel& model, const NoisePolicy* policy,
+    std::unique_ptr<const NoisePolicy> owned_policy,
+    const InferenceServerConfig& config)
+    : model_(model),
+      owned_policy_(std::move(owned_policy)),
+      policy_(policy != nullptr ? policy : owned_policy_.get()),
+      config_(config),
+      sample_size_(0)
+{
+    SHREDDER_CHECK(policy_ != nullptr, "server constructed with no policy");
     SHREDDER_REQUIRE(config_.max_batch >= 1,
                      "max_batch must be positive, got ",
                      config_.max_batch);
     SHREDDER_REQUIRE(config_.max_concurrent_batches >= 0,
                      "max_concurrent_batches must be >= 0, got ",
                      config_.max_concurrent_batches);
-    if (config_.apply_noise) {
-        SHREDDER_REQUIRE(collection_ != nullptr && !collection_->empty(),
-                         "apply_noise requires a non-empty noise "
-                         "collection");
+    if (config_.pool != nullptr) {
+        pool_ = config_.pool;
+    } else {
+        owned_pool_ = std::make_unique<ThreadPool>(config_.num_workers);
+        pool_ = owned_pool_.get();
     }
+
+    const Shape policy_shape = policy_->noise_shape();
     if (config_.sample_shape.rank() > 0) {
         sample_shape_ = config_.sample_shape;
-    } else if (collection_ != nullptr && !collection_->empty()) {
-        sample_shape_ = collection_->noise_shape();
+    } else if (policy_shape.rank() > 0) {
+        sample_shape_ = policy_shape;
     }
     if (sample_shape_.rank() > 0) {
         // Setup-time user error: a contract that cannot grow a batch
@@ -83,11 +125,11 @@ InferenceServer::InferenceServer(split::SplitModel& model,
                          "per-sample activation shape must have rank "
                          "1-3, got ", sample_shape_.to_string());
         sample_size_ = sample_shape_.numel();
-        if (collection_ != nullptr && !collection_->empty()) {
+        if (policy_shape.rank() > 0) {
             SHREDDER_REQUIRE(
-                collection_->noise_shape().numel() == sample_size_,
-                "noise samples (", collection_->noise_shape().to_string(),
-                ") do not match the configured per-sample shape ",
+                policy_shape.numel() == sample_size_,
+                "policy noise (", policy_shape.to_string(),
+                ") does not match the configured per-sample shape ",
                 sample_shape_.to_string());
         }
     }
@@ -97,7 +139,7 @@ InferenceServer::InferenceServer(split::SplitModel& model,
     const std::int64_t n_ctx =
         config_.max_concurrent_batches > 0
             ? config_.max_concurrent_batches
-            : static_cast<std::int64_t>(pool_.size());
+            : static_cast<std::int64_t>(pool_->size());
     contexts_.reserve(static_cast<std::size_t>(n_ctx));
     free_contexts_.reserve(static_cast<std::size_t>(n_ctx));
     for (std::int64_t i = 0; i < n_ctx; ++i) {
@@ -136,26 +178,27 @@ InferenceServer::submit_impl(Tensor activation, bool has_id,
 
     // A bad request must fail its own future, never the server: other
     // clients' in-flight work stays alive.
-    const auto reject = [&promise](const std::string& why) {
+    const auto reject = [&promise](ServingErrorCode code,
+                                   const std::string& why) {
         promise.set_exception(
-            std::make_exception_ptr(std::runtime_error(
-                "InferenceServer: " + why)));
+            std::make_exception_ptr(ServingError(code, why)));
     };
 
     std::unique_lock<std::mutex> lock(mutex_);
     if (!accepting_) {
         lock.unlock();
-        reject("submit after shutdown");
+        reject(ServingErrorCode::kShutdown, "submit after shutdown");
         return future;
     }
     if (sample_size_ == 0) {
-        // No noise collection to dictate the shape: adopt the first
-        // request's shape as the server's contract. Only rank 1–3 can
-        // grow a batch dimension (Shape::kMaxRank is 4).
+        // No policy/config shape to dictate the contract: adopt the
+        // first request's shape. Only rank 1–3 can grow a batch
+        // dimension (Shape::kMaxRank is 4).
         if (activation.shape().rank() < 1 || activation.shape().rank() > 3) {
             lock.unlock();
-            reject("per-sample activation must have rank 1-3, got " +
-                   activation.shape().to_string());
+            reject(ServingErrorCode::kInvalidShape,
+                   "per-sample activation must have rank 1-3, got " +
+                       activation.shape().to_string());
             return future;
         }
         sample_shape_ = activation.shape();
@@ -164,9 +207,10 @@ InferenceServer::submit_impl(Tensor activation, bool has_id,
     if (activation.size() != sample_size_) {
         const std::int64_t expected = sample_size_;
         lock.unlock();
-        reject("activation size " + std::to_string(activation.size()) +
-               " does not match the cut's per-sample size " +
-               std::to_string(expected));
+        reject(ServingErrorCode::kInvalidShape,
+               "activation size " + std::to_string(activation.size()) +
+                   " does not match the cut's per-sample size " +
+                   std::to_string(expected));
         return future;
     }
 
@@ -210,7 +254,11 @@ InferenceServer::shutdown()
             dispatcher_.join();
         }
     }
-    pool_.wait_idle();
+    // The dispatcher is gone, so inflight_batches_ only decreases now.
+    // Waiting on OUR counter (instead of pool_->wait_idle()) keeps a
+    // shared-pool shutdown from blocking on sibling servers' traffic.
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
 }
 
 ServerStats
@@ -259,11 +307,22 @@ InferenceServer::dispatch_loop()
         }
         lock.unlock();
 
+        {
+            std::lock_guard<std::mutex> inflight_lock(inflight_mutex_);
+            ++inflight_batches_;
+        }
         // shared_ptr because std::function requires copyable closures.
         auto shared =
             std::make_shared<std::vector<Request>>(std::move(batch));
-        pool_.submit([this, shared]() mutable {
+        pool_->submit([this, shared]() mutable {
             execute_batch(std::move(*shared));
+            // Notify UNDER the mutex: a shutdown() waiter may destroy
+            // this server the moment the predicate holds, so the
+            // worker must be done touching the cv before the waiter
+            // can observe inflight_batches_ == 0.
+            std::lock_guard<std::mutex> inflight_lock(inflight_mutex_);
+            --inflight_batches_;
+            inflight_cv_.notify_all();
         });
     }
 }
@@ -307,18 +366,10 @@ InferenceServer::execute_batch(std::vector<Request> batch)
         const Request& request = batch[static_cast<std::size_t>(i)];
         const float* src = request.activation.data();
         std::copy(src, src + sample_size_, row);
-        if (config_.apply_noise) {
-            // Fresh draw per request — the paper's §2.5 deployment.
-            // The RNG is derived from (root seed, request id), so the
-            // draw touches no shared state: concurrent batches sample
-            // lock-free and a replay reproduces the assignment.
-            Rng draw_rng(noise_seed(config_.seed, request.id));
-            const Tensor& noise = collection_->draw(draw_rng).noise;
-            const float* pn = noise.data();
-            for (std::int64_t j = 0; j < sample_size_; ++j) {
-                row[j] += pn[j];
-            }
-        }
+        // The policy adds request `id`'s noise in place on the fused
+        // row — id-derived draws, so concurrent batches sample
+        // lock-free and a replay reproduces the assignment.
+        policy_->apply_into(request.activation, request.id, row);
     }
 
     // The forward runs against a pooled per-batch context: weights are

@@ -1,28 +1,29 @@
 /**
  * @file
- * Batched cloud-side inference front end (the serving path).
+ * Batched cloud-side inference dispatcher (one serving endpoint).
  *
  * A deployed Shredder service receives a stream of independent
- * requests, each carrying one noisy — or, here, to-be-noised —
- * intermediate activation captured at the cutting point on an edge
- * device. Running the cloud half R once per request wastes the batch
- * efficiency of the GEMM kernels, so the server fuses concurrent
- * requests into batches:
+ * requests, each carrying one to-be-noised intermediate activation
+ * captured at the cutting point on an edge device. Running the cloud
+ * half R once per request wastes the batch efficiency of the GEMM
+ * kernels, so the server fuses concurrent requests into batches:
  *
  *   submit(a) ──► request queue ──► dispatcher (forms batches of up
  *   to `max_batch`, waiting at most `batch_timeout_ms` for stragglers)
- *   ──► thread pool (adds per-request noise drawn from the learned
- *   `NoiseCollection`, runs `SplitModel::cloud_forward` on the fused
- *   batch, scatters the logits back) ──► per-request future.
+ *   ──► thread pool (applies the endpoint's `NoisePolicy` per request,
+ *   runs `SplitModel::cloud_forward` on the fused batch, scatters the
+ *   logits back) ──► per-request future.
  *
- * Per-request noise sampling preserves the paper's §2.5 deployment
- * semantics: every query gets an independent draw from the noise
- * distribution, exactly as `PrivacyMeter::measure_replay` measures.
- * The draw is *derived*, not shared: each request's noise RNG is
- * seeded from (server seed, request id) via a SplitMix64 hash
- * (`noise_seed`), so concurrent draws touch no shared RNG state and a
- * replay with the same seed and ids reproduces the exact per-request
- * noise assignment regardless of batch composition or thread timing.
+ * The noise mechanism is pluggable: the server executes whatever
+ * `NoisePolicy` it was built with — no noise, replay from a stored
+ * collection, fresh draws from a fitted distribution, or a fixed
+ * tensor (see noise_policy.h). Policies derive each request's noise
+ * from `noise_seed(policy seed, request id)`, so draws touch no shared
+ * RNG state and a replay with the same seed and ids reproduces the
+ * exact per-request noise assignment regardless of batch composition
+ * or thread timing. `PrivacyMeter::measure_policy` measures through
+ * the same policy objects, so the measured mechanism is bit-for-bit
+ * the served one.
  *
  * Layer execution is stateless (`nn::ExecutionContext`): weights are
  * shared read-only and every in-flight batch runs `cloud_forward`
@@ -30,7 +31,13 @@
  * cloud forwards proceed *simultaneously* on one set of parameters —
  * no per-forward model mutex, no model replication. Several servers
  * (or a live noise trainer) may even share one `SplitModel`, each
- * bringing their own contexts.
+ * bringing their own contexts. Servers may also share one `ThreadPool`
+ * (`InferenceServerConfig::pool`) — how `ServingEngine` hosts many
+ * endpoints on one worker set.
+ *
+ * Malformed or post-shutdown submits fail their own future with a
+ * typed `ServingError` (see serving_error.h); the server itself never
+ * dies for a bad request.
  *
  * Latency/throughput accounting uses `Stopwatch`: per-batch queue and
  * execution latency plus aggregate requests/sec are available from
@@ -50,6 +57,8 @@
 
 #include "src/core/noise_collection.h"
 #include "src/nn/execution_context.h"
+#include "src/runtime/noise_policy.h"
+#include "src/runtime/serving_error.h"
 #include "src/runtime/stopwatch.h"
 #include "src/runtime/thread_pool.h"
 #include "src/split/split_model.h"
@@ -70,8 +79,18 @@ struct InferenceServerConfig
      * immediately (latency-optimal, throughput-pessimal).
      */
     double batch_timeout_ms = 1.0;
-    /** Worker threads executing batches; 0 = hardware concurrency. */
+    /**
+     * Worker threads executing batches; 0 = hardware concurrency.
+     * Ignored when `pool` is set (the shared pool's size governs).
+     */
     unsigned num_workers = 1;
+    /**
+     * External thread pool to execute batches on, shared with other
+     * servers (must outlive this server); null = the server owns a
+     * private pool of `num_workers` threads. `ServingEngine` uses this
+     * to run every endpoint on one worker set.
+     */
+    ThreadPool* pool = nullptr;
     /**
      * Cloud forwards allowed in flight at once — the size of the
      * server's `ExecutionContext` pool. 0 = one per worker thread.
@@ -80,25 +99,27 @@ struct InferenceServerConfig
      */
     std::int64_t max_concurrent_batches = 0;
     /**
-     * Add a per-request noise draw from the collection before the
-     * cloud forward. Off = serve the raw activation (the paper's
-     * "original execution" baseline).
+     * DEPRECATED — read only by the legacy `(model, collection)`
+     * constructor shim, where it selects `ReplayPolicy` (true) or
+     * `NoNoisePolicy` (false). The policy constructor ignores it:
+     * the policy object *is* the mechanism.
      */
     bool apply_noise = true;
     /**
-     * Root seed of the per-request noise draws. Request `id` draws
-     * with `Rng(noise_seed(seed, id))`, so one root seed fixes the
-     * whole noise assignment (see `noise_seed`).
+     * Root seed of the legacy shim's `ReplayPolicy` (matching the
+     * historical behavior `Rng(noise_seed(seed, id))`) and of the
+     * pooled execution contexts' RNGs. Policy-constructed servers
+     * carry their noise seed inside the policy instead.
      */
     std::uint64_t seed = 0xC0FFEE;
     /**
      * Per-sample activation shape at the cut (rank 1–3). When set
      * (rank > 0) it fixes the server's shape contract at
-     * construction. When unset, the contract comes from the noise
-     * collection, or — with neither — is adopted from the first
+     * construction. When unset, the contract comes from the policy's
+     * `noise_shape()`, or — with neither — is adopted from the first
      * submitted request, which the server cannot validate against
      * the model: production deployments should pin it here or serve
-     * with a collection.
+     * with a shaped policy.
      */
     Shape sample_shape{};
 };
@@ -149,15 +170,30 @@ class InferenceServer
 {
   public:
     /**
-     * @param model       Split view of the frozen network; the server
-     *                    runs its cloud half (read-only — the model
-     *                    may be shared with other servers or
-     *                    measurement code). Must outlive the server.
-     * @param collection  Learned noise distribution sampled once per
-     *                    request; may be null only when
-     *                    `config.apply_noise` is false. Must outlive
-     *                    the server.
-     * @param config      Serving knobs.
+     * Serve `model`'s cloud half under `policy`.
+     *
+     * @param model   Split view of the frozen network; the server runs
+     *                its cloud half (read-only — the model may be
+     *                shared with other servers or measurement code).
+     *                Must outlive the server.
+     * @param policy  Noise mechanism applied to every request before
+     *                the cloud forward (borrowed; must outlive the
+     *                server — `ServingEngine` keeps its policies on
+     *                shared_ptr for exactly this reason).
+     * @param config  Serving knobs.
+     */
+    InferenceServer(split::SplitModel& model, const NoisePolicy& policy,
+                    const InferenceServerConfig& config = {});
+
+    /**
+     * DEPRECATED shim for the pre-policy API: `config.apply_noise`
+     * true wraps `collection` in a `ReplayPolicy(config.seed)` (the
+     * bit-exact historical behavior), false serves a `NoNoisePolicy`.
+     * New code should construct a policy explicitly.
+     *
+     * @param collection  Learned collection replayed per request; may
+     *                    be null only when `config.apply_noise` is
+     *                    false. Must outlive the server.
      */
     InferenceServer(split::SplitModel& model,
                     const core::NoiseCollection* collection,
@@ -179,10 +215,10 @@ class InferenceServer
      *                   any shape whose element count matches the
      *                   cut's per-sample activation size.
      * @return Future resolving to that sample's logits (rank-1).
-     *         Resolves to `std::runtime_error` for a malformed
-     *         request or a submit after `shutdown` began. Requests
-     *         accepted before shutdown are always served: `shutdown`
-     *         drains the queue.
+     *         Resolves to a `ServingError` (`kInvalidShape` for a
+     *         malformed request, `kShutdown` for a submit after
+     *         `shutdown` began). Requests accepted before shutdown
+     *         are always served: `shutdown` drains the queue.
      */
     std::future<Tensor> submit(Tensor activation);
 
@@ -202,7 +238,9 @@ class InferenceServer
 
     /**
      * Stop accepting new requests, serve everything already queued,
-     * and join the workers. Idempotent; called by the destructor.
+     * and wait for the last batch to finish. Idempotent; called by
+     * the destructor. Never blocks on other servers sharing the pool:
+     * completion is tracked per server, not via pool idleness.
      */
     void shutdown();
 
@@ -212,10 +250,13 @@ class InferenceServer
     /** Snapshot of the aggregate counters. */
     ServerStats stats() const;
 
+    /** The noise mechanism this server executes. */
+    const NoisePolicy& policy() const { return *policy_; }
+
     /**
      * Per-sample activation shape the server expects (no batch dim).
-     * Rank 0 until fixed — by the noise collection at construction,
-     * or by the first submitted request otherwise.
+     * Rank 0 until fixed — by the policy's noise shape at
+     * construction, or by the first submitted request otherwise.
      */
     Shape sample_shape() const
     {
@@ -239,10 +280,9 @@ class InferenceServer
 
     /**
      * Seed of request `request_id`'s private noise RNG under root
-     * seed `root_seed` (SplitMix64 of the pair). Pure function —
-     * exposed so tests and offline replay can reproduce the server's
-     * exact per-request draws:
-     * `collection.draw(Rng(noise_seed(seed, id)))`.
+     * seed `root_seed`. Kept as a static member for source
+     * compatibility — it simply forwards to the free function
+     * `runtime::noise_seed` (noise_policy.h) that all policies use.
      */
     static std::uint64_t noise_seed(std::uint64_t root_seed,
                                     std::uint64_t request_id);
@@ -255,6 +295,11 @@ class InferenceServer
         std::uint64_t id = 0;  ///< Selects the noise draw.
         Stopwatch queued;      ///< Started at submit time.
     };
+
+    /** Common constructor body (borrowed or shim-owned policy). */
+    InferenceServer(split::SplitModel& model, const NoisePolicy* policy,
+                    std::unique_ptr<const NoisePolicy> owned_policy,
+                    const InferenceServerConfig& config);
 
     /** Shared submit path; has_id=false auto-assigns from the counter. */
     std::future<Tensor> submit_impl(Tensor activation, bool has_id,
@@ -273,12 +318,14 @@ class InferenceServer
     void release_context(nn::ExecutionContext* ctx);
 
     split::SplitModel& model_;
-    const core::NoiseCollection* collection_;
+    std::unique_ptr<const NoisePolicy> owned_policy_;  ///< Shim only.
+    const NoisePolicy* policy_;  ///< The mechanism; never null.
     InferenceServerConfig config_;
     Shape sample_shape_;        ///< Per-sample activation shape.
     std::int64_t sample_size_;  ///< Elements per activation.
 
-    ThreadPool pool_;
+    std::unique_ptr<ThreadPool> owned_pool_;  ///< Null when shared.
+    ThreadPool* pool_;  ///< Owned or `config.pool`; never null.
     std::thread dispatcher_;
     std::mutex shutdown_mutex_;  ///< join() must run exactly once.
 
@@ -289,6 +336,16 @@ class InferenceServer
     bool accepting_ = true;
     bool stop_dispatcher_ = false;
     std::uint64_t next_request_id_ = 0;
+
+    /**
+     * Batches handed to the pool but not yet finished. Shutdown waits
+     * on THIS count (not pool idleness), so a server sharing a pool
+     * with busy siblings still shuts down as soon as its own work is
+     * done.
+     */
+    std::int64_t inflight_batches_ = 0;
+    std::mutex inflight_mutex_;
+    std::condition_variable inflight_cv_;
 
     /**
      * Pool of per-batch execution contexts — the whole concurrency

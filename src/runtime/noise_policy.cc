@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Implementation of the noise policies (see header).
+ */
+#include "src/runtime/noise_policy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace runtime {
+
+namespace {
+
+/** SplitMix64 finalizer (Steele et al.) — a strong 64-bit mix. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Guard shared by the additive policies. */
+void
+require_matching_size(const Tensor& activation, std::int64_t noise_size,
+                      const char* who)
+{
+    SHREDDER_REQUIRE(activation.size() == noise_size, who,
+                     ": activation size ", activation.size(),
+                     " does not match the policy's noise size ",
+                     noise_size);
+}
+
+}  // namespace
+
+std::uint64_t
+noise_seed(std::uint64_t root_seed, std::uint64_t request_id)
+{
+    // Two mixing rounds keep (seed, id) pairs far apart even for
+    // consecutive ids under the same root seed.
+    return splitmix64(splitmix64(root_seed) ^ request_id);
+}
+
+void
+NoisePolicy::apply_into(const Tensor& activation, std::uint64_t request_id,
+                        float* dst) const
+{
+    const Tensor noisy = apply(activation, request_id);
+    SHREDDER_CHECK(noisy.size() == activation.size(),
+                   "policy '", name(), "' changed the element count");
+    std::copy(noisy.data(), noisy.data() + noisy.size(), dst);
+}
+
+// ---------------------------------------------------------------------
+// NoNoisePolicy
+// ---------------------------------------------------------------------
+
+Tensor
+NoNoisePolicy::apply(const Tensor& activation, std::uint64_t) const
+{
+    return activation;
+}
+
+void
+NoNoisePolicy::apply_into(const Tensor&, std::uint64_t, float*) const
+{
+    // dst already holds the activation copy; nothing to add.
+}
+
+// ---------------------------------------------------------------------
+// ReplayPolicy
+// ---------------------------------------------------------------------
+
+ReplayPolicy::ReplayPolicy(const core::NoiseCollection& collection,
+                           std::uint64_t seed)
+    : collection_(collection), seed_(seed)
+{
+    SHREDDER_REQUIRE(!collection.empty(),
+                     "ReplayPolicy needs a non-empty noise collection");
+}
+
+Shape
+ReplayPolicy::noise_shape() const
+{
+    return collection_.noise_shape();
+}
+
+Tensor
+ReplayPolicy::apply(const Tensor& activation,
+                    std::uint64_t request_id) const
+{
+    Tensor out = activation;
+    apply_into(activation, request_id, out.data());
+    return out;
+}
+
+void
+ReplayPolicy::apply_into(const Tensor& activation,
+                         std::uint64_t request_id, float* dst) const
+{
+    // The draw RNG is derived from (root seed, request id), so it
+    // touches no shared state: concurrent applies are lock-free and a
+    // replay with the same seed and ids reproduces the assignment.
+    Rng draw_rng(noise_seed(seed_, request_id));
+    const Tensor& noise = collection_.draw(draw_rng).noise;
+    require_matching_size(activation, noise.size(), "ReplayPolicy");
+    const float* pn = noise.data();
+    for (std::int64_t j = 0; j < noise.size(); ++j) {
+        dst[j] += pn[j];
+    }
+}
+
+// ---------------------------------------------------------------------
+// SamplePolicy
+// ---------------------------------------------------------------------
+
+SamplePolicy::SamplePolicy(core::NoiseDistribution distribution,
+                           std::uint64_t seed)
+    : dist_(std::move(distribution)), seed_(seed)
+{
+}
+
+SamplePolicy::SamplePolicy(const core::NoiseCollection& collection,
+                           core::NoiseFamily family, std::uint64_t seed)
+    : SamplePolicy(core::NoiseDistribution::fit(collection, family), seed)
+{
+}
+
+Shape
+SamplePolicy::noise_shape() const
+{
+    return dist_.location().shape();
+}
+
+Tensor
+SamplePolicy::apply(const Tensor& activation,
+                    std::uint64_t request_id) const
+{
+    Tensor out = activation;
+    apply_into(activation, request_id, out.data());
+    return out;
+}
+
+void
+SamplePolicy::apply_into(const Tensor& activation,
+                         std::uint64_t request_id, float* dst) const
+{
+    // Fresh per-element draw; the per-id RNG keeps it deterministic
+    // under replay yet independent across distinct request ids.
+    Rng draw_rng(noise_seed(seed_, request_id));
+    const Tensor noise = dist_.sample(draw_rng);
+    require_matching_size(activation, noise.size(), "SamplePolicy");
+    const float* pn = noise.data();
+    for (std::int64_t j = 0; j < noise.size(); ++j) {
+        dst[j] += pn[j];
+    }
+}
+
+// ---------------------------------------------------------------------
+// FixedNoisePolicy
+// ---------------------------------------------------------------------
+
+FixedNoisePolicy::FixedNoisePolicy(Tensor noise) : noise_(std::move(noise))
+{
+    SHREDDER_REQUIRE(noise_.size() > 0,
+                     "FixedNoisePolicy needs a non-empty noise tensor");
+}
+
+Tensor
+FixedNoisePolicy::apply(const Tensor& activation, std::uint64_t) const
+{
+    Tensor out = activation;
+    apply_into(activation, 0, out.data());
+    return out;
+}
+
+void
+FixedNoisePolicy::apply_into(const Tensor& activation, std::uint64_t,
+                             float* dst) const
+{
+    require_matching_size(activation, noise_.size(), "FixedNoisePolicy");
+    const float* pn = noise_.data();
+    for (std::int64_t j = 0; j < noise_.size(); ++j) {
+        dst[j] += pn[j];
+    }
+}
+
+}  // namespace runtime
+}  // namespace shredder

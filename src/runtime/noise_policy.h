@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Noise policies: the pluggable per-request noise mechanism (§2.5).
+ *
+ * The paper's deployment phase describes two ways to noise a query's
+ * transmitted activation — replay a stored tensor from the learned
+ * collection, or draw fresh noise from the distribution fitted to it —
+ * and the measurement harness adds two baselines (no noise; one fixed
+ * tensor). A `NoisePolicy` captures exactly one such mechanism behind
+ * one call:
+ *
+ *     Tensor noisy = policy.apply(activation, request_id);
+ *
+ * The contract:
+ *
+ *  - **Pure in the request id.** `apply` is `const` and derives every
+ *    random choice from `noise_seed(seed, request_id)` — a SplitMix64
+ *    hash of (policy seed, id). The same (policy, id) pair always
+ *    produces the same noise, no matter which thread calls, in what
+ *    order, or how requests were batched. Replayability and
+ *    concurrency-independence fall out of the same property.
+ *  - **Thread-safe.** `apply` touches no mutable policy state; any
+ *    number of server workers (or a measurement pass) may share one
+ *    policy object concurrently.
+ *  - **Shape-preserving.** The result has the activation's shape;
+ *    noise is added by flat element index, so a caller may present the
+ *    activation as [C, H, W] or flattened [C·H·W].
+ *
+ * Because `PrivacyMeter` measures through the same policy objects the
+ * servers execute (see `measure_policy`), the mechanism whose privacy
+ * is reported is bit-for-bit the mechanism that is deployed.
+ */
+#ifndef SHREDDER_RUNTIME_NOISE_POLICY_H
+#define SHREDDER_RUNTIME_NOISE_POLICY_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/noise_collection.h"
+#include "src/core/noise_distribution.h"
+#include "src/tensor/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace runtime {
+
+/**
+ * Seed of request `request_id`'s private noise RNG under root seed
+ * `root_seed` (two SplitMix64 mixing rounds, so (seed, id) pairs stay
+ * far apart even for consecutive ids). Pure function — exposed so
+ * tests and offline replay can reproduce any policy's exact draw:
+ * e.g. `collection.draw(Rng(noise_seed(seed, id)))`.
+ */
+std::uint64_t noise_seed(std::uint64_t root_seed,
+                         std::uint64_t request_id);
+
+/** See file comment. */
+class NoisePolicy
+{
+  public:
+    virtual ~NoisePolicy() = default;
+
+    /**
+     * Return `activation` with this policy's noise for `request_id`
+     * added (same shape; noise indexed flat). Thread-safe; pure in
+     * (activation, request_id).
+     */
+    virtual Tensor apply(const Tensor& activation,
+                         std::uint64_t request_id) const = 0;
+
+    /**
+     * Per-sample shape this policy's noise imposes on activations, or
+     * a rank-0 shape when the policy accepts any shape (`NoNoisePolicy`).
+     * Servers adopt this as their shape contract.
+     */
+    virtual Shape noise_shape() const { return Shape{}; }
+
+    /** Short mechanism tag ("none", "replay", "sample", "fixed"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Hot-path variant: add the noise for `request_id` onto `dst`
+     * (length `activation.size()`), which already holds a copy of the
+     * activation. Semantically identical to `apply` — overridden where
+     * skipping the temporary tensor matters (the server's fused-batch
+     * assembly). The default delegates to `apply`.
+     */
+    virtual void apply_into(const Tensor& activation,
+                            std::uint64_t request_id, float* dst) const;
+};
+
+/**
+ * The paper's "original execution" baseline: the activation passes
+ * through untouched. Useful as a served endpoint (clean reference
+ * traffic) and as the meter's clean mode.
+ */
+class NoNoisePolicy final : public NoisePolicy
+{
+  public:
+    NoNoisePolicy() = default;
+
+    Tensor apply(const Tensor& activation,
+                 std::uint64_t request_id) const override;
+    std::string name() const override { return "none"; }
+    void apply_into(const Tensor& activation, std::uint64_t request_id,
+                    float* dst) const override;
+};
+
+/**
+ * Replay deployment (paper §2.5, "we just sample from pre-trained
+ * noises"): request `id` draws one stored tensor from the learned
+ * collection with `Rng(noise_seed(seed, id))` and adds it. This is the
+ * historical `InferenceServer` behavior, now named.
+ *
+ * Borrows the collection; it must outlive the policy.
+ */
+class ReplayPolicy final : public NoisePolicy
+{
+  public:
+    /**
+     * @param collection Non-empty learned collection (borrowed).
+     * @param seed       Root seed of the id-keyed draws.
+     */
+    explicit ReplayPolicy(const core::NoiseCollection& collection,
+                          std::uint64_t seed = 0xC0FFEE);
+
+    Tensor apply(const Tensor& activation,
+                 std::uint64_t request_id) const override;
+    Shape noise_shape() const override;
+    std::string name() const override { return "replay"; }
+    void apply_into(const Tensor& activation, std::uint64_t request_id,
+                    float* dst) const override;
+
+    std::uint64_t seed() const { return seed_; }
+    const core::NoiseCollection& collection() const { return collection_; }
+
+  private:
+    const core::NoiseCollection& collection_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Distribution-sampling deployment — the paper's true
+ * information-destruction mode: request `id` draws a *fresh* noise
+ * tensor, element by element, from the distribution fitted to the
+ * collection. Unlike replay (a draw from a finite set) this injects
+ * genuine per-query channel randomness, which is what actually
+ * destroys mutual information (see noise_distribution.h).
+ *
+ * Owns its distribution (a fit is cheap to copy and policies must stay
+ * self-contained for engine-owned lifetimes).
+ */
+class SamplePolicy final : public NoisePolicy
+{
+  public:
+    /**
+     * @param distribution Fitted per-element distribution (copied in).
+     * @param seed         Root seed of the id-keyed draws.
+     */
+    explicit SamplePolicy(core::NoiseDistribution distribution,
+                          std::uint64_t seed = 0xC0FFEE);
+
+    /** Convenience: fit the distribution from a collection first. */
+    SamplePolicy(const core::NoiseCollection& collection,
+                 core::NoiseFamily family, std::uint64_t seed);
+
+    Tensor apply(const Tensor& activation,
+                 std::uint64_t request_id) const override;
+    Shape noise_shape() const override;
+    std::string name() const override { return "sample"; }
+    void apply_into(const Tensor& activation, std::uint64_t request_id,
+                    float* dst) const override;
+
+    std::uint64_t seed() const { return seed_; }
+    const core::NoiseDistribution& distribution() const { return dist_; }
+
+  private:
+    core::NoiseDistribution dist_;
+    std::uint64_t seed_;
+};
+
+/**
+ * One fixed tensor on every request — the deterministic (and therefore
+ * information-preserving) transform whose weakness motivates the
+ * paper's sampling phase. Kept as a policy so the meter's "fixed"
+ * mode and an ablation endpoint run the same code. Ignores the
+ * request id.
+ */
+class FixedNoisePolicy final : public NoisePolicy
+{
+  public:
+    /** @param noise The tensor added to every activation (copied in). */
+    explicit FixedNoisePolicy(Tensor noise);
+
+    Tensor apply(const Tensor& activation,
+                 std::uint64_t request_id) const override;
+    Shape noise_shape() const override { return noise_.shape(); }
+    std::string name() const override { return "fixed"; }
+    void apply_into(const Tensor& activation, std::uint64_t request_id,
+                    float* dst) const override;
+
+  private:
+    Tensor noise_;
+};
+
+}  // namespace runtime
+}  // namespace shredder
+
+#endif  // SHREDDER_RUNTIME_NOISE_POLICY_H

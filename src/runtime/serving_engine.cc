@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Implementation of the multi-endpoint serving engine (see header).
+ */
+#include "src/runtime/serving_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace runtime {
+
+ServingEngine::ServingEngine(const ServingEngineConfig& config)
+    : config_(config), pool_(config.num_workers)
+{
+}
+
+ServingEngine::~ServingEngine() { shutdown(); }
+
+void
+ServingEngine::register_endpoint(const std::string& name,
+                                 split::SplitModel& model,
+                                 std::shared_ptr<const NoisePolicy> policy,
+                                 const EndpointConfig& config)
+{
+    if (policy == nullptr) {
+        throw ServingError(ServingErrorCode::kNoPolicy,
+                           "endpoint '" + name + "' registered without a "
+                           "noise policy (use NoNoisePolicy for clean "
+                           "serving)");
+    }
+
+    InferenceServerConfig server_config;
+    server_config.max_batch = config.max_batch;
+    server_config.batch_timeout_ms = config.batch_timeout_ms;
+    server_config.pool = &pool_;
+    server_config.max_concurrent_batches = config.max_concurrent_batches;
+    server_config.seed = config.context_seed;
+    server_config.sample_shape = config.sample_shape;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+        throw ServingError(ServingErrorCode::kShutdown,
+                           "register_endpoint('" + name +
+                           "') after shutdown");
+    }
+    if (endpoints_.count(name) > 0) {
+        throw ServingError(ServingErrorCode::kDuplicateEndpoint,
+                           "endpoint '" + name + "' is already "
+                           "registered");
+    }
+    Endpoint endpoint;
+    endpoint.policy = std::move(policy);
+    endpoint.server = std::make_unique<InferenceServer>(
+        model, *endpoint.policy, server_config);
+    endpoints_.emplace(name, std::move(endpoint));
+}
+
+ServingEngine::Endpoint*
+ServingEngine::find(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(name);
+    return it != endpoints_.end() ? &it->second : nullptr;
+}
+
+const ServingEngine::Endpoint*
+ServingEngine::find(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(name);
+    return it != endpoints_.end() ? &it->second : nullptr;
+}
+
+std::future<Tensor>
+ServingEngine::submit(const std::string& name, Tensor activation,
+                      std::uint64_t request_id)
+{
+    Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        std::promise<Tensor> promise;
+        promise.set_exception(std::make_exception_ptr(ServingError(
+            ServingErrorCode::kUnknownEndpoint,
+            "no endpoint named '" + name + "'")));
+        return promise.get_future();
+    }
+    // The endpoint's server does its own accepting/shape validation
+    // (kShutdown / kInvalidShape) — outside the engine lock.
+    return endpoint->server->submit(std::move(activation), request_id);
+}
+
+std::future<Tensor>
+ServingEngine::submit(const std::string& name, Tensor activation)
+{
+    Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        std::promise<Tensor> promise;
+        promise.set_exception(std::make_exception_ptr(ServingError(
+            ServingErrorCode::kUnknownEndpoint,
+            "no endpoint named '" + name + "'")));
+        return promise.get_future();
+    }
+    return endpoint->server->submit(std::move(activation));
+}
+
+Tensor
+ServingEngine::infer(const std::string& name, const Tensor& activation)
+{
+    return submit(name, activation).get();
+}
+
+std::vector<std::string>
+ServingEngine::endpoint_names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(endpoints_.size());
+    for (const auto& entry : endpoints_) {
+        names.push_back(entry.first);
+    }
+    return names;  // std::map iterates sorted
+}
+
+bool
+ServingEngine::has_endpoint(const std::string& name) const
+{
+    return find(name) != nullptr;
+}
+
+const NoisePolicy&
+ServingEngine::policy(const std::string& name) const
+{
+    const Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        throw ServingError(ServingErrorCode::kUnknownEndpoint,
+                           "no endpoint named '" + name + "'");
+    }
+    return *endpoint->policy;
+}
+
+ServerStats
+ServingEngine::stats(const std::string& name) const
+{
+    const Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        throw ServingError(ServingErrorCode::kUnknownEndpoint,
+                           "no endpoint named '" + name + "'");
+    }
+    return endpoint->server->stats();
+}
+
+ServerStats
+ServingEngine::stats() const
+{
+    ServerStats aggregate;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : endpoints_) {
+        const ServerStats s = entry.second.server->stats();
+        aggregate.requests += s.requests;
+        aggregate.batches += s.batches;
+        aggregate.busy_ms += s.busy_ms;
+        aggregate.queue_ms += s.queue_ms;
+        aggregate.max_batch_seen =
+            std::max(aggregate.max_batch_seen, s.max_batch_seen);
+    }
+    // Endpoints serve concurrently on one pool: wall time is the
+    // engine's lifetime, not a per-endpoint sum.
+    aggregate.wall_seconds = lifetime_.seconds();
+    return aggregate;
+}
+
+void
+ServingEngine::shutdown()
+{
+    std::vector<InferenceServer*> servers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        accepting_ = false;
+        servers.reserve(endpoints_.size());
+        for (auto& entry : endpoints_) {
+            servers.push_back(entry.second.server.get());
+        }
+    }
+    // Outside the lock: each shutdown drains that endpoint's queue and
+    // waits for its in-flight batches on the shared pool.
+    for (InferenceServer* server : servers) {
+        server->shutdown();
+    }
+}
+
+bool
+ServingEngine::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accepting_;
+}
+
+}  // namespace runtime
+}  // namespace shredder

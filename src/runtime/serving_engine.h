@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Multi-endpoint serving engine: one process, many models, many noise
+ * mechanisms, one worker pool.
+ *
+ * A production Shredder deployment rarely hosts exactly one network
+ * under exactly one noise mechanism. The engine is the façade for the
+ * general case:
+ *
+ *   ServingEngine engine(cfg);
+ *   engine.register_endpoint("mnist-replay",  model_a, replay_policy);
+ *   engine.register_endpoint("mnist-sample",  model_a, sample_policy);
+ *   engine.register_endpoint("svhn-clean",    model_b, no_noise);
+ *   auto logits = engine.submit("mnist-replay", activation, id);
+ *
+ * Each endpoint is a name → (`SplitModel`, `NoisePolicy`,
+ * `InferenceServer` dispatcher) binding. All endpoints share ONE
+ * `ThreadPool`: batches from every endpoint interleave on the same
+ * workers, so capacity is provisioned once per process instead of per
+ * model. The stateless-layer execution model makes this safe — each
+ * in-flight batch runs against its endpoint's pooled
+ * `ExecutionContext`, weights are read-only, and two endpoints may
+ * even serve the *same* `SplitModel` under different policies (the
+ * replay-vs-sample A/B above).
+ *
+ * Policies are held by `shared_ptr`, so one policy object may back
+ * several endpoints and callers may keep measuring through it
+ * (`PrivacyMeter::measure_policy`) while it serves: the measured
+ * mechanism is bit-for-bit the served one.
+ *
+ * Failures are typed (`ServingError`): setup mistakes
+ * (`kNoPolicy`, `kDuplicateEndpoint`, `kShutdown`) throw from
+ * `register_endpoint`; per-request problems (`kUnknownEndpoint`,
+ * `kInvalidShape`, `kShutdown`) fail the request's own future and
+ * never disturb other traffic.
+ */
+#ifndef SHREDDER_RUNTIME_SERVING_ENGINE_H
+#define SHREDDER_RUNTIME_SERVING_ENGINE_H
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/runtime/inference_server.h"
+#include "src/runtime/noise_policy.h"
+#include "src/runtime/serving_error.h"
+#include "src/runtime/stopwatch.h"
+#include "src/runtime/thread_pool.h"
+#include "src/split/split_model.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace runtime {
+
+/** Engine-wide knobs. */
+struct ServingEngineConfig
+{
+    /**
+     * Worker threads in the shared pool that executes every
+     * endpoint's batches; 0 = hardware concurrency.
+     */
+    unsigned num_workers = 1;
+};
+
+/** Per-endpoint knobs (a subset of `InferenceServerConfig`). */
+struct EndpointConfig
+{
+    /** Max requests fused into one cloud forward. */
+    std::int64_t max_batch = 8;
+    /** Dispatcher straggler wait (ms); 0 = ship immediately. */
+    double batch_timeout_ms = 1.0;
+    /**
+     * Cloud forwards of THIS endpoint allowed in flight at once (its
+     * `ExecutionContext` pool size). 0 = one per shared worker.
+     */
+    std::int64_t max_concurrent_batches = 0;
+    /** Seed of the endpoint's execution-context RNGs. */
+    std::uint64_t context_seed = 0xC0FFEE;
+    /**
+     * Per-sample activation shape pin (rank 1–3); rank 0 defers to
+     * the policy's `noise_shape()` or first-request adoption, as in
+     * `InferenceServerConfig::sample_shape`.
+     */
+    Shape sample_shape{};
+};
+
+/** See file comment. */
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(const ServingEngineConfig& config = {});
+
+    /** Shuts every endpoint down (draining queued requests). */
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine&) = delete;
+    ServingEngine& operator=(const ServingEngine&) = delete;
+
+    /**
+     * Bind `name` to (`model`, `policy`) and start its dispatcher.
+     *
+     * @param model  Split view served by this endpoint (borrowed; must
+     *               outlive the engine). May be shared with other
+     *               endpoints — weights are read-only during serving.
+     * @param policy Noise mechanism (shared ownership; may back
+     *               several endpoints and concurrent measurement).
+     * @param config Endpoint knobs.
+     * @throws ServingError `kNoPolicy` for a null policy,
+     *         `kDuplicateEndpoint` for a reused name, `kShutdown`
+     *         after `shutdown()`.
+     */
+    void register_endpoint(const std::string& name,
+                           split::SplitModel& model,
+                           std::shared_ptr<const NoisePolicy> policy,
+                           const EndpointConfig& config = {});
+
+    /**
+     * Enqueue one request on endpoint `name` under a caller-chosen
+     * request id (the id keys the noise draw; see
+     * `InferenceServer::submit`). An unknown name, a shape-contract
+     * violation or a post-shutdown submit fails the returned future
+     * with the corresponding `ServingError` code.
+     */
+    std::future<Tensor> submit(const std::string& name, Tensor activation,
+                               std::uint64_t request_id);
+
+    /** As above with an endpoint-auto-assigned id (`kAutoIdBase + n`). */
+    std::future<Tensor> submit(const std::string& name, Tensor activation);
+
+    /** Blocking convenience wrapper around `submit`. */
+    Tensor infer(const std::string& name, const Tensor& activation);
+
+    /** Registered endpoint names, sorted. */
+    std::vector<std::string> endpoint_names() const;
+
+    /** True if `name` is a registered endpoint. */
+    bool has_endpoint(const std::string& name) const;
+
+    /** The policy endpoint `name` executes (throws `kUnknownEndpoint`). */
+    const NoisePolicy& policy(const std::string& name) const;
+
+    /**
+     * Per-endpoint counters (throws `kUnknownEndpoint` for an unknown
+     * name).
+     */
+    ServerStats stats(const std::string& name) const;
+
+    /**
+     * Aggregate counters across all endpoints: requests/batches/times
+     * are summed, `max_batch_seen` is the maximum, `wall_seconds` is
+     * the engine's lifetime (NOT a sum — endpoints run concurrently,
+     * so `requests_per_sec()` stays meaningful).
+     */
+    ServerStats stats() const;
+
+    /**
+     * Stop accepting registrations and new requests, drain every
+     * endpoint's queue, and stop the dispatchers. Idempotent; called
+     * by the destructor.
+     */
+    void shutdown();
+
+    /** True until `shutdown` begins. */
+    bool running() const;
+
+  private:
+    struct Endpoint
+    {
+        std::shared_ptr<const NoisePolicy> policy;
+        std::unique_ptr<InferenceServer> server;
+    };
+
+    /** Look up an endpoint or null; caller holds no lock after return. */
+    Endpoint* find(const std::string& name);
+    const Endpoint* find(const std::string& name) const;
+
+    ServingEngineConfig config_;
+    ThreadPool pool_;  ///< Shared by every endpoint's batches.
+
+    /**
+     * Guards the endpoint map and the accepting flag. Endpoints are
+     * never removed before shutdown, so a pointer looked up under the
+     * lock stays valid afterwards; submits run outside the lock.
+     */
+    mutable std::mutex mutex_;
+    std::map<std::string, Endpoint> endpoints_;
+    bool accepting_ = true;
+
+    Stopwatch lifetime_;
+};
+
+}  // namespace runtime
+}  // namespace shredder
+
+#endif  // SHREDDER_RUNTIME_SERVING_ENGINE_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Typed serving-path errors.
+ *
+ * The serving façade (`ServingEngine`, `InferenceServer`) rejects bad
+ * requests through the request's own future, never by crashing the
+ * server — other clients' in-flight work stays alive. Rejections carry
+ * a `ServingError`: a typed code plus a context string, so callers
+ * (and tests) branch on `code()` instead of parsing message text.
+ *
+ * `ServingError` derives from `std::runtime_error`, so call sites that
+ * only care about "the request failed" keep working unchanged.
+ */
+#ifndef SHREDDER_RUNTIME_SERVING_ERROR_H
+#define SHREDDER_RUNTIME_SERVING_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace shredder {
+namespace runtime {
+
+/** What went wrong with a serving-path call. */
+enum class ServingErrorCode {
+    /** Activation rank/size violates the endpoint's shape contract. */
+    kInvalidShape,
+    /** The server/engine stopped accepting before the call. */
+    kShutdown,
+    /** `submit` named an endpoint that was never registered. */
+    kUnknownEndpoint,
+    /** An endpoint was registered without a noise policy. */
+    kNoPolicy,
+    /** `register_endpoint` reused an existing endpoint name. */
+    kDuplicateEndpoint,
+};
+
+/** Stable identifier string for a code (used in error messages). */
+inline const char*
+to_string(ServingErrorCode code)
+{
+    switch (code) {
+      case ServingErrorCode::kInvalidShape: return "kInvalidShape";
+      case ServingErrorCode::kShutdown: return "kShutdown";
+      case ServingErrorCode::kUnknownEndpoint: return "kUnknownEndpoint";
+      case ServingErrorCode::kNoPolicy: return "kNoPolicy";
+      case ServingErrorCode::kDuplicateEndpoint:
+        return "kDuplicateEndpoint";
+    }
+    return "kUnknown";
+}
+
+/** See file comment. */
+class ServingError : public std::runtime_error
+{
+  public:
+    ServingError(ServingErrorCode code, const std::string& context)
+        : std::runtime_error(std::string("serving error [") +
+                             to_string(code) + "]: " + context),
+          code_(code)
+    {
+    }
+
+    /** The typed failure reason — branch on this, not on `what()`. */
+    ServingErrorCode code() const noexcept { return code_; }
+
+  private:
+    ServingErrorCode code_;
+};
+
+}  // namespace runtime
+}  // namespace shredder
+
+#endif  // SHREDDER_RUNTIME_SERVING_ERROR_H

@@ -15,6 +15,9 @@
 // Runtime
 #include "src/runtime/inference_server.h"
 #include "src/runtime/logging.h"
+#include "src/runtime/noise_policy.h"
+#include "src/runtime/serving_engine.h"
+#include "src/runtime/serving_error.h"
 #include "src/runtime/stopwatch.h"
 #include "src/runtime/thread_pool.h"
 

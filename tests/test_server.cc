@@ -9,6 +9,7 @@
 #include "src/core/noise_collection.h"
 #include "src/models/zoo.h"
 #include "src/runtime/inference_server.h"
+#include "src/runtime/serving_error.h"
 #include "src/split/split_model.h"
 #include "src/tensor/ops.h"
 #include "tests/test_util.h"
@@ -18,6 +19,23 @@ namespace {
 
 using runtime::InferenceServer;
 using runtime::InferenceServerConfig;
+using runtime::ServingError;
+using runtime::ServingErrorCode;
+
+/** Expect `future` to fail with a specific `ServingError` code. */
+void
+expect_code(std::future<Tensor>& future, ServingErrorCode expected)
+{
+    try {
+        future.get();
+        ADD_FAILURE() << "expected ServingError "
+                      << runtime::to_string(expected);
+    } catch (const ServingError& e) {
+        EXPECT_EQ(e.code(), expected) << e.what();
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << "expected ServingError, got " << e.what();
+    }
+}
 
 /** LeNet cut at its last conv point, plus matching activations. */
 struct Fixture
@@ -476,7 +494,7 @@ TEST(InferenceServer, WrongSizeSubmitFailsOnlyThatFuture)
     InferenceServer server(fx.model, &coll, cfg);
 
     auto bad = server.submit(Tensor::zeros(Shape({3})));
-    EXPECT_THROW(bad.get(), std::runtime_error);
+    expect_code(bad, ServingErrorCode::kInvalidShape);
     // The server survives and keeps serving well-formed requests.
     const Tensor logits = server.infer(fx.sample_activation());
     EXPECT_EQ(logits.size(), 10);
@@ -493,7 +511,7 @@ TEST(InferenceServer, Rank4FirstSubmitIsRejectedCleanly)
     auto bad = server.submit(
         Tensor::zeros(Shape({1, fx.act_shape[1], fx.act_shape[2],
                              fx.act_shape[3]})));
-    EXPECT_THROW(bad.get(), std::runtime_error);
+    expect_code(bad, ServingErrorCode::kInvalidShape);
     // A rank-3 per-sample activation then works.
     const Tensor logits = server.infer(fx.sample_activation());
     EXPECT_EQ(logits.size(), 10);
@@ -511,7 +529,27 @@ TEST(InferenceServer, ConfiguredShapePinsTheContract)
         Shape({fx.act_shape[1], fx.act_shape[2], fx.act_shape[3]});
     InferenceServer server(fx.model, nullptr, cfg);
     auto bad = server.submit(Tensor::zeros(Shape({7})));
-    EXPECT_THROW(bad.get(), std::runtime_error);
+    expect_code(bad, ServingErrorCode::kInvalidShape);
+    const Tensor logits = server.infer(fx.sample_activation());
+    EXPECT_EQ(logits.size(), 10);
+}
+
+TEST(InferenceServer, ShimWithoutNoiseStillPinsShapeFromCollection)
+{
+    // The deprecated (collection, apply_noise=false) shim must keep
+    // the legacy behavior of adopting the collection's noise shape as
+    // the server's contract even though no noise is applied — a
+    // malformed first request must not be able to lock in a bogus
+    // contract.
+    Fixture fx;
+    core::NoiseCollection coll = fx.collection(1);
+    InferenceServerConfig cfg;
+    cfg.apply_noise = false;
+    InferenceServer server(fx.model, &coll, cfg);
+    EXPECT_EQ(server.sample_shape().to_string(),
+              coll.noise_shape().to_string());
+    auto bad = server.submit(Tensor::zeros(Shape({5})));
+    expect_code(bad, ServingErrorCode::kInvalidShape);
     const Tensor logits = server.infer(fx.sample_activation());
     EXPECT_EQ(logits.size(), 10);
 }
@@ -540,7 +578,15 @@ TEST(InferenceServer, SubmitAfterShutdownFailsTheFuture)
     InferenceServer server(fx.model, nullptr, cfg);
     server.shutdown();
     auto future = server.submit(fx.sample_activation());
-    EXPECT_THROW(future.get(), std::runtime_error);
+    // ServingError derives from std::runtime_error (old-style callers
+    // keep working), but carries the typed code new callers branch on.
+    EXPECT_THROW(
+        {
+            auto second = server.submit(fx.sample_activation());
+            second.get();
+        },
+        std::runtime_error);
+    expect_code(future, ServingErrorCode::kShutdown);
 }
 
 TEST(InferenceServer, StatsTrackLatencyAndThroughput)
