@@ -1,25 +1,39 @@
 /**
  * @file
- * Edge/cloud deployment simulation.
+ * Edge/cloud deployment simulation — in two real phases.
  *
- * Plays both sides of a real Shredder deployment for a stream of
- * queries: the *edge* renders an input, runs the local network L,
- * applies the deployment's `NoisePolicy` (replay from the pre-trained
- * collection, keyed by the query id) and serializes the noisy
- * activation onto a (quantizing) channel; the *cloud* deserializes
- * and finishes the inference through a `ServingEngine` endpoint. The
- * cloud endpoint runs `NoNoisePolicy` — the noise was already added
- * on the device, which is the paper's trust model: the raw activation
- * never leaves the edge.
+ * The paper's deployment story has two sides that never share a
+ * process: an offline *trainer* learns the noise and ships an
+ * artifact; an edge *device* only ever loads and applies it. This demo
+ * plays both through a deployment bundle on disk:
  *
- * The demo accounts for wire traffic, per-query latency and accuracy,
- * and contrasts raw-image offloading with Shredder's split execution.
+ *   edge_cloud_demo trainer <bundle>           # train → save bundle
+ *   edge_cloud_demo device  <bundle> [queries] # load bundle → serve
+ *   edge_cloud_demo [queries]                  # both, via a temp file
  *
- * Build & run:  ./build/examples/edge_cloud_demo [num_queries]
+ * The trainer phase pre-trains LeNet (cached), learns a noise
+ * collection against the frozen split, fits the per-element
+ * distribution and writes one `SHBL` bundle (replay policy spec).
+ * The device phase contains **no training code path**: it cold-starts
+ * from the bundle — rebuilds the network from layer tags, applies the
+ * bundle's `ReplayPolicy` on the edge, serializes the noisy
+ * activation over a quantizing channel, and finishes inference
+ * through a `ServingEngine` endpoint running `NoNoisePolicy` (the
+ * noise was added on the device; the raw activation never leaves it —
+ * the paper's trust model). It accounts for wire traffic, per-query
+ * latency and accuracy, and contrasts raw-image offloading with
+ * Shredder's split execution.
+ *
+ * SHREDDER_SMOKE=1 shrinks the training sweep and query count (the
+ * ctest entries `example_edge_cloud_trainer_smoke` /
+ * `tool_shredder_serve_smoke` pin the train→save→cold-start loop on
+ * every test sweep).
  */
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "src/shredder/shredder.h"
 
@@ -27,14 +41,24 @@ namespace {
 
 using namespace shredder;
 
+/** True when SHREDDER_SMOKE=1 (the ctest smoke entries set it). */
+bool
+smoke_mode()
+{
+    const char* env = std::getenv("SHREDDER_SMOKE");
+    return env != nullptr && env[0] == '1';
+}
+
 /** Train a small noise collection for the demo. */
 core::NoiseCollection
 train_noise(split::SplitModel& model, const data::Dataset& train_set)
 {
+    const bool smoke = smoke_mode();
     core::NoiseCollection collection;
-    for (int s = 0; s < 3; ++s) {
+    const int samples = smoke ? 2 : 3;
+    for (int s = 0; s < samples; ++s) {
         core::NoiseTrainConfig cfg;
-        cfg.iterations = 200;
+        cfg.iterations = smoke ? 40 : 200;
         cfg.batch_size = 16;
         cfg.init.scale = 2.0f;
         cfg.lambda.initial_lambda = 5e-3f;
@@ -51,27 +75,80 @@ train_noise(split::SplitModel& model, const data::Dataset& train_set)
     return collection;
 }
 
-}  // namespace
-
+/**
+ * Offline phase: learn the deployment artifact and write it to disk.
+ * This is the only place in the demo that touches training.
+ */
 int
-main(int argc, char** argv)
+run_trainer(const std::string& bundle_path)
 {
-    const std::int64_t queries = argc > 1 ? std::atoll(argv[1]) : 64;
-
     models::Benchmark bench = models::make_benchmark("lenet");
     split::SplitModel model(*bench.net, bench.last_conv_cut);
-    std::printf("deploying '%s' cut at layer %lld\n", bench.name.c_str(),
+    std::printf("trainer: '%s' cut at layer %lld\n", bench.name.c_str(),
                 static_cast<long long>(bench.last_conv_cut));
 
     core::NoiseCollection collection =
         train_noise(model, *bench.train_set);
-    std::printf("noise collection ready: %lld tensors, mean 1/SNR=%.2f\n",
+    std::printf("trainer: collection ready — %lld tensors, mean "
+                "1/SNR=%.2f\n",
                 static_cast<long long>(collection.size()),
                 collection.mean_in_vivo_privacy());
+    const core::NoiseDistribution distribution =
+        core::NoiseDistribution::fit(collection);
 
-    // The edge's noise mechanism: replay from the collection, keyed by
-    // the query id so a trace replay reproduces every draw.
-    const runtime::ReplayPolicy edge_policy(collection, /*seed=*/2029);
+    deploy::BundleContents contents;
+    contents.network = bench.net.get();
+    contents.cut = bench.last_conv_cut;
+    contents.input_shape = bench.input_shape;
+    contents.policy.kind = deploy::PolicyKind::kReplay;
+    contents.policy.seed = 2029;  // Keyed per query id — replayable.
+    contents.collection = &collection;
+    contents.distribution = &distribution;
+    deploy::save_bundle(bundle_path, contents);
+
+    std::printf("trainer: wrote %s (model + collection + fitted "
+                "distribution, policy=replay)\n"
+                "trainer: serve it with\n"
+                "  shredder_serve --endpoint lenet=%s\n",
+                bundle_path.c_str(), bundle_path.c_str());
+    return 0;
+}
+
+/**
+ * Device phase: cold-start from the bundle and serve queries. No
+ * training code, no model zoo — everything comes off the disk
+ * artifact, exactly like a shipped edge device.
+ */
+int
+run_device(const std::string& bundle_path, std::int64_t queries)
+{
+    deploy::Bundle bundle = [&] {
+        try {
+            return deploy::load_bundle(bundle_path);
+        } catch (const runtime::ServingError& e) {
+            std::fprintf(stderr, "device: %s\n", e.what());
+            std::exit(1);
+        }
+    }();
+    split::SplitModel model(bundle.network(), bundle.cut());
+    std::printf("device: loaded %s — %lld layers, cut %lld, policy "
+                "'%s'\n",
+                bundle_path.c_str(),
+                static_cast<long long>(bundle.network().size()),
+                static_cast<long long>(bundle.cut()),
+                deploy::to_string(bundle.policy_spec().kind));
+
+    // The edge's noise mechanism comes from the bundle: replay from
+    // the learned collection, keyed by the query id so a trace replay
+    // reproduces every draw.
+    const auto edge_policy = bundle.make_policy();
+
+    // The test queries: the same held-out synthetic split the
+    // benchmark evaluates (test seed = benchmark seed 42 × 31 + 2).
+    data::DigitsConfig test_cfg;
+    test_cfg.count = queries;
+    test_cfg.seed = 42 * 31 + 2;
+    const data::DigitsDataset test_set(test_cfg);
 
     // The cloud: a ServingEngine endpoint finishing inference on
     // already-noised activations (latency-optimal dispatch — this
@@ -80,29 +157,29 @@ main(int argc, char** argv)
     runtime::EndpointConfig ep;
     ep.max_batch = 1;
     ep.batch_timeout_ms = 0.0;
+    ep.sample_shape = bundle.activation_shape();
     cloud.register_endpoint("lenet", model,
                             std::make_shared<runtime::NoNoisePolicy>(),
                             ep);
 
-    split::QuantizingChannel uplink;       // edge → cloud, 8-bit
-    split::LoopbackChannel raw_uplink;     // baseline: raw image bytes
+    split::QuantizingChannel uplink;    // edge → cloud, 8-bit
+    split::LoopbackChannel raw_uplink;  // baseline: raw image bytes
     // The edge device's own execution context — the cloud endpoint
     // brings its own pooled contexts; they never share forward state.
     nn::ExecutionContext edge_ctx(11);
-    const Shape act = model.activation_shape(bench.input_shape);
-    const Shape per_sample({act[1], act[2], act[3]});
+    const Shape per_sample = bundle.activation_shape();
     Stopwatch clock;
     std::int64_t correct = 0;
 
     for (std::int64_t q = 0; q < queries; ++q) {
-        const data::Sample s = bench.test_set->get(q);
+        const data::Sample s = test_set.get(q);
 
         // --- edge side -------------------------------------------------
         Tensor x = s.image.reshaped(Shape(
             {1, s.image.shape()[0], s.image.shape()[1],
              s.image.shape()[2]}));
         Tensor activation = model.edge_forward(x, edge_ctx);
-        Tensor noisy = edge_policy.apply(
+        Tensor noisy = edge_policy->apply(
             activation, static_cast<std::uint64_t>(q));
         uplink.send(noisy);
         raw_uplink.send(x);  // what a cloud-only deployment would ship
@@ -136,10 +213,48 @@ main(int argc, char** argv)
                 static_cast<long long>(stats.requests),
                 stats.mean_batch_latency_ms());
 
-    const Shape in = bench.input_shape;
+    const Shape in = bundle.input_shape();
     std::printf("edge compute                 : %8.1f KMAC/query\n",
                 model.edge_macs(in) / 1e3);
     std::printf("cloud compute                : %8.1f KMAC/query\n",
                 model.cloud_macs(in) / 1e3);
     return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::int64_t default_queries = smoke_mode() ? 16 : 64;
+    if (argc >= 2 && std::strcmp(argv[1], "trainer") == 0) {
+        if (argc != 3) {
+            std::fprintf(stderr, "usage: %s trainer <bundle>\n", argv[0]);
+            return 2;
+        }
+        return run_trainer(argv[2]);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "device") == 0) {
+        if (argc != 3 && argc != 4) {
+            std::fprintf(stderr, "usage: %s device <bundle> [queries]\n",
+                         argv[0]);
+            return 2;
+        }
+        const std::int64_t queries =
+            argc == 4 ? std::atoll(argv[3]) : default_queries;
+        return run_device(argv[2], queries);
+    }
+
+    // No phase named: run both back to back through a real file — the
+    // original demo behavior, now with the artifact round-trip in the
+    // middle.
+    const std::int64_t queries =
+        argc > 1 ? std::atoll(argv[1]) : default_queries;
+    const std::string bundle_path = "edge_cloud_demo.shb";
+    const int rc = run_trainer(bundle_path);
+    if (rc != 0) {
+        return rc;
+    }
+    std::printf("\n");
+    return run_device(bundle_path, queries);
 }

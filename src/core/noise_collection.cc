@@ -67,20 +67,50 @@ NoiseCollection::mean_in_vivo_privacy() const
 }
 
 void
+NoiseCollection::save(std::ostream& os) const
+{
+    wire::write_u32(os, kMagic);
+    wire::write_u32(os, static_cast<std::uint32_t>(samples_.size()));
+    for (const auto& s : samples_) {
+        write_tensor(os, s.noise);
+        wire::write_f64(os, s.in_vivo_privacy);
+        wire::write_f64(os, s.train_accuracy);
+    }
+}
+
+NoiseCollection
+NoiseCollection::load(std::istream& is)
+{
+    wire::expect_magic(is, kMagic, "noise collection");
+    const std::uint32_t count = wire::read_u32(is);
+    if (count > (1u << 20)) {
+        throw SerializeError("implausible noise-collection size");
+    }
+    NoiseCollection out;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        NoiseSample s;
+        s.noise = read_tensor_checked(is);
+        s.in_vivo_privacy = wire::read_f64(is);
+        s.train_accuracy = wire::read_f64(is);
+        // Validate here (throwing) rather than relying on add()'s
+        // fatal check: a malformed collection must fail the load, not
+        // the process.
+        if (!out.samples_.empty() &&
+            !(s.noise.shape() == out.samples_.front().noise.shape())) {
+            throw SerializeError(
+                "noise sample shape mismatch in collection stream");
+        }
+        out.add(std::move(s));
+    }
+    return out;
+}
+
+void
 NoiseCollection::save(const std::string& path) const
 {
     std::ofstream os(path, std::ios::binary);
     SHREDDER_REQUIRE(os.good(), "cannot open for write: ", path);
-    os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-    const auto count = static_cast<std::uint32_t>(samples_.size());
-    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    for (const auto& s : samples_) {
-        write_tensor(os, s.noise);
-        os.write(reinterpret_cast<const char*>(&s.in_vivo_privacy),
-                 sizeof(s.in_vivo_privacy));
-        os.write(reinterpret_cast<const char*>(&s.train_accuracy),
-                 sizeof(s.train_accuracy));
-    }
+    save(static_cast<std::ostream&>(os));
     SHREDDER_REQUIRE(os.good(), "write failed: ", path);
 }
 
@@ -89,24 +119,11 @@ NoiseCollection::load(const std::string& path)
 {
     std::ifstream is(path, std::ios::binary);
     SHREDDER_REQUIRE(is.good(), "cannot open: ", path);
-    std::uint32_t magic = 0;
-    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-    SHREDDER_REQUIRE(magic == kMagic, "bad collection magic in ", path);
-    std::uint32_t count = 0;
-    is.read(reinterpret_cast<char*>(&count), sizeof(count));
-    NoiseCollection out;
-    for (std::uint32_t i = 0; i < count; ++i) {
-        NoiseSample s;
-        s.noise = read_tensor(is);
-        is.read(reinterpret_cast<char*>(&s.in_vivo_privacy),
-                sizeof(s.in_vivo_privacy));
-        is.read(reinterpret_cast<char*>(&s.train_accuracy),
-                sizeof(s.train_accuracy));
-        SHREDDER_REQUIRE(static_cast<bool>(is), "truncated collection: ",
-                         path);
-        out.add(std::move(s));
+    try {
+        return load(static_cast<std::istream&>(is));
+    } catch (const SerializeError& e) {
+        SHREDDER_FATAL("noise collection file ", path, ": ", e.what());
     }
-    return out;
 }
 
 }  // namespace core

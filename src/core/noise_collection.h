@@ -12,6 +12,7 @@
 #define SHREDDER_CORE_NOISE_COLLECTION_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -58,11 +59,25 @@ class NoiseCollection
     /** Mean of stored in-vivo privacy values. */
     double mean_in_vivo_privacy() const;
 
-    /** Persist to a binary file. */
+    /** Persist to a binary file. Fatal on I/O failure. */
     void save(const std::string& path) const;
 
-    /** Load a collection persisted by `save`. */
+    /** Load a collection persisted by `save`. Fatal on corruption. */
     static NoiseCollection load(const std::string& path);
+
+    /**
+     * Write to a binary stream (`SCOL` section — byte-identical to the
+     * file format, so collections embed directly in deployment
+     * bundles).
+     */
+    void save(std::ostream& os) const;
+
+    /**
+     * Read a collection written by the stream `save`.
+     * @throws SerializeError on malformed input (never terminates —
+     *         bundles cross a trust boundary).
+     */
+    static NoiseCollection load(std::istream& is);
 
   private:
     std::vector<NoiseSample> samples_;

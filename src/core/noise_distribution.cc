@@ -5,11 +5,19 @@
 #include "src/core/noise_distribution.h"
 
 #include <cmath>
+#include <fstream>
 
 #include "src/runtime/logging.h"
+#include "src/tensor/serialize.h"
 
 namespace shredder {
 namespace core {
+
+namespace {
+
+constexpr std::uint32_t kDistMagic = 0x54534453;  // 'SDST'
+
+}  // namespace
 
 NoiseDistribution::NoiseDistribution(NoiseFamily family, Tensor location,
                                      Tensor scale)
@@ -92,6 +100,56 @@ NoiseDistribution::mean_variance() const
     }
     return scale_.size() > 0 ? acc / static_cast<double>(scale_.size())
                              : 0.0;
+}
+
+void
+NoiseDistribution::save(std::ostream& os) const
+{
+    wire::write_u32(os, kDistMagic);
+    wire::write_u32(os, static_cast<std::uint32_t>(family_));
+    write_tensor(os, location_);
+    write_tensor(os, scale_);
+}
+
+NoiseDistribution
+NoiseDistribution::load(std::istream& is)
+{
+    wire::expect_magic(is, kDistMagic, "noise distribution");
+    const std::uint32_t family = wire::read_u32(is);
+    if (family > static_cast<std::uint32_t>(NoiseFamily::kGaussian)) {
+        throw SerializeError("bad noise family in distribution stream");
+    }
+    Tensor location = read_tensor_checked(is);
+    Tensor scale = read_tensor_checked(is);
+    if (!(location.shape() == scale.shape())) {
+        throw SerializeError(
+            "distribution location/scale shape mismatch (" +
+            location.shape().to_string() + " vs " +
+            scale.shape().to_string() + ")");
+    }
+    return NoiseDistribution(static_cast<NoiseFamily>(family),
+                             std::move(location), std::move(scale));
+}
+
+void
+NoiseDistribution::save(const std::string& path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    SHREDDER_REQUIRE(os.good(), "cannot open for write: ", path);
+    save(os);
+    SHREDDER_REQUIRE(os.good(), "write failed: ", path);
+}
+
+NoiseDistribution
+NoiseDistribution::load(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    SHREDDER_REQUIRE(is.good(), "cannot open: ", path);
+    try {
+        return load(static_cast<std::istream&>(is));
+    } catch (const SerializeError& e) {
+        SHREDDER_FATAL("noise distribution file ", path, ": ", e.what());
+    }
 }
 
 }  // namespace core

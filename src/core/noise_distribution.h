@@ -17,6 +17,9 @@
 #ifndef SHREDDER_CORE_NOISE_DISTRIBUTION_H
 #define SHREDDER_CORE_NOISE_DISTRIBUTION_H
 
+#include <iosfwd>
+#include <string>
+
 #include "src/core/noise_collection.h"
 #include "src/tensor/rng.h"
 #include "src/tensor/tensor.h"
@@ -62,6 +65,30 @@ class NoiseDistribution
 
     /** Mean noise variance implied by the fit (for SNR accounting). */
     double mean_variance() const;
+
+    // -- Persistence (the deployable artifact, paper §2.5) ---------------
+    //
+    // The fitted distribution is what the paper actually ships to edge
+    // devices: training happens offline, deployment only samples. The
+    // `SDST` codec (magic, family, location tensor, scale tensor) makes
+    // the fit a first-class on-disk artifact — standalone via the path
+    // API, or embedded in a deployment bundle via the stream API.
+
+    /** Write the fit to a binary stream (`SDST` section). */
+    void save(std::ostream& os) const;
+
+    /**
+     * Read a fit written by the stream `save`.
+     * @throws SerializeError on malformed input (never terminates —
+     *         bundles cross a trust boundary).
+     */
+    static NoiseDistribution load(std::istream& is);
+
+    /** Persist to a binary file. Fatal on I/O failure. */
+    void save(const std::string& path) const;
+
+    /** Load from a binary file. Fatal on missing/corrupt file. */
+    static NoiseDistribution load(const std::string& path);
 
   private:
     NoiseDistribution(NoiseFamily family, Tensor location, Tensor scale);

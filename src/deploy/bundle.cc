@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Implementation of the `SHBL` deployment-bundle codec and the
+ * deployment-manifest parser.
+ */
+#include "src/deploy/bundle.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/nn/arch.h"
+#include "src/runtime/logging.h"
+#include "src/runtime/serving_error.h"
+#include "src/tensor/serialize.h"
+
+namespace shredder {
+namespace deploy {
+
+namespace {
+
+using runtime::ServingError;
+using runtime::ServingErrorCode;
+
+constexpr std::uint32_t kBundleMagic = 0x4C424853;  // 'SHBL'
+constexpr std::uint32_t kEndMagic = 0x444E4553;     // 'SEND'
+
+/** Promote a per-sample shape to a batch-1 shape. */
+Shape
+batched(const Shape& per_sample)
+{
+    switch (per_sample.rank()) {
+      case 1: return Shape({1, per_sample[0]});
+      case 2: return Shape({1, per_sample[0], per_sample[1]});
+      case 3:
+        return Shape({1, per_sample[0], per_sample[1], per_sample[2]});
+      default:
+        throw SerializeError("per-sample shape must have rank 1-3, got " +
+                             per_sample.to_string());
+    }
+}
+
+/** Drop the leading batch-1 dimension again. */
+Shape
+unbatched(const Shape& with_batch)
+{
+    switch (with_batch.rank()) {
+      case 2: return Shape({with_batch[1]});
+      case 3: return Shape({with_batch[1], with_batch[2]});
+      case 4:
+        return Shape({with_batch[1], with_batch[2], with_batch[3]});
+      default:
+        throw SerializeError("activation shape has impossible rank");
+    }
+}
+
+/**
+ * Per-sample activation shape of `net` cut at `cut` for `input`
+ * (CHW). Layer shape rules are enforced with user-error checks, so a
+ * caller holding a `ScopedFatalThrow` guard gets an exception — not a
+ * dead process — for an inconsistent (topology, input, cut) triple.
+ */
+Shape
+activation_shape_at(const nn::Sequential& net, std::int64_t cut,
+                    const Shape& input)
+{
+    return unbatched(net.output_shape_range(batched(input), 0, cut));
+}
+
+[[noreturn]] void
+bad_bundle(const std::string& path, const std::string& why)
+{
+    throw ServingError(ServingErrorCode::kBadBundle,
+                       "bundle '" + path + "': " + why);
+}
+
+}  // namespace
+
+const char*
+to_string(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kNone: return "none";
+      case PolicyKind::kReplay: return "replay";
+      case PolicyKind::kSample: return "sample";
+      case PolicyKind::kFixed: return "fixed";
+    }
+    return "?";
+}
+
+void
+save_bundle(const std::string& path, const BundleContents& contents)
+{
+    // The save side runs in the trusted training process: argument
+    // mistakes are programmer errors and fail fast, like any other
+    // local misuse.
+    SHREDDER_REQUIRE(contents.network != nullptr,
+                     "save_bundle: null network");
+    const nn::Sequential& net = *contents.network;
+    SHREDDER_REQUIRE(contents.cut >= 0 && contents.cut <= net.size(),
+                     "save_bundle: cut ", contents.cut,
+                     " out of range for a ", net.size(), "-layer network");
+    SHREDDER_REQUIRE(contents.input_shape.rank() >= 1 &&
+                         contents.input_shape.rank() <= 3,
+                     "save_bundle: input shape must be per-sample "
+                     "(rank 1-3), got ",
+                     contents.input_shape.to_string());
+    const Shape act =
+        activation_shape_at(net, contents.cut, contents.input_shape);
+
+    const core::NoiseCollection empty_collection;
+    const core::NoiseCollection& collection =
+        contents.collection != nullptr ? *contents.collection
+                                       : empty_collection;
+    if (!collection.empty()) {
+        SHREDDER_REQUIRE(collection.noise_shape().numel() == act.numel(),
+                         "save_bundle: collection noise shape ",
+                         collection.noise_shape().to_string(),
+                         " does not match cut activation ",
+                         act.to_string());
+    }
+    if (contents.distribution != nullptr) {
+        SHREDDER_REQUIRE(
+            contents.distribution->location().shape().numel() ==
+                act.numel(),
+            "save_bundle: distribution shape ",
+            contents.distribution->location().shape().to_string(),
+            " does not match cut activation ", act.to_string());
+    }
+    switch (contents.policy.kind) {
+      case PolicyKind::kNone:
+        break;
+      case PolicyKind::kReplay:
+        SHREDDER_REQUIRE(!collection.empty(),
+                         "save_bundle: replay policy needs a non-empty "
+                         "noise collection");
+        break;
+      case PolicyKind::kSample:
+        SHREDDER_REQUIRE(contents.distribution != nullptr,
+                         "save_bundle: sample policy needs a fitted "
+                         "distribution (fit it offline — that is the "
+                         "deployment story)");
+        break;
+      case PolicyKind::kFixed:
+        SHREDDER_REQUIRE(contents.fixed_noise != nullptr &&
+                             contents.fixed_noise->size() == act.numel(),
+                         "save_bundle: fixed policy needs a noise tensor "
+                         "matching the cut activation");
+        break;
+    }
+
+    std::ofstream os(path, std::ios::binary);
+    SHREDDER_REQUIRE(os.good(), "save_bundle: cannot open for write: ",
+                     path);
+    wire::write_u32(os, kBundleMagic);
+    wire::write_u32(os, kBundleVersion);
+    wire::write_u32(os, static_cast<std::uint32_t>(contents.policy.kind));
+    wire::write_u64(os, contents.policy.seed);
+    wire::write_shape(os, contents.input_shape);
+    wire::write_u64(os, static_cast<std::uint64_t>(contents.cut));
+    nn::save_arch(os, net);
+    wire::write_u8(os, contents.distribution != nullptr ? 1 : 0);
+    if (contents.distribution != nullptr) {
+        contents.distribution->save(os);
+    }
+    collection.save(os);
+    const bool has_fixed = contents.policy.kind == PolicyKind::kFixed;
+    wire::write_u8(os, has_fixed ? 1 : 0);
+    if (has_fixed) {
+        write_tensor(os, *contents.fixed_noise);
+    }
+    wire::write_u32(os, kEndMagic);
+    SHREDDER_REQUIRE(os.good(), "save_bundle: write failed: ", path);
+}
+
+Shape
+Bundle::batched_input_shape() const
+{
+    return batched(input_shape_);
+}
+
+std::shared_ptr<const runtime::NoisePolicy>
+Bundle::make_policy() const
+{
+    switch (policy_.kind) {
+      case PolicyKind::kNone:
+        return std::make_shared<runtime::NoNoisePolicy>();
+      case PolicyKind::kReplay:
+        return std::make_shared<runtime::ReplayPolicy>(collection_,
+                                                       policy_.seed);
+      case PolicyKind::kSample:
+        return std::make_shared<runtime::SamplePolicy>(*distribution_,
+                                                       policy_.seed);
+      case PolicyKind::kFixed:
+        return std::make_shared<runtime::FixedNoisePolicy>(fixed_noise_);
+    }
+    SHREDDER_PANIC("unreachable policy kind");
+}
+
+Bundle
+load_bundle(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) {
+        bad_bundle(path, "cannot open file");
+    }
+
+    // Everything below parses untrusted bytes: serialize errors AND
+    // user-error checks deep in the stack (layer shape rules during
+    // activation-shape validation) must fail the load, not the
+    // process.
+    ScopedFatalThrow trust_boundary;
+    try {
+        const std::uint32_t magic = wire::read_u32(is);
+        if (magic != kBundleMagic) {
+            bad_bundle(path, "bad magic (not a Shredder bundle)");
+        }
+        const std::uint32_t version = wire::read_u32(is);
+        if (version == 0 || version > kBundleVersion) {
+            std::ostringstream oss;
+            oss << "bundle '" << path << "': format version " << version
+                << " (this build reads <= " << kBundleVersion << ")";
+            throw ServingError(ServingErrorCode::kVersionMismatch,
+                               oss.str());
+        }
+
+        Bundle b;
+        const std::uint32_t kind = wire::read_u32(is);
+        if (kind > static_cast<std::uint32_t>(PolicyKind::kFixed)) {
+            bad_bundle(path, "unknown policy kind");
+        }
+        b.policy_.kind = static_cast<PolicyKind>(kind);
+        b.policy_.seed = wire::read_u64(is);
+        b.input_shape_ = wire::read_shape(is);
+        if (b.input_shape_.rank() < 1 || b.input_shape_.rank() > 3) {
+            bad_bundle(path, "input shape must be per-sample (rank 1-3)");
+        }
+        const auto cut = static_cast<std::int64_t>(wire::read_u64(is));
+        b.network_ = nn::load_arch(is);
+        if (cut < 0 || cut > b.network_->size()) {
+            bad_bundle(path, "cut index out of range");
+        }
+        b.cut_ = cut;
+        // Cross-validate topology × input × cut: throws (FatalError,
+        // converted below) when the stored pieces are inconsistent.
+        b.activation_shape_ =
+            activation_shape_at(*b.network_, b.cut_, b.input_shape_);
+
+        if (wire::read_u8(is) != 0) {
+            b.distribution_ = core::NoiseDistribution::load(is);
+            if (b.distribution_->location().shape().numel() !=
+                b.activation_shape_.numel()) {
+                bad_bundle(path,
+                           "distribution shape does not match the cut "
+                           "activation");
+            }
+        }
+        b.collection_ = core::NoiseCollection::load(is);
+        if (!b.collection_.empty() &&
+            b.collection_.noise_shape().numel() !=
+                b.activation_shape_.numel()) {
+            bad_bundle(path,
+                       "collection noise shape does not match the cut "
+                       "activation");
+        }
+        if (wire::read_u8(is) != 0) {
+            b.fixed_noise_ = read_tensor_checked(is);
+            if (b.fixed_noise_.size() != b.activation_shape_.numel()) {
+                bad_bundle(path,
+                           "fixed noise tensor does not match the cut "
+                           "activation");
+            }
+        }
+
+        switch (b.policy_.kind) {
+          case PolicyKind::kNone:
+            break;
+          case PolicyKind::kReplay:
+            if (b.collection_.empty()) {
+                bad_bundle(path, "replay policy but no noise collection");
+            }
+            break;
+          case PolicyKind::kSample:
+            if (!b.distribution_.has_value()) {
+                bad_bundle(path,
+                           "sample policy but no fitted distribution");
+            }
+            break;
+          case PolicyKind::kFixed:
+            if (b.fixed_noise_.empty()) {
+                bad_bundle(path, "fixed policy but no noise tensor");
+            }
+            break;
+        }
+
+        wire::expect_magic(is, kEndMagic, "bundle end marker");
+        is.peek();
+        if (!is.eof()) {
+            bad_bundle(path, "trailing bytes after end marker");
+        }
+        return b;
+    } catch (const SerializeError& e) {
+        bad_bundle(path, e.what());
+    } catch (const FatalError& e) {
+        bad_bundle(path, std::string("inconsistent contents: ") + e.what());
+    }
+}
+
+std::vector<ManifestEntry>
+parse_manifest(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is.good()) {
+        throw ServingError(ServingErrorCode::kBadBundle,
+                           "manifest '" + path + "': cannot open file");
+    }
+    const std::filesystem::path manifest_dir =
+        std::filesystem::path(path).parent_path();
+
+    auto fail = [&path](int line_no, const std::string& why) -> void {
+        std::ostringstream oss;
+        oss << "manifest '" << path << "' line " << line_no << ": " << why;
+        throw ServingError(ServingErrorCode::kBadBundle, oss.str());
+    };
+
+    std::vector<ManifestEntry> entries;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::istringstream tokens(line);
+        std::string directive;
+        if (!(tokens >> directive) || directive[0] == '#') {
+            continue;  // Blank line or comment.
+        }
+        if (directive != "endpoint") {
+            fail(line_no, "unknown directive '" + directive + "'");
+        }
+        ManifestEntry entry;
+        std::string bundle_path;
+        if (!(tokens >> entry.name >> bundle_path)) {
+            fail(line_no, "expected: endpoint <name> <bundle-path>");
+        }
+        for (const auto& existing : entries) {
+            if (existing.name == entry.name) {
+                fail(line_no,
+                     "duplicate endpoint name '" + entry.name + "'");
+            }
+        }
+        std::filesystem::path resolved(bundle_path);
+        if (resolved.is_relative()) {
+            resolved = manifest_dir / resolved;
+        }
+        entry.bundle_path = resolved.string();
+
+        std::string option;
+        while (tokens >> option) {
+            const auto eq = option.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 == option.size()) {
+                fail(line_no, "expected key=value, got '" + option + "'");
+            }
+            const std::string key = option.substr(0, eq);
+            const std::string value = option.substr(eq + 1);
+            // Values must parse *completely*: "max_batch=4x2" is a
+            // typo, not a 4.
+            std::size_t consumed = 0;
+            try {
+                if (key == "max_batch") {
+                    entry.config.max_batch = std::stoll(value, &consumed);
+                    if (entry.config.max_batch <= 0) {
+                        fail(line_no, "max_batch must be positive");
+                    }
+                } else if (key == "batch_timeout_ms") {
+                    entry.config.batch_timeout_ms =
+                        std::stod(value, &consumed);
+                    if (entry.config.batch_timeout_ms < 0.0) {
+                        fail(line_no, "batch_timeout_ms must be >= 0");
+                    }
+                } else if (key == "max_concurrent_batches") {
+                    entry.config.max_concurrent_batches =
+                        std::stoll(value, &consumed);
+                    if (entry.config.max_concurrent_batches < 0) {
+                        fail(line_no,
+                             "max_concurrent_batches must be >= 0");
+                    }
+                } else if (key == "context_seed") {
+                    entry.config.context_seed =
+                        std::stoull(value, &consumed);
+                } else {
+                    fail(line_no, "unknown key '" + key + "'");
+                }
+            } catch (const ServingError&) {
+                throw;
+            } catch (const std::exception&) {
+                fail(line_no,
+                     "malformed value for '" + key + "': '" + value + "'");
+            }
+            if (consumed != value.size()) {
+                fail(line_no, "malformed value for '" + key + "': '" +
+                                  value + "'");
+            }
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+}  // namespace deploy
+}  // namespace shredder

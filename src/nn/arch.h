@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Architecture-aware `Sequential` serialization — the `SARC` codec.
+ *
+ * The checkpoint format (`Sequential::save_checkpoint`) stores only
+ * parameters and *verifies* topology against an already-constructed
+ * network; it cannot rebuild one. Deployment needs more: a device that
+ * cold-starts from a bundle has no application code describing the
+ * model, so the bundle must carry the topology itself. `save_arch`
+ * writes, per layer, a stable kind tag (`Layer::kind()`), a
+ * length-prefixed static-config blob, and the layer's parameter
+ * tensors; `load_arch` rebuilds the exact `Sequential` through a
+ * layer-tag registry mapping each kind to a config writer and a
+ * factory.
+ *
+ * Byte layout (all little-endian; see docs/DEPLOYMENT.md for the
+ * normative spec):
+ *
+ *   magic   u32  'SARC' (0x43524153)
+ *   layers  u32
+ *   per layer:
+ *     tag     u32 len + bytes   Layer::kind()
+ *     config  u32 len + bytes   kind-specific static config
+ *     params  SHRT × N          tensors in parameters() order
+ *
+ * The config length is written explicitly so `load_arch` can verify
+ * that a kind's reader consumed exactly the bytes its writer produced
+ * — a malformed or version-skewed blob fails loudly instead of
+ * de-syncing the stream.
+ *
+ * This codec sits below a trust boundary (bundles arrive from
+ * elsewhere), so `load_arch` throws `SerializeError` on any malformed
+ * input — unknown tag, truncation, config-length mismatch, parameter
+ * shape mismatch — and never terminates the process.
+ */
+#ifndef SHREDDER_NN_ARCH_H
+#define SHREDDER_NN_ARCH_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/sequential.h"
+
+namespace shredder {
+namespace nn {
+
+/**
+ * Write `net`'s full architecture (topology + static configs +
+ * parameters) to a binary stream. Panics on stream failure; every
+ * layer kind in `net` must be registered (all in-tree kinds are).
+ */
+void save_arch(std::ostream& os, const Sequential& net);
+
+/**
+ * Rebuild the exact network written by `save_arch`.
+ *
+ * @throws SerializeError on malformed input (bad magic, unknown layer
+ *         tag, truncation, config/parameter mismatch).
+ */
+std::unique_ptr<Sequential> load_arch(std::istream& is);
+
+/** True when the registry can (de)serialize layer kind `kind`. */
+bool arch_registry_knows(const std::string& kind);
+
+/** All registered layer kind tags, sorted (for docs and tests). */
+std::vector<std::string> arch_registry_kinds();
+
+}  // namespace nn
+}  // namespace shredder
+
+#endif  // SHREDDER_NN_ARCH_H

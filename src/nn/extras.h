@@ -78,6 +78,9 @@ class Crop2d final : public Layer
     std::string kind() const override { return "crop2d"; }
     Shape output_shape(const Shape& in) const override;
 
+    std::int64_t height() const { return height_; }
+    std::int64_t width() const { return width_; }
+
   private:
     std::int64_t height_, width_;
 };

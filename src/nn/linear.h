@@ -45,6 +45,8 @@ class Linear final : public Layer
 
     std::int64_t in_features() const { return in_features_; }
     std::int64_t out_features() const { return out_features_; }
+    /** True when the layer carries a bias vector. */
+    bool has_bias() const { return with_bias_; }
     Parameter& weight() { return weight_; }
     Parameter& bias() { return bias_; }
 

@@ -15,6 +15,9 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_log_mutex;
 
+/** Nesting depth of `ScopedFatalThrow` guards on this thread. */
+thread_local int t_fatal_throw_depth = 0;
+
 const char*
 level_name(LogLevel level)
 {
@@ -56,9 +59,24 @@ log_line(LogLevel level, const std::string& msg)
 
 }  // namespace detail
 
+ScopedFatalThrow::ScopedFatalThrow()
+{
+    ++t_fatal_throw_depth;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    --t_fatal_throw_depth;
+}
+
 void
 fatal_impl(const char* file, int line, const std::string& msg)
 {
+    if (t_fatal_throw_depth > 0) {
+        // Trust-boundary mode: untrusted data tripped a user-error
+        // check; fail the operation, not the process.
+        throw FatalError(msg);
+    }
     {
         std::lock_guard<std::mutex> lock(g_log_mutex);
         std::cerr << "[shredder:FATAL] " << file << ":" << line << ": "

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace shredder {
@@ -80,8 +81,42 @@ debug(Args&&... args)
 }
 
 /**
+ * The exception `fatal_impl` raises instead of exiting while a
+ * `ScopedFatalThrow` guard is active on the calling thread.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII trust-boundary guard: while one is alive on this thread,
+ * user-error terminations (`SHREDDER_FATAL` / `SHREDDER_REQUIRE`)
+ * throw `FatalError` instead of exiting the process.
+ *
+ * Use where untrusted *data* can reach user-error checks deep in the
+ * stack — e.g. deployment-bundle loading, where an inconsistent file
+ * must fail the load, never the serving process. Panics
+ * (`SHREDDER_CHECK` / `SHREDDER_PANIC` — internal invariants) still
+ * abort: a Shredder bug is a bug regardless of who supplied the data.
+ * Guards nest; the exception mode lasts until the outermost guard on
+ * the thread is destroyed.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+    ScopedFatalThrow(const ScopedFatalThrow&) = delete;
+    ScopedFatalThrow& operator=(const ScopedFatalThrow&) = delete;
+};
+
+/**
  * Terminate because of a *user* error (bad arguments, impossible
- * configuration). Prints the message and exits with status 1.
+ * configuration). Prints the message and exits with status 1 — or
+ * throws `FatalError` when a `ScopedFatalThrow` guard is active on
+ * this thread (trust-boundary mode).
  */
 [[noreturn]] void fatal_impl(const char* file, int line,
                              const std::string& msg);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/deploy/bundle.h"
 #include "src/runtime/logging.h"
 
 namespace shredder {
@@ -25,7 +26,51 @@ ServingEngine::register_endpoint(const std::string& name,
                                  std::shared_ptr<const NoisePolicy> policy,
                                  const EndpointConfig& config)
 {
-    if (policy == nullptr) {
+    Endpoint endpoint;
+    endpoint.policy = std::move(policy);
+    endpoint.model = &model;
+    install_endpoint(name, std::move(endpoint), config);
+}
+
+void
+ServingEngine::register_endpoint_from_bundle(const std::string& name,
+                                             const std::string& path,
+                                             const EndpointConfig& config)
+{
+    Endpoint endpoint;
+    endpoint.bundle =
+        std::make_unique<deploy::Bundle>(deploy::load_bundle(path));
+    endpoint.owned_model = std::make_unique<split::SplitModel>(
+        endpoint.bundle->network(), endpoint.bundle->cut());
+    endpoint.model = endpoint.owned_model.get();
+    // The replay policy borrows the bundle's collection; the Endpoint
+    // keeps the bundle alive for exactly as long as the policy serves.
+    endpoint.policy = endpoint.bundle->make_policy();
+
+    EndpointConfig pinned = config;
+    if (pinned.sample_shape.rank() == 0) {
+        // Pin the shape contract from the validated artifact — a
+        // cold-started endpoint should never adopt its contract from
+        // the first request.
+        pinned.sample_shape = endpoint.bundle->activation_shape();
+    }
+    install_endpoint(name, std::move(endpoint), pinned);
+}
+
+void
+ServingEngine::register_endpoints_from_manifest(const std::string& path)
+{
+    for (const deploy::ManifestEntry& entry : deploy::parse_manifest(path)) {
+        register_endpoint_from_bundle(entry.name, entry.bundle_path,
+                                      entry.config);
+    }
+}
+
+void
+ServingEngine::install_endpoint(const std::string& name, Endpoint endpoint,
+                                const EndpointConfig& config)
+{
+    if (endpoint.policy == nullptr) {
         throw ServingError(ServingErrorCode::kNoPolicy,
                            "endpoint '" + name + "' registered without a "
                            "noise policy (use NoNoisePolicy for clean "
@@ -51,10 +96,8 @@ ServingEngine::register_endpoint(const std::string& name,
                            "endpoint '" + name + "' is already "
                            "registered");
     }
-    Endpoint endpoint;
-    endpoint.policy = std::move(policy);
     endpoint.server = std::make_unique<InferenceServer>(
-        model, *endpoint.policy, server_config);
+        *endpoint.model, *endpoint.policy, server_config);
     endpoints_.emplace(name, std::move(endpoint));
 }
 
@@ -138,6 +181,28 @@ ServingEngine::policy(const std::string& name) const
                            "no endpoint named '" + name + "'");
     }
     return *endpoint->policy;
+}
+
+split::SplitModel&
+ServingEngine::model(const std::string& name)
+{
+    Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        throw ServingError(ServingErrorCode::kUnknownEndpoint,
+                           "no endpoint named '" + name + "'");
+    }
+    return *endpoint->model;
+}
+
+const deploy::Bundle*
+ServingEngine::bundle(const std::string& name) const
+{
+    const Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        throw ServingError(ServingErrorCode::kUnknownEndpoint,
+                           "no endpoint named '" + name + "'");
+    }
+    return endpoint->bundle.get();
 }
 
 ServerStats

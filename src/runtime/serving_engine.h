@@ -54,6 +54,11 @@
 #include "src/tensor/tensor.h"
 
 namespace shredder {
+
+namespace deploy {
+class Bundle;
+}  // namespace deploy
+
 namespace runtime {
 
 /** Engine-wide knobs. */
@@ -119,6 +124,33 @@ class ServingEngine
                            const EndpointConfig& config = {});
 
     /**
+     * Cold-start an endpoint from a deployment bundle on disk
+     * (src/deploy/bundle.h): load + validate the artifact, rebuild the
+     * network, materialize the bundled noise policy, and serve it as
+     * `name`. The engine owns everything the endpoint needs — no
+     * application objects, which is the paper's train→ship→serve
+     * story.
+     *
+     * @throws ServingError `kBadBundle` / `kVersionMismatch` for a
+     *         malformed or future-format bundle (the engine and its
+     *         other endpoints are unaffected), plus the
+     *         `register_endpoint` codes (`kDuplicateEndpoint`,
+     *         `kShutdown`).
+     */
+    void register_endpoint_from_bundle(const std::string& name,
+                                       const std::string& path,
+                                       const EndpointConfig& config = {});
+
+    /**
+     * Cold-start every endpoint a deployment manifest lists
+     * (`endpoint <name> <bundle-path> [key=value ...]` — see
+     * docs/DEPLOYMENT.md). Entries register in file order; the first
+     * failure throws and leaves previously registered endpoints
+     * serving.
+     */
+    void register_endpoints_from_manifest(const std::string& path);
+
+    /**
      * Enqueue one request on endpoint `name` under a caller-chosen
      * request id (the id keys the noise draw; see
      * `InferenceServer::submit`). An unknown name, a shape-contract
@@ -142,6 +174,17 @@ class ServingEngine
 
     /** The policy endpoint `name` executes (throws `kUnknownEndpoint`). */
     const NoisePolicy& policy(const std::string& name) const;
+
+    /** The split model endpoint `name` serves (throws `kUnknownEndpoint`). */
+    split::SplitModel& model(const std::string& name);
+
+    /**
+     * The deployment bundle backing endpoint `name`, or null when the
+     * endpoint was registered in-process (throws `kUnknownEndpoint`
+     * for an unregistered name). Cold-start tooling uses this for the
+     * bundled input shape and metadata.
+     */
+    const deploy::Bundle* bundle(const std::string& name) const;
 
     /**
      * Per-endpoint counters (throws `kUnknownEndpoint` for an unknown
@@ -168,15 +211,41 @@ class ServingEngine
     bool running() const;
 
   private:
+    /**
+     * One endpoint binding. Member order is load-bearing: destruction
+     * runs bottom-up, so the `server` (which executes against `model`
+     * and `policy`) dies first, the `policy` (whose replay variant
+     * borrows the bundle's collection) before the `bundle`, and the
+     * cold-start artifacts last.
+     */
     struct Endpoint
     {
+        /**
+         * Cold-start artifacts: a bundle-backed endpoint owns its
+         * loaded bundle (network, collection, distribution) and the
+         * split view built over it; in-process endpoints leave both
+         * null and borrow the caller's model instead.
+         */
+        std::unique_ptr<deploy::Bundle> bundle;
+        std::unique_ptr<split::SplitModel> owned_model;
         std::shared_ptr<const NoisePolicy> policy;
+        /** The model the server runs (caller's, or `owned_model`). */
+        split::SplitModel* model = nullptr;
         std::unique_ptr<InferenceServer> server;
     };
 
     /** Look up an endpoint or null; caller holds no lock after return. */
     Endpoint* find(const std::string& name);
     const Endpoint* find(const std::string& name) const;
+
+    /**
+     * Shared registration tail: validate the name under the lock,
+     * start the dispatcher, install. `endpoint.policy` and
+     * `endpoint.model` must be set (plus the cold-start artifacts for
+     * bundle-backed endpoints).
+     */
+    void install_endpoint(const std::string& name, Endpoint endpoint,
+                          const EndpointConfig& config);
 
     ServingEngineConfig config_;
     ThreadPool pool_;  ///< Shared by every endpoint's batches.

@@ -32,6 +32,19 @@ enum class ServingErrorCode {
     kNoPolicy,
     /** `register_endpoint` reused an existing endpoint name. */
     kDuplicateEndpoint,
+    /**
+     * A deployment artifact (bundle or manifest) is malformed:
+     * missing file, bad magic, truncation, inconsistent sections.
+     * Bundles cross a trust boundary, so loads *always* fail with
+     * this code (or `kVersionMismatch`) rather than terminating.
+     */
+    kBadBundle,
+    /**
+     * A bundle's format version is newer than this build understands.
+     * Distinct from `kBadBundle` so rollout tooling can tell "re-save
+     * with the old writer" apart from "the file is damaged".
+     */
+    kVersionMismatch,
 };
 
 /** Stable identifier string for a code (used in error messages). */
@@ -45,6 +58,8 @@ to_string(ServingErrorCode code)
       case ServingErrorCode::kNoPolicy: return "kNoPolicy";
       case ServingErrorCode::kDuplicateEndpoint:
         return "kDuplicateEndpoint";
+      case ServingErrorCode::kBadBundle: return "kBadBundle";
+      case ServingErrorCode::kVersionMismatch: return "kVersionMismatch";
     }
     return "kUnknown";
 }

@@ -32,6 +32,7 @@
 
 // Neural-network substrate
 #include "src/nn/activations.h"
+#include "src/nn/arch.h"
 #include "src/nn/conv2d.h"
 #include "src/nn/dropout.h"
 #include "src/nn/execution_context.h"
@@ -74,6 +75,9 @@
 
 // Attack baselines (privacy validation)
 #include "src/attacks/reconstruction.h"
+
+// Deployment artifacts (train → ship → serve)
+#include "src/deploy/bundle.h"
 
 // Shredder core (the paper's contribution)
 #include "src/core/lambda_controller.h"

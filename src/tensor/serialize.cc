@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of the binary tensor serialization format.
+ * Implementation of the binary tensor serialization format and the
+ * shared checked wire primitives.
  */
 #include "src/tensor/serialize.h"
 
@@ -26,61 +27,209 @@ write_pod(std::ostream& os, T value)
 
 template <typename T>
 T
-read_pod(std::istream& is)
+read_pod_checked(std::istream& is, const char* what)
 {
     T value{};
     is.read(reinterpret_cast<char*>(&value), sizeof(T));
-    SHREDDER_REQUIRE(static_cast<bool>(is), "truncated tensor stream");
+    if (!is) {
+        throw SerializeError(std::string("truncated stream reading ") +
+                             what);
+    }
     return value;
 }
 
 }  // namespace
 
+namespace wire {
+
+void
+write_u8(std::ostream& os, std::uint8_t v)
+{
+    write_pod(os, v);
+}
+
+void
+write_u32(std::ostream& os, std::uint32_t v)
+{
+    write_pod(os, v);
+}
+
+void
+write_u64(std::ostream& os, std::uint64_t v)
+{
+    write_pod(os, v);
+}
+
+void
+write_f32(std::ostream& os, float v)
+{
+    write_pod(os, v);
+}
+
+void
+write_f64(std::ostream& os, double v)
+{
+    write_pod(os, v);
+}
+
+std::uint8_t
+read_u8(std::istream& is)
+{
+    return read_pod_checked<std::uint8_t>(is, "u8");
+}
+
+std::uint32_t
+read_u32(std::istream& is)
+{
+    return read_pod_checked<std::uint32_t>(is, "u32");
+}
+
+std::uint64_t
+read_u64(std::istream& is)
+{
+    return read_pod_checked<std::uint64_t>(is, "u64");
+}
+
+float
+read_f32(std::istream& is)
+{
+    return read_pod_checked<float>(is, "f32");
+}
+
+double
+read_f64(std::istream& is)
+{
+    return read_pod_checked<double>(is, "f64");
+}
+
+void
+write_string(std::ostream& os, const std::string& s)
+{
+    write_u32(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+read_string(std::istream& is, std::uint32_t max_len)
+{
+    const std::uint32_t len = read_u32(is);
+    if (len > max_len) {
+        std::ostringstream oss;
+        oss << "string length " << len << " exceeds limit " << max_len;
+        throw SerializeError(oss.str());
+    }
+    std::string s(len, '\0');
+    is.read(s.data(), static_cast<std::streamsize>(len));
+    if (!is) {
+        throw SerializeError("truncated stream reading string payload");
+    }
+    return s;
+}
+
+void
+write_shape(std::ostream& os, const Shape& shape)
+{
+    write_u32(os, static_cast<std::uint32_t>(shape.rank()));
+    for (int i = 0; i < shape.rank(); ++i) {
+        write_u64(os, static_cast<std::uint64_t>(shape[i]));
+    }
+}
+
+Shape
+read_shape(std::istream& is)
+{
+    const std::uint32_t rank = read_u32(is);
+    if (rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
+        std::ostringstream oss;
+        oss << "bad shape rank " << rank;
+        throw SerializeError(oss.str());
+    }
+    // Cap the declared element count like the other untrusted-length
+    // guards (strings, layer counts, collection sizes): a crafted
+    // header must not drive a near-infinite allocation, overflow the
+    // int64 element product, or escape the typed-error contract via
+    // std::length_error.
+    constexpr std::int64_t kMaxElems = 1LL << 30;
+    std::int64_t dims[Shape::kMaxRank] = {0, 0, 0, 0};
+    std::int64_t numel = 1;
+    for (std::uint32_t i = 0; i < rank; ++i) {
+        dims[i] = static_cast<std::int64_t>(read_u64(is));
+        if (dims[i] <= 0 || dims[i] >= (1LL << 32)) {
+            std::ostringstream oss;
+            oss << "bad shape dim " << dims[i];
+            throw SerializeError(oss.str());
+        }
+        numel *= dims[i];  // ≤ 2^32 per dim and re-capped each step:
+        if (numel > kMaxElems) {  // cannot overflow before the check.
+            std::ostringstream oss;
+            oss << "implausible shape element count (> " << kMaxElems
+                << ")";
+            throw SerializeError(oss.str());
+        }
+    }
+    switch (rank) {
+      case 0: return Shape();
+      case 1: return Shape({dims[0]});
+      case 2: return Shape({dims[0], dims[1]});
+      case 3: return Shape({dims[0], dims[1], dims[2]});
+      default: return Shape({dims[0], dims[1], dims[2], dims[3]});
+    }
+}
+
+void
+expect_magic(std::istream& is, std::uint32_t expected, const char* what)
+{
+    const std::uint32_t magic = read_u32(is);
+    if (magic != expected) {
+        std::ostringstream oss;
+        oss << "bad " << what << " magic 0x" << std::hex << magic
+            << " (expected 0x" << expected << ")";
+        throw SerializeError(oss.str());
+    }
+}
+
+}  // namespace wire
+
 void
 write_tensor(std::ostream& os, const Tensor& t)
 {
-    write_pod<std::uint32_t>(os, kMagic);
-    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.shape().rank()));
-    for (int i = 0; i < t.shape().rank(); ++i) {
-        write_pod<std::uint64_t>(os,
-                                 static_cast<std::uint64_t>(t.shape()[i]));
-    }
+    wire::write_u32(os, kMagic);
+    wire::write_shape(os, t.shape());
     os.write(reinterpret_cast<const char*>(t.data()),
              static_cast<std::streamsize>(t.size() * sizeof(float)));
     SHREDDER_CHECK(static_cast<bool>(os), "tensor write failed");
 }
 
 Tensor
+read_tensor_checked(std::istream& is)
+{
+    wire::expect_magic(is, kMagic, "tensor");
+    const Shape shape = wire::read_shape(is);
+    std::vector<float> data;
+    try {
+        data.resize(static_cast<std::size_t>(shape.numel()));
+    } catch (const std::bad_alloc&) {
+        // An in-bounds but unsatisfiable allocation is still the
+        // stream's fault at a trust boundary — keep the typed
+        // contract rather than leaking bad_alloc past the loader.
+        throw SerializeError("tensor payload too large to allocate");
+    }
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(shape.numel() * sizeof(float)));
+    if (!is) {
+        throw SerializeError("truncated tensor payload");
+    }
+    return Tensor(shape, std::move(data));
+}
+
+Tensor
 read_tensor(std::istream& is)
 {
-    const auto magic = read_pod<std::uint32_t>(is);
-    SHREDDER_REQUIRE(magic == kMagic, "bad tensor magic 0x", std::hex,
-                     magic);
-    const auto rank = read_pod<std::uint32_t>(is);
-    SHREDDER_REQUIRE(rank <= static_cast<std::uint32_t>(Shape::kMaxRank),
-                     "bad tensor rank ", rank);
-    std::int64_t dims[Shape::kMaxRank] = {0, 0, 0, 0};
-    std::int64_t numel = 1;
-    for (std::uint32_t i = 0; i < rank; ++i) {
-        dims[i] = static_cast<std::int64_t>(read_pod<std::uint64_t>(is));
-        SHREDDER_REQUIRE(dims[i] > 0 && dims[i] < (1LL << 32),
-                         "bad tensor dim ", dims[i]);
-        numel *= dims[i];
+    try {
+        return read_tensor_checked(is);
+    } catch (const SerializeError& e) {
+        SHREDDER_FATAL("tensor stream: ", e.what());
     }
-    Shape shape;
-    switch (rank) {
-      case 0: shape = Shape(); break;
-      case 1: shape = Shape({dims[0]}); break;
-      case 2: shape = Shape({dims[0], dims[1]}); break;
-      case 3: shape = Shape({dims[0], dims[1], dims[2]}); break;
-      case 4: shape = Shape({dims[0], dims[1], dims[2], dims[3]}); break;
-      default: SHREDDER_PANIC("unreachable rank");
-    }
-    std::vector<float> data(static_cast<std::size_t>(numel));
-    is.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    SHREDDER_REQUIRE(static_cast<bool>(is), "truncated tensor payload");
-    return Tensor(shape, std::move(data));
 }
 
 std::int64_t

@@ -1,32 +1,74 @@
 /**
  * @file
- * Binary tensor (de)serialization.
+ * Binary tensor (de)serialization — the `SHRT` codec.
  *
- * Used by the model-checkpoint format and by the split-execution
- * channel (the edge serializes the noisy activation exactly the way a
- * real deployment would put it on the wire). The format is a small
- * tagged header followed by raw little-endian float32 data:
+ * Used by the model-checkpoint format, the deployment-bundle format
+ * (src/deploy/bundle.h) and the split-execution channel (the edge
+ * serializes the noisy activation exactly the way a real deployment
+ * would put it on the wire). The format is a small tagged header
+ * followed by raw little-endian float32 data:
  *
  *   magic  u32  'SHRT' (0x54524853)
  *   rank   u32
  *   dims   u64 × rank
  *   data   f32 × numel
+ *
+ * Two failure disciplines coexist, because callers sit on different
+ * sides of a trust boundary:
+ *
+ *  - `read_tensor` is *fatal* on malformed input — right for trusted
+ *    local artifacts (checkpoint caches, in-process channels), where
+ *    corruption means the machine's own state is broken.
+ *  - `read_tensor_checked` throws `SerializeError` instead — right
+ *    for artifacts that cross a trust boundary (deployment bundles
+ *    received from elsewhere), where a malformed file must fail the
+ *    *load*, never the process. The bundle loader converts these into
+ *    typed `runtime::ServingError`s.
+ *
+ * The `wire` namespace exposes the checked POD/string/shape helpers
+ * the higher-level formats (arch codec, noise distribution, bundle)
+ * build on, so every on-disk structure shares one little-endian
+ * encoding and one error discipline.
  */
 #ifndef SHREDDER_TENSOR_SERIALIZE_H
 #define SHREDDER_TENSOR_SERIALIZE_H
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
+#include "src/tensor/shape.h"
 #include "src/tensor/tensor.h"
 
 namespace shredder {
+
+/**
+ * Malformed serialized data (bad magic, truncation, impossible
+ * field). Thrown by the `_checked` readers and the `wire` helpers —
+ * never by the fatal legacy entry points.
+ */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 /** Write a tensor to a binary stream. Panics on stream failure. */
 void write_tensor(std::ostream& os, const Tensor& t);
 
 /** Read a tensor from a binary stream. Fatal on malformed input. */
 Tensor read_tensor(std::istream& is);
+
+/**
+ * Read a tensor from a binary stream; throws `SerializeError` on
+ * malformed input instead of terminating. Use for any stream that
+ * crosses a trust boundary.
+ */
+Tensor read_tensor_checked(std::istream& is);
 
 /** Serialized byte size of a tensor (header + payload). */
 std::int64_t serialized_size(const Tensor& t);
@@ -36,6 +78,51 @@ std::string tensor_to_bytes(const Tensor& t);
 
 /** Convenience: deserialize from an in-memory byte string. */
 Tensor tensor_from_bytes(const std::string& bytes);
+
+/**
+ * Checked little-endian primitives shared by every Shredder on-disk
+ * format. All `read_*` functions throw `SerializeError` on truncation
+ * or an out-of-range value; writers panic on stream failure (a write
+ * failure is local I/O trouble, not untrusted input).
+ */
+namespace wire {
+
+void write_u8(std::ostream& os, std::uint8_t v);
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_f32(std::ostream& os, float v);
+void write_f64(std::ostream& os, double v);
+
+std::uint8_t read_u8(std::istream& is);
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+float read_f32(std::istream& is);
+double read_f64(std::istream& is);
+
+/** Length-prefixed (u32) byte string. */
+void write_string(std::ostream& os, const std::string& s);
+
+/**
+ * Read a length-prefixed string; lengths above `max_len` are treated
+ * as corruption (they would otherwise let a malformed file demand an
+ * arbitrary allocation).
+ */
+std::string read_string(std::istream& is, std::uint32_t max_len = 4096);
+
+/** Shape as u32 rank + u64 dims (same encoding the SHRT header uses). */
+void write_shape(std::ostream& os, const Shape& shape);
+
+/** Read a shape; validates rank ≤ Shape::kMaxRank and positive dims. */
+Shape read_shape(std::istream& is);
+
+/**
+ * Read and verify a u32 section tag; mismatch throws with both values
+ * in the message. Keeps multi-section formats self-describing.
+ */
+void expect_magic(std::istream& is, std::uint32_t expected,
+                  const char* what);
+
+}  // namespace wire
 
 }  // namespace shredder
 

@@ -1,0 +1,647 @@
+/**
+ * @file
+ * Tests for the deployment-artifact subsystem: the `SARC` architecture
+ * codec, `NoiseDistribution`/`NoiseCollection` stream persistence, the
+ * `SHBL` bundle round trip, manifest cold-start, and — most important —
+ * the trust-boundary contract: every malformed artifact yields a typed
+ * `ServingError` (`kBadBundle` / `kVersionMismatch`), never a process
+ * abort, and a `ServingEngine` endpoint cold-started from a bundle is
+ * BIT-EXACT with the in-process (model, policy) it was saved from, for
+ * both replay and sample policies.
+ */
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/noise_collection.h"
+#include "src/core/noise_distribution.h"
+#include "src/deploy/bundle.h"
+#include "src/models/zoo.h"
+#include "src/nn/arch.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dropout.h"
+#include "src/nn/extras.h"
+#include "src/nn/flatten.h"
+#include "src/nn/linear.h"
+#include "src/nn/lrn.h"
+#include "src/nn/pool.h"
+#include "src/runtime/noise_policy.h"
+#include "src/runtime/serving_engine.h"
+#include "src/split/split_model.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/serialize.h"
+
+namespace shredder {
+namespace {
+
+using runtime::EndpointConfig;
+using runtime::ReplayPolicy;
+using runtime::SamplePolicy;
+using runtime::ServingEngine;
+using runtime::ServingError;
+using runtime::ServingErrorCode;
+
+std::string
+temp_path(const std::string& name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Read a whole file as bytes. */
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream oss;
+    oss << is.rdbuf();
+    return oss.str();
+}
+
+/** Write bytes to a file. */
+void
+spew(const std::string& path, const std::string& bytes)
+{
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Expect `load_bundle` to fail with the given typed code. */
+void
+expect_load_error(const std::string& path, ServingErrorCode expected)
+{
+    try {
+        (void)deploy::load_bundle(path);
+        ADD_FAILURE() << "expected ServingError "
+                      << runtime::to_string(expected) << " for " << path;
+    } catch (const ServingError& e) {
+        EXPECT_EQ(e.code(), expected) << e.what();
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << "expected ServingError, got " << e.what();
+    }
+}
+
+/** A LeNet fixture with a learned-looking collection at the last cut. */
+struct Fixture
+{
+    explicit Fixture(std::uint64_t seed = 51)
+        : rng(seed), net(models::make_lenet(rng)),
+          cut(split::conv_cut_points(*net).back()), model(*net, cut),
+          input({1, 28, 28}),
+          act_shape(model.activation_shape(input))
+    {
+        for (int i = 0; i < 4; ++i) {
+            core::NoiseSample s;
+            s.noise = Tensor::laplace(per_sample(), rng, 0.0f, 1.5f);
+            s.in_vivo_privacy = 2.0 + i;
+            s.train_accuracy = 0.9;
+            collection.add(std::move(s));
+        }
+    }
+
+    Shape
+    per_sample() const
+    {
+        return Shape({act_shape[1], act_shape[2], act_shape[3]});
+    }
+
+    /** Save a bundle of this fixture's artifacts; returns the path. */
+    std::string
+    save(deploy::PolicyKind kind, std::uint64_t policy_seed,
+         const std::string& filename)
+    {
+        const core::NoiseDistribution dist =
+            core::NoiseDistribution::fit(collection);
+        deploy::BundleContents contents;
+        contents.network = net.get();
+        contents.cut = cut;
+        contents.input_shape = input;
+        contents.policy.kind = kind;
+        contents.policy.seed = policy_seed;
+        contents.collection = &collection;
+        contents.distribution = &dist;
+        const std::string path = temp_path(filename);
+        deploy::save_bundle(path, contents);
+        return path;
+    }
+
+    Rng rng;
+    std::unique_ptr<nn::Sequential> net;
+    std::int64_t cut;
+    split::SplitModel model;
+    Shape input;
+    Shape act_shape;  ///< Batched ([1, C, H, W]).
+    core::NoiseCollection collection;
+};
+
+// -- Architecture codec ---------------------------------------------------
+
+TEST(ArchCodec, RoundTripRebuildsTopologyAndParams)
+{
+    Rng rng(3);
+    auto net = models::make_lenet(rng);
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    nn::save_arch(ss, *net);
+
+    auto rebuilt = nn::load_arch(ss);
+    ASSERT_EQ(rebuilt->size(), net->size());
+    for (std::int64_t i = 0; i < net->size(); ++i) {
+        EXPECT_EQ(rebuilt->layer(i).kind(), net->layer(i).kind()) << i;
+    }
+    EXPECT_EQ(rebuilt->num_parameters(), net->num_parameters());
+
+    // Forward bit-exactness on a random batch.
+    Tensor x = Tensor::uniform(Shape({2, 1, 28, 28}), rng);
+    nn::ExecutionContext ctx_a, ctx_b;
+    Tensor ya = net->forward(x, ctx_a, nn::Mode::kEval);
+    Tensor yb = rebuilt->forward(x, ctx_b, nn::Mode::kEval);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(ya, yb), 0.0);
+}
+
+TEST(ArchCodec, RoundTripCoversEveryConfiguredKind)
+{
+    // One network touching every kind that carries a config blob.
+    Rng rng(4);
+    nn::Sequential net;
+    net.emplace<nn::Conv2d>(nn::Conv2dConfig{3, 4, 3, 1, 1, false}, rng);
+    net.emplace<nn::LocalResponseNorm>(nn::LrnConfig{3, 2e-4f, 0.8f, 1.5f});
+    net.emplace<nn::LeakyReLU>(0.07f);
+    net.emplace<nn::AvgPool2d>(nn::PoolConfig{2, 2, 0});
+    net.emplace<nn::Crop2d>(3, 3);
+    net.emplace<nn::Dropout>(0.4f);
+    net.emplace<nn::Flatten>();
+    net.emplace<nn::Linear>(4 * 3 * 3, 5, rng, /*with_bias=*/false);
+    net.emplace<nn::Softmax>();
+
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    nn::save_arch(ss, net);
+    auto rebuilt = nn::load_arch(ss);
+
+    Tensor x = Tensor::uniform(Shape({2, 3, 8, 8}), rng);
+    nn::ExecutionContext ctx_a, ctx_b;
+    Tensor ya = net.forward(x, ctx_a, nn::Mode::kEval);
+    Tensor yb = rebuilt->forward(x, ctx_b, nn::Mode::kEval);
+    EXPECT_EQ(ya.shape(), yb.shape());
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(ya, yb), 0.0);
+}
+
+TEST(ArchCodec, MalformedStreamsThrowTyped)
+{
+    Rng rng(5);
+    auto net = models::make_lenet(rng);
+    std::ostringstream oss(std::ios::binary);
+    nn::save_arch(oss, *net);
+    const std::string bytes = oss.str();
+
+    {  // Truncation at every interesting boundary must throw, not die.
+        for (const std::size_t cutoff :
+             {std::size_t{2}, std::size_t{7}, std::size_t{20},
+              bytes.size() / 2, bytes.size() - 3}) {
+            std::istringstream is(bytes.substr(0, cutoff),
+                                  std::ios::binary);
+            EXPECT_THROW(nn::load_arch(is), SerializeError) << cutoff;
+        }
+    }
+    {  // Bad magic.
+        std::istringstream is("XXXX" + bytes.substr(4), std::ios::binary);
+        EXPECT_THROW(nn::load_arch(is), SerializeError);
+    }
+    {  // Unknown layer tag.
+        std::string mutated = bytes;
+        const auto pos = mutated.find("conv2d");
+        ASSERT_NE(pos, std::string::npos);
+        mutated.replace(pos, 6, "conv9d");
+        std::istringstream is(mutated, std::ios::binary);
+        EXPECT_THROW(nn::load_arch(is), SerializeError);
+    }
+}
+
+TEST(ArchCodec, RegistryKnowsEveryZooKind)
+{
+    Rng rng(6);
+    for (const char* name : {"lenet", "cifar", "svhn", "alexnet"}) {
+        auto net = models::make_network(name, rng);
+        for (std::int64_t i = 0; i < net->size(); ++i) {
+            EXPECT_TRUE(nn::arch_registry_knows(net->layer(i).kind()))
+                << name << " layer " << i << ": "
+                << net->layer(i).kind();
+        }
+    }
+}
+
+// -- NoiseDistribution / NoiseCollection persistence ----------------------
+
+TEST(NoiseDistributionIo, StreamAndFileRoundTrip)
+{
+    Fixture f;
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(f.collection,
+                                     core::NoiseFamily::kGaussian);
+
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    dist.save(ss);
+    const core::NoiseDistribution loaded =
+        core::NoiseDistribution::load(ss);
+    EXPECT_EQ(loaded.family(), dist.family());
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(loaded.location(), dist.location()),
+                     0.0);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(loaded.scale(), dist.scale()), 0.0);
+
+    // Same seed → bit-identical draws: the shipped fit IS the
+    // mechanism.
+    Rng a(99), b(99);
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(dist.sample(a), loaded.sample(b)),
+                     0.0);
+
+    const std::string path = temp_path("dist_roundtrip.bin");
+    dist.save(path);
+    const core::NoiseDistribution from_file =
+        core::NoiseDistribution::load(path);
+    EXPECT_DOUBLE_EQ(
+        ops::max_abs_diff(from_file.location(), dist.location()), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(NoiseDistributionIo, MalformedStreamThrows)
+{
+    Fixture f;
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(f.collection);
+    std::ostringstream oss(std::ios::binary);
+    dist.save(oss);
+    const std::string bytes = oss.str();
+
+    std::istringstream truncated(bytes.substr(0, bytes.size() / 2),
+                                 std::ios::binary);
+    EXPECT_THROW(core::NoiseDistribution::load(truncated), SerializeError);
+
+    std::istringstream junk("not a distribution", std::ios::binary);
+    EXPECT_THROW(core::NoiseDistribution::load(junk), SerializeError);
+}
+
+TEST(NoiseCollectionIo, StreamRoundTripKeepsMetadata)
+{
+    Fixture f;
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    f.collection.save(ss);
+    const core::NoiseCollection loaded = core::NoiseCollection::load(ss);
+    ASSERT_EQ(loaded.size(), f.collection.size());
+    for (std::int64_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(loaded.get(i).noise,
+                                           f.collection.get(i).noise),
+                         0.0);
+        EXPECT_DOUBLE_EQ(loaded.get(i).in_vivo_privacy,
+                         f.collection.get(i).in_vivo_privacy);
+        EXPECT_DOUBLE_EQ(loaded.get(i).train_accuracy,
+                         f.collection.get(i).train_accuracy);
+    }
+
+    std::istringstream truncated(ss.str().substr(0, 40),
+                                 std::ios::binary);
+    EXPECT_THROW(core::NoiseCollection::load(truncated), SerializeError);
+}
+
+// -- Bundle round trip ----------------------------------------------------
+
+TEST(Bundle, SaveLoadPreservesEverything)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 77, "bundle_full.shb");
+
+    deploy::Bundle b = deploy::load_bundle(path);
+    EXPECT_EQ(b.cut(), f.cut);
+    EXPECT_EQ(b.input_shape(), f.input);
+    EXPECT_EQ(b.activation_shape(), f.per_sample());
+    EXPECT_EQ(b.policy_spec().kind, deploy::PolicyKind::kReplay);
+    EXPECT_EQ(b.policy_spec().seed, 77u);
+    EXPECT_EQ(b.collection().size(), f.collection.size());
+    ASSERT_TRUE(b.has_distribution());
+    EXPECT_EQ(b.network().size(), f.net->size());
+    EXPECT_EQ(b.network().num_parameters(), f.net->num_parameters());
+
+    // The rebuilt cloud half is bit-exact with the original.
+    Tensor act = Tensor::normal(f.act_shape, f.rng);
+    split::SplitModel rebuilt(b.network(), b.cut());
+    nn::ExecutionContext ctx_a, ctx_b;
+    EXPECT_DOUBLE_EQ(
+        ops::max_abs_diff(f.model.cloud_forward(act, ctx_a),
+                          rebuilt.cloud_forward(act, ctx_b)),
+        0.0);
+    std::remove(path.c_str());
+}
+
+// The acceptance pin: a ServingEngine endpoint cold-started from
+// (bundle, manifest) produces bit-exact outputs vs the in-process
+// (model, policy) it was saved from — replay policy.
+TEST(Bundle, ColdStartReplayEndpointIsBitExactWithInProcess)
+{
+    Fixture f;
+    const std::uint64_t seed = 1234;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, seed, "bundle_replay.shb");
+
+    // In-process reference: the very objects the trainer held.
+    const ReplayPolicy reference_policy(f.collection, seed);
+
+    ServingEngine engine;
+    engine.register_endpoint_from_bundle("lenet-replay", path);
+    engine.register_endpoint(
+        "in-process", f.model,
+        std::make_shared<ReplayPolicy>(f.collection, seed));
+
+    nn::ExecutionContext ref_ctx;
+    for (std::uint64_t id = 0; id < 24; ++id) {
+        const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+        const Tensor served =
+            engine.submit("lenet-replay", act, id).get();
+        const Tensor in_process =
+            engine.submit("in-process", act, id).get();
+        // Offline recipe: apply the policy, run the cloud half
+        // serially.
+        const Tensor offline =
+            f.model
+                .cloud_forward(
+                    reference_policy.apply(act, id).reshaped(f.act_shape),
+                    ref_ctx)
+                .reshaped(Shape({10}));  // Server scatters rank-1 logits.
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, in_process), 0.0)
+            << "id " << id;
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, offline), 0.0)
+            << "id " << id;
+    }
+    std::remove(path.c_str());
+}
+
+// Same pin for the sample policy: the bundled fitted distribution must
+// reproduce the in-process per-element draws exactly.
+TEST(Bundle, ColdStartSampleEndpointIsBitExactWithInProcess)
+{
+    Fixture f;
+    const std::uint64_t seed = 4321;
+    const std::string path =
+        f.save(deploy::PolicyKind::kSample, seed, "bundle_sample.shb");
+
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(f.collection);
+    const SamplePolicy reference_policy(dist, seed);
+
+    ServingEngine engine;
+    engine.register_endpoint_from_bundle("lenet-sample", path);
+    engine.register_endpoint("in-process", f.model,
+                             std::make_shared<SamplePolicy>(dist, seed));
+
+    nn::ExecutionContext ref_ctx;
+    for (std::uint64_t id = 0; id < 24; ++id) {
+        const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+        const Tensor served =
+            engine.submit("lenet-sample", act, id).get();
+        const Tensor in_process =
+            engine.submit("in-process", act, id).get();
+        const Tensor offline =
+            f.model
+                .cloud_forward(
+                    reference_policy.apply(act, id).reshaped(f.act_shape),
+                    ref_ctx)
+                .reshaped(Shape({10}));  // Server scatters rank-1 logits.
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, in_process), 0.0)
+            << "id " << id;
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, offline), 0.0)
+            << "id " << id;
+    }
+    std::remove(path.c_str());
+}
+
+// -- Manifest cold start --------------------------------------------------
+
+TEST(Manifest, ColdStartsMultiEndpointEngine)
+{
+    Fixture f;
+    const std::string replay_path =
+        f.save(deploy::PolicyKind::kReplay, 9, "manifest_replay.shb");
+    const std::string sample_path =
+        f.save(deploy::PolicyKind::kSample, 9, "manifest_sample.shb");
+
+    const std::string manifest = temp_path("manifest.txt");
+    {
+        std::ofstream os(manifest);
+        os << "# demo manifest\n"
+           << "\n"
+           << "endpoint replay " << replay_path << " max_batch=4\n"
+           << "endpoint sample " << sample_path
+           << " max_batch=2 batch_timeout_ms=0\n";
+    }
+
+    ServingEngine engine;
+    engine.register_endpoints_from_manifest(manifest);
+    EXPECT_TRUE(engine.has_endpoint("replay"));
+    EXPECT_TRUE(engine.has_endpoint("sample"));
+    EXPECT_EQ(engine.policy("replay").name(), "replay");
+    EXPECT_EQ(engine.policy("sample").name(), "sample");
+    ASSERT_NE(engine.bundle("replay"), nullptr);
+    EXPECT_EQ(engine.bundle("replay")->input_shape(), f.input);
+
+    const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+    const Tensor logits = engine.infer("replay", act);
+    EXPECT_EQ(logits.size(), 10);
+
+    std::remove(manifest.c_str());
+    std::remove(replay_path.c_str());
+    std::remove(sample_path.c_str());
+}
+
+TEST(Manifest, RelativeBundlePathsResolveAgainstManifestDir)
+{
+    Fixture f;
+    const std::string bundle_path =
+        f.save(deploy::PolicyKind::kReplay, 9, "rel_bundle.shb");
+    const std::string manifest = temp_path("rel_manifest.txt");
+    {
+        std::ofstream os(manifest);
+        os << "endpoint lenet rel_bundle.shb\n";  // relative!
+    }
+    ServingEngine engine;
+    engine.register_endpoints_from_manifest(manifest);
+    EXPECT_TRUE(engine.has_endpoint("lenet"));
+    std::remove(manifest.c_str());
+    std::remove(bundle_path.c_str());
+}
+
+TEST(Manifest, MalformedManifestsThrowTyped)
+{
+    const auto expect_manifest_error = [](const std::string& content) {
+        const std::string path = temp_path("bad_manifest.txt");
+        spew(path, content);
+        try {
+            deploy::parse_manifest(path);
+            ADD_FAILURE() << "expected kBadBundle for: " << content;
+        } catch (const ServingError& e) {
+            EXPECT_EQ(e.code(), ServingErrorCode::kBadBundle) << e.what();
+        }
+        std::remove(path.c_str());
+    };
+    expect_manifest_error("serve lenet x.shb\n");          // bad directive
+    expect_manifest_error("endpoint lenet\n");             // missing path
+    expect_manifest_error("endpoint a x.shb max_batch=0\n");
+    expect_manifest_error("endpoint a x.shb max_batch=lots\n");
+    expect_manifest_error("endpoint a x.shb max_batch=4x2\n");
+    expect_manifest_error("endpoint a x.shb batch_timeout_ms=1.5ms\n");
+    expect_manifest_error("endpoint a x.shb context_seed=7seven\n");
+    expect_manifest_error("endpoint a x.shb turbo=1\n");   // unknown key
+    expect_manifest_error("endpoint a x.shb\nendpoint a y.shb\n");
+
+    try {  // Missing manifest file.
+        deploy::parse_manifest(temp_path("no_such_manifest.txt"));
+        ADD_FAILURE() << "expected kBadBundle";
+    } catch (const ServingError& e) {
+        EXPECT_EQ(e.code(), ServingErrorCode::kBadBundle);
+    }
+}
+
+// -- Malformed bundles: typed errors, never a dead process ----------------
+
+TEST(BundleTrustBoundary, MissingFileIsTyped)
+{
+    expect_load_error(temp_path("no_such_bundle.shb"),
+                      ServingErrorCode::kBadBundle);
+}
+
+TEST(BundleTrustBoundary, BadMagicIsTyped)
+{
+    const std::string path = temp_path("bad_magic.shb");
+    spew(path, "this is not a bundle at all");
+    expect_load_error(path, ServingErrorCode::kBadBundle);
+    std::remove(path.c_str());
+}
+
+TEST(BundleTrustBoundary, FutureVersionIsTyped)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 1, "future_version.shb");
+    std::string bytes = slurp(path);
+    bytes[4] = 99;  // Version field (bytes 4..7, little-endian).
+    spew(path, bytes);
+    expect_load_error(path, ServingErrorCode::kVersionMismatch);
+    std::remove(path.c_str());
+}
+
+TEST(BundleTrustBoundary, TruncationAnywhereIsTyped)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 1, "truncated.shb");
+    const std::string bytes = slurp(path);
+    // A sweep of truncation points: header, arch section, tensor
+    // payloads, collection metadata, end marker.
+    for (const std::size_t keep :
+         {std::size_t{5}, std::size_t{13}, std::size_t{40},
+          bytes.size() / 4, bytes.size() / 2, bytes.size() - 2}) {
+        spew(path, bytes.substr(0, keep));
+        expect_load_error(path, ServingErrorCode::kBadBundle);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BundleTrustBoundary, TensorStreamGarbageIsTyped)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 1, "tensor_garbage.shb");
+    std::string bytes = slurp(path);
+    // Corrupt the first embedded SHRT tensor header: the weight
+    // stream inside the arch section turns to garbage.
+    const auto pos = bytes.find("SHRT");
+    ASSERT_NE(pos, std::string::npos);
+    bytes.replace(pos, 4, "JUNK");
+    spew(path, bytes);
+    expect_load_error(path, ServingErrorCode::kBadBundle);
+    std::remove(path.c_str());
+}
+
+TEST(BundleTrustBoundary, HugeDeclaredTensorIsTypedNotOom)
+{
+    // A tensor header declaring an absurd element count must fail the
+    // load with a typed error — not a multi-gigabyte allocation, a
+    // std::length_error escaping the catch clauses, or an int64
+    // overflow of the element product.
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 1, "huge_tensor.shb");
+    std::string bytes = slurp(path);
+    const auto pos = bytes.find("SHRT");
+    ASSERT_NE(pos, std::string::npos);
+    std::ostringstream patch(std::ios::binary);
+    wire::write_u32(patch, 2);  // rank
+    wire::write_u64(patch, 0xFFFFFFFFull);
+    wire::write_u64(patch, 0xFFFFFFFFull);
+    bytes.replace(pos + 4, patch.str().size(), patch.str());
+    spew(path, bytes);
+    expect_load_error(path, ServingErrorCode::kBadBundle);
+    std::remove(path.c_str());
+}
+
+TEST(BundleTrustBoundary, TrailingGarbageIsTyped)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 1, "trailing.shb");
+    spew(path, slurp(path) + "extra bytes after the end marker");
+    expect_load_error(path, ServingErrorCode::kBadBundle);
+    std::remove(path.c_str());
+}
+
+TEST(BundleTrustBoundary, InconsistentTopologyIsTypedNotFatal)
+{
+    // Declare an input shape that cannot flow through the stored
+    // topology (wrong channel count). The shape rules deep in the
+    // layers are user-error checks; the trust-boundary guard must
+    // surface them as kBadBundle instead of exiting the process.
+    Fixture f;
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(f.collection);
+    deploy::BundleContents contents;
+    contents.network = f.net.get();
+    contents.cut = f.cut;
+    contents.input_shape = f.input;
+    contents.policy.kind = deploy::PolicyKind::kNone;
+    const std::string path = temp_path("inconsistent.shb");
+    deploy::save_bundle(path, contents);
+
+    std::string bytes = slurp(path);
+    // The input shape sits after magic+version+kind (u32×3) + seed
+    // (u64): rank u32, then dim0 u64 — patch C=1 to C=3.
+    const std::size_t dim0_off = 4 * 3 + 8 + 4;
+    ASSERT_EQ(bytes[dim0_off], 1);
+    bytes[dim0_off] = 3;
+    spew(path, bytes);
+    expect_load_error(path, ServingErrorCode::kBadBundle);
+    std::remove(path.c_str());
+}
+
+TEST(BundleTrustBoundary, EngineSurvivesBadBundleRegistration)
+{
+    // One bad registration must not disturb an engine already serving.
+    Fixture f;
+    ServingEngine engine;
+    engine.register_endpoint(
+        "good", f.model,
+        std::make_shared<ReplayPolicy>(f.collection, 5));
+
+    const std::string path = temp_path("engine_bad.shb");
+    spew(path, "garbage");
+    EXPECT_THROW(engine.register_endpoint_from_bundle("bad", path),
+                 ServingError);
+    EXPECT_FALSE(engine.has_endpoint("bad"));
+
+    const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+    EXPECT_EQ(engine.infer("good", act).size(), 10);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace shredder

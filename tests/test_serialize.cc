@@ -51,6 +51,82 @@ TEST(Serialize, StreamCarriesMultipleTensors)
     EXPECT_DOUBLE_EQ(ops::max_abs_diff(b, b2), 0.0);
 }
 
+TEST(SerializeChecked, RoundTripMatchesFatalReader)
+{
+    Rng rng(7);
+    Tensor t = Tensor::normal(Shape({3, 5}), rng);
+    std::istringstream is(tensor_to_bytes(t), std::ios::binary);
+    Tensor u = read_tensor_checked(is);
+    EXPECT_EQ(u.shape(), t.shape());
+    EXPECT_DOUBLE_EQ(ops::max_abs_diff(t, u), 0.0);
+}
+
+TEST(SerializeChecked, BadMagicThrowsInsteadOfExiting)
+{
+    std::istringstream is("XXXXYYYYZZZZ", std::ios::binary);
+    EXPECT_THROW(read_tensor_checked(is), SerializeError);
+}
+
+TEST(SerializeChecked, TruncationThrowsInsteadOfExiting)
+{
+    Tensor t = Tensor::from_vector({1, 2, 3, 4});
+    std::string bytes = tensor_to_bytes(t);
+    for (std::size_t keep = 0; keep + 1 < bytes.size(); keep += 3) {
+        std::istringstream is(bytes.substr(0, keep), std::ios::binary);
+        EXPECT_THROW(read_tensor_checked(is), SerializeError) << keep;
+    }
+}
+
+TEST(SerializeChecked, WirePrimitivesRoundTrip)
+{
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    wire::write_u8(ss, 7);
+    wire::write_u32(ss, 123456789u);
+    wire::write_u64(ss, 0xDEADBEEFCAFEULL);
+    wire::write_f32(ss, -2.5f);
+    wire::write_f64(ss, 3.25);
+    wire::write_string(ss, "shredder");
+    wire::write_shape(ss, Shape({2, 3, 4}));
+    EXPECT_EQ(wire::read_u8(ss), 7);
+    EXPECT_EQ(wire::read_u32(ss), 123456789u);
+    EXPECT_EQ(wire::read_u64(ss), 0xDEADBEEFCAFEULL);
+    EXPECT_EQ(wire::read_f32(ss), -2.5f);
+    EXPECT_EQ(wire::read_f64(ss), 3.25);
+    EXPECT_EQ(wire::read_string(ss), "shredder");
+    EXPECT_EQ(wire::read_shape(ss), Shape({2, 3, 4}));
+}
+
+TEST(SerializeChecked, ImplausibleElementCountThrowsTyped)
+{
+    // A crafted header may declare dims that pass the per-dim bound
+    // but multiply to an absurd (or int64-overflowing) element count.
+    // The typed contract must hold — no std::length_error/bad_alloc
+    // escaping, no silent overflow to a tiny tensor.
+    const auto craft = [](std::initializer_list<std::uint64_t> dims) {
+        std::ostringstream oss(std::ios::binary);
+        wire::write_u32(oss, 0x54524853u);  // 'SHRT'
+        wire::write_u32(oss, static_cast<std::uint32_t>(dims.size()));
+        for (const std::uint64_t d : dims) {
+            wire::write_u64(oss, d);
+        }
+        return oss.str();
+    };
+    for (const std::string& bytes :
+         {craft({0xFFFFFFFFull, 0xFFFFFFFFull}),
+          craft({1ull << 31, 1ull << 31, 1ull << 31, 1ull << 31}),
+          craft({1ull << 40})}) {
+        std::istringstream is(bytes, std::ios::binary);
+        EXPECT_THROW(read_tensor_checked(is), SerializeError);
+    }
+}
+
+TEST(SerializeChecked, WireStringLengthGuard)
+{
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    wire::write_string(ss, std::string(64, 'x'));
+    EXPECT_THROW(wire::read_string(ss, /*max_len=*/16), SerializeError);
+}
+
 TEST(SerializeDeath, BadMagicIsFatal)
 {
     std::string junk = "XXXXYYYYZZZZ";
