@@ -9,13 +9,16 @@
  *  - `max_batch` — batching amortizes the GEMM setup across requests,
  *    so throughput rises with the ceiling until the kernels saturate.
  *    This axis pays off even on a single core.
- *  - `policy` ∈ {none, replay, sample} — what each mechanism costs on
- *    the serving hot path. `none` serves raw activations (upper
- *    bound), `replay` adds one stored-tensor add per request (the
- *    historical deployment), `sample` draws a fresh per-element tensor
- *    from the fitted distribution per request (the paper's true
- *    information-destruction mode — O(activation) RNG work per query,
- *    the most expensive policy by construction).
+ *  - `policy` ∈ {none, replay, sample, shuffle, sample+shuffle} —
+ *    what each mechanism costs on the serving hot path. `none` serves
+ *    raw activations (upper bound), `replay` adds one stored-tensor
+ *    add per request (the historical deployment), `sample` draws a
+ *    fresh per-element tensor from the fitted distribution per request
+ *    (the paper's true information-destruction mode — O(activation)
+ *    RNG work per query, the most expensive additive policy by
+ *    construction), `shuffle` performs one id-keyed permutation gather
+ *    per request, and `sample+shuffle` is the `ComposedPolicy` chain a
+ *    composed endpoint serves (both stages, sequentially).
  *
  * Every point runs `in_flight` (= shared workers = per-endpoint
  * contexts) concurrent batches; since the stateless-layer refactor
@@ -117,12 +120,24 @@ main(int argc, char** argv)
         const char* tag;
         std::shared_ptr<const runtime::NoisePolicy> policy;
     };
+    const auto sample =
+        std::make_shared<runtime::SamplePolicy>(dist, kPolicySeed);
+    const auto shuffle = std::make_shared<runtime::ShufflePolicy>(
+        kPolicySeed ^ 0x5AFEC0DEULL);
     const std::vector<PolicyPoint> policies = {
         {"none", std::make_shared<runtime::NoNoisePolicy>()},
         {"replay",
          std::make_shared<runtime::ReplayPolicy>(coll, kPolicySeed)},
-        {"sample",
-         std::make_shared<runtime::SamplePolicy>(dist, kPolicySeed)},
+        {"sample", sample},
+        // Permutation gather per request — no RNG-per-element work,
+        // so it should price between replay and sample.
+        {"shuffle", shuffle},
+        // The full §2.5 + shuffling chain a composed endpoint serves.
+        {"sample+shuffle",
+         std::make_shared<runtime::ComposedPolicy>(
+             std::vector<
+                 std::shared_ptr<const runtime::NoisePolicy>>{
+                 sample, shuffle})},
     };
     const std::vector<std::int64_t> batches = {1, 8, 32};
 
@@ -144,7 +159,7 @@ main(int argc, char** argv)
                 per_sample.to_string().c_str(),
                 static_cast<long long>(total),
                 static_cast<long long>(kInFlight), hw_threads);
-    std::printf("%8s %10s %14s %12s %16s %16s\n", "policy", "max_batch",
+    std::printf("%14s %10s %14s %12s %16s %16s\n", "policy", "max_batch",
                 "req/sec", "mean batch", "batch exec ms", "queue wait ms");
 
     bench::JsonWriter json;
@@ -175,7 +190,7 @@ main(int argc, char** argv)
             const runtime::ServerStats stats = run_point(
                 model, policies[pi].policy, activations, batches[bi]);
             rps[pi][bi] = stats.requests_per_sec();
-            std::printf("%8s %10lld %14.1f %12.2f %16.3f %16.3f\n",
+            std::printf("%14s %10lld %14.1f %12.2f %16.3f %16.3f\n",
                         policies[pi].tag,
                         static_cast<long long>(batches[bi]),
                         stats.requests_per_sec(), stats.mean_batch_size(),
@@ -207,12 +222,18 @@ main(int argc, char** argv)
     const double batch_scaling = rps[1][2] / rps[1][0];
     const double replay_overhead = rps[0][1] / rps[1][1];
     const double sample_overhead = rps[0][1] / rps[2][1];
+    const double shuffle_overhead = rps[0][1] / rps[3][1];
+    const double composed_overhead = rps[0][1] / rps[4][1];
     json.key("batch32_vs_batch1_replay");
     json.value(batch_scaling);
     json.key("none_vs_replay_at_batch8");
     json.value(replay_overhead);
     json.key("none_vs_sample_at_batch8");
     json.value(sample_overhead);
+    json.key("none_vs_shuffle_at_batch8");
+    json.value(shuffle_overhead);
+    json.key("none_vs_sample_shuffle_at_batch8");
+    json.value(composed_overhead);
     json.end_object();
 
     if (!json.write_file(json_path)) {
@@ -226,6 +247,10 @@ main(int argc, char** argv)
                 replay_overhead);
     std::printf("clean vs sample (max_batch 8)      : %.2fx\n",
                 sample_overhead);
+    std::printf("clean vs shuffle (max_batch 8)     : %.2fx\n",
+                shuffle_overhead);
+    std::printf("clean vs sample+shuffle (batch 8)  : %.2fx\n",
+                composed_overhead);
     std::printf("wrote %s\n", json_path.c_str());
     std::printf("Expected shape: req/sec rises with max_batch as"
                 " per-request overhead\namortizes. 'replay' costs one"

@@ -1,8 +1,8 @@
 #include "src/attacks/reconstruction.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "src/core/noise_tensor.h"
 #include "src/data/dataloader.h"
 #include "src/nn/activations.h"
 #include "src/nn/conv2d.h"
@@ -21,25 +21,71 @@ namespace {
 
 using nn::Mode;
 
-/** Apply per-query noise from a collection to a batch activation. */
+/**
+ * Run the deployment mechanism over a batch activation: sample `i`
+ * observes `policy->apply(activation_i, base_id + i)` — the same
+ * per-request, id-keyed application a served endpoint performs.
+ */
 Tensor
-apply_noise(const Tensor& activation, const core::NoiseCollection* col,
-            std::int64_t per_sample, Rng& rng)
+apply_policy(const Tensor& activation, const runtime::NoisePolicy* policy,
+             std::int64_t per_sample, std::uint64_t base_id)
 {
-    if (col == nullptr) {
+    if (policy == nullptr) {
         return activation;
     }
     Tensor noisy = activation;
     const std::int64_t batch = activation.size() / per_sample;
-    float* p = noisy.data();
+    Tensor sample(Shape({per_sample}));
     for (std::int64_t i = 0; i < batch; ++i) {
-        const float* n = col->draw(rng).noise.data();
-        float* row = p + i * per_sample;
-        for (std::int64_t j = 0; j < per_sample; ++j) {
-            row[j] += n[j];
-        }
+        const float* row = activation.data() + i * per_sample;
+        std::copy(row, row + per_sample, sample.data());
+        // `noisy` already holds the activation copy `apply_into` wants
+        // in its destination row.
+        policy->apply_into(sample, base_id + static_cast<std::uint64_t>(i),
+                           noisy.data() + i * per_sample);
     }
     return noisy;
+}
+
+/**
+ * Mean per-image SSIM between two [B, …] batches (global statistics —
+ * one mean/variance/covariance per image — with the standard
+ * stabilizers C1=0.01², C2=0.03² for a [0, 1] dynamic range).
+ */
+double
+mean_ssim(const Tensor& a, const Tensor& b, std::int64_t per_image)
+{
+    constexpr double kC1 = 0.01 * 0.01;
+    constexpr double kC2 = 0.03 * 0.03;
+    const std::int64_t batch = a.size() / per_image;
+    const double n = static_cast<double>(per_image);
+    double total = 0.0;
+    for (std::int64_t i = 0; i < batch; ++i) {
+        const float* pa = a.data() + i * per_image;
+        const float* pb = b.data() + i * per_image;
+        double mu_a = 0.0, mu_b = 0.0;
+        for (std::int64_t j = 0; j < per_image; ++j) {
+            mu_a += pa[j];
+            mu_b += pb[j];
+        }
+        mu_a /= n;
+        mu_b /= n;
+        double var_a = 0.0, var_b = 0.0, cov = 0.0;
+        for (std::int64_t j = 0; j < per_image; ++j) {
+            const double da = pa[j] - mu_a;
+            const double db = pb[j] - mu_b;
+            var_a += da * da;
+            var_b += db * db;
+            cov += da * db;
+        }
+        var_a /= n;
+        var_b /= n;
+        cov /= n;
+        total += ((2.0 * mu_a * mu_b + kC1) * (2.0 * cov + kC2)) /
+                 ((mu_a * mu_a + mu_b * mu_b + kC1) *
+                  (var_a + var_b + kC2));
+    }
+    return batch > 0 ? total / static_cast<double>(batch) : 0.0;
 }
 
 }  // namespace
@@ -133,7 +179,7 @@ AttackReport
 run_reconstruction_attack(split::SplitModel& model,
                           const data::Dataset& train_set,
                           const data::Dataset& eval_set,
-                          const core::NoiseCollection* collection,
+                          const runtime::NoisePolicy* policy,
                           const AttackConfig& config)
 {
     Rng rng(config.seed);
@@ -167,6 +213,10 @@ run_reconstruction_attack(split::SplitModel& model,
     nn::ExecutionContext decoder_ctx(config.seed * 31 + 7);
 
     double last_mse = 0.0;
+    // Training traffic consumes sequential request ids, like a live
+    // client; the held-out report gets its own id block far away.
+    std::uint64_t next_request_id = 0;
+    constexpr std::uint64_t kEvalIdBase = 1u << 20;
     for (int it = 0; it < config.iterations; ++it) {
         auto batch = loader.next();
         if (!batch) {
@@ -176,7 +226,9 @@ run_reconstruction_attack(split::SplitModel& model,
         const Tensor activation =
             model.edge_forward(batch->images, model_ctx, Mode::kEval);
         Tensor observed =
-            apply_noise(activation, collection, per_sample, rng);
+            apply_policy(activation, policy, per_sample, next_request_id);
+        next_request_id +=
+            static_cast<std::uint64_t>(activation.size() / per_sample);
         if (act_batched.rank() == 2) {
             observed.reshape_inplace(Shape(
                 {observed.shape()[0], act_chw[0], 1, 1}));
@@ -200,7 +252,8 @@ run_reconstruction_attack(split::SplitModel& model,
     const data::Batch eval = data::materialize(eval_set, 0, eval_count);
     const Tensor activation =
         model.edge_forward(eval.images, model_ctx, Mode::kEval);
-    Tensor observed = apply_noise(activation, collection, per_sample, rng);
+    Tensor observed =
+        apply_policy(activation, policy, per_sample, kEvalIdBase);
     if (act_batched.rank() == 2) {
         observed.reshape_inplace(
             Shape({observed.shape()[0], act_chw[0], 1, 1}));
@@ -215,6 +268,7 @@ run_reconstruction_attack(split::SplitModel& model,
     report.eval_psnr_db =
         report.eval_mse > 0.0 ? -10.0 * std::log10(report.eval_mse)
                               : 99.0;
+    report.eval_ssim = mean_ssim(recon, eval.images, img.numel());
     report.decoder_params = decoder->num_parameters();
     return report;
 }

@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <memory>
 
-#include "src/core/noise_collection.h"
 #include "src/data/dataset.h"
 #include "src/nn/sequential.h"
+#include "src/runtime/noise_policy.h"
 #include "src/split/split_model.h"
 #include "src/tensor/rng.h"
 
@@ -47,6 +47,13 @@ struct AttackReport
     double train_mse = 0.0;      ///< Final decoder training MSE.
     double eval_mse = 0.0;       ///< Reconstruction MSE on held-out data.
     double eval_psnr_db = 0.0;   ///< PSNR (higher = better reconstruction).
+    /**
+     * Mean per-image SSIM of the reconstructions against the held-out
+     * inputs (global statistics, C1=0.01², C2=0.03²; ≈1 = faithful,
+     * ≈0 = structure destroyed). The metric the shuffling papers
+     * report, so the mode×shuffle matrix is comparable.
+     */
+    double eval_ssim = 0.0;
     std::int64_t decoder_params = 0;
 };
 
@@ -63,16 +70,24 @@ std::unique_ptr<nn::Sequential> make_decoder(const Shape& act_chw,
  * Train the inversion decoder against the transmitted tensors and
  * report reconstruction quality on held-out data.
  *
+ * The observed stream is produced by a `runtime::NoisePolicy` — the
+ * very abstraction the serving engine executes — applied per sample
+ * under sequential request ids (a running counter during decoder
+ * training, a fixed base for the held-out report), so the attack sees
+ * exactly the wire a served endpoint under that policy transmits.
+ * Any policy works: additive (replay/sample/fixed), `ShufflePolicy`,
+ * or a `ComposedPolicy` chain.
+ *
  * @param model       Split view of the frozen victim network.
  * @param train_set   Attacker's (input, activation) corpus source.
  * @param eval_set    Held-out inputs for the quality report.
- * @param collection  Noise applied per query (nullptr = clean attack).
+ * @param policy      Per-request mechanism (nullptr = clean attack).
  * @param config      Attack knobs.
  */
 AttackReport run_reconstruction_attack(
     split::SplitModel& model, const data::Dataset& train_set,
-    const data::Dataset& eval_set,
-    const core::NoiseCollection* collection, const AttackConfig& config);
+    const data::Dataset& eval_set, const runtime::NoisePolicy* policy,
+    const AttackConfig& config);
 
 }  // namespace attacks
 }  // namespace shredder

@@ -4,6 +4,8 @@
  */
 #include "src/core/pipeline.h"
 
+#include <memory>
+
 #include "src/runtime/logging.h"
 #include "src/runtime/noise_policy.h"
 #include "src/split/split_model.h"
@@ -69,6 +71,37 @@ run_pipeline(const std::string& name, nn::Sequential& net,
         const PrivacyReport dist = meter.measure_policy(sample_policy);
         result.distribution_mi = dist.mi_bits;
         result.distribution_accuracy = dist.accuracy;
+    }
+    if (config.measure_shuffle) {
+        // The mode×shuffle rows of the matrix. The shuffle stage gets
+        // its own root seed (distinct from the additive stages — see
+        // the ComposedPolicy seed-derivation contract) and is shared
+        // across the composed chains, like a server would share it.
+        const auto shuffle = std::make_shared<runtime::ShufflePolicy>(
+            config.meter.seed ^ 0x5AFEC0DEULL);
+        const PrivacyReport shuffled = meter.measure_policy(*shuffle);
+        result.shuffle_mi = shuffled.mi_bits;
+        result.shuffle_accuracy = shuffled.accuracy;
+
+        const auto replay_stage = std::make_shared<runtime::ReplayPolicy>(
+            result.collection, config.meter.seed);
+        const runtime::ComposedPolicy shuffle_replay({replay_stage,
+                                                      shuffle});
+        const PrivacyReport sr = meter.measure_policy(shuffle_replay);
+        result.shuffle_replay_mi = sr.mi_bits;
+        result.shuffle_replay_accuracy = sr.accuracy;
+
+        if (config.measure_distribution) {
+            const auto sample_stage =
+                std::make_shared<runtime::SamplePolicy>(
+                    result.collection, config.meter.family,
+                    config.meter.seed);
+            const runtime::ComposedPolicy shuffle_sample({sample_stage,
+                                                          shuffle});
+            const PrivacyReport ss = meter.measure_policy(shuffle_sample);
+            result.shuffle_sample_mi = ss.mi_bits;
+            result.shuffle_sample_accuracy = ss.accuracy;
+        }
     }
     result.mi_loss_pct =
         result.original_mi > 0.0

@@ -39,6 +39,14 @@ struct PipelineConfig
      * addition to the paper's replay deployment.
      */
     bool measure_distribution = true;
+    /**
+     * Also measure the shuffling extension: per-request permutation
+     * alone (`ShufflePolicy`) and composed with the additive modes
+     * (shuffle∘replay always; shuffle∘sample when
+     * `measure_distribution` is also on). Adds the mode×shuffle rows
+     * to the Table 1 matrix.
+     */
+    bool measure_shuffle = true;
     bool verbose = false;
 };
 
@@ -62,6 +70,23 @@ struct PipelineResult
      */
     double distribution_mi = 0.0;
     double distribution_accuracy = 0.0;
+    /**
+     * Shuffling-extension metrics (zero when `measure_shuffle` is
+     * off): plain per-request permutation, and the composed chains
+     * shuffle∘replay and shuffle∘sample — each measured through the
+     * same `ComposedPolicy` objects a server would execute.
+     * `shuffle_accuracy` is the *cloud-visible* accuracy of the
+     * permuted activation (a trusted cloud holding the seed inverts
+     * the permutation first and loses nothing; see
+     * `ShufflePolicy::invert`). `shuffle_sample_*` additionally
+     * requires `measure_distribution`.
+     */
+    double shuffle_mi = 0.0;
+    double shuffle_accuracy = 0.0;
+    double shuffle_replay_mi = 0.0;
+    double shuffle_replay_accuracy = 0.0;
+    double shuffle_sample_mi = 0.0;
+    double shuffle_sample_accuracy = 0.0;
 };
 
 /**

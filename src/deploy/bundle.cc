@@ -74,6 +74,142 @@ bad_bundle(const std::string& path, const std::string& why)
                        "bundle '" + path + "': " + why);
 }
 
+/** True when the spec (or one of its stages) names `kind`. */
+bool
+spec_uses(const PolicySpec& spec, PolicyKind kind)
+{
+    if (spec.kind == kind) {
+        return true;
+    }
+    for (const PolicySpec& stage : spec.stages) {
+        if (stage.kind == kind) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Spec-vs-artifact consistency shared by the trusted writer and the
+ * untrusted reader: every mechanism the spec names (top level or
+ * stage) must have its backing artifact, composition must stay within
+ * the depth/width limits, and stage fields must be well-formed.
+ * `fail` reports a violation (fatal on save, `kBadBundle` on load).
+ */
+template <typename FailFn>
+void
+check_policy_spec(const PolicySpec& spec, bool has_collection,
+                  bool has_distribution, bool has_fixed, bool is_stage,
+                  const FailFn& fail)
+{
+    switch (spec.kind) {
+      case PolicyKind::kNone:
+        break;
+      case PolicyKind::kReplay:
+        if (!has_collection) {
+            fail("replay policy needs a non-empty noise collection");
+        }
+        break;
+      case PolicyKind::kSample:
+        if (!has_distribution) {
+            fail("sample policy needs a fitted distribution (fit it "
+                 "offline — that is the deployment story)");
+        }
+        break;
+      case PolicyKind::kFixed:
+        if (!has_fixed) {
+            fail("fixed policy needs a noise tensor matching the cut "
+                 "activation");
+        }
+        break;
+      case PolicyKind::kShuffle:
+        if (spec.rank_matched && !has_distribution) {
+            fail("rank-matched shuffle policy needs a fitted "
+                 "distribution");
+        }
+        break;
+      case PolicyKind::kComposed: {
+        if (is_stage) {
+            fail("composed policy stages must not nest");
+        }
+        if (spec.stages.empty() ||
+            spec.stages.size() > kMaxComposedStages) {
+            fail("composed policy needs 1.." +
+                 std::to_string(kMaxComposedStages) + " stages");
+        }
+        for (const PolicySpec& stage : spec.stages) {
+            check_policy_spec(stage, has_collection, has_distribution,
+                              has_fixed, /*is_stage=*/true, fail);
+        }
+        break;
+      }
+      default:
+        fail("unknown policy kind");
+    }
+    if (spec.kind != PolicyKind::kComposed && !spec.stages.empty()) {
+        fail("only a composed policy carries stages");
+    }
+    if (spec.kind != PolicyKind::kShuffle && spec.rank_matched) {
+        fail("only a shuffle policy may be rank-matched");
+    }
+}
+
+/** Write one (possibly stage-level) policy spec, format version 2. */
+void
+write_policy_spec(std::ostream& os, const PolicySpec& spec)
+{
+    wire::write_u32(os, static_cast<std::uint32_t>(spec.kind));
+    wire::write_u64(os, spec.seed);
+    if (spec.kind == PolicyKind::kShuffle) {
+        wire::write_u8(os, spec.rank_matched ? 1 : 0);
+    } else if (spec.kind == PolicyKind::kComposed) {
+        wire::write_u32(os,
+                        static_cast<std::uint32_t>(spec.stages.size()));
+        for (const PolicySpec& stage : spec.stages) {
+            write_policy_spec(os, stage);
+        }
+    }
+}
+
+/**
+ * Read one policy spec from untrusted bytes. `max_kind` caps the
+ * accepted kinds (version-1 files stop at `kFixed`); stages reject
+ * nested composition and re-apply the same cap.
+ */
+PolicySpec
+read_policy_spec(std::istream& is, const std::string& path,
+                 std::uint32_t max_kind, bool is_stage)
+{
+    PolicySpec spec;
+    const std::uint32_t kind = wire::read_u32(is);
+    if (kind > max_kind) {
+        bad_bundle(path, "unknown policy kind");
+    }
+    spec.kind = static_cast<PolicyKind>(kind);
+    spec.seed = wire::read_u64(is);
+    if (spec.kind == PolicyKind::kShuffle) {
+        const std::uint8_t rank_matched = wire::read_u8(is);
+        if (rank_matched > 1) {
+            bad_bundle(path, "bad shuffle variant flag");
+        }
+        spec.rank_matched = rank_matched == 1;
+    } else if (spec.kind == PolicyKind::kComposed) {
+        if (is_stage) {
+            bad_bundle(path, "composed policy stages must not nest");
+        }
+        const std::uint32_t count = wire::read_u32(is);
+        if (count == 0 || count > kMaxComposedStages) {
+            bad_bundle(path, "composed stage count out of range");
+        }
+        spec.stages.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            spec.stages.push_back(
+                read_policy_spec(is, path, max_kind, /*is_stage=*/true));
+        }
+    }
+    return spec;
+}
+
 }  // namespace
 
 const char*
@@ -84,6 +220,8 @@ to_string(PolicyKind kind)
       case PolicyKind::kReplay: return "replay";
       case PolicyKind::kSample: return "sample";
       case PolicyKind::kFixed: return "fixed";
+      case PolicyKind::kShuffle: return "shuffle";
+      case PolicyKind::kComposed: return "composed";
     }
     return "?";
 }
@@ -127,35 +265,26 @@ save_bundle(const std::string& path, const BundleContents& contents)
             contents.distribution->location().shape().to_string(),
             " does not match cut activation ", act.to_string());
     }
-    switch (contents.policy.kind) {
-      case PolicyKind::kNone:
-        break;
-      case PolicyKind::kReplay:
-        SHREDDER_REQUIRE(!collection.empty(),
-                         "save_bundle: replay policy needs a non-empty "
-                         "noise collection");
-        break;
-      case PolicyKind::kSample:
-        SHREDDER_REQUIRE(contents.distribution != nullptr,
-                         "save_bundle: sample policy needs a fitted "
-                         "distribution (fit it offline — that is the "
-                         "deployment story)");
-        break;
-      case PolicyKind::kFixed:
+    const bool has_fixed =
+        spec_uses(contents.policy, PolicyKind::kFixed);
+    if (has_fixed) {
         SHREDDER_REQUIRE(contents.fixed_noise != nullptr &&
                              contents.fixed_noise->size() == act.numel(),
                          "save_bundle: fixed policy needs a noise tensor "
                          "matching the cut activation");
-        break;
     }
+    check_policy_spec(contents.policy, !collection.empty(),
+                      contents.distribution != nullptr, has_fixed,
+                      /*is_stage=*/false, [](const std::string& why) {
+                          SHREDDER_REQUIRE(false, "save_bundle: ", why);
+                      });
 
     std::ofstream os(path, std::ios::binary);
     SHREDDER_REQUIRE(os.good(), "save_bundle: cannot open for write: ",
                      path);
     wire::write_u32(os, kBundleMagic);
     wire::write_u32(os, kBundleVersion);
-    wire::write_u32(os, static_cast<std::uint32_t>(contents.policy.kind));
-    wire::write_u64(os, contents.policy.seed);
+    write_policy_spec(os, contents.policy);
     wire::write_shape(os, contents.input_shape);
     wire::write_u64(os, static_cast<std::uint64_t>(contents.cut));
     nn::save_arch(os, net);
@@ -164,7 +293,6 @@ save_bundle(const std::string& path, const BundleContents& contents)
         contents.distribution->save(os);
     }
     collection.save(os);
-    const bool has_fixed = contents.policy.kind == PolicyKind::kFixed;
     wire::write_u8(os, has_fixed ? 1 : 0);
     if (has_fixed) {
         write_tensor(os, *contents.fixed_noise);
@@ -182,17 +310,37 @@ Bundle::batched_input_shape() const
 std::shared_ptr<const runtime::NoisePolicy>
 Bundle::make_policy() const
 {
-    switch (policy_.kind) {
+    return make_policy_for(policy_);
+}
+
+std::shared_ptr<const runtime::NoisePolicy>
+Bundle::make_policy_for(const PolicySpec& spec) const
+{
+    switch (spec.kind) {
       case PolicyKind::kNone:
         return std::make_shared<runtime::NoNoisePolicy>();
       case PolicyKind::kReplay:
         return std::make_shared<runtime::ReplayPolicy>(collection_,
-                                                       policy_.seed);
+                                                       spec.seed);
       case PolicyKind::kSample:
         return std::make_shared<runtime::SamplePolicy>(*distribution_,
-                                                       policy_.seed);
+                                                       spec.seed);
       case PolicyKind::kFixed:
         return std::make_shared<runtime::FixedNoisePolicy>(fixed_noise_);
+      case PolicyKind::kShuffle:
+        if (spec.rank_matched) {
+            return std::make_shared<runtime::ShufflePolicy>(*distribution_,
+                                                            spec.seed);
+        }
+        return std::make_shared<runtime::ShufflePolicy>(spec.seed);
+      case PolicyKind::kComposed: {
+        std::vector<std::shared_ptr<const runtime::NoisePolicy>> stages;
+        stages.reserve(spec.stages.size());
+        for (const PolicySpec& stage : spec.stages) {
+            stages.push_back(make_policy_for(stage));
+        }
+        return std::make_shared<runtime::ComposedPolicy>(std::move(stages));
+      }
     }
     SHREDDER_PANIC("unreachable policy kind");
 }
@@ -225,12 +373,13 @@ load_bundle(const std::string& path)
         }
 
         Bundle b;
-        const std::uint32_t kind = wire::read_u32(is);
-        if (kind > static_cast<std::uint32_t>(PolicyKind::kFixed)) {
-            bad_bundle(path, "unknown policy kind");
-        }
-        b.policy_.kind = static_cast<PolicyKind>(kind);
-        b.policy_.seed = wire::read_u64(is);
+        // Version-1 files know only the four additive kinds and carry
+        // no spec extras; version 2 added shuffle/composed encodings.
+        const std::uint32_t max_kind =
+            version >= 2 ? static_cast<std::uint32_t>(PolicyKind::kComposed)
+                         : static_cast<std::uint32_t>(PolicyKind::kFixed);
+        b.policy_ = read_policy_spec(is, path, max_kind,
+                                     /*is_stage=*/false);
         b.input_shape_ = wire::read_shape(is);
         if (b.input_shape_.rank() < 1 || b.input_shape_.rank() > 3) {
             bad_bundle(path, "input shape must be per-sample (rank 1-3)");
@@ -272,26 +421,12 @@ load_bundle(const std::string& path)
             }
         }
 
-        switch (b.policy_.kind) {
-          case PolicyKind::kNone:
-            break;
-          case PolicyKind::kReplay:
-            if (b.collection_.empty()) {
-                bad_bundle(path, "replay policy but no noise collection");
-            }
-            break;
-          case PolicyKind::kSample:
-            if (!b.distribution_.has_value()) {
-                bad_bundle(path,
-                           "sample policy but no fitted distribution");
-            }
-            break;
-          case PolicyKind::kFixed:
-            if (b.fixed_noise_.empty()) {
-                bad_bundle(path, "fixed policy but no noise tensor");
-            }
-            break;
-        }
+        check_policy_spec(b.policy_, !b.collection_.empty(),
+                          b.distribution_.has_value(),
+                          !b.fixed_noise_.empty(), /*is_stage=*/false,
+                          [&path](const std::string& why) {
+                              bad_bundle(path, why);
+                          });
 
         wire::expect_magic(is, kEndMagic, "bundle end marker");
         is.peek();

@@ -13,8 +13,9 @@
  *   - the cut index and the input CHW shape,
  *   - the learned `NoiseCollection` (replay deployment),
  *   - the fitted `NoiseDistribution` (sampling deployment),
- *   - a policy spec (`none|replay|sample|fixed` + root seed) naming
- *     the mechanism this artifact was measured under.
+ *   - a policy spec (`none|replay|sample|fixed|shuffle|composed` +
+ *     root seed, plus the shuffle-variant flag and composed stage
+ *     chain) naming the mechanism this artifact was measured under.
  *
  * `save_bundle` writes the artifact from in-process objects;
  * `load_bundle` reconstructs an owning `Bundle` and cross-validates
@@ -50,26 +51,53 @@
 namespace shredder {
 namespace deploy {
 
-/** Current bundle format version (`load_bundle` accepts ≤ this). */
-constexpr std::uint32_t kBundleVersion = 1;
+/**
+ * Current bundle format version (`load_bundle` accepts ≤ this).
+ * Version 2 added the `shuffle` and `composed` policy-spec encodings;
+ * version-1 files (policy kinds 0–3, no spec extras) still load.
+ */
+constexpr std::uint32_t kBundleVersion = 2;
 
 /** The noise mechanism a bundle deploys (mirrors `NoisePolicy`). */
 enum class PolicyKind : std::uint32_t {
-    kNone = 0,    ///< Clean baseline (`NoNoisePolicy`).
-    kReplay = 1,  ///< Stored-collection draw (`ReplayPolicy`).
-    kSample = 2,  ///< Fresh fitted-distribution draw (`SamplePolicy`).
-    kFixed = 3,   ///< One fixed tensor (`FixedNoisePolicy`).
+    kNone = 0,      ///< Clean baseline (`NoNoisePolicy`).
+    kReplay = 1,    ///< Stored-collection draw (`ReplayPolicy`).
+    kSample = 2,    ///< Fresh fitted-distribution draw (`SamplePolicy`).
+    kFixed = 3,     ///< One fixed tensor (`FixedNoisePolicy`).
+    kShuffle = 4,   ///< Per-request permutation (`ShufflePolicy`).
+    kComposed = 5,  ///< Ordered policy chain (`ComposedPolicy`).
 };
 
-/** Stable mechanism tag ("none", "replay", "sample", "fixed"). */
+/**
+ * Stable mechanism tag ("none", "replay", "sample", "fixed",
+ * "shuffle", "composed").
+ */
 const char* to_string(PolicyKind kind);
 
-/** What mechanism to run at deployment, and under which root seed. */
+/** Stage count ceiling of a composed policy spec. */
+constexpr std::uint32_t kMaxComposedStages = 8;
+
+/**
+ * What mechanism to run at deployment, and under which root seed.
+ * `kShuffle` and `kComposed` carry spec extras (format version 2):
+ * the shuffle variant flag, and the stage chain respectively.
+ */
 struct PolicySpec
 {
     PolicyKind kind = PolicyKind::kReplay;
     /** Root seed of the id-keyed noise draws (see `noise_seed`). */
     std::uint64_t seed = 0xC0FFEE;
+    /**
+     * `kShuffle` only: rank-matched variant (argsort re-sampling,
+     * needs the bundled distribution) instead of plain permutation.
+     */
+    bool rank_matched = false;
+    /**
+     * `kComposed` only: 1–`kMaxComposedStages` stages in application
+     * order. Stages must not be `kComposed` themselves (one level of
+     * composition — readers reject deeper nesting).
+     */
+    std::vector<PolicySpec> stages;
 };
 
 /**
@@ -154,6 +182,10 @@ class Bundle
 
   private:
     friend Bundle load_bundle(const std::string& path);
+
+    /** Materialize one (possibly stage-level) spec against the artifacts. */
+    std::shared_ptr<const runtime::NoisePolicy> make_policy_for(
+        const PolicySpec& spec) const;
 
     std::unique_ptr<nn::Sequential> network_;
     std::int64_t cut_ = 0;

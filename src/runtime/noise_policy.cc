@@ -5,6 +5,7 @@
 #include "src/runtime/noise_policy.h"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "src/runtime/logging.h"
@@ -187,6 +188,171 @@ FixedNoisePolicy::apply_into(const Tensor& activation, std::uint64_t,
     for (std::int64_t j = 0; j < noise_.size(); ++j) {
         dst[j] += pn[j];
     }
+}
+
+// ---------------------------------------------------------------------
+// ShufflePolicy
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Indices of `data[0..n)` in ascending value order, ties broken by
+ * index — a *stable* argsort, so the permutation is a pure function of
+ * the values (concurrent callers and replays agree bit-for-bit).
+ */
+std::vector<std::int64_t>
+argsort(const float* data, std::int64_t n)
+{
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [data](std::int64_t a, std::int64_t b) {
+                  return data[a] != data[b] ? data[a] < data[b] : a < b;
+              });
+    return idx;
+}
+
+}  // namespace
+
+ShufflePolicy::ShufflePolicy(std::uint64_t seed) : seed_(seed) {}
+
+ShufflePolicy::ShufflePolicy(core::NoiseDistribution distribution,
+                             std::uint64_t seed)
+    : dist_(std::move(distribution)), seed_(seed)
+{
+}
+
+Shape
+ShufflePolicy::noise_shape() const
+{
+    return rank_matched() ? dist_->location().shape() : Shape{};
+}
+
+Tensor
+ShufflePolicy::apply(const Tensor& activation,
+                     std::uint64_t request_id) const
+{
+    Tensor out = activation;
+    apply_into(activation, request_id, out.data());
+    return out;
+}
+
+void
+ShufflePolicy::apply_into(const Tensor& activation,
+                          std::uint64_t request_id, float* dst) const
+{
+    const float* src = activation.data();
+    const std::int64_t n = activation.size();
+    Rng draw_rng(noise_seed(seed_, request_id));
+    if (!rank_matched()) {
+        // Plain Fisher–Yates permutation of the element positions.
+        const std::vector<std::int64_t> perm = draw_rng.permutation(n);
+        for (std::int64_t j = 0; j < n; ++j) {
+            dst[j] = src[perm[static_cast<std::size_t>(j)]];
+        }
+        return;
+    }
+    // Rank-matched: fresh draw, reordered so the k-th smallest draw
+    // lands on the position of the k-th smallest activation element,
+    // then added (see header).
+    const Tensor noise = dist_->sample(draw_rng);
+    require_matching_size(activation, noise.size(), "ShufflePolicy");
+    const std::vector<std::int64_t> act_rank = argsort(src, n);
+    const std::vector<std::int64_t> noise_rank = argsort(noise.data(), n);
+    const float* pn = noise.data();
+    for (std::int64_t k = 0; k < n; ++k) {
+        dst[act_rank[static_cast<std::size_t>(k)]] +=
+            pn[noise_rank[static_cast<std::size_t>(k)]];
+    }
+}
+
+Tensor
+ShufflePolicy::invert(const Tensor& shuffled,
+                      std::uint64_t request_id) const
+{
+    SHREDDER_REQUIRE(!rank_matched(),
+                     "ShufflePolicy::invert: the rank-matched variant "
+                     "adds noise and has no inverse");
+    const std::int64_t n = shuffled.size();
+    Rng draw_rng(noise_seed(seed_, request_id));
+    const std::vector<std::int64_t> perm = draw_rng.permutation(n);
+    Tensor out = shuffled;
+    const float* src = shuffled.data();
+    float* dst = out.data();
+    // apply() wrote dst[j] = src[perm[j]]; undo by scattering back.
+    for (std::int64_t j = 0; j < n; ++j) {
+        dst[perm[static_cast<std::size_t>(j)]] = src[j];
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ComposedPolicy
+// ---------------------------------------------------------------------
+
+ComposedPolicy::ComposedPolicy(
+    std::vector<std::shared_ptr<const NoisePolicy>> stages)
+    : stages_(std::move(stages))
+{
+    SHREDDER_REQUIRE(!stages_.empty(),
+                     "ComposedPolicy needs at least one stage");
+    Shape pinned{};
+    for (const auto& stage : stages_) {
+        SHREDDER_REQUIRE(stage != nullptr,
+                         "ComposedPolicy: null stage policy");
+        const Shape s = stage->noise_shape();
+        if (s.rank() == 0) {
+            continue;
+        }
+        if (pinned.rank() == 0) {
+            pinned = s;
+        } else {
+            SHREDDER_REQUIRE(
+                pinned.numel() == s.numel(),
+                "ComposedPolicy: stage '", stage->name(), "' shape ",
+                s.to_string(), " disagrees with earlier stage shape ",
+                pinned.to_string());
+        }
+    }
+}
+
+Shape
+ComposedPolicy::noise_shape() const
+{
+    for (const auto& stage : stages_) {
+        const Shape s = stage->noise_shape();
+        if (s.rank() > 0) {
+            return s;
+        }
+    }
+    return Shape{};
+}
+
+std::string
+ComposedPolicy::name() const
+{
+    std::string joined;
+    for (const auto& stage : stages_) {
+        if (!joined.empty()) {
+            joined += '+';
+        }
+        joined += stage->name();
+    }
+    return joined;
+}
+
+Tensor
+ComposedPolicy::apply(const Tensor& activation,
+                      std::uint64_t request_id) const
+{
+    // Stage i's output is stage i+1's activation; every stage draws
+    // under the same request id with its own root seed (see header).
+    Tensor current = stages_.front()->apply(activation, request_id);
+    for (std::size_t i = 1; i < stages_.size(); ++i) {
+        current = stages_[i]->apply(current, request_id);
+    }
+    return current;
 }
 
 }  // namespace runtime

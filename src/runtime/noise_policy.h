@@ -6,8 +6,11 @@
  * transmitted activation — replay a stored tensor from the learned
  * collection, or draw fresh noise from the distribution fitted to it —
  * and the measurement harness adds two baselines (no noise; one fixed
- * tensor). A `NoisePolicy` captures exactly one such mechanism behind
- * one call:
+ * tensor). Beyond the paper, the shuffling literature contributes a
+ * complementary mechanism — per-request permutation of the activation
+ * elements (`ShufflePolicy`) — and mechanisms compose into ordered
+ * chains (`ComposedPolicy`, e.g. sample-then-shuffle). A `NoisePolicy`
+ * captures exactly one such mechanism behind one call:
  *
  *     Tensor noisy = policy.apply(activation, request_id);
  *
@@ -34,7 +37,10 @@
 #define SHREDDER_RUNTIME_NOISE_POLICY_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/core/noise_collection.h"
 #include "src/core/noise_distribution.h"
@@ -75,7 +81,11 @@ class NoisePolicy
      */
     virtual Shape noise_shape() const { return Shape{}; }
 
-    /** Short mechanism tag ("none", "replay", "sample", "fixed"). */
+    /**
+     * Short mechanism tag ("none", "replay", "sample", "fixed",
+     * "shuffle", "shuffle-rank", or a "+"-joined composition such as
+     * "sample+shuffle").
+     */
     virtual std::string name() const = 0;
 
     /**
@@ -201,6 +211,113 @@ class FixedNoisePolicy final : public NoisePolicy
 
   private:
     Tensor noise_;
+};
+
+/**
+ * Per-request permutation of the activation elements — the shuffling
+ * mechanism of the local-DP shuffling literature (Meehan et al.;
+ * IntraShuffler) as a Shredder policy. Two variants:
+ *
+ *  - **Plain** (default): request `id` permutes the activation with a
+ *    Fisher–Yates shuffle seeded by `noise_seed(seed, id)` —
+ *    `out[j] = act[perm_id[j]]`. Values survive; positions don't. A
+ *    party holding (seed, id) inverts it exactly (`invert`), so a
+ *    trusted cloud loses zero accuracy while the wire sees only an
+ *    unordered multiset per query.
+ *  - **Rank-matched** (construct with a fitted distribution): the
+ *    SNIPPETS-style argsort trick. Request `id` draws a fresh noise
+ *    tensor from the distribution, reorders the draws so their ranks
+ *    match the activation's ranks (the k-th smallest draw lands on the
+ *    position of the k-th smallest activation element), and adds the
+ *    result — rank-correlated additive noise instead of a permutation.
+ *
+ * Both are pure in (activation, request id) and add near-zero serving
+ * cost (one O(n) pass plus, for rank-match, two argsorts).
+ */
+class ShufflePolicy final : public NoisePolicy
+{
+  public:
+    /** Plain permutation variant. @param seed Root seed of the draws. */
+    explicit ShufflePolicy(std::uint64_t seed = 0xC0FFEE);
+
+    /**
+     * Rank-matched variant.
+     *
+     * @param distribution Fitted per-element distribution (copied in);
+     *                     its shape becomes the policy's shape contract.
+     * @param seed         Root seed of the id-keyed draws.
+     */
+    explicit ShufflePolicy(core::NoiseDistribution distribution,
+                           std::uint64_t seed = 0xC0FFEE);
+
+    Tensor apply(const Tensor& activation,
+                 std::uint64_t request_id) const override;
+    Shape noise_shape() const override;
+    std::string name() const override
+    {
+        return rank_matched() ? "shuffle-rank" : "shuffle";
+    }
+    void apply_into(const Tensor& activation, std::uint64_t request_id,
+                    float* dst) const override;
+
+    /**
+     * Undo the plain permutation of `request_id` (a cloud holding the
+     * root seed recovers the exact activation; see file comment).
+     * Fatal on a rank-matched policy — added noise has no inverse.
+     */
+    Tensor invert(const Tensor& shuffled, std::uint64_t request_id) const;
+
+    std::uint64_t seed() const { return seed_; }
+    bool rank_matched() const { return dist_.has_value(); }
+    /** The fitted distribution (valid only when `rank_matched()`). */
+    const core::NoiseDistribution& distribution() const { return *dist_; }
+
+  private:
+    std::optional<core::NoiseDistribution> dist_;
+    std::uint64_t seed_;
+};
+
+/**
+ * An ordered chain of policies applied as one mechanism: stage 0
+ * first, then stage 1 on its output, and so on (so a chain
+ * {sample, shuffle} is the mathematical shuffle∘sample — noise first,
+ * then permutation). The composition contract:
+ *
+ *  - **Ordering.** `apply` feeds each stage the previous stage's
+ *    output; `name()` joins the stage tags with "+" in application
+ *    order ("sample+shuffle").
+ *  - **Seed derivation.** Every stage keeps its own root seed and
+ *    draws with `noise_seed(stage seed, request_id)` under the SAME
+ *    request id — the chain is pure in the id because each stage is.
+ *    Compose two instances of the same mechanism under distinct root
+ *    seeds, or they will make identical choices (two same-seed
+ *    shuffles cancel pairwise structure rather than deepening it).
+ *  - **Shape.** Stages that pin a shape must agree on the element
+ *    count; `noise_shape()` is the first stage's non-rank-0 shape.
+ *
+ * Stages are shared (`shared_ptr`), so a composed endpoint and a bare
+ * endpoint may serve the very same stage object, and the meter may
+ * measure either.
+ */
+class ComposedPolicy final : public NoisePolicy
+{
+  public:
+    /** @param stages Non-empty, non-null chain, application order. */
+    explicit ComposedPolicy(
+        std::vector<std::shared_ptr<const NoisePolicy>> stages);
+
+    Tensor apply(const Tensor& activation,
+                 std::uint64_t request_id) const override;
+    Shape noise_shape() const override;
+    std::string name() const override;
+
+    const std::vector<std::shared_ptr<const NoisePolicy>>& stages() const
+    {
+        return stages_;
+    }
+
+  private:
+    std::vector<std::shared_ptr<const NoisePolicy>> stages_;
 };
 
 }  // namespace runtime

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Policy-contract conformance suite — the `NoisePolicy` prose contract
+ * (src/runtime/noise_policy.h) as executable law.
+ *
+ * A policy passes by instantiating the value-parameterized suite with
+ * one `PolicyContractCase` per configuration:
+ *
+ *     static std::vector<testing::PolicyContractCase> cases() { ... }
+ *     INSTANTIATE_TEST_SUITE_P(MyPolicies, PolicyContract,
+ *                              ::testing::ValuesIn(cases()),
+ *                              testing::policy_contract_name);
+ *
+ * The suite pins, for every case:
+ *
+ *  - **Purity in the request id** — the same id yields bit-exact output
+ *    across repeated calls AND across independently constructed policy
+ *    instances (`make()` twice), so serving results never depend on
+ *    call history or which replica handled the request.
+ *  - **Id sensitivity** — distinct ids yield different outputs (unless
+ *    the case opts out: id-independent mechanisms like none/fixed).
+ *  - **`apply_into ≡ apply`** — the server's fused hot path is
+ *    bit-identical to the definitional entry point.
+ *  - **Shape preservation + flat indexing** — output shape equals input
+ *    shape, and a flattened caller gets the same bits.
+ *  - **Concurrent determinism** — a 16-thread hammer on ONE shared
+ *    instance reproduces the serial reference bit-exactly (run under
+ *    TSan via the `contract` ctest label to catch silent races too).
+ *  - **Offline-recipe reproducibility** — when the case supplies the
+ *    documented from-first-principles recipe (seed math only), the
+ *    policy matches it bit-exactly.
+ */
+#ifndef SHREDDER_TESTS_POLICY_CONTRACT_H
+#define SHREDDER_TESTS_POLICY_CONTRACT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/noise_policy.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "tests/test_util.h"
+
+namespace shredder {
+namespace testing {
+
+/** One policy configuration under contract. */
+struct PolicyContractCase
+{
+    /** Instantiation suffix — alphanumeric + underscore only. */
+    std::string label;
+    /** Activation shape the policy is exercised on. */
+    Shape activation_shape;
+    /**
+     * Factory for a fresh, independently constructed instance of the
+     * SAME configuration (same seeds, same backing artifacts). Called
+     * multiple times; borrowed artifacts (e.g. a `ReplayPolicy`'s
+     * collection) must be owned by the factory's captures.
+     */
+    std::function<std::shared_ptr<const runtime::NoisePolicy>()> make;
+    /** False for mechanisms that ignore the id (none, fixed). */
+    bool id_sensitive = true;
+    /**
+     * Optional: recompute `apply(activation, id)` from first
+     * principles (the documented offline recipe — `noise_seed` plus
+     * the mechanism's draw). Null when the case pins no recipe.
+     */
+    std::function<Tensor(const Tensor&, std::uint64_t)> offline_recipe;
+};
+
+/** gtest name generator: the case label. */
+inline std::string
+policy_contract_name(
+    const ::testing::TestParamInfo<PolicyContractCase>& info)
+{
+    return info.param.label;
+}
+
+/** Value-parameterized fixture; see file comment for the law. */
+class PolicyContract
+    : public ::testing::TestWithParam<PolicyContractCase>
+{
+  protected:
+    /** Deterministic activation every test of a case agrees on. */
+    Tensor
+    activation() const
+    {
+        Rng rng(0x7E57AC7ULL);
+        return Tensor::normal(GetParam().activation_shape, rng);
+    }
+};
+
+TEST_P(PolicyContract, PureInRequestIdAcrossCallsAndInstances)
+{
+    const auto& param = GetParam();
+    const auto policy = param.make();
+    const auto replica = param.make();  // an independent "server"
+    const Tensor a = activation();
+    for (std::uint64_t id : {0ULL, 1ULL, 77ULL, (1ULL << 62) + 3ULL}) {
+        const Tensor first = policy->apply(a, id);
+        EXPECT_EQ(ops::max_abs_diff(first, policy->apply(a, id)), 0.0)
+            << "repeated call drifted for id " << id;
+        EXPECT_EQ(ops::max_abs_diff(first, replica->apply(a, id)), 0.0)
+            << "independent instance drifted for id " << id;
+    }
+    // Call-order independence: a fresh instance queried in reverse
+    // still agrees with the forward pass.
+    const auto reversed = param.make();
+    const Tensor at7 = policy->apply(a, 7);
+    const Tensor at2 = policy->apply(a, 2);
+    EXPECT_EQ(ops::max_abs_diff(reversed->apply(a, 2), at2), 0.0);
+    EXPECT_EQ(ops::max_abs_diff(reversed->apply(a, 7), at7), 0.0);
+}
+
+TEST_P(PolicyContract, IdSensitivityMatchesTheMechanism)
+{
+    const auto& param = GetParam();
+    const auto policy = param.make();
+    const Tensor a = activation();
+    const Tensor at0 = policy->apply(a, 0);
+    const Tensor at1 = policy->apply(a, 1);
+    if (param.id_sensitive) {
+        EXPECT_GT(ops::max_abs_diff(at0, at1), 0.0)
+            << "id-sensitive mechanism returned identical output for "
+               "distinct ids";
+    } else {
+        EXPECT_EQ(ops::max_abs_diff(at0, at1), 0.0)
+            << "id-independent mechanism varied with the id";
+    }
+}
+
+TEST_P(PolicyContract, ApplyIntoAgreesWithApply)
+{
+    const auto policy = GetParam().make();
+    const Tensor a = activation();
+    for (std::uint64_t id : {0ULL, 5ULL, 77ULL}) {
+        Tensor dst = a;  // apply_into expects the activation copy
+        policy->apply_into(a, id, dst.data());
+        testing::expect_tensors_near(dst, policy->apply(a, id), 0.0,
+                                     "apply_into vs apply");
+    }
+}
+
+TEST_P(PolicyContract, PreservesShapeAndIndexesFlat)
+{
+    const auto policy = GetParam().make();
+    const Tensor a = activation();
+    const Tensor out = policy->apply(a, 9);
+    EXPECT_EQ(out.shape().to_string(), a.shape().to_string());
+
+    const Tensor flat = a.reshaped(Shape({a.size()}));
+    const Tensor out_flat = policy->apply(flat, 9);
+    EXPECT_EQ(out_flat.shape().rank(), 1);
+    testing::expect_tensors_near(out.reshaped(Shape({a.size()})),
+                                 out_flat, 0.0,
+                                 "shape-preserving flat indexing");
+}
+
+TEST_P(PolicyContract, ConcurrentHammerIsBitExact)
+{
+    // 16 threads hammer ONE shared instance over interleaved ids via
+    // both entry points; every result must equal the serial reference
+    // bit-exactly. A data race on hidden shared state shows up here as
+    // a value mismatch (and as a TSan report under the contract
+    // label's sanitizer job).
+    const auto policy = GetParam().make();
+    const Tensor a = activation();
+    constexpr int kIds = 32;
+    std::vector<Tensor> reference;
+    reference.reserve(kIds);
+    for (int id = 0; id < kIds; ++id) {
+        reference.push_back(
+            policy->apply(a, static_cast<std::uint64_t>(id)));
+    }
+
+    constexpr int kThreads = 16;
+    std::vector<int> mismatches(kThreads, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Stagger the id order per thread so applies interleave.
+            for (int k = 0; k < kIds; ++k) {
+                const int id = (k + t) % kIds;
+                const auto uid = static_cast<std::uint64_t>(id);
+                const auto ref_index = static_cast<std::size_t>(id);
+                if (ops::max_abs_diff(policy->apply(a, uid),
+                                      reference[ref_index]) != 0.0) {
+                    ++mismatches[static_cast<std::size_t>(t)];
+                }
+                Tensor dst = a;
+                policy->apply_into(a, uid, dst.data());
+                if (ops::max_abs_diff(dst, reference[ref_index]) != 0.0) {
+                    ++mismatches[static_cast<std::size_t>(t)];
+                }
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0)
+            << "thread " << t << " saw nondeterministic noise";
+    }
+}
+
+TEST_P(PolicyContract, OfflineRecipeReproducesTheServedBits)
+{
+    const auto& param = GetParam();
+    if (!param.offline_recipe) {
+        GTEST_SKIP() << "case pins no offline recipe";
+    }
+    const auto policy = param.make();
+    const Tensor a = activation();
+    for (std::uint64_t id : {0ULL, 3ULL, 123456ULL}) {
+        testing::expect_tensors_near(policy->apply(a, id),
+                                     param.offline_recipe(a, id), 0.0,
+                                     "offline recipe vs served bits");
+    }
+}
+
+}  // namespace testing
+}  // namespace shredder
+
+#endif  // SHREDDER_TESTS_POLICY_CONTRACT_H

@@ -114,14 +114,23 @@ struct Fixture
     save(deploy::PolicyKind kind, std::uint64_t policy_seed,
          const std::string& filename)
     {
+        deploy::PolicySpec spec;
+        spec.kind = kind;
+        spec.seed = policy_seed;
+        return save_spec(spec, filename);
+    }
+
+    /** Save under a full policy spec (shuffle/composed encodings). */
+    std::string
+    save_spec(const deploy::PolicySpec& spec, const std::string& filename)
+    {
         const core::NoiseDistribution dist =
             core::NoiseDistribution::fit(collection);
         deploy::BundleContents contents;
         contents.network = net.get();
         contents.cut = cut;
         contents.input_shape = input;
-        contents.policy.kind = kind;
-        contents.policy.seed = policy_seed;
+        contents.policy = spec;
         contents.collection = &collection;
         contents.distribution = &dist;
         const std::string path = temp_path(filename);
@@ -416,6 +425,172 @@ TEST(Bundle, ColdStartSampleEndpointIsBitExactWithInProcess)
     std::remove(path.c_str());
 }
 
+// -- Shuffle / composed policy specs (format version 2) -------------------
+
+TEST(Bundle, ShuffleAndComposedSpecsRoundTrip)
+{
+    Fixture f;
+    {
+        deploy::PolicySpec spec;
+        spec.kind = deploy::PolicyKind::kShuffle;
+        spec.seed = 31337;
+        const std::string path = f.save_spec(spec, "spec_shuffle.shb");
+        deploy::Bundle b = deploy::load_bundle(path);
+        EXPECT_EQ(b.policy_spec().kind, deploy::PolicyKind::kShuffle);
+        EXPECT_EQ(b.policy_spec().seed, 31337u);
+        EXPECT_FALSE(b.policy_spec().rank_matched);
+        EXPECT_EQ(b.make_policy()->name(), "shuffle");
+        std::remove(path.c_str());
+    }
+    {
+        deploy::PolicySpec spec;
+        spec.kind = deploy::PolicyKind::kShuffle;
+        spec.seed = 31338;
+        spec.rank_matched = true;
+        const std::string path = f.save_spec(spec, "spec_rank.shb");
+        deploy::Bundle b = deploy::load_bundle(path);
+        EXPECT_TRUE(b.policy_spec().rank_matched);
+        EXPECT_EQ(b.make_policy()->name(), "shuffle-rank");
+        std::remove(path.c_str());
+    }
+    {
+        deploy::PolicySpec spec;
+        spec.kind = deploy::PolicyKind::kComposed;
+        deploy::PolicySpec replay_stage;
+        replay_stage.kind = deploy::PolicyKind::kReplay;
+        replay_stage.seed = 11;
+        deploy::PolicySpec shuffle_stage;
+        shuffle_stage.kind = deploy::PolicyKind::kShuffle;
+        shuffle_stage.seed = 22;
+        spec.stages = {replay_stage, shuffle_stage};
+        const std::string path = f.save_spec(spec, "spec_composed.shb");
+        deploy::Bundle b = deploy::load_bundle(path);
+        EXPECT_EQ(b.policy_spec().kind, deploy::PolicyKind::kComposed);
+        ASSERT_EQ(b.policy_spec().stages.size(), 2u);
+        EXPECT_EQ(b.policy_spec().stages[0].kind,
+                  deploy::PolicyKind::kReplay);
+        EXPECT_EQ(b.policy_spec().stages[0].seed, 11u);
+        EXPECT_EQ(b.policy_spec().stages[1].kind,
+                  deploy::PolicyKind::kShuffle);
+        EXPECT_EQ(b.policy_spec().stages[1].seed, 22u);
+        EXPECT_EQ(b.make_policy()->name(), "replay+shuffle");
+        std::remove(path.c_str());
+    }
+    EXPECT_STREQ(deploy::to_string(deploy::PolicyKind::kShuffle),
+                 "shuffle");
+    EXPECT_STREQ(deploy::to_string(deploy::PolicyKind::kComposed),
+                 "composed");
+}
+
+// Cold-start pin for a shuffled endpoint, mirroring the replay/sample
+// pins above.
+TEST(Bundle, ColdStartShuffleEndpointIsBitExactWithInProcess)
+{
+    Fixture f;
+    const std::uint64_t seed = 777;
+    const std::string path =
+        f.save(deploy::PolicyKind::kShuffle, seed, "bundle_shuffle.shb");
+
+    const runtime::ShufflePolicy reference_policy(seed);
+    ServingEngine engine;
+    engine.register_endpoint_from_bundle("lenet-shuffle", path);
+    engine.register_endpoint(
+        "in-process", f.model,
+        std::make_shared<runtime::ShufflePolicy>(seed));
+
+    nn::ExecutionContext ref_ctx;
+    for (std::uint64_t id = 0; id < 16; ++id) {
+        const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+        const Tensor served =
+            engine.submit("lenet-shuffle", act, id).get();
+        const Tensor in_process =
+            engine.submit("in-process", act, id).get();
+        const Tensor offline =
+            f.model
+                .cloud_forward(
+                    reference_policy.apply(act, id).reshaped(f.act_shape),
+                    ref_ctx)
+                .reshaped(Shape({10}));  // Server scatters rank-1 logits.
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, in_process), 0.0)
+            << "id " << id;
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, offline), 0.0)
+            << "id " << id;
+    }
+    std::remove(path.c_str());
+}
+
+// The acceptance pin: a ComposedPolicy bundle cold-started by the
+// engine (the shredder_serve path) is bit-exact with its in-process
+// counterpart and the offline stage-by-stage recipe.
+TEST(Bundle, ColdStartComposedEndpointIsBitExactWithInProcess)
+{
+    Fixture f;
+    deploy::PolicySpec spec;
+    spec.kind = deploy::PolicyKind::kComposed;
+    deploy::PolicySpec replay_stage;
+    replay_stage.kind = deploy::PolicyKind::kReplay;
+    replay_stage.seed = 41;
+    deploy::PolicySpec shuffle_stage;
+    shuffle_stage.kind = deploy::PolicyKind::kShuffle;
+    shuffle_stage.seed = 42;
+    spec.stages = {replay_stage, shuffle_stage};
+    const std::string path = f.save_spec(spec, "bundle_composed.shb");
+
+    const auto replay =
+        std::make_shared<ReplayPolicy>(f.collection, replay_stage.seed);
+    const auto shuffle =
+        std::make_shared<runtime::ShufflePolicy>(shuffle_stage.seed);
+    const auto reference_policy =
+        std::make_shared<runtime::ComposedPolicy>(
+            std::vector<std::shared_ptr<const runtime::NoisePolicy>>{
+                replay, shuffle});
+
+    ServingEngine engine;
+    engine.register_endpoint_from_bundle("lenet-composed", path);
+    engine.register_endpoint("in-process", f.model, reference_policy);
+    EXPECT_EQ(engine.policy("lenet-composed").name(), "replay+shuffle");
+
+    nn::ExecutionContext ref_ctx;
+    for (std::uint64_t id = 0; id < 16; ++id) {
+        const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+        const Tensor served =
+            engine.submit("lenet-composed", act, id).get();
+        const Tensor in_process =
+            engine.submit("in-process", act, id).get();
+        // Offline recipe: each stage in order under the same id.
+        const Tensor staged =
+            shuffle->apply(replay->apply(act, id), id);
+        const Tensor offline =
+            f.model.cloud_forward(staged.reshaped(f.act_shape), ref_ctx)
+                .reshaped(Shape({10}));  // Server scatters rank-1 logits.
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, in_process), 0.0)
+            << "id " << id;
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served, offline), 0.0)
+            << "id " << id;
+    }
+    std::remove(path.c_str());
+}
+
+// Version-1 files (policy kinds 0-3, no spec extras) must keep
+// loading: the v2 encoding of those kinds is byte-identical except the
+// version field.
+TEST(Bundle, VersionOneReplayBundleStillLoads)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 55, "v1_replay.shb");
+    std::string bytes = slurp(path);
+    ASSERT_EQ(bytes[4], 2);  // Version field (bytes 4..7, LE).
+    bytes[4] = 1;
+    spew(path, bytes);
+
+    deploy::Bundle b = deploy::load_bundle(path);
+    EXPECT_EQ(b.policy_spec().kind, deploy::PolicyKind::kReplay);
+    EXPECT_EQ(b.policy_spec().seed, 55u);
+    EXPECT_EQ(b.make_policy()->name(), "replay");
+    std::remove(path.c_str());
+}
+
 // -- Manifest cold start --------------------------------------------------
 
 TEST(Manifest, ColdStartsMultiEndpointEngine)
@@ -618,6 +793,122 @@ TEST(BundleTrustBoundary, InconsistentTopologyIsTypedNotFatal)
     const std::size_t dim0_off = 4 * 3 + 8 + 4;
     ASSERT_EQ(bytes[dim0_off], 1);
     bytes[dim0_off] = 3;
+    spew(path, bytes);
+    expect_load_error(path, ServingErrorCode::kBadBundle);
+    std::remove(path.c_str());
+}
+
+// Every prefix of a v2 bundle carrying a composed policy spec — which
+// exercises the full spec grammar: composed header, stage list, the
+// shuffle variant flag — must yield a typed error, never a crash. The
+// sweep walks byte-by-byte through the whole header + spec region and
+// then samples deeper cuts.
+TEST(BundleTrustBoundary, ComposedSpecTruncationSweepIsTyped)
+{
+    Fixture f;
+    deploy::PolicySpec spec;
+    spec.kind = deploy::PolicyKind::kComposed;
+    deploy::PolicySpec sample_stage;
+    sample_stage.kind = deploy::PolicyKind::kSample;
+    sample_stage.seed = 1;
+    deploy::PolicySpec shuffle_stage;
+    shuffle_stage.kind = deploy::PolicyKind::kShuffle;
+    shuffle_stage.seed = 2;
+    shuffle_stage.rank_matched = true;
+    spec.stages = {sample_stage, shuffle_stage};
+    const std::string path = f.save_spec(spec, "trunc_spec.shb");
+    const std::string bytes = slurp(path);
+
+    // Spec region: magic(4) + version(4), then kind(4)+seed(8) +
+    // count(4) + stage0 kind(4)+seed(8) + stage1 kind(4)+seed(8)+
+    // flag(1) = 49 bytes of header+spec.
+    const std::size_t spec_end = 49;
+    ASSERT_GT(bytes.size(), spec_end);
+    for (std::size_t keep = 0; keep <= spec_end; ++keep) {
+        spew(path, bytes.substr(0, keep));
+        expect_load_error(path, ServingErrorCode::kBadBundle);
+    }
+    for (const std::size_t keep :
+         {spec_end + 9, bytes.size() / 2, bytes.size() - 1}) {
+        spew(path, bytes.substr(0, keep));
+        expect_load_error(path, ServingErrorCode::kBadBundle);
+    }
+    std::remove(path.c_str());
+}
+
+// Malformed spec bytes: out-of-range stage counts (the composed-depth
+// limit), nested composition, unknown kinds, bad variant flags — all
+// typed, never fatal.
+TEST(BundleTrustBoundary, MalformedPolicySpecBytesAreTyped)
+{
+    Fixture f;
+    deploy::PolicySpec spec;
+    spec.kind = deploy::PolicyKind::kComposed;
+    deploy::PolicySpec replay_stage;
+    replay_stage.kind = deploy::PolicyKind::kReplay;
+    deploy::PolicySpec shuffle_stage;
+    shuffle_stage.kind = deploy::PolicyKind::kShuffle;
+    spec.stages = {replay_stage, shuffle_stage};
+    const std::string path = f.save_spec(spec, "bad_spec.shb");
+    const std::string bytes = slurp(path);
+    // Offsets: kind u32 @8, seed u64 @12, count u32 @20, stage0 kind
+    // u32 @24, stage0 seed u64 @28, stage1 kind u32 @36.
+    const auto patched = [&](std::size_t off, char value) {
+        std::string mutated = bytes;
+        mutated[off] = value;
+        spew(path, mutated);
+        expect_load_error(path, ServingErrorCode::kBadBundle);
+    };
+    patched(8, 6);    // unknown top-level policy kind
+    patched(20, 0);   // composed with zero stages
+    patched(20, 9);   // stage count above kMaxComposedStages
+    patched(24, 5);   // nested composed stage
+    patched(24, 7);   // unknown stage kind
+    std::remove(path.c_str());
+
+    // A shuffle spec with a bad variant flag (offset 20, after
+    // kind+seed) is damage, not a future format.
+    const std::string shuffle_path =
+        f.save(deploy::PolicyKind::kShuffle, 1, "bad_flag.shb");
+    std::string mutated = slurp(shuffle_path);
+    ASSERT_EQ(mutated[20], 0);
+    mutated[20] = 2;
+    spew(shuffle_path, mutated);
+    expect_load_error(shuffle_path, ServingErrorCode::kBadBundle);
+    std::remove(shuffle_path.c_str());
+}
+
+// A version-1 file cannot carry the v2-only kinds: a patched version
+// byte must not smuggle a shuffle spec past the v1 grammar.
+TEST(BundleTrustBoundary, VersionOneRejectsShuffleKinds)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kShuffle, 1, "v1_shuffle.shb");
+    std::string bytes = slurp(path);
+    bytes[4] = 1;  // Claim version 1; kind 4 is out of its grammar.
+    spew(path, bytes);
+    expect_load_error(path, ServingErrorCode::kBadBundle);
+    std::remove(path.c_str());
+}
+
+// The rank-matched shuffle variant needs the bundled distribution;
+// flipping the flag on a bundle saved without one is inconsistent.
+TEST(BundleTrustBoundary, RankShuffleWithoutDistributionIsTyped)
+{
+    Fixture f;
+    deploy::BundleContents contents;
+    contents.network = f.net.get();
+    contents.cut = f.cut;
+    contents.input_shape = f.input;
+    contents.policy.kind = deploy::PolicyKind::kShuffle;
+    contents.policy.seed = 3;
+    const std::string path = temp_path("rank_no_dist.shb");
+    deploy::save_bundle(path, contents);  // plain shuffle, no artifacts
+
+    std::string bytes = slurp(path);
+    ASSERT_EQ(bytes[20], 0);  // variant flag after kind+seed
+    bytes[20] = 1;            // claim rank-matched
     spew(path, bytes);
     expect_load_error(path, ServingErrorCode::kBadBundle);
     std::remove(path.c_str());

@@ -185,6 +185,7 @@ TEST(Attack, NoiseDegradesReconstruction)
                                            cfg);
     EXPECT_GT(clean.decoder_params, 0);
     EXPECT_LT(clean.eval_mse, 0.09);  // clean activations reconstruct
+    EXPECT_GT(clean.eval_ssim, 0.3);  // and keep their structure
 
     // Big random noise collection (no training needed for this check).
     core::NoiseCollection col;
@@ -199,10 +200,13 @@ TEST(Attack, NoiseDegradesReconstruction)
                            .value();
         col.add(std::move(sample));
     }
+    const runtime::ReplayPolicy replay(col, /*seed=*/4242);
     const auto noisy =
-        attacks::run_reconstruction_attack(model, train, eval, &col, cfg);
+        attacks::run_reconstruction_attack(model, train, eval, &replay,
+                                           cfg);
     EXPECT_GT(noisy.eval_mse, 1.3 * clean.eval_mse);
     EXPECT_LT(noisy.eval_psnr_db, clean.eval_psnr_db);
+    EXPECT_LT(noisy.eval_ssim, clean.eval_ssim);
 }
 
 }  // namespace

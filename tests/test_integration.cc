@@ -288,6 +288,13 @@ TEST_F(ShredderEndToEnd, SamplingCollectionKeepsAccuracy)
     // Extension metrics populated by default.
     EXPECT_GT(result.distribution_mi, 0.0);
     EXPECT_LT(result.distribution_mi, result.original_mi);
+    // Shuffle matrix rows (measure_shuffle defaults on): scrambling
+    // the wire collapses the dimension-wise MI estimate, alone and
+    // composed with either noise mode.
+    EXPECT_GT(result.shuffle_mi, 0.0);
+    EXPECT_LT(result.shuffle_mi, result.original_mi);
+    EXPECT_LT(result.shuffle_replay_mi, result.original_mi);
+    EXPECT_LT(result.shuffle_sample_mi, result.original_mi);
 }
 
 }  // namespace

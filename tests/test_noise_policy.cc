@@ -1,11 +1,18 @@
 /**
  * @file
- * Tests for the noise-policy abstraction: determinism in the request
- * id, bit-exact agreement with the offline draw recipes, thread
- * safety, and the policy/meter seeding contract.
+ * Tests for the noise-policy abstraction. The generic guarantees —
+ * purity in the request id, apply_into ≡ apply, shape preservation,
+ * concurrent determinism, offline-recipe reproducibility — are pinned
+ * by the shared conformance suite (tests/policy_contract.h),
+ * instantiated here for the four core policies. What remains below is
+ * the mechanism-specific behavior the suite cannot know: the seeding
+ * compatibility contract, constructor conveniences, and misuse death
+ * tests. (The shuffle/composed instantiations live in
+ * tests/test_shuffle_policy.cc.)
  */
 #include <cstdint>
-#include <thread>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +23,7 @@
 #include "src/runtime/inference_server.h"
 #include "src/runtime/noise_policy.h"
 #include "src/tensor/ops.h"
+#include "tests/policy_contract.h"
 #include "tests/test_util.h"
 
 namespace shredder {
@@ -26,6 +34,7 @@ using runtime::NoNoisePolicy;
 using runtime::ReplayPolicy;
 using runtime::SamplePolicy;
 using runtime::noise_seed;
+using testing::PolicyContract;
 
 constexpr std::uint64_t kSeed = 0xBADF00DULL;
 
@@ -48,6 +57,85 @@ make_collection(int n, std::uint64_t seed = 99)
     return c;
 }
 
+// ---------------------------------------------------------------------
+// Conformance: the four core policies under the shared contract suite.
+// Factories own their backing artifacts via shared_ptr captures, since
+// a ReplayPolicy borrows its collection.
+// ---------------------------------------------------------------------
+
+std::vector<testing::PolicyContractCase>
+core_policy_cases()
+{
+    std::vector<testing::PolicyContractCase> cases;
+    {
+        testing::PolicyContractCase c;
+        c.label = "none";
+        c.activation_shape = noise_shape();
+        c.make = [] { return std::make_shared<NoNoisePolicy>(); };
+        c.id_sensitive = false;
+        c.offline_recipe = [](const Tensor& a, std::uint64_t) {
+            return a;  // the identity IS the recipe
+        };
+        cases.push_back(std::move(c));
+    }
+    {
+        const auto coll = std::make_shared<core::NoiseCollection>(
+            make_collection(4));
+        testing::PolicyContractCase c;
+        c.label = "replay";
+        c.activation_shape = noise_shape();
+        c.make = [coll] {
+            return std::make_shared<ReplayPolicy>(*coll, kSeed);
+        };
+        // The documented offline replay: draw under Rng(noise_seed).
+        c.offline_recipe = [coll](const Tensor& a, std::uint64_t id) {
+            Rng draw_rng(noise_seed(kSeed, id));
+            return ops::add(a, coll->draw(draw_rng).noise);
+        };
+        cases.push_back(std::move(c));
+    }
+    {
+        const auto dist = std::make_shared<core::NoiseDistribution>(
+            core::NoiseDistribution::fit(make_collection(3)));
+        testing::PolicyContractCase c;
+        c.label = "sample";
+        c.activation_shape = noise_shape();
+        c.make = [dist] {
+            return std::make_shared<SamplePolicy>(*dist, kSeed);
+        };
+        c.offline_recipe = [dist](const Tensor& a, std::uint64_t id) {
+            Rng draw_rng(noise_seed(kSeed, id));
+            return ops::add(a, dist->sample(draw_rng));
+        };
+        cases.push_back(std::move(c));
+    }
+    {
+        Rng rng(9);
+        const auto noise = std::make_shared<Tensor>(
+            Tensor::normal(noise_shape(), rng));
+        testing::PolicyContractCase c;
+        c.label = "fixed";
+        c.activation_shape = noise_shape();
+        c.make = [noise] {
+            return std::make_shared<FixedNoisePolicy>(*noise);
+        };
+        c.id_sensitive = false;
+        c.offline_recipe = [noise](const Tensor& a, std::uint64_t) {
+            return ops::add(a, *noise);
+        };
+        cases.push_back(std::move(c));
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(CorePolicies, PolicyContract,
+                         ::testing::ValuesIn(core_policy_cases()),
+                         testing::policy_contract_name);
+
+// ---------------------------------------------------------------------
+// Mechanism-specific behavior the generic suite cannot know.
+// ---------------------------------------------------------------------
+
 TEST(NoiseSeed, MatchesTheServerStaticForCompatibility)
 {
     // The free function is the canonical definition; the old static
@@ -61,81 +149,45 @@ TEST(NoiseSeed, MatchesTheServerStaticForCompatibility)
     }
 }
 
-TEST(NoNoisePolicy, IsTheIdentity)
-{
-    Rng rng(3);
-    const Tensor a = Tensor::normal(noise_shape(), rng);
-    NoNoisePolicy policy;
-    const Tensor out = policy.apply(a, 42);
-    testing::expect_tensors_near(out, a, 0.0, "no-noise identity");
-    EXPECT_EQ(policy.noise_shape().rank(), 0);
-    EXPECT_EQ(policy.name(), "none");
-}
-
-TEST(ReplayPolicy, MatchesTheOfflineDrawRecipeBitExactly)
-{
-    const core::NoiseCollection coll = make_collection(4);
-    ReplayPolicy policy(coll, kSeed);
-    EXPECT_EQ(policy.name(), "replay");
-    EXPECT_EQ(policy.noise_shape().to_string(),
-              noise_shape().to_string());
-
-    Rng rng(5);
-    const Tensor a = Tensor::normal(noise_shape(), rng);
-    for (std::uint64_t id = 0; id < 16; ++id) {
-        const Tensor got = policy.apply(a, id);
-        // The documented offline replay: draw under Rng(noise_seed).
-        Rng draw_rng(noise_seed(kSeed, id));
-        const Tensor expected = ops::add(a, coll.draw(draw_rng).noise);
-        testing::expect_tensors_near(got, expected, 0.0,
-                                     "replay vs offline draw");
-    }
-}
-
-TEST(ReplayPolicy, FlattenedActivationGetsTheSameNoise)
-{
-    // Policies add by flat index: a [C,H,W] caller and a [C·H·W]
-    // caller with the same bits get the same bits back.
-    const core::NoiseCollection coll = make_collection(3);
-    ReplayPolicy policy(coll, kSeed);
-    Rng rng(6);
-    const Tensor a = Tensor::normal(noise_shape(), rng);
-    const Tensor flat = a.reshaped(Shape({a.size()}));
-    const Tensor out = policy.apply(a, 9);
-    const Tensor out_flat = policy.apply(flat, 9);
-    EXPECT_EQ(out_flat.shape().rank(), 1);
-    testing::expect_tensors_near(
-        out.reshaped(Shape({a.size()})), out_flat, 0.0,
-        "shape-preserving flat add");
-}
-
-TEST(SamplePolicy, DeterministicPerIdAndIndependentAcrossIds)
+TEST(NoisePolicy, NamesAndShapeContracts)
 {
     const core::NoiseCollection coll = make_collection(3);
     const core::NoiseDistribution dist =
         core::NoiseDistribution::fit(coll);
-    SamplePolicy policy(dist, kSeed);
-    EXPECT_EQ(policy.name(), "sample");
-    EXPECT_EQ(policy.noise_shape().to_string(),
+    Rng rng(9);
+    const Tensor noise = Tensor::normal(noise_shape(), rng);
+
+    const NoNoisePolicy none;
+    EXPECT_EQ(none.name(), "none");
+    EXPECT_EQ(none.noise_shape().rank(), 0);
+
+    const ReplayPolicy replay(coll, kSeed);
+    EXPECT_EQ(replay.name(), "replay");
+    EXPECT_EQ(replay.noise_shape().to_string(),
               noise_shape().to_string());
 
+    const SamplePolicy sample(dist, kSeed);
+    EXPECT_EQ(sample.name(), "sample");
+    EXPECT_EQ(sample.noise_shape().to_string(),
+              noise_shape().to_string());
+
+    const FixedNoisePolicy fixed(noise);
+    EXPECT_EQ(fixed.name(), "fixed");
+    EXPECT_EQ(fixed.noise_shape().to_string(),
+              noise_shape().to_string());
+}
+
+TEST(SamplePolicy, FreshNoiseAcrossIdsAndSeeds)
+{
+    // The information-destruction point: distinct ids draw fresh
+    // noise, and another root seed draws differently still.
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(make_collection(3));
+    SamplePolicy policy(dist, kSeed);
     Rng rng(7);
     const Tensor a = Tensor::normal(noise_shape(), rng);
-
-    // Same id → bit-identical; the offline recipe reproduces it.
     const Tensor first = policy.apply(a, 3);
-    const Tensor again = policy.apply(a, 3);
-    testing::expect_tensors_near(first, again, 0.0, "same-id determinism");
-    Rng draw_rng(noise_seed(kSeed, 3));
-    const Tensor expected = ops::add(a, dist.sample(draw_rng));
-    testing::expect_tensors_near(first, expected, 0.0,
-                                 "sample vs offline draw");
-
-    // Distinct ids → fresh noise (the information-destruction point).
-    const Tensor other = policy.apply(a, 4);
-    EXPECT_GT(ops::max_abs_diff(first, other), 1e-4);
-
-    // A policy with another root seed draws differently.
+    EXPECT_GT(ops::max_abs_diff(first, policy.apply(a, 4)), 1e-4);
     SamplePolicy reseeded(dist, kSeed + 1);
     EXPECT_GT(ops::max_abs_diff(first, reseeded.apply(a, 3)), 1e-4);
 }
@@ -150,94 +202,6 @@ TEST(SamplePolicy, FitConvenienceConstructorMatchesExplicitFit)
     testing::expect_tensors_near(from_coll.apply(a, 11),
                                  from_dist.apply(a, 11), 0.0,
                                  "fit convenience ctor");
-}
-
-TEST(FixedNoisePolicy, IgnoresTheRequestId)
-{
-    Rng rng(9);
-    const Tensor noise = Tensor::normal(noise_shape(), rng);
-    const Tensor a = Tensor::normal(noise_shape(), rng);
-    FixedNoisePolicy policy(noise);
-    EXPECT_EQ(policy.name(), "fixed");
-    const Tensor expected = ops::add(a, noise);
-    for (std::uint64_t id : {0ULL, 1ULL, 1234567ULL}) {
-        testing::expect_tensors_near(policy.apply(a, id), expected, 0.0,
-                                     "fixed noise is id-independent");
-    }
-}
-
-TEST(NoisePolicy, ApplyIntoAgreesWithApply)
-{
-    // The server's hot path (`apply_into` on the fused row) must be
-    // bit-identical to the definitional `apply`.
-    const core::NoiseCollection coll = make_collection(3);
-    const core::NoiseDistribution dist =
-        core::NoiseDistribution::fit(coll);
-    Rng rng(10);
-    const Tensor a = Tensor::normal(noise_shape(), rng);
-
-    const ReplayPolicy replay(coll, kSeed);
-    const SamplePolicy sample(dist, kSeed);
-    const NoNoisePolicy none;
-    const runtime::NoisePolicy* policies[] = {&replay, &sample, &none};
-    for (const runtime::NoisePolicy* policy : policies) {
-        for (std::uint64_t id : {0ULL, 5ULL, 77ULL}) {
-            Tensor dst = a;  // apply_into expects the activation copy
-            policy->apply_into(a, id, dst.data());
-            testing::expect_tensors_near(dst, policy->apply(a, id), 0.0,
-                                         "apply_into vs apply");
-        }
-    }
-}
-
-TEST(NoisePolicy, ConcurrentApplyIsRaceFreeAndDeterministic)
-{
-    // Many threads hammer ONE policy object with the same ids; every
-    // result must equal the serial reference bit-exactly. (Run under
-    // TSAN to catch shared-state regressions; a data race on a shared
-    // RNG would also show up here as a value mismatch.)
-    const core::NoiseCollection coll = make_collection(4);
-    const core::NoiseDistribution dist =
-        core::NoiseDistribution::fit(coll);
-    const ReplayPolicy replay(coll, kSeed);
-    const SamplePolicy sample(dist, kSeed);
-
-    Rng rng(11);
-    const Tensor a = Tensor::normal(noise_shape(), rng);
-    constexpr int kIds = 32;
-    std::vector<Tensor> replay_ref, sample_ref;
-    for (int id = 0; id < kIds; ++id) {
-        replay_ref.push_back(
-            replay.apply(a, static_cast<std::uint64_t>(id)));
-        sample_ref.push_back(
-            sample.apply(a, static_cast<std::uint64_t>(id)));
-    }
-
-    constexpr int kThreads = 4;
-    std::vector<std::thread> threads;
-    std::vector<int> mismatches(kThreads, 0);
-    for (int t = 0; t < kThreads; ++t) {
-        threads.emplace_back([&, t] {
-            for (int id = 0; id < kIds; ++id) {
-                const auto uid = static_cast<std::uint64_t>(id);
-                if (ops::max_abs_diff(replay.apply(a, uid),
-                                      replay_ref[static_cast<std::size_t>(
-                                          id)]) != 0.0 ||
-                    ops::max_abs_diff(sample.apply(a, uid),
-                                      sample_ref[static_cast<std::size_t>(
-                                          id)]) != 0.0) {
-                    ++mismatches[static_cast<std::size_t>(t)];
-                }
-            }
-        });
-    }
-    for (auto& thread : threads) {
-        thread.join();
-    }
-    for (int t = 0; t < kThreads; ++t) {
-        EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0)
-            << "thread " << t << " saw nondeterministic noise";
-    }
 }
 
 TEST(NoisePolicyDeath, ReplayPolicyRejectsEmptyCollection)

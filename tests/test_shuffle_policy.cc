@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the shuffling mechanism and policy composition:
+ * `ShufflePolicy` (plain per-request permutation and the rank-matched
+ * argsort variant) and `ComposedPolicy` (ordered policy chains). The
+ * generic guarantees run through the shared conformance suite
+ * (tests/policy_contract.h) — instantiated here for shuffle (both
+ * variants) and two composed chains — and the mechanism-specific laws
+ * (exact invertibility, multiset preservation, rank matching,
+ * composition order, shape pinning, misuse deaths) are pinned below.
+ */
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/noise_collection.h"
+#include "src/core/noise_distribution.h"
+#include "src/runtime/noise_policy.h"
+#include "src/tensor/ops.h"
+#include "tests/policy_contract.h"
+#include "tests/test_util.h"
+
+namespace shredder {
+namespace {
+
+using runtime::ComposedPolicy;
+using runtime::NoisePolicy;
+using runtime::ReplayPolicy;
+using runtime::SamplePolicy;
+using runtime::ShufflePolicy;
+using runtime::noise_seed;
+using testing::PolicyContract;
+
+Shape
+noise_shape()
+{
+    return Shape({4, 5, 5});
+}
+
+core::NoiseCollection
+make_collection(int n, std::uint64_t seed = 99)
+{
+    Rng rng(seed);
+    core::NoiseCollection c;
+    for (int i = 0; i < n; ++i) {
+        core::NoiseSample s;
+        s.noise = Tensor::normal(noise_shape(), rng);
+        c.add(std::move(s));
+    }
+    return c;
+}
+
+/** The documented stable argsort (value order, index tie-break). */
+std::vector<std::int64_t>
+argsort(const float* data, std::int64_t n)
+{
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [data](std::int64_t a, std::int64_t b) {
+                  return data[a] != data[b] ? data[a] < data[b] : a < b;
+              });
+    return idx;
+}
+
+/** Offline recipe of the plain shuffle: out[j] = a[perm_id[j]]. */
+Tensor
+offline_shuffle(const Tensor& a, std::uint64_t seed, std::uint64_t id)
+{
+    Rng draw_rng(noise_seed(seed, id));
+    const std::vector<std::int64_t> perm =
+        draw_rng.permutation(a.size());
+    Tensor out = a;
+    for (std::int64_t j = 0; j < a.size(); ++j) {
+        out.data()[j] = a.data()[perm[static_cast<std::size_t>(j)]];
+    }
+    return out;
+}
+
+/**
+ * Offline recipe of the rank-matched variant: fresh draw, k-th
+ * smallest draw added at the position of the k-th smallest element.
+ */
+Tensor
+offline_rank_shuffle(const Tensor& a, const core::NoiseDistribution& dist,
+                     std::uint64_t seed, std::uint64_t id)
+{
+    Rng draw_rng(noise_seed(seed, id));
+    const Tensor noise = dist.sample(draw_rng);
+    const std::vector<std::int64_t> act_rank = argsort(a.data(), a.size());
+    const std::vector<std::int64_t> noise_rank =
+        argsort(noise.data(), noise.size());
+    Tensor out = a;
+    for (std::int64_t k = 0; k < a.size(); ++k) {
+        out.data()[act_rank[static_cast<std::size_t>(k)]] +=
+            noise.data()[noise_rank[static_cast<std::size_t>(k)]];
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Conformance: shuffle (both variants) and two composed chains.
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t kSeedA = 0xA11CE;   // additive stage seed
+constexpr std::uint64_t kSeedB = 0xB0BB1E;  // shuffle stage seed
+
+std::vector<testing::PolicyContractCase>
+shuffle_policy_cases()
+{
+    std::vector<testing::PolicyContractCase> cases;
+    {
+        testing::PolicyContractCase c;
+        c.label = "shuffle";
+        c.activation_shape = noise_shape();
+        c.make = [] { return std::make_shared<ShufflePolicy>(kSeedB); };
+        c.offline_recipe = [](const Tensor& a, std::uint64_t id) {
+            return offline_shuffle(a, kSeedB, id);
+        };
+        cases.push_back(std::move(c));
+    }
+    {
+        const auto dist = std::make_shared<core::NoiseDistribution>(
+            core::NoiseDistribution::fit(make_collection(3)));
+        testing::PolicyContractCase c;
+        c.label = "shuffle_rank";
+        c.activation_shape = noise_shape();
+        c.make = [dist] {
+            return std::make_shared<ShufflePolicy>(*dist, kSeedB);
+        };
+        c.offline_recipe = [dist](const Tensor& a, std::uint64_t id) {
+            return offline_rank_shuffle(a, *dist, kSeedB, id);
+        };
+        cases.push_back(std::move(c));
+    }
+    {
+        // shuffle∘sample: additive noise first, then permutation —
+        // per-stage root seeds, same request id.
+        const auto dist = std::make_shared<core::NoiseDistribution>(
+            core::NoiseDistribution::fit(make_collection(3)));
+        testing::PolicyContractCase c;
+        c.label = "composed_sample_shuffle";
+        c.activation_shape = noise_shape();
+        c.make = [dist] {
+            return std::make_shared<ComposedPolicy>(
+                std::vector<std::shared_ptr<const NoisePolicy>>{
+                    std::make_shared<SamplePolicy>(*dist, kSeedA),
+                    std::make_shared<ShufflePolicy>(kSeedB)});
+        };
+        c.offline_recipe = [dist](const Tensor& a, std::uint64_t id) {
+            Rng draw_rng(noise_seed(kSeedA, id));
+            const Tensor noised = ops::add(a, dist->sample(draw_rng));
+            return offline_shuffle(noised, kSeedB, id);
+        };
+        cases.push_back(std::move(c));
+    }
+    {
+        // shuffle∘replay on a shared collection.
+        const auto coll = std::make_shared<core::NoiseCollection>(
+            make_collection(4));
+        testing::PolicyContractCase c;
+        c.label = "composed_replay_shuffle";
+        c.activation_shape = noise_shape();
+        c.make = [coll] {
+            return std::make_shared<ComposedPolicy>(
+                std::vector<std::shared_ptr<const NoisePolicy>>{
+                    std::make_shared<ReplayPolicy>(*coll, kSeedA),
+                    std::make_shared<ShufflePolicy>(kSeedB)});
+        };
+        c.offline_recipe = [coll](const Tensor& a, std::uint64_t id) {
+            Rng draw_rng(noise_seed(kSeedA, id));
+            const Tensor noised = ops::add(a, coll->draw(draw_rng).noise);
+            return offline_shuffle(noised, kSeedB, id);
+        };
+        cases.push_back(std::move(c));
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShufflePolicies, PolicyContract,
+                         ::testing::ValuesIn(shuffle_policy_cases()),
+                         testing::policy_contract_name);
+
+// ---------------------------------------------------------------------
+// Mechanism-specific laws.
+// ---------------------------------------------------------------------
+
+TEST(ShufflePolicy, PermutationPreservesTheValueMultiset)
+{
+    ShufflePolicy policy(kSeedB);
+    EXPECT_EQ(policy.name(), "shuffle");
+    EXPECT_FALSE(policy.rank_matched());
+    EXPECT_EQ(policy.noise_shape().rank(), 0);  // any shape welcome
+
+    Rng rng(5);
+    const Tensor a = Tensor::normal(noise_shape(), rng);
+    const Tensor out = policy.apply(a, 42);
+    // Positions move, values survive: the sorted multisets agree.
+    std::vector<float> va(a.data(), a.data() + a.size());
+    std::vector<float> vo(out.data(), out.data() + out.size());
+    std::sort(va.begin(), va.end());
+    std::sort(vo.begin(), vo.end());
+    EXPECT_EQ(va, vo);
+    // And the permutation actually moved something.
+    EXPECT_GT(ops::max_abs_diff(out, a), 0.0);
+}
+
+TEST(ShufflePolicy, InvertRecoversTheExactActivation)
+{
+    // The trusted-cloud story: a party holding (seed, id) undoes the
+    // permutation bit-exactly — even on an independent instance.
+    ShufflePolicy edge(kSeedB);
+    ShufflePolicy cloud(kSeedB);
+    Rng rng(6);
+    const Tensor a = Tensor::normal(noise_shape(), rng);
+    for (std::uint64_t id : {0ULL, 7ULL, 999999ULL}) {
+        const Tensor wire = edge.apply(a, id);
+        testing::expect_tensors_near(cloud.invert(wire, id), a, 0.0,
+                                     "shuffle round trip");
+    }
+}
+
+TEST(ShufflePolicy, RankMatchedAddsRankCorrelatedNoise)
+{
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(make_collection(3));
+    ShufflePolicy policy(dist, kSeedB);
+    EXPECT_EQ(policy.name(), "shuffle-rank");
+    EXPECT_TRUE(policy.rank_matched());
+    EXPECT_EQ(policy.noise_shape().to_string(),
+              noise_shape().to_string());
+
+    // On a strictly ascending activation the argsort is the identity,
+    // so the added noise must come out in ascending order too.
+    Tensor ascending(noise_shape());
+    for (std::int64_t j = 0; j < ascending.size(); ++j) {
+        ascending.data()[j] = static_cast<float>(j) * 0.25f;
+    }
+    const Tensor out = policy.apply(ascending, 3);
+    for (std::int64_t j = 1; j < out.size(); ++j) {
+        const float prev = out.data()[j - 1] - ascending.data()[j - 1];
+        const float cur = out.data()[j] - ascending.data()[j];
+        ASSERT_LE(prev, cur) << "draws not rank-matched at index " << j;
+    }
+}
+
+TEST(ComposedPolicy, AppliesStagesInOrderUnderTheSameId)
+{
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(make_collection(3));
+    const auto sample = std::make_shared<SamplePolicy>(dist, kSeedA);
+    const auto shuffle = std::make_shared<ShufflePolicy>(kSeedB);
+    const ComposedPolicy composed(
+        std::vector<std::shared_ptr<const NoisePolicy>>{sample, shuffle});
+    EXPECT_EQ(composed.name(), "sample+shuffle");
+    EXPECT_EQ(composed.noise_shape().to_string(),
+              noise_shape().to_string());
+    EXPECT_EQ(composed.stages().size(), 2u);
+
+    Rng rng(7);
+    const Tensor a = Tensor::normal(noise_shape(), rng);
+    for (std::uint64_t id : {0ULL, 5ULL, 1234ULL}) {
+        const Tensor expected =
+            shuffle->apply(sample->apply(a, id), id);
+        testing::expect_tensors_near(composed.apply(a, id), expected, 0.0,
+                                     "composition order");
+    }
+
+    // Order matters: the reversed chain is a different mechanism.
+    const ComposedPolicy reversed(
+        std::vector<std::shared_ptr<const NoisePolicy>>{shuffle, sample});
+    EXPECT_EQ(reversed.name(), "shuffle+sample");
+    EXPECT_GT(ops::max_abs_diff(composed.apply(a, 5), reversed.apply(a, 5)),
+              0.0);
+}
+
+TEST(ComposedPolicyDeath, RejectsMisuse)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            ComposedPolicy empty(
+                std::vector<std::shared_ptr<const NoisePolicy>>{});
+        },
+        ::testing::ExitedWithCode(1), "at least one stage");
+    EXPECT_EXIT(
+        {
+            ComposedPolicy with_null(
+                std::vector<std::shared_ptr<const NoisePolicy>>{nullptr});
+        },
+        ::testing::ExitedWithCode(1), "null stage");
+    // Stages that pin disagreeing element counts are rejected up front.
+    Rng rng(8);
+    const auto small = std::make_shared<runtime::FixedNoisePolicy>(
+        Tensor::normal(Shape({3}), rng));
+    const auto big = std::make_shared<runtime::FixedNoisePolicy>(
+        Tensor::normal(Shape({5}), rng));
+    EXPECT_EXIT(
+        {
+            ComposedPolicy mismatched(
+                std::vector<std::shared_ptr<const NoisePolicy>>{small,
+                                                                big});
+        },
+        ::testing::ExitedWithCode(1), "disagrees");
+}
+
+TEST(ShufflePolicyDeath, InvertRejectsTheRankMatchedVariant)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(make_collection(2));
+    ShufflePolicy policy(dist, kSeedB);
+    Rng rng(9);
+    const Tensor a = Tensor::normal(noise_shape(), rng);
+    EXPECT_EXIT({ policy.invert(a, 0); }, ::testing::ExitedWithCode(1),
+                "no inverse");
+}
+
+}  // namespace
+}  // namespace shredder
