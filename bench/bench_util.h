@@ -12,13 +12,17 @@
 #ifndef SHREDDER_BENCH_BENCH_UTIL_H
 #define SHREDDER_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/shredder/shredder.h"
 
@@ -170,6 +174,96 @@ now_iso8601()
 }
 
 /**
+ * Latency sample set with percentile extraction, for the open-loop
+ * load benches. Samples accumulate in milliseconds; `percentile_ms`
+ * sorts lazily (nearest-rank on the sorted copy), so record() stays
+ * allocation-amortized on the hot path.
+ */
+class LatencyHistogram
+{
+  public:
+    void record(double ms) { samples_.push_back(ms); sorted_ = false; }
+
+    std::int64_t count() const
+    {
+        return static_cast<std::int64_t>(samples_.size());
+    }
+
+    double mean_ms() const
+    {
+        if (samples_.empty()) {
+            return 0.0;
+        }
+        double sum = 0.0;
+        for (const double s : samples_) {
+            sum += s;
+        }
+        return sum / static_cast<double>(samples_.size());
+    }
+
+    double max_ms() const
+    {
+        return samples_.empty()
+                   ? 0.0
+                   : *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    /** Nearest-rank percentile, p in [0, 1]. 0 when empty. */
+    double percentile_ms(double p) const
+    {
+        if (samples_.empty()) {
+            return 0.0;
+        }
+        sort();
+        const auto n = static_cast<std::int64_t>(samples_.size());
+        auto rank = static_cast<std::int64_t>(
+            std::ceil(p * static_cast<double>(n)));
+        rank = std::min(std::max<std::int64_t>(rank, 1), n);
+        return samples_[static_cast<std::size_t>(rank - 1)];
+    }
+
+    /**
+     * Log2 bucket counts (bucket i: latency ≤ 2^i ms, last bucket
+     * open-ended) — the compact shape BENCH_server.json v3 stores so
+     * the full distribution survives into the perf trajectory.
+     */
+    std::vector<std::int64_t> log2_buckets(int n_buckets) const
+    {
+        std::vector<std::int64_t> buckets(
+            static_cast<std::size_t>(n_buckets), 0);
+        for (const double s : samples_) {
+            double upper = 1.0;
+            int i = 0;
+            while (i < n_buckets - 1 && s > upper) {
+                upper *= 2.0;
+                ++i;
+            }
+            ++buckets[static_cast<std::size_t>(i)];
+        }
+        return buckets;
+    }
+
+    void merge(const LatencyHistogram& other)
+    {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        sorted_ = false;
+    }
+
+  private:
+    void sort() const
+    {
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+    }
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/**
  * Minimal streaming JSON writer for `BENCH_*.json` perf-trajectory
  * files. Caller drives the structure (begin/end object/array, key,
  * value); the writer handles commas and string escaping for the
@@ -276,6 +370,183 @@ class JsonWriter
     std::string out_;
     bool need_comma_ = false;
     bool pending_key_ = false;
+};
+
+/**
+ * Minimal recursive-descent JSON well-formedness checker: the
+ * self-check mate of `JsonWriter` (tests round-trip every BENCH
+ * document through it, so a comma/escaping bug in the writer fails in
+ * CI instead of corrupting the perf trajectory). Accepts exactly the
+ * grammar the writer emits — objects, arrays, strings with \" and
+ * \\ escapes, numbers, true/false/null.
+ */
+class JsonValidator
+{
+  public:
+    /** True iff `text` is one complete well-formed JSON value. */
+    static bool valid(const std::string& text)
+    {
+        JsonValidator v(text);
+        v.skip_ws();
+        if (!v.value() ) {
+            return false;
+        }
+        v.skip_ws();
+        return v.pos_ == text.size();
+    }
+
+  private:
+    explicit JsonValidator(const std::string& text) : text_(text) {}
+
+    bool value()
+    {
+        if (pos_ >= text_.size()) {
+            return false;
+        }
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default:  return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!string()) {
+                return false;
+            }
+            skip_ws();
+            if (!peek(':')) {
+                return false;
+            }
+            ++pos_;
+            skip_ws();
+            if (!value()) {
+                return false;
+            }
+            skip_ws();
+            if (peek(',')) {
+                ++pos_;
+                continue;
+            }
+            if (peek('}')) {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek(']')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!value()) {
+                return false;
+            }
+            skip_ws();
+            if (peek(',')) {
+                ++pos_;
+                continue;
+            }
+            if (peek(']')) {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (!peek('"')) {
+            return false;
+        }
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            if (ch == '\\') {
+                if (pos_ + 1 >= text_.size()) {
+                    return false;
+                }
+                pos_ += 2;  // the writer only emits \" and \\ escapes
+                continue;
+            }
+            if (ch == '"') {
+                ++pos_;
+                return true;
+            }
+            ++pos_;
+        }
+        return false;  // unterminated
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek('-')) {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            return false;
+        }
+        char* end = nullptr;
+        const std::string token = text_.substr(start, pos_ - start);
+        std::strtod(token.c_str(), &end);
+        return end == token.c_str() + token.size();
+    }
+
+    bool literal(const char* word)
+    {
+        const std::size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0) {
+            return false;
+        }
+        pos_ += len;
+        return true;
+    }
+
+    bool peek(char ch) const
+    {
+        return pos_ < text_.size() && text_[pos_] == ch;
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
 };
 
 }  // namespace bench

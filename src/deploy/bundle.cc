@@ -522,6 +522,27 @@ parse_manifest(const std::string& path)
                 } else if (key == "context_seed") {
                     entry.config.context_seed =
                         std::stoull(value, &consumed);
+                } else if (key == "adaptive_batching") {
+                    if (value == "true" || value == "1") {
+                        entry.config.adaptive_batching = true;
+                    } else if (value == "false" || value == "0") {
+                        entry.config.adaptive_batching = false;
+                    } else {
+                        fail(line_no, "adaptive_batching must be "
+                                      "true/false/1/0");
+                    }
+                    consumed = value.size();
+                } else if (key == "slo_ms") {
+                    entry.config.slo_ms = std::stod(value, &consumed);
+                    if (entry.config.slo_ms < 0.0) {
+                        fail(line_no, "slo_ms must be >= 0");
+                    }
+                } else if (key == "ewma_alpha") {
+                    entry.config.ewma_alpha = std::stod(value, &consumed);
+                    if (entry.config.ewma_alpha <= 0.0 ||
+                        entry.config.ewma_alpha > 1.0) {
+                        fail(line_no, "ewma_alpha must be in (0, 1]");
+                    }
                 } else {
                     fail(line_no, "unknown key '" + key + "'");
                 }

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Implementation of the SHRQ/SHRP frame codec (see header).
+ */
+#include "src/net/protocol.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "src/runtime/logging.h"
+#include "src/tensor/serialize.h"
+
+namespace shredder {
+namespace net {
+
+namespace {
+
+using runtime::ServingError;
+using runtime::ServingErrorCode;
+
+[[noreturn]] void
+protocol_error(const std::string& what)
+{
+    throw ServingError(ServingErrorCode::kProtocol, what);
+}
+
+/**
+ * Run a payload parser with the trust-boundary disciplines engaged:
+ * `SerializeError` from the wire readers and `FatalError` from
+ * shape/tensor validation both become typed `kProtocol` errors, and
+ * the payload must be consumed exactly (a frame with trailing bytes
+ * is lying about its length).
+ */
+template <typename F>
+auto
+parse_payload(const std::string& payload, const char* kind, F&& parse)
+{
+    std::istringstream is(payload);
+    // Guard the whole parse: untrusted bytes may reach SHREDDER_REQUIRE
+    // checks deep inside Tensor/Shape construction — those must fail
+    // the frame, never the process.
+    ScopedFatalThrow guard;
+    try {
+        auto parsed = parse(is);
+        const auto consumed = is.tellg();
+        if (consumed < 0 ||
+            static_cast<std::size_t>(consumed) != payload.size()) {
+            protocol_error(std::string(kind) +
+                           " payload has trailing bytes");
+        }
+        return parsed;
+    } catch (const SerializeError& e) {
+        protocol_error(std::string("malformed ") + kind + " payload: " +
+                       e.what());
+    } catch (const FatalError& e) {
+        protocol_error(std::string("malformed ") + kind + " payload: " +
+                       e.what());
+    }
+}
+
+}  // namespace
+
+const char*
+to_string(WireStatus status)
+{
+    switch (status) {
+      case WireStatus::kOk: return "kOk";
+      case WireStatus::kUnknownEndpoint: return "kUnknownEndpoint";
+      case WireStatus::kInvalidShape: return "kInvalidShape";
+      case WireStatus::kShutdown: return "kShutdown";
+      case WireStatus::kProtocolError: return "kProtocolError";
+      case WireStatus::kInternal: return "kInternal";
+    }
+    return "kUnknown";
+}
+
+WireStatus
+wire_status(ServingErrorCode code)
+{
+    switch (code) {
+      case ServingErrorCode::kUnknownEndpoint:
+        return WireStatus::kUnknownEndpoint;
+      case ServingErrorCode::kInvalidShape:
+        return WireStatus::kInvalidShape;
+      case ServingErrorCode::kShutdown: return WireStatus::kShutdown;
+      case ServingErrorCode::kProtocol:
+        return WireStatus::kProtocolError;
+      default: return WireStatus::kInternal;
+    }
+}
+
+ServingErrorCode
+serving_code(WireStatus status)
+{
+    switch (status) {
+      case WireStatus::kUnknownEndpoint:
+        return ServingErrorCode::kUnknownEndpoint;
+      case WireStatus::kInvalidShape:
+        return ServingErrorCode::kInvalidShape;
+      case WireStatus::kShutdown: return ServingErrorCode::kShutdown;
+      case WireStatus::kProtocolError:
+        return ServingErrorCode::kProtocol;
+      case WireStatus::kOk:
+      case WireStatus::kInternal: break;
+    }
+    return ServingErrorCode::kNetwork;
+}
+
+namespace {
+
+/** Wrap a finished payload in the 12-byte envelope. */
+std::string
+envelope(std::uint32_t magic, const std::string& payload)
+{
+    SHREDDER_CHECK(payload.size() <= kMaxFramePayload,
+                   "outgoing frame payload of ", payload.size(),
+                   " bytes exceeds kMaxFramePayload");
+    std::ostringstream os;
+    wire::write_u32(os, magic);
+    wire::write_u32(os, kProtocolVersion);
+    wire::write_u32(os, static_cast<std::uint32_t>(payload.size()));
+    std::string framed = os.str();
+    framed += payload;
+    return framed;
+}
+
+}  // namespace
+
+std::string
+encode_request(const Request& request)
+{
+    SHREDDER_REQUIRE(!request.endpoint.empty() &&
+                         request.endpoint.size() <= kMaxEndpointName,
+                     "endpoint name must be 1-", kMaxEndpointName,
+                     " bytes, got ", request.endpoint.size());
+    std::ostringstream os;
+    wire::write_u64(os, request.request_id);
+    wire::write_string(os, request.endpoint);
+    write_tensor(os, request.activation);
+    return envelope(kRequestMagic, os.str());
+}
+
+std::string
+encode_response(const Response& response)
+{
+    std::ostringstream os;
+    wire::write_u64(os, response.request_id);
+    wire::write_u32(os, static_cast<std::uint32_t>(response.status));
+    if (response.status == WireStatus::kOk) {
+        write_tensor(os, response.output);
+    } else {
+        wire::write_string(os, response.message);
+    }
+    return envelope(kResponseMagic, os.str());
+}
+
+Request
+decode_request_payload(const std::string& payload)
+{
+    return parse_payload(payload, "SHRQ", [](std::istream& is) {
+        Request request;
+        request.request_id = wire::read_u64(is);
+        request.endpoint = wire::read_string(is, kMaxEndpointName);
+        if (request.endpoint.empty()) {
+            protocol_error("SHRQ endpoint name is empty");
+        }
+        request.activation = read_tensor_checked(is);
+        return request;
+    });
+}
+
+Response
+decode_response_payload(const std::string& payload)
+{
+    return parse_payload(payload, "SHRP", [](std::istream& is) {
+        Response response;
+        response.request_id = wire::read_u64(is);
+        const std::uint32_t status = wire::read_u32(is);
+        if (status > static_cast<std::uint32_t>(WireStatus::kInternal)) {
+            protocol_error("SHRP status " + std::to_string(status) +
+                           " is not a known WireStatus");
+        }
+        response.status = static_cast<WireStatus>(status);
+        if (response.status == WireStatus::kOk) {
+            response.output = read_tensor_checked(is);
+        } else {
+            response.message = wire::read_string(is, 4096);
+        }
+        return response;
+    });
+}
+
+bool
+read_frame(Socket& socket, std::uint32_t expected_magic,
+           std::string* payload)
+{
+    // The envelope is read with raw socket calls (a stream adapter
+    // would hide WHERE the bytes stopped); everything after it goes
+    // through the checked wire readers.
+    unsigned char header[12];
+    const std::size_t first = socket.recv_some(header, sizeof(header));
+    if (first == 0) {
+        return false;  // clean close between frames
+    }
+    if (first < sizeof(header)) {
+        socket.recv_all(header + first, sizeof(header) - first);
+    }
+
+    const auto read_le32 = [&header](int at) {
+        return static_cast<std::uint32_t>(header[at]) |
+               static_cast<std::uint32_t>(header[at + 1]) << 8 |
+               static_cast<std::uint32_t>(header[at + 2]) << 16 |
+               static_cast<std::uint32_t>(header[at + 3]) << 24;
+    };
+    const std::uint32_t magic = read_le32(0);
+    const std::uint32_t version = read_le32(4);
+    const std::uint32_t length = read_le32(8);
+
+    if (magic != expected_magic) {
+        protocol_error("bad frame magic 0x" + [magic] {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%08x", magic);
+            return std::string(buf);
+        }());
+    }
+    if (version > kProtocolVersion) {
+        protocol_error("frame version " + std::to_string(version) +
+                       " is newer than this build's " +
+                       std::to_string(kProtocolVersion));
+    }
+    if (length > kMaxFramePayload) {
+        protocol_error("frame payload length " + std::to_string(length) +
+                       " exceeds the " +
+                       std::to_string(kMaxFramePayload) + "-byte limit");
+    }
+
+    payload->resize(length);
+    if (length > 0) {
+        socket.recv_all(&(*payload)[0], length);
+    }
+    return true;
+}
+
+}  // namespace net
+}  // namespace shredder

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Shredder activation wire protocol — `SHRQ` / `SHRP` frames.
+ *
+ * This is the byte boundary between the edge device and the cloud
+ * half: an edge client ships one noised (or to-be-noised) activation
+ * per request frame and gets one logits tensor (or a typed error)
+ * back per response frame. Both directions use the same length-
+ * prefixed envelope:
+ *
+ *   magic        u32   'SHRQ' (request) / 'SHRP' (response)
+ *   version      u32   kProtocolVersion (readers reject greater)
+ *   payload_len  u32   bytes that follow (≤ kMaxFramePayload)
+ *   payload      ...   see below
+ *
+ * Request payload:   request_id u64, endpoint wire-string,
+ *                    activation `SHRT` tensor.
+ * Response payload:  request_id u64 (echoed), status u32
+ *                    (`WireStatus`), then on kOk the output `SHRT`
+ *                    tensor, otherwise a wire-string error message.
+ *
+ * Every multi-byte field is little-endian and parsed exclusively
+ * through the checked `wire` readers of src/tensor/serialize.h — the
+ * same trust-boundary discipline deployment bundles use. Anything
+ * malformed (bad magic, future version, oversize or short payload,
+ * trailing bytes after the payload, a lying tensor header) throws
+ * `runtime::ServingError` with code `kProtocol`; a transport-level
+ * failure mid-frame throws `kNetwork`. Parsing NEVER terminates the
+ * process: frames arrive from the network.
+ *
+ * Versioning rule (normative, docs/DEPLOYMENT.md §"Wire protocol"):
+ * additions bump `kProtocolVersion`; a reader accepts frames with
+ * version ≤ its own and rejects newer ones with `kProtocol`, so an
+ * old server answers a too-new client with a typed error response
+ * instead of misparsing bytes.
+ */
+#ifndef SHREDDER_NET_PROTOCOL_H
+#define SHREDDER_NET_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/socket.h"
+#include "src/runtime/serving_error.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace net {
+
+/** 'SHRQ' little-endian: an activation request frame. */
+constexpr std::uint32_t kRequestMagic = 0x51524853;
+/** 'SHRP' little-endian: a response frame. */
+constexpr std::uint32_t kResponseMagic = 0x50524853;
+/** Current protocol version (readers accept ≤ this). */
+constexpr std::uint32_t kProtocolVersion = 1;
+/**
+ * Payload ceiling. A length prefix above this is treated as
+ * corruption before any allocation happens — a malformed frame must
+ * not be able to demand arbitrary memory.
+ */
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+/** Endpoint-name length ceiling inside a request payload. */
+constexpr std::uint32_t kMaxEndpointName = 256;
+
+/**
+ * Stable on-wire status codes. These are the protocol's public enum —
+ * explicitly numbered and append-only, decoupled from the in-process
+ * `ServingErrorCode` ordering so recompiling the server can never
+ * silently renumber what deployed edge clients see.
+ */
+enum class WireStatus : std::uint32_t {
+    kOk = 0,
+    kUnknownEndpoint = 1,  ///< No endpoint of that name is registered.
+    kInvalidShape = 2,     ///< Activation violates the shape contract.
+    kShutdown = 3,         ///< The engine stopped accepting requests.
+    kProtocolError = 4,    ///< The request frame itself was malformed.
+    kInternal = 5,         ///< Any other server-side failure.
+};
+
+/** Stable identifier string for a wire status (for messages/logs). */
+const char* to_string(WireStatus status);
+
+/** Map an in-process serving failure onto its wire status. */
+WireStatus wire_status(runtime::ServingErrorCode code);
+
+/** Map a received non-kOk wire status back to a typed error code. */
+runtime::ServingErrorCode serving_code(WireStatus status);
+
+/** One decoded request frame. */
+struct Request
+{
+    std::uint64_t request_id = 0;  ///< Keys the noise draw (see policies).
+    std::string endpoint;          ///< Target endpoint name.
+    Tensor activation;             ///< Per-sample activation at the cut.
+};
+
+/** One decoded response frame. */
+struct Response
+{
+    std::uint64_t request_id = 0;     ///< Echo of the request's id.
+    WireStatus status = WireStatus::kOk;
+    Tensor output;        ///< Logits; valid only when status == kOk.
+    std::string message;  ///< Error context; empty when status == kOk.
+};
+
+/** Encode a complete request frame (envelope + payload). */
+std::string encode_request(const Request& request);
+
+/** Encode a complete response frame (envelope + payload). */
+std::string encode_response(const Response& response);
+
+/**
+ * Parse a request payload (the bytes after the 12-byte envelope).
+ * @throws runtime::ServingError `kProtocol` on any malformation,
+ *         including trailing bytes after the activation tensor.
+ */
+Request decode_request_payload(const std::string& payload);
+
+/** Response-side counterpart of `decode_request_payload`. */
+Response decode_response_payload(const std::string& payload);
+
+/**
+ * Read one frame envelope + payload off `socket`.
+ *
+ * @param socket         The connected stream.
+ * @param expected_magic `kRequestMagic` or `kResponseMagic` — which
+ *                       frame kind this side of the conversation
+ *                       accepts.
+ * @param payload        Out: the payload bytes (envelope stripped).
+ * @return true when a frame was read; false on a CLEAN close — the
+ *         peer shut the stream down exactly between frames.
+ * @throws runtime::ServingError `kProtocol` for a malformed envelope
+ *         (wrong magic, future version, oversize payload) and
+ *         `kNetwork` for a disconnect mid-frame.
+ */
+bool read_frame(Socket& socket, std::uint32_t expected_magic,
+                std::string* payload);
+
+}  // namespace net
+}  // namespace shredder
+
+#endif  // SHREDDER_NET_PROTOCOL_H

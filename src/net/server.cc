@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Implementation of the SHRQ/SHRP network server (see header).
+ */
+#include "src/net/server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <utility>
+
+#include "src/net/protocol.h"
+#include "src/runtime/logging.h"
+
+namespace shredder {
+namespace net {
+
+using runtime::ServingError;
+using runtime::ServingErrorCode;
+
+/**
+ * One accepted client link. The reader thread decodes frames and
+ * submits them; the writer thread drains `pending` in submission
+ * order (responses carry ids, so FIFO write order is a convenience,
+ * not a contract) and is the connection's only sender.
+ */
+struct Server::Connection
+{
+    explicit Connection(Socket s) : socket(std::move(s)) {}
+
+    Socket socket;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mutex;  ///< Guards pending + flags below.
+    std::condition_variable cv;
+    /** In-flight work: an engine future, or an already-typed reply. */
+    struct Pending
+    {
+        bool is_ready = false;      ///< True: `ready` is the reply.
+        std::future<Tensor> future; ///< Engine result (when !is_ready).
+        Response ready;             ///< Pre-built (error) response.
+    };
+    std::deque<Pending> pending;
+    bool reader_done = false;  ///< No further pending entries will come.
+    bool closing = false;      ///< stop() wants both loops gone.
+
+    std::atomic<bool> reader_exited{false};
+    std::atomic<bool> writer_exited{false};
+
+    /** True once both loops returned (safe to join + destroy). */
+    bool finished() const
+    {
+        return reader_exited.load(std::memory_order_acquire) &&
+               writer_exited.load(std::memory_order_acquire);
+    }
+};
+
+Server::Server(runtime::ServingEngine& engine, const ServerConfig& config)
+    : engine_(engine), config_(config),
+      listener_(config.host, config.port)
+{
+    SHREDDER_REQUIRE(config_.max_inflight_per_connection >= 1,
+                     "max_inflight_per_connection must be >= 1, got ",
+                     config_.max_inflight_per_connection);
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+ServerNetStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Server::accept_loop()
+{
+    for (;;) {
+        Socket client = listener_.accept();
+        if (!client.valid()) {
+            return;  // listener closed: shutdown
+        }
+        auto connection = std::make_unique<Connection>(std::move(client));
+        Connection* raw = connection.get();
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            return;  // raced stop(); drop the socket on the floor
+        }
+        reap_connections();
+        ++stats_.connections_accepted;
+        ++stats_.connections_active;
+        raw->reader = std::thread([this, raw] { reader_loop(raw); });
+        raw->writer = std::thread([this, raw] { writer_loop(raw); });
+        connections_.push_back(std::move(connection));
+    }
+}
+
+void
+Server::reap_connections()
+{
+    // Caller holds mutex_. Finished connections' threads have both
+    // returned, so the joins below cannot block the accept loop.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->finished()) {
+            (*it)->reader.join();
+            (*it)->writer.join();
+            it = connections_.erase(it);
+            --stats_.connections_active;
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::reader_loop(Connection* connection)
+{
+    const auto finish = [connection](bool note_protocol_error,
+                                     Response error_response) {
+        std::unique_lock<std::mutex> lock(connection->mutex);
+        if (note_protocol_error) {
+            Connection::Pending entry;
+            entry.is_ready = true;
+            entry.ready = std::move(error_response);
+            connection->pending.push_back(std::move(entry));
+        }
+        connection->reader_done = true;
+        lock.unlock();
+        connection->cv.notify_all();
+        connection->reader_exited.store(true, std::memory_order_release);
+    };
+
+    for (;;) {
+        std::string payload;
+        try {
+            if (!read_frame(connection->socket, kRequestMagic,
+                            &payload)) {
+                finish(false, Response{});
+                return;  // clean close between frames
+            }
+        } catch (const ServingError& e) {
+            // Bad envelope or mid-frame disconnect. The stream
+            // position is unknowable now, so the connection ends —
+            // but with a best-effort typed response first when the
+            // link still works (kProtocol), and never a crash.
+            const bool answerable =
+                e.code() == ServingErrorCode::kProtocol;
+            if (answerable) {
+                std::lock_guard<std::mutex> stats_lock(mutex_);
+                ++stats_.protocol_errors;
+            }
+            Response response;
+            response.status = WireStatus::kProtocolError;
+            response.message = e.what();
+            finish(answerable, std::move(response));
+            return;
+        }
+
+        Request request;
+        try {
+            request = decode_request_payload(payload);
+        } catch (const ServingError& e) {
+            {
+                std::lock_guard<std::mutex> stats_lock(mutex_);
+                ++stats_.protocol_errors;
+            }
+            Response response;
+            response.status = WireStatus::kProtocolError;
+            response.message = e.what();
+            finish(true, std::move(response));
+            return;
+        }
+
+        Connection::Pending entry;
+        entry.future = engine_.submit(request.endpoint,
+                                      std::move(request.activation),
+                                      request.request_id);
+        entry.ready.request_id = request.request_id;
+
+        std::unique_lock<std::mutex> lock(connection->mutex);
+        connection->cv.wait(lock, [this, connection] {
+            return static_cast<std::int64_t>(
+                       connection->pending.size()) <
+                       config_.max_inflight_per_connection ||
+                   connection->closing;
+        });
+        if (connection->closing) {
+            connection->reader_done = true;
+            lock.unlock();
+            connection->cv.notify_all();
+            connection->reader_exited.store(true,
+                                            std::memory_order_release);
+            return;
+        }
+        connection->pending.push_back(std::move(entry));
+        lock.unlock();
+        connection->cv.notify_all();
+    }
+}
+
+void
+Server::writer_loop(Connection* connection)
+{
+    bool link_alive = true;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(connection->mutex);
+        connection->cv.wait(lock, [connection] {
+            return !connection->pending.empty() ||
+                   connection->reader_done;
+        });
+        if (connection->pending.empty()) {
+            break;  // reader_done and everything flushed
+        }
+        Connection::Pending entry = std::move(connection->pending.front());
+        connection->pending.pop_front();
+        lock.unlock();
+        connection->cv.notify_all();  // reader may be at its bound
+
+        Response response;
+        if (entry.is_ready) {
+            response = std::move(entry.ready);
+        } else {
+            response.request_id = entry.ready.request_id;
+            try {
+                response.output = entry.future.get();
+                response.status = WireStatus::kOk;
+            } catch (const ServingError& e) {
+                response.status = wire_status(e.code());
+                response.message = e.what();
+            } catch (const std::exception& e) {
+                response.status = WireStatus::kInternal;
+                response.message = e.what();
+            }
+        }
+
+        if (!link_alive) {
+            continue;  // keep consuming futures; nowhere to send
+        }
+        try {
+            const std::string frame = encode_response(response);
+            connection->socket.send_all(frame.data(), frame.size());
+            std::lock_guard<std::mutex> stats_lock(mutex_);
+            ++stats_.frames_served;
+        } catch (const ServingError&) {
+            // The client went away. Stop sending but keep draining
+            // the queue so already-submitted work is consumed.
+            link_alive = false;
+        }
+    }
+    // All responses flushed (or the link died): signal EOF so a
+    // half-closed client's read loop terminates cleanly.
+    connection->socket.shutdown_both();
+    connection->writer_exited.store(true, std::memory_order_release);
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            return;
+        }
+        stopping_ = true;
+    }
+    listener_.close();
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+
+    // The acceptor is gone, so connections_ is stable now.
+    std::list<std::unique_ptr<Connection>> connections;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        connections.swap(connections_);
+        stats_.connections_active = 0;
+    }
+    for (auto& connection : connections) {
+        {
+            std::lock_guard<std::mutex> lock(connection->mutex);
+            connection->closing = true;
+        }
+        // Readers blocked in recv observe a clean close; loops at the
+        // in-flight bound observe `closing`.
+        connection->socket.shutdown_both();
+        connection->cv.notify_all();
+    }
+    for (auto& connection : connections) {
+        if (connection->reader.joinable()) {
+            connection->reader.join();
+        }
+        if (connection->writer.joinable()) {
+            connection->writer.join();
+        }
+    }
+}
+
+}  // namespace net
+}  // namespace shredder

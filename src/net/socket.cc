@@ -1,0 +1,309 @@
+/**
+ * @file
+ * POSIX implementation of the net socket wrappers (see header).
+ */
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace shredder {
+namespace net {
+
+namespace {
+
+using runtime::ServingError;
+using runtime::ServingErrorCode;
+
+[[noreturn]] void
+throw_errno(const std::string& what)
+{
+    throw ServingError(ServingErrorCode::kNetwork,
+                       what + ": " + std::strerror(errno));
+}
+
+/** Disable Nagle: frames are latency-sensitive request/response units. */
+void
+set_no_delay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket
+Socket::connect(const std::string& host, std::uint16_t port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                                 &result);
+    if (rc != 0) {
+        throw ServingError(ServingErrorCode::kNetwork,
+                           "cannot resolve '" + host +
+                               "': " + ::gai_strerror(rc));
+    }
+
+    int fd = -1;
+    int saved_errno = 0;
+    for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            saved_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            break;
+        }
+        saved_errno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0) {
+        errno = saved_errno;
+        throw_errno("cannot connect to " + host + ":" + service);
+    }
+    set_no_delay(fd);
+    return Socket(fd);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Socket&
+Socket::operator=(Socket&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::send_all(const void* data, std::size_t len)
+{
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+        // MSG_NOSIGNAL: a peer that already closed must fail the call,
+        // not SIGPIPE the whole serving process.
+        const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw_errno("send failed");
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+std::size_t
+Socket::recv_some(void* data, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd_, data, len, 0);
+        if (n >= 0) {
+            return static_cast<std::size_t>(n);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        throw_errno("recv failed");
+    }
+}
+
+void
+Socket::recv_all(void* data, std::size_t len)
+{
+    char* p = static_cast<char*>(data);
+    while (len > 0) {
+        const std::size_t n = recv_some(p, len);
+        if (n == 0) {
+            throw ServingError(ServingErrorCode::kNetwork,
+                               "peer disconnected mid-transfer (" +
+                                   std::to_string(len) +
+                                   " bytes still expected)");
+        }
+        p += n;
+        len -= n;
+    }
+}
+
+void
+Socket::shutdown_send()
+{
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_WR);
+    }
+}
+
+void
+Socket::shutdown_both()
+{
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_RDWR);
+    }
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw_errno("cannot create listening socket");
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        throw ServingError(ServingErrorCode::kNetwork,
+                           "listener host must be a numeric IPv4 "
+                           "address, got '" + host + "'");
+    }
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        const std::string what = "cannot bind " + host + ":" +
+                                 std::to_string(port);
+        ::close(fd_);
+        fd_ = -1;
+        throw_errno(what);
+    }
+    if (::listen(fd_, SOMAXCONN) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw_errno("listen failed");
+    }
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw_errno("getsockname failed");
+    }
+    port_ = ntohs(bound.sin_port);
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw_errno("cannot create listener wakeup pipe");
+    }
+    wake_read_ = pipe_fds[0];
+    wake_write_ = pipe_fds[1];
+}
+
+Listener::~Listener()
+{
+    close();
+    // The descriptors are released only here — close() leaves them
+    // open (merely shut down) so a concurrent accept() never polls a
+    // recycled fd number.
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (wake_read_ >= 0) {
+        ::close(wake_read_);
+        wake_read_ = -1;
+    }
+    if (wake_write_ >= 0) {
+        ::close(wake_write_);
+        wake_write_ = -1;
+    }
+}
+
+Socket
+Listener::accept()
+{
+    for (;;) {
+        if (closing_.load(std::memory_order_acquire)) {
+            return Socket();  // closed before (or during) the call
+        }
+        pollfd fds[2];
+        fds[0].fd = fd_;
+        fds[0].events = POLLIN;
+        fds[1].fd = wake_read_;
+        fds[1].events = POLLIN;
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw_errno("poll failed");
+        }
+        if (fds[1].revents != 0 ||
+            closing_.load(std::memory_order_acquire)) {
+            return Socket();  // close() woke us: shutdown, not error
+        }
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) {
+                continue;
+            }
+            if (errno == EINVAL) {
+                return Socket();  // raced close(); clean shutdown
+            }
+            throw_errno("accept failed");
+        }
+        set_no_delay(client);
+        return Socket(client);
+    }
+}
+
+void
+Listener::close()
+{
+    if (closing_.exchange(true, std::memory_order_acq_rel)) {
+        return;  // idempotent
+    }
+    if (fd_ >= 0) {
+        // Unblocks a racing accept() with EINVAL on Linux; the fd
+        // itself stays allocated until the destructor runs.
+        ::shutdown(fd_, SHUT_RDWR);
+    }
+    if (wake_write_ >= 0) {
+        const char byte = 1;
+        // Best-effort: a full pipe already guarantees a pending wakeup.
+        (void)!::write(wake_write_, &byte, 1);
+    }
+}
+
+}  // namespace net
+}  // namespace shredder

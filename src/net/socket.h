@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Thin RAII wrappers over POSIX TCP sockets.
+ *
+ * Everything the `net` subsystem touches at the OS level lives here:
+ * a connected `Socket` (full-buffer send/recv helpers, partial reads
+ * for framing) and a bound `Listener` whose `accept` can be unblocked
+ * from another thread via `close()` (self-pipe wakeup, so shutdown
+ * never races the kernel's accept queue).
+ *
+ * Failure discipline: socket-level trouble (connect refused, send
+ * failure, peer disconnect mid-buffer) throws a typed
+ * `runtime::ServingError` with code `kNetwork`. A *clean* EOF — the
+ * peer closed between frames — is not an error; `recv_some` returns 0
+ * and the framing layer (protocol.h) decides whether the stream
+ * position makes that a graceful close or a truncated frame.
+ */
+#ifndef SHREDDER_NET_SOCKET_H
+#define SHREDDER_NET_SOCKET_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/runtime/serving_error.h"
+
+namespace shredder {
+namespace net {
+
+/** One connected TCP stream (movable, non-copyable). */
+class Socket
+{
+  public:
+    /** Wrap an already-connected file descriptor (takes ownership). */
+    explicit Socket(int fd = -1) : fd_(fd) {}
+
+    /**
+     * Connect to `host:port` (numeric IPv4 or a resolvable name).
+     * @throws runtime::ServingError `kNetwork` on resolution or
+     *         connection failure.
+     */
+    static Socket connect(const std::string& host, std::uint16_t port);
+
+    ~Socket();
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    /** True while the descriptor is open. */
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Send the whole buffer (looping over partial writes).
+     * @throws runtime::ServingError `kNetwork` on any send failure
+     *         (including the peer resetting the connection).
+     */
+    void send_all(const void* data, std::size_t len);
+
+    /**
+     * Receive up to `len` bytes; returns the count actually read, or
+     * 0 on a clean peer close. Retries EINTR; throws `kNetwork` on
+     * a real socket error.
+     */
+    std::size_t recv_some(void* data, std::size_t len);
+
+    /**
+     * Receive exactly `len` bytes. A peer close before the buffer is
+     * full is a mid-transfer disconnect: throws `kNetwork`.
+     */
+    void recv_all(void* data, std::size_t len);
+
+    /** Half-close the send direction (signals EOF to the peer). */
+    void shutdown_send();
+
+    /**
+     * Shut both directions down without releasing the fd — the
+     * thread-safe way to unblock a peer thread stuck in `recv_some`
+     * (it observes a clean close); the descriptor itself dies with
+     * the object.
+     */
+    void shutdown_both();
+
+    /** Close the descriptor (idempotent). */
+    void close();
+
+  private:
+    int fd_;
+};
+
+/**
+ * A listening TCP socket. `accept` blocks until a connection arrives
+ * or `close()` is called from any thread (returning an invalid
+ * `Socket` in that case — the shutdown path, not an error).
+ */
+class Listener
+{
+  public:
+    /**
+     * Bind `host:port` and listen. Port 0 binds an ephemeral port;
+     * read the actual one back with `port()`.
+     * @throws runtime::ServingError `kNetwork` on bind/listen failure
+     *         (e.g. the port is taken).
+     */
+    Listener(const std::string& host, std::uint16_t port);
+
+    ~Listener();
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /** The locally bound port (the ephemeral one when 0 was asked). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Wait for the next connection. Returns an invalid `Socket` once
+     * `close()` has been called; throws `kNetwork` on a real accept
+     * failure.
+     */
+    Socket accept();
+
+    /**
+     * Stop listening and wake any blocked `accept` (thread-safe,
+     * idempotent). The descriptor itself is only released by the
+     * destructor, so a concurrent `accept` never touches a recycled
+     * fd. Called by the destructor too.
+     */
+    void close();
+
+  private:
+    int fd_ = -1;
+    int wake_read_ = -1;   ///< Self-pipe: accept() polls this too.
+    int wake_write_ = -1;  ///< close() writes one byte to wake accept.
+    std::uint16_t port_ = 0;
+    std::atomic<bool> closing_{false};
+};
+
+}  // namespace net
+}  // namespace shredder
+
+#endif  // SHREDDER_NET_SOCKET_H

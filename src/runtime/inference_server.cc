@@ -66,6 +66,45 @@ shim_config(const core::NoiseCollection* collection,
 
 }  // namespace
 
+int
+ServerStats::queue_wait_bucket(double ms)
+{
+    // Bucket i covers waits ≤ 2^i µs; the last bucket absorbs the
+    // rest. A linear scan beats a log() call at these sizes and runs
+    // off the hot path anyway (once per request, under stats_mutex_).
+    double upper_us = 1.0;
+    for (int i = 0; i < kQueueWaitBuckets - 1; ++i) {
+        if (ms * 1e3 <= upper_us) {
+            return i;
+        }
+        upper_us *= 2.0;
+    }
+    return kQueueWaitBuckets - 1;
+}
+
+double
+ServerStats::queue_wait_percentile_ms(double p) const
+{
+    std::int64_t total = 0;
+    for (const std::int64_t count : queue_wait_hist) {
+        total += count;
+    }
+    if (total == 0) {
+        return 0.0;
+    }
+    const double target = p * static_cast<double>(total);
+    std::int64_t cumulative = 0;
+    double upper_us = 1.0;
+    for (int i = 0; i < kQueueWaitBuckets; ++i) {
+        cumulative += queue_wait_hist[i];
+        if (static_cast<double>(cumulative) >= target) {
+            return upper_us * 1e-3;
+        }
+        upper_us *= 2.0;
+    }
+    return upper_us * 1e-3;
+}
+
 std::uint64_t
 InferenceServer::noise_seed(std::uint64_t root_seed,
                             std::uint64_t request_id)
@@ -96,7 +135,8 @@ InferenceServer::InferenceServer(
       owned_policy_(std::move(owned_policy)),
       policy_(policy != nullptr ? policy : owned_policy_.get()),
       config_(config),
-      sample_size_(0)
+      sample_size_(0),
+      controller_(config.controller)
 {
     SHREDDER_CHECK(policy_ != nullptr, "server constructed with no policy");
     SHREDDER_REQUIRE(config_.max_batch >= 1,
@@ -219,6 +259,9 @@ InferenceServer::submit_impl(Tensor activation, bool has_id,
     request.promise = std::move(promise);
     request.id = has_id ? request_id : kAutoIdBase + next_request_id_++;
     queue_.push_back(std::move(request));
+    // Feed the arrival-rate EWMA (cheap; kept current even under the
+    // fixed-timeout dispatcher so stats always show the traffic rate).
+    controller_.on_arrival(lifetime_.milliseconds());
     lock.unlock();
     cv_.notify_one();
     return future;
@@ -273,8 +316,6 @@ InferenceServer::stats() const
 void
 InferenceServer::dispatch_loop()
 {
-    const auto timeout = std::chrono::duration<double, std::milli>(
-        config_.batch_timeout_ms);
     for (;;) {
         std::unique_lock<std::mutex> lock(mutex_);
         cv_.wait(lock, [this] {
@@ -284,10 +325,22 @@ InferenceServer::dispatch_loop()
             // stop_dispatcher_ is set and everything is drained.
             return;
         }
-        // Hold the door briefly for stragglers so batches fill up —
-        // unless we are draining for shutdown, where latency wins.
+        // Hold the door for stragglers so batches fill up — unless we
+        // are draining for shutdown, where latency wins. The window is
+        // the fixed config knob, or (adaptive mode) the controller's
+        // per-batch decision: predicted fill time under the current
+        // arrival rate, bounded by the SLO, zero when traffic is too
+        // sparse for waiting to pay.
+        double window_ms = config_.batch_timeout_ms;
+        if (config_.adaptive_batching) {
+            window_ms = controller_.deadline_ms(
+                static_cast<std::int64_t>(queue_.size()),
+                config_.max_batch);
+        }
         if (static_cast<std::int64_t>(queue_.size()) < config_.max_batch &&
-            config_.batch_timeout_ms > 0.0 && !stop_dispatcher_) {
+            window_ms > 0.0 && !stop_dispatcher_) {
+            const auto timeout =
+                std::chrono::duration<double, std::milli>(window_ms);
             const auto deadline = std::chrono::steady_clock::now() +
                 std::chrono::duration_cast<std::chrono::steady_clock::
                                                duration>(timeout);
@@ -297,6 +350,7 @@ InferenceServer::dispatch_loop()
                        stop_dispatcher_;
             });
         }
+        const double ewma_snapshot = controller_.ewma_interarrival_ms();
         const std::int64_t n = std::min<std::int64_t>(
             static_cast<std::int64_t>(queue_.size()), config_.max_batch);
         std::vector<Request> batch;
@@ -306,6 +360,23 @@ InferenceServer::dispatch_loop()
             queue_.pop_front();
         }
         lock.unlock();
+
+        // Expose the scheduling decision (window chosen, rate estimate,
+        // why the batch shipped) so benches and tests can see the
+        // controller act without instrumenting the dispatcher.
+        {
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            stats_.last_deadline_ms = window_ms;
+            stats_.ewma_interarrival_ms = ewma_snapshot;
+            // The two counters partition all dispatches: a batch ships
+            // either at the ceiling or because its window ran out
+            // (including a zero-width "ship now" window).
+            if (n >= config_.max_batch) {
+                ++stats_.full_dispatches;
+            } else {
+                ++stats_.deadline_dispatches;
+            }
+        }
 
         {
             std::lock_guard<std::mutex> inflight_lock(inflight_mutex_);
@@ -355,8 +426,12 @@ InferenceServer::execute_batch(std::vector<Request> batch)
         return;
     }
     double queue_wait_ms = 0.0;
+    std::vector<int> wait_buckets;
+    wait_buckets.reserve(batch.size());
     for (const Request& request : batch) {
-        queue_wait_ms += request.queued.milliseconds();
+        const double wait_ms = request.queued.milliseconds();
+        queue_wait_ms += wait_ms;
+        wait_buckets.push_back(ServerStats::queue_wait_bucket(wait_ms));
     }
 
     Stopwatch execution;
@@ -390,6 +465,9 @@ InferenceServer::execute_batch(std::vector<Request> batch)
         stats_.busy_ms += execution.milliseconds();
         stats_.queue_ms += queue_wait_ms;
         stats_.max_batch_seen = std::max(stats_.max_batch_seen, n);
+        for (const int bucket : wait_buckets) {
+            ++stats_.queue_wait_hist[bucket];
+        }
     }
 
     const std::int64_t classes = logits.shape()[1];

@@ -9,7 +9,10 @@
  * kernels, so the server fuses concurrent requests into batches:
  *
  *   submit(a) ──► request queue ──► dispatcher (forms batches of up
- *   to `max_batch`, waiting at most `batch_timeout_ms` for stragglers)
+ *   to `max_batch`, holding the door for stragglers — a fixed
+ *   `batch_timeout_ms`, or an SLO-bounded adaptive window chosen per
+ *   batch by a `BatchController` from the EWMA arrival rate and the
+ *   queue depth when `adaptive_batching` is on)
  *   ──► thread pool (applies the endpoint's `NoisePolicy` per request,
  *   runs `SplitModel::cloud_forward` on the fused batch, scatters the
  *   logits back) ──► per-request future.
@@ -56,6 +59,7 @@
 #include <vector>
 
 #include "src/core/noise_collection.h"
+#include "src/runtime/batch_controller.h"
 #include "src/nn/execution_context.h"
 #include "src/runtime/noise_policy.h"
 #include "src/runtime/serving_error.h"
@@ -76,9 +80,21 @@ struct InferenceServerConfig
     /**
      * How long the dispatcher waits for stragglers once it holds at
      * least one request and fewer than `max_batch`. 0 = ship
-     * immediately (latency-optimal, throughput-pessimal).
+     * immediately (latency-optimal, throughput-pessimal). Ignored
+     * when `adaptive_batching` is on — the controller picks the
+     * window per batch instead.
      */
     double batch_timeout_ms = 1.0;
+    /**
+     * SLO-aware adaptive straggler window: replace the fixed
+     * `batch_timeout_ms` with a per-batch deadline computed by a
+     * `BatchController` from the EWMA arrival rate and the queue
+     * depth, bounded by `controller.slo_ms` (see batch_controller.h).
+     * The controller's live decisions are visible in `ServerStats`.
+     */
+    bool adaptive_batching = false;
+    /** Controller knobs (read only when `adaptive_batching` is on). */
+    BatchControllerConfig controller{};
     /**
      * Worker threads executing batches; 0 = hardware concurrency.
      * Ignored when `pool` is set (the shared pool's size governs).
@@ -127,12 +143,39 @@ struct InferenceServerConfig
 /** Aggregate serving statistics (see `InferenceServer::stats`). */
 struct ServerStats
 {
+    /**
+     * Queue-wait histogram bucket count. Bucket `i` counts requests
+     * whose queue wait was ≤ 2^i µs (so bucket 0 is ≤ 1 µs, bucket 10
+     * ≈ 1 ms, bucket 20 ≈ 1 s); the last bucket absorbs overflow.
+     * Mean queue wait hides the tail the batcher inflicts — the
+     * histogram is what `queue_wait_percentile_ms` and the open-loop
+     * bench read p95/p99 from.
+     */
+    static constexpr int kQueueWaitBuckets = 28;
+
     std::int64_t requests = 0;       ///< Requests completed.
     std::int64_t batches = 0;        ///< Batches executed.
     double busy_ms = 0.0;            ///< Σ per-batch execution time.
     double queue_ms = 0.0;           ///< Σ per-request queue wait.
     double wall_seconds = 0.0;       ///< Server lifetime so far.
     std::int64_t max_batch_seen = 0; ///< Largest batch executed.
+
+    /** Per-request queue waits, log-bucketed (see kQueueWaitBuckets). */
+    std::int64_t queue_wait_hist[kQueueWaitBuckets] = {};
+
+    // Batch-controller observability (meaningful under
+    // `adaptive_batching`; the fixed-timeout dispatcher still counts
+    // full vs timer dispatches).
+    double ewma_interarrival_ms = 0.0; ///< Arrival EWMA at last dispatch.
+    double last_deadline_ms = 0.0;     ///< Straggler window last chosen.
+    std::int64_t full_dispatches = 0;  ///< Batches shipped at max_batch.
+    /**
+     * Batches shipped below the ceiling — the straggler window ran out
+     * (including a zero-width "ship now" decision) or shutdown drained
+     * the queue. Together with `full_dispatches` this partitions all
+     * dispatches.
+     */
+    std::int64_t deadline_dispatches = 0;
 
     /** Mean requests fused per batch. */
     double mean_batch_size() const
@@ -163,6 +206,25 @@ struct ServerStats
                    ? static_cast<double>(requests) / wall_seconds
                    : 0.0;
     }
+
+    /**
+     * Queue-wait percentile (ms) read from the histogram: the upper
+     * bound of the bucket where the cumulative count crosses `p` ∈
+     * [0, 1] — conservative (an over-estimate by at most one bucket
+     * width). 0 when no requests completed yet.
+     */
+    double queue_wait_percentile_ms(double p) const;
+
+    /** Fold another snapshot's histogram into this one. */
+    void merge_queue_wait_hist(const ServerStats& other)
+    {
+        for (int i = 0; i < kQueueWaitBuckets; ++i) {
+            queue_wait_hist[i] += other.queue_wait_hist[i];
+        }
+    }
+
+    /** The histogram bucket a queue wait of `ms` falls into. */
+    static int queue_wait_bucket(double ms);
 };
 
 /** See file comment. */
@@ -329,13 +391,18 @@ class InferenceServer
     std::thread dispatcher_;
     std::mutex shutdown_mutex_;  ///< join() must run exactly once.
 
-    /** Guards queue_, accepting_, ids and the lazily-fixed shape. */
+    /**
+     * Guards queue_, accepting_, ids, the lazily-fixed shape, and the
+     * adaptive controller (arrival updates happen on the submit path,
+     * deadline reads on the dispatcher — both already hold this).
+     */
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<Request> queue_;
     bool accepting_ = true;
     bool stop_dispatcher_ = false;
     std::uint64_t next_request_id_ = 0;
+    BatchController controller_;
 
     /**
      * Batches handed to the pool but not yet finished. Shutdown waits

@@ -80,6 +80,9 @@ ServingEngine::install_endpoint(const std::string& name, Endpoint endpoint,
     InferenceServerConfig server_config;
     server_config.max_batch = config.max_batch;
     server_config.batch_timeout_ms = config.batch_timeout_ms;
+    server_config.adaptive_batching = config.adaptive_batching;
+    server_config.controller.slo_ms = config.slo_ms;
+    server_config.controller.ewma_alpha = config.ewma_alpha;
     server_config.pool = &pool_;
     server_config.max_concurrent_batches = config.max_concurrent_batches;
     server_config.seed = config.context_seed;
@@ -229,6 +232,9 @@ ServingEngine::stats() const
         aggregate.queue_ms += s.queue_ms;
         aggregate.max_batch_seen =
             std::max(aggregate.max_batch_seen, s.max_batch_seen);
+        aggregate.full_dispatches += s.full_dispatches;
+        aggregate.deadline_dispatches += s.deadline_dispatches;
+        aggregate.merge_queue_wait_hist(s);
     }
     // Endpoints serve concurrently on one pool: wall time is the
     // engine's lifetime, not a per-endpoint sum.

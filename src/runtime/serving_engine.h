@@ -76,8 +76,22 @@ struct EndpointConfig
 {
     /** Max requests fused into one cloud forward. */
     std::int64_t max_batch = 8;
-    /** Dispatcher straggler wait (ms); 0 = ship immediately. */
+    /**
+     * Dispatcher straggler wait (ms); 0 = ship immediately. Ignored
+     * when `adaptive_batching` is on.
+     */
     double batch_timeout_ms = 1.0;
+    /**
+     * Replace the fixed straggler wait with the SLO-aware controller
+     * (src/runtime/batch_controller.h): the dispatch deadline tracks
+     * the predicted batch fill time under the observed arrival rate,
+     * bounded by `slo_ms`.
+     */
+    bool adaptive_batching = false;
+    /** Adaptive mode: queue-delay budget (ms) the batcher may add. */
+    double slo_ms = 5.0;
+    /** Adaptive mode: EWMA weight of the newest inter-arrival gap. */
+    double ewma_alpha = 0.2;
     /**
      * Cloud forwards of THIS endpoint allowed in flight at once (its
      * `ExecutionContext` pool size). 0 = one per shared worker.

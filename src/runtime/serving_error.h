@@ -45,6 +45,20 @@ enum class ServingErrorCode {
      * with the old writer" apart from "the file is damaged".
      */
     kVersionMismatch,
+    /**
+     * A network frame violated the SHRQ/SHRP wire protocol: bad
+     * magic, unsupported version, oversize or truncated payload,
+     * trailing bytes, malformed embedded tensor. Frames cross a trust
+     * boundary, so parsing *always* fails with this code (the peer
+     * gets a typed error response or a clean close) — never a crash.
+     */
+    kProtocol,
+    /**
+     * A socket-level failure: connect refused, send/recv error, the
+     * peer disconnected mid-frame. Distinct from `kProtocol` so
+     * callers can tell "the link died" apart from "the bytes lied".
+     */
+    kNetwork,
 };
 
 /** Stable identifier string for a code (used in error messages). */
@@ -60,6 +74,8 @@ to_string(ServingErrorCode code)
         return "kDuplicateEndpoint";
       case ServingErrorCode::kBadBundle: return "kBadBundle";
       case ServingErrorCode::kVersionMismatch: return "kVersionMismatch";
+      case ServingErrorCode::kProtocol: return "kProtocol";
+      case ServingErrorCode::kNetwork: return "kNetwork";
     }
     return "kUnknown";
 }

@@ -13,6 +13,7 @@
 #define SHREDDER_SHREDDER_H
 
 // Runtime
+#include "src/runtime/batch_controller.h"
 #include "src/runtime/inference_server.h"
 #include "src/runtime/logging.h"
 #include "src/runtime/noise_policy.h"
@@ -78,6 +79,12 @@
 
 // Deployment artifacts (train → ship → serve)
 #include "src/deploy/bundle.h"
+
+// Network front door (SHRQ/SHRP activation protocol)
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
 
 // Shredder core (the paper's contribution)
 #include "src/core/lambda_controller.h"

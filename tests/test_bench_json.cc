@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Self-checks for the benchmark harness plumbing: every `JsonWriter`
+ * document must round-trip through the `JsonValidator` parser (a
+ * comma or escaping bug in the writer should fail here, not corrupt
+ * the BENCH_*.json perf trajectory), and the `LatencyHistogram`
+ * percentiles the open-loop benches report must be exact on known
+ * sample sets.
+ */
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace shredder {
+namespace {
+
+using bench::JsonValidator;
+using bench::JsonWriter;
+using bench::LatencyHistogram;
+
+// -- JsonWriter → JsonValidator round trip --------------------------------
+
+TEST(BenchJson, WriterOutputIsValidJson)
+{
+    // The shape a BENCH_server.json v3 point uses: nested objects,
+    // arrays of numbers, strings, bools, negative and fractional
+    // values.
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema");
+    json.value("shredder-server-v3");
+    json.key("fast_mode");
+    json.value(false);
+    json.key("hw_threads");
+    json.value(static_cast<std::int64_t>(8));
+    json.key("window_ms");
+    json.value(2.0);
+    json.key("points");
+    json.begin_array();
+    for (int i = 0; i < 3; ++i) {
+        json.begin_object();
+        json.key("target_qps");
+        json.value(1000.0 * (i + 1));
+        json.key("p95_ms");
+        json.value(0.125 * i);
+        json.key("delta");
+        json.value(-1.5);
+        json.key("latency_log2_buckets_ms");
+        json.begin_array();
+        for (int b = 0; b < 4; ++b) {
+            json.value(static_cast<std::int64_t>(b * 10));
+        }
+        json.end_array();
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    EXPECT_TRUE(JsonValidator::valid(json.str())) << json.str();
+}
+
+TEST(BenchJson, EscapedStringsSurviveTheParser)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.key("compiler");
+    json.value("g++ \"12.2\" \\ special");
+    json.key("empty");
+    json.value("");
+    json.end_object();
+    EXPECT_TRUE(JsonValidator::valid(json.str())) << json.str();
+}
+
+TEST(BenchJson, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.key("nan");
+    json.value(std::nan(""));
+    json.key("inf");
+    json.value(std::numeric_limits<double>::infinity());
+    json.end_object();
+    // NaN/Inf are not JSON; the writer must emit null, and the
+    // validator must accept the result.
+    EXPECT_NE(json.str().find("null"), std::string::npos);
+    EXPECT_TRUE(JsonValidator::valid(json.str())) << json.str();
+}
+
+TEST(BenchJson, ValidatorAcceptsCanonicalDocuments)
+{
+    EXPECT_TRUE(JsonValidator::valid("{}"));
+    EXPECT_TRUE(JsonValidator::valid("[]"));
+    EXPECT_TRUE(JsonValidator::valid("  {\"a\": [1, 2.5, -3e4]}  "));
+    EXPECT_TRUE(JsonValidator::valid("{\"a\": {\"b\": [true, false, "
+                                     "null, \"x\"]}}"));
+    EXPECT_TRUE(JsonValidator::valid("42"));
+    EXPECT_TRUE(JsonValidator::valid("\"just a string\""));
+}
+
+TEST(BenchJson, ValidatorRejectsMalformedDocuments)
+{
+    EXPECT_FALSE(JsonValidator::valid(""));
+    EXPECT_FALSE(JsonValidator::valid("{"));
+    EXPECT_FALSE(JsonValidator::valid("{\"a\":}"));
+    EXPECT_FALSE(JsonValidator::valid("{\"a\": 1,}"));
+    EXPECT_FALSE(JsonValidator::valid("{\"a\" 1}"));
+    EXPECT_FALSE(JsonValidator::valid("{a: 1}"));
+    EXPECT_FALSE(JsonValidator::valid("[1, 2"));
+    EXPECT_FALSE(JsonValidator::valid("[1 2]"));
+    EXPECT_FALSE(JsonValidator::valid("{} trailing"));
+    EXPECT_FALSE(JsonValidator::valid("\"unterminated"));
+    EXPECT_FALSE(JsonValidator::valid("nulll"));
+    EXPECT_FALSE(JsonValidator::valid("--3"));
+}
+
+// -- LatencyHistogram ------------------------------------------------------
+
+TEST(LatencyHistogram, NearestRankPercentilesAreExact)
+{
+    LatencyHistogram hist;
+    // 1..100 ms, inserted shuffled-ish (record order must not matter).
+    for (int i = 100; i >= 1; --i) {
+        hist.record(static_cast<double>(i));
+    }
+    EXPECT_EQ(hist.count(), 100);
+    EXPECT_DOUBLE_EQ(hist.percentile_ms(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(hist.percentile_ms(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(hist.percentile_ms(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(hist.percentile_ms(1.00), 100.0);
+    EXPECT_DOUBLE_EQ(hist.percentile_ms(0.0), 1.0);  // clamped to rank 1
+    EXPECT_DOUBLE_EQ(hist.max_ms(), 100.0);
+    EXPECT_DOUBLE_EQ(hist.mean_ms(), 50.5);
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsAllZero)
+{
+    const LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0);
+    EXPECT_DOUBLE_EQ(hist.percentile_ms(0.95), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean_ms(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.max_ms(), 0.0);
+}
+
+TEST(LatencyHistogram, Log2BucketsCoverEverySample)
+{
+    LatencyHistogram hist;
+    hist.record(0.5);    // bucket 0 (≤ 1 ms)
+    hist.record(1.0);    // bucket 0 (boundary inclusive)
+    hist.record(1.5);    // bucket 1 (≤ 2 ms)
+    hist.record(100.0);  // bucket 7 (≤ 128 ms)
+    hist.record(1e9);    // overflow → last bucket
+    const std::vector<std::int64_t> buckets = hist.log2_buckets(10);
+    ASSERT_EQ(buckets.size(), 10u);
+    EXPECT_EQ(buckets[0], 2);
+    EXPECT_EQ(buckets[1], 1);
+    EXPECT_EQ(buckets[7], 1);
+    EXPECT_EQ(buckets[9], 1);
+    std::int64_t total = 0;
+    for (const std::int64_t b : buckets) {
+        total += b;
+    }
+    EXPECT_EQ(total, hist.count());
+}
+
+TEST(LatencyHistogram, MergeCombinesSampleSets)
+{
+    LatencyHistogram a, b;
+    a.record(1.0);
+    a.record(2.0);
+    b.record(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3);
+    EXPECT_DOUBLE_EQ(a.percentile_ms(1.0), 3.0);
+}
+
+}  // namespace
+}  // namespace shredder

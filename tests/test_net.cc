@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Integration tests for the network front door: loopback end-to-end
+ * serving through the SHRQ/SHRP protocol, bit-exactness against the
+ * in-process engine, concurrent clients, and — most important — the
+ * trust-boundary sweep: every malformed byte stream a client can send
+ * (truncations, bad magic, future versions, oversize length prefixes,
+ * lying tensor headers, mid-frame disconnects) must produce a typed
+ * error or a clean close, and the server must keep serving afterwards.
+ * Network input must never crash the process.
+ */
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/noise_collection.h"
+#include "src/core/noise_distribution.h"
+#include "src/deploy/bundle.h"
+#include "src/models/zoo.h"
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/runtime/noise_policy.h"
+#include "src/runtime/serving_engine.h"
+#include "src/split/split_model.h"
+#include "src/tensor/ops.h"
+
+namespace shredder {
+namespace {
+
+using runtime::EndpointConfig;
+using runtime::ReplayPolicy;
+using runtime::ServingEngine;
+using runtime::ServingError;
+using runtime::ServingErrorCode;
+
+/**
+ * LeNet engine behind a loopback server, replay policy at the last
+ * conv cut — the deployment the wire protocol fronts.
+ */
+struct Fixture
+{
+    explicit Fixture(std::uint64_t seed = 91)
+        : rng(seed), net(models::make_lenet(rng)),
+          cut(split::conv_cut_points(*net).back()), model(*net, cut),
+          act_shape(model.activation_shape(Shape({1, 28, 28})))
+    {
+        for (int i = 0; i < 4; ++i) {
+            core::NoiseSample s;
+            s.noise = Tensor::laplace(per_sample(), rng, 0.0f, 1.0f);
+            collection.add(std::move(s));
+        }
+        engine = std::make_unique<ServingEngine>();
+        EndpointConfig ep;
+        ep.max_batch = 4;
+        ep.batch_timeout_ms = 0.2;
+        engine->register_endpoint(
+            "lenet", model,
+            std::make_shared<ReplayPolicy>(collection, 0xFACE), ep);
+        server = std::make_unique<net::Server>(*engine);
+    }
+
+    Shape
+    per_sample() const
+    {
+        return Shape({act_shape[1], act_shape[2], act_shape[3]});
+    }
+
+    Tensor
+    sample_activation()
+    {
+        return Tensor::normal(per_sample(), rng);
+    }
+
+    /** A fully valid SHRQ frame for `id` (raw-socket tests mutate it). */
+    std::string
+    valid_frame(std::uint64_t id, const std::string& endpoint = "lenet")
+    {
+        net::Request request;
+        request.request_id = id;
+        request.endpoint = endpoint;
+        request.activation = sample_activation();
+        return net::encode_request(request);
+    }
+
+    Rng rng;
+    std::unique_ptr<nn::Sequential> net;
+    std::int64_t cut;
+    split::SplitModel model;
+    Shape act_shape;  ///< Batched ([1, C, H, W]).
+    core::NoiseCollection collection;
+    std::unique_ptr<ServingEngine> engine;
+    std::unique_ptr<net::Server> server;
+};
+
+/**
+ * Prove the server still answers good requests on a FRESH connection —
+ * the "one bad client never costs the service" check run after every
+ * hostile case.
+ */
+void
+expect_still_serving(Fixture& fx, std::uint64_t id)
+{
+    net::Client client("127.0.0.1", fx.server->port());
+    const Tensor logits = client.infer("lenet", fx.sample_activation(), id);
+    EXPECT_EQ(logits.shape().rank(), 1);
+    EXPECT_GT(logits.size(), 0);
+}
+
+// -- End-to-end loopback serving ------------------------------------------
+
+TEST(NetServer, LoopbackMatchesInProcessBitExact)
+{
+    Fixture fx;
+    net::Client client("127.0.0.1", fx.server->port());
+
+    // The same (activation, request id) served over the wire and
+    // through ServingEngine::submit must agree bit-for-bit: the wire
+    // codec round-trips floats exactly, and the replay policy keys its
+    // draw on the id, so transport cannot change the noise assignment.
+    for (std::uint64_t id = 0; id < 8; ++id) {
+        const Tensor activation = fx.sample_activation();
+        const Tensor wire = client.infer("lenet", activation, id);
+        const Tensor direct =
+            fx.engine->submit("lenet", activation, id).get();
+        ASSERT_EQ(wire.shape().to_string(), direct.shape().to_string());
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(wire, direct), 0.0) << id;
+    }
+
+    const net::ServerNetStats stats = fx.server->stats();
+    EXPECT_EQ(stats.connections_accepted, 1);
+    EXPECT_EQ(stats.frames_served, 8);
+    EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST(NetServer, ColdStartBundleEndpointServesOverWire)
+{
+    Fixture fx;
+    // Ship the fixture's artifacts as a bundle and cold-start a second
+    // endpoint from disk — the full train→ship→serve→wire loop.
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(fx.collection);
+    deploy::BundleContents contents;
+    contents.network = fx.net.get();
+    contents.cut = fx.cut;
+    contents.input_shape = Shape({1, 28, 28});
+    contents.policy.kind = deploy::PolicyKind::kReplay;
+    contents.policy.seed = 0xFACE;
+    contents.collection = &fx.collection;
+    contents.distribution = &dist;
+    const std::string path = ::testing::TempDir() + "net-coldstart.shb";
+    deploy::save_bundle(path, contents);
+    fx.engine->register_endpoint_from_bundle("bundled", path);
+
+    net::Client client("127.0.0.1", fx.server->port());
+    for (std::uint64_t id = 100; id < 104; ++id) {
+        const Tensor activation = fx.sample_activation();
+        const Tensor wire = client.infer("bundled", activation, id);
+        const Tensor direct =
+            fx.engine->submit("bundled", activation, id).get();
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(wire, direct), 0.0) << id;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(NetServer, ConcurrentClientsEachBitExact)
+{
+    Fixture fx;
+    constexpr int kClients = 4;
+    constexpr std::uint64_t kPerClient = 8;
+
+    // Each thread owns a connection and a disjoint id range; every
+    // response must match the in-process result for ITS id — under
+    // concurrency the id→noise binding is what keeps replies from
+    // crossing wires.
+    std::vector<std::thread> threads;
+    std::vector<std::string> failures(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&fx, &failures, c] {
+            try {
+                Rng rng(1000 + static_cast<std::uint64_t>(c));
+                net::Client client("127.0.0.1", fx.server->port());
+                for (std::uint64_t i = 0; i < kPerClient; ++i) {
+                    const std::uint64_t id =
+                        static_cast<std::uint64_t>(c) * kPerClient + i;
+                    const Tensor activation =
+                        Tensor::normal(fx.per_sample(), rng);
+                    const Tensor wire =
+                        client.infer("lenet", activation, id);
+                    const Tensor direct =
+                        fx.engine->submit("lenet", activation, id).get();
+                    if (ops::max_abs_diff(wire, direct) != 0.0) {
+                        failures[static_cast<std::size_t>(c)] =
+                            "mismatch at id " + std::to_string(id);
+                        return;
+                    }
+                }
+            } catch (const std::exception& e) {
+                failures[static_cast<std::size_t>(c)] = e.what();
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_TRUE(failures[static_cast<std::size_t>(c)].empty())
+            << "client " << c << ": "
+            << failures[static_cast<std::size_t>(c)];
+    }
+    EXPECT_EQ(fx.server->stats().frames_served,
+              static_cast<std::int64_t>(kClients) *
+                  static_cast<std::int64_t>(kPerClient));
+}
+
+TEST(NetServer, PipelinedRequestsAnswerInOrderWithIds)
+{
+    Fixture fx;
+    net::Client client("127.0.0.1", fx.server->port());
+    constexpr std::uint64_t kInFlight = 16;
+    std::vector<Tensor> sent;
+    for (std::uint64_t id = 0; id < kInFlight; ++id) {
+        sent.push_back(fx.sample_activation());
+        client.send("lenet", sent.back(), id);
+    }
+    for (std::uint64_t id = 0; id < kInFlight; ++id) {
+        const net::Response response = client.recv();
+        ASSERT_EQ(response.status, net::WireStatus::kOk);
+        EXPECT_EQ(response.request_id, id);  // FIFO per connection
+        const Tensor direct =
+            fx.engine->submit("lenet", sent[id], id).get();
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(response.output, direct), 0.0);
+    }
+}
+
+// -- Typed per-request failures keep the connection alive -----------------
+
+TEST(NetServer, UnknownEndpointIsTypedAndConnectionSurvives)
+{
+    Fixture fx;
+    net::Client client("127.0.0.1", fx.server->port());
+    try {
+        client.infer("nope", fx.sample_activation(), 1);
+        ADD_FAILURE() << "expected kUnknownEndpoint";
+    } catch (const ServingError& e) {
+        EXPECT_EQ(e.code(), ServingErrorCode::kUnknownEndpoint) << e.what();
+    }
+    // SAME connection keeps working: a bad request is the client's
+    // problem, not the link's.
+    const Tensor logits = client.infer("lenet", fx.sample_activation(), 2);
+    EXPECT_GT(logits.size(), 0);
+}
+
+TEST(NetServer, WrongTensorShapeIsTypedAndConnectionSurvives)
+{
+    Fixture fx;
+    net::Client client("127.0.0.1", fx.server->port());
+    try {
+        client.infer("lenet", Tensor::normal(Shape({3}), fx.rng), 1);
+        ADD_FAILURE() << "expected kInvalidShape";
+    } catch (const ServingError& e) {
+        EXPECT_EQ(e.code(), ServingErrorCode::kInvalidShape) << e.what();
+    }
+    const Tensor logits = client.infer("lenet", fx.sample_activation(), 2);
+    EXPECT_GT(logits.size(), 0);
+}
+
+// -- Trust-boundary sweep: hostile byte streams ---------------------------
+
+/**
+ * Send `bytes` on a raw socket, then expect a best-effort SHRP
+ * `kProtocolError` response followed by the server closing the stream.
+ */
+void
+expect_protocol_error_response(Fixture& fx, const std::string& bytes)
+{
+    net::Socket socket = net::Socket::connect("127.0.0.1",
+                                              fx.server->port());
+    socket.send_all(bytes.data(), bytes.size());
+    std::string payload;
+    ASSERT_TRUE(net::read_frame(socket, net::kResponseMagic, &payload));
+    const net::Response response = net::decode_response_payload(payload);
+    EXPECT_EQ(response.status, net::WireStatus::kProtocolError)
+        << response.message;
+    // The server ends a connection it can no longer frame-align.
+    char byte;
+    EXPECT_EQ(socket.recv_some(&byte, 1), 0u);
+}
+
+TEST(NetServer, BadMagicGetsTypedErrorAndServerSurvives)
+{
+    Fixture fx;
+    std::string frame = fx.valid_frame(7);
+    frame[0] = 'X';  // corrupt the magic
+    expect_protocol_error_response(fx, frame);
+    expect_still_serving(fx, 8);
+    EXPECT_GE(fx.server->stats().protocol_errors, 1);
+}
+
+TEST(NetServer, FutureVersionIsRejectedTyped)
+{
+    Fixture fx;
+    std::string frame = fx.valid_frame(7);
+    frame[4] = 99;  // version u32 LE: far beyond kProtocolVersion
+    expect_protocol_error_response(fx, frame);
+    expect_still_serving(fx, 8);
+}
+
+TEST(NetServer, OversizeLengthPrefixIsRejectedBeforeAllocation)
+{
+    Fixture fx;
+    std::string frame = fx.valid_frame(7);
+    // payload_len u32 LE at offset 8: claim ~3.2 GiB. The reader must
+    // reject against kMaxFramePayload instead of trying to allocate.
+    frame[8] = static_cast<char>(0xFF);
+    frame[9] = static_cast<char>(0xFF);
+    frame[10] = static_cast<char>(0xFF);
+    frame[11] = static_cast<char>(0xBF);
+    expect_protocol_error_response(fx, frame);
+    expect_still_serving(fx, 8);
+}
+
+TEST(NetServer, LyingPayloadIsRejectedTyped)
+{
+    Fixture fx;
+    // Valid envelope, garbage payload: the length prefix is honest but
+    // the bytes inside are not a (id, endpoint, tensor) triple.
+    std::string frame = fx.valid_frame(7);
+    for (std::size_t i = 12; i < frame.size(); ++i) {
+        frame[i] = static_cast<char>(0xAB);
+    }
+    expect_protocol_error_response(fx, frame);
+    expect_still_serving(fx, 8);
+}
+
+TEST(NetServer, TruncationSweepNeverKillsServer)
+{
+    Fixture fx;
+    const std::string frame = fx.valid_frame(7);
+    // Disconnect after every possible prefix of a valid frame — every
+    // cut is either a clean between-frames close (0 bytes) or a
+    // mid-frame disconnect; none may crash the server or wedge the
+    // acceptor. Stride through the tensor body to keep the sweep fast
+    // while still hitting every envelope/header boundary byte.
+    std::vector<std::size_t> cuts;
+    for (std::size_t len = 0; len <= 32 && len < frame.size(); ++len) {
+        cuts.push_back(len);
+    }
+    for (std::size_t len = 33; len < frame.size(); len += 97) {
+        cuts.push_back(len);
+    }
+    cuts.push_back(frame.size() - 1);
+    for (const std::size_t len : cuts) {
+        net::Socket socket = net::Socket::connect("127.0.0.1",
+                                                  fx.server->port());
+        socket.send_all(frame.data(), len);
+        socket.close();  // mid-frame disconnect (or clean when len==0)
+    }
+    expect_still_serving(fx, 8);
+}
+
+TEST(NetServer, CleanCloseBetweenFramesIsGraceful)
+{
+    Fixture fx;
+    {
+        // Connect, say nothing, leave: a clean close, not an error.
+        net::Socket socket = net::Socket::connect("127.0.0.1",
+                                                  fx.server->port());
+        socket.shutdown_send();
+        char byte;
+        EXPECT_EQ(socket.recv_some(&byte, 1), 0u);
+    }
+    {
+        // One good frame, then a clean close after the response.
+        net::Client client("127.0.0.1", fx.server->port());
+        const Tensor logits =
+            client.infer("lenet", fx.sample_activation(), 3);
+        EXPECT_GT(logits.size(), 0);
+    }
+    expect_still_serving(fx, 4);
+    EXPECT_EQ(fx.server->stats().protocol_errors, 0);
+}
+
+TEST(NetServer, StopAnswersInFlightAndRefusesNew)
+{
+    Fixture fx;
+    net::Client client("127.0.0.1", fx.server->port());
+    const Tensor logits = client.infer("lenet", fx.sample_activation(), 1);
+    EXPECT_GT(logits.size(), 0);
+    fx.server->stop();
+    // The old connection is gone and new ones are refused.
+    EXPECT_THROW(net::Socket::connect("127.0.0.1", fx.server->port()),
+                 ServingError);
+    // stop() is idempotent.
+    fx.server->stop();
+}
+
+TEST(NetClient, ConnectionRefusedIsTypedNetwork)
+{
+    // A listener bound then immediately closed: the port is known-dead.
+    std::uint16_t dead_port;
+    {
+        net::Listener probe("127.0.0.1", 0);
+        dead_port = probe.port();
+    }
+    try {
+        net::Client client("127.0.0.1", dead_port);
+        ADD_FAILURE() << "expected kNetwork";
+    } catch (const ServingError& e) {
+        EXPECT_EQ(e.code(), ServingErrorCode::kNetwork) << e.what();
+    }
+}
+
+}  // namespace
+}  // namespace shredder

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * `shredder_loadgen` — open-loop TCP load generator for a running
+ * `shredder_serve --listen` front door.
+ *
+ * The generator plays the edge-device role: it loads the same bundle
+ * the server cold-started (for the activation shape at the cut — the
+ * wire carries activations, not inputs), connects over the SHRQ/SHRP
+ * protocol, and fires Poisson arrivals at each target rate whether or
+ * not earlier requests have finished (open loop: a saturated server
+ * shows up as tail latency, not reduced offered load). Latency is
+ * measured from each request's *scheduled* arrival to its response
+ * frame, so submission backpressure cannot hide queueing delay.
+ *
+ *   shredder_serve deploy/manifest.txt --listen 127.0.0.1:0 \
+ *       --port-file /tmp/port &
+ *   shredder_loadgen --endpoint lenet --bundle deploy/lenet.shb \
+ *       --host 127.0.0.1 --port $(cat /tmp/port) \
+ *       --qps 500,2000 --duration 2 --json latency.json
+ *
+ * Exit status: 0 on success (JSON written), 1 on a connection/serving
+ * error, 2 on a usage error.
+ */
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace shredder;
+using Clock = std::chrono::steady_clock;
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --endpoint <name> --bundle <path> --port <port>\n"
+        "          [--host 127.0.0.1] [--qps 500,2000,8000]\n"
+        "          [--duration seconds] [--json out.json] [--seed N]\n"
+        "\n"
+        "Open-loop Poisson load against a shredder_serve --listen\n"
+        "front door. The bundle supplies the activation shape the\n"
+        "endpoint expects; latency percentiles per target rate go to\n"
+        "the JSON file (schema shredder-loadgen-v1).\n",
+        argv0);
+    return 2;
+}
+
+struct SweepPoint
+{
+    double target_qps = 0.0;
+    std::int64_t offered = 0;
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+    double run_seconds = 0.0;
+    bench::LatencyHistogram latency;
+};
+
+/**
+ * One open-loop run at `qps`: a fresh connection, scheduled sends,
+ * and a receiver thread stamping completions (the server answers in
+ * FIFO order per connection).
+ */
+SweepPoint
+run_point(const std::string& host, std::uint16_t port,
+          const std::string& endpoint, const std::vector<Tensor>& pool,
+          double qps, double duration_s, std::uint64_t seed)
+{
+    SweepPoint point;
+    point.target_qps = qps;
+    point.offered = static_cast<std::int64_t>(qps * duration_s);
+
+    std::mt19937_64 gen(seed);
+    std::exponential_distribution<double> gap(qps / 1e3);  // per ms
+
+    net::Client client(host, port);
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Clock::time_point> in_flight;
+    bool send_done = false;
+
+    const auto t0 = Clock::now();
+    std::thread receiver([&] {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock,
+                        [&] { return !in_flight.empty() || send_done; });
+                if (in_flight.empty()) {
+                    return;
+                }
+            }
+            net::Response response;
+            try {
+                response = client.recv();
+            } catch (const runtime::ServingError&) {
+                std::lock_guard<std::mutex> lock(mutex);
+                point.failed +=
+                    static_cast<std::int64_t>(in_flight.size());
+                in_flight.clear();
+                return;
+            }
+            const auto done = Clock::now();
+            std::lock_guard<std::mutex> lock(mutex);
+            const auto scheduled = in_flight.front();
+            in_flight.pop_front();
+            if (response.status == net::WireStatus::kOk) {
+                point.latency.record(
+                    std::chrono::duration<double, std::milli>(done -
+                                                              scheduled)
+                        .count());
+                ++point.completed;
+            } else {
+                ++point.failed;
+            }
+        }
+    });
+
+    double at_ms = 0.0;
+    for (std::int64_t i = 0; i < point.offered; ++i) {
+        at_ms += gap(gen);
+        const auto scheduled =
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(at_ms));
+        std::this_thread::sleep_until(scheduled);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            in_flight.push_back(scheduled);
+        }
+        client.send(endpoint,
+                    pool[static_cast<std::size_t>(i) % pool.size()],
+                    static_cast<std::uint64_t>(i));
+        cv.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        send_done = true;
+    }
+    cv.notify_all();
+    receiver.join();
+    client.close();
+    point.run_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return point;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string endpoint;
+    std::string bundle_path;
+    std::string host = "127.0.0.1";
+    std::string json_path = "loadgen.json";
+    std::string qps_spec = "500,2000,8000";
+    long port = 0;
+    double duration_s = 2.0;
+    std::uint64_t seed = 0xA11CE;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--endpoint" && has_value) {
+            endpoint = argv[++i];
+        } else if (arg == "--bundle" && has_value) {
+            bundle_path = argv[++i];
+        } else if (arg == "--host" && has_value) {
+            host = argv[++i];
+        } else if (arg == "--port" && has_value) {
+            port = std::atol(argv[++i]);
+        } else if (arg == "--qps" && has_value) {
+            qps_spec = argv[++i];
+        } else if (arg == "--duration" && has_value) {
+            duration_s = std::atof(argv[++i]);
+        } else if (arg == "--json" && has_value) {
+            json_path = argv[++i];
+        } else if (arg == "--seed" && has_value) {
+            seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "bad argument '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (endpoint.empty() || bundle_path.empty() || port <= 0 ||
+        port > 65535 || duration_s <= 0.0) {
+        return usage(argv[0]);
+    }
+
+    std::vector<double> qps_points;
+    {
+        std::string token;
+        for (const char* p = qps_spec.c_str();; ++p) {
+            if (*p == ',' || *p == '\0') {
+                if (!token.empty()) {
+                    const double qps = std::atof(token.c_str());
+                    if (qps <= 0.0) {
+                        std::fprintf(stderr, "bad qps '%s'\n",
+                                     token.c_str());
+                        return usage(argv[0]);
+                    }
+                    qps_points.push_back(qps);
+                    token.clear();
+                }
+                if (*p == '\0') {
+                    break;
+                }
+            } else {
+                token += *p;
+            }
+        }
+    }
+    if (qps_points.empty()) {
+        return usage(argv[0]);
+    }
+
+    // The edge role: learn the activation shape at the cut from the
+    // same artifact the server cold-started, then ship random
+    // activations of that shape (load generation does not need real
+    // inputs — the server-side work is shape-driven).
+    Shape activation_shape;
+    try {
+        const deploy::Bundle bundle = deploy::load_bundle(bundle_path);
+        activation_shape = bundle.activation_shape();
+    } catch (const runtime::ServingError& e) {
+        std::fprintf(stderr, "cannot load bundle %s: %s\n",
+                     bundle_path.c_str(), e.what());
+        return 1;
+    }
+    Rng rng(seed);
+    std::vector<Tensor> pool;
+    for (int i = 0; i < 64; ++i) {
+        pool.push_back(Tensor::normal(activation_shape, rng));
+    }
+
+    std::printf("loadgen: endpoint '%s', activation %s, %s:%ld, "
+                "%.1fs per point\n",
+                endpoint.c_str(), activation_shape.to_string().c_str(),
+                host.c_str(), port, duration_s);
+    std::printf("%10s %10s %10s %9s %9s %9s %9s\n", "target_qps",
+                "achieved", "completed", "p50 ms", "p95 ms", "p99 ms",
+                "max ms");
+
+    bench::JsonWriter json;
+    json.begin_object();
+    json.key("schema");
+    json.value("shredder-loadgen-v1");
+    json.key("generated");
+    json.value(bench::now_iso8601());
+    json.key("endpoint");
+    json.value(endpoint);
+    json.key("duration_s");
+    json.value(duration_s);
+    json.key("points");
+    json.begin_array();
+
+    for (std::size_t qi = 0; qi < qps_points.size(); ++qi) {
+        SweepPoint point;
+        try {
+            point = run_point(host, static_cast<std::uint16_t>(port),
+                              endpoint, pool, qps_points[qi], duration_s,
+                              seed + qi);
+        } catch (const runtime::ServingError& e) {
+            std::fprintf(stderr, "sweep at %.0f qps failed: %s\n",
+                         qps_points[qi], e.what());
+            return 1;
+        }
+        const double achieved = static_cast<double>(point.completed) /
+                                std::max(point.run_seconds, 1e-9);
+        std::printf("%10.0f %10.0f %10lld %9.3f %9.3f %9.3f %9.3f\n",
+                    point.target_qps, achieved,
+                    static_cast<long long>(point.completed),
+                    point.latency.percentile_ms(0.50),
+                    point.latency.percentile_ms(0.95),
+                    point.latency.percentile_ms(0.99),
+                    point.latency.max_ms());
+        std::fflush(stdout);
+
+        json.begin_object();
+        json.key("target_qps");
+        json.value(point.target_qps);
+        json.key("offered");
+        json.value(point.offered);
+        json.key("completed");
+        json.value(point.completed);
+        json.key("failed");
+        json.value(point.failed);
+        json.key("achieved_qps");
+        json.value(achieved);
+        json.key("p50_ms");
+        json.value(point.latency.percentile_ms(0.50));
+        json.key("p95_ms");
+        json.value(point.latency.percentile_ms(0.95));
+        json.key("p99_ms");
+        json.value(point.latency.percentile_ms(0.99));
+        json.key("mean_ms");
+        json.value(point.latency.mean_ms());
+        json.key("max_ms");
+        json.value(point.latency.max_ms());
+        json.key("latency_log2_buckets_ms");
+        json.begin_array();
+        for (const std::int64_t b : point.latency.log2_buckets(16)) {
+            json.value(b);
+        }
+        json.end_array();
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    if (!bench::JsonValidator::valid(json.str())) {
+        std::fprintf(stderr, "internal error: emitted invalid JSON\n");
+        return 1;
+    }
+    if (!json.write_file(json_path)) {
+        std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

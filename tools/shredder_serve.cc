@@ -19,10 +19,17 @@
  * applies the bundled noise policy and finishes the inference. That
  * exercises the exact code path a real deployment serves.
  *
+ * With `--listen host:port` the tool instead becomes the network
+ * front door: after the endpoint table it starts a `net::Server`
+ * speaking the SHRQ/SHRP activation protocol (src/net/protocol.h) and
+ * serves until SIGINT/SIGTERM. `--port-file` writes the bound port to
+ * a file once listening (for scripts using an ephemeral `:0` port).
+ *
  * Exit status: 0 on success, 1 on a serving/load error (typed
  * `ServingError` — a malformed bundle fails the load, never aborts
  * the process), 2 on a usage error.
  */
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,9 +59,37 @@ usage(const char* argv0)
         "(default 8)\n"
         "  --seed N              RNG seed of the self-test inputs\n"
         "  --list                load + list endpoints, skip the "
-        "self-test\n",
+        "self-test\n"
+        "  --listen host:port    serve the SHRQ/SHRP wire protocol on\n"
+        "                        a TCP socket until SIGINT/SIGTERM\n"
+        "                        (port 0 = kernel-assigned)\n"
+        "  --port-file path      write the bound port to this file once\n"
+        "                        listening (useful with port 0)\n",
         argv0, argv0);
     return 2;
+}
+
+/**
+ * Split "host:port" at the LAST colon (the host is a numeric IPv4
+ * address or name, never containing one). Returns false on a missing
+ * colon or a port outside [0, 65535].
+ */
+bool
+parse_listen(const std::string& spec, std::string* host, std::uint16_t* port)
+{
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+        return false;
+    }
+    char* end = nullptr;
+    const long value = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    if (end == spec.c_str() + colon + 1 || *end != '\0' || value < 0 ||
+        value > 65535) {
+        return false;
+    }
+    *host = spec.substr(0, colon);
+    *port = static_cast<std::uint16_t>(value);
+    return true;
 }
 
 }  // namespace
@@ -67,6 +102,10 @@ main(int argc, char** argv)
     std::int64_t queries = 8;
     std::uint64_t seed = 7;
     bool list_only = false;
+    bool listen = false;
+    std::string listen_host;
+    std::uint16_t listen_port = 0;
+    std::string port_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -98,6 +137,19 @@ main(int argc, char** argv)
             seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (arg == "--list") {
             list_only = true;
+        } else if (arg == "--listen") {
+            if (i + 1 >= argc ||
+                !parse_listen(argv[i + 1], &listen_host, &listen_port)) {
+                std::fprintf(stderr, "bad --listen spec (want host:port)\n");
+                return usage(argv[0]);
+            }
+            ++i;
+            listen = true;
+        } else if (arg == "--port-file") {
+            if (i + 1 >= argc) {
+                return usage(argv[0]);
+            }
+            port_file = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -112,6 +164,19 @@ main(int argc, char** argv)
     }
     if (manifest.empty() && direct.empty()) {
         return usage(argv[0]);
+    }
+
+    // Listen mode shuts down on SIGINT/SIGTERM via sigwait. The mask
+    // must be in place BEFORE any thread exists (the engine spawns its
+    // worker pool at construction; threads inherit the mask) or the
+    // kernel may deliver the signal to a worker with the default
+    // disposition and kill the process instead.
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGINT);
+    sigaddset(&mask, SIGTERM);
+    if (listen) {
+        pthread_sigmask(SIG_BLOCK, &mask, nullptr);
     }
 
     runtime::ServingEngine engine;
@@ -144,6 +209,49 @@ main(int argc, char** argv)
                     bundle->activation_shape().to_string().c_str());
     }
     if (list_only) {
+        return 0;
+    }
+
+    if (listen) {
+        try {
+            net::ServerConfig server_config;
+            server_config.host = listen_host;
+            server_config.port = listen_port;
+            net::Server server(engine, server_config);
+            std::printf("\nlistening on %s:%u (SHRQ/SHRP v%u)\n",
+                        listen_host.c_str(), server.port(),
+                        net::kProtocolVersion);
+            if (!port_file.empty()) {
+                std::FILE* f = std::fopen(port_file.c_str(), "w");
+                if (f == nullptr) {
+                    std::fprintf(stderr, "cannot write port file %s\n",
+                                 port_file.c_str());
+                    return 1;
+                }
+                std::fprintf(f, "%u\n", server.port());
+                std::fclose(f);
+            }
+            std::fflush(stdout);
+
+            int sig = 0;
+            sigwait(&mask, &sig);
+            std::printf("signal %d: shutting down\n", sig);
+            server.stop();
+            const net::ServerNetStats net_stats = server.stats();
+            const runtime::ServerStats stats = engine.stats();
+            std::printf("served %lld frames over %lld connections "
+                        "(%lld protocol errors), %lld requests in %lld "
+                        "batches\n",
+                        static_cast<long long>(net_stats.frames_served),
+                        static_cast<long long>(
+                            net_stats.connections_accepted),
+                        static_cast<long long>(net_stats.protocol_errors),
+                        static_cast<long long>(stats.requests),
+                        static_cast<long long>(stats.batches));
+        } catch (const runtime::ServingError& e) {
+            std::fprintf(stderr, "listen failed: %s\n", e.what());
+            return 1;
+        }
         return 0;
     }
 
