@@ -287,6 +287,9 @@ save_bundle(const std::string& path, const BundleContents& contents)
     write_policy_spec(os, contents.policy);
     wire::write_shape(os, contents.input_shape);
     wire::write_u64(os, static_cast<std::uint64_t>(contents.cut));
+    // Version 3: transport hints follow the cut index.
+    wire::write_u8(os, static_cast<std::uint8_t>(contents.wire_dtype));
+    wire::write_u8(os, contents.int8_compute ? 1 : 0);
     nn::save_arch(os, net);
     wire::write_u8(os, contents.distribution != nullptr ? 1 : 0);
     if (contents.distribution != nullptr) {
@@ -385,6 +388,18 @@ load_bundle(const std::string& path)
             bad_bundle(path, "input shape must be per-sample (rank 1-3)");
         }
         const auto cut = static_cast<std::int64_t>(wire::read_u64(is));
+        if (version >= 3) {
+            const std::uint8_t wire_code = wire::read_u8(is);
+            if (wire_code > static_cast<std::uint8_t>(WireDtype::kI16)) {
+                bad_bundle(path, "unknown wire dtype code");
+            }
+            b.wire_dtype_ = static_cast<WireDtype>(wire_code);
+            const std::uint8_t int8_flag = wire::read_u8(is);
+            if (int8_flag > 1) {
+                bad_bundle(path, "bad int8_compute flag");
+            }
+            b.int8_compute_ = int8_flag == 1;
+        }
         b.network_ = nn::load_arch(is);
         if (cut < 0 || cut > b.network_->size()) {
             bad_bundle(path, "cut index out of range");
@@ -543,6 +558,24 @@ parse_manifest(const std::string& path)
                         entry.config.ewma_alpha > 1.0) {
                         fail(line_no, "ewma_alpha must be in (0, 1]");
                     }
+                } else if (key == "wire_dtype") {
+                    WireDtype dtype;
+                    if (!parse_wire_dtype(value, &dtype)) {
+                        fail(line_no,
+                             "wire_dtype must be fp32/int8/int16");
+                    }
+                    entry.config.wire_dtype = dtype;
+                    consumed = value.size();
+                } else if (key == "int8_compute") {
+                    if (value == "true" || value == "1") {
+                        entry.config.int8_compute = true;
+                    } else if (value == "false" || value == "0") {
+                        entry.config.int8_compute = false;
+                    } else {
+                        fail(line_no,
+                             "int8_compute must be true/false/1/0");
+                    }
+                    consumed = value.size();
                 } else {
                     fail(line_no, "unknown key '" + key + "'");
                 }

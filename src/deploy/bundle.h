@@ -46,6 +46,7 @@
 #include "src/nn/sequential.h"
 #include "src/runtime/noise_policy.h"
 #include "src/runtime/serving_engine.h"
+#include "src/tensor/quantize.h"
 #include "src/tensor/tensor.h"
 
 namespace shredder {
@@ -54,9 +55,11 @@ namespace deploy {
 /**
  * Current bundle format version (`load_bundle` accepts ≤ this).
  * Version 2 added the `shuffle` and `composed` policy-spec encodings;
- * version-1 files (policy kinds 0–3, no spec extras) still load.
+ * version 3 added the transport hints (`wire_dtype` u8 + `int8_compute`
+ * u8 after the cut index). Version-1/2 files still load — older
+ * versions imply fp32 transport.
  */
-constexpr std::uint32_t kBundleVersion = 2;
+constexpr std::uint32_t kBundleVersion = 3;
 
 /** The noise mechanism a bundle deploys (mirrors `NoisePolicy`). */
 enum class PolicyKind : std::uint32_t {
@@ -121,6 +124,17 @@ struct BundleContents
     const core::NoiseDistribution* distribution = nullptr;
     /** Fixed tensor (required for `kFixed`; else ignored). */
     const Tensor* fixed_noise = nullptr;
+    /**
+     * Transport hint: the wire dtype this artifact was measured under
+     * (clients of a cold-started endpoint should quantize to it so
+     * measured = served). fp32 = plain v1 transport.
+     */
+    WireDtype wire_dtype = WireDtype::kF32;
+    /**
+     * Transport hint: enable the server's int8 direct-consume GEMM
+     * path for endpoints cold-started from this artifact.
+     */
+    bool int8_compute = false;
 };
 
 /**
@@ -161,6 +175,12 @@ class Bundle
     /** The deployment mechanism this artifact was saved under. */
     const PolicySpec& policy_spec() const { return policy_; }
 
+    /** Transport hint: wire dtype the artifact was measured under. */
+    WireDtype wire_dtype() const { return wire_dtype_; }
+
+    /** Transport hint: run the int8 direct-consume path when serving. */
+    bool int8_compute() const { return int8_compute_; }
+
     /** Embedded learned collection (may be empty). */
     const core::NoiseCollection& collection() const { return collection_; }
 
@@ -195,6 +215,8 @@ class Bundle
     core::NoiseCollection collection_;
     std::optional<core::NoiseDistribution> distribution_;
     Tensor fixed_noise_;
+    WireDtype wire_dtype_ = WireDtype::kF32;
+    bool int8_compute_ = false;
 };
 
 /**
@@ -224,9 +246,12 @@ struct ManifestEntry
  *   # comment
  *   endpoint <name> <bundle-path> [key=value ...]
  *
- * with keys `max_batch`, `batch_timeout_ms`, `max_concurrent_batches`
- * and `context_seed`. Relative bundle paths resolve against the
- * manifest file's directory.
+ * with keys `max_batch`, `batch_timeout_ms`, `max_concurrent_batches`,
+ * `context_seed`, `adaptive_batching`, `slo_ms`, `ewma_alpha`,
+ * `wire_dtype` (`fp32|int8|int16`) and `int8_compute`
+ * (`true|false|1|0`). Relative bundle paths resolve against the
+ * manifest file's directory. `wire_dtype`/`int8_compute` left unset
+ * defer to the bundle's own transport hints.
  *
  * @throws runtime::ServingError `kBadBundle` on a missing file, an
  *         unknown directive/key, a malformed value, or a duplicate

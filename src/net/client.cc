@@ -27,6 +27,23 @@ Client::send(const std::string& endpoint, const Tensor& activation,
     socket_.send_all(frame.data(), frame.size());
 }
 
+void
+Client::send(const std::string& endpoint, const Tensor& activation,
+             std::uint64_t request_id, WireDtype dtype)
+{
+    if (dtype == WireDtype::kF32) {
+        send(endpoint, activation, request_id);
+        return;
+    }
+    Request request;
+    request.request_id = request_id;
+    request.endpoint = endpoint;
+    request.quantized = quantize(activation, dtype);
+    request.is_quantized = true;
+    const std::string frame = encode_request(request);
+    socket_.send_all(frame.data(), frame.size());
+}
+
 Response
 Client::recv()
 {
@@ -43,7 +60,14 @@ Tensor
 Client::infer(const std::string& endpoint, const Tensor& activation,
               std::uint64_t request_id)
 {
-    send(endpoint, activation, request_id);
+    return infer(endpoint, activation, request_id, WireDtype::kF32);
+}
+
+Tensor
+Client::infer(const std::string& endpoint, const Tensor& activation,
+              std::uint64_t request_id, WireDtype dtype)
+{
+    send(endpoint, activation, request_id, dtype);
     Response response = recv();
     if (response.request_id != request_id) {
         throw ServingError(ServingErrorCode::kProtocol,

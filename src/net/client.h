@@ -56,12 +56,26 @@ class Client
                  std::uint64_t request_id);
 
     /**
+     * As `infer`, but the activation crosses the wire quantized to
+     * `dtype` (int8 ships 4× fewer payload bytes than fp32). The
+     * quantize-after-noise distortion this adds is the mechanism
+     * `runtime::QuantizePolicy` reproduces for measurement. `dtype`
+     * kF32 is the plain path.
+     */
+    Tensor infer(const std::string& endpoint, const Tensor& activation,
+                 std::uint64_t request_id, WireDtype dtype);
+
+    /**
      * Pipelined send: fire one request frame without waiting. Pair
      * with `recv`; keep the number in flight below the server's
      * per-connection bound (ServerConfig::max_inflight_per_connection).
      */
     void send(const std::string& endpoint, const Tensor& activation,
               std::uint64_t request_id);
+
+    /** As `send`, quantizing the activation to `dtype` first. */
+    void send(const std::string& endpoint, const Tensor& activation,
+              std::uint64_t request_id, WireDtype dtype);
 
     /**
      * Receive the next response frame (any status — the caller

@@ -109,16 +109,22 @@ serving_code(WireStatus status)
 
 namespace {
 
-/** Wrap a finished payload in the 12-byte envelope. */
+/**
+ * Wrap a finished payload in the 12-byte envelope. The version is the
+ * lowest one that can carry the payload (see the header's versioning
+ * note): fp32 requests and every response stamp 1, quantized requests
+ * stamp 2.
+ */
 std::string
-envelope(std::uint32_t magic, const std::string& payload)
+envelope(std::uint32_t magic, std::uint32_t version,
+         const std::string& payload)
 {
     SHREDDER_CHECK(payload.size() <= kMaxFramePayload,
                    "outgoing frame payload of ", payload.size(),
                    " bytes exceeds kMaxFramePayload");
     std::ostringstream os;
     wire::write_u32(os, magic);
-    wire::write_u32(os, kProtocolVersion);
+    wire::write_u32(os, version);
     wire::write_u32(os, static_cast<std::uint32_t>(payload.size()));
     std::string framed = os.str();
     framed += payload;
@@ -137,8 +143,14 @@ encode_request(const Request& request)
     std::ostringstream os;
     wire::write_u64(os, request.request_id);
     wire::write_string(os, request.endpoint);
-    write_tensor(os, request.activation);
-    return envelope(kRequestMagic, os.str());
+    if (request.is_quantized) {
+        write_tensor_wire(os, request.quantized);
+    } else {
+        write_tensor(os, request.activation);
+    }
+    const bool v2 = request.is_quantized &&
+                    request.quantized.dtype != WireDtype::kF32;
+    return envelope(kRequestMagic, v2 ? 2u : 1u, os.str());
 }
 
 std::string
@@ -152,7 +164,7 @@ encode_response(const Response& response)
     } else {
         wire::write_string(os, response.message);
     }
-    return envelope(kResponseMagic, os.str());
+    return envelope(kResponseMagic, 1u, os.str());
 }
 
 Request
@@ -165,7 +177,14 @@ decode_request_payload(const std::string& payload)
         if (request.endpoint.empty()) {
             protocol_error("SHRQ endpoint name is empty");
         }
-        request.activation = read_tensor_checked(is);
+        QuantizedTensor q = read_tensor_wire_checked(is);
+        if (q.dtype == WireDtype::kF32) {
+            // v1 framing: hand callers the plain tensor they expect.
+            request.activation = dequantize(q);
+        } else {
+            request.quantized = std::move(q);
+            request.is_quantized = true;
+        }
         return request;
     });
 }

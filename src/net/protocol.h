@@ -14,10 +14,18 @@
  *   payload      ...   see below
  *
  * Request payload:   request_id u64, endpoint wire-string,
- *                    activation `SHRT` tensor.
+ *                    activation `SHRT` tensor (v1 fp32 or the v2
+ *                    quantized header of src/tensor/serialize.h).
  * Response payload:  request_id u64 (echoed), status u32
  *                    (`WireStatus`), then on kOk the output `SHRT`
  *                    tensor, otherwise a wire-string error message.
+ *
+ * Protocol v2 adds quantized request activations: a request whose
+ * tensor uses the SHRT v2 header stamps envelope version 2; fp32
+ * requests and all responses keep stamping version 1, so an fp32
+ * client/server pair interoperates bit-for-bit with v1 builds and a
+ * v1 server answers an int8 client with a typed "newer version"
+ * error instead of misparsing the tensor.
  *
  * Every multi-byte field is little-endian and parsed exclusively
  * through the checked `wire` readers of src/tensor/serialize.h — the
@@ -42,6 +50,7 @@
 
 #include "src/net/socket.h"
 #include "src/runtime/serving_error.h"
+#include "src/tensor/quantize.h"
 #include "src/tensor/tensor.h"
 
 namespace shredder {
@@ -52,7 +61,7 @@ constexpr std::uint32_t kRequestMagic = 0x51524853;
 /** 'SHRP' little-endian: a response frame. */
 constexpr std::uint32_t kResponseMagic = 0x50524853;
 /** Current protocol version (readers accept ≤ this). */
-constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::uint32_t kProtocolVersion = 2;
 /**
  * Payload ceiling. A length prefix above this is treated as
  * corruption before any allocation happens — a malformed frame must
@@ -91,7 +100,16 @@ struct Request
 {
     std::uint64_t request_id = 0;  ///< Keys the noise draw (see policies).
     std::string endpoint;          ///< Target endpoint name.
-    Tensor activation;             ///< Per-sample activation at the cut.
+    /** Per-sample activation at the cut (fp32 requests). */
+    Tensor activation;
+    /** Quantized activation; meaningful only when `is_quantized`. */
+    QuantizedTensor quantized;
+    /**
+     * True when the activation crossed the wire quantized (`quantized`
+     * holds it and the frame stamped protocol v2); false for the fp32
+     * path (`activation` holds it, protocol v1 framing).
+     */
+    bool is_quantized = false;
 };
 
 /** One decoded response frame. */

@@ -176,9 +176,17 @@ Server::reader_loop(Connection* connection)
         }
 
         Connection::Pending entry;
-        entry.future = engine_.submit(request.endpoint,
-                                      std::move(request.activation),
-                                      request.request_id);
+        // Quantized activations stay quantized into the engine: the
+        // endpoint either consumes them directly (int8 GEMM) or
+        // dequantizes on a worker, not on the reader thread.
+        entry.future =
+            request.is_quantized
+                ? engine_.submit_quantized(request.endpoint,
+                                           std::move(request.quantized),
+                                           request.request_id)
+                : engine_.submit(request.endpoint,
+                                 std::move(request.activation),
+                                 request.request_id);
         entry.ready.request_id = request.request_id;
 
         std::unique_lock<std::mutex> lock(connection->mutex);

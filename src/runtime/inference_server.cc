@@ -9,6 +9,8 @@
 #include <string>
 #include <utility>
 
+#include "src/nn/flatten.h"
+#include "src/nn/linear.h"
 #include "src/runtime/logging.h"
 
 namespace shredder {
@@ -192,7 +194,43 @@ InferenceServer::InferenceServer(
         free_contexts_.push_back(contexts_.back().get());
     }
 
+    if (config_.int8_compute) {
+        prepare_int8_path();
+    }
+
     dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void
+InferenceServer::prepare_int8_path()
+{
+    // All preconditions are structural and known at construction; a
+    // batch additionally requires every request to be int8-encoded.
+    if (!policy_->additive() || sample_size_ == 0) {
+        return;
+    }
+    nn::Sequential& net = model_.network();
+    std::int64_t idx = model_.cut();
+    if (idx < net.size() &&
+        dynamic_cast<nn::Flatten*>(&net.layer(idx)) != nullptr) {
+        ++idx;
+    }
+    if (idx >= net.size()) {
+        return;
+    }
+    auto* linear = dynamic_cast<nn::Linear*>(&net.layer(idx));
+    if (linear == nullptr || linear->in_features() != sample_size_ ||
+        linear->in_features() > kS8MaxK) {
+        return;
+    }
+    s8_weights_ = prepare_s8_weights(linear->weight().value.data(),
+                                     linear->out_features(),
+                                     linear->in_features());
+    s8_bias_ =
+        linear->has_bias() ? linear->bias().value.data() : nullptr;
+    s8_out_features_ = linear->out_features();
+    tail_begin_ = idx + 1;
+    int8_ready_ = true;
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
@@ -212,6 +250,48 @@ InferenceServer::submit(Tensor activation, std::uint64_t request_id)
 std::future<Tensor>
 InferenceServer::submit_impl(Tensor activation, bool has_id,
                              std::uint64_t request_id)
+{
+    Request request;
+    const Shape shape = activation.shape();
+    const std::int64_t numel = activation.size();
+    request.activation = std::move(activation);
+    return enqueue(std::move(request), shape, numel, has_id, request_id);
+}
+
+std::future<Tensor>
+InferenceServer::submit_quantized(QuantizedTensor activation,
+                                  std::uint64_t request_id)
+{
+    if (static_cast<std::int64_t>(activation.data.size()) !=
+        activation.size() * dtype_bytes(activation.dtype)) {
+        std::promise<Tensor> promise;
+        std::future<Tensor> future = promise.get_future();
+        promise.set_exception(std::make_exception_ptr(ServingError(
+            ServingErrorCode::kInvalidShape,
+            "quantized payload byte count does not match shape " +
+                activation.shape.to_string() + " of " +
+                to_string(activation.dtype))));
+        return future;
+    }
+    if (activation.dtype == WireDtype::kF32) {
+        // A kF32 wire tensor IS the fp32 activation — serve it on the
+        // plain path (dequantize is a straight copy here).
+        return submit_impl(dequantize(activation), /*has_id=*/true,
+                           request_id);
+    }
+    Request request;
+    const Shape shape = activation.shape;
+    const std::int64_t numel = activation.size();
+    request.quantized = std::move(activation);
+    request.is_quantized = true;
+    return enqueue(std::move(request), shape, numel, /*has_id=*/true,
+                   request_id);
+}
+
+std::future<Tensor>
+InferenceServer::enqueue(Request request, const Shape& shape,
+                         std::int64_t numel, bool has_id,
+                         std::uint64_t request_id)
 {
     std::promise<Tensor> promise;
     std::future<Tensor> future = promise.get_future();
@@ -234,28 +314,26 @@ InferenceServer::submit_impl(Tensor activation, bool has_id,
         // No policy/config shape to dictate the contract: adopt the
         // first request's shape. Only rank 1–3 can grow a batch
         // dimension (Shape::kMaxRank is 4).
-        if (activation.shape().rank() < 1 || activation.shape().rank() > 3) {
+        if (shape.rank() < 1 || shape.rank() > 3) {
             lock.unlock();
             reject(ServingErrorCode::kInvalidShape,
                    "per-sample activation must have rank 1-3, got " +
-                       activation.shape().to_string());
+                       shape.to_string());
             return future;
         }
-        sample_shape_ = activation.shape();
-        sample_size_ = activation.size();
+        sample_shape_ = shape;
+        sample_size_ = numel;
     }
-    if (activation.size() != sample_size_) {
+    if (numel != sample_size_) {
         const std::int64_t expected = sample_size_;
         lock.unlock();
         reject(ServingErrorCode::kInvalidShape,
-               "activation size " + std::to_string(activation.size()) +
+               "activation size " + std::to_string(numel) +
                    " does not match the cut's per-sample size " +
                    std::to_string(expected));
         return future;
     }
 
-    Request request;
-    request.activation = std::move(activation);
     request.promise = std::move(promise);
     request.id = has_id ? request_id : kAutoIdBase + next_request_id_++;
     queue_.push_back(std::move(request));
@@ -435,23 +513,49 @@ InferenceServer::execute_batch(std::vector<Request> batch)
     }
 
     Stopwatch execution;
-    Tensor fused(batched_shape(sample_shape_, n));
-    for (std::int64_t i = 0; i < n; ++i) {
-        float* row = fused.data() + i * sample_size_;
-        const Request& request = batch[static_cast<std::size_t>(i)];
-        const float* src = request.activation.data();
-        std::copy(src, src + sample_size_, row);
-        // The policy adds request `id`'s noise in place on the fused
-        // row — id-derived draws, so concurrent batches sample
-        // lock-free and a replay reproduces the assignment.
-        policy_->apply_into(request.activation, request.id, row);
+    std::int64_t quantized_count = 0;
+    bool direct = int8_ready_;
+    for (const Request& request : batch) {
+        quantized_count += request.is_quantized ? 1 : 0;
+        direct = direct && request.is_quantized &&
+                 request.quantized.dtype == WireDtype::kI8;
     }
 
-    // The forward runs against a pooled per-batch context: weights are
-    // read-only, so batches on other workers proceed concurrently.
-    nn::ExecutionContext* ctx = acquire_context();
-    Tensor logits = model_.cloud_forward(fused, *ctx, nn::Mode::kEval);
-    release_context(ctx);
+    Tensor logits;
+    if (direct) {
+        logits = forward_batch_int8(batch, n);
+    } else {
+        Tensor fused(batched_shape(sample_shape_, n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            float* row = fused.data() + i * sample_size_;
+            const Request& request = batch[static_cast<std::size_t>(i)];
+            if (request.is_quantized) {
+                // Wire-encoded request on the general path: decode to
+                // fp32, then run the policy exactly as for a plain
+                // request — quantization distorted the activation on
+                // the wire, the mechanism itself is unchanged.
+                const Tensor decoded = dequantize(request.quantized);
+                const float* src = decoded.data();
+                std::copy(src, src + sample_size_, row);
+                policy_->apply_into(decoded, request.id, row);
+            } else {
+                const float* src = request.activation.data();
+                std::copy(src, src + sample_size_, row);
+                // The policy adds request `id`'s noise in place on the
+                // fused row — id-derived draws, so concurrent batches
+                // sample lock-free and a replay reproduces the
+                // assignment.
+                policy_->apply_into(request.activation, request.id, row);
+            }
+        }
+
+        // The forward runs against a pooled per-batch context: weights
+        // are read-only, so batches on other workers proceed
+        // concurrently.
+        nn::ExecutionContext* ctx = acquire_context();
+        logits = model_.cloud_forward(fused, *ctx, nn::Mode::kEval);
+        release_context(ctx);
+    }
     SHREDDER_CHECK(logits.shape().rank() == 2 && logits.shape()[0] == n,
                    "cloud forward returned ", logits.shape().to_string(),
                    " for a batch of ", n);
@@ -465,6 +569,8 @@ InferenceServer::execute_batch(std::vector<Request> batch)
         stats_.busy_ms += execution.milliseconds();
         stats_.queue_ms += queue_wait_ms;
         stats_.max_batch_seen = std::max(stats_.max_batch_seen, n);
+        stats_.quantized_requests += quantized_count;
+        stats_.int8_direct_batches += direct ? 1 : 0;
         for (const int bucket : wait_buckets) {
             ++stats_.queue_wait_hist[bucket];
         }
@@ -478,6 +584,47 @@ InferenceServer::execute_batch(std::vector<Request> batch)
         batch[static_cast<std::size_t>(i)].promise.set_value(
             std::move(row));
     }
+}
+
+Tensor
+InferenceServer::forward_batch_int8(const std::vector<Request>& batch,
+                                    std::int64_t n)
+{
+    // The first cloud layer consumes the int8 wire payloads directly:
+    // per-row pointers + affine codes feed gemm_s8, which fuses the
+    // policy's additive noise into its packing pass and dequantizes in
+    // the epilogue. The tail of the cloud half then runs fp32 as
+    // usual.
+    std::vector<const std::int8_t*> a_rows(static_cast<std::size_t>(n));
+    std::vector<float> a_scale(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> a_zp(static_cast<std::size_t>(n));
+    std::vector<const float*> a_noise(static_cast<std::size_t>(n));
+    // Additive policies: apply(0, id) IS the noise row (bit-identical
+    // to what apply_into would have added on the fp32 path).
+    const Tensor zeros = Tensor::zeros(sample_shape_);
+    std::vector<Tensor> noise_rows;
+    noise_rows.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        const Request& request = batch[static_cast<std::size_t>(i)];
+        noise_rows.push_back(policy_->apply(zeros, request.id));
+        a_rows[static_cast<std::size_t>(i)] = request.quantized.i8();
+        a_scale[static_cast<std::size_t>(i)] = request.quantized.scale;
+        a_zp[static_cast<std::size_t>(i)] = request.quantized.zero_point;
+        a_noise[static_cast<std::size_t>(i)] =
+            noise_rows.back().data();
+    }
+
+    Tensor first(Shape({n, s8_out_features_}));
+    gemm_s8(n, s8_out_features_, sample_size_, a_rows.data(),
+            a_scale.data(), a_zp.data(), a_noise.data(),
+            s8_weights_.data.data(), s8_weights_.scale,
+            s8_weights_.colsum.data(), s8_bias_, first.data());
+
+    nn::ExecutionContext* ctx = acquire_context();
+    Tensor logits = model_.network().forward_range(
+        first, tail_begin_, -1, *ctx, nn::Mode::kEval);
+    release_context(ctx);
+    return logits;
 }
 
 }  // namespace runtime

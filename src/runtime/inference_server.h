@@ -66,6 +66,8 @@
 #include "src/runtime/stopwatch.h"
 #include "src/runtime/thread_pool.h"
 #include "src/split/split_model.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/quantize.h"
 #include "src/tensor/rng.h"
 #include "src/tensor/tensor.h"
 
@@ -138,6 +140,19 @@ struct InferenceServerConfig
      * with a shaped policy.
      */
     Shape sample_shape{};
+    /**
+     * Feed int8 wire activations straight into an int8 GEMM for the
+     * first cloud layer (dequant fused into the epilogue, the
+     * policy's additive noise fused into the packing pass) instead of
+     * dequantizing to fp32 first. Engaged per batch only when every
+     * precondition holds — the layer at the cut is `nn::Linear`
+     * (optionally behind a `Flatten`), the policy is additive, the
+     * sample shape was pinned at construction, and every request in
+     * the batch arrived int8-quantized; anything else silently takes
+     * the dequantize→fp32 path, so the knob is always safe to set.
+     * `ServerStats::int8_direct_batches` shows whether it engaged.
+     */
+    bool int8_compute = false;
 };
 
 /** Aggregate serving statistics (see `InferenceServer::stats`). */
@@ -169,6 +184,10 @@ struct ServerStats
     double ewma_interarrival_ms = 0.0; ///< Arrival EWMA at last dispatch.
     double last_deadline_ms = 0.0;     ///< Straggler window last chosen.
     std::int64_t full_dispatches = 0;  ///< Batches shipped at max_batch.
+    /** Requests that arrived in quantized wire encoding. */
+    std::int64_t quantized_requests = 0;
+    /** Batches served by the int8 direct-consume GEMM path. */
+    std::int64_t int8_direct_batches = 0;
     /**
      * Batches shipped below the ceiling — the straggler window ran out
      * (including a zero-width "ship now" decision) or shutdown drained
@@ -295,6 +314,23 @@ class InferenceServer
      */
     std::future<Tensor> submit(Tensor activation, std::uint64_t request_id);
 
+    /**
+     * Enqueue one request whose activation arrived in wire encoding
+     * (src/tensor/quantize.h) — the path the network front door takes
+     * for `wire_dtype=int8|int16` endpoints. Semantically equivalent
+     * to dequantizing on the edge of the server and calling `submit`:
+     * the endpoint's noise policy still applies per request id. When
+     * the server was built with `int8_compute` and the batch
+     * qualifies, the int8 payload feeds the first cloud layer's GEMM
+     * directly instead.
+     *
+     * A kF32-encoded tensor is accepted (decoded to the fp32 path); a
+     * payload whose byte count disagrees with shape × dtype fails the
+     * future with `kInvalidShape`.
+     */
+    std::future<Tensor> submit_quantized(QuantizedTensor activation,
+                                         std::uint64_t request_id);
+
     /** Blocking convenience wrapper around `submit`. */
     Tensor infer(const Tensor& activation);
 
@@ -352,7 +388,9 @@ class InferenceServer
   private:
     struct Request
     {
-        Tensor activation;
+        Tensor activation;         ///< Set when !is_quantized.
+        QuantizedTensor quantized; ///< Set when is_quantized.
+        bool is_quantized = false;
         std::promise<Tensor> promise;
         std::uint64_t id = 0;  ///< Selects the noise draw.
         Stopwatch queued;      ///< Started at submit time.
@@ -366,6 +404,27 @@ class InferenceServer
     /** Shared submit path; has_id=false auto-assigns from the counter. */
     std::future<Tensor> submit_impl(Tensor activation, bool has_id,
                                     std::uint64_t request_id);
+
+    /**
+     * Validate + enqueue a built request. `shape`/`numel` describe
+     * the incoming activation in either encoding.
+     */
+    std::future<Tensor> enqueue(Request request, const Shape& shape,
+                                std::int64_t numel, bool has_id,
+                                std::uint64_t request_id);
+
+    /**
+     * Inspect the cloud half at construction: when the cut lands on
+     * `nn::Linear` (optionally behind a `Flatten`), snapshot its
+     * weights as symmetric int8 (`S8Weights`) and record where the
+     * tail forward resumes. Leaves `int8_ready_` false when the
+     * topology or policy disqualifies the direct path.
+     */
+    void prepare_int8_path();
+
+    /** The int8 direct-consume batch body (see execute_batch). */
+    Tensor forward_batch_int8(const std::vector<Request>& batch,
+                              std::int64_t n);
 
     /** Dispatcher loop: form batches, hand them to the pool. */
     void dispatch_loop();
@@ -385,6 +444,14 @@ class InferenceServer
     InferenceServerConfig config_;
     Shape sample_shape_;        ///< Per-sample activation shape.
     std::int64_t sample_size_;  ///< Elements per activation.
+
+    // int8 direct-consume path (prepare_int8_path; immutable after
+    // construction, so batch workers read it lock-free).
+    bool int8_ready_ = false;
+    std::int64_t tail_begin_ = 0;      ///< First layer after the GEMM.
+    std::int64_t s8_out_features_ = 0;
+    S8Weights s8_weights_;
+    const float* s8_bias_ = nullptr;
 
     std::unique_ptr<ThreadPool> owned_pool_;  ///< Null when shared.
     ThreadPool* pool_;  ///< Owned or `config.pool`; never null.

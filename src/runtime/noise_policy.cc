@@ -355,5 +355,39 @@ ComposedPolicy::apply(const Tensor& activation,
     return current;
 }
 
+bool
+ComposedPolicy::additive() const
+{
+    for (const auto& stage : stages_) {
+        if (!stage->additive()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// QuantizePolicy
+// ---------------------------------------------------------------------
+
+QuantizePolicy::QuantizePolicy(WireDtype dtype) : dtype_(dtype)
+{
+    SHREDDER_REQUIRE(dtype != WireDtype::kF32,
+                     "QuantizePolicy: fp32 transport adds no distortion "
+                     "— compose the noise policy directly");
+}
+
+Tensor
+QuantizePolicy::apply(const Tensor& activation, std::uint64_t) const
+{
+    return dequantize(quantize(activation, dtype_));
+}
+
+std::string
+QuantizePolicy::name() const
+{
+    return std::string("quant-") + to_string(dtype_);
+}
+
 }  // namespace runtime
 }  // namespace shredder

@@ -44,6 +44,7 @@
 
 #include "src/core/noise_collection.h"
 #include "src/core/noise_distribution.h"
+#include "src/tensor/quantize.h"
 #include "src/tensor/rng.h"
 #include "src/tensor/tensor.h"
 
@@ -97,6 +98,16 @@ class NoisePolicy
      */
     virtual void apply_into(const Tensor& activation,
                             std::uint64_t request_id, float* dst) const;
+
+    /**
+     * True when this policy is purely additive: apply(x, id) ==
+     * x + noise(id) with noise independent of the activation values.
+     * Additive policies let the server fold the noise into the int8
+     * GEMM packing pass (the noise row is recovered as
+     * `apply(zeros, id)`). Activation-dependent mechanisms (shuffle,
+     * rank-matched shuffle, quantize) must return false.
+     */
+    virtual bool additive() const { return false; }
 };
 
 /**
@@ -112,6 +123,7 @@ class NoNoisePolicy final : public NoisePolicy
     Tensor apply(const Tensor& activation,
                  std::uint64_t request_id) const override;
     std::string name() const override { return "none"; }
+    bool additive() const override { return true; }
     void apply_into(const Tensor& activation, std::uint64_t request_id,
                     float* dst) const override;
 };
@@ -138,6 +150,7 @@ class ReplayPolicy final : public NoisePolicy
                  std::uint64_t request_id) const override;
     Shape noise_shape() const override;
     std::string name() const override { return "replay"; }
+    bool additive() const override { return true; }
     void apply_into(const Tensor& activation, std::uint64_t request_id,
                     float* dst) const override;
 
@@ -178,6 +191,7 @@ class SamplePolicy final : public NoisePolicy
                  std::uint64_t request_id) const override;
     Shape noise_shape() const override;
     std::string name() const override { return "sample"; }
+    bool additive() const override { return true; }
     void apply_into(const Tensor& activation, std::uint64_t request_id,
                     float* dst) const override;
 
@@ -206,11 +220,47 @@ class FixedNoisePolicy final : public NoisePolicy
                  std::uint64_t request_id) const override;
     Shape noise_shape() const override { return noise_.shape(); }
     std::string name() const override { return "fixed"; }
+    bool additive() const override { return true; }
     void apply_into(const Tensor& activation, std::uint64_t request_id,
                     float* dst) const override;
 
   private:
     Tensor noise_;
+};
+
+/**
+ * The wire codec as a mechanism: apply() returns
+ * dequantize(quantize(activation)) — exactly the distortion an int8 or
+ * int16 transport adds to the activation before any server-side noise.
+ * Deterministic and id-independent (the affine code depends only on
+ * the activation's own range).
+ *
+ * Compose it BEFORE a noise policy
+ * (`ComposedPolicy{quantize, noise}`) to reproduce the served
+ * mechanism of a `wire_dtype=int8` endpoint: the client quantizes the
+ * raw activation, the server dequantizes (implicitly or inside the
+ * int8 GEMM) and then applies the endpoint's noise policy. Running
+ * `PrivacyMeter::measure_policy` and accuracy sweeps through that
+ * composition keeps measured = served for quantized endpoints.
+ *
+ * Not additive (the distortion depends on the activation), so the
+ * server never folds it into the GEMM — it doesn't need to, since the
+ * codec happens on the wire itself.
+ */
+class QuantizePolicy final : public NoisePolicy
+{
+  public:
+    /** @param dtype Wire encoding to simulate (kI8 or kI16). */
+    explicit QuantizePolicy(WireDtype dtype);
+
+    Tensor apply(const Tensor& activation,
+                 std::uint64_t request_id) const override;
+    std::string name() const override;
+
+    WireDtype dtype() const { return dtype_; }
+
+  private:
+    WireDtype dtype_;
 };
 
 /**
@@ -310,6 +360,8 @@ class ComposedPolicy final : public NoisePolicy
                  std::uint64_t request_id) const override;
     Shape noise_shape() const override;
     std::string name() const override;
+    /** Additive iff every stage is (noise rows then sum in order). */
+    bool additive() const override;
 
     const std::vector<std::shared_ptr<const NoisePolicy>>& stages() const
     {

@@ -54,6 +54,14 @@ ServingEngine::register_endpoint_from_bundle(const std::string& name,
         // the first request.
         pinned.sample_shape = endpoint.bundle->activation_shape();
     }
+    // Bundle transport hints fill only what the caller left unset: an
+    // explicit manifest/config choice (including fp32) always wins.
+    if (!pinned.wire_dtype.has_value()) {
+        pinned.wire_dtype = endpoint.bundle->wire_dtype();
+    }
+    if (!pinned.int8_compute.has_value()) {
+        pinned.int8_compute = endpoint.bundle->int8_compute();
+    }
     install_endpoint(name, std::move(endpoint), pinned);
 }
 
@@ -87,6 +95,8 @@ ServingEngine::install_endpoint(const std::string& name, Endpoint endpoint,
     server_config.max_concurrent_batches = config.max_concurrent_batches;
     server_config.seed = config.context_seed;
     server_config.sample_shape = config.sample_shape;
+    server_config.int8_compute = config.int8_compute.value_or(false);
+    endpoint.wire_dtype = config.wire_dtype.value_or(WireDtype::kF32);
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (!accepting_) {
@@ -151,6 +161,23 @@ ServingEngine::submit(const std::string& name, Tensor activation)
     return endpoint->server->submit(std::move(activation));
 }
 
+std::future<Tensor>
+ServingEngine::submit_quantized(const std::string& name,
+                                QuantizedTensor activation,
+                                std::uint64_t request_id)
+{
+    Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        std::promise<Tensor> promise;
+        promise.set_exception(std::make_exception_ptr(ServingError(
+            ServingErrorCode::kUnknownEndpoint,
+            "no endpoint named '" + name + "'")));
+        return promise.get_future();
+    }
+    return endpoint->server->submit_quantized(std::move(activation),
+                                              request_id);
+}
+
 Tensor
 ServingEngine::infer(const std::string& name, const Tensor& activation)
 {
@@ -208,6 +235,17 @@ ServingEngine::bundle(const std::string& name) const
     return endpoint->bundle.get();
 }
 
+WireDtype
+ServingEngine::wire_dtype(const std::string& name) const
+{
+    const Endpoint* endpoint = find(name);
+    if (endpoint == nullptr) {
+        throw ServingError(ServingErrorCode::kUnknownEndpoint,
+                           "no endpoint named '" + name + "'");
+    }
+    return endpoint->wire_dtype;
+}
+
 ServerStats
 ServingEngine::stats(const std::string& name) const
 {
@@ -234,6 +272,8 @@ ServingEngine::stats() const
             std::max(aggregate.max_batch_seen, s.max_batch_seen);
         aggregate.full_dispatches += s.full_dispatches;
         aggregate.deadline_dispatches += s.deadline_dispatches;
+        aggregate.quantized_requests += s.quantized_requests;
+        aggregate.int8_direct_batches += s.int8_direct_batches;
         aggregate.merge_queue_wait_hist(s);
     }
     // Endpoints serve concurrently on one pool: wall time is the

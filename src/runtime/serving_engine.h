@@ -42,6 +42,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,24 @@ struct EndpointConfig
      * `InferenceServerConfig::sample_shape`.
      */
     Shape sample_shape{};
+    /**
+     * Transport dtype clients of this endpoint are expected to use
+     * (`WireDtype::kI8` → 4× fewer activation bytes on the wire).
+     * Unset defers to the bundle's `wire_dtype` hint (cold-start
+     * endpoints) or fp32. Advisory: the endpoint still accepts any
+     * dtype via `submit_quantized`; this value drives tooling
+     * (shredder_serve's table, the TCP server's expectations).
+     */
+    std::optional<WireDtype> wire_dtype{};
+    /**
+     * Let the endpoint's server consume int8-quantized activations
+     * directly through the int8 GEMM first layer
+     * (`InferenceServerConfig::int8_compute`). Unset defers to the
+     * bundle's hint (cold-start endpoints) or false. Always safe to
+     * enable — the server falls back to dequantize→fp32 whenever the
+     * engagement conditions don't hold.
+     */
+    std::optional<bool> int8_compute{};
 };
 
 /** See file comment. */
@@ -177,6 +196,17 @@ class ServingEngine
     /** As above with an endpoint-auto-assigned id (`kAutoIdBase + n`). */
     std::future<Tensor> submit(const std::string& name, Tensor activation);
 
+    /**
+     * Enqueue one quantized request on endpoint `name`
+     * (`InferenceServer::submit_quantized`): the activation crossed
+     * the wire as `activation.dtype` and is dequantized — or consumed
+     * directly by the int8 GEMM path when the endpoint enables
+     * `int8_compute` — on a worker. Failure modes match `submit`.
+     */
+    std::future<Tensor> submit_quantized(const std::string& name,
+                                         QuantizedTensor activation,
+                                         std::uint64_t request_id);
+
     /** Blocking convenience wrapper around `submit`. */
     Tensor infer(const std::string& name, const Tensor& activation);
 
@@ -199,6 +229,14 @@ class ServingEngine
      * bundled input shape and metadata.
      */
     const deploy::Bundle* bundle(const std::string& name) const;
+
+    /**
+     * The transport dtype endpoint `name` advertises (resolved from
+     * the endpoint config, else the bundle hint, else fp32; throws
+     * `kUnknownEndpoint`). Tooling prints this and TCP servers use it
+     * to pick the client-facing wire format.
+     */
+    WireDtype wire_dtype(const std::string& name) const;
 
     /**
      * Per-endpoint counters (throws `kUnknownEndpoint` for an unknown
@@ -246,6 +284,8 @@ class ServingEngine
         /** The model the server runs (caller's, or `owned_model`). */
         split::SplitModel* model = nullptr;
         std::unique_ptr<InferenceServer> server;
+        /** Resolved transport dtype (config → bundle hint → fp32). */
+        WireDtype wire_dtype = WireDtype::kF32;
     };
 
     /** Look up an endpoint or null; caller holds no lock after return. */

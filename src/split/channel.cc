@@ -34,30 +34,25 @@ LoopbackChannel::receive()
     return t;
 }
 
+QuantizingChannel::QuantizingChannel(WireDtype dtype) : dtype_(dtype)
+{
+    SHREDDER_REQUIRE(dtype != WireDtype::kF32,
+                     "QuantizingChannel: use LoopbackChannel for fp32 "
+                     "transport");
+}
+
 std::int64_t
 QuantizingChannel::send(const Tensor& t)
 {
-    // Wire format: u32 rank, u64 dims…, f32 min, f32 max, u8 payload.
+    // The real wire codec: a SHRT v2 frame, byte-for-byte what
+    // net::Client ships for a quantized endpoint.
     std::ostringstream oss(std::ios::binary);
-    const auto rank = static_cast<std::uint32_t>(t.shape().rank());
-    oss.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-    for (int i = 0; i < t.shape().rank(); ++i) {
-        const auto d = static_cast<std::uint64_t>(t.shape()[i]);
-        oss.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    }
-    const float lo = t.min();
-    const float hi = t.max();
-    oss.write(reinterpret_cast<const char*>(&lo), sizeof(lo));
-    oss.write(reinterpret_cast<const char*>(&hi), sizeof(hi));
-    const float scale = (hi > lo) ? 255.0f / (hi - lo) : 0.0f;
-    for (std::int64_t i = 0; i < t.size(); ++i) {
-        const float clamped = std::clamp(t[i], lo, hi);
-        const auto q =
-            static_cast<std::uint8_t>((clamped - lo) * scale + 0.5f);
-        oss.write(reinterpret_cast<const char*>(&q), 1);
-    }
+    write_tensor_wire(oss, quantize(t, dtype_));
     std::string bytes = oss.str();
     const auto size = static_cast<std::int64_t>(bytes.size());
+    SHREDDER_CHECK(size == serialized_wire_size(t.shape(), dtype_),
+                   "QuantizingChannel: frame size disagrees with "
+                   "serialized_wire_size");
     queue_.push_back(std::move(bytes));
     total_bytes_ += size;
     ++total_messages_;
@@ -70,39 +65,14 @@ QuantizingChannel::receive()
     SHREDDER_REQUIRE(!queue_.empty(), "receive() on empty channel");
     std::istringstream iss(queue_.front(), std::ios::binary);
     queue_.pop_front();
-
-    std::uint32_t rank = 0;
-    iss.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    SHREDDER_REQUIRE(iss.good() && rank <= 4, "corrupt quantized frame");
-    std::int64_t dims[4] = {0, 0, 0, 0};
-    std::int64_t numel = 1;
-    for (std::uint32_t i = 0; i < rank; ++i) {
-        std::uint64_t d = 0;
-        iss.read(reinterpret_cast<char*>(&d), sizeof(d));
-        dims[i] = static_cast<std::int64_t>(d);
-        numel *= dims[i];
+    // This channel is in-process (both ends are this object), so a
+    // malformed frame means OUR state is broken — fatal, like the
+    // loopback path's read_tensor.
+    try {
+        return dequantize(read_tensor_wire_checked(iss));
+    } catch (const SerializeError& e) {
+        SHREDDER_FATAL("QuantizingChannel: corrupt frame: ", e.what());
     }
-    float lo = 0.0f, hi = 0.0f;
-    iss.read(reinterpret_cast<char*>(&lo), sizeof(lo));
-    iss.read(reinterpret_cast<char*>(&hi), sizeof(hi));
-    const float step = (hi > lo) ? (hi - lo) / 255.0f : 0.0f;
-
-    Shape shape;
-    switch (rank) {
-      case 1: shape = Shape({dims[0]}); break;
-      case 2: shape = Shape({dims[0], dims[1]}); break;
-      case 3: shape = Shape({dims[0], dims[1], dims[2]}); break;
-      case 4: shape = Shape({dims[0], dims[1], dims[2], dims[3]}); break;
-      default: SHREDDER_FATAL("bad rank in quantized frame");
-    }
-    Tensor t(shape);
-    for (std::int64_t i = 0; i < numel; ++i) {
-        std::uint8_t q = 0;
-        iss.read(reinterpret_cast<char*>(&q), 1);
-        t[i] = lo + static_cast<float>(q) * step;
-    }
-    SHREDDER_REQUIRE(static_cast<bool>(iss), "truncated quantized frame");
-    return t;
 }
 
 }  // namespace split

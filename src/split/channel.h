@@ -6,8 +6,9 @@
  * it over a network; these channels reproduce that data path
  * faithfully (serialize → byte buffer → deserialize) while counting
  * traffic, so examples and benches measure real wire sizes. The
- * quantizing channel additionally models the 8-bit compression an
- * edge deployment would use.
+ * quantizing channel runs the SAME SHRT v2 codec the TCP path ships
+ * (src/tensor/quantize.h + serialize.h), so its byte counts are the
+ * bytes a deployment would put on the wire — not a simulation.
  */
 #ifndef SHREDDER_SPLIT_CHANNEL_H
 #define SHREDDER_SPLIT_CHANNEL_H
@@ -16,6 +17,7 @@
 #include <deque>
 #include <string>
 
+#include "src/tensor/quantize.h"
 #include "src/tensor/tensor.h"
 
 namespace shredder {
@@ -60,19 +62,28 @@ class LoopbackChannel final : public Channel
 };
 
 /**
- * Lossy 8-bit linear-quantization channel: each tensor is transmitted
- * as min/max plus one byte per element — 4× smaller than float32 and
- * a realistic edge uplink format. Dequantization error is bounded by
- * (max−min)/255/2 per element.
+ * Lossy quantizing channel: each tensor crosses as a SHRT v2 frame
+ * (per-tensor affine scale/zero-point + one `dtype` integer per
+ * element) — the exact bytes `net::Client` ships for a
+ * `wire_dtype=int8` endpoint, so accuracy and byte counts measured
+ * through this channel are the deployment's. Dequantization error is
+ * bounded by scale/2 = (max−min)/(2·(qmax−qmin)) per element; an
+ * all-equal tensor survives exactly.
  */
 class QuantizingChannel final : public Channel
 {
   public:
+    explicit QuantizingChannel(WireDtype dtype = WireDtype::kI8);
+
     std::int64_t send(const Tensor& t) override;
     Tensor receive() override;
     bool pending() const override { return !queue_.empty(); }
 
+    /** The transport encoding this channel applies. */
+    WireDtype dtype() const { return dtype_; }
+
   private:
+    WireDtype dtype_;
     std::deque<std::string> queue_;
 };
 

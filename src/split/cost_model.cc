@@ -23,8 +23,9 @@ CutCost::to_string() const
     return oss.str();
 }
 
-CostModel::CostModel(const nn::Sequential& network, const Shape& input_chw)
-    : network_(network), input_(input_chw)
+CostModel::CostModel(const nn::Sequential& network, const Shape& input_chw,
+                     WireDtype wire_dtype)
+    : network_(network), input_(input_chw), wire_dtype_(wire_dtype)
 {
     SHREDDER_REQUIRE(input_chw.rank() == 3,
                      "CostModel wants a CHW input shape, got ",
@@ -40,9 +41,9 @@ CostModel::evaluate(std::int64_t cut) const
     cost.edge_macs = network_.macs_range(batched, 0, cut);
     const Shape act = network_.output_shape_range(batched, 0, cut);
     cost.cloud_macs = network_.macs_range(act, cut, network_.size());
-    // Payload bytes: float32 activation + the small framing header.
-    Tensor probe(act);
-    cost.comm_bytes = serialized_size(probe);
+    // The codec's own size formula: activation payload in the model's
+    // transport dtype plus the SHRT framing header.
+    cost.comm_bytes = serialized_wire_size(act, wire_dtype_);
     cost.kilomac_mb = (static_cast<double>(cost.edge_macs) / 1e3) *
                       (static_cast<double>(cost.comm_bytes) / 1e6);
     return cost;

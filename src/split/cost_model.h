@@ -4,8 +4,11 @@
  *
  * Computation is the cumulative per-sample MAC count of the edge-side
  * layers; communication is the serialized byte size of the activation
- * tensor sent to the cloud. The paper's total cost figure of merit is
- * their product, reported in KiloMAC × MB.
+ * tensor sent to the cloud — computed with the SAME
+ * `serialized_wire_size` formula the codec uses, under a configurable
+ * transport dtype, so the model's bytes are the bytes a deployment
+ * ships. The paper's total cost figure of merit is their product,
+ * reported in KiloMAC × MB.
  */
 #ifndef SHREDDER_SPLIT_COST_MODEL_H
 #define SHREDDER_SPLIT_COST_MODEL_H
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "src/nn/sequential.h"
+#include "src/tensor/quantize.h"
 
 namespace shredder {
 namespace split {
@@ -38,8 +42,15 @@ class CostModel
     /**
      * @param network    Borrowed network (outlives the model).
      * @param input_chw  CHW shape of one input sample.
+     * @param wire_dtype Transport encoding for `comm_bytes` (int8
+     *                   shrinks communication ~4× and shifts the best
+     *                   cut toward shallower layers).
      */
-    CostModel(const nn::Sequential& network, const Shape& input_chw);
+    CostModel(const nn::Sequential& network, const Shape& input_chw,
+              WireDtype wire_dtype = WireDtype::kF32);
+
+    /** The transport encoding `comm_bytes` is computed under. */
+    WireDtype wire_dtype() const { return wire_dtype_; }
 
     /** Cost report for one cutting point. */
     CutCost evaluate(std::int64_t cut) const;
@@ -61,6 +72,7 @@ class CostModel
   private:
     const nn::Sequential& network_;
     Shape input_;
+    WireDtype wire_dtype_;
 };
 
 }  // namespace split

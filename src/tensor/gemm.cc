@@ -28,6 +28,11 @@
 #include "src/tensor/gemm.h"
 
 #include <algorithm>
+#include <cmath>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
 
 #include "src/runtime/logging.h"
 #include "src/runtime/thread_pool.h"
@@ -337,7 +342,158 @@ gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
     }
 }
 
+/**
+ * Packed-activation clamp of the int8 path: bounds the int16 image of
+ * activation + quantized noise so a k ≤ kS8MaxK dot product cannot
+ * overflow the int32 accumulator (2047 · 128 · 8192 < 2³¹).
+ */
+constexpr std::int32_t kS8PackClamp = 2047;
+
+using S8DotFn = std::int32_t (*)(const std::int16_t* a,
+                                 const std::int8_t* b, std::int64_t k);
+
+/** Portable int16×int8 dot product (bit-identical to the AVX2 path). */
+std::int32_t
+s8_dot_portable(const std::int16_t* a, const std::int8_t* b,
+                std::int64_t k)
+{
+    std::int32_t acc = 0;
+    for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(a[p]) * b[p];
+    }
+    return acc;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+/**
+ * AVX2 dot kernel: 16 int8 weights sign-extended to int16 lanes,
+ * multiply-accumulated against 16 packed int16 activations with
+ * `vpmaddwd` (two products per int32 lane, no saturation possible
+ * thanks to the ±2047 pack clamp), 8-lane int32 accumulator summed
+ * horizontally at the end. Scalar tail for k % 16.
+ */
+__attribute__((target("avx2"))) std::int32_t
+s8_dot_avx2(const std::int16_t* a, const std::int8_t* b, std::int64_t k)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::int64_t p = 0;
+    for (; p + 16 <= k; p += 16) {
+        const __m128i b8 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + p));
+        const __m256i b16 = _mm256_cvtepi8_epi16(b8);
+        const __m256i a16 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(a + p));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16));
+    }
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    std::int32_t total = _mm_cvtsi128_si32(s);
+    for (; p < k; ++p) {
+        total += static_cast<std::int32_t>(a[p]) * b[p];
+    }
+    return total;
+}
+#endif
+
+const S8DotFn&
+s8_dot_choice()
+{
+    static const S8DotFn fn = [] {
+#if defined(__x86_64__) || defined(__i386__)
+        if (__builtin_cpu_supports("avx2")) {
+            return &s8_dot_avx2;
+        }
+#endif
+        return &s8_dot_portable;
+    }();
+    return fn;
+}
+
 }  // namespace
+
+S8Weights
+prepare_s8_weights(const float* w, std::int64_t n, std::int64_t k)
+{
+    SHREDDER_CHECK(n >= 0 && k >= 0, "negative s8 weight dims");
+    S8Weights out;
+    const std::int64_t count = n * k;
+    float maxabs = 0.0f;
+    for (std::int64_t i = 0; i < count; ++i) {
+        const float mag = std::fabs(w[i]);
+        maxabs = mag > maxabs ? mag : maxabs;
+    }
+    out.scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    out.data.resize(static_cast<std::size_t>(count));
+    out.colsum.assign(static_cast<std::size_t>(n), 0);
+    for (std::int64_t j = 0; j < n; ++j) {
+        std::int32_t sum = 0;
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float r = std::round(w[j * k + p] / out.scale);
+            const std::int32_t q =
+                r < -127.0f ? -127 : (r > 127.0f ? 127 : static_cast<std::int32_t>(r));
+            out.data[static_cast<std::size_t>(j * k + p)] =
+                static_cast<std::int8_t>(q);
+            sum += q;
+        }
+        out.colsum[static_cast<std::size_t>(j)] = sum;
+    }
+    return out;
+}
+
+void
+gemm_s8(std::int64_t m, std::int64_t n, std::int64_t k,
+        const std::int8_t* const* a_rows, const float* a_scale,
+        const std::int32_t* a_zp, const float* const* a_noise,
+        const std::int8_t* b, float b_scale, const std::int32_t* b_colsum,
+        const float* bias, float* c)
+{
+    SHREDDER_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm_s8 dims");
+    SHREDDER_CHECK(k <= kS8MaxK, "gemm_s8 k ", k, " exceeds ", kS8MaxK,
+                   " (int32 accumulator bound)");
+    const S8DotFn dot = s8_dot_choice();
+    ScratchArena& arena = ScratchArena::for_this_thread();
+    // The int16 packed row borrows the fp32 scratch arena (k floats
+    // comfortably hold k int16 values).
+    ScratchLease lease = arena.acquire(static_cast<std::size_t>(k + 16));
+    auto* packed = reinterpret_cast<std::int16_t*>(lease.data());
+    for (std::int64_t i = 0; i < m; ++i) {
+        const std::int8_t* arow = a_rows[i];
+        const float* nrow = a_noise != nullptr ? a_noise[i] : nullptr;
+        if (nrow != nullptr) {
+            // Fused noise add: quantize the noise into the row's own
+            // code (round(noise/scale) grid steps) while sign-
+            // extending — the add costs no extra pass over the data.
+            const float inv = 1.0f / a_scale[i];
+            for (std::int64_t p = 0; p < k; ++p) {
+                float qn = std::nearbyintf(nrow[p] * inv);
+                if (std::isnan(qn)) {
+                    qn = 0.0f;  // NaN noise adds nothing, not poison.
+                }
+                const float v = static_cast<float>(arow[p]) + qn;
+                packed[p] =
+                    v <= static_cast<float>(-kS8PackClamp)
+                        ? static_cast<std::int16_t>(-kS8PackClamp)
+                        : (v >= static_cast<float>(kS8PackClamp)
+                               ? static_cast<std::int16_t>(kS8PackClamp)
+                               : static_cast<std::int16_t>(v));
+            }
+        } else {
+            for (std::int64_t p = 0; p < k; ++p) {
+                packed[p] = static_cast<std::int16_t>(arow[p]);
+            }
+        }
+        const float row_scale = a_scale[i] * b_scale;
+        const std::int32_t zp = a_zp[i];
+        float* crow = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const std::int32_t acc = dot(packed, b + j * k, k);
+            crow[j] = row_scale * static_cast<float>(acc - zp * b_colsum[j]) +
+                      (bias != nullptr ? bias[j] : 0.0f);
+        }
+    }
+}
 
 void
 gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,

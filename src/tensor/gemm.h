@@ -15,6 +15,7 @@
 #define SHREDDER_TENSOR_GEMM_H
 
 #include <cstdint>
+#include <vector>
 
 namespace shredder {
 
@@ -39,6 +40,77 @@ namespace shredder {
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b,
           float beta, float* c);
+
+/**
+ * Maximum inner dimension `k` accepted by `gemm_s8`. Derived from the
+ * int32 accumulator: packed activations are clamped to ±2047 and
+ * weights span ±128, so k·2047·128 must stay below 2³¹.
+ */
+constexpr std::int64_t kS8MaxK = 8192;
+
+/**
+ * Symmetric per-tensor int8 image of a weight matrix, plus the
+ * per-output-channel column sums the dequant epilogue needs.
+ * Prepared once at endpoint construction, reused every batch.
+ */
+struct S8Weights
+{
+    /** n×k row-major int8 weights (same layout as the fp32 source). */
+    std::vector<std::int8_t> data;
+    /** Symmetric scale: w ≈ scale · q (zero point 0). */
+    float scale = 1.0f;
+    /** colsum[j] = Σ_p q[j][p] — the zero-point correction term. */
+    std::vector<std::int32_t> colsum;
+};
+
+/**
+ * Quantize an n×k row-major fp32 weight matrix (`nn::Linear`'s native
+ * [out, in] layout) to symmetric per-tensor int8.
+ */
+S8Weights prepare_s8_weights(const float* w, std::int64_t n,
+                             std::int64_t k);
+
+/**
+ * Quantized-activation × int8-weight GEMM with the dequant fused into
+ * the fp32 epilogue and the noise policy's additive noise fused into
+ * the packing pass:
+ *
+ *   C[i][j] = a_scale[i] · b_scale · (Σ_p â[i][p]·b[j][p]
+ *             − a_zp[i] · b_colsum[j]) + (bias ? bias[j] : 0)
+ *
+ * where â[i][p] = clamp(a[i][p] + round(noise[i][p] / a_scale[i]),
+ * ±2047) — the packing pass sign-extends each int8 activation to
+ * int16 and adds the noise in the quantized domain, so the first
+ * cloud layer consumes wire bytes directly (no dequantized fp32
+ * activation is ever materialized). The int16 clamp bounds the int32
+ * accumulator for k ≤ kS8MaxK (checked).
+ *
+ * Rows of A may come from different requests with different affine
+ * codes, hence the per-row pointer/scale/zero-point arrays.
+ *
+ * @param m         Batch rows.
+ * @param n         Output features (rows of `b`).
+ * @param k         Inner dimension (must be ≤ kS8MaxK).
+ * @param a_rows    m pointers to int8 activation rows of length k.
+ * @param a_scale   Per-row affine scale.
+ * @param a_zp      Per-row affine zero point.
+ * @param a_noise   Per-row fp32 additive-noise pointers (the array or
+ *                  individual entries may be null for "no noise").
+ * @param b         n×k row-major int8 weights (S8Weights::data).
+ * @param b_scale   Symmetric weight scale.
+ * @param b_colsum  Per-output-channel weight column sums.
+ * @param bias      Optional fp32 bias of length n (null for none).
+ * @param c         Output, row-major m×n fp32 (overwritten).
+ *
+ * An AVX2 `madd`-based dot kernel is selected at runtime (same
+ * dispatch discipline as the fp32 path); the portable fallback
+ * computes identical values, so results are platform-independent.
+ */
+void gemm_s8(std::int64_t m, std::int64_t n, std::int64_t k,
+             const std::int8_t* const* a_rows, const float* a_scale,
+             const std::int32_t* a_zp, const float* const* a_noise,
+             const std::int8_t* b, float b_scale,
+             const std::int32_t* b_colsum, const float* bias, float* c);
 
 }  // namespace shredder
 

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Per-tensor affine quantize/dequantize implementation.
+ */
+#include "src/tensor/quantize.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/runtime/logging.h"
+
+namespace shredder {
+
+const char*
+to_string(WireDtype dtype)
+{
+    switch (dtype) {
+      case WireDtype::kF32: return "fp32";
+      case WireDtype::kI8: return "int8";
+      case WireDtype::kI16: return "int16";
+    }
+    return "?";
+}
+
+bool
+parse_wire_dtype(const std::string& text, WireDtype* out)
+{
+    if (text == "fp32" || text == "f32" || text == "float32") {
+        *out = WireDtype::kF32;
+        return true;
+    }
+    if (text == "int8" || text == "i8") {
+        *out = WireDtype::kI8;
+        return true;
+    }
+    if (text == "int16" || text == "i16") {
+        *out = WireDtype::kI16;
+        return true;
+    }
+    return false;
+}
+
+std::int64_t
+dtype_bytes(WireDtype dtype)
+{
+    switch (dtype) {
+      case WireDtype::kF32: return 4;
+      case WireDtype::kI8: return 1;
+      case WireDtype::kI16: return 2;
+    }
+    SHREDDER_FATAL("bad WireDtype ", static_cast<int>(dtype));
+}
+
+std::int32_t
+dtype_qmin(WireDtype dtype)
+{
+    return dtype == WireDtype::kI16 ? -32768 : -128;
+}
+
+std::int32_t
+dtype_qmax(WireDtype dtype)
+{
+    return dtype == WireDtype::kI16 ? 32767 : 127;
+}
+
+QuantParams
+choose_quant_params(float lo, float hi, WireDtype dtype)
+{
+    if (dtype == WireDtype::kF32) {
+        return {1.0f, 0};
+    }
+    if (!std::isfinite(lo)) {
+        lo = 0.0f;
+    }
+    if (!std::isfinite(hi)) {
+        hi = 0.0f;
+    }
+    if (hi < lo) {
+        hi = lo;
+    }
+    const double qmin = dtype_qmin(dtype);
+    const double qmax = dtype_qmax(dtype);
+    const double range = static_cast<double>(hi) - static_cast<double>(lo);
+    QuantParams params;
+    if (range <= 0.0) {
+        // Degenerate all-equal tensor: pick the scale that puts the
+        // value exactly on the grid (at qmax for positives, qmin for
+        // negatives), so constants survive the round trip bit-near.
+        if (lo == 0.0f) {
+            return {1.0f, 0};
+        }
+        params.scale = lo > 0.0f
+                           ? static_cast<float>(lo / qmax)
+                           : static_cast<float>(lo / qmin);
+        params.zero_point = 0;
+        return params;
+    }
+    params.scale = static_cast<float>(range / (qmax - qmin));
+    const double zp = qmin - static_cast<double>(lo) / params.scale;
+    const double rounded = std::round(zp);
+    params.zero_point = static_cast<std::int32_t>(
+        rounded < qmin ? qmin : (rounded > qmax ? qmax : rounded));
+    return params;
+}
+
+namespace {
+
+/** One element through the affine code; NaN → zp, ±inf saturates. */
+inline std::int32_t
+quantize_value(float x, float scale, std::int32_t zp, std::int32_t qmin,
+               std::int32_t qmax)
+{
+    if (std::isnan(x)) {
+        return zp;
+    }
+    const double r =
+        std::round(static_cast<double>(x) / static_cast<double>(scale)) +
+        static_cast<double>(zp);
+    if (r <= static_cast<double>(qmin)) {
+        return qmin;
+    }
+    if (r >= static_cast<double>(qmax)) {
+        return qmax;
+    }
+    return static_cast<std::int32_t>(r);
+}
+
+/** Finite min/max of `t` (false when no element is finite). */
+bool
+finite_range(const Tensor& t, float* lo, float* hi)
+{
+    bool any = false;
+    float mn = 0.0f;
+    float mx = 0.0f;
+    const float* p = t.data();
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        if (!std::isfinite(p[i])) {
+            continue;
+        }
+        if (!any) {
+            mn = mx = p[i];
+            any = true;
+        } else {
+            mn = p[i] < mn ? p[i] : mn;
+            mx = p[i] > mx ? p[i] : mx;
+        }
+    }
+    *lo = mn;
+    *hi = mx;
+    return any;
+}
+
+}  // namespace
+
+QuantizedTensor
+quantize(const Tensor& t, WireDtype dtype)
+{
+    QuantizedTensor q;
+    q.shape = t.shape();
+    q.dtype = dtype;
+    const std::int64_t n = t.size();
+    if (dtype == WireDtype::kF32) {
+        q.data.resize(static_cast<std::size_t>(n) * sizeof(float));
+        std::memcpy(q.data.data(), t.data(),
+                    static_cast<std::size_t>(n) * sizeof(float));
+        return q;
+    }
+    float lo = 0.0f;
+    float hi = 0.0f;
+    finite_range(t, &lo, &hi);
+    const QuantParams params = choose_quant_params(lo, hi, dtype);
+    q.scale = params.scale;
+    q.zero_point = params.zero_point;
+    const std::int32_t qmin = dtype_qmin(dtype);
+    const std::int32_t qmax = dtype_qmax(dtype);
+    const float* src = t.data();
+    if (dtype == WireDtype::kI8) {
+        q.data.resize(static_cast<std::size_t>(n));
+        auto* dst = reinterpret_cast<std::int8_t*>(q.data.data());
+        for (std::int64_t i = 0; i < n; ++i) {
+            dst[i] = static_cast<std::int8_t>(quantize_value(
+                src[i], q.scale, q.zero_point, qmin, qmax));
+        }
+    } else {
+        q.data.resize(static_cast<std::size_t>(n) * 2);
+        auto* dst = reinterpret_cast<std::int16_t*>(q.data.data());
+        for (std::int64_t i = 0; i < n; ++i) {
+            dst[i] = static_cast<std::int16_t>(quantize_value(
+                src[i], q.scale, q.zero_point, qmin, qmax));
+        }
+    }
+    return q;
+}
+
+Tensor
+dequantize(const QuantizedTensor& q)
+{
+    const std::int64_t n = q.size();
+    SHREDDER_CHECK(static_cast<std::int64_t>(q.data.size()) ==
+                       n * dtype_bytes(q.dtype),
+                   "quantized payload size mismatch: ", q.data.size(),
+                   " bytes for ", n, " elements of ", to_string(q.dtype));
+    std::vector<float> out(static_cast<std::size_t>(n));
+    switch (q.dtype) {
+      case WireDtype::kF32:
+        std::memcpy(out.data(), q.data.data(),
+                    static_cast<std::size_t>(n) * sizeof(float));
+        break;
+      case WireDtype::kI8: {
+          const std::int8_t* src = q.i8();
+          for (std::int64_t i = 0; i < n; ++i) {
+              out[static_cast<std::size_t>(i)] =
+                  q.scale * static_cast<float>(src[i] - q.zero_point);
+          }
+          break;
+      }
+      case WireDtype::kI16: {
+          const std::int16_t* src = q.i16();
+          for (std::int64_t i = 0; i < n; ++i) {
+              out[static_cast<std::size_t>(i)] =
+                  q.scale * static_cast<float>(src[i] - q.zero_point);
+          }
+          break;
+      }
+    }
+    return Tensor(q.shape, std::move(out));
+}
+
+}  // namespace shredder

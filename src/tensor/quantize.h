@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-tensor affine quantization for the activation wire path.
+ *
+ * Shredder's premise is a bandwidth-constrained edge shipping noisy
+ * intermediate activations to the cloud (paper §1, §3.4). The learned
+ * noise floor dwarfs the quantization error of an 8-bit affine code,
+ * so int8 transport is nearly free accuracy-wise while cutting wire
+ * bytes ~4×. This header is the single source of truth for that code:
+ *
+ *   q  = clamp(round(x / scale) + zero_point, qmin, qmax)
+ *   x' = scale · (q − zero_point)
+ *
+ * with per-tensor `scale`/`zero_point` chosen from the finite min/max
+ * of the tensor (`choose_quant_params`). Guarantees:
+ *
+ *  - |x' − x| ≤ scale/2 for every finite in-range element, where
+ *    scale = (max − min) / (qmax − qmin);
+ *  - an all-equal tensor round-trips exactly (degenerate range picks
+ *    a scale that represents the value on the grid);
+ *  - the output is always NaN-free: NaN inputs map to `zero_point`
+ *    (dequantizes to ~0), ±inf saturates to the range edge.
+ *
+ * `WireDtype` also names the transport encodings (`fp32` means "no
+ * quantization, v1 SHRT bytes") used by the SHRT v2 header
+ * (src/tensor/serialize.h), the `wire_dtype=` manifest/bundle keys
+ * (src/deploy/bundle.h) and the SHRQ request path (src/net/).
+ */
+#ifndef SHREDDER_TENSOR_QUANTIZE_H
+#define SHREDDER_TENSOR_QUANTIZE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+
+/**
+ * Element encoding of a tensor on the wire. Values are the SHRT v2
+ * header codes — append-only, never renumber (the codec and the
+ * bundle format both persist them).
+ */
+enum class WireDtype : std::uint8_t
+{
+    kF32 = 0,  ///< Raw float32 (canonical v1 SHRT bytes; no header v2).
+    kI8 = 1,   ///< Per-tensor affine int8.
+    kI16 = 2,  ///< Per-tensor affine int16.
+};
+
+/** "fp32" / "int8" / "int16" — the manifest/CLI spelling. */
+const char* to_string(WireDtype dtype);
+
+/**
+ * Parse the manifest/CLI spelling ("fp32", "int8", "int16").
+ * Returns false (and leaves `*out` untouched) on anything else.
+ */
+bool parse_wire_dtype(const std::string& text, WireDtype* out);
+
+/** Payload bytes per element (4, 1, 2). */
+std::int64_t dtype_bytes(WireDtype dtype);
+
+/** Per-tensor affine code parameters. */
+struct QuantParams
+{
+    float scale = 1.0f;
+    std::int32_t zero_point = 0;
+};
+
+/**
+ * Affine parameters covering [lo, hi] with the dtype's integer grid.
+ * `lo`/`hi` are sanitized (non-finite → 0); a degenerate lo == hi
+ * range picks a scale that represents the value exactly. For kF32 the
+ * identity code {1, 0} is returned.
+ */
+QuantParams choose_quant_params(float lo, float hi, WireDtype dtype);
+
+/** Inclusive integer grid of a dtype (e.g. [−128, 127] for kI8). */
+std::int32_t dtype_qmin(WireDtype dtype);
+std::int32_t dtype_qmax(WireDtype dtype);
+
+/**
+ * A tensor in wire encoding: shape + code parameters + raw
+ * little-endian payload. For kF32 the payload is the float32 image of
+ * the tensor and `scale`/`zero_point` are the identity code.
+ */
+struct QuantizedTensor
+{
+    Shape shape;
+    WireDtype dtype = WireDtype::kF32;
+    float scale = 1.0f;
+    std::int32_t zero_point = 0;
+    /** numel × dtype_bytes(dtype) raw little-endian bytes. */
+    std::vector<std::uint8_t> data;
+
+    std::int64_t size() const { return shape.numel(); }
+
+    const float* f32() const
+    {
+        return reinterpret_cast<const float*>(data.data());
+    }
+    const std::int8_t* i8() const
+    {
+        return reinterpret_cast<const std::int8_t*>(data.data());
+    }
+    const std::int16_t* i16() const
+    {
+        return reinterpret_cast<const std::int16_t*>(data.data());
+    }
+};
+
+/** Encode `t` (kF32 is a raw copy; see file comment for guarantees). */
+QuantizedTensor quantize(const Tensor& t, WireDtype dtype);
+
+/** Decode back to float32. Exact for kF32. Output is NaN-free for
+ * integer dtypes. */
+Tensor dequantize(const QuantizedTensor& q);
+
+}  // namespace shredder
+
+#endif  // SHREDDER_TENSOR_QUANTIZE_H

@@ -5,6 +5,7 @@
  */
 #include "src/tensor/serialize.h"
 
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -17,6 +18,10 @@ namespace shredder {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x54524853;  // 'SHRT'
+// SHRT v2 disambiguation word: sits where v1 stores the rank, and no
+// valid rank (≤ Shape::kMaxRank) can ever equal it, so v1 readers
+// reject v2 bytes with their usual "bad shape rank" typed error.
+constexpr std::uint32_t kExtMarker = 0xFFFF0002;
 
 template <typename T>
 void
@@ -135,15 +140,17 @@ write_shape(std::ostream& os, const Shape& shape)
     }
 }
 
+namespace {
+
+/**
+ * Dims of an already-validated rank. v1 headers store each dim as a
+ * u64; the compact v2 header stores u32 dims (the validation below
+ * rejects anything ≥ 2^32 in either encoding, so u32 loses nothing).
+ */
 Shape
-read_shape(std::istream& is)
+read_shape_dims(std::istream& is, std::uint32_t rank,
+                bool compact_dims = false)
 {
-    const std::uint32_t rank = read_u32(is);
-    if (rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
-        std::ostringstream oss;
-        oss << "bad shape rank " << rank;
-        throw SerializeError(oss.str());
-    }
     // Cap the declared element count like the other untrusted-length
     // guards (strings, layer counts, collection sizes): a crafted
     // header must not drive a near-infinite allocation, overflow the
@@ -153,7 +160,9 @@ read_shape(std::istream& is)
     std::int64_t dims[Shape::kMaxRank] = {0, 0, 0, 0};
     std::int64_t numel = 1;
     for (std::uint32_t i = 0; i < rank; ++i) {
-        dims[i] = static_cast<std::int64_t>(read_u64(is));
+        dims[i] = compact_dims
+                      ? static_cast<std::int64_t>(read_u32(is))
+                      : static_cast<std::int64_t>(read_u64(is));
         if (dims[i] <= 0 || dims[i] >= (1LL << 32)) {
             std::ostringstream oss;
             oss << "bad shape dim " << dims[i];
@@ -174,6 +183,20 @@ read_shape(std::istream& is)
       case 3: return Shape({dims[0], dims[1], dims[2]});
       default: return Shape({dims[0], dims[1], dims[2], dims[3]});
     }
+}
+
+}  // namespace
+
+Shape
+read_shape(std::istream& is)
+{
+    const std::uint32_t rank = read_u32(is);
+    if (rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
+        std::ostringstream oss;
+        oss << "bad shape rank " << rank;
+        throw SerializeError(oss.str());
+    }
+    return read_shape_dims(is, rank);
 }
 
 void
@@ -239,6 +262,112 @@ serialized_size(const Tensor& t)
                                      sizeof(std::uint64_t) *
                                          t.shape().rank()) +
            t.size() * static_cast<std::int64_t>(sizeof(float));
+}
+
+void
+write_tensor_wire(std::ostream& os, const QuantizedTensor& q)
+{
+    SHREDDER_CHECK(static_cast<std::int64_t>(q.data.size()) ==
+                       q.size() * dtype_bytes(q.dtype),
+                   "wire tensor payload size mismatch");
+    if (q.dtype == WireDtype::kF32) {
+        // Canonical fp32 bytes are the v1 header — bit-identical to
+        // write_tensor, so fp32 artifacts never change on disk.
+        wire::write_u32(os, kMagic);
+        wire::write_shape(os, q.shape);
+    } else {
+        wire::write_u32(os, kMagic);
+        wire::write_u32(os, kExtMarker);
+        wire::write_u8(os, static_cast<std::uint8_t>(q.dtype));
+        wire::write_f32(os, q.scale);
+        wire::write_u32(os, static_cast<std::uint32_t>(q.zero_point));
+        // Compact shape: header bytes are the whole point of the
+        // quantized wire path, so v2 spends 1+4r on the shape where
+        // v1 spends 4+8r (u32 dims cover the validated dim range).
+        wire::write_u8(os, static_cast<std::uint8_t>(q.shape.rank()));
+        for (int i = 0; i < q.shape.rank(); ++i) {
+            wire::write_u32(os, static_cast<std::uint32_t>(q.shape[i]));
+        }
+    }
+    os.write(reinterpret_cast<const char*>(q.data.data()),
+             static_cast<std::streamsize>(q.data.size()));
+    SHREDDER_CHECK(static_cast<bool>(os), "wire tensor write failed");
+}
+
+QuantizedTensor
+read_tensor_wire_checked(std::istream& is)
+{
+    wire::expect_magic(is, kMagic, "tensor");
+    QuantizedTensor q;
+    const std::uint32_t word = wire::read_u32(is);
+    if (word == kExtMarker) {
+        const std::uint8_t code = wire::read_u8(is);
+        if (code == static_cast<std::uint8_t>(WireDtype::kF32)) {
+            throw SerializeError(
+                "fp32 tensor payload must use the version-1 header");
+        }
+        if (code > static_cast<std::uint8_t>(WireDtype::kI16)) {
+            std::ostringstream oss;
+            oss << "unknown tensor dtype code "
+                << static_cast<unsigned>(code);
+            throw SerializeError(oss.str());
+        }
+        q.dtype = static_cast<WireDtype>(code);
+        q.scale = wire::read_f32(is);
+        if (!std::isfinite(q.scale) || q.scale <= 0.0f) {
+            throw SerializeError("bad quantization scale");
+        }
+        q.zero_point =
+            static_cast<std::int32_t>(wire::read_u32(is));
+        if (q.zero_point < dtype_qmin(q.dtype) ||
+            q.zero_point > dtype_qmax(q.dtype)) {
+            std::ostringstream oss;
+            oss << "quantization zero point " << q.zero_point
+                << " outside " << to_string(q.dtype) << " range";
+            throw SerializeError(oss.str());
+        }
+        const std::uint8_t rank = wire::read_u8(is);
+        if (rank > static_cast<std::uint8_t>(Shape::kMaxRank)) {
+            std::ostringstream oss;
+            oss << "bad shape rank " << static_cast<unsigned>(rank);
+            throw SerializeError(oss.str());
+        }
+        q.shape = wire::read_shape_dims(is, rank, /*compact_dims=*/true);
+    } else {
+        // Version 1: the word is the rank.
+        if (word > static_cast<std::uint32_t>(Shape::kMaxRank)) {
+            std::ostringstream oss;
+            oss << "bad shape rank " << word;
+            throw SerializeError(oss.str());
+        }
+        q.dtype = WireDtype::kF32;
+        q.shape = wire::read_shape_dims(is, word);
+    }
+    const std::int64_t payload = q.size() * dtype_bytes(q.dtype);
+    try {
+        q.data.resize(static_cast<std::size_t>(payload));
+    } catch (const std::bad_alloc&) {
+        throw SerializeError("tensor payload too large to allocate");
+    }
+    is.read(reinterpret_cast<char*>(q.data.data()),
+            static_cast<std::streamsize>(payload));
+    if (!is) {
+        throw SerializeError("truncated tensor payload");
+    }
+    return q;
+}
+
+std::int64_t
+serialized_wire_size(const Shape& shape, WireDtype dtype)
+{
+    const std::int64_t payload = shape.numel() * dtype_bytes(dtype);
+    if (dtype == WireDtype::kF32) {
+        // v1 header: magic + rank u32 + dims u64 each.
+        return 8 + 8 * shape.rank() + payload;
+    }
+    // v2 header: magic + marker + dtype u8 + scale f32 + zero point
+    // u32 + rank u8 + dims u32 each.
+    return 18 + 4 * shape.rank() + payload;
 }
 
 std::string

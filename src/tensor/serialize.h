@@ -5,13 +5,35 @@
  * Used by the model-checkpoint format, the deployment-bundle format
  * (src/deploy/bundle.h) and the split-execution channel (the edge
  * serializes the noisy activation exactly the way a real deployment
- * would put it on the wire). The format is a small tagged header
- * followed by raw little-endian float32 data:
+ * would put it on the wire). The version-1 format is a small tagged
+ * header followed by raw little-endian float32 data:
  *
  *   magic  u32  'SHRT' (0x54524853)
  *   rank   u32
  *   dims   u64 × rank
  *   data   f32 × numel
+ *
+ * Version 2 carries quantized payloads (src/tensor/quantize.h). The
+ * word after the magic is the marker 0xFFFF0002 — an impossible rank,
+ * so v1 readers reject v2 bytes with their existing typed "bad shape
+ * rank" error and v2 readers can tell the two apart without a flag
+ * day:
+ *
+ *   magic   u32  'SHRT' (0x54524853)
+ *   marker  u32  0xFFFF0002
+ *   dtype   u8   WireDtype code (1 = int8, 2 = int16; 0 is invalid
+ *                here — fp32 tensors always use the v1 header, so
+ *                every fp32 artifact stays bit-identical)
+ *   scale   f32  per-tensor affine scale (finite, > 0)
+ *   zpoint  i32  per-tensor affine zero point (within dtype range)
+ *   rank    u8   (header bytes are the point of the quantized wire
+ *   dims    u32 × rank       path, so v2 packs the shape: readers of
+ *                            either version reject dims ≥ 2^32, so the
+ *                            narrower dim encoding loses nothing)
+ *   data    i8/i16 × numel (little-endian)
+ *
+ * Checked readers reject unknown dtype codes with a typed
+ * `SerializeError`, never a crash.
  *
  * Two failure disciplines coexist, because callers sit on different
  * sides of a trust boundary:
@@ -38,6 +60,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/tensor/quantize.h"
 #include "src/tensor/shape.h"
 #include "src/tensor/tensor.h"
 
@@ -72,6 +95,29 @@ Tensor read_tensor_checked(std::istream& is);
 
 /** Serialized byte size of a tensor (header + payload). */
 std::int64_t serialized_size(const Tensor& t);
+
+/**
+ * Write a wire-encoded tensor. kF32 payloads produce bit-identical v1
+ * bytes (the canonical fp32 encoding); integer dtypes produce the v2
+ * header above. Panics on stream failure.
+ */
+void write_tensor_wire(std::ostream& os, const QuantizedTensor& q);
+
+/**
+ * Read either a v1 (fp32) or v2 (quantized) tensor; throws
+ * `SerializeError` on malformed input, unknown dtype codes, or an
+ * invalid scale/zero-point. The v1 form returns a kF32
+ * `QuantizedTensor` whose payload is the raw float image.
+ */
+QuantizedTensor read_tensor_wire_checked(std::istream& is);
+
+/**
+ * Exact on-wire byte size of a tensor of `shape` in `dtype` encoding
+ * — the single size formula shared by the writer, the split-channel
+ * codec, the cost model and the benches, so reported bytes cannot
+ * drift from shipped bytes.
+ */
+std::int64_t serialized_wire_size(const Shape& shape, WireDtype dtype);
 
 /** Convenience: serialize to an in-memory byte string. */
 std::string tensor_to_bytes(const Tensor& t);

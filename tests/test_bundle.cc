@@ -571,24 +571,174 @@ TEST(Bundle, ColdStartComposedEndpointIsBitExactWithInProcess)
     std::remove(path.c_str());
 }
 
-// Version-1 files (policy kinds 0-3, no spec extras) must keep
-// loading: the v2 encoding of those kinds is byte-identical except the
-// version field.
+/**
+ * Byte offset of the version-3 transport-hint pair inside a replay
+ * bundle of `Fixture`: magic+version (8) + replay policy spec
+ * (u32 kind + u64 seed = 12) + rank-3 input shape (u32 rank +
+ * 3 × u64 dims = 28) + cut u64 (8).
+ */
+constexpr std::size_t kFixtureHintOffset = 56;
+
+/** Rewrite a fixture replay bundle as an older-format file. */
+void
+downgrade_replay_bundle(const std::string& path, char version)
+{
+    std::string bytes = slurp(path);
+    ASSERT_EQ(bytes[4], 3);  // Version field (bytes 4..7, LE).
+    bytes[4] = version;
+    // Pre-v3 files carry no transport-hint bytes.
+    bytes.erase(kFixtureHintOffset, 2);
+    spew(path, bytes);
+}
+
+// Version-1 files (policy kinds 0-3, no spec extras, no transport
+// hints) must keep loading: the current encoding of those kinds is
+// byte-identical except the version field and the v3 hint pair.
 TEST(Bundle, VersionOneReplayBundleStillLoads)
 {
     Fixture f;
     const std::string path =
         f.save(deploy::PolicyKind::kReplay, 55, "v1_replay.shb");
-    std::string bytes = slurp(path);
-    ASSERT_EQ(bytes[4], 2);  // Version field (bytes 4..7, LE).
-    bytes[4] = 1;
-    spew(path, bytes);
+    downgrade_replay_bundle(path, 1);
 
     deploy::Bundle b = deploy::load_bundle(path);
     EXPECT_EQ(b.policy_spec().kind, deploy::PolicyKind::kReplay);
     EXPECT_EQ(b.policy_spec().seed, 55u);
     EXPECT_EQ(b.make_policy()->name(), "replay");
+    // Pre-v3 files imply plain fp32 transport.
+    EXPECT_EQ(b.wire_dtype(), WireDtype::kF32);
+    EXPECT_FALSE(b.int8_compute());
     std::remove(path.c_str());
+}
+
+// Version-2 files (no transport hints yet) load with fp32 defaults.
+TEST(Bundle, VersionTwoReplayBundleStillLoads)
+{
+    Fixture f;
+    const std::string path =
+        f.save(deploy::PolicyKind::kReplay, 77, "v2_replay.shb");
+    downgrade_replay_bundle(path, 2);
+
+    deploy::Bundle b = deploy::load_bundle(path);
+    EXPECT_EQ(b.policy_spec().seed, 77u);
+    EXPECT_EQ(b.wire_dtype(), WireDtype::kF32);
+    EXPECT_FALSE(b.int8_compute());
+    std::remove(path.c_str());
+}
+
+// -- Version-3 transport hints --------------------------------------------
+
+TEST(Bundle, TransportHintsRoundTrip)
+{
+    Fixture f;
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(f.collection);
+    deploy::BundleContents contents;
+    contents.network = f.net.get();
+    contents.cut = f.cut;
+    contents.input_shape = f.input;
+    contents.policy.kind = deploy::PolicyKind::kReplay;
+    contents.policy.seed = 12;
+    contents.collection = &f.collection;
+    contents.distribution = &dist;
+    contents.wire_dtype = WireDtype::kI8;
+    contents.int8_compute = true;
+    const std::string path = temp_path("hints_i8.shb");
+    deploy::save_bundle(path, contents);
+
+    deploy::Bundle b = deploy::load_bundle(path);
+    EXPECT_EQ(b.wire_dtype(), WireDtype::kI8);
+    EXPECT_TRUE(b.int8_compute());
+
+    // Corrupt hint bytes are a typed load failure, not a crash.
+    const std::string good = slurp(path);
+    {
+        std::string bad = good;
+        bad[kFixtureHintOffset] = 3;  // no such WireDtype code
+        spew(path, bad);
+        expect_load_error(path, ServingErrorCode::kBadBundle);
+    }
+    {
+        std::string bad = good;
+        bad[kFixtureHintOffset + 1] = 2;  // flag must be 0/1
+        spew(path, bad);
+        expect_load_error(path, ServingErrorCode::kBadBundle);
+    }
+    std::remove(path.c_str());
+}
+
+// The acceptance pin for the quantized wire path: an int8-wire
+// endpoint cold-started from a bundle answers submit_quantized
+// bit-exactly like the in-process endpoint it was saved from — on both
+// the int8 direct-GEMM path and the dequantize→fp32 fallback.
+TEST(Bundle, ColdStartInt8WireEndpointIsBitExactWithInProcess)
+{
+    Fixture f;
+    const std::uint64_t seed = 86;
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(f.collection);
+    deploy::BundleContents contents;
+    contents.network = f.net.get();
+    contents.cut = f.cut;
+    contents.input_shape = f.input;
+    contents.policy.kind = deploy::PolicyKind::kReplay;
+    contents.policy.seed = seed;
+    contents.collection = &f.collection;
+    contents.distribution = &dist;
+    contents.wire_dtype = WireDtype::kI8;
+    const std::string fp32_path = temp_path("i8_wire_fp32_compute.shb");
+    deploy::save_bundle(fp32_path, contents);
+    contents.int8_compute = true;
+    const std::string direct_path = temp_path("i8_wire_direct.shb");
+    deploy::save_bundle(direct_path, contents);
+
+    const ReplayPolicy reference_policy(f.collection, seed);
+
+    ServingEngine engine;
+    engine.register_endpoint_from_bundle("cold-fp32", fp32_path);
+    engine.register_endpoint_from_bundle("cold-direct", direct_path);
+    EXPECT_EQ(engine.wire_dtype("cold-fp32"), WireDtype::kI8);
+    EXPECT_EQ(engine.wire_dtype("cold-direct"), WireDtype::kI8);
+    EndpointConfig ep;
+    ep.wire_dtype = WireDtype::kI8;
+    ep.int8_compute = true;
+    engine.register_endpoint(
+        "in-process-direct", f.model,
+        std::make_shared<ReplayPolicy>(f.collection, seed), ep);
+
+    nn::ExecutionContext ref_ctx;
+    for (std::uint64_t id = 0; id < 12; ++id) {
+        const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+        const QuantizedTensor q = quantize(act, WireDtype::kI8);
+        const Tensor served_fp32 =
+            engine.submit_quantized("cold-fp32", q, id).get();
+        const Tensor served_direct =
+            engine.submit_quantized("cold-direct", q, id).get();
+        const Tensor in_process =
+            engine.submit_quantized("in-process-direct", q, id).get();
+
+        // Fallback endpoint: dequantize, then the exact fp32 recipe.
+        const Tensor offline =
+            f.model
+                .cloud_forward(reference_policy.apply(dequantize(q), id)
+                                   .reshaped(f.act_shape),
+                               ref_ctx)
+                .reshaped(Shape({10}));  // Server scatters rank-1 logits.
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served_fp32, offline), 0.0)
+            << "id " << id;
+        // Direct path: cold start and in-process run the same int8
+        // GEMM over the same bytes — bit-exact, and within codec
+        // tolerance of the fp32 recipe.
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(served_direct, in_process),
+                         0.0)
+            << "id " << id;
+        EXPECT_LT(ops::max_abs_diff(served_direct, offline), 0.5)
+            << "id " << id;
+    }
+    EXPECT_GE(engine.stats("cold-direct").int8_direct_batches, 1);
+    EXPECT_EQ(engine.stats("cold-fp32").int8_direct_batches, 0);
+    std::remove(fp32_path.c_str());
+    std::remove(direct_path.c_str());
 }
 
 // -- Manifest cold start --------------------------------------------------
@@ -646,6 +796,52 @@ TEST(Manifest, RelativeBundlePathsResolveAgainstManifestDir)
     std::remove(bundle_path.c_str());
 }
 
+TEST(Manifest, WireDtypeKeysOverrideBundleHints)
+{
+    Fixture f;
+    // A bundle that HINTS int8 transport…
+    const core::NoiseDistribution dist =
+        core::NoiseDistribution::fit(f.collection);
+    deploy::BundleContents contents;
+    contents.network = f.net.get();
+    contents.cut = f.cut;
+    contents.input_shape = f.input;
+    contents.policy.kind = deploy::PolicyKind::kReplay;
+    contents.policy.seed = 9;
+    contents.collection = &f.collection;
+    contents.distribution = &dist;
+    contents.wire_dtype = WireDtype::kI8;
+    contents.int8_compute = true;
+    const std::string path = temp_path("manifest_hint_i8.shb");
+    deploy::save_bundle(path, contents);
+
+    const std::string manifest = temp_path("wire_manifest.txt");
+    {
+        std::ofstream os(manifest);
+        // …served three ways: hint honored, explicitly pinned to
+        // int16, and explicitly forced back to plain fp32 — an
+        // explicit manifest choice always beats the bundle hint.
+        os << "endpoint hinted " << path << "\n"
+           << "endpoint pinned16 " << path << " wire_dtype=int16\n"
+           << "endpoint forced32 " << path
+           << " wire_dtype=fp32 int8_compute=false\n";
+    }
+    ServingEngine engine;
+    engine.register_endpoints_from_manifest(manifest);
+    EXPECT_EQ(engine.wire_dtype("hinted"), WireDtype::kI8);
+    EXPECT_EQ(engine.wire_dtype("pinned16"), WireDtype::kI16);
+    EXPECT_EQ(engine.wire_dtype("forced32"), WireDtype::kF32);
+
+    // Every variant still serves (int8_compute and wire_dtype never
+    // change whether an endpoint can answer).
+    const Tensor act = Tensor::normal(f.per_sample(), f.rng);
+    for (const char* name : {"hinted", "pinned16", "forced32"}) {
+        EXPECT_EQ(engine.infer(name, act).size(), 10) << name;
+    }
+    std::remove(manifest.c_str());
+    std::remove(path.c_str());
+}
+
 TEST(Manifest, MalformedManifestsThrowTyped)
 {
     const auto expect_manifest_error = [](const std::string& content) {
@@ -667,6 +863,9 @@ TEST(Manifest, MalformedManifestsThrowTyped)
     expect_manifest_error("endpoint a x.shb batch_timeout_ms=1.5ms\n");
     expect_manifest_error("endpoint a x.shb context_seed=7seven\n");
     expect_manifest_error("endpoint a x.shb turbo=1\n");   // unknown key
+    expect_manifest_error("endpoint a x.shb wire_dtype=int7\n");
+    expect_manifest_error("endpoint a x.shb wire_dtype=\n");
+    expect_manifest_error("endpoint a x.shb int8_compute=maybe\n");
     expect_manifest_error("endpoint a x.shb\nendpoint a y.shb\n");
 
     try {  // Missing manifest file.

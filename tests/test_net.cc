@@ -239,6 +239,100 @@ TEST(NetServer, PipelinedRequestsAnswerInOrderWithIds)
     }
 }
 
+// -- Quantized wire path --------------------------------------------------
+
+TEST(NetServer, Int8WireMatchesInProcessQuantizedSubmit)
+{
+    Fixture fx;
+    net::Client client("127.0.0.1", fx.server->port());
+
+    // An int8 request and ServingEngine::submit_quantized with the
+    // same codec bytes must agree bit-for-bit: quantization is
+    // deterministic, so the client-side encode and the in-process
+    // encode produce the same payload, and transport adds nothing.
+    for (std::uint64_t id = 0; id < 6; ++id) {
+        const Tensor activation = fx.sample_activation();
+        const Tensor wire =
+            client.infer("lenet", activation, id, WireDtype::kI8);
+        const Tensor direct =
+            fx.engine
+                ->submit_quantized("lenet",
+                                   quantize(activation, WireDtype::kI8),
+                                   id)
+                .get();
+        ASSERT_EQ(wire.shape().to_string(), direct.shape().to_string());
+        EXPECT_DOUBLE_EQ(ops::max_abs_diff(wire, direct), 0.0) << id;
+
+        // And the codec error stays small relative to the fp32 path —
+        // the endpoint is the same mechanism either way.
+        const Tensor fp32 =
+            fx.engine->submit("lenet", activation, id).get();
+        EXPECT_LT(ops::max_abs_diff(wire, fp32), 0.5) << id;
+    }
+    EXPECT_GE(fx.engine->stats("lenet").quantized_requests, 6);
+}
+
+TEST(NetServer, Int8DirectComputeEndpointServesOverWire)
+{
+    Fixture fx;
+    // Same model/policy, but the endpoint consumes quantized
+    // activations directly in the int8 GEMM (no fp32 activation is
+    // materialized before the cut layer).
+    EndpointConfig ep;
+    ep.max_batch = 4;
+    ep.batch_timeout_ms = 0.2;
+    ep.wire_dtype = WireDtype::kI8;
+    ep.int8_compute = true;
+    fx.engine->register_endpoint(
+        "lenet8", fx.model,
+        std::make_shared<ReplayPolicy>(fx.collection, 0xFACE), ep);
+
+    net::Client client("127.0.0.1", fx.server->port());
+    for (std::uint64_t id = 0; id < 6; ++id) {
+        const Tensor activation = fx.sample_activation();
+        const Tensor direct_gemm =
+            client.infer("lenet8", activation, id, WireDtype::kI8);
+        const Tensor fp32 =
+            fx.engine->submit("lenet", activation, id).get();
+        ASSERT_EQ(direct_gemm.shape().to_string(),
+                  fp32.shape().to_string());
+        EXPECT_LT(ops::max_abs_diff(direct_gemm, fp32), 0.5) << id;
+    }
+    const runtime::ServerStats stats = fx.engine->stats("lenet8");
+    EXPECT_EQ(stats.quantized_requests, 6);
+    EXPECT_GE(stats.int8_direct_batches, 1);
+}
+
+TEST(NetProtocol, EnvelopeVersionIsLowestThatCarriesThePayload)
+{
+    Fixture fx;
+    const Tensor activation = fx.sample_activation();
+
+    // fp32 requests and ALL responses stay version 1 bit-for-bit, so
+    // old peers never see a version bump they don't need; only frames
+    // that actually carry quantized bytes stamp version 2.
+    auto version_of = [](const std::string& frame) {
+        std::uint32_t v = 0;
+        std::memcpy(&v, frame.data() + 4, sizeof(v));
+        return v;
+    };
+    net::Request request;
+    request.request_id = 1;
+    request.endpoint = "lenet";
+    request.activation = activation;
+    EXPECT_EQ(version_of(net::encode_request(request)), 1u);
+
+    request.quantized = quantize(activation, WireDtype::kI8);
+    request.is_quantized = true;
+    EXPECT_EQ(version_of(net::encode_request(request)), 2u);
+
+    net::Response response;
+    response.request_id = 1;
+    response.status = net::WireStatus::kOk;
+    response.output = activation;
+    EXPECT_EQ(version_of(net::encode_response(response)), 1u);
+}
+
 // -- Typed per-request failures keep the connection alive -----------------
 
 TEST(NetServer, UnknownEndpointIsTypedAndConnectionSurvives)

@@ -4,7 +4,8 @@
  * purity in the request id, apply_into ≡ apply, shape preservation,
  * concurrent determinism, offline-recipe reproducibility — are pinned
  * by the shared conformance suite (tests/policy_contract.h),
- * instantiated here for the four core policies. What remains below is
+ * instantiated here for the core policies (none/replay/sample/fixed
+ * plus the wire-codec QuantizePolicy). What remains below is
  * the mechanism-specific behavior the suite cannot know: the seeding
  * compatibility contract, constructor conveniences, and misuse death
  * tests. (The shuffle/composed instantiations live in
@@ -23,6 +24,7 @@
 #include "src/runtime/inference_server.h"
 #include "src/runtime/noise_policy.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/quantize.h"
 #include "tests/policy_contract.h"
 #include "tests/test_util.h"
 
@@ -122,6 +124,20 @@ core_policy_cases()
         c.id_sensitive = false;
         c.offline_recipe = [noise](const Tensor& a, std::uint64_t) {
             return ops::add(a, *noise);
+        };
+        cases.push_back(std::move(c));
+    }
+    {
+        testing::PolicyContractCase c;
+        c.label = "quant_int8";
+        c.activation_shape = noise_shape();
+        c.make = [] {
+            return std::make_shared<runtime::QuantizePolicy>(
+                WireDtype::kI8);
+        };
+        c.id_sensitive = false;  // the codec ignores the request id
+        c.offline_recipe = [](const Tensor& a, std::uint64_t) {
+            return dequantize(quantize(a, WireDtype::kI8));
         };
         cases.push_back(std::move(c));
     }

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for the activation wire codec: per-tensor affine quantization
+ * (src/tensor/quantize.h), the SHRT v2 quantized tensor format
+ * (src/tensor/serialize.h) and the int8 GEMM micro-kernel
+ * (src/tensor/gemm.h).
+ */
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/gemm.h"
+#include "src/tensor/quantize.h"
+#include "src/tensor/rng.h"
+#include "src/tensor/serialize.h"
+#include "src/tensor/tensor.h"
+
+namespace shredder {
+namespace {
+
+// ---------------------------------------------------------------- codec
+
+TEST(Quantize, DtypeSpellingRoundTrips)
+{
+    EXPECT_STREQ(to_string(WireDtype::kF32), "fp32");
+    EXPECT_STREQ(to_string(WireDtype::kI8), "int8");
+    EXPECT_STREQ(to_string(WireDtype::kI16), "int16");
+    WireDtype d = WireDtype::kF32;
+    EXPECT_TRUE(parse_wire_dtype("int8", &d));
+    EXPECT_EQ(d, WireDtype::kI8);
+    EXPECT_TRUE(parse_wire_dtype("int16", &d));
+    EXPECT_EQ(d, WireDtype::kI16);
+    EXPECT_TRUE(parse_wire_dtype("fp32", &d));
+    EXPECT_EQ(d, WireDtype::kF32);
+    // Aliases accepted on purpose (CLI ergonomics).
+    EXPECT_TRUE(parse_wire_dtype("float32", &d));
+    EXPECT_EQ(d, WireDtype::kF32);
+    d = WireDtype::kI16;
+    EXPECT_FALSE(parse_wire_dtype("int4", &d));
+    EXPECT_FALSE(parse_wire_dtype("", &d));
+    EXPECT_FALSE(parse_wire_dtype("INT8", &d));
+    EXPECT_EQ(d, WireDtype::kI16) << "failed parse must not write";
+}
+
+TEST(Quantize, RoundTripErrorWithinHalfScale)
+{
+    Rng rng(11);
+    for (const WireDtype dtype : {WireDtype::kI8, WireDtype::kI16}) {
+        const Tensor x = Tensor::normal(Shape({3, 17, 5}), rng);
+        const QuantizedTensor q = quantize(x, dtype);
+        EXPECT_EQ(q.dtype, dtype);
+        EXPECT_GT(q.scale, 0.0f);
+        const Tensor y = dequantize(q);
+        ASSERT_EQ(y.shape(), x.shape());
+        for (std::int64_t i = 0; i < x.size(); ++i) {
+            EXPECT_LE(std::abs(y[i] - x[i]), q.scale * 0.5f + 1e-7f)
+                << to_string(dtype) << " element " << i;
+        }
+    }
+}
+
+TEST(Quantize, Int16IsFinerThanInt8)
+{
+    Rng rng(12);
+    const Tensor x = Tensor::normal(Shape({256}), rng);
+    const QuantizedTensor q8 = quantize(x, WireDtype::kI8);
+    const QuantizedTensor q16 = quantize(x, WireDtype::kI16);
+    EXPECT_LT(q16.scale, q8.scale / 100.0f);
+}
+
+TEST(Quantize, AllEqualTensorRoundTripsExactly)
+{
+    const Tensor x(Shape({7}), 3.25f);
+    for (const WireDtype dtype : {WireDtype::kI8, WireDtype::kI16}) {
+        const Tensor y = dequantize(quantize(x, dtype));
+        for (std::int64_t i = 0; i < x.size(); ++i) {
+            EXPECT_EQ(y[i], 3.25f) << to_string(dtype);
+        }
+    }
+}
+
+TEST(Quantize, NonFiniteInputsProduceNanFreeOutput)
+{
+    Tensor x = Tensor::from_vector(
+        {-1.0f, 1.0f, std::numeric_limits<float>::quiet_NaN(),
+         std::numeric_limits<float>::infinity(),
+         -std::numeric_limits<float>::infinity()});
+    const QuantizedTensor q = quantize(x, WireDtype::kI8);
+    const Tensor y = dequantize(q);
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(y[i])) << "element " << i;
+    }
+    // Range comes from the finite elements only; the infinities
+    // saturate to it and NaN lands on the zero point (≈ 0).
+    EXPECT_NEAR(y[0], -1.0f, q.scale);
+    EXPECT_NEAR(y[1], 1.0f, q.scale);
+    EXPECT_NEAR(y[2], 0.0f, q.scale);
+    EXPECT_NEAR(y[3], 1.0f, q.scale);
+    EXPECT_NEAR(y[4], -1.0f, q.scale);
+}
+
+TEST(Quantize, Fp32PayloadIsRawImage)
+{
+    Rng rng(13);
+    const Tensor x = Tensor::normal(Shape({9}), rng);
+    const QuantizedTensor q = quantize(x, WireDtype::kF32);
+    ASSERT_EQ(q.data.size(), static_cast<std::size_t>(x.size()) * 4);
+    EXPECT_EQ(std::memcmp(q.f32(), x.data(), q.data.size()), 0);
+    const Tensor y = dequantize(q);
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(y[i], x[i]);
+    }
+}
+
+// ----------------------------------------------------------- SHRT wire
+
+/** Serialize a quantized tensor to bytes. */
+std::string
+wire_bytes(const QuantizedTensor& q)
+{
+    std::ostringstream oss(std::ios::binary);
+    write_tensor_wire(oss, q);
+    return oss.str();
+}
+
+TEST(SerializeWire, Fp32BytesAreBitIdenticalToV1)
+{
+    Rng rng(21);
+    const Tensor x = Tensor::normal(Shape({4, 3}), rng);
+    std::ostringstream v1(std::ios::binary);
+    write_tensor(v1, x);
+    EXPECT_EQ(wire_bytes(quantize(x, WireDtype::kF32)), v1.str());
+}
+
+TEST(SerializeWire, V1BytesDecodeAsF32)
+{
+    Rng rng(22);
+    const Tensor x = Tensor::normal(Shape({2, 5}), rng);
+    std::ostringstream os(std::ios::binary);
+    write_tensor(os, x);
+    std::istringstream is(os.str(), std::ios::binary);
+    const QuantizedTensor q = read_tensor_wire_checked(is);
+    EXPECT_EQ(q.dtype, WireDtype::kF32);
+    EXPECT_EQ(q.shape, x.shape());
+    const Tensor y = dequantize(q);
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(y[i], x[i]);
+    }
+}
+
+TEST(SerializeWire, QuantizedRoundTripPreservesCodeAndPayload)
+{
+    Rng rng(23);
+    for (const WireDtype dtype : {WireDtype::kI8, WireDtype::kI16}) {
+        const Tensor x = Tensor::normal(Shape({2, 3, 4}), rng);
+        const QuantizedTensor q = quantize(x, dtype);
+        std::istringstream is(wire_bytes(q), std::ios::binary);
+        const QuantizedTensor r = read_tensor_wire_checked(is);
+        EXPECT_EQ(r.dtype, q.dtype);
+        EXPECT_EQ(r.shape, q.shape);
+        EXPECT_EQ(r.scale, q.scale);
+        EXPECT_EQ(r.zero_point, q.zero_point);
+        EXPECT_EQ(r.data, q.data);
+    }
+}
+
+TEST(SerializeWire, SerializedSizeMatchesActualBytes)
+{
+    Rng rng(24);
+    for (const WireDtype dtype :
+         {WireDtype::kF32, WireDtype::kI8, WireDtype::kI16}) {
+        for (const Shape& shape :
+             {Shape({120, 1, 1}), Shape({6}), Shape({2, 3, 4, 5})}) {
+            const Tensor x = Tensor::normal(shape, rng);
+            EXPECT_EQ(static_cast<std::int64_t>(
+                          wire_bytes(quantize(x, dtype)).size()),
+                      serialized_wire_size(shape, dtype))
+                << to_string(dtype) << " " << shape.to_string();
+        }
+    }
+}
+
+TEST(SerializeWire, SizeFormulaPins)
+{
+    // The normative byte layouts (docs/DEPLOYMENT.md): v1 is
+    // 8 + 8·rank + 4·numel, v2 is 18 + 4·rank + numel·dtype_bytes.
+    const Shape act({120, 1, 1});
+    EXPECT_EQ(serialized_wire_size(act, WireDtype::kF32), 512);
+    EXPECT_EQ(serialized_wire_size(act, WireDtype::kI8), 150);
+    EXPECT_EQ(serialized_wire_size(act, WireDtype::kI16), 270);
+    // The headline claim: ≥ 3× fewer bytes for int8 transport.
+    EXPECT_GE(serialized_wire_size(act, WireDtype::kF32),
+              3 * serialized_wire_size(act, WireDtype::kI8));
+}
+
+/** Expect read_tensor_wire_checked to throw on `bytes`. */
+void
+expect_rejected(std::string bytes, const char* why)
+{
+    std::istringstream is(std::move(bytes), std::ios::binary);
+    EXPECT_THROW(read_tensor_wire_checked(is), SerializeError) << why;
+}
+
+TEST(SerializeWire, MalformedHeaderRejectionSweep)
+{
+    Rng rng(25);
+    const Tensor x = Tensor::normal(Shape({3, 4}), rng);
+    const std::string good = wire_bytes(quantize(x, WireDtype::kI8));
+    // Offsets into the v2 header: magic u32, marker u32, dtype u8,
+    // scale f32, zpoint u32, rank u8, dims u32 × rank.
+    constexpr std::size_t kDtypeOff = 8;
+    constexpr std::size_t kScaleOff = 9;
+    constexpr std::size_t kZpointOff = 13;
+    constexpr std::size_t kRankOff = 17;
+
+    {
+        std::string bad = good;
+        bad[0] ^= 0x01;
+        expect_rejected(bad, "corrupt magic");
+    }
+    {
+        // fp32 must never appear under the v2 marker — canonical fp32
+        // bytes are the v1 header.
+        std::string bad = good;
+        bad[kDtypeOff] = 0;
+        expect_rejected(bad, "dtype code 0 in a v2 header");
+    }
+    for (const int code : {3, 7, 255}) {
+        std::string bad = good;
+        bad[kDtypeOff] = static_cast<char>(code);
+        expect_rejected(bad, "unknown dtype code");
+    }
+    for (const float scale : {0.0f, -1.0f,
+                              std::numeric_limits<float>::quiet_NaN(),
+                              std::numeric_limits<float>::infinity()}) {
+        std::string bad = good;
+        std::memcpy(&bad[kScaleOff], &scale, sizeof(scale));
+        expect_rejected(bad, "bad scale");
+    }
+    {
+        const std::uint32_t zp = 4096;  // outside int8's [-128, 127]
+        std::string bad = good;
+        std::memcpy(&bad[kZpointOff], &zp, sizeof(zp));
+        expect_rejected(bad, "zero point outside dtype range");
+    }
+    {
+        std::string bad = good;
+        bad[kRankOff] = 9;
+        expect_rejected(bad, "bad rank");
+    }
+    {
+        std::string bad = good;
+        const std::uint32_t dim0 = 0;
+        std::memcpy(&bad[kRankOff + 1], &dim0, sizeof(dim0));
+        expect_rejected(bad, "zero dim");
+    }
+    // Truncation at every byte must throw, never crash or return.
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        expect_rejected(good.substr(0, len), "truncated stream");
+    }
+    EXPECT_NO_THROW({
+        std::istringstream is(good, std::ios::binary);
+        read_tensor_wire_checked(is);
+    });
+}
+
+// ------------------------------------------------------------ int8 GEMM
+
+/** fp32 reference: C = op(A)·Bᵀ + bias with row-wise noise on A. */
+std::vector<float>
+reference_gemm(const std::vector<float>& a, const std::vector<float>& b,
+               const std::vector<float>& noise, const float* bias,
+               std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            float acc = bias != nullptr ? bias[j] : 0.0f;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float x =
+                    a[static_cast<std::size_t>(i * k + p)] +
+                    (noise.empty()
+                         ? 0.0f
+                         : noise[static_cast<std::size_t>(i * k + p)]);
+                acc += x * b[static_cast<std::size_t>(j * k + p)];
+            }
+            c[static_cast<std::size_t>(i * n + j)] = acc;
+        }
+    }
+    return c;
+}
+
+/**
+ * Quantize per-row activations, run gemm_s8, and compare against the
+ * fp32 reference within the codec's error budget: each inner-product
+ * term carries O(a_scale + b_scale) rounding, so the bound scales with
+ * k and the operand magnitudes.
+ */
+void
+check_gemm_s8(std::int64_t m, std::int64_t n, std::int64_t k,
+              bool with_noise, bool with_bias, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Tensor a = Tensor::normal(Shape({m, k}), rng);
+    const Tensor b = Tensor::normal(Shape({n, k}), rng);
+    const Tensor noise =
+        with_noise ? Tensor::normal(Shape({m, k}), rng) : Tensor();
+    const Tensor bias = with_bias ? Tensor::normal(Shape({n}), rng)
+                                  : Tensor();
+
+    const S8Weights w = prepare_s8_weights(b.data(), n, k);
+
+    std::vector<QuantizedTensor> rows;
+    std::vector<const std::int8_t*> a_rows;
+    std::vector<float> a_scale;
+    std::vector<std::int32_t> a_zp;
+    std::vector<const float*> a_noise;
+    for (std::int64_t i = 0; i < m; ++i) {
+        Tensor row(Shape({k}));
+        std::memcpy(row.data(), a.data() + i * k,
+                    static_cast<std::size_t>(k) * sizeof(float));
+        rows.push_back(quantize(row, WireDtype::kI8));
+    }
+    for (std::int64_t i = 0; i < m; ++i) {
+        a_rows.push_back(rows[static_cast<std::size_t>(i)].i8());
+        a_scale.push_back(rows[static_cast<std::size_t>(i)].scale);
+        a_zp.push_back(rows[static_cast<std::size_t>(i)].zero_point);
+        a_noise.push_back(with_noise ? noise.data() + i * k : nullptr);
+    }
+
+    std::vector<float> c(static_cast<std::size_t>(m * n), -777.0f);
+    gemm_s8(m, n, k, a_rows.data(), a_scale.data(), a_zp.data(),
+            with_noise ? a_noise.data() : nullptr, w.data.data(),
+            w.scale, w.colsum.data(),
+            with_bias ? bias.data() : nullptr, c.data());
+
+    std::vector<float> noise_vec;
+    if (with_noise) {
+        noise_vec.assign(noise.data(), noise.data() + m * k);
+    }
+    const std::vector<float> ref = reference_gemm(
+        {a.data(), a.data() + m * k}, {b.data(), b.data() + n * k},
+        noise_vec, with_bias ? bias.data() : nullptr, m, n, k);
+
+    // Per-element budget: k terms, each within one rounding step of
+    // the activation grid times |w| plus one step of the weight grid
+    // times |a|. ~4σ operand magnitude makes the bound comfortable
+    // without being vacuous.
+    float max_scale = 0.0f;
+    for (const float s : a_scale) {
+        max_scale = std::max(max_scale, s);
+    }
+    const double tol =
+        static_cast<double>(k) *
+        (static_cast<double>(max_scale) * 4.0 +
+         static_cast<double>(w.scale) * (with_noise ? 8.0 : 4.0));
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i], ref[i], tol)
+            << "m=" << m << " n=" << n << " k=" << k
+            << " noise=" << with_noise << " bias=" << with_bias
+            << " element " << i;
+    }
+}
+
+TEST(GemmS8, MatchesFp32ReferenceAcrossShapes)
+{
+    std::uint64_t seed = 31;
+    // Grid crosses the kernel's blocking edges: k not a multiple of
+    // the SIMD width, single row/column, and a LeNet-sized case.
+    for (const auto& [m, n, k] :
+         {std::tuple<int, int, int>{1, 1, 1}, {1, 10, 120}, {3, 7, 33},
+          {8, 84, 120}, {5, 2, 257}}) {
+        check_gemm_s8(m, n, k, false, false, seed++);
+        check_gemm_s8(m, n, k, true, true, seed++);
+    }
+}
+
+TEST(GemmS8, FusedNoiseMatchesDequantizedPath)
+{
+    check_gemm_s8(4, 16, 64, true, false, 77);
+    check_gemm_s8(4, 16, 64, false, true, 78);
+}
+
+TEST(GemmS8, NanNoiseIsDroppedNotPropagated)
+{
+    const std::int64_t k = 8;
+    Rng rng(79);
+    const Tensor a = Tensor::normal(Shape({k}), rng);
+    const Tensor b = Tensor::normal(Shape({1, k}), rng);
+    const S8Weights w = prepare_s8_weights(b.data(), 1, k);
+    const QuantizedTensor qa = quantize(a, WireDtype::kI8);
+
+    std::vector<float> noise(static_cast<std::size_t>(k), 0.0f);
+    noise[3] = std::numeric_limits<float>::quiet_NaN();
+    const std::int8_t* a_rows[] = {qa.i8()};
+    const float a_scale[] = {qa.scale};
+    const std::int32_t a_zp[] = {qa.zero_point};
+    const float* a_noise[] = {noise.data()};
+    float c = std::numeric_limits<float>::quiet_NaN();
+    gemm_s8(1, 1, k, a_rows, a_scale, a_zp, a_noise, w.data.data(),
+            w.scale, w.colsum.data(), nullptr, &c);
+    EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST(GemmS8, WeightQuantizationIsSymmetric)
+{
+    Rng rng(80);
+    const std::int64_t n = 6;
+    const std::int64_t k = 10;
+    const Tensor b = Tensor::normal(Shape({n, k}), rng);
+    const S8Weights w = prepare_s8_weights(b.data(), n, k);
+    ASSERT_EQ(w.data.size(), static_cast<std::size_t>(n * k));
+    ASSERT_EQ(w.colsum.size(), static_cast<std::size_t>(n));
+    float maxabs = 0.0f;
+    for (std::int64_t i = 0; i < n * k; ++i) {
+        maxabs = std::max(maxabs, std::abs(b.data()[i]));
+        EXPECT_LE(std::abs(w.scale *
+                           static_cast<float>(
+                               w.data[static_cast<std::size_t>(i)]) -
+                           b.data()[i]),
+                  w.scale * 0.5f + 1e-7f);
+    }
+    EXPECT_NEAR(w.scale, maxabs / 127.0f, 1e-6f);
+    for (std::int64_t j = 0; j < n; ++j) {
+        std::int32_t sum = 0;
+        for (std::int64_t p = 0; p < k; ++p) {
+            sum += w.data[static_cast<std::size_t>(j * k + p)];
+        }
+        EXPECT_EQ(w.colsum[static_cast<std::size_t>(j)], sum);
+    }
+}
+
+}  // namespace
+}  // namespace shredder

@@ -48,11 +48,13 @@ usage(const char* argv0)
         "usage: %s --endpoint <name> --bundle <path> --port <port>\n"
         "          [--host 127.0.0.1] [--qps 500,2000,8000]\n"
         "          [--duration seconds] [--json out.json] [--seed N]\n"
+        "          [--wire-dtype fp32|int8|int16]\n"
         "\n"
         "Open-loop Poisson load against a shredder_serve --listen\n"
         "front door. The bundle supplies the activation shape the\n"
-        "endpoint expects; latency percentiles per target rate go to\n"
-        "the JSON file (schema shredder-loadgen-v1).\n",
+        "endpoint expects (and the default wire dtype, overridable\n"
+        "with --wire-dtype); latency percentiles per target rate go\n"
+        "to the JSON file (schema shredder-loadgen-v2).\n",
         argv0);
     return 2;
 }
@@ -75,7 +77,8 @@ struct SweepPoint
 SweepPoint
 run_point(const std::string& host, std::uint16_t port,
           const std::string& endpoint, const std::vector<Tensor>& pool,
-          double qps, double duration_s, std::uint64_t seed)
+          WireDtype wire_dtype, double qps, double duration_s,
+          std::uint64_t seed)
 {
     SweepPoint point;
     point.target_qps = qps;
@@ -140,7 +143,7 @@ run_point(const std::string& host, std::uint16_t port,
         }
         client.send(endpoint,
                     pool[static_cast<std::size_t>(i) % pool.size()],
-                    static_cast<std::uint64_t>(i));
+                    static_cast<std::uint64_t>(i), wire_dtype);
         cv.notify_one();
     }
     {
@@ -168,6 +171,7 @@ main(int argc, char** argv)
     long port = 0;
     double duration_s = 2.0;
     std::uint64_t seed = 0xA11CE;
+    std::string wire_dtype_spec;  // empty = the bundle's hint
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -188,6 +192,8 @@ main(int argc, char** argv)
             json_path = argv[++i];
         } else if (arg == "--seed" && has_value) {
             seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--wire-dtype" && has_value) {
+            wire_dtype_spec = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -233,13 +239,21 @@ main(int argc, char** argv)
     // activations of that shape (load generation does not need real
     // inputs — the server-side work is shape-driven).
     Shape activation_shape;
+    WireDtype wire_dtype = WireDtype::kF32;
     try {
         const deploy::Bundle bundle = deploy::load_bundle(bundle_path);
         activation_shape = bundle.activation_shape();
+        wire_dtype = bundle.wire_dtype();
     } catch (const runtime::ServingError& e) {
         std::fprintf(stderr, "cannot load bundle %s: %s\n",
                      bundle_path.c_str(), e.what());
         return 1;
+    }
+    if (!wire_dtype_spec.empty() &&
+        !parse_wire_dtype(wire_dtype_spec, &wire_dtype)) {
+        std::fprintf(stderr, "bad wire dtype '%s'\n",
+                     wire_dtype_spec.c_str());
+        return usage(argv[0]);
     }
     Rng rng(seed);
     std::vector<Tensor> pool;
@@ -247,10 +261,27 @@ main(int argc, char** argv)
         pool.push_back(Tensor::normal(activation_shape, rng));
     }
 
-    std::printf("loadgen: endpoint '%s', activation %s, %s:%ld, "
-                "%.1fs per point\n",
+    // The exact frame size every request of this run puts on the wire
+    // (envelope + ids + endpoint + tensor): measured from a real
+    // encode, not estimated.
+    net::Request probe;
+    probe.request_id = 0;
+    probe.endpoint = endpoint;
+    if (wire_dtype == WireDtype::kF32) {
+        probe.activation = pool.front();
+    } else {
+        probe.quantized = quantize(pool.front(), wire_dtype);
+        probe.is_quantized = true;
+    }
+    const auto bytes_per_request =
+        static_cast<std::int64_t>(net::encode_request(probe).size());
+
+    std::printf("loadgen: endpoint '%s', activation %s, wire %s "
+                "(%lld B/request), %s:%ld, %.1fs per point\n",
                 endpoint.c_str(), activation_shape.to_string().c_str(),
-                host.c_str(), port, duration_s);
+                to_string(wire_dtype),
+                static_cast<long long>(bytes_per_request), host.c_str(),
+                port, duration_s);
     std::printf("%10s %10s %10s %9s %9s %9s %9s\n", "target_qps",
                 "achieved", "completed", "p50 ms", "p95 ms", "p99 ms",
                 "max ms");
@@ -258,11 +289,15 @@ main(int argc, char** argv)
     bench::JsonWriter json;
     json.begin_object();
     json.key("schema");
-    json.value("shredder-loadgen-v1");
+    json.value("shredder-loadgen-v2");
     json.key("generated");
     json.value(bench::now_iso8601());
     json.key("endpoint");
     json.value(endpoint);
+    json.key("wire_dtype");
+    json.value(to_string(wire_dtype));
+    json.key("bytes_per_request");
+    json.value(bytes_per_request);
     json.key("duration_s");
     json.value(duration_s);
     json.key("points");
@@ -272,8 +307,8 @@ main(int argc, char** argv)
         SweepPoint point;
         try {
             point = run_point(host, static_cast<std::uint16_t>(port),
-                              endpoint, pool, qps_points[qi], duration_s,
-                              seed + qi);
+                              endpoint, pool, wire_dtype, qps_points[qi],
+                              duration_s, seed + qi);
         } catch (const runtime::ServingError& e) {
             std::fprintf(stderr, "sweep at %.0f qps failed: %s\n",
                          qps_points[qi], e.what());

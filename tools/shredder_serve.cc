@@ -196,17 +196,18 @@ main(int argc, char** argv)
     }
 
     const std::vector<std::string> names = engine.endpoint_names();
-    std::printf("\n%-12s %-7s %6s %5s %-14s %-14s\n", "endpoint",
-                "policy", "layers", "cut", "input", "activation");
+    std::printf("\n%-12s %-7s %6s %5s %-14s %-14s %-5s\n", "endpoint",
+                "policy", "layers", "cut", "input", "activation", "wire");
     for (const std::string& name : names) {
         const deploy::Bundle* bundle = engine.bundle(name);
         // Every endpoint of this tool is bundle-backed.
-        std::printf("%-12s %-7s %6lld %5lld %-14s %-14s\n", name.c_str(),
-                    engine.policy(name).name().c_str(),
+        std::printf("%-12s %-7s %6lld %5lld %-14s %-14s %-5s\n",
+                    name.c_str(), engine.policy(name).name().c_str(),
                     static_cast<long long>(bundle->network().size()),
                     static_cast<long long>(bundle->cut()),
                     bundle->input_shape().to_string().c_str(),
-                    bundle->activation_shape().to_string().c_str());
+                    bundle->activation_shape().to_string().c_str(),
+                    to_string(engine.wire_dtype(name)));
     }
     if (list_only) {
         return 0;
