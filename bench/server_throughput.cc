@@ -87,8 +87,9 @@ struct PointResult
 std::vector<double>
 poisson_schedule(double qps, std::int64_t n, std::uint64_t seed)
 {
-    std::mt19937_64 gen(seed);
+    Rng rng(seed);  // same engine bits as before: Rng wraps mt19937_64
     std::exponential_distribution<double> gap(qps / 1e3);  // per ms
+    auto& gen = rng.engine();
     std::vector<double> at;
     at.reserve(static_cast<std::size_t>(n));
     double t = 0.0;

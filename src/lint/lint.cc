@@ -1,0 +1,520 @@
+/**
+ * @file
+ * Rule engine for `shredder_lint` (src/lint/lint.h).
+ *
+ * Every rule works on the masked `code` image produced by
+ * src/lint/scanner.h, so comments and string literals can never
+ * trigger (or hide) a violation. Rules are deliberately textual: the
+ * point is cheap, dependency-free enforcement of repo invariants, not
+ * a C++ front end. Where a rule is a heuristic (lock-across-submit)
+ * the file comment in lint.h says so.
+ */
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <regex>
+#include <sstream>
+
+#include "src/lint/scanner.h"
+
+namespace shredder {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification: directory prefixes decide which rules apply.
+// ---------------------------------------------------------------------------
+
+bool
+starts_with(const std::string& s, const char* prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** Directories whose files parse bytes from outside the trust boundary. */
+bool
+parses_untrusted_bytes(const std::string& path)
+{
+    return starts_with(path, "src/net/") || starts_with(path, "src/deploy/");
+}
+
+/** Directories forming the serving API (typed-error discipline). */
+bool
+in_serving_api(const std::string& path)
+{
+    return starts_with(path, "src/runtime/") ||
+           starts_with(path, "src/net/") || starts_with(path, "src/deploy/");
+}
+
+/** The one place allowed to own a raw standard-library engine. */
+bool
+is_rng_facility(const std::string& path)
+{
+    return path == "src/tensor/rng.h" || path == "src/tensor/rng.cc";
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog.
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"untrusted-cast",
+     "no memcpy/reinterpret_cast where untrusted bytes are parsed "
+     "(src/net/, src/deploy/) — use the checked wire readers"},
+    {"unchecked-read",
+     "no fatal read_tensor(/raw .read(/fread( at the trust boundary — "
+     "only the _checked / wire:: forms are typed"},
+    {"raw-rng",
+     "no rand()/srand()/std::mt19937/std::random_device outside "
+     "src/tensor/rng.{h,cc} — take an Rng& so runs replay from a seed"},
+    {"foreign-throw",
+     "serving-API throws must construct ServingError, SerializeError "
+     "or FatalError (or re-throw) — callers branch on typed codes"},
+    {"naked-new",
+     "no new/delete expressions — ownership lives in containers and "
+     "smart pointers"},
+    {"lock-across-submit",
+     "no mutex guard alive at a ThreadPool submit( call (heuristic, "
+     "scope-tracked)"},
+    {"unknown-allow",
+     "a shredder-lint: allow(...) marker names a rule that does not "
+     "exist (typo-guard for the escape hatch)"},
+    {"format-trailing-ws", "no trailing whitespace"},
+    {"format-crlf", "LF line endings only"},
+    {"format-final-newline", "files end with exactly one newline"},
+};
+
+// ---------------------------------------------------------------------------
+// Regexes (compiled once; every use is guarded by a cheap find()).
+// ---------------------------------------------------------------------------
+
+const std::regex kMemcpyRe{R"(\b(?:std::)?memcpy\s*\()"};
+const std::regex kReinterpretRe{R"(\breinterpret_cast\b)"};
+const std::regex kFatalReadTensorRe{R"(\bread_tensor\s*\()"};
+const std::regex kRawStreamReadRe{R"((?:\.|->)\s*read\s*\()"};
+const std::regex kFreadRe{R"(\bfread\s*\()"};
+const std::regex kRandRe{R"(\b(?:rand|srand)\s*\()"};
+const std::regex kMtRe{R"(\bmt19937(?:_64)?\b)"};
+const std::regex kRandomDeviceRe{R"(\brandom_device\b)"};
+const std::regex kThrowRe{R"(\bthrow\b)"};
+const std::regex kAllowedThrowRe{
+    R"(\bthrow\s*(?:;|(?:[A-Za-z_][A-Za-z0-9_]*::)*(?:ServingError|SerializeError|FatalError)\s*[({]))"};
+const std::regex kNewRe{R"(\bnew\b)"};
+const std::regex kDeleteRe{R"(\bdelete\b)"};
+const std::regex kLockDeclRe{
+    R"(\b(?:std::)?(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*(?:<[^;<>]*>)?\s+([A-Za-z_][A-Za-z0-9_]*)\s*[({])"};
+const std::regex kUnlockRe{R"(\b([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*unlock\s*\()"};
+const std::regex kPoolSubmitRe{
+    R"(\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\.|->)\s*submit\s*\()"};
+const std::regex kGlobalPoolSubmitRe{
+    R"(ThreadPool::global\(\)\s*\.\s*submit\s*\()"};
+
+/** Case-insensitive "does this identifier look like a thread pool?". */
+bool
+looks_like_pool(std::string name)
+{
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return name.find("pool") != std::string::npos;
+}
+
+/** True when a preprocessor directive owns the line (#include <new>). */
+bool
+is_preprocessor(const std::string& code)
+{
+    const std::size_t first = code.find_first_not_of(" \t");
+    return first != std::string::npos && code[first] == '#';
+}
+
+/**
+ * True when every `delete` on the line is a deleted-member marker
+ * (`= delete`), i.e. the nearest non-space char before it is '='.
+ */
+bool
+delete_is_expression(const std::string& code, std::size_t pos)
+{
+    while (pos > 0) {
+        const char c = code[pos - 1];
+        if (c == ' ' || c == '\t') {
+            --pos;
+            continue;
+        }
+        return c != '=';
+    }
+    return true;
+}
+
+struct ActiveLock
+{
+    std::string name;
+    int depth;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>&
+rule_catalog()
+{
+    return kRules;
+}
+
+bool
+is_known_rule(const std::string& name)
+{
+    if (name == "all") {
+        return true;
+    }
+    return std::any_of(kRules.begin(), kRules.end(),
+                       [&](const RuleInfo& r) { return name == r.name; });
+}
+
+std::vector<Finding>
+lint_source(const std::string& path, const std::string& content)
+{
+    const ScannedSource src = scan_source(content);
+    std::vector<Finding> raw_findings;
+
+    auto add = [&](int line, const char* rule, std::string message) {
+        raw_findings.push_back(Finding{path, line, rule,
+                                       std::move(message)});
+    };
+
+    const bool untrusted = parses_untrusted_bytes(path);
+    const bool serving = in_serving_api(path);
+    const bool rng_ok = is_rng_facility(path);
+
+    int depth = 0;
+    std::vector<ActiveLock> locks;
+
+    for (std::size_t idx = 0; idx < src.lines.size(); ++idx) {
+        const int lineno = static_cast<int>(idx) + 1;
+        const std::string& raw = src.lines[idx].raw;
+        const std::string& code = src.lines[idx].code;
+
+        // --- escape-hatch typo guard (checked on every line) -------------
+        for (const std::string& rule : src.lines[idx].allowed) {
+            if (!is_known_rule(rule)) {
+                add(lineno, "unknown-allow",
+                    "allow(" + rule + ") names no shredder_lint rule");
+            }
+        }
+
+        // --- format rules ------------------------------------------------
+        if (!raw.empty() &&
+            (raw.back() == ' ' || raw.back() == '\t')) {
+            add(lineno, "format-trailing-ws", "trailing whitespace");
+        }
+
+        // --- trust-boundary byte access ----------------------------------
+        if (untrusted) {
+            if (code.find("memcpy") != std::string::npos &&
+                std::regex_search(code, kMemcpyRe)) {
+                add(lineno, "untrusted-cast",
+                    "memcpy in an untrusted-parsing directory — use the "
+                    "checked wire readers (src/tensor/serialize.h)");
+            }
+            if (code.find("reinterpret_cast") != std::string::npos &&
+                std::regex_search(code, kReinterpretRe)) {
+                add(lineno, "untrusted-cast",
+                    "reinterpret_cast in an untrusted-parsing directory "
+                    "— use the checked wire readers");
+            }
+            if (code.find("read") != std::string::npos) {
+                if (std::regex_search(code, kFatalReadTensorRe)) {
+                    add(lineno, "unchecked-read",
+                        "fatal read_tensor( at the trust boundary — use "
+                        "read_tensor_checked / read_tensor_wire_checked");
+                }
+                if (std::regex_search(code, kRawStreamReadRe)) {
+                    add(lineno, "unchecked-read",
+                        "raw stream .read( at the trust boundary — use "
+                        "the wire:: checked readers");
+                }
+                if (std::regex_search(code, kFreadRe)) {
+                    add(lineno, "unchecked-read",
+                        "fread( at the trust boundary — use the wire:: "
+                        "checked readers");
+                }
+            }
+        }
+
+        // --- RNG discipline ----------------------------------------------
+        if (!rng_ok) {
+            if (code.find("rand") != std::string::npos &&
+                std::regex_search(code, kRandRe)) {
+                add(lineno, "raw-rng",
+                    "rand()/srand() — use shredder::Rng "
+                    "(src/tensor/rng.h) so runs replay from a seed");
+            }
+            if (code.find("mt19937") != std::string::npos &&
+                std::regex_search(code, kMtRe)) {
+                add(lineno, "raw-rng",
+                    "raw std::mt19937 engine — use shredder::Rng "
+                    "(src/tensor/rng.h)");
+            }
+            if (code.find("random_device") != std::string::npos &&
+                std::regex_search(code, kRandomDeviceRe)) {
+                add(lineno, "raw-rng",
+                    "std::random_device is non-replayable — seed a "
+                    "shredder::Rng instead");
+            }
+        }
+
+        // --- typed-error discipline --------------------------------------
+        if (serving && code.find("throw") != std::string::npos &&
+            std::regex_search(code, kThrowRe)) {
+            // A `throw` at end of line continues on the next line; give
+            // the accept-pattern the joined view.
+            std::string view = code;
+            const std::size_t at = view.find("throw");
+            const bool tail_empty =
+                view.find_first_not_of(" \t", at + 5) == std::string::npos;
+            if (tail_empty && idx + 1 < src.lines.size()) {
+                view += " " + src.lines[idx + 1].code;
+            }
+            if (!std::regex_search(view, kAllowedThrowRe)) {
+                add(lineno, "foreign-throw",
+                    "serving-API throw of a foreign type — throw "
+                    "ServingError/SerializeError (typed codes) instead");
+            }
+        }
+
+        // --- ownership discipline ----------------------------------------
+        if (!is_preprocessor(code)) {
+            if (code.find("new") != std::string::npos &&
+                std::regex_search(code, kNewRe)) {
+                add(lineno, "naked-new",
+                    "naked new — use make_unique/make_shared or a "
+                    "container");
+            }
+            if (code.find("delete") != std::string::npos) {
+                auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                                  kDeleteRe);
+                for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                    if (delete_is_expression(
+                            code, static_cast<std::size_t>(
+                                      it->position()))) {
+                        add(lineno, "naked-new",
+                            "naked delete — use RAII ownership");
+                        break;
+                    }
+                }
+            }
+        }
+
+        // --- lock-across-submit (scope heuristic) ------------------------
+        //
+        // Events on the line (guard declarations, explicit unlocks,
+        // pool submits, braces) are replayed in column order so depth
+        // bookkeeping stays correct even when several share a line.
+        {
+            enum class EventKind { kDecl, kUnlock, kSubmit };
+            struct Event
+            {
+                std::size_t pos;
+                EventKind kind;
+                std::string name;
+            };
+            std::vector<Event> events;
+            if (code.find("lock_guard") != std::string::npos ||
+                code.find("unique_lock") != std::string::npos ||
+                code.find("scoped_lock") != std::string::npos ||
+                code.find("shared_lock") != std::string::npos) {
+                auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                                  kLockDeclRe);
+                for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                    events.push_back(
+                        Event{static_cast<std::size_t>(it->position()),
+                              EventKind::kDecl, (*it)[1].str()});
+                }
+            }
+            if (code.find("unlock") != std::string::npos) {
+                auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                                  kUnlockRe);
+                for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                    events.push_back(
+                        Event{static_cast<std::size_t>(it->position()),
+                              EventKind::kUnlock, (*it)[1].str()});
+                }
+            }
+            if (code.find("submit") != std::string::npos) {
+                auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                                  kPoolSubmitRe);
+                for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                    if (looks_like_pool((*it)[1].str())) {
+                        events.push_back(
+                            Event{static_cast<std::size_t>(it->position()),
+                                  EventKind::kSubmit, (*it)[1].str()});
+                    }
+                }
+                std::smatch global_submit;
+                if (std::regex_search(code, global_submit,
+                                      kGlobalPoolSubmitRe)) {
+                    events.push_back(Event{
+                        static_cast<std::size_t>(global_submit.position()),
+                        EventKind::kSubmit, "ThreadPool::global()"});
+                }
+            }
+            std::sort(events.begin(), events.end(),
+                      [](const Event& a, const Event& b) {
+                          return a.pos < b.pos;
+                      });
+            std::size_t next_event = 0;
+            for (std::size_t col = 0; col <= code.size(); ++col) {
+                while (next_event < events.size() &&
+                       events[next_event].pos == col) {
+                    const Event& ev = events[next_event++];
+                    switch (ev.kind) {
+                      case EventKind::kDecl:
+                        locks.push_back(ActiveLock{ev.name, depth});
+                        break;
+                      case EventKind::kUnlock:
+                        locks.erase(
+                            std::remove_if(locks.begin(), locks.end(),
+                                           [&](const ActiveLock& l) {
+                                               return l.name == ev.name;
+                                           }),
+                            locks.end());
+                        break;
+                      case EventKind::kSubmit:
+                        if (!locks.empty()) {
+                            add(lineno, "lock-across-submit",
+                                "ThreadPool submit( while '" +
+                                    locks.back().name +
+                                    "' is held — release the guard "
+                                    "first");
+                        }
+                        break;
+                    }
+                }
+                if (col == code.size()) {
+                    break;
+                }
+                const char c = code[col];
+                if (c == '{') {
+                    ++depth;
+                } else if (c == '}') {
+                    depth = std::max(0, depth - 1);
+                    locks.erase(std::remove_if(
+                                    locks.begin(), locks.end(),
+                                    [&](const ActiveLock& l) {
+                                        return l.depth > depth;
+                                    }),
+                                locks.end());
+                }
+            }
+            if (depth == 0) {
+                locks.clear();
+            }
+        }
+    }
+
+    for (const int lineno : src.crlf_lines) {
+        add(lineno, "format-crlf", "CRLF line ending");
+    }
+    if (src.missing_final_newline && !src.lines.empty()) {
+        add(static_cast<int>(src.lines.size()), "format-final-newline",
+            "file does not end with a newline");
+    }
+
+    // Apply suppressions: an allow marker on the finding's line or the
+    // line directly above silences that rule there.
+    std::vector<Finding> out;
+    for (Finding& f : raw_findings) {
+        bool suppressed = false;
+        if (f.rule != std::string("unknown-allow")) {
+            for (int l = f.line - 1; l <= f.line && !suppressed; ++l) {
+                if (l < 1 ||
+                    static_cast<std::size_t>(l) > src.lines.size()) {
+                    continue;
+                }
+                for (const std::string& rule :
+                     src.lines[static_cast<std::size_t>(l) - 1].allowed) {
+                    if (rule == f.rule || rule == "all") {
+                        suppressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!suppressed) {
+            out.push_back(std::move(f));
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Finding& a, const Finding& b) {
+                         return a.line < b.line;
+                     });
+    return out;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+findings_to_json(const std::vector<Finding>& findings,
+                 std::size_t files_scanned)
+{
+    std::map<std::string, int> counts;
+    for (const Finding& f : findings) {
+        ++counts[f.rule];
+    }
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"tool\": \"shredder_lint\",\n";
+    os << "  \"schema\": \"shredder-lint-v1\",\n";
+    os << "  \"files_scanned\": " << files_scanned << ",\n";
+    os << "  \"finding_count\": " << findings.size() << ",\n";
+    os << "  \"counts\": {";
+    bool first = true;
+    for (const auto& [rule, n] : counts) {
+        os << (first ? "" : ", ") << "\"" << rule << "\": " << n;
+        first = false;
+    }
+    os << "},\n";
+    os << "  \"findings\": [";
+    first = true;
+    for (const Finding& f : findings) {
+        os << (first ? "\n" : ",\n");
+        os << "    {\"file\": \"" << json_escape(f.file)
+           << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+           << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+        first = false;
+    }
+    os << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+}  // namespace lint
+}  // namespace shredder

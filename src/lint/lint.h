@@ -1,0 +1,108 @@
+/**
+ * @file
+ * `shredder_lint` — the repo-specific trust-boundary lint.
+ *
+ * The project's written invariants (docs/DEPLOYMENT.md trust-boundary
+ * rules, the policy contract, the RNG discipline) were previously
+ * enforced by reviewer memory alone. This engine enforces them
+ * mechanically, file by file:
+ *
+ *  - `untrusted-cast`    no raw `memcpy` / `reinterpret_cast` in the
+ *                        directories that parse untrusted bytes
+ *                        (`src/net/`, `src/deploy/`) — byte access
+ *                        there must go through the checked `wire`
+ *                        readers (src/tensor/serialize.h).
+ *  - `unchecked-read`    no fatal `read_tensor(` / raw `.read(` /
+ *                        `fread(` in those same directories; only the
+ *                        `_checked` / `wire::` forms are typed at the
+ *                        trust boundary.
+ *  - `raw-rng`           no `rand()` / `srand()` / `std::mt19937` /
+ *                        `std::random_device` outside the repo RNG
+ *                        facility (src/tensor/rng.{h,cc}); every
+ *                        stochastic component takes an `Rng&` so runs
+ *                        replay from a single seed.
+ *  - `foreign-throw`     inside the serving API (`src/runtime/`,
+ *                        `src/net/`, `src/deploy/`) a `throw` must
+ *                        construct `ServingError`, `SerializeError`
+ *                        or `FatalError` (or be a re-throw) — callers
+ *                        branch on typed codes, not message text.
+ *  - `naked-new`         no `new` / `delete` expressions anywhere;
+ *                        ownership lives in containers and smart
+ *                        pointers (`= delete`d members are fine).
+ *  - `lock-across-submit` no mutex guard alive at a `ThreadPool`
+ *                        `submit(` call — a task body that re-locks
+ *                        the same mutex deadlocks, and the pool's own
+ *                        queue lock makes held-lock submission a
+ *                        lock-order hazard. (Scope-heuristic rule.)
+ *  - `format-trailing-ws` / `format-crlf` / `format-final-newline`
+ *                        mechanical hygiene; these make the CI lint
+ *                        job a complete format check.
+ *
+ * Any line can opt out with an inline escape hatch on the same line
+ * or the line directly above:
+ *
+ *     // shredder-lint: allow(untrusted-cast)  — POSIX sockaddr cast
+ *
+ * Suppressions are per-rule (comma-separate several; `all` allows
+ * everything) and deliberately loud: they are grep-able review
+ * evidence that a human accepted the exception.
+ *
+ * The engine lints in-memory content under a repo-relative *virtual*
+ * path, so its own test suite (tests/test_lint.cc) feeds synthetic
+ * files through the exact production code path, and the CLI
+ * (tools/shredder_lint.cc) is a thin directory walker on top.
+ */
+#ifndef SHREDDER_LINT_LINT_H
+#define SHREDDER_LINT_LINT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shredder {
+namespace lint {
+
+/** One rule violation, anchored to a file and 1-indexed line. */
+struct Finding
+{
+    std::string file;     ///< Repo-relative path (as given to lint).
+    int line = 0;         ///< 1-indexed line number.
+    std::string rule;     ///< Rule identifier (e.g. "raw-rng").
+    std::string message;  ///< Human-readable explanation.
+};
+
+/** Static description of one rule (for `--list-rules` and docs). */
+struct RuleInfo
+{
+    const char* name;
+    const char* summary;
+};
+
+/** All rules the engine knows, in reporting order. */
+const std::vector<RuleInfo>& rule_catalog();
+
+/** True when `name` is a known rule identifier. */
+bool is_known_rule(const std::string& name);
+
+/**
+ * Lint one translation unit given as in-memory text.
+ *
+ * @param path     Repo-relative path; directory prefixes decide which
+ *                 rules apply (see file comment).
+ * @param content  Full text of the file.
+ * @return         Findings in line order (suppressed ones excluded).
+ */
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content);
+
+/**
+ * Serialize a lint run as the machine-readable summary the CI job
+ * uploads: counts per rule plus every finding with file/line.
+ */
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t files_scanned);
+
+}  // namespace lint
+}  // namespace shredder
+
+#endif  // SHREDDER_LINT_LINT_H

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Implementation of the lint source scanner (src/lint/scanner.h).
+ */
+#include "src/lint/scanner.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace shredder {
+namespace lint {
+
+namespace {
+
+/** Lexical region the scanner is inside between characters. */
+enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+};
+
+/**
+ * Extract the rules named by a `shredder-lint: allow(raw-rng)` marker
+ * in `raw`, if any. The marker is looked up on the raw text (it lives
+ * in a comment, which the code image masks out).
+ */
+std::vector<std::string>
+parse_allow_marker(const std::string& raw)
+{
+    std::vector<std::string> rules;
+    const std::string key = "shredder-lint:";
+    const std::size_t at = raw.find(key);
+    if (at == std::string::npos) {
+        return rules;
+    }
+    std::size_t i = at + key.size();
+    while (i < raw.size() && raw[i] == ' ') {
+        ++i;
+    }
+    const std::string verb = "allow(";
+    if (raw.compare(i, verb.size(), verb) != 0) {
+        return rules;
+    }
+    i += verb.size();
+    // Rule names are lowercase-kebab identifiers. Anything else means
+    // the "marker" is prose *about* the syntax (docs, error-message
+    // strings), not a real suppression — treat the line as markerless.
+    const auto valid_name = [](const std::string& name) {
+        if (name.empty() ||
+            !(name[0] >= 'a' && name[0] <= 'z')) {
+            return false;
+        }
+        for (const char c : name) {
+            if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-')) {
+                return false;
+            }
+        }
+        return true;
+    };
+    std::string current;
+    for (; i < raw.size(); ++i) {
+        const char c = raw[i];
+        if (c == ')') {
+            if (!current.empty()) {
+                rules.push_back(current);
+            }
+            for (const std::string& name : rules) {
+                if (!valid_name(name)) {
+                    return {};
+                }
+            }
+            return rules;
+        }
+        if (c == ',') {
+            if (!current.empty()) {
+                rules.push_back(current);
+            }
+            current.clear();
+        } else if (c != ' ') {
+            current.push_back(c);
+        }
+    }
+    // Unterminated marker: treat as no marker rather than guessing.
+    return {};
+}
+
+}  // namespace
+
+ScannedSource
+scan_source(const std::string& content)
+{
+    ScannedSource out;
+    std::string raw;
+    std::string code;
+    State state = State::kCode;
+    std::string raw_delim;  // delimiter of the active raw string
+
+    auto flush_line = [&](bool had_newline, bool had_cr) {
+        ScannedLine line;
+        line.raw = raw;
+        line.code = code;
+        line.allowed = parse_allow_marker(raw);
+        out.lines.push_back(std::move(line));
+        if (had_cr) {
+            out.crlf_lines.push_back(static_cast<int>(out.lines.size()));
+        }
+        if (!had_newline) {
+            out.missing_final_newline = true;
+        }
+        raw.clear();
+        code.clear();
+        // A line comment never spans lines; strings legally cannot
+        // either (an unterminated one is already an error upstream).
+        if (state == State::kLineComment || state == State::kString ||
+            state == State::kChar) {
+            state = State::kCode;
+        }
+    };
+
+    const std::size_t n = content.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        if (c == '\n') {
+            const bool had_cr = !raw.empty() && raw.back() == '\r';
+            if (had_cr) {
+                raw.pop_back();
+                code.pop_back();
+            }
+            flush_line(/*had_newline=*/true, had_cr);
+            continue;
+        }
+        raw.push_back(c);
+
+        switch (state) {
+          case State::kCode: {
+            const char next = i + 1 < n ? content[i + 1] : '\0';
+            if (c == '/' && next == '/') {
+                state = State::kLineComment;
+                code.push_back(c);
+            } else if (c == '/' && next == '*') {
+                state = State::kBlockComment;
+                code.push_back(c);
+            } else if (c == '"') {
+                // R"delim( opens a raw string; the R (and an optional
+                // encoding prefix) was already emitted as code, which
+                // is fine — only the *contents* must be masked.
+                if (!raw.empty() && raw.size() >= 2 &&
+                    raw[raw.size() - 2] == 'R') {
+                    raw_delim.clear();
+                    std::size_t j = i + 1;
+                    while (j < n && content[j] != '(' &&
+                           content[j] != '\n' &&
+                           raw_delim.size() <= 16) {
+                        raw_delim.push_back(content[j]);
+                        ++j;
+                    }
+                    state = State::kRawString;
+                } else {
+                    state = State::kString;
+                }
+                code.push_back(c);
+            } else if (c == '\'') {
+                // Heuristic: a quote after an identifier/number char is
+                // a C++14 digit separator (1'000), not a char literal.
+                const char prev = raw.size() >= 2 ? raw[raw.size() - 2]
+                                                  : '\0';
+                if (std::isalnum(static_cast<unsigned char>(prev)) ||
+                    prev == '_') {
+                    code.push_back(c);
+                } else {
+                    state = State::kChar;
+                    code.push_back(c);
+                }
+            } else {
+                code.push_back(c);
+            }
+            break;
+          }
+          case State::kLineComment:
+            code.push_back(' ');
+            break;
+          case State::kBlockComment:
+            if (c == '/' && raw.size() >= 2 &&
+                raw[raw.size() - 2] == '*') {
+                state = State::kCode;
+                code.push_back(c);
+            } else {
+                code.push_back(' ');
+            }
+            break;
+          case State::kString:
+          case State::kChar: {
+            const char quote = state == State::kString ? '"' : '\'';
+            // Count the backslashes immediately before `c` in raw
+            // (excluding c itself) to decide whether it is escaped.
+            std::size_t backslashes = 0;
+            for (std::size_t j = raw.size() - 1; j-- > 0;) {
+                if (raw[j] == '\\') {
+                    ++backslashes;
+                } else {
+                    break;
+                }
+            }
+            if (c == quote && backslashes % 2 == 0) {
+                state = State::kCode;
+                code.push_back(c);
+            } else {
+                code.push_back(' ');
+            }
+            break;
+          }
+          case State::kRawString: {
+            // Close on )delim" — compare the raw tail.
+            const std::string closer = ")" + raw_delim + "\"";
+            if (c == '"' && raw.size() >= closer.size() &&
+                raw.compare(raw.size() - closer.size(), closer.size(),
+                            closer) == 0) {
+                state = State::kCode;
+                code.push_back(c);
+            } else {
+                code.push_back(' ');
+            }
+            break;
+          }
+        }
+    }
+
+    if (!raw.empty()) {
+        flush_line(/*had_newline=*/false, /*had_cr=*/false);
+    } else if (content.empty()) {
+        // An empty file scans to zero lines and no findings.
+    }
+
+    return out;
+}
+
+}  // namespace lint
+}  // namespace shredder

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Source preprocessing for `shredder_lint` (src/lint/lint.h).
+ *
+ * The rule engine matches textual patterns, so it must not be fooled
+ * by prose: a doc comment that *mentions* `throw` or a test fixture
+ * that embeds a bad snippet inside a string literal is not a
+ * violation. `scan_source` splits a translation unit into lines and
+ * produces, per line, a `code` image in which the contents of
+ * comments and string/character literals are masked out (replaced by
+ * spaces, preserving column positions) plus the set of rules the
+ * line's `// shredder-lint: allow(<rule>)` escape hatch names.
+ *
+ * The scanner is a deliberately small state machine — line comments,
+ * block comments, string/char literals (with escapes) and raw string
+ * literals — not a C++ parser. That is all the precision the rules in
+ * src/lint/lint.cc need, and it keeps the linter dependency-free.
+ */
+#ifndef SHREDDER_LINT_SCANNER_H
+#define SHREDDER_LINT_SCANNER_H
+
+#include <string>
+#include <vector>
+
+namespace shredder {
+namespace lint {
+
+/** One physical source line, preprocessed for rule matching. */
+struct ScannedLine
+{
+    /** The raw line, without its trailing newline. */
+    std::string raw;
+
+    /**
+     * The line with comment and string/char literal *contents*
+     * replaced by spaces (delimiters kept). Same length as `raw`, so
+     * columns still correspond.
+     */
+    std::string code;
+
+    /**
+     * Rule names listed by a `shredder-lint: allow(raw-rng)` marker
+     * on this line (empty for most lines; several names separate with
+     * commas). `"all"` suppresses every rule.
+     */
+    std::vector<std::string> allowed;
+};
+
+/** A whole translation unit, preprocessed. Lines are 1-indexed + 1. */
+struct ScannedSource
+{
+    std::vector<ScannedLine> lines;
+
+    /** True when the last line lacked a terminating newline. */
+    bool missing_final_newline = false;
+
+    /** 1-indexed numbers of lines that ended in CR+LF. */
+    std::vector<int> crlf_lines;
+};
+
+/** Preprocess `content` (the full text of one source file). */
+ScannedSource scan_source(const std::string& content);
+
+}  // namespace lint
+}  // namespace shredder
+
+#endif  // SHREDDER_LINT_SCANNER_H

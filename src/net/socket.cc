@@ -195,6 +195,7 @@ Listener::Listener(const std::string& host, std::uint16_t port)
                            "listener host must be a numeric IPv4 "
                            "address, got '" + host + "'");
     }
+    // shredder-lint: allow(untrusted-cast) — POSIX sockaddr aliasing, no byte parsing
     if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
         0) {
         const std::string what = "cannot bind " + host + ":" +
@@ -211,6 +212,7 @@ Listener::Listener(const std::string& host, std::uint16_t port)
 
     sockaddr_in bound{};
     socklen_t bound_len = sizeof(bound);
+    // shredder-lint: allow(untrusted-cast) — POSIX sockaddr aliasing, no byte parsing
     if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
                       &bound_len) != 0) {
         ::close(fd_);

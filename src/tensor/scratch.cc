@@ -32,6 +32,7 @@ ScratchLease::~ScratchLease()
 void
 ScratchArena::AlignedDelete::operator()(float* p) const
 {
+    // shredder-lint: allow(naked-new) — the aligned-allocation facility itself
     ::operator delete[](p, std::align_val_t{kAlignment});
 }
 
@@ -48,6 +49,7 @@ ScratchArena::acquire(std::size_t count)
         while (cap < count) {
             cap *= 2;
         }
+        // shredder-lint: allow(naked-new) — the aligned-allocation facility itself
         slot.data.reset(static_cast<float*>(::operator new[](
             cap * sizeof(float), std::align_val_t{kAlignment})));
         slot.capacity = cap;

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/core/noise_trainer.h"
 #include "src/core/pipeline.h"
 #include "src/core/privacy_meter.h"
@@ -30,15 +32,15 @@ class ShredderEndToEnd : public ::testing::Test
     SetUpTestSuite()
     {
         Rng rng(11);
-        net_ = models::make_lenet(rng).release();
+        net_ = models::make_lenet(rng);
         data::DigitsConfig train_cfg;
         train_cfg.count = 1200;
         train_cfg.seed = 301;
-        train_ = new data::DigitsDataset(train_cfg);
+        train_ = std::make_unique<data::DigitsDataset>(train_cfg);
         data::DigitsConfig test_cfg;
         test_cfg.count = 400;
         test_cfg.seed = 302;
-        test_ = new data::DigitsDataset(test_cfg);
+        test_ = std::make_unique<data::DigitsDataset>(test_cfg);
 
         models::TrainConfig cfg;
         cfg.max_epochs = 3;
@@ -53,23 +55,20 @@ class ShredderEndToEnd : public ::testing::Test
     static void
     TearDownTestSuite()
     {
-        delete net_;
-        delete train_;
-        delete test_;
-        net_ = nullptr;
-        train_ = nullptr;
-        test_ = nullptr;
+        net_.reset();
+        train_.reset();
+        test_.reset();
     }
 
-    static nn::Sequential* net_;
-    static data::DigitsDataset* train_;
-    static data::DigitsDataset* test_;
+    static std::unique_ptr<nn::Sequential> net_;
+    static std::unique_ptr<data::DigitsDataset> train_;
+    static std::unique_ptr<data::DigitsDataset> test_;
     static double baseline_acc_;
 };
 
-nn::Sequential* ShredderEndToEnd::net_ = nullptr;
-data::DigitsDataset* ShredderEndToEnd::train_ = nullptr;
-data::DigitsDataset* ShredderEndToEnd::test_ = nullptr;
+std::unique_ptr<nn::Sequential> ShredderEndToEnd::net_;
+std::unique_ptr<data::DigitsDataset> ShredderEndToEnd::train_;
+std::unique_ptr<data::DigitsDataset> ShredderEndToEnd::test_;
 double ShredderEndToEnd::baseline_acc_ = 0.0;
 
 TEST_F(ShredderEndToEnd, BaselineLearnsTheTask)

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Fixture suite for `shredder_lint` (src/lint/lint.h).
+ *
+ * Each rule gets a known-bad snippet that must fire, a known-good
+ * snippet that must stay silent, and an allow-comment case proving
+ * the escape hatch works. Snippets go through `lint_source` under a
+ * *virtual* repo-relative path, so directory scoping is exercised via
+ * the exact production code path the CLI uses.
+ *
+ * Note: fixture strings that deliberately contain an *invalid*
+ * suppression marker are split across adjacent string literals, so
+ * this file's own raw lines never parse as markers when the tree
+ * lints itself (ctest `lint_tree`).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+#include "src/lint/scanner.h"
+
+namespace shredder {
+namespace lint {
+namespace {
+
+/** All findings for `rule` in a lint run. */
+std::vector<Finding>
+findings_for(const std::vector<Finding>& all, const std::string& rule)
+{
+    std::vector<Finding> out;
+    for (const Finding& f : all) {
+        if (f.rule == rule) {
+            out.push_back(f);
+        }
+    }
+    return out;
+}
+
+/** Count of findings for `rule` when linting `content` under `path`. */
+int
+count(const std::string& path, const std::string& content,
+      const std::string& rule)
+{
+    return static_cast<int>(
+        findings_for(lint_source(path, content), rule).size());
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: masking and allow-marker extraction.
+// ---------------------------------------------------------------------------
+
+TEST(Scanner, MasksLineAndBlockComments)
+{
+    const auto src = scan_source("int x; // new delete throw\n"
+                                 "/* memcpy( */ int y;\n");
+    ASSERT_EQ(src.lines.size(), 2u);
+    EXPECT_EQ(src.lines[0].code.find("new"), std::string::npos);
+    EXPECT_EQ(src.lines[1].code.find("memcpy"), std::string::npos);
+    EXPECT_NE(src.lines[1].code.find("int y;"), std::string::npos);
+}
+
+TEST(Scanner, MasksStringAndCharLiterals)
+{
+    const auto src = scan_source(
+        "const char* s = \"new delete rand()\";\n"
+        "char c = 'n'; int k = 1'000'000;\n");
+    EXPECT_EQ(src.lines[0].code.find("rand"), std::string::npos);
+    // The digit-separator heuristic must not open a char literal.
+    EXPECT_NE(src.lines[1].code.find("000"), std::string::npos);
+}
+
+TEST(Scanner, MasksRawStrings)
+{
+    const auto src = scan_source(
+        "auto s = R\"(new delete memcpy()\" \")\";\n int z;\n");
+    EXPECT_EQ(src.lines[0].code.find("memcpy"), std::string::npos);
+}
+
+TEST(Scanner, BlockCommentSpansLines)
+{
+    const auto src = scan_source("/* start\n"
+                                 "new delete\n"
+                                 "end */ int ok;\n");
+    EXPECT_EQ(src.lines[1].code.find("new"), std::string::npos);
+    EXPECT_NE(src.lines[2].code.find("int ok;"), std::string::npos);
+}
+
+TEST(Scanner, ParsesAllowMarkers)
+{
+    const auto src = scan_source(
+        "int a; // shredder-lint: allow(raw-rng, naked-new)\n"
+        "int b; // shredder-lint: allow(all)\n"
+        "int c;\n");
+    ASSERT_EQ(src.lines[0].allowed.size(), 2u);
+    EXPECT_EQ(src.lines[0].allowed[0], "raw-rng");
+    EXPECT_EQ(src.lines[0].allowed[1], "naked-new");
+    ASSERT_EQ(src.lines[1].allowed.size(), 1u);
+    EXPECT_EQ(src.lines[1].allowed[0], "all");
+    EXPECT_TRUE(src.lines[2].allowed.empty());
+}
+
+TEST(Scanner, ProseAboutTheMarkerIsNotAMarker)
+{
+    // Invalid name characters mean "documentation", not suppression.
+    const auto src = scan_source(
+        "// the shredder-lint: allow(<rule>) escape hatch\n"
+        "// shredder-lint: allow(...)\n");
+    EXPECT_TRUE(src.lines[0].allowed.empty());
+    EXPECT_TRUE(src.lines[1].allowed.empty());
+}
+
+// ---------------------------------------------------------------------------
+// untrusted-cast
+// ---------------------------------------------------------------------------
+
+TEST(UntrustedCast, FiresInNetAndDeploy)
+{
+    const std::string bad = "void f(char* d, const char* s) {\n"
+                            "    std::memcpy(d, s, 4);\n"
+                            "    auto* p = reinterpret_cast<int*>(d);\n"
+                            "    (void)p;\n"
+                            "}\n";
+    EXPECT_EQ(count("src/net/parse.cc", bad, "untrusted-cast"), 2);
+    EXPECT_EQ(count("src/deploy/load.cc", bad, "untrusted-cast"), 2);
+}
+
+TEST(UntrustedCast, SilentOutsideTrustBoundaryDirs)
+{
+    const std::string ok = "void f(char* d, const char* s) {\n"
+                           "    std::memcpy(d, s, 4);\n"
+                           "}\n";
+    EXPECT_EQ(count("src/tensor/serialize.cc", ok, "untrusted-cast"), 0);
+    EXPECT_EQ(count("src/nn/linear.cc", ok, "untrusted-cast"), 0);
+}
+
+TEST(UntrustedCast, AllowCommentSuppresses)
+{
+    const std::string allowed =
+        "void f(sockaddr_in* a) {\n"
+        "    // shredder-lint: allow(untrusted-cast)\n"
+        "    bind(0, reinterpret_cast<sockaddr*>(a), 4);\n"
+        "    connect(0, reinterpret_cast<sockaddr*>(a), "
+        "4);  // shredder-lint: allow(untrusted-cast)\n"
+        "}\n";
+    EXPECT_EQ(count("src/net/socket.cc", allowed, "untrusted-cast"), 0);
+}
+
+TEST(UntrustedCast, CommentMentionDoesNotFire)
+{
+    const std::string ok = "// reinterpret_cast is forbidden here\n"
+                           "int x = 0;\n";
+    EXPECT_EQ(count("src/net/doc.cc", ok, "untrusted-cast"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-read
+// ---------------------------------------------------------------------------
+
+TEST(UncheckedRead, FiresOnFatalAndRawReads)
+{
+    EXPECT_EQ(count("src/deploy/bundle.cc",
+                    "Tensor t = read_tensor(is);\n", "unchecked-read"),
+              1);
+    EXPECT_EQ(count("src/net/protocol.cc",
+                    "is.read(buf, n);\n", "unchecked-read"),
+              1);
+    EXPECT_EQ(count("src/net/protocol.cc",
+                    "fread(buf, 1, n, fp);\n", "unchecked-read"),
+              1);
+}
+
+TEST(UncheckedRead, CheckedAndWireFormsPass)
+{
+    const std::string ok =
+        "Tensor a = read_tensor_checked(is);\n"
+        "QuantizedTensor q = read_tensor_wire_checked(is);\n"
+        "std::uint32_t v = wire::read_u32(is);\n"
+        "std::string s = wire::read_string(is, 64);\n";
+    EXPECT_EQ(count("src/deploy/bundle.cc", ok, "unchecked-read"), 0);
+}
+
+TEST(UncheckedRead, SilentOutsideTrustBoundaryDirs)
+{
+    // Trusted local checkpoints may use the fatal reader.
+    EXPECT_EQ(count("src/models/trainer.cc",
+                    "Tensor t = read_tensor(is);\n", "unchecked-read"),
+              0);
+}
+
+TEST(UncheckedRead, AllowCommentSuppresses)
+{
+    EXPECT_EQ(count("src/net/protocol.cc",
+                    "// shredder-lint: allow(unchecked-read)\n"
+                    "is.read(buf, n);\n",
+                    "unchecked-read"),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// raw-rng
+// ---------------------------------------------------------------------------
+
+TEST(RawRng, FiresOnRandAndRawEngines)
+{
+    EXPECT_EQ(count("src/nn/init.cc", "int r = rand() % 6;\n",
+                    "raw-rng"),
+              1);
+    EXPECT_EQ(count("src/nn/init.cc", "srand(42);\n", "raw-rng"), 1);
+    EXPECT_EQ(count("tools/gen.cc", "std::mt19937_64 gen(seed);\n",
+                    "raw-rng"),
+              1);
+    EXPECT_EQ(count("bench/b.cc", "std::mt19937 gen;\n", "raw-rng"), 1);
+    EXPECT_EQ(count("src/data/d.cc", "std::random_device rd;\n",
+                    "raw-rng"),
+              1);
+}
+
+TEST(RawRng, RngFacilityAndCallersPass)
+{
+    // The facility itself owns the engine.
+    EXPECT_EQ(count("src/tensor/rng.h",
+                    "std::mt19937_64 engine_;\n", "raw-rng"),
+              0);
+    // Callers go through Rng (even reaching its engine for std::
+    // distributions is fine — the seed discipline is preserved).
+    const std::string ok =
+        "Rng rng(seed);\n"
+        "std::exponential_distribution<double> gap(1.0);\n"
+        "double g = gap(rng.engine());\n"
+        "int i = operand(3);\n";  // 'rand' inside an identifier
+    EXPECT_EQ(count("tools/gen.cc", ok, "raw-rng"), 0);
+}
+
+TEST(RawRng, AllowCommentSuppresses)
+{
+    EXPECT_EQ(count("bench/b.cc",
+                    "std::mt19937 gen;  "
+                    "// shredder-lint: allow(raw-rng)\n",
+                    "raw-rng"),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// foreign-throw
+// ---------------------------------------------------------------------------
+
+TEST(ForeignThrow, FiresOnForeignTypesInServingApi)
+{
+    EXPECT_EQ(count("src/runtime/engine.cc",
+                    "throw std::runtime_error(\"boom\");\n",
+                    "foreign-throw"),
+              1);
+    EXPECT_EQ(count("src/net/server.cc", "throw 42;\n",
+                    "foreign-throw"),
+              1);
+    EXPECT_EQ(count("src/deploy/bundle.cc",
+                    "throw MyError(\"x\");\n", "foreign-throw"),
+              1);
+}
+
+TEST(ForeignThrow, TypedErrorsAndRethrowPass)
+{
+    const std::string ok =
+        "throw ServingError(ServingErrorCode::kProtocol, what);\n"
+        "throw runtime::ServingError(code, context);\n"
+        "throw SerializeError(\"truncated\");\n"
+        "throw FatalError(msg);\n"
+        "try { f(); } catch (...) { throw; }\n";
+    EXPECT_EQ(count("src/net/protocol.cc", ok, "foreign-throw"), 0);
+}
+
+TEST(ForeignThrow, ChecksContinuationLine)
+{
+    // Type on the next line: accepted when typed, flagged when not.
+    EXPECT_EQ(count("src/runtime/e.cc",
+                    "throw\n    ServingError(code, what);\n",
+                    "foreign-throw"),
+              0);
+    EXPECT_EQ(count("src/runtime/e.cc",
+                    "throw\n    std::logic_error(\"x\");\n",
+                    "foreign-throw"),
+              1);
+}
+
+TEST(ForeignThrow, SilentOutsideServingApi)
+{
+    EXPECT_EQ(count("src/core/pipeline.cc",
+                    "throw std::runtime_error(\"ok here\");\n",
+                    "foreign-throw"),
+              0);
+}
+
+TEST(ForeignThrow, AllowCommentSuppresses)
+{
+    EXPECT_EQ(count("src/runtime/e.cc",
+                    "// shredder-lint: allow(foreign-throw)\n"
+                    "throw std::bad_alloc();\n",
+                    "foreign-throw"),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// naked-new
+// ---------------------------------------------------------------------------
+
+TEST(NakedNew, FiresOnNewAndDeleteExpressions)
+{
+    EXPECT_EQ(count("src/nn/a.cc", "int* p = new int[4];\n",
+                    "naked-new"),
+              1);
+    EXPECT_EQ(count("src/nn/a.cc", "delete p;\n", "naked-new"), 1);
+    EXPECT_EQ(count("src/nn/a.cc", "delete[] p;\n", "naked-new"), 1);
+}
+
+TEST(NakedNew, DeletedMembersAndIncludesPass)
+{
+    const std::string ok =
+        "#include <new>\n"
+        "ThreadPool(const ThreadPool&) = delete;\n"
+        "ThreadPool& operator=(const ThreadPool&) =delete;\n"
+        "auto p = std::make_unique<int>(3);\n"
+        "auto s = std::make_shared<int>(4);\n"
+        "bool renew = news_update();\n";
+    EXPECT_EQ(count("src/runtime/thread_pool.h", ok, "naked-new"), 0);
+}
+
+TEST(NakedNew, AllowCommentSuppresses)
+{
+    EXPECT_EQ(count("src/tensor/s.cc",
+                    "// shredder-lint: allow(naked-new)\n"
+                    "::operator delete[](p, std::align_val_t{64});\n",
+                    "naked-new"),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// lock-across-submit
+// ---------------------------------------------------------------------------
+
+TEST(LockAcrossSubmit, FiresWhenGuardIsLive)
+{
+    const std::string bad =
+        "void f() {\n"
+        "    std::lock_guard<std::mutex> lock(mutex_);\n"
+        "    pool_->submit([] {});\n"
+        "}\n";
+    EXPECT_EQ(count("src/runtime/x.cc", bad, "lock-across-submit"), 1);
+
+    const std::string bad_global =
+        "void g() {\n"
+        "    std::unique_lock<std::mutex> lock(m);\n"
+        "    ThreadPool::global().submit(task);\n"
+        "}\n";
+    EXPECT_EQ(count("src/runtime/x.cc", bad_global,
+                    "lock-across-submit"),
+              1);
+}
+
+TEST(LockAcrossSubmit, ScopeExitReleasesTheGuard)
+{
+    const std::string ok =
+        "void f() {\n"
+        "    {\n"
+        "        std::lock_guard<std::mutex> lock(mutex_);\n"
+        "        ++counter_;\n"
+        "    }\n"
+        "    pool_->submit([] {});\n"
+        "}\n";
+    EXPECT_EQ(count("src/runtime/x.cc", ok, "lock-across-submit"), 0);
+}
+
+TEST(LockAcrossSubmit, InnerBlockDoesNotReleaseOuterGuard)
+{
+    const std::string bad =
+        "void f() {\n"
+        "    std::lock_guard<std::mutex> lock(mutex_);\n"
+        "    { ++counter_; }\n"
+        "    pool_->submit([] {});\n"
+        "}\n";
+    EXPECT_EQ(count("src/runtime/x.cc", bad, "lock-across-submit"), 1);
+}
+
+TEST(LockAcrossSubmit, ExplicitUnlockReleases)
+{
+    const std::string ok =
+        "void f() {\n"
+        "    std::unique_lock<std::mutex> lock(mutex_);\n"
+        "    ++counter_;\n"
+        "    lock.unlock();\n"
+        "    pool_->submit([] {});\n"
+        "}\n";
+    EXPECT_EQ(count("src/runtime/x.cc", ok, "lock-across-submit"), 0);
+}
+
+TEST(LockAcrossSubmit, NonPoolSubmitIsNotFlagged)
+{
+    // Engine/server submits are future-returning request paths, not
+    // ThreadPool task submission.
+    const std::string ok =
+        "void f() {\n"
+        "    std::lock_guard<std::mutex> lock(mutex_);\n"
+        "    engine_.submit(name, std::move(act), id);\n"
+        "    server->submit(std::move(act));\n"
+        "}\n";
+    EXPECT_EQ(count("src/runtime/x.cc", ok, "lock-across-submit"), 0);
+}
+
+TEST(LockAcrossSubmit, AllowCommentSuppresses)
+{
+    const std::string allowed =
+        "void f() {\n"
+        "    std::lock_guard<std::mutex> lock(mutex_);\n"
+        "    // shredder-lint: allow(lock-across-submit)\n"
+        "    pool_->submit([] {});\n"
+        "}\n";
+    EXPECT_EQ(count("src/runtime/x.cc", allowed,
+                    "lock-across-submit"),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// unknown-allow (escape-hatch typo guard)
+// ---------------------------------------------------------------------------
+
+TEST(UnknownAllow, FiresOnTypoedRuleName)
+{
+    // Split string keeps this file's own raw line from parsing as a
+    // marker (see file comment).
+    const std::string bad = std::string("int x; // shredder-lint: "
+                                        "allow(naked-noo") +
+                            "b)\n";
+    EXPECT_EQ(count("src/nn/a.cc", bad, "unknown-allow"), 1);
+}
+
+TEST(UnknownAllow, KnownNamesAndAllPass)
+{
+    EXPECT_EQ(count("src/nn/a.cc",
+                    "int x; // shredder-lint: allow(naked-new)\n"
+                    "int y; // shredder-lint: allow(all)\n",
+                    "unknown-allow"),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// format rules
+// ---------------------------------------------------------------------------
+
+TEST(Format, TrailingWhitespace)
+{
+    EXPECT_EQ(count("src/nn/a.cc", "int x; \nint y;\n",
+                    "format-trailing-ws"),
+              1);
+    EXPECT_EQ(count("src/nn/a.cc", "int x;\t\n", "format-trailing-ws"),
+              1);
+    EXPECT_EQ(count("src/nn/a.cc", "int x;\n", "format-trailing-ws"),
+              0);
+}
+
+TEST(Format, CrlfLineEndings)
+{
+    const auto all = lint_source("src/nn/a.cc", "int x;\r\nint y;\n");
+    const auto crlf = findings_for(all, "format-crlf");
+    ASSERT_EQ(crlf.size(), 1u);
+    EXPECT_EQ(crlf[0].line, 1);
+    // The CR must not count as trailing whitespace too.
+    EXPECT_EQ(findings_for(all, "format-trailing-ws").size(), 0u);
+}
+
+TEST(Format, MissingFinalNewline)
+{
+    EXPECT_EQ(count("src/nn/a.cc", "int x;", "format-final-newline"),
+              1);
+    EXPECT_EQ(count("src/nn/a.cc", "int x;\n", "format-final-newline"),
+              0);
+    EXPECT_EQ(count("src/nn/a.cc", "", "format-final-newline"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine plumbing: catalog, line numbers, JSON summary.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, CatalogNamesEveryRuleOnce)
+{
+    const auto& rules = rule_catalog();
+    EXPECT_GE(rules.size(), 10u);
+    for (const auto& r : rules) {
+        EXPECT_TRUE(is_known_rule(r.name)) << r.name;
+    }
+    EXPECT_TRUE(is_known_rule("all"));
+    EXPECT_FALSE(is_known_rule("definitely-not-a-rule"));
+}
+
+TEST(Engine, FindingsCarryFileAndLine)
+{
+    const auto all = lint_source("src/nn/a.cc",
+                                 "int ok;\nint* p = new int;\n");
+    const auto naked = findings_for(all, "naked-new");
+    ASSERT_EQ(naked.size(), 1u);
+    EXPECT_EQ(naked[0].file, "src/nn/a.cc");
+    EXPECT_EQ(naked[0].line, 2);
+}
+
+TEST(Engine, SuppressionIsPerRule)
+{
+    // An allow for one rule must not silence a different rule on the
+    // same line.
+    const std::string src =
+        "std::mt19937 gen;  // shredder-lint: allow(naked-new)\n";
+    EXPECT_EQ(count("bench/b.cc", src, "raw-rng"), 1);
+}
+
+TEST(Engine, JsonSummaryIsMachineReadable)
+{
+    const auto all = lint_source(
+        "src/nn/a.cc", "int* p = new int;\ndelete p;\n");
+    const std::string json = findings_to_json(all, 1);
+    EXPECT_NE(json.find("\"schema\": \"shredder-lint-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"finding_count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"naked-new\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+
+    const std::string empty = findings_to_json({}, 185);
+    EXPECT_NE(empty.find("\"finding_count\": 0"), std::string::npos);
+    EXPECT_NE(empty.find("\"findings\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace shredder

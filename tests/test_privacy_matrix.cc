@@ -50,15 +50,15 @@ class PrivacyMatrix : public ::testing::Test
     SetUpTestSuite()
     {
         Rng rng(21);
-        net_ = models::make_lenet(rng).release();
+        net_ = models::make_lenet(rng);
         data::DigitsConfig train_cfg;
         train_cfg.count = 900;
         train_cfg.seed = 601;
-        train_ = new data::DigitsDataset(train_cfg);
+        train_ = std::make_unique<data::DigitsDataset>(train_cfg);
         data::DigitsConfig test_cfg;
         test_cfg.count = 320;
         test_cfg.seed = 602;
-        test_ = new data::DigitsDataset(test_cfg);
+        test_ = std::make_unique<data::DigitsDataset>(test_cfg);
 
         models::TrainConfig cfg;
         cfg.max_epochs = 2;
@@ -70,12 +70,9 @@ class PrivacyMatrix : public ::testing::Test
     static void
     TearDownTestSuite()
     {
-        delete net_;
-        delete train_;
-        delete test_;
-        net_ = nullptr;
-        train_ = nullptr;
-        test_ = nullptr;
+        net_.reset();
+        train_.reset();
+        test_.reset();
     }
 
     /** Random learned-looking collection at `model`'s cut. */
@@ -104,14 +101,14 @@ class PrivacyMatrix : public ::testing::Test
         return mc;
     }
 
-    static nn::Sequential* net_;
-    static data::DigitsDataset* train_;
-    static data::DigitsDataset* test_;
+    static std::unique_ptr<nn::Sequential> net_;
+    static std::unique_ptr<data::DigitsDataset> train_;
+    static std::unique_ptr<data::DigitsDataset> test_;
 };
 
-nn::Sequential* PrivacyMatrix::net_ = nullptr;
-data::DigitsDataset* PrivacyMatrix::train_ = nullptr;
-data::DigitsDataset* PrivacyMatrix::test_ = nullptr;
+std::unique_ptr<nn::Sequential> PrivacyMatrix::net_;
+std::unique_ptr<data::DigitsDataset> PrivacyMatrix::train_;
+std::unique_ptr<data::DigitsDataset> PrivacyMatrix::test_;
 
 TEST_F(PrivacyMatrix, ShuffleRowsLandInSaneRanges)
 {

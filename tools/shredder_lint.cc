@@ -1,0 +1,188 @@
+/**
+ * @file
+ * `shredder_lint` — CLI for the repo-specific trust-boundary lint
+ * (src/lint/lint.h).
+ *
+ * Walks the given paths (directories recurse; only `.h`, `.cc`,
+ * `.cpp` files are linted), runs every rule, and prints findings as
+ * `file:line: [rule] message`. The exit status makes it a CI gate:
+ *
+ *   shredder_lint --root /path/to/repo src tools tests bench examples
+ *   shredder_lint --json lint.json src
+ *   shredder_lint --list-rules
+ *
+ * Exit status: 0 when the tree is clean, 1 when any rule fired, 2 on
+ * a usage error. `--json` writes the machine-readable summary
+ * (schema `shredder-lint-v1`) whether or not findings exist, so CI
+ * can upload it as an artifact on every run.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] [path...]\n"
+        "\n"
+        "Run the Shredder trust-boundary lint over source files.\n"
+        "Paths default to: src tools tests bench examples\n"
+        "\n"
+        "options:\n"
+        "  --root DIR    resolve paths against DIR and report findings\n"
+        "                with DIR-relative files (default: cwd)\n"
+        "  --json FILE   also write the machine-readable summary\n"
+        "  --list-rules  print the rule catalog and exit\n",
+        argv0);
+    return 2;
+}
+
+/** True for the extensions the lint understands. */
+bool
+lintable(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/** Forward-slashed path relative to `root` (rule scoping keys on it). */
+std::string
+relative_key(const fs::path& p, const fs::path& root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    std::string key = (ec || rel.empty()) ? p.string() : rel.string();
+    for (char& c : key) {
+        if (c == '\\') {
+            c = '/';
+        }
+    }
+    return key;
+}
+
+bool
+read_file(const fs::path& p, std::string* out)
+{
+    std::ifstream is(p, std::ios::binary);
+    if (!is) {
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    fs::path root = fs::current_path();
+    std::string json_path;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        }
+        if (arg == "--list-rules") {
+            for (const auto& rule : shredder::lint::rule_catalog()) {
+                std::printf("%-22s %s\n", rule.name, rule.summary);
+            }
+            return 0;
+        }
+        if (arg == "--root") {
+            if (++i >= argc) {
+                return usage(argv[0]);
+            }
+            root = argv[i];
+        } else if (arg == "--json") {
+            if (++i >= argc) {
+                return usage(argv[0]);
+            }
+            json_path = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        paths = {"src", "tools", "tests", "bench", "examples"};
+    }
+
+    // Collect the file set first so the scan order (and therefore the
+    // report and JSON) is deterministic.
+    std::vector<fs::path> files;
+    for (const std::string& p : paths) {
+        const fs::path abs = root / p;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            for (fs::recursive_directory_iterator it(abs, ec), end;
+                 !ec && it != end; it.increment(ec)) {
+                if (it->is_regular_file() && lintable(it->path())) {
+                    files.push_back(it->path());
+                }
+            }
+        } else if (fs::is_regular_file(abs, ec)) {
+            files.push_back(abs);
+        } else {
+            std::fprintf(stderr, "shredder_lint: no such path: %s\n",
+                         abs.string().c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<shredder::lint::Finding> findings;
+    std::size_t scanned = 0;
+    for (const fs::path& file : files) {
+        std::string content;
+        if (!read_file(file, &content)) {
+            std::fprintf(stderr, "shredder_lint: cannot read: %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        ++scanned;
+        const std::string key = relative_key(file, root);
+        auto file_findings = shredder::lint::lint_source(key, content);
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+    }
+
+    for (const auto& f : findings) {
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    }
+    std::printf("shredder_lint: %zu file%s scanned, %zu finding%s\n",
+                scanned, scanned == 1 ? "" : "s", findings.size(),
+                findings.size() == 1 ? "" : "s");
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "shredder_lint: cannot write: %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        os << shredder::lint::findings_to_json(findings, scanned);
+    }
+
+    return findings.empty() ? 0 : 1;
+}

@@ -84,8 +84,9 @@ run_point(const std::string& host, std::uint16_t port,
     point.target_qps = qps;
     point.offered = static_cast<std::int64_t>(qps * duration_s);
 
-    std::mt19937_64 gen(seed);
+    Rng rng(seed);  // same engine bits as before: Rng wraps mt19937_64
     std::exponential_distribution<double> gap(qps / 1e3);  // per ms
+    auto& gen = rng.engine();
 
     net::Client client(host, port);
     std::mutex mutex;
