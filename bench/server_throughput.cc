@@ -31,14 +31,21 @@
  *    mid-QPS the controller stops charging sparse traffic the full
  *    window, so p95 queue wait drops vs fixed.
  *
- * A final section reruns the PrivacyMeter on the TRAINED LeNet zoo
- * endpoint through the quantized mechanism
+ * A quantization section reruns the PrivacyMeter on the TRAINED LeNet
+ * zoo endpoint through the quantized mechanism
  * (`ComposedPolicy{QuantizePolicy, noise}` — exactly what a
  * wire_dtype=int8 endpoint serves), pinning the acceptance numbers:
  * ≥3× smaller requests at ≤0.5 pp top-1 accuracy delta.
  *
+ * A sharding section (schema v5) floods engines built with 1, 2 and 4
+ * pool shards (one single-threaded endpoint per shard, batch 8,
+ * closed loop) and records requests/sec per shard count plus the
+ * 4-vs-1 speedup — the scale-out acceptance axis. On a single-core
+ * container the speedup degenerates to ~1×; the ≥2× criterion is
+ * evaluated on a multi-core runner.
+ *
  * Results land in `BENCH_server.json` (or argv[1]) via the shared
- * `bench::JsonWriter`, schema `shredder-server-v4`.
+ * `bench::JsonWriter`, schema `shredder-server-v5`.
  *
  * Honors SHREDDER_BENCH_FAST=1 (lower rates, shorter runs).
  */
@@ -389,7 +396,7 @@ main(int argc, char** argv)
     bench::JsonWriter json;
     json.begin_object();
     json.key("schema");
-    json.value("shredder-server-v4");
+    json.value("shredder-server-v5");
     json.key("generated");
     json.value(bench::now_iso8601());
     json.key("fast_mode");
@@ -624,6 +631,97 @@ main(int argc, char** argv)
     json.key("served_policy");
     json.value(zoo_int8.name());
     json.end_object();
+
+    // ---- Scale-out: pool shards at batch 8, closed-loop flood ------
+    //
+    // One single-threaded endpoint per shard, all serving the SAME
+    // SplitModel (stateless layer execution makes sharing safe), and a
+    // fixed total request budget spread round-robin. More shards =
+    // more independent dispatcher+worker lanes over the same work, so
+    // requests/sec should scale with shard count up to the core count
+    // of the machine.
+    bench::banner("Scale-out: 1/2/4 pool shards, batch 8, closed loop");
+    const unsigned shard_counts[] = {1, 2, 4};
+    const std::int64_t flood = fast ? 512 : 4096;
+    double rps_by_shards[3] = {};
+    std::printf("%7s %10s %9s %12s %11s\n", "shards", "completed",
+                "seconds", "req/s", "mean_batch");
+    json.key("sharding");
+    json.begin_object();
+    json.key("max_batch");
+    json.value(kMaxBatch);
+    json.key("requests");
+    json.value(flood);
+    json.key("threads_per_shard");
+    json.value(static_cast<std::int64_t>(1));
+    json.key("points");
+    json.begin_array();
+    for (std::size_t si = 0; si < 3; ++si) {
+        const unsigned n_shards = shard_counts[si];
+        runtime::ServingEngineConfig ec;
+        ec.shards = n_shards;
+        ec.threads_per_shard = 1;
+        runtime::ServingEngine engine(ec);
+        for (unsigned s = 0; s < n_shards; ++s) {
+            runtime::EndpointConfig ep;
+            ep.max_batch = kMaxBatch;
+            ep.batch_timeout_ms = 0.0;  // flood keeps batches full anyway
+            ep.max_concurrent_batches = 1;
+            ep.shard = std::to_string(s);  // pin one endpoint per shard
+            engine.register_endpoint("ep" + std::to_string(s), model,
+                                     policy, ep);
+        }
+        std::vector<std::future<Tensor>> futures;
+        futures.reserve(static_cast<std::size_t>(flood));
+        const auto t0 = Clock::now();
+        for (std::int64_t i = 0; i < flood; ++i) {
+            futures.push_back(engine.submit(
+                "ep" + std::to_string(i % n_shards),
+                activations[static_cast<std::size_t>(i) %
+                            activations.size()],
+                static_cast<std::uint64_t>(i)));
+        }
+        std::int64_t ok = 0;
+        for (auto& future : futures) {
+            try {
+                future.get();
+                ++ok;
+            } catch (const runtime::ServingError&) {
+            }
+        }
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        const double rps =
+            static_cast<double>(ok) / std::max(seconds, 1e-9);
+        rps_by_shards[si] = rps;
+        const runtime::ServerStats shard_stats = engine.stats();
+        engine.shutdown();
+        std::printf("%7u %10lld %9.3f %12.0f %11.2f\n", n_shards,
+                    static_cast<long long>(ok), seconds, rps,
+                    shard_stats.mean_batch_size());
+        std::fflush(stdout);
+        json.begin_object();
+        json.key("shards");
+        json.value(static_cast<std::int64_t>(n_shards));
+        json.key("completed");
+        json.value(ok);
+        json.key("seconds");
+        json.value(seconds);
+        json.key("requests_per_sec");
+        json.value(rps);
+        json.key("mean_batch");
+        json.value(shard_stats.mean_batch_size());
+        json.end_object();
+    }
+    json.end_array();
+    const double shard_speedup =
+        rps_by_shards[2] / std::max(rps_by_shards[0], 1e-9);
+    json.key("speedup_4_shards_vs_1");
+    json.value(shard_speedup);
+    json.end_object();
+    std::printf("4-shard vs 1-shard speedup: %.2fx (>=2x expected on a "
+                "multi-core runner; ~1x on one core)\n",
+                shard_speedup);
     json.end_object();
 
     if (!bench::JsonValidator::valid(json.str())) {

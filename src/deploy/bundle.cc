@@ -310,6 +310,20 @@ Bundle::batched_input_shape() const
     return batched(input_shape_);
 }
 
+void
+Bundle::adopt_network(std::shared_ptr<nn::Sequential> canonical)
+{
+    SHREDDER_CHECK(canonical != nullptr,
+                   "adopt_network() of a null network");
+    // The registry guarantees byte-identical content; the structural
+    // invariants validated at load time (cut range, activation shape)
+    // therefore keep holding. Cheap sanity check only.
+    SHREDDER_CHECK(canonical->size() == network_->size(),
+                   "adopt_network(): canonical layer count ",
+                   canonical->size(), " != loaded ", network_->size());
+    network_ = std::move(canonical);
+}
+
 std::shared_ptr<const runtime::NoisePolicy>
 Bundle::make_policy() const
 {
@@ -576,6 +590,29 @@ parse_manifest(const std::string& path)
                              "int8_compute must be true/false/1/0");
                     }
                     consumed = value.size();
+                } else if (key == "shard") {
+                    // Placement key — validated against the engine's
+                    // shard table at registration, not here.
+                    entry.config.shard = value;
+                    consumed = value.size();
+                } else if (key == "rate_limit_qps") {
+                    entry.config.rate_limit_qps =
+                        std::stod(value, &consumed);
+                    if (entry.config.rate_limit_qps < 0.0) {
+                        fail(line_no, "rate_limit_qps must be >= 0");
+                    }
+                } else if (key == "rate_limit_burst") {
+                    entry.config.rate_limit_burst =
+                        std::stod(value, &consumed);
+                    if (entry.config.rate_limit_burst < 0.0) {
+                        fail(line_no, "rate_limit_burst must be >= 0");
+                    }
+                } else if (key == "max_in_flight") {
+                    entry.config.max_in_flight =
+                        std::stoll(value, &consumed);
+                    if (entry.config.max_in_flight < 0) {
+                        fail(line_no, "max_in_flight must be >= 0");
+                    }
                 } else {
                     fail(line_no, "unknown key '" + key + "'");
                 }

@@ -156,9 +156,28 @@ void save_bundle(const std::string& path, const BundleContents& contents);
 class Bundle
 {
   public:
-    /** The rebuilt network (owned). */
+    /** The rebuilt network (owned, possibly shared via the registry). */
     nn::Sequential& network() { return *network_; }
     const nn::Sequential& network() const { return *network_; }
+
+    /**
+     * Shared ownership of the network — the handle
+     * `deploy::WeightRegistry::intern` takes, so several bundles with
+     * identical content can end up aliasing one weight set.
+     */
+    std::shared_ptr<nn::Sequential> share_network() const
+    {
+        return network_;
+    }
+
+    /**
+     * Replace this bundle's network with the registry's canonical one
+     * (content-identical by the registry's byte-equality contract;
+     * checked). Registry use only, and only before any `SplitModel`
+     * or policy is built over `network()` — existing references keep
+     * pointing at the replaced object.
+     */
+    void adopt_network(std::shared_ptr<nn::Sequential> canonical);
 
     /** Cut index the split was trained at. */
     std::int64_t cut() const { return cut_; }
@@ -207,7 +226,7 @@ class Bundle
     std::shared_ptr<const runtime::NoisePolicy> make_policy_for(
         const PolicySpec& spec) const;
 
-    std::unique_ptr<nn::Sequential> network_;
+    std::shared_ptr<nn::Sequential> network_;
     std::int64_t cut_ = 0;
     Shape input_shape_{};
     Shape activation_shape_{};
@@ -248,10 +267,12 @@ struct ManifestEntry
  *
  * with keys `max_batch`, `batch_timeout_ms`, `max_concurrent_batches`,
  * `context_seed`, `adaptive_batching`, `slo_ms`, `ewma_alpha`,
- * `wire_dtype` (`fp32|int8|int16`) and `int8_compute`
- * (`true|false|1|0`). Relative bundle paths resolve against the
- * manifest file's directory. `wire_dtype`/`int8_compute` left unset
- * defer to the bundle's own transport hints.
+ * `wire_dtype` (`fp32|int8|int16`), `int8_compute` (`true|false|1|0`),
+ * `shard` (shard name or bare index), `rate_limit_qps`,
+ * `rate_limit_burst` and `max_in_flight`. Relative bundle paths
+ * resolve against the manifest file's directory.
+ * `wire_dtype`/`int8_compute` left unset defer to the bundle's own
+ * transport hints; the shard key is validated at registration.
  *
  * @throws runtime::ServingError `kBadBundle` on a missing file, an
  *         unknown directive/key, a malformed value, or a duplicate

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Content-addressed weight registry: N endpoints sharing one backbone
+ * alias ONE immutable weight set instead of costing N× RAM.
+ *
+ * A multi-tenant deployment commonly serves many endpoints from the
+ * same trained network — the same bundle shipped under several names,
+ * or per-tenant bundles saved from one training run. Each
+ * `load_bundle` rebuilds its own `nn::Sequential`, so without
+ * interning a zoo of same-backbone endpoints multiplies the weight
+ * memory by the endpoint count.
+ *
+ * The registry fixes this at bundle-load time: `intern` serializes a
+ * candidate network through the deterministic `SARC` codec
+ * (src/nn/arch.h — topology, layer configs, and parameters in one
+ * canonical byte stream), hashes the bytes, and returns the canonical
+ * network for that exact content. On a hash hit the stored canonical
+ * is re-serialized and byte-compared before aliasing, so a hash
+ * collision can never alias two *different* weight sets — equality is
+ * decided by bytes, the hash only prunes candidates.
+ *
+ * Interning is load-time only. Serving never touches the registry:
+ * endpoints hold plain `shared_ptr`s to immutable networks and the
+ * lock-free shared-weight execution model is unchanged. Canonical
+ * networks are retained for the registry's lifetime, so an interned
+ * weight set survives endpoint deregistration and a re-registered
+ * endpoint aliases it again without reloading.
+ */
+#ifndef SHREDDER_DEPLOY_WEIGHT_REGISTRY_H
+#define SHREDDER_DEPLOY_WEIGHT_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/nn/sequential.h"
+
+namespace shredder {
+namespace deploy {
+
+/** Aggregate registry counters (see `WeightRegistry::stats`). */
+struct WeightRegistryStats
+{
+    /** Total `intern` calls (one per bundle-backed endpoint). */
+    std::int64_t interned_networks = 0;
+    /** Distinct weight sets the registry holds canonically. */
+    std::int64_t unique_weight_sets = 0;
+    /**
+     * Parameter bytes saved by aliasing: Σ over deduplicated interns
+     * of that network's parameter payload (fp32 bytes). Zero until a
+     * second endpoint shares a backbone.
+     */
+    std::int64_t weights_dedupe_bytes = 0;
+};
+
+/** See file comment. */
+class WeightRegistry
+{
+  public:
+    /**
+     * Return the canonical network for `net`'s exact content. First
+     * sight of a content: `net` itself becomes canonical (retained by
+     * the registry). Identical content seen before: the existing
+     * canonical is returned and `net` is released — the caller should
+     * replace every reference with the returned pointer.
+     *
+     * Thread-safe; cost is one SARC serialization of `net` (plus one
+     * of each same-hash canonical), which is why this runs at load
+     * time and never on the serving path.
+     */
+    std::shared_ptr<nn::Sequential> intern(
+        std::shared_ptr<nn::Sequential> net);
+
+    /** Snapshot of the aggregate counters. */
+    WeightRegistryStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t hash = 0;       ///< FNV-1a 64 of the SARC bytes.
+        std::int64_t byte_count = 0;  ///< SARC stream length.
+        std::int64_t param_bytes = 0; ///< Parameter payload (fp32).
+        std::shared_ptr<nn::Sequential> network;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+    WeightRegistryStats stats_;
+};
+
+}  // namespace deploy
+}  // namespace shredder
+
+#endif  // SHREDDER_DEPLOY_WEIGHT_REGISTRY_H

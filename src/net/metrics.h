@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) for a serving engine.
+ *
+ * `render_metrics` snapshots every observable surface the engine
+ * exposes — per-endpoint `ServerStats` (counters plus the queue-wait
+ * histogram), per-shard layout, the weight-registry counters, and the
+ * front door's own wire counters — and renders them as one scrape
+ * body. Rendering reads the same `stats()` snapshots tooling already
+ * uses; a scrape takes the engine's stats locks briefly and never
+ * touches the serving path, so scraping under load cannot perturb
+ * results (pinned by tests/test_metrics.cc).
+ *
+ * Exposition rules followed (what the strict checker in the tests
+ * verifies): one `# HELP`/`# TYPE` pair per family before its
+ * samples, histogram buckets cumulative with an exact `le="+Inf"`
+ * count equal to `_count`, label values escaped (`\\`, `\"`, `\n`),
+ * and a trailing newline on the last line.
+ */
+#ifndef SHREDDER_NET_METRICS_H
+#define SHREDDER_NET_METRICS_H
+
+#include <string>
+
+#include "src/runtime/serving_engine.h"
+
+namespace shredder {
+namespace net {
+
+struct ServerNetStats;
+
+/**
+ * Render one `/metrics` scrape body for `engine`, including the wire
+ * counters of the server doing the scrape. Thread-safe (uses only the
+ * engine's locked snapshot accessors).
+ */
+std::string render_metrics(const runtime::ServingEngine& engine,
+                           const ServerNetStats& net);
+
+/**
+ * Escape a label value per the exposition format: backslash, double
+ * quote, and newline become `\\`, `\"`, `\n`.
+ */
+std::string escape_label_value(const std::string& value);
+
+}  // namespace net
+}  // namespace shredder
+
+#endif  // SHREDDER_NET_METRICS_H

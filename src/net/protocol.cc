@@ -71,6 +71,8 @@ to_string(WireStatus status)
       case WireStatus::kShutdown: return "kShutdown";
       case WireStatus::kProtocolError: return "kProtocolError";
       case WireStatus::kInternal: return "kInternal";
+      case WireStatus::kRateLimited: return "kRateLimited";
+      case WireStatus::kAdmissionReject: return "kAdmissionReject";
     }
     return "kUnknown";
 }
@@ -86,6 +88,10 @@ wire_status(ServingErrorCode code)
       case ServingErrorCode::kShutdown: return WireStatus::kShutdown;
       case ServingErrorCode::kProtocol:
         return WireStatus::kProtocolError;
+      case ServingErrorCode::kRateLimited:
+        return WireStatus::kRateLimited;
+      case ServingErrorCode::kAdmissionReject:
+        return WireStatus::kAdmissionReject;
       default: return WireStatus::kInternal;
     }
 }
@@ -101,6 +107,10 @@ serving_code(WireStatus status)
       case WireStatus::kShutdown: return ServingErrorCode::kShutdown;
       case WireStatus::kProtocolError:
         return ServingErrorCode::kProtocol;
+      case WireStatus::kRateLimited:
+        return ServingErrorCode::kRateLimited;
+      case WireStatus::kAdmissionReject:
+        return ServingErrorCode::kAdmissionReject;
       case WireStatus::kOk:
       case WireStatus::kInternal: break;
     }
@@ -196,7 +206,7 @@ decode_response_payload(const std::string& payload)
         Response response;
         response.request_id = wire::read_u64(is);
         const std::uint32_t status = wire::read_u32(is);
-        if (status > static_cast<std::uint32_t>(WireStatus::kInternal)) {
+        if (status > kMaxWireStatus) {
             protocol_error("SHRP status " + std::to_string(status) +
                            " is not a known WireStatus");
         }

@@ -84,7 +84,19 @@ enum class WireStatus : std::uint32_t {
     kShutdown = 3,         ///< The engine stopped accepting requests.
     kProtocolError = 4,    ///< The request frame itself was malformed.
     kInternal = 5,         ///< Any other server-side failure.
+    kRateLimited = 6,      ///< Token-bucket backpressure: retry later.
+    kAdmissionReject = 7,  ///< In-flight cap backpressure: retry later.
 };
+
+/**
+ * Highest status value this build understands. A response carrying a
+ * larger status is treated as protocol corruption — which also means
+ * pre-admission-control builds answer the new backpressure codes with
+ * a typed `kProtocol` close instead of misreading them, per the
+ * versioning rule above.
+ */
+constexpr std::uint32_t kMaxWireStatus =
+    static_cast<std::uint32_t>(WireStatus::kAdmissionReject);
 
 /** Stable identifier string for a wire status (for messages/logs). */
 const char* to_string(WireStatus status);

@@ -8,8 +8,10 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <sstream>
 #include <utility>
 
+#include "src/net/metrics.h"
 #include "src/net/protocol.h"
 #include "src/runtime/logging.h"
 
@@ -134,6 +136,27 @@ Server::reader_loop(Connection* connection)
         connection->reader_exited.store(true, std::memory_order_release);
     };
 
+    // Protocol demux: peek the first byte without consuming it. An
+    // HTTP scrape starts "GET ", a SHRQ frame starts with its magic —
+    // they differ in byte 0, so one peeked byte decides. The bytes
+    // stay in the stream for whichever parser wins.
+    try {
+        char head = 0;
+        const std::size_t peeked = connection->socket.peek(&head, 1);
+        if (peeked == 0) {
+            finish(false, Response{});
+            return;  // clean close before any byte
+        }
+        if (head == 'G') {
+            serve_http(connection);
+            finish(false, Response{});
+            return;  // HTTP is one exchange; the connection is done
+        }
+    } catch (const ServingError&) {
+        finish(false, Response{});
+        return;  // socket died before the first byte
+    }
+
     for (;;) {
         std::string payload;
         try {
@@ -207,6 +230,79 @@ Server::reader_loop(Connection* connection)
         connection->pending.push_back(std::move(entry));
         lock.unlock();
         connection->cv.notify_all();
+    }
+}
+
+void
+Server::serve_http(Connection* connection)
+{
+    // Bounded header read: the exchange ends at CRLFCRLF. 8 KiB is
+    // far beyond any scraper's GET; past it the request is hostile
+    // and the connection simply closes.
+    constexpr std::size_t kMaxHeader = 8192;
+    std::string raw;
+    bool complete = false;
+    try {
+        char chunk[512];
+        while (raw.size() < kMaxHeader) {
+            const std::size_t n =
+                connection->socket.recv_some(chunk, sizeof chunk);
+            if (n == 0) {
+                return;  // client went away mid-request
+            }
+            raw.append(chunk, n);
+            if (raw.find("\r\n\r\n") != std::string::npos) {
+                complete = true;
+                break;
+            }
+        }
+    } catch (const ServingError&) {
+        return;
+    }
+    if (!complete) {
+        return;
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::istringstream line(raw.substr(0, raw.find("\r\n")));
+    std::string method;
+    std::string target;
+    line >> method >> target;
+
+    std::string status_line;
+    std::string content_type;
+    std::string body;
+    if (method == "GET" &&
+        (target == "/metrics" || target.rfind("/metrics?", 0) == 0)) {
+        ServerNetStats net;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.http_requests;
+            ++stats_.metrics_requests;
+            net = stats_;
+        }
+        status_line = "HTTP/1.0 200 OK";
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        body = render_metrics(engine_, net);
+    } else {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.http_requests;
+        status_line = "HTTP/1.0 404 Not Found";
+        content_type = "text/plain; charset=utf-8";
+        body = "not found\n";
+    }
+
+    std::ostringstream response;
+    response << status_line << "\r\n"
+             << "Content-Type: " << content_type << "\r\n"
+             << "Content-Length: " << body.size() << "\r\n"
+             << "Connection: close\r\n\r\n"
+             << body;
+    const std::string out = response.str();
+    try {
+        connection->socket.send_all(out.data(), out.size());
+    } catch (const ServingError&) {
+        // The scraper vanished mid-response; nothing left to do.
     }
 }
 

@@ -20,6 +20,12 @@
  * client must never cost other clients theirs. The server never
  * crashes on network input.
  *
+ * The same listener also answers plain HTTP `GET /metrics` with a
+ * Prometheus text scrape (src/net/metrics.h): the reader peeks the
+ * connection's first bytes and demuxes — `G` starts an HTTP exchange
+ * (one response, then close), anything else is parsed as SHRQ. No
+ * second port, so the scrape observes exactly the serving process.
+ *
  * Lifecycle: the constructor binds and starts accepting; `stop()`
  * (idempotent, also run by the destructor) closes the listener,
  * shuts down every connection, and joins all threads. The engine is
@@ -63,6 +69,8 @@ struct ServerNetStats
     std::int64_t connections_active = 0;
     std::int64_t frames_served = 0;    ///< Responses written, any status.
     std::int64_t protocol_errors = 0;  ///< Malformed frames survived.
+    std::int64_t http_requests = 0;    ///< HTTP GETs demuxed (any path).
+    std::int64_t metrics_requests = 0; ///< GET /metrics scrapes served.
 };
 
 /** See file comment. */
@@ -102,6 +110,15 @@ class Server
 
     /** Per-connection frame→engine loop (reader thread). */
     void reader_loop(Connection* connection);
+
+    /**
+     * Serve one HTTP GET on a connection whose first peeked byte said
+     * HTTP instead of SHRQ (`GET /metrics` → Prometheus scrape body,
+     * anything else → 404), then close. Runs on the reader thread;
+     * the writer never has pending entries on an HTTP connection, so
+     * the reader is the connection's only sender here.
+     */
+    void serve_http(Connection* connection);
 
     /** Per-connection future→frame loop (writer thread). */
     void writer_loop(Connection* connection);

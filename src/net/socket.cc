@@ -134,6 +134,21 @@ Socket::recv_some(void* data, std::size_t len)
     }
 }
 
+std::size_t
+Socket::peek(void* data, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd_, data, len, MSG_PEEK);
+        if (n >= 0) {
+            return static_cast<std::size_t>(n);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        throw_errno("peek failed");
+    }
+}
+
 void
 Socket::recv_all(void* data, std::size_t len)
 {

@@ -71,6 +71,17 @@ class Socket
      */
     void recv_all(void* data, std::size_t len);
 
+    /**
+     * Look at up to `len` bytes WITHOUT consuming them (`MSG_PEEK`):
+     * blocks until at least one byte is available, then returns
+     * however many the kernel holds (possibly fewer than `len`), or 0
+     * on a clean peer close. The server's front door uses this to
+     * demux protocols on one listener — the peeked bytes are still
+     * the stream's next bytes for whichever parser wins. Retries
+     * EINTR; throws `kNetwork` on a real socket error.
+     */
+    std::size_t peek(void* data, std::size_t len);
+
     /** Half-close the send direction (signals EOF to the peer). */
     void shutdown_send();
 

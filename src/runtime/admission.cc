@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Token-bucket refill math (see admission.h for the contract).
+ */
+#include "src/runtime/admission.h"
+
+#include <algorithm>
+
+namespace shredder {
+namespace runtime {
+
+TokenBucket::TokenBucket(double qps, double burst)
+    : qps_(qps > 0.0 ? qps : 0.0),
+      burst_(burst > 0.0 ? burst : std::max(1.0, qps_)),
+      tokens_(burst_)
+{
+}
+
+bool
+TokenBucket::try_take(double now_ms)
+{
+    if (qps_ <= 0.0) {
+        return true;
+    }
+    if (!primed_) {
+        // The first arrival pins the clock origin; the bucket starts
+        // full, so a cold burst up to `burst_` is always admitted.
+        primed_ = true;
+        last_ms_ = now_ms;
+    }
+    const double elapsed_ms = std::max(0.0, now_ms - last_ms_);
+    last_ms_ = now_ms;
+    tokens_ = std::min(burst_, tokens_ + elapsed_ms * qps_ / 1000.0);
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace runtime
+}  // namespace shredder

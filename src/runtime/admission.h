@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-endpoint admission control: a clock-free token bucket.
+ *
+ * Same design discipline as `BatchController`: the bucket never reads
+ * a clock — callers pass timestamps in (`InferenceServer` feeds it
+ * `lifetime_.milliseconds()`), so tests drive refill math with a fake
+ * clock and replay exact arrival patterns. It also carries no locking:
+ * the inference server mutates it under the same mutex that guards
+ * the request queue.
+ *
+ * Semantics are the classic token bucket: capacity `burst` tokens,
+ * refilled continuously at `qps` tokens per second. Each admitted
+ * request takes one token; an empty bucket means the arrival rate has
+ * exceeded the configured limit for long enough to drain the burst
+ * allowance, and the request is rejected with `kRateLimited` — typed
+ * backpressure, not a crash, and in-flight work is never affected.
+ */
+#ifndef SHREDDER_RUNTIME_ADMISSION_H
+#define SHREDDER_RUNTIME_ADMISSION_H
+
+namespace shredder {
+namespace runtime {
+
+/** See file comment. */
+class TokenBucket
+{
+  public:
+    /**
+     * @param qps    Sustained admission rate in requests/second.
+     *               `qps <= 0` disables the bucket: `try_take` always
+     *               admits.
+     * @param burst  Bucket capacity in tokens. Values <= 0 default to
+     *               `max(1, qps)` — one second of allowance, at least
+     *               one request.
+     */
+    explicit TokenBucket(double qps = 0.0, double burst = 0.0);
+
+    /**
+     * Admit one request arriving at `now_ms` (monotonic milliseconds;
+     * the caller's clock). Refills `elapsed * qps / 1000` tokens
+     * (capped at `burst`), then takes one if a full token is
+     * available. Time moving backwards is clamped to "no refill".
+     *
+     * @return True when admitted; false when the bucket is empty.
+     */
+    bool try_take(double now_ms);
+
+    /** True when a rate limit is configured (`qps > 0`). */
+    bool enabled() const { return qps_ > 0.0; }
+
+    /** Current token count (post-refill as of the last `try_take`). */
+    double tokens() const { return tokens_; }
+
+    /** Bucket capacity after defaulting rules. */
+    double burst() const { return burst_; }
+
+  private:
+    double qps_ = 0.0;
+    double burst_ = 0.0;
+    double tokens_ = 0.0;
+    double last_ms_ = 0.0;
+    bool primed_ = false;  ///< First call pins the clock origin.
+};
+
+}  // namespace runtime
+}  // namespace shredder
+
+#endif  // SHREDDER_RUNTIME_ADMISSION_H

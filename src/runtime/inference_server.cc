@@ -138,7 +138,8 @@ InferenceServer::InferenceServer(
       policy_(policy != nullptr ? policy : owned_policy_.get()),
       config_(config),
       sample_size_(0),
-      controller_(config.controller)
+      controller_(config.controller),
+      bucket_(config.rate_limit_qps, config.rate_limit_burst)
 {
     SHREDDER_CHECK(policy_ != nullptr, "server constructed with no policy");
     SHREDDER_REQUIRE(config_.max_batch >= 1,
@@ -147,6 +148,12 @@ InferenceServer::InferenceServer(
     SHREDDER_REQUIRE(config_.max_concurrent_batches >= 0,
                      "max_concurrent_batches must be >= 0, got ",
                      config_.max_concurrent_batches);
+    SHREDDER_REQUIRE(config_.max_in_flight >= 0,
+                     "max_in_flight must be >= 0, got ",
+                     config_.max_in_flight);
+    SHREDDER_REQUIRE(config_.rate_limit_qps >= 0.0,
+                     "rate_limit_qps must be >= 0, got ",
+                     config_.rate_limit_qps);
     if (config_.pool != nullptr) {
         pool_ = config_.pool;
     } else {
@@ -194,18 +201,17 @@ InferenceServer::InferenceServer(
         free_contexts_.push_back(contexts_.back().get());
     }
 
-    if (config_.int8_compute) {
-        prepare_int8_path();
-    }
+    prepare_direct_path();
 
     dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
 void
-InferenceServer::prepare_int8_path()
+InferenceServer::prepare_direct_path()
 {
     // All preconditions are structural and known at construction; a
-    // batch additionally requires every request to be int8-encoded.
+    // batch additionally requires a uniform encoding (all-int8 for
+    // the int8 path, all-fp32 for the fused path).
     if (!policy_->additive() || sample_size_ == 0) {
         return;
     }
@@ -219,18 +225,35 @@ InferenceServer::prepare_int8_path()
         return;
     }
     auto* linear = dynamic_cast<nn::Linear*>(&net.layer(idx));
-    if (linear == nullptr || linear->in_features() != sample_size_ ||
-        linear->in_features() > kS8MaxK) {
+    if (linear == nullptr || linear->in_features() != sample_size_) {
         return;
     }
-    s8_weights_ = prepare_s8_weights(linear->weight().value.data(),
-                                     linear->out_features(),
-                                     linear->in_features());
-    s8_bias_ =
+    direct_bias_ =
         linear->has_bias() ? linear->bias().value.data() : nullptr;
-    s8_out_features_ = linear->out_features();
+    direct_out_features_ = linear->out_features();
     tail_begin_ = idx + 1;
-    int8_ready_ = true;
+
+    if (config_.fuse_fp32_noise) {
+        // The fused path recovers each request's noise as a single
+        // row (`apply(0, id)`) and performs ONE fp32 add per element.
+        // A multi-stage additive composition rounds between stages on
+        // the general path (`(a + n1) + n2`), which one fused add
+        // (`a + (n1 + n2)`) cannot reproduce bit-for-bit — so those
+        // stay on the general path regardless of batch composition.
+        const auto* composed =
+            dynamic_cast<const ComposedPolicy*>(policy_);
+        if (composed == nullptr || composed->stages().size() <= 1) {
+            f32_weights_ = linear->weight().value.data();
+            fp32_ready_ = true;
+        }
+    }
+
+    if (config_.int8_compute && linear->in_features() <= kS8MaxK) {
+        s8_weights_ = prepare_s8_weights(linear->weight().value.data(),
+                                         linear->out_features(),
+                                         linear->in_features());
+        int8_ready_ = true;
+    }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
@@ -334,6 +357,38 @@ InferenceServer::enqueue(Request request, const Shape& shape,
         return future;
     }
 
+    // Admission control, still under mutex_ so checks serialize with
+    // other submits. The cap check precedes the bucket so a
+    // cap-rejected request does not also burn a token. Rejections are
+    // typed backpressure through the request's own future — queued
+    // and executing work is never affected.
+    if (config_.max_in_flight > 0 &&
+        in_flight_requests_.load(std::memory_order_relaxed) >=
+            config_.max_in_flight) {
+        {
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++stats_.admission_rejected;
+        }
+        lock.unlock();
+        reject(ServingErrorCode::kAdmissionReject,
+               "endpoint at max_in_flight=" +
+                   std::to_string(config_.max_in_flight));
+        return future;
+    }
+    if (bucket_.enabled() && !bucket_.try_take(lifetime_.milliseconds())) {
+        {
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++stats_.rate_limited;
+        }
+        lock.unlock();
+        reject(ServingErrorCode::kRateLimited,
+               "endpoint rate limit " +
+                   std::to_string(config_.rate_limit_qps) +
+                   " qps exceeded");
+        return future;
+    }
+    in_flight_requests_.fetch_add(1, std::memory_order_relaxed);
+
     request.promise = std::move(promise);
     request.id = has_id ? request_id : kAutoIdBase + next_request_id_++;
     queue_.push_back(std::move(request));
@@ -388,6 +443,8 @@ InferenceServer::stats() const
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ServerStats snapshot = stats_;
     snapshot.wall_seconds = lifetime_.seconds();
+    snapshot.in_flight =
+        in_flight_requests_.load(std::memory_order_relaxed);
     return snapshot;
 }
 
@@ -515,15 +572,19 @@ InferenceServer::execute_batch(std::vector<Request> batch)
     Stopwatch execution;
     std::int64_t quantized_count = 0;
     bool direct = int8_ready_;
+    bool fp32_direct = fp32_ready_;
     for (const Request& request : batch) {
         quantized_count += request.is_quantized ? 1 : 0;
         direct = direct && request.is_quantized &&
                  request.quantized.dtype == WireDtype::kI8;
+        fp32_direct = fp32_direct && !request.is_quantized;
     }
 
     Tensor logits;
     if (direct) {
         logits = forward_batch_int8(batch, n);
+    } else if (fp32_direct) {
+        logits = forward_batch_fp32_fused(batch, n);
     } else {
         Tensor fused(batched_shape(sample_shape_, n));
         for (std::int64_t i = 0; i < n; ++i) {
@@ -571,6 +632,7 @@ InferenceServer::execute_batch(std::vector<Request> batch)
         stats_.max_batch_seen = std::max(stats_.max_batch_seen, n);
         stats_.quantized_requests += quantized_count;
         stats_.int8_direct_batches += direct ? 1 : 0;
+        stats_.fp32_fused_batches += fp32_direct ? 1 : 0;
         for (const int bucket : wait_buckets) {
             ++stats_.queue_wait_hist[bucket];
         }
@@ -583,6 +645,10 @@ InferenceServer::execute_batch(std::vector<Request> batch)
                   logits.data() + (i + 1) * classes, row.data());
         batch[static_cast<std::size_t>(i)].promise.set_value(
             std::move(row));
+        // Release the admission slot only after the promise resolves:
+        // the gauge never undercounts answered work, and a stale read
+        // on the submit path can only under-admit.
+        in_flight_requests_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 
@@ -614,11 +680,47 @@ InferenceServer::forward_batch_int8(const std::vector<Request>& batch,
             noise_rows.back().data();
     }
 
-    Tensor first(Shape({n, s8_out_features_}));
-    gemm_s8(n, s8_out_features_, sample_size_, a_rows.data(),
+    Tensor first(Shape({n, direct_out_features_}));
+    gemm_s8(n, direct_out_features_, sample_size_, a_rows.data(),
             a_scale.data(), a_zp.data(), a_noise.data(),
             s8_weights_.data.data(), s8_weights_.scale,
-            s8_weights_.colsum.data(), s8_bias_, first.data());
+            s8_weights_.colsum.data(), direct_bias_, first.data());
+
+    nn::ExecutionContext* ctx = acquire_context();
+    Tensor logits = model_.network().forward_range(
+        first, tail_begin_, -1, *ctx, nn::Mode::kEval);
+    release_context(ctx);
+    return logits;
+}
+
+Tensor
+InferenceServer::forward_batch_fp32_fused(
+    const std::vector<Request>& batch, std::int64_t n)
+{
+    // fp32 twin of the int8 direct path: per-request activation rows
+    // feed gemm_rows_fused, which adds each request's noise row inside
+    // its A-panel packing pass — no fused batch tensor and no separate
+    // noise-add pass over the data. Bit-exact with the general path by
+    // gemm_rows_fused's contract (single-add policies only; see
+    // prepare_direct_path).
+    std::vector<const float*> a_rows(static_cast<std::size_t>(n));
+    std::vector<const float*> a_noise(static_cast<std::size_t>(n));
+    // Additive policies: apply(0, id) IS the noise row (bit-identical
+    // to what apply_into would have added on the general path).
+    const Tensor zeros = Tensor::zeros(sample_shape_);
+    std::vector<Tensor> noise_rows;
+    noise_rows.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        const Request& request = batch[static_cast<std::size_t>(i)];
+        noise_rows.push_back(policy_->apply(zeros, request.id));
+        a_rows[static_cast<std::size_t>(i)] = request.activation.data();
+        a_noise[static_cast<std::size_t>(i)] = noise_rows.back().data();
+    }
+
+    Tensor first(Shape({n, direct_out_features_}));
+    gemm_rows_fused(n, direct_out_features_, sample_size_, a_rows.data(),
+                    a_noise.data(), f32_weights_, direct_bias_,
+                    first.data());
 
     nn::ExecutionContext* ctx = acquire_context();
     Tensor logits = model_.network().forward_range(

@@ -49,6 +49,7 @@
 #ifndef SHREDDER_RUNTIME_INFERENCE_SERVER_H
 #define SHREDDER_RUNTIME_INFERENCE_SERVER_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -59,6 +60,7 @@
 #include <vector>
 
 #include "src/core/noise_collection.h"
+#include "src/runtime/admission.h"
 #include "src/runtime/batch_controller.h"
 #include "src/nn/execution_context.h"
 #include "src/runtime/noise_policy.h"
@@ -153,6 +155,40 @@ struct InferenceServerConfig
      * `ServerStats::int8_direct_batches` shows whether it engaged.
      */
     bool int8_compute = false;
+    /**
+     * Fuse the policy's additive noise into the fp32 GEMM A-panel
+     * packing pass (`gemm_rows_fused`) instead of materializing a
+     * noised batch tensor first — the fp32 twin of the int8 direct
+     * path. Engaged per batch when the same structural preconditions
+     * hold (cut on `nn::Linear`, optionally behind a `Flatten`;
+     * pinned sample shape; additive policy performing a single add —
+     * multi-stage compositions stay on the general path so stage-wise
+     * rounding is preserved) and every request in the batch is fp32.
+     * Bit-exact with the general path by `gemm_rows_fused`'s
+     * contract, so the knob only exists for A/B measurement;
+     * `ServerStats::fp32_fused_batches` shows engagement.
+     */
+    bool fuse_fp32_noise = true;
+    /**
+     * Token-bucket admission rate in requests/second; 0 disables.
+     * Over-limit submits fail their own future with `kRateLimited`
+     * (typed backpressure) — queued and in-flight work is never
+     * affected. See admission.h for the bucket semantics.
+     */
+    double rate_limit_qps = 0.0;
+    /**
+     * Token-bucket capacity; <= 0 defaults to one second of allowance
+     * (`max(1, rate_limit_qps)`). Read only when `rate_limit_qps` is
+     * set.
+     */
+    double rate_limit_burst = 0.0;
+    /**
+     * Cap on requests admitted but not yet answered (queued plus
+     * executing); 0 disables. Submits over the cap fail with
+     * `kAdmissionReject`. Distinct from the rate limit: this bounds
+     * standing queue depth, the bucket bounds arrival rate.
+     */
+    std::int64_t max_in_flight = 0;
 };
 
 /** Aggregate serving statistics (see `InferenceServer::stats`). */
@@ -188,6 +224,14 @@ struct ServerStats
     std::int64_t quantized_requests = 0;
     /** Batches served by the int8 direct-consume GEMM path. */
     std::int64_t int8_direct_batches = 0;
+    /** Batches served by the fused-noise fp32 GEMM path. */
+    std::int64_t fp32_fused_batches = 0;
+    /** Submits rejected by the token-bucket rate limit. */
+    std::int64_t rate_limited = 0;
+    /** Submits rejected by the in-flight cap. */
+    std::int64_t admission_rejected = 0;
+    /** Gauge: requests admitted but not yet answered, at snapshot. */
+    std::int64_t in_flight = 0;
     /**
      * Batches shipped below the ceiling — the straggler window ran out
      * (including a zero-width "ship now" decision) or shutdown drained
@@ -415,16 +459,22 @@ class InferenceServer
 
     /**
      * Inspect the cloud half at construction: when the cut lands on
-     * `nn::Linear` (optionally behind a `Flatten`), snapshot its
-     * weights as symmetric int8 (`S8Weights`) and record where the
-     * tail forward resumes. Leaves `int8_ready_` false when the
-     * topology or policy disqualifies the direct path.
+     * `nn::Linear` (optionally behind a `Flatten`) and the policy is
+     * additive, arm the direct GEMM paths — the fused-noise fp32 path
+     * (`fp32_ready_`, single-add policies only) and, under
+     * `int8_compute`, the int8 snapshot (`int8_ready_`). Records
+     * where the tail forward resumes; leaves both flags false when
+     * the topology or policy disqualifies them.
      */
-    void prepare_int8_path();
+    void prepare_direct_path();
 
     /** The int8 direct-consume batch body (see execute_batch). */
     Tensor forward_batch_int8(const std::vector<Request>& batch,
                               std::int64_t n);
+
+    /** The fused-noise fp32 batch body (see execute_batch). */
+    Tensor forward_batch_fp32_fused(const std::vector<Request>& batch,
+                                    std::int64_t n);
 
     /** Dispatcher loop: form batches, hand them to the pool. */
     void dispatch_loop();
@@ -445,13 +495,15 @@ class InferenceServer
     Shape sample_shape_;        ///< Per-sample activation shape.
     std::int64_t sample_size_;  ///< Elements per activation.
 
-    // int8 direct-consume path (prepare_int8_path; immutable after
-    // construction, so batch workers read it lock-free).
+    // Direct GEMM paths (prepare_direct_path; immutable after
+    // construction, so batch workers read them lock-free).
     bool int8_ready_ = false;
+    bool fp32_ready_ = false;          ///< Fused-noise fp32 path armed.
     std::int64_t tail_begin_ = 0;      ///< First layer after the GEMM.
-    std::int64_t s8_out_features_ = 0;
+    std::int64_t direct_out_features_ = 0;  ///< Linear's out width.
     S8Weights s8_weights_;
-    const float* s8_bias_ = nullptr;
+    const float* direct_bias_ = nullptr;  ///< Linear's bias (or null).
+    const float* f32_weights_ = nullptr;  ///< Linear's [out, in] data.
 
     std::unique_ptr<ThreadPool> owned_pool_;  ///< Null when shared.
     ThreadPool* pool_;  ///< Owned or `config.pool`; never null.
@@ -470,6 +522,16 @@ class InferenceServer
     bool stop_dispatcher_ = false;
     std::uint64_t next_request_id_ = 0;
     BatchController controller_;
+    /** Admission token bucket; mutated under `mutex_` (clock-free). */
+    TokenBucket bucket_;
+    /**
+     * Gauge of requests admitted but not yet answered. Incremented
+     * under `mutex_` on the submit path (so cap checks serialize with
+     * each other); decremented on batch workers after each promise is
+     * fulfilled — atomic so the decrement needs no queue lock. A
+     * momentarily stale read can only under-admit, never over-admit.
+     */
+    std::atomic<std::int64_t> in_flight_requests_{0};
 
     /**
      * Batches handed to the pool but not yet finished. Shutdown waits

@@ -5,6 +5,7 @@
 #include "src/runtime/serving_engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <utility>
 
 #include "src/deploy/bundle.h"
@@ -14,8 +15,25 @@ namespace shredder {
 namespace runtime {
 
 ServingEngine::ServingEngine(const ServingEngineConfig& config)
-    : config_(config), pool_(config.num_workers)
+    : config_(config)
 {
+    SHREDDER_REQUIRE(config.shards >= 1,
+                     "ServingEngineConfig::shards must be >= 1, got ",
+                     config.shards);
+    // The single-shard layout keeps the legacy num_workers semantics
+    // exactly; multi-shard splits the budget evenly unless the caller
+    // sizes shards explicitly.
+    const unsigned per_shard =
+        config.threads_per_shard > 0
+            ? config.threads_per_shard
+            : (config.shards <= 1
+                   ? config.num_workers
+                   : std::max(1u, config.num_workers / config.shards));
+    shards_.reserve(config.shards);
+    for (unsigned i = 0; i < config.shards; ++i) {
+        shards_.push_back(std::make_unique<PoolShard>(
+            "shard" + std::to_string(i), per_shard));
+    }
 }
 
 ServingEngine::~ServingEngine() { shutdown(); }
@@ -40,6 +58,13 @@ ServingEngine::register_endpoint_from_bundle(const std::string& name,
     Endpoint endpoint;
     endpoint.bundle =
         std::make_unique<deploy::Bundle>(deploy::load_bundle(path));
+    // Intern the rebuilt network BEFORE anything references it: when an
+    // earlier bundle carried identical content, this endpoint's split
+    // view and policy are built over the registry's canonical weight
+    // set and the freshly loaded copy is dropped here.
+    endpoint.shared_network =
+        weight_registry_.intern(endpoint.bundle->share_network());
+    endpoint.bundle->adopt_network(endpoint.shared_network);
     endpoint.owned_model = std::make_unique<split::SplitModel>(
         endpoint.bundle->network(), endpoint.bundle->cut());
     endpoint.model = endpoint.owned_model.get();
@@ -74,6 +99,39 @@ ServingEngine::register_endpoints_from_manifest(const std::string& path)
     }
 }
 
+ServingEngine::PoolShard&
+ServingEngine::resolve_shard(const std::string& key)
+{
+    if (key.empty()) {
+        // Round-robin placement; the caller advances `next_shard_`
+        // only once the registration actually succeeds.
+        return *shards_[next_shard_ % shards_.size()];
+    }
+    const bool all_digits =
+        std::all_of(key.begin(), key.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+        });
+    if (all_digits) {
+        // Bare index form ("1" == "shard1"). Shard counts are tiny, so
+        // a length guard is enough to keep stoull in range.
+        if (key.size() <= 6) {
+            const std::size_t index = std::stoull(key);
+            if (index < shards_.size()) {
+                return *shards_[index];
+            }
+        }
+    } else {
+        for (const std::unique_ptr<PoolShard>& shard : shards_) {
+            if (shard->name == key) {
+                return *shard;
+            }
+        }
+    }
+    throw ServingError(ServingErrorCode::kBadBundle,
+                       "unknown shard '" + key + "' (engine has " +
+                       std::to_string(shards_.size()) + " shards)");
+}
+
 void
 ServingEngine::install_endpoint(const std::string& name, Endpoint endpoint,
                                 const EndpointConfig& config)
@@ -91,11 +149,13 @@ ServingEngine::install_endpoint(const std::string& name, Endpoint endpoint,
     server_config.adaptive_batching = config.adaptive_batching;
     server_config.controller.slo_ms = config.slo_ms;
     server_config.controller.ewma_alpha = config.ewma_alpha;
-    server_config.pool = &pool_;
     server_config.max_concurrent_batches = config.max_concurrent_batches;
     server_config.seed = config.context_seed;
     server_config.sample_shape = config.sample_shape;
     server_config.int8_compute = config.int8_compute.value_or(false);
+    server_config.rate_limit_qps = config.rate_limit_qps;
+    server_config.rate_limit_burst = config.rate_limit_burst;
+    server_config.max_in_flight = config.max_in_flight;
     endpoint.wire_dtype = config.wire_dtype.value_or(WireDtype::kF32);
 
     std::lock_guard<std::mutex> lock(mutex_);
@@ -109,32 +169,40 @@ ServingEngine::install_endpoint(const std::string& name, Endpoint endpoint,
                            "endpoint '" + name + "' is already "
                            "registered");
     }
+    PoolShard& shard = resolve_shard(config.shard);
+    server_config.pool = &shard.pool;
+    endpoint.shard_name = shard.name;
     endpoint.server = std::make_unique<InferenceServer>(
         *endpoint.model, *endpoint.policy, server_config);
-    endpoints_.emplace(name, std::move(endpoint));
+    endpoints_.emplace(name,
+                       std::make_shared<Endpoint>(std::move(endpoint)));
+    shard.endpoints.push_back(name);
+    if (config.shard.empty()) {
+        ++next_shard_;  // Only a successful round-robin install advances.
+    }
 }
 
-ServingEngine::Endpoint*
+std::shared_ptr<ServingEngine::Endpoint>
 ServingEngine::find(const std::string& name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = endpoints_.find(name);
-    return it != endpoints_.end() ? &it->second : nullptr;
+    return it != endpoints_.end() ? it->second : nullptr;
 }
 
-const ServingEngine::Endpoint*
+std::shared_ptr<const ServingEngine::Endpoint>
 ServingEngine::find(const std::string& name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = endpoints_.find(name);
-    return it != endpoints_.end() ? &it->second : nullptr;
+    return it != endpoints_.end() ? it->second : nullptr;
 }
 
 std::future<Tensor>
 ServingEngine::submit(const std::string& name, Tensor activation,
                       std::uint64_t request_id)
 {
-    Endpoint* endpoint = find(name);
+    const std::shared_ptr<Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         std::promise<Tensor> promise;
         promise.set_exception(std::make_exception_ptr(ServingError(
@@ -142,15 +210,16 @@ ServingEngine::submit(const std::string& name, Tensor activation,
             "no endpoint named '" + name + "'")));
         return promise.get_future();
     }
-    // The endpoint's server does its own accepting/shape validation
-    // (kShutdown / kInvalidShape) — outside the engine lock.
+    // The endpoint's server does its own accepting/shape/admission
+    // validation (kShutdown / kInvalidShape / kRateLimited /
+    // kAdmissionReject) — outside the engine lock.
     return endpoint->server->submit(std::move(activation), request_id);
 }
 
 std::future<Tensor>
 ServingEngine::submit(const std::string& name, Tensor activation)
 {
-    Endpoint* endpoint = find(name);
+    const std::shared_ptr<Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         std::promise<Tensor> promise;
         promise.set_exception(std::make_exception_ptr(ServingError(
@@ -166,7 +235,7 @@ ServingEngine::submit_quantized(const std::string& name,
                                 QuantizedTensor activation,
                                 std::uint64_t request_id)
 {
-    Endpoint* endpoint = find(name);
+    const std::shared_ptr<Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         std::promise<Tensor> promise;
         promise.set_exception(std::make_exception_ptr(ServingError(
@@ -182,6 +251,32 @@ Tensor
 ServingEngine::infer(const std::string& name, const Tensor& activation)
 {
     return submit(name, activation).get();
+}
+
+void
+ServingEngine::deregister_endpoint(const std::string& name)
+{
+    std::shared_ptr<Endpoint> endpoint;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = endpoints_.find(name);
+        if (it == endpoints_.end()) {
+            throw ServingError(ServingErrorCode::kUnknownEndpoint,
+                               "no endpoint named '" + name + "'");
+        }
+        endpoint = std::move(it->second);
+        endpoints_.erase(it);
+        for (const std::unique_ptr<PoolShard>& shard : shards_) {
+            auto& list = shard->endpoints;
+            list.erase(std::remove(list.begin(), list.end(), name),
+                       list.end());
+        }
+    }
+    // Outside the lock: drain the endpoint's queue and wait for its
+    // in-flight batches. Submits that raced the erase still hold their
+    // own shared_ptr, so the server object outlives their calls; new
+    // lookups already miss.
+    endpoint->server->shutdown();
 }
 
 std::vector<std::string>
@@ -202,10 +297,43 @@ ServingEngine::has_endpoint(const std::string& name) const
     return find(name) != nullptr;
 }
 
+std::vector<ShardInfo>
+ServingEngine::shard_info() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ShardInfo> info;
+    info.reserve(shards_.size());
+    for (const std::unique_ptr<PoolShard>& shard : shards_) {
+        ShardInfo entry;
+        entry.name = shard->name;
+        entry.threads = shard->pool.size();
+        entry.endpoints = shard->endpoints;
+        info.push_back(std::move(entry));
+    }
+    return info;
+}
+
+std::string
+ServingEngine::shard_of(const std::string& name) const
+{
+    const std::shared_ptr<const Endpoint> endpoint = find(name);
+    if (endpoint == nullptr) {
+        throw ServingError(ServingErrorCode::kUnknownEndpoint,
+                           "no endpoint named '" + name + "'");
+    }
+    return endpoint->shard_name;
+}
+
+deploy::WeightRegistryStats
+ServingEngine::weight_registry_stats() const
+{
+    return weight_registry_.stats();
+}
+
 const NoisePolicy&
 ServingEngine::policy(const std::string& name) const
 {
-    const Endpoint* endpoint = find(name);
+    const std::shared_ptr<const Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         throw ServingError(ServingErrorCode::kUnknownEndpoint,
                            "no endpoint named '" + name + "'");
@@ -216,7 +344,7 @@ ServingEngine::policy(const std::string& name) const
 split::SplitModel&
 ServingEngine::model(const std::string& name)
 {
-    Endpoint* endpoint = find(name);
+    const std::shared_ptr<Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         throw ServingError(ServingErrorCode::kUnknownEndpoint,
                            "no endpoint named '" + name + "'");
@@ -227,7 +355,7 @@ ServingEngine::model(const std::string& name)
 const deploy::Bundle*
 ServingEngine::bundle(const std::string& name) const
 {
-    const Endpoint* endpoint = find(name);
+    const std::shared_ptr<const Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         throw ServingError(ServingErrorCode::kUnknownEndpoint,
                            "no endpoint named '" + name + "'");
@@ -238,7 +366,7 @@ ServingEngine::bundle(const std::string& name) const
 WireDtype
 ServingEngine::wire_dtype(const std::string& name) const
 {
-    const Endpoint* endpoint = find(name);
+    const std::shared_ptr<const Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         throw ServingError(ServingErrorCode::kUnknownEndpoint,
                            "no endpoint named '" + name + "'");
@@ -249,7 +377,7 @@ ServingEngine::wire_dtype(const std::string& name) const
 ServerStats
 ServingEngine::stats(const std::string& name) const
 {
-    const Endpoint* endpoint = find(name);
+    const std::shared_ptr<const Endpoint> endpoint = find(name);
     if (endpoint == nullptr) {
         throw ServingError(ServingErrorCode::kUnknownEndpoint,
                            "no endpoint named '" + name + "'");
@@ -263,7 +391,7 @@ ServingEngine::stats() const
     ServerStats aggregate;
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& entry : endpoints_) {
-        const ServerStats s = entry.second.server->stats();
+        const ServerStats s = entry.second->server->stats();
         aggregate.requests += s.requests;
         aggregate.batches += s.batches;
         aggregate.busy_ms += s.busy_ms;
@@ -274,10 +402,14 @@ ServingEngine::stats() const
         aggregate.deadline_dispatches += s.deadline_dispatches;
         aggregate.quantized_requests += s.quantized_requests;
         aggregate.int8_direct_batches += s.int8_direct_batches;
+        aggregate.fp32_fused_batches += s.fp32_fused_batches;
+        aggregate.rate_limited += s.rate_limited;
+        aggregate.admission_rejected += s.admission_rejected;
+        aggregate.in_flight += s.in_flight;
         aggregate.merge_queue_wait_hist(s);
     }
-    // Endpoints serve concurrently on one pool: wall time is the
-    // engine's lifetime, not a per-endpoint sum.
+    // Endpoints serve concurrently on the engine's shards: wall time is
+    // the engine's lifetime, not a per-endpoint sum.
     aggregate.wall_seconds = lifetime_.seconds();
     return aggregate;
 }
@@ -285,19 +417,19 @@ ServingEngine::stats() const
 void
 ServingEngine::shutdown()
 {
-    std::vector<InferenceServer*> servers;
+    std::vector<std::shared_ptr<Endpoint>> bindings;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         accepting_ = false;
-        servers.reserve(endpoints_.size());
+        bindings.reserve(endpoints_.size());
         for (auto& entry : endpoints_) {
-            servers.push_back(entry.second.server.get());
+            bindings.push_back(entry.second);
         }
     }
     // Outside the lock: each shutdown drains that endpoint's queue and
-    // waits for its in-flight batches on the shared pool.
-    for (InferenceServer* server : servers) {
-        server->shutdown();
+    // waits for its in-flight batches on its shard's pool.
+    for (const std::shared_ptr<Endpoint>& binding : bindings) {
+        binding->server->shutdown();
     }
 }
 

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "src/deploy/weight_registry.h"
 #include "src/runtime/inference_server.h"
 #include "src/runtime/noise_policy.h"
 #include "src/runtime/serving_error.h"
@@ -66,10 +67,37 @@ namespace runtime {
 struct ServingEngineConfig
 {
     /**
-     * Worker threads in the shared pool that executes every
-     * endpoint's batches; 0 = hardware concurrency.
+     * Worker threads of the single-shard (legacy) layout; 0 =
+     * hardware concurrency. With `shards > 1` this only feeds the
+     * `threads_per_shard` derivation below.
      */
     unsigned num_workers = 1;
+    /**
+     * Named pool shards ("shard0" … "shardN-1"), each an independent
+     * `ThreadPool`. Endpoints are placed on exactly one shard
+     * (`EndpointConfig::shard`, or round-robin when unset), so
+     * tenants get CPU isolation: a hot endpoint saturates its own
+     * shard's workers and queue, never the whole engine. Must be
+     * >= 1; the default single shard is the pre-sharding engine
+     * exactly.
+     */
+    unsigned shards = 1;
+    /**
+     * Worker threads per shard. 0 derives from `num_workers`: the
+     * single-shard layout uses `num_workers` verbatim (legacy
+     * behavior), a multi-shard layout splits it evenly
+     * (`max(1, num_workers / shards)`).
+     */
+    unsigned threads_per_shard = 0;
+};
+
+/** Read-only view of one pool shard (see `ServingEngine::shard_info`). */
+struct ShardInfo
+{
+    std::string name;     ///< "shard0" … "shardN-1".
+    std::size_t threads;  ///< Worker threads in this shard's pool.
+    /** Endpoints placed on this shard, registration order. */
+    std::vector<std::string> endpoints;
 };
 
 /** Per-endpoint knobs (a subset of `InferenceServerConfig`). */
@@ -124,6 +152,27 @@ struct EndpointConfig
      * engagement conditions don't hold.
      */
     std::optional<bool> int8_compute{};
+    /**
+     * Pool shard this endpoint executes on: a shard name ("shard1")
+     * or bare index ("1"). Empty = round-robin over the engine's
+     * shards at registration. An unknown shard throws `kBadBundle`
+     * from registration (it is a deployment-config error).
+     */
+    std::string shard{};
+    /**
+     * Token-bucket admission rate for this endpoint (requests/s);
+     * 0 disables. Over-limit submits fail typed `kRateLimited`
+     * (`InferenceServerConfig::rate_limit_qps`).
+     */
+    double rate_limit_qps = 0.0;
+    /** Bucket capacity; <= 0 defaults to `max(1, rate_limit_qps)`. */
+    double rate_limit_burst = 0.0;
+    /**
+     * Cap on this endpoint's admitted-but-unanswered requests;
+     * 0 disables. Over-cap submits fail typed `kAdmissionReject`
+     * (`InferenceServerConfig::max_in_flight`).
+     */
+    std::int64_t max_in_flight = 0;
 };
 
 /** See file comment. */
@@ -210,11 +259,36 @@ class ServingEngine
     /** Blocking convenience wrapper around `submit`. */
     Tensor infer(const std::string& name, const Tensor& activation);
 
+    /**
+     * Remove endpoint `name`: stop accepting its requests, drain its
+     * queue, and release the binding (bundle, model, policy). Other
+     * endpoints are unaffected; weight sets interned through the
+     * registry survive (a later re-registration aliases them again).
+     * In-flight submits racing the deregistration finish normally —
+     * they hold shared ownership of the endpoint for the call.
+     *
+     * @throws ServingError `kUnknownEndpoint` for an unknown name.
+     */
+    void deregister_endpoint(const std::string& name);
+
     /** Registered endpoint names, sorted. */
     std::vector<std::string> endpoint_names() const;
 
     /** True if `name` is a registered endpoint. */
     bool has_endpoint(const std::string& name) const;
+
+    /** Per-shard layout and placement (for tooling and /metrics). */
+    std::vector<ShardInfo> shard_info() const;
+
+    /** The shard endpoint `name` executes on (throws `kUnknownEndpoint`). */
+    std::string shard_of(const std::string& name) const;
+
+    /**
+     * Counters of the content-addressed weight registry every
+     * bundle-backed endpoint interns through (`weights_dedupe_bytes`
+     * > 0 once two endpoints share a backbone).
+     */
+    deploy::WeightRegistryStats weight_registry_stats() const;
 
     /** The policy endpoint `name` executes (throws `kUnknownEndpoint`). */
     const NoisePolicy& policy(const std::string& name) const;
@@ -286,31 +360,79 @@ class ServingEngine
         std::unique_ptr<InferenceServer> server;
         /** Resolved transport dtype (config → bundle hint → fp32). */
         WireDtype wire_dtype = WireDtype::kF32;
+        /** Resolved pool-shard name this endpoint executes on. */
+        std::string shard_name;
+        /**
+         * Shared ownership of the (possibly registry-canonical)
+         * network `owned_model` splits — cold-start endpoints only.
+         * Keeps an aliased weight set alive even if the registry and
+         * sibling endpoints release theirs first.
+         */
+        std::shared_ptr<nn::Sequential> shared_network;
     };
 
-    /** Look up an endpoint or null; caller holds no lock after return. */
-    Endpoint* find(const std::string& name);
-    const Endpoint* find(const std::string& name) const;
+    /**
+     * One named execution shard: an independent worker pool plus the
+     * endpoints placed on it. The shard objects are created at engine
+     * construction and never move (endpoint lists mutate under
+     * `mutex_`); `InferenceServer`s hold raw pointers to the pools.
+     */
+    struct PoolShard
+    {
+        PoolShard(std::string shard_name, unsigned threads)
+            : name(std::move(shard_name)), pool(threads)
+        {
+        }
+
+        std::string name;
+        ThreadPool pool;
+        std::vector<std::string> endpoints;  ///< Guarded by `mutex_`.
+    };
+
+    /**
+     * Look up an endpoint (shared ownership) or null. Submit paths
+     * keep the returned pointer for the duration of the call, so a
+     * concurrent `deregister_endpoint` cannot pull the server out
+     * from under them.
+     */
+    std::shared_ptr<Endpoint> find(const std::string& name);
+    std::shared_ptr<const Endpoint> find(const std::string& name) const;
+
+    /**
+     * Resolve an `EndpointConfig::shard` key to a shard (under
+     * `mutex_`): empty = round-robin, digits = index, else name.
+     * Throws `kBadBundle` for an unknown key.
+     */
+    PoolShard& resolve_shard(const std::string& key);
 
     /**
      * Shared registration tail: validate the name under the lock,
-     * start the dispatcher, install. `endpoint.policy` and
-     * `endpoint.model` must be set (plus the cold-start artifacts for
-     * bundle-backed endpoints).
+     * place the endpoint on its shard, start the dispatcher, install.
+     * `endpoint.policy` and `endpoint.model` must be set (plus the
+     * cold-start artifacts for bundle-backed endpoints).
      */
     void install_endpoint(const std::string& name, Endpoint endpoint,
                           const EndpointConfig& config);
 
     ServingEngineConfig config_;
-    ThreadPool pool_;  ///< Shared by every endpoint's batches.
+    /**
+     * The execution shards (fixed at construction; declared before
+     * the endpoint map so servers die before their pools).
+     */
+    std::vector<std::unique_ptr<PoolShard>> shards_;
+    /** Content-addressed weight interning for bundle-backed loads. */
+    deploy::WeightRegistry weight_registry_;
 
     /**
-     * Guards the endpoint map and the accepting flag. Endpoints are
-     * never removed before shutdown, so a pointer looked up under the
-     * lock stays valid afterwards; submits run outside the lock.
+     * Guards the endpoint map, the accepting flag, shard endpoint
+     * lists, and the round-robin cursor. Endpoints are held by
+     * `shared_ptr`, so a binding looked up under the lock stays valid
+     * for the caller even across a concurrent deregistration; submits
+     * run outside the lock.
      */
     mutable std::mutex mutex_;
-    std::map<std::string, Endpoint> endpoints_;
+    std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+    std::size_t next_shard_ = 0;  ///< Round-robin placement cursor.
     bool accepting_ = true;
 
     Stopwatch lifetime_;

@@ -59,6 +59,20 @@ enum class ServingErrorCode {
      * callers can tell "the link died" apart from "the bytes lied".
      */
     kNetwork,
+    /**
+     * Admission control: the endpoint's token-bucket rate limit is
+     * exhausted. Transient — the same request succeeds once the
+     * bucket refills, so clients should treat this as backpressure
+     * (retry with delay), not as a permanent failure.
+     */
+    kRateLimited,
+    /**
+     * Admission control: the endpoint's in-flight request cap is
+     * reached. Like `kRateLimited` this is backpressure, but it
+     * signals queue depth rather than arrival rate — the server is
+     * still draining earlier work.
+     */
+    kAdmissionReject,
 };
 
 /** Stable identifier string for a code (used in error messages). */
@@ -76,6 +90,9 @@ to_string(ServingErrorCode code)
       case ServingErrorCode::kVersionMismatch: return "kVersionMismatch";
       case ServingErrorCode::kProtocol: return "kProtocol";
       case ServingErrorCode::kNetwork: return "kNetwork";
+      case ServingErrorCode::kRateLimited: return "kRateLimited";
+      case ServingErrorCode::kAdmissionReject:
+        return "kAdmissionReject";
     }
     return "kUnknown";
 }

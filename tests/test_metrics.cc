@@ -1,0 +1,517 @@
+/**
+ * @file
+ * /metrics suite: a strict Prometheus text-exposition checker run over
+ * real scrapes, counter monotonicity across scrapes, histogram
+ * consistency, the GET-vs-SHRQ demux on a single listener, and proof
+ * that scraping a loaded server never perturbs result bit-exactness.
+ */
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/noise_collection.h"
+#include "src/models/zoo.h"
+#include "src/net/client.h"
+#include "src/net/metrics.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/runtime/noise_policy.h"
+#include "src/runtime/serving_engine.h"
+#include "src/split/split_model.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace shredder {
+namespace {
+
+using runtime::EndpointConfig;
+using runtime::NoNoisePolicy;
+using runtime::ReplayPolicy;
+using runtime::ServingEngine;
+using runtime::ServingEngineConfig;
+using runtime::noise_seed;
+
+/** One parsed sample line. */
+struct Sample
+{
+    std::string name;    ///< Metric name (with _bucket/_sum/_count).
+    std::string labels;  ///< Raw text between the braces ("" if none).
+    double value = 0.0;
+};
+
+/** One `# HELP`/`# TYPE` family with its samples. */
+struct Family
+{
+    std::string name;
+    std::string type;
+    std::vector<Sample> samples;
+};
+
+/**
+ * Strict exposition parser: fills `out` with the families in order and
+ * fails the current test on any format violation (stray lines, HELP
+ * without TYPE, interleaved families, unparseable values, missing
+ * trailing newline).
+ */
+void
+parse_exposition(const std::string& text, std::vector<Family>* out)
+{
+    std::vector<Family>& families = *out;
+    families.clear();
+    EXPECT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n') << "exposition must end with newline";
+
+    std::istringstream is(text);
+    std::string line;
+    bool expect_type = false;
+    while (std::getline(is, line)) {
+        ASSERT_FALSE(line.empty()) << "blank line in exposition";
+        if (line.rfind("# HELP ", 0) == 0) {
+            ASSERT_FALSE(expect_type) << "HELP not followed by TYPE";
+            Family f;
+            const std::size_t sp = line.find(' ', 7);
+            ASSERT_NE(sp, std::string::npos) << line;
+            f.name = line.substr(7, sp - 7);
+            for (const Family& prior : families) {
+                EXPECT_NE(prior.name, f.name)
+                    << "family emitted twice: " << f.name;
+            }
+            families.push_back(std::move(f));
+            expect_type = true;
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            ASSERT_TRUE(expect_type) << "TYPE without HELP: " << line;
+            ASSERT_FALSE(families.empty());
+            Family& f = families.back();
+            const std::size_t sp = line.find(' ', 7);
+            ASSERT_NE(sp, std::string::npos) << line;
+            EXPECT_EQ(line.substr(7, sp - 7), f.name)
+                << "TYPE names a different family than HELP";
+            f.type = line.substr(sp + 1);
+            EXPECT_TRUE(f.type == "counter" || f.type == "gauge" ||
+                        f.type == "histogram")
+                << "unknown TYPE " << f.type;
+            expect_type = false;
+            continue;
+        }
+        ASSERT_FALSE(line[0] == '#') << "stray comment: " << line;
+        ASSERT_FALSE(families.empty()) << "sample before any family";
+        ASSERT_FALSE(expect_type) << "sample between HELP and TYPE";
+
+        Sample s;
+        std::size_t name_end = line.find_first_of("{ ");
+        ASSERT_NE(name_end, std::string::npos) << line;
+        s.name = line.substr(0, name_end);
+        std::size_t value_at = name_end;
+        if (line[name_end] == '{') {
+            const std::size_t close = line.find('}', name_end);
+            ASSERT_NE(close, std::string::npos) << line;
+            s.labels = line.substr(name_end + 1, close - name_end - 1);
+            value_at = close + 1;
+        }
+        ASSERT_LT(value_at, line.size()) << line;
+        ASSERT_EQ(line[value_at], ' ') << line;
+        std::size_t parsed = 0;
+        s.value = std::stod(line.substr(value_at + 1), &parsed);
+        EXPECT_EQ(value_at + 1 + parsed, line.size())
+            << "trailing junk after value: " << line;
+        EXPECT_TRUE(std::isfinite(s.value)) << line;
+
+        const Family& f = families.back();
+        // The sample belongs to the announced family: exact name, or
+        // the histogram suffixes for histogram families.
+        const bool plain = s.name == f.name;
+        const bool histo = f.type == "histogram" &&
+                           (s.name == f.name + "_bucket" ||
+                            s.name == f.name + "_sum" ||
+                            s.name == f.name + "_count");
+        EXPECT_TRUE(plain || histo)
+            << "sample " << s.name << " under family " << f.name;
+        if (f.type == "counter") {
+            EXPECT_GE(s.value, 0.0) << line;
+        }
+        families.back().samples.push_back(std::move(s));
+    }
+    EXPECT_FALSE(expect_type) << "trailing HELP without TYPE";
+}
+
+/** Extract one label's value from a raw label string. */
+std::string
+label_value(const std::string& labels, const std::string& key)
+{
+    const std::string needle = key + "=\"";
+    const std::size_t at = labels.find(needle);
+    if (at == std::string::npos) {
+        return "";
+    }
+    const std::size_t start = at + needle.size();
+    return labels.substr(start, labels.find('"', start) - start);
+}
+
+/** Every histogram family: cumulative buckets, +Inf == _count. */
+void
+check_histograms(const std::vector<Family>& families)
+{
+    for (const Family& f : families) {
+        if (f.type != "histogram") {
+            continue;
+        }
+        // Group by endpoint label.
+        std::map<std::string, std::vector<const Sample*>> buckets;
+        std::map<std::string, double> counts;
+        std::map<std::string, bool> has_sum;
+        for (const Sample& s : f.samples) {
+            const std::string ep = label_value(s.labels, "endpoint");
+            if (s.name == f.name + "_bucket") {
+                buckets[ep].push_back(&s);
+            } else if (s.name == f.name + "_count") {
+                counts[ep] = s.value;
+            } else if (s.name == f.name + "_sum") {
+                has_sum[ep] = true;
+            }
+        }
+        for (const auto& [ep, series] : buckets) {
+            ASSERT_FALSE(series.empty());
+            double prev_le = -1.0;
+            double prev_cum = -1.0;
+            for (const Sample* s : series) {
+                const std::string le = label_value(s->labels, "le");
+                const bool inf = le == "+Inf";
+                const double bound =
+                    inf ? std::numeric_limits<double>::infinity()
+                        : std::stod(le);
+                EXPECT_GT(bound, prev_le)
+                    << f.name << " le not increasing for " << ep;
+                EXPECT_GE(s->value, prev_cum)
+                    << f.name << " buckets not cumulative for " << ep;
+                prev_le = bound;
+                prev_cum = s->value;
+            }
+            EXPECT_EQ(label_value(series.back()->labels, "le"), "+Inf")
+                << f.name << " missing +Inf bucket for " << ep;
+            ASSERT_TRUE(counts.count(ep)) << f.name << " " << ep;
+            EXPECT_EQ(series.back()->value, counts[ep])
+                << f.name << " +Inf bucket != _count for " << ep;
+            EXPECT_TRUE(has_sum[ep])
+                << f.name << " missing _sum for " << ep;
+        }
+    }
+}
+
+/** LeNet engine, replay endpoint, for scraping. */
+struct Fixture
+{
+    explicit Fixture(std::uint64_t seed = 55)
+        : rng(seed), net(models::make_lenet(rng)),
+          cut(split::conv_cut_points(*net).back()), model(*net, cut),
+          act_shape(model.activation_shape(Shape({1, 28, 28})))
+    {
+        for (int i = 0; i < 3; ++i) {
+            core::NoiseSample s;
+            s.noise = Tensor::normal(per_sample(), rng);
+            collection.add(std::move(s));
+        }
+    }
+
+    Shape
+    per_sample() const
+    {
+        return Shape({act_shape[1], act_shape[2], act_shape[3]});
+    }
+
+    Tensor
+    sample_activation()
+    {
+        return Tensor::normal(per_sample(), rng);
+    }
+
+    Rng rng;
+    std::unique_ptr<nn::Sequential> net;
+    std::int64_t cut;
+    split::SplitModel model;
+    Shape act_shape;
+    core::NoiseCollection collection;
+};
+
+/** One blocking HTTP exchange against the server's listener. */
+std::string
+http_get(std::uint16_t port, const std::string& target)
+{
+    net::Socket socket = net::Socket::connect("127.0.0.1", port);
+    const std::string request =
+        "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    socket.send_all(request.data(), request.size());
+    std::string reply;
+    char chunk[1024];
+    for (;;) {
+        const std::size_t n = socket.recv_some(chunk, sizeof chunk);
+        if (n == 0) {
+            break;  // server closes after one exchange
+        }
+        reply.append(chunk, n);
+    }
+    return reply;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(Metrics, EscapeLabelValue)
+{
+    EXPECT_EQ(net::escape_label_value("plain"), "plain");
+    EXPECT_EQ(net::escape_label_value("a\\b"), "a\\\\b");
+    EXPECT_EQ(net::escape_label_value("a\"b"), "a\\\"b");
+    EXPECT_EQ(net::escape_label_value("a\nb"), "a\\nb");
+    EXPECT_EQ(net::escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Metrics, ExpositionIsStrictlyWellFormed)
+{
+    Fixture fx;
+    ServingEngineConfig ec;
+    ec.shards = 2;
+    ec.threads_per_shard = 1;
+    ServingEngine engine(ec);
+    EndpointConfig ep;
+    ep.max_batch = 2;
+    ep.batch_timeout_ms = 0.0;
+    engine.register_endpoint(
+        "replay", fx.model,
+        std::make_shared<ReplayPolicy>(fx.collection, 5), ep);
+    engine.register_endpoint("clean", fx.model,
+                             std::make_shared<NoNoisePolicy>(), ep);
+    for (std::uint64_t id = 0; id < 6; ++id) {
+        engine.infer("replay", fx.sample_activation());
+        engine.infer("clean", fx.sample_activation());
+    }
+
+    const std::string text =
+        net::render_metrics(engine, net::ServerNetStats{});
+    std::vector<Family> families;
+    parse_exposition(text, &families);
+    if (::testing::Test::HasFatalFailure()) {
+        return;
+    }
+    check_histograms(families);
+
+    // The load-bearing families exist and carry real values.
+    std::map<std::string, const Family*> by_name;
+    for (const Family& f : families) {
+        by_name[f.name] = &f;
+    }
+    for (const char* required :
+         {"shredder_requests_total", "shredder_batches_total",
+          "shredder_queue_wait_seconds", "shredder_in_flight",
+          "shredder_endpoint_shard_info", "shredder_shard_threads",
+          "shredder_rate_limited_total",
+          "shredder_admission_rejected_total",
+          "shredder_weights_dedupe_bytes_total",
+          "shredder_net_connections_accepted_total"}) {
+        ASSERT_TRUE(by_name.count(required)) << required;
+    }
+    double total_requests = 0.0;
+    for (const Sample& s : by_name["shredder_requests_total"]->samples) {
+        total_requests += s.value;
+    }
+    EXPECT_EQ(total_requests, 12.0);
+
+    // Both endpoints report a shard; the two shards are both present.
+    const Family* placement = by_name["shredder_endpoint_shard_info"];
+    ASSERT_EQ(placement->samples.size(), 2u);
+    for (const Sample& s : placement->samples) {
+        EXPECT_EQ(s.value, 1.0);
+        EXPECT_FALSE(label_value(s.labels, "shard").empty());
+    }
+    EXPECT_EQ(by_name["shredder_shard_threads"]->samples.size(), 2u);
+}
+
+TEST(Metrics, CountersAreMonotoneAcrossScrapes)
+{
+    Fixture fx;
+    ServingEngine engine;
+    EndpointConfig ep;
+    ep.max_batch = 1;
+    ep.batch_timeout_ms = 0.0;
+    engine.register_endpoint(
+        "replay", fx.model,
+        std::make_shared<ReplayPolicy>(fx.collection, 5), ep);
+
+    const auto counter_values = [&] {
+        std::map<std::string, double> values;
+        std::vector<Family> families;
+        parse_exposition(
+            net::render_metrics(engine, net::ServerNetStats{}),
+            &families);
+        for (const Family& f : families) {
+            if (f.type != "counter" && f.type != "histogram") {
+                continue;  // gauges may move either way
+            }
+            for (const Sample& s : f.samples) {
+                values[s.name + "{" + s.labels + "}"] = s.value;
+            }
+        }
+        return values;
+    };
+
+    for (std::uint64_t id = 0; id < 3; ++id) {
+        engine.infer("replay", fx.sample_activation());
+    }
+    const std::map<std::string, double> before = counter_values();
+    for (std::uint64_t id = 0; id < 5; ++id) {
+        engine.infer("replay", fx.sample_activation());
+    }
+    const std::map<std::string, double> after = counter_values();
+
+    ASSERT_EQ(before.size(), after.size());
+    for (const auto& [key, value] : before) {
+        ASSERT_TRUE(after.count(key)) << key << " vanished";
+        EXPECT_GE(after.at(key), value) << key << " regressed";
+    }
+    const std::string requests_key =
+        "shredder_requests_total{endpoint=\"replay\"}";
+    EXPECT_GT(after.at(requests_key), before.at(requests_key));
+}
+
+TEST(Metrics, HttpDemuxSharesTheListenerWithShrq)
+{
+    Fixture fx;
+    ServingEngine engine;
+    EndpointConfig ep;
+    ep.max_batch = 1;
+    ep.batch_timeout_ms = 0.0;
+    engine.register_endpoint(
+        "replay", fx.model,
+        std::make_shared<ReplayPolicy>(fx.collection, 5), ep);
+    net::Server server(engine);
+
+    // SHRQ before, HTTP in the middle, SHRQ after — one listener.
+    net::Client before("127.0.0.1", server.port());
+    const Tensor a = fx.sample_activation();
+    const Tensor first = before.infer("replay", a, 1);
+
+    const std::string reply = http_get(server.port(), "/metrics");
+    ASSERT_TRUE(reply.rfind("HTTP/1.0 200 OK\r\n", 0) == 0) << reply;
+    EXPECT_NE(reply.find("Content-Type: text/plain; version=0.0.4"),
+              std::string::npos);
+    const std::size_t split = reply.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    const std::string header = reply.substr(0, split);
+    const std::string body = reply.substr(split + 4);
+    const std::string clen = "Content-Length: ";
+    const std::size_t at = header.find(clen);
+    ASSERT_NE(at, std::string::npos);
+    EXPECT_EQ(static_cast<std::size_t>(std::stoul(
+                  header.substr(at + clen.size()))),
+              body.size());
+    std::vector<Family> families;
+    parse_exposition(body, &families);
+    if (::testing::Test::HasFatalFailure()) {
+        return;
+    }
+    check_histograms(families);
+
+    // The scrape sees its own transport: at least this connection.
+    bool saw_http_counter = false;
+    for (const Family& f : families) {
+        if (f.name == "shredder_net_metrics_requests_total") {
+            ASSERT_EQ(f.samples.size(), 1u);
+            EXPECT_GE(f.samples[0].value, 1.0);
+            saw_http_counter = true;
+        }
+    }
+    EXPECT_TRUE(saw_http_counter);
+
+    // Unknown paths 404 without hurting anyone.
+    const std::string missing = http_get(server.port(), "/nope");
+    EXPECT_TRUE(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0) == 0);
+
+    // SHRQ still serves, on the old connection and a fresh one.
+    const Tensor again = before.infer("replay", a, 1);
+    testing::expect_tensors_near(again, first, 0.0,
+                                 "same id after scrape");
+    net::Client fresh("127.0.0.1", server.port());
+    EXPECT_NO_THROW(fresh.infer("replay", fx.sample_activation(), 2));
+
+    const net::ServerNetStats stats = server.stats();
+    EXPECT_GE(stats.http_requests, 2);
+    EXPECT_GE(stats.metrics_requests, 1);
+}
+
+TEST(Metrics, ScrapingUnderLoadDoesNotPerturbResults)
+{
+    Fixture fx;
+    ServingEngineConfig ec;
+    ec.shards = 2;
+    ec.threads_per_shard = 1;
+    ServingEngine engine(ec);
+    EndpointConfig ep;
+    ep.max_batch = 2;
+    ep.batch_timeout_ms = 0.1;
+    const std::uint64_t seed = 0xD00D;
+    engine.register_endpoint(
+        "replay", fx.model,
+        std::make_shared<ReplayPolicy>(fx.collection, seed), ep);
+    net::Server server(engine);
+
+    constexpr int kRequests = 16;
+    std::vector<Tensor> acts;
+    for (int i = 0; i < kRequests; ++i) {
+        acts.push_back(fx.sample_activation());
+    }
+
+    std::vector<Tensor> results(kRequests);
+    std::thread load([&] {
+        net::Client client("127.0.0.1", server.port());
+        for (int i = 0; i < kRequests; ++i) {
+            results[static_cast<std::size_t>(i)] =
+                client.infer("replay", acts[static_cast<std::size_t>(i)],
+                             static_cast<std::uint64_t>(i));
+        }
+    });
+    std::thread scraper([&] {
+        for (int i = 0; i < 12; ++i) {
+            const std::string reply =
+                http_get(server.port(), "/metrics");
+            EXPECT_TRUE(reply.rfind("HTTP/1.0 200 OK", 0) == 0);
+        }
+    });
+    load.join();
+    scraper.join();
+
+    nn::ExecutionContext ctx;
+    for (int i = 0; i < kRequests; ++i) {
+        Rng draw_rng(
+            noise_seed(seed, static_cast<std::uint64_t>(i)));
+        const Tensor want = fx.model.cloud_forward(
+            ops::add(acts[static_cast<std::size_t>(i)],
+                     fx.collection.draw(draw_rng).noise)
+                .reshaped(fx.act_shape),
+            ctx, nn::Mode::kEval);
+        testing::expect_tensors_near(
+            results[static_cast<std::size_t>(i)],
+            want.reshaped(results[static_cast<std::size_t>(i)].shape()),
+            0.0,
+            ("scraped-under-load request " + std::to_string(i))
+                .c_str());
+    }
+
+    // The final scrape is still perfectly well-formed.
+    const std::string reply = http_get(server.port(), "/metrics");
+    const std::size_t split = reply.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    std::vector<Family> families;
+    parse_exposition(reply.substr(split + 4), &families);
+    check_histograms(families);
+}
+
+}  // namespace
+}  // namespace shredder

@@ -55,6 +55,10 @@ usage(const char* argv0)
         "\n"
         "options:\n"
         "  --endpoint name=path  register one bundle (repeatable)\n"
+        "  --shards N            pool shards endpoints are placed on\n"
+        "                        (default 1; manifest key shard= pins)\n"
+        "  --threads-per-shard N worker threads per shard (default:\n"
+        "                        derived from the worker budget)\n"
         "  --queries N           self-test queries per endpoint "
         "(default 8)\n"
         "  --seed N              RNG seed of the self-test inputs\n"
@@ -64,7 +68,10 @@ usage(const char* argv0)
         "                        a TCP socket until SIGINT/SIGTERM\n"
         "                        (port 0 = kernel-assigned)\n"
         "  --port-file path      write the bound port to this file once\n"
-        "                        listening (useful with port 0)\n",
+        "                        listening (useful with port 0)\n"
+        "\n"
+        "With --listen, plain HTTP 'GET /metrics' on the same port\n"
+        "answers a Prometheus text scrape of the serving process.\n",
         argv0, argv0);
     return 2;
 }
@@ -101,6 +108,8 @@ main(int argc, char** argv)
     std::vector<std::pair<std::string, std::string>> direct;  // name→path
     std::int64_t queries = 8;
     std::uint64_t seed = 7;
+    long shards = 1;
+    long threads_per_shard = 0;
     bool list_only = false;
     bool listen = false;
     std::string listen_host;
@@ -122,6 +131,24 @@ main(int argc, char** argv)
                 return usage(argv[0]);
             }
             direct.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+        } else if (arg == "--shards") {
+            if (i + 1 >= argc) {
+                return usage(argv[0]);
+            }
+            shards = std::atol(argv[++i]);
+            if (shards < 1 || shards > 1024) {
+                std::fprintf(stderr, "--shards wants 1..1024\n");
+                return usage(argv[0]);
+            }
+        } else if (arg == "--threads-per-shard") {
+            if (i + 1 >= argc) {
+                return usage(argv[0]);
+            }
+            threads_per_shard = std::atol(argv[++i]);
+            if (threads_per_shard < 0 || threads_per_shard > 4096) {
+                std::fprintf(stderr, "--threads-per-shard wants 0..4096\n");
+                return usage(argv[0]);
+            }
         } else if (arg == "--queries") {
             if (i + 1 >= argc) {
                 return usage(argv[0]);
@@ -179,7 +206,11 @@ main(int argc, char** argv)
         pthread_sigmask(SIG_BLOCK, &mask, nullptr);
     }
 
-    runtime::ServingEngine engine;
+    runtime::ServingEngineConfig engine_config;
+    engine_config.shards = static_cast<unsigned>(shards);
+    engine_config.threads_per_shard =
+        static_cast<unsigned>(threads_per_shard);
+    runtime::ServingEngine engine(engine_config);
     try {
         if (!manifest.empty()) {
             std::printf("loading manifest %s\n", manifest.c_str());
@@ -196,18 +227,29 @@ main(int argc, char** argv)
     }
 
     const std::vector<std::string> names = engine.endpoint_names();
-    std::printf("\n%-12s %-7s %6s %5s %-14s %-14s %-5s\n", "endpoint",
-                "policy", "layers", "cut", "input", "activation", "wire");
+    std::printf("\n%-12s %-7s %6s %5s %-14s %-14s %-5s %-7s\n", "endpoint",
+                "policy", "layers", "cut", "input", "activation", "wire",
+                "shard");
     for (const std::string& name : names) {
         const deploy::Bundle* bundle = engine.bundle(name);
         // Every endpoint of this tool is bundle-backed.
-        std::printf("%-12s %-7s %6lld %5lld %-14s %-14s %-5s\n",
+        std::printf("%-12s %-7s %6lld %5lld %-14s %-14s %-5s %-7s\n",
                     name.c_str(), engine.policy(name).name().c_str(),
                     static_cast<long long>(bundle->network().size()),
                     static_cast<long long>(bundle->cut()),
                     bundle->input_shape().to_string().c_str(),
                     bundle->activation_shape().to_string().c_str(),
-                    to_string(engine.wire_dtype(name)));
+                    to_string(engine.wire_dtype(name)),
+                    engine.shard_of(name).c_str());
+    }
+    const deploy::WeightRegistryStats registry =
+        engine.weight_registry_stats();
+    if (registry.weights_dedupe_bytes > 0) {
+        std::printf("weight registry: %lld networks interned, %lld "
+                    "unique, %lld bytes deduplicated\n",
+                    static_cast<long long>(registry.interned_networks),
+                    static_cast<long long>(registry.unique_weight_sets),
+                    static_cast<long long>(registry.weights_dedupe_bytes));
     }
     if (list_only) {
         return 0;
